@@ -1,0 +1,164 @@
+//! Language predicates: emptiness, containment, equivalence.
+
+use std::collections::HashMap;
+
+use crate::{Automaton, StateId};
+
+impl Automaton {
+    /// True if the automaton accepts no word at all.
+    pub fn is_empty_language(&self) -> bool {
+        self.reachable_states()
+            .iter()
+            .all(|s| !self.accepting[s.index()])
+    }
+
+    /// Language containment `L(self) ⊆ L(other)`.
+    ///
+    /// Classical check: `L(A) ⊆ L(B)` iff `A ∩ ¬B` is empty. `other` is
+    /// determinized and completed internally; `self` may be
+    /// nondeterministic. Runs a product reachability looking for a state
+    /// accepting in `self` and rejecting in `other`.
+    pub fn contains_languages_of(&self, smaller: &Automaton) -> bool {
+        smaller.is_contained_in(self)
+    }
+
+    /// `L(self) ⊆ L(other)`; see [`Automaton::contains_languages_of`].
+    pub fn is_contained_in(&self, other: &Automaton) -> bool {
+        assert!(
+            self.mgr.same_manager(&other.mgr),
+            "containment requires a shared BDD manager"
+        );
+        let Some(init_a) = self.initial else {
+            return true; // empty language contained in anything
+        };
+        let det = if other.is_deterministic() {
+            other.clone()
+        } else {
+            other.determinize()
+        };
+        let (detc, _) = det.complete(false);
+        let Some(init_b) = detc.initial() else {
+            // `other` denotes the empty language: containment iff self empty.
+            return self.is_empty_language();
+        };
+        // BFS over the product, looking for (accepting_a, !accepting_b).
+        let mut seen: HashMap<(u32, u32), ()> = HashMap::new();
+        let mut work = vec![(init_a.0, init_b.0)];
+        seen.insert((init_a.0, init_b.0), ());
+        while let Some((a, b)) = work.pop() {
+            let sa = StateId(a);
+            let sb = StateId(b);
+            if self.accepting[sa.index()] && !detc.is_accepting(sb) {
+                return false;
+            }
+            for (la, ta) in &self.trans[sa.index()] {
+                for (lb, tb) in detc.transitions_from(sb) {
+                    if la.and(lb).is_zero() {
+                        continue;
+                    }
+                    let key = (ta.0, tb.0);
+                    if seen.insert(key, ()).is_none() {
+                        work.push(key);
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Language equivalence (containment both ways).
+    pub fn equivalent(&self, other: &Automaton) -> bool {
+        self.is_contained_in(other) && other.is_contained_in(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Automaton;
+    use langeq_bdd::{Bdd, BddManager, VarId};
+
+    fn setup() -> (BddManager, Bdd, Vec<VarId>) {
+        let mgr = BddManager::new();
+        let a = mgr.new_var();
+        let vars = a.support();
+        (mgr, a, vars)
+    }
+
+    /// Accepts words where `a` is always 1, up to length `n`.
+    fn ones_up_to(mgr: &BddManager, a: &Bdd, vars: &[VarId], n: usize) -> Automaton {
+        let mut aut = Automaton::new(mgr, vars);
+        let states: Vec<_> = (0..=n).map(|_| aut.add_state(true)).collect();
+        aut.set_initial(states[0]);
+        for k in 0..n {
+            aut.add_transition(states[k], a.clone(), states[k + 1]);
+        }
+        aut
+    }
+
+    #[test]
+    fn containment_of_bounded_languages() {
+        let (mgr, a, vars) = setup();
+        let small = ones_up_to(&mgr, &a, &vars, 2);
+        let big = ones_up_to(&mgr, &a, &vars, 5);
+        assert!(small.is_contained_in(&big));
+        assert!(!big.is_contained_in(&small));
+        assert!(big.contains_languages_of(&small));
+        assert!(!small.equivalent(&big));
+        assert!(small.equivalent(&small.clone()));
+    }
+
+    #[test]
+    fn empty_language_edge_cases() {
+        let (mgr, a, vars) = setup();
+        let empty = Automaton::new(&mgr, &vars);
+        let nonempty = ones_up_to(&mgr, &a, &vars, 1);
+        assert!(empty.is_empty_language());
+        assert!(empty.is_contained_in(&nonempty));
+        assert!(empty.is_contained_in(&empty.clone()));
+        assert!(!nonempty.is_contained_in(&empty));
+        // An automaton whose only state rejects is also empty.
+        let mut rejecting = Automaton::new(&mgr, &vars);
+        let s = rejecting.add_state(false);
+        rejecting.set_initial(s);
+        rejecting.add_transition(s, a.clone(), s);
+        assert!(rejecting.is_empty_language());
+        assert!(rejecting.is_contained_in(&empty));
+    }
+
+    #[test]
+    fn containment_detects_single_divergent_word() {
+        let (mgr, a, vars) = setup();
+        // A: exactly the words {ε, 1}; B: {ε, 0}.
+        let mut aa = Automaton::new(&mgr, &vars);
+        let a0 = aa.add_state(true);
+        let a1 = aa.add_state(true);
+        aa.set_initial(a0);
+        aa.add_transition(a0, a.clone(), a1);
+        let mut bb = Automaton::new(&mgr, &vars);
+        let b0 = bb.add_state(true);
+        let b1 = bb.add_state(true);
+        bb.set_initial(b0);
+        bb.add_transition(b0, a.not(), b1);
+        assert!(!aa.is_contained_in(&bb));
+        assert!(!bb.is_contained_in(&aa));
+    }
+
+    #[test]
+    fn nondeterministic_containment() {
+        let (mgr, a, vars) = setup();
+        // NFA accepting all words (two overlapping self-loops).
+        let mut nfa = Automaton::new(&mgr, &vars);
+        let s0 = nfa.add_state(true);
+        let s1 = nfa.add_state(true);
+        nfa.set_initial(s0);
+        nfa.add_transition(s0, mgr.one(), s0);
+        nfa.add_transition(s0, a.clone(), s1);
+        nfa.add_transition(s1, mgr.one(), s1);
+        // DFA accepting all words.
+        let mut dfa = Automaton::new(&mgr, &vars);
+        let t = dfa.add_state(true);
+        dfa.set_initial(t);
+        dfa.add_transition(t, mgr.one(), t);
+        assert!(nfa.equivalent(&dfa));
+    }
+}

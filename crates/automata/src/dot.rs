@@ -1,0 +1,135 @@
+//! Rendering automata as Graphviz DOT and readable text.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use langeq_bdd::VarId;
+
+use crate::Automaton;
+
+impl Automaton {
+    /// Renders the automaton in Graphviz DOT. Accepting states are drawn as
+    /// double circles; edge labels list the cubes of the label BDD in
+    /// positional `1/0/-` notation over the alphabet (optionally named via
+    /// `names`).
+    pub fn to_dot(&self, names: &HashMap<VarId, String>) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph automaton {{");
+        let _ = writeln!(out, "  rankdir=LR;");
+        let header: Vec<String> = self
+            .alphabet
+            .iter()
+            .map(|v| names.get(v).cloned().unwrap_or_else(|| v.to_string()))
+            .collect();
+        let _ = writeln!(
+            out,
+            "  label=\"alphabet: {}\"; labelloc=top;",
+            header.join(",")
+        );
+        if let Some(init) = self.initial {
+            let _ = writeln!(out, "  init [shape=point];");
+            let _ = writeln!(out, "  init -> n{};", init.0);
+        }
+        for s in 0..self.num_states() {
+            let shape = if self.accepting[s] {
+                "doublecircle"
+            } else {
+                "circle"
+            };
+            let _ = writeln!(
+                out,
+                "  n{s} [shape={shape}, label=\"{}\"];",
+                self.names[s].replace('"', "'")
+            );
+        }
+        for (s, ts) in self.trans.iter().enumerate() {
+            for (l, t) in ts {
+                let cubes: Vec<String> = l
+                    .iter_cubes()
+                    .take(8)
+                    .map(|c| c.to_positional(&self.alphabet))
+                    .collect();
+                let mut text = cubes.join(" | ");
+                if l.iter_cubes().nth(8).is_some() {
+                    text.push_str(" | ...");
+                }
+                let _ = writeln!(out, "  n{s} -> n{} [label=\"{text}\"];", t.0);
+            }
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// A compact multi-line text dump (one line per transition).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "automaton: {} states, {} transitions, alphabet {:?}",
+            self.num_states(),
+            self.num_transitions(),
+            self.alphabet
+        );
+        match self.initial {
+            Some(init) => {
+                let _ = writeln!(out, "initial: {}", self.names[init.index()]);
+            }
+            None => {
+                let _ = writeln!(out, "initial: (none — empty language)");
+            }
+        }
+        for (s, ts) in self.trans.iter().enumerate() {
+            let marker = if self.accepting[s] { "*" } else { " " };
+            let _ = writeln!(out, "{marker} {}", self.names[s]);
+            for (l, t) in ts {
+                let cubes: Vec<String> = l
+                    .iter_cubes()
+                    .take(16)
+                    .map(|c| c.to_positional(&self.alphabet))
+                    .collect();
+                let _ = writeln!(out, "    --[{}]--> {}", cubes.join("|"), self.names[t.index()]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use langeq_bdd::BddManager;
+
+    #[test]
+    fn dot_and_text_render() {
+        let mgr = BddManager::new();
+        let a = mgr.new_var();
+        let mut aut = Automaton::new(&mgr, &a.support());
+        let s0 = aut.add_named_state(true, "start");
+        let s1 = aut.add_state(false);
+        aut.set_initial(s0);
+        aut.add_transition(s0, a.clone(), s1);
+        aut.add_transition(s1, a.not(), s0);
+        let mut names = HashMap::new();
+        names.insert(a.support()[0], "x".to_string());
+        let dot = aut.to_dot(&names);
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("init ->"));
+        assert!(dot.contains("\"start\""));
+        assert!(dot.contains("alphabet: x"));
+        let text = aut.to_text();
+        assert!(text.contains("2 states"));
+        assert!(text.contains("--[1]-->"));
+        assert!(text.contains("--[0]-->"));
+    }
+
+    #[test]
+    fn empty_automaton_renders() {
+        let mgr = BddManager::new();
+        let a = mgr.new_var();
+        let aut = Automaton::new(&mgr, &a.support());
+        let text = aut.to_text();
+        assert!(text.contains("empty language"));
+        let dot = aut.to_dot(&HashMap::new());
+        assert!(dot.starts_with("digraph"));
+    }
+}

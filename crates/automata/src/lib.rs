@@ -1,0 +1,354 @@
+//! # langeq-automata
+//!
+//! Explicit-state **finite automata over cube alphabets**: states are
+//! explicit, transitions carry **BDD labels** over a declared set of
+//! variables (the automaton's *alphabet variables*). A label's satisfying
+//! assignments are the letters on which the transition fires — the natural
+//! representation for automata derived from sequential circuits, where a
+//! letter is an assignment to the input/output wires.
+//!
+//! The crate provides the complete operation set used in language-equation
+//! solving (Section 3 of the DATE'05 paper):
+//!
+//! * predicates: [`Automaton::is_deterministic`], [`Automaton::is_complete`],
+//!   emptiness,
+//! * [`Automaton::complete`] — add a trap ("don't care") state,
+//! * [`Automaton::determinize`] — subset construction with label-space
+//!   refinement,
+//! * [`Automaton::complement`] (determinizes first if necessary),
+//! * [`Automaton::product`],
+//! * [`Automaton::hide`] / [`Automaton::expand`] — support restriction and
+//!   expansion (the `⇓ / ⇑` operators of the paper),
+//! * [`Automaton::prefix_close`], [`Automaton::progressive`] — the FSM
+//!   post-processing producing the Complete Sequential Flexibility,
+//! * [`Automaton::contains_languages_of`] / [`Automaton::equivalent`] —
+//!   language tests,
+//! * bisimulation [`Automaton::minimize`], reachability [`Automaton::trim`],
+//! * DOT/text rendering and a random generator for property tests.
+//!
+//! All states of an automaton derived from an FSM are accepting; the
+//! non-accepting states arise through completion and complementation, as in
+//! the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod check;
+mod dot;
+pub mod format;
+mod minimize;
+mod ops;
+pub mod random;
+
+use langeq_bdd::{Bdd, BddManager, VarId};
+
+/// Index of a state within an [`Automaton`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(pub u32);
+
+impl StateId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for StateId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A finite automaton with BDD-labelled transitions.
+///
+/// The *language* of the automaton is the set of finite words of alphabet
+/// letters (assignments to [`alphabet`](Self::alphabet) variables) along
+/// runs from the initial state to an accepting state. A missing transition
+/// means the word is rejected (automata need not be complete).
+///
+/// The empty automaton (no initial state) accepts the empty language.
+#[derive(Debug, Clone)]
+pub struct Automaton {
+    mgr: BddManager,
+    alphabet: Vec<VarId>,
+    accepting: Vec<bool>,
+    names: Vec<String>,
+    trans: Vec<Vec<(Bdd, StateId)>>,
+    initial: Option<StateId>,
+}
+
+impl Automaton {
+    /// Creates an automaton with no states over the given alphabet
+    /// variables.
+    pub fn new(mgr: &BddManager, alphabet: &[VarId]) -> Self {
+        let mut alphabet = alphabet.to_vec();
+        alphabet.sort_unstable();
+        alphabet.dedup();
+        Automaton {
+            mgr: mgr.clone(),
+            alphabet,
+            accepting: Vec::new(),
+            names: Vec::new(),
+            trans: Vec::new(),
+            initial: None,
+        }
+    }
+
+    /// The BDD manager the labels live in.
+    pub fn manager(&self) -> &BddManager {
+        &self.mgr
+    }
+
+    /// The alphabet variables (sorted).
+    pub fn alphabet(&self) -> &[VarId] {
+        &self.alphabet
+    }
+
+    /// Adds a state and returns its id.
+    pub fn add_state(&mut self, accepting: bool) -> StateId {
+        let id = StateId(self.accepting.len() as u32);
+        self.accepting.push(accepting);
+        self.names.push(format!("s{}", id.0));
+        self.trans.push(Vec::new());
+        id
+    }
+
+    /// Adds a named state.
+    pub fn add_named_state(&mut self, accepting: bool, name: impl Into<String>) -> StateId {
+        let id = self.add_state(accepting);
+        self.names[id.index()] = name.into();
+        id
+    }
+
+    /// Adds a transition; zero labels are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a state id is out of range. In debug builds, also panics if
+    /// the label's support is not contained in the alphabet.
+    pub fn add_transition(&mut self, from: StateId, label: Bdd, to: StateId) {
+        if label.is_zero() {
+            return;
+        }
+        assert!(from.index() < self.trans.len(), "bad source state");
+        assert!(to.index() < self.trans.len(), "bad target state");
+        debug_assert!(
+            label.support().iter().all(|v| self.alphabet.contains(v)),
+            "label support escapes the alphabet"
+        );
+        self.trans[from.index()].push((label, to));
+    }
+
+    /// Sets the initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state id is out of range.
+    pub fn set_initial(&mut self, s: StateId) {
+        assert!(s.index() < self.accepting.len(), "bad initial state");
+        self.initial = Some(s);
+    }
+
+    /// The initial state (`None` for the empty automaton).
+    pub fn initial(&self) -> Option<StateId> {
+        self.initial
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.accepting.len()
+    }
+
+    /// Number of transitions (label/target pairs).
+    pub fn num_transitions(&self) -> usize {
+        self.trans.iter().map(Vec::len).sum()
+    }
+
+    /// True if state `s` is accepting.
+    pub fn is_accepting(&self, s: StateId) -> bool {
+        self.accepting[s.index()]
+    }
+
+    /// Changes the accepting flag of a state.
+    pub fn set_accepting(&mut self, s: StateId, accepting: bool) {
+        self.accepting[s.index()] = accepting;
+    }
+
+    /// The display name of a state.
+    pub fn state_name(&self, s: StateId) -> &str {
+        &self.names[s.index()]
+    }
+
+    /// Renames a state.
+    pub fn set_state_name(&mut self, s: StateId, name: impl Into<String>) {
+        self.names[s.index()] = name.into();
+    }
+
+    /// The outgoing transitions of a state.
+    pub fn transitions_from(&self, s: StateId) -> &[(Bdd, StateId)] {
+        &self.trans[s.index()]
+    }
+
+    /// The union of outgoing labels of `s` (the domain where `s` has
+    /// defined behaviour).
+    pub fn defined_labels(&self, s: StateId) -> Bdd {
+        let mut acc = self.mgr.zero();
+        for (l, _) in &self.trans[s.index()] {
+            acc = acc.or(l);
+        }
+        acc
+    }
+
+    /// States reachable from the initial state, in BFS order.
+    pub fn reachable_states(&self) -> Vec<StateId> {
+        let Some(init) = self.initial else {
+            return Vec::new();
+        };
+        let mut seen = vec![false; self.num_states()];
+        seen[init.index()] = true;
+        let mut order = vec![init];
+        let mut head = 0;
+        while head < order.len() {
+            let s = order[head];
+            head += 1;
+            for (_, t) in &self.trans[s.index()] {
+                if !seen[t.index()] {
+                    seen[t.index()] = true;
+                    order.push(*t);
+                }
+            }
+        }
+        order
+    }
+
+    /// Runs the automaton (as an NFA) on a word of total assignments
+    /// (`word[k][i]` indexed by BDD variable id) and reports acceptance.
+    ///
+    /// This is the reference semantics the property tests check all the
+    /// symbolic operations against.
+    pub fn accepts(&self, word: &[Vec<bool>]) -> bool {
+        let Some(init) = self.initial else {
+            return false;
+        };
+        let mut current = vec![init];
+        for letter in word {
+            let mut next = Vec::new();
+            for &s in &current {
+                for (label, t) in &self.trans[s.index()] {
+                    if label.eval(letter) && !next.contains(t) {
+                        next.push(*t);
+                    }
+                }
+            }
+            if next.is_empty() {
+                return false;
+            }
+            current = next;
+        }
+        current.iter().any(|s| self.accepting[s.index()])
+    }
+
+    /// Retargets the automaton onto renamed alphabet variables: every label
+    /// is renamed according to `map`, and so is the alphabet. Used to move
+    /// automata between variable universes.
+    pub fn rename_alphabet(&self, map: &[(VarId, VarId)]) -> Automaton {
+        let mut alphabet: Vec<VarId> = self
+            .alphabet
+            .iter()
+            .map(|v| {
+                map.iter()
+                    .find(|(from, _)| from == v)
+                    .map(|&(_, to)| to)
+                    .unwrap_or(*v)
+            })
+            .collect();
+        alphabet.sort_unstable();
+        alphabet.dedup();
+        let mut out = Automaton::new(&self.mgr, &alphabet);
+        out.accepting = self.accepting.clone();
+        out.names = self.names.clone();
+        out.initial = self.initial;
+        out.trans = self
+            .trans
+            .iter()
+            .map(|ts| ts.iter().map(|(l, t)| (l.rename(map), *t)).collect())
+            .collect();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_letter_setup() -> (BddManager, Bdd, Automaton) {
+        let mgr = BddManager::new();
+        let a = mgr.new_var();
+        let aut = Automaton::new(&mgr, &[a.support()[0]]);
+        (mgr, a, aut)
+    }
+
+    #[test]
+    fn empty_automaton_rejects_everything() {
+        let (_, _, aut) = two_letter_setup();
+        assert!(!aut.accepts(&[]));
+        assert!(!aut.accepts(&[vec![true]]));
+        assert_eq!(aut.reachable_states(), vec![]);
+    }
+
+    #[test]
+    fn simple_acceptance() {
+        let (mgr, a, mut aut) = two_letter_setup();
+        let s0 = aut.add_state(true);
+        let s1 = aut.add_state(false);
+        aut.set_initial(s0);
+        aut.add_transition(s0, a.clone(), s1); // on a=1 go to rejecting s1
+        aut.add_transition(s1, a.not(), s0); // on a=0 back
+        aut.add_transition(s0, mgr.zero(), s1); // ignored
+        assert!(aut.accepts(&[])); // initial accepting
+        assert!(!aut.accepts(&[vec![true]]));
+        assert!(aut.accepts(&[vec![true], vec![false]]));
+        assert!(!aut.accepts(&[vec![false]])); // undefined -> reject
+        assert_eq!(aut.num_transitions(), 2);
+    }
+
+    #[test]
+    fn reachable_states_bfs() {
+        let (_, a, mut aut) = two_letter_setup();
+        let s0 = aut.add_state(true);
+        let s1 = aut.add_state(true);
+        let _unreachable = aut.add_state(true);
+        aut.set_initial(s0);
+        aut.add_transition(s0, a, s1);
+        assert_eq!(aut.reachable_states(), vec![s0, s1]);
+    }
+
+    #[test]
+    fn defined_labels_unions() {
+        let (mgr, a, mut aut) = two_letter_setup();
+        let s0 = aut.add_state(true);
+        aut.set_initial(s0);
+        aut.add_transition(s0, a.clone(), s0);
+        assert_eq!(aut.defined_labels(s0), a);
+        aut.add_transition(s0, a.not(), s0);
+        assert!(aut.defined_labels(s0).is_one());
+        let _ = mgr;
+    }
+
+    #[test]
+    fn rename_alphabet_moves_labels() {
+        let mgr = BddManager::new();
+        let a = mgr.new_var();
+        let b = mgr.new_var();
+        let va = a.support()[0];
+        let vb = b.support()[0];
+        let mut aut = Automaton::new(&mgr, &[va]);
+        let s0 = aut.add_state(true);
+        aut.set_initial(s0);
+        aut.add_transition(s0, a.clone(), s0);
+        let moved = aut.rename_alphabet(&[(va, vb)]);
+        assert_eq!(moved.alphabet(), &[vb]);
+        assert!(moved.accepts(&[vec![false, true]]));
+        assert!(!moved.accepts(&[vec![true, false]]));
+    }
+}

@@ -1,0 +1,178 @@
+//! Bisimulation-based state minimization (partition refinement).
+//!
+//! For a deterministic automaton this computes the minimal automaton of the
+//! language restricted to its reachable, *defined* behaviour (missing
+//! transitions are treated as moves to an implicit non-accepting trap, so
+//! two states differing only in where they are undefined are distinguished
+//! correctly). For nondeterministic automata it is a sound
+//! bisimulation-quotient reduction (never changes the language, may not
+//! reach the minimum).
+
+use std::collections::HashMap;
+
+use crate::{Automaton, StateId};
+
+impl Automaton {
+    /// Quotient of the reachable part by bisimulation equivalence.
+    #[allow(clippy::needless_range_loop)] // walks parallel per-state arrays by index
+    pub fn minimize(&self) -> Automaton {
+        let trimmed = self.trim();
+        let n = trimmed.num_states();
+        if n == 0 {
+            return trimmed;
+        }
+        // Initial partition: by accepting flag (compactly numbered so the
+        // block count reflects only inhabited blocks).
+        let mut first: HashMap<bool, usize> = HashMap::new();
+        let mut block: Vec<usize> = Vec::with_capacity(n);
+        for s in 0..n {
+            let next = first.len();
+            block.push(*first.entry(trimmed.accepting[s]).or_insert(next));
+        }
+        let mut num_blocks = first.len();
+        loop {
+            // Signature of a state: for each reachable block, the label BDD
+            // leading there, plus the undefined region (complement of all
+            // labels).
+            let mut sigs: HashMap<Vec<(usize, u64)>, usize> = HashMap::new();
+            let mut next_block = vec![0usize; n];
+            let mut next_count = 0usize;
+            for s in 0..n {
+                // Accumulate per-block labels.
+                let mut per_block: HashMap<usize, langeq_bdd::Bdd> = HashMap::new();
+                for (l, t) in &trimmed.trans[s] {
+                    let b = block[t.index()];
+                    let entry = per_block
+                        .entry(b)
+                        .or_insert_with(|| trimmed.mgr.zero());
+                    *entry = entry.or(l);
+                }
+                let mut sig: Vec<(usize, u64)> = per_block
+                    .iter()
+                    .filter(|(_, l)| !l.is_zero())
+                    .map(|(b, l)| (*b, l.id()))
+                    .collect();
+                sig.sort_unstable();
+                // Distinguish by own block too (keeps accepting split).
+                sig.push((usize::MAX, block[s] as u64));
+                let nb = *sigs.entry(sig).or_insert_with(|| {
+                    let b = next_count;
+                    next_count += 1;
+                    b
+                });
+                next_block[s] = nb;
+            }
+            // Because each signature embeds the state's own current block,
+            // the new partition refines the old one; equal (inhabited) block
+            // counts therefore mean the partition is unchanged.
+            let stable = next_count == num_blocks;
+            block = next_block;
+            num_blocks = next_count;
+            if stable {
+                break;
+            }
+        }
+        // Build the quotient.
+        let mut out = Automaton::new(&trimmed.mgr, &trimmed.alphabet);
+        let mut rep: Vec<Option<StateId>> = vec![None; num_blocks];
+        for s in 0..n {
+            let b = block[s];
+            if rep[b].is_none() {
+                rep[b] = Some(out.add_named_state(trimmed.accepting[s], trimmed.names[s].clone()));
+            }
+        }
+        // Merge transition labels per (block, target block).
+        let mut edges: HashMap<(usize, usize), langeq_bdd::Bdd> = HashMap::new();
+        for s in 0..n {
+            for (l, t) in &trimmed.trans[s] {
+                let key = (block[s], block[t.index()]);
+                let entry = edges.entry(key).or_insert_with(|| trimmed.mgr.zero());
+                *entry = entry.or(l);
+            }
+        }
+        let mut keys: Vec<_> = edges.keys().copied().collect();
+        keys.sort_unstable();
+        for (bs, bt) in keys {
+            let l = edges[&(bs, bt)].clone();
+            out.add_transition(rep[bs].expect("populated"), l, rep[bt].expect("populated"));
+        }
+        let init = trimmed.initial.expect("nonempty");
+        out.set_initial(rep[block[init.index()]].expect("populated"));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Automaton;
+    use langeq_bdd::BddManager;
+
+    #[test]
+    fn merges_equivalent_states() {
+        let mgr = BddManager::new();
+        let a = mgr.new_var();
+        let vars = a.support();
+        // Two redundant accepting states with identical behaviour.
+        let mut aut = Automaton::new(&mgr, &vars);
+        let s0 = aut.add_state(true);
+        let s1 = aut.add_state(true);
+        let s2 = aut.add_state(true);
+        aut.set_initial(s0);
+        aut.add_transition(s0, a.clone(), s1);
+        aut.add_transition(s0, a.not(), s2);
+        aut.add_transition(s1, mgr.one(), s1);
+        aut.add_transition(s2, mgr.one(), s2);
+        let min = aut.minimize();
+        // s1 and s2 merge; then s0 behaves like them (accepting, universal
+        // successor), so everything collapses to one state.
+        assert_eq!(min.num_states(), 1);
+        assert!(min.equivalent(&aut));
+    }
+
+    #[test]
+    fn distinguishes_by_undefined_region() {
+        let mgr = BddManager::new();
+        let a = mgr.new_var();
+        let vars = a.support();
+        let mut aut = Automaton::new(&mgr, &vars);
+        let s0 = aut.add_state(true);
+        let s1 = aut.add_state(true); // defined everywhere
+        let s2 = aut.add_state(true); // defined only on a=1
+        aut.set_initial(s0);
+        aut.add_transition(s0, a.clone(), s1);
+        aut.add_transition(s0, a.not(), s2);
+        aut.add_transition(s1, mgr.one(), s1);
+        aut.add_transition(s2, a.clone(), s2);
+        let min = aut.minimize();
+        assert_eq!(min.num_states(), 3);
+        assert!(min.equivalent(&aut));
+    }
+
+    #[test]
+    fn minimize_preserves_language_on_chain() {
+        let mgr = BddManager::new();
+        let a = mgr.new_var();
+        let vars = a.support();
+        // Chain of length 4, all accepting, with a tail loop: states 2,3
+        // both loop forever -> mergeable.
+        let mut aut = Automaton::new(&mgr, &vars);
+        let ss: Vec<_> = (0..4).map(|_| aut.add_state(true)).collect();
+        aut.set_initial(ss[0]);
+        aut.add_transition(ss[0], a.clone(), ss[1]);
+        aut.add_transition(ss[1], a.clone(), ss[2]);
+        aut.add_transition(ss[2], mgr.one(), ss[3]);
+        aut.add_transition(ss[3], mgr.one(), ss[2]);
+        let min = aut.minimize();
+        assert!(min.num_states() < 4);
+        assert!(min.equivalent(&aut));
+    }
+
+    #[test]
+    fn empty_automaton_minimizes_to_empty() {
+        let mgr = BddManager::new();
+        let a = mgr.new_var();
+        let aut = Automaton::new(&mgr, &a.support());
+        let min = aut.minimize();
+        assert_eq!(min.num_states(), 0);
+    }
+}

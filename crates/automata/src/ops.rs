@@ -1,0 +1,626 @@
+//! The automaton operations of language-equation solving: completion,
+//! determinization, complementation, product, support change, prefix
+//! closure, progressiveness and trimming.
+
+use std::collections::HashMap;
+
+use langeq_bdd::{Bdd, VarId};
+
+use crate::{Automaton, StateId};
+
+impl Automaton {
+    /// Restricts the automaton to its reachable part (states keep their
+    /// relative BFS order; the initial state becomes state 0).
+    pub fn trim(&self) -> Automaton {
+        let reach = self.reachable_states();
+        let mut map = vec![None; self.num_states()];
+        let mut out = Automaton::new(&self.mgr, &self.alphabet);
+        for &s in &reach {
+            let ns = out.add_named_state(self.accepting[s.index()], self.names[s.index()].clone());
+            map[s.index()] = Some(ns);
+        }
+        for &s in &reach {
+            let from = map[s.index()].expect("reachable");
+            for (l, t) in &self.trans[s.index()] {
+                if let Some(to) = map[t.index()] {
+                    out.add_transition(from, l.clone(), to);
+                }
+            }
+        }
+        if self.initial.is_some() {
+            out.set_initial(StateId(0));
+        }
+        out
+    }
+
+    /// Completes the automaton by adding a trap ("don't care") state with a
+    /// universal self-loop and directing every undefined letter to it, as in
+    /// the paper's `Complete` step. The trap is `accepting` as requested
+    /// (non-accepting for the usual completion; accepting traps appear when
+    /// completing a complemented automaton).
+    ///
+    /// Returns `(automaton, trap)` where `trap` is the id of the trap state
+    /// (freshly added, or reused if the automaton was already complete —
+    /// then `None`).
+    pub fn complete(&self, accepting: bool) -> (Automaton, Option<StateId>) {
+        let mut out = self.clone();
+        if out.initial.is_none() {
+            // Empty automaton: completion gives the all-rejecting (or
+            // all-accepting) universal automaton.
+            let dc = out.add_named_state(accepting, "DC");
+            out.add_transition(dc, out.mgr.one(), dc);
+            out.set_initial(dc);
+            return (out, Some(StateId(0)));
+        }
+        let mut missing: Vec<(StateId, Bdd)> = Vec::new();
+        for s in 0..out.num_states() {
+            let s = StateId(s as u32);
+            let rest = out.defined_labels(s).not();
+            if !rest.is_zero() {
+                missing.push((s, rest));
+            }
+        }
+        if missing.is_empty() {
+            return (out, None);
+        }
+        let dc = out.add_named_state(accepting, "DC");
+        let one = out.mgr.one();
+        out.add_transition(dc, one, dc);
+        for (s, rest) in missing {
+            out.add_transition(s, rest, dc);
+        }
+        (out, Some(dc))
+    }
+
+    /// True if every state's outgoing labels cover the whole alphabet.
+    pub fn is_complete(&self) -> bool {
+        (0..self.num_states()).all(|s| self.defined_labels(StateId(s as u32)).is_one())
+    }
+
+    /// True if no two outgoing transitions of any state overlap.
+    pub fn is_deterministic(&self) -> bool {
+        for ts in &self.trans {
+            for (k, (l1, _)) in ts.iter().enumerate() {
+                for (l2, _) in &ts[k + 1..] {
+                    if !l1.and(l2).is_zero() {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Subset construction. The result is deterministic, trim, and
+    /// language-equivalent; it is *not* made complete (undefined letters
+    /// stay undefined), matching the paper's use where completion is a
+    /// separate (and commuting) step.
+    pub fn determinize(&self) -> Automaton {
+        let Some(init) = self.initial else {
+            return Automaton::new(&self.mgr, &self.alphabet);
+        };
+        let mut out = Automaton::new(&self.mgr, &self.alphabet);
+        let mut index: HashMap<Vec<u32>, StateId> = HashMap::new();
+        let init_subset = vec![init.0];
+        let s0 = out.add_named_state(
+            self.accepting[init.index()],
+            subset_name(self, &init_subset),
+        );
+        index.insert(init_subset.clone(), s0);
+        out.set_initial(s0);
+        let mut work = vec![init_subset];
+        while let Some(subset) = work.pop() {
+            let from = index[&subset];
+            // Partition the label space by the exact successor subset.
+            let mut regions: Vec<(Bdd, Vec<u32>)> = vec![(self.mgr.one(), Vec::new())];
+            for &m in &subset {
+                for (label, t) in &self.trans[m as usize] {
+                    let mut next_regions = Vec::with_capacity(regions.len() * 2);
+                    for (r, set) in regions {
+                        let hit = r.and(label);
+                        if !hit.is_zero() {
+                            let mut s2 = set.clone();
+                            if !s2.contains(&t.0) {
+                                s2.push(t.0);
+                                s2.sort_unstable();
+                            }
+                            next_regions.push((hit, s2));
+                        }
+                        let miss = r.and(&label.not());
+                        if !miss.is_zero() {
+                            next_regions.push((miss, set));
+                        }
+                    }
+                    // Merge regions with identical successor subsets to keep
+                    // the partition small.
+                    let mut merged: Vec<(Bdd, Vec<u32>)> = Vec::new();
+                    'outer: for (r, set) in next_regions {
+                        for (mr, ms) in &mut merged {
+                            if *ms == set {
+                                *mr = mr.or(&r);
+                                continue 'outer;
+                            }
+                        }
+                        merged.push((r, set));
+                    }
+                    regions = merged;
+                }
+            }
+            for (label, set) in regions {
+                if set.is_empty() {
+                    continue; // undefined letters
+                }
+                let to = match index.get(&set) {
+                    Some(&t) => t,
+                    None => {
+                        let accepting = set.iter().any(|&m| self.accepting[m as usize]);
+                        let t = out.add_named_state(accepting, subset_name(self, &set));
+                        index.insert(set.clone(), t);
+                        work.push(set);
+                        t
+                    }
+                };
+                out.add_transition(from, label, to);
+            }
+        }
+        out
+    }
+
+    /// Complement of the language. Determinizes and completes internally if
+    /// needed, then swaps accepting and non-accepting states.
+    pub fn complement(&self) -> Automaton {
+        let det = if self.is_deterministic() {
+            self.clone()
+        } else {
+            self.determinize()
+        };
+        let (mut comp, _) = det.complete(false);
+        for k in 0..comp.num_states() {
+            comp.accepting[k] = !comp.accepting[k];
+        }
+        comp
+    }
+
+    /// Synchronous product: runs both automata in lockstep; a product letter
+    /// is enabled when both labels admit it. A product state is accepting
+    /// iff both components accept. The alphabets are unioned (labels are
+    /// already independent of the missing variables, which realises the
+    /// paper's implicit support expansion).
+    pub fn product(&self, other: &Automaton) -> Automaton {
+        assert!(
+            self.mgr.same_manager(&other.mgr),
+            "product requires a shared BDD manager"
+        );
+        let mut alphabet: Vec<VarId> = self
+            .alphabet
+            .iter()
+            .chain(other.alphabet.iter())
+            .copied()
+            .collect();
+        alphabet.sort_unstable();
+        alphabet.dedup();
+        let mut out = Automaton::new(&self.mgr, &alphabet);
+        let (Some(i1), Some(i2)) = (self.initial, other.initial) else {
+            return out;
+        };
+        let mut index: HashMap<(u32, u32), StateId> = HashMap::new();
+        let name = |a: &Automaton, b: &Automaton, s: (u32, u32)| {
+            format!(
+                "({},{})",
+                a.names[s.0 as usize], b.names[s.1 as usize]
+            )
+        };
+        let s0 = out.add_named_state(
+            self.accepting[i1.index()] && other.accepting[i2.index()],
+            name(self, other, (i1.0, i2.0)),
+        );
+        index.insert((i1.0, i2.0), s0);
+        out.set_initial(s0);
+        let mut work = vec![(i1.0, i2.0)];
+        while let Some((a, b)) = work.pop() {
+            let from = index[&(a, b)];
+            for (l1, t1) in &self.trans[a as usize] {
+                for (l2, t2) in &other.trans[b as usize] {
+                    let l = l1.and(l2);
+                    if l.is_zero() {
+                        continue;
+                    }
+                    let key = (t1.0, t2.0);
+                    let to = match index.get(&key) {
+                        Some(&t) => t,
+                        None => {
+                            let acc = self.accepting[t1.index()] && other.accepting[t2.index()];
+                            let t = out.add_named_state(acc, name(self, other, key));
+                            index.insert(key, t);
+                            work.push(key);
+                            t
+                        }
+                    };
+                    out.add_transition(from, l, to);
+                }
+            }
+        }
+        out
+    }
+
+    /// Hides (existentially quantifies) the given variables from all labels
+    /// and removes them from the alphabet — the paper's support restriction
+    /// `⇓`. The result is generally nondeterministic.
+    pub fn hide(&self, vars: &[VarId]) -> Automaton {
+        let alphabet: Vec<VarId> = self
+            .alphabet
+            .iter()
+            .copied()
+            .filter(|v| !vars.contains(v))
+            .collect();
+        let mut out = Automaton::new(&self.mgr, &alphabet);
+        out.accepting = self.accepting.clone();
+        out.names = self.names.clone();
+        out.initial = self.initial;
+        out.trans = self
+            .trans
+            .iter()
+            .map(|ts| {
+                ts.iter()
+                    .map(|(l, t)| (l.exists(vars), *t))
+                    .collect()
+            })
+            .collect();
+        out
+    }
+
+    /// Expands the support with extra variables (the paper's `⇑`): the
+    /// labels do not change (they are simply read as functions also of the
+    /// new variables, i.e. every value of the new variables is admitted).
+    pub fn expand(&self, vars: &[VarId]) -> Automaton {
+        let mut alphabet = self.alphabet.clone();
+        alphabet.extend_from_slice(vars);
+        alphabet.sort_unstable();
+        alphabet.dedup();
+        let mut out = self.clone();
+        out.alphabet = alphabet;
+        out
+    }
+
+    #[allow(clippy::needless_range_loop)] // parallel per-state arrays
+    /// Removes all non-accepting states (and transitions into them) and
+    /// trims — the paper's `PrefixClose`. For a deterministic complete
+    /// automaton this yields the largest prefix-closed sub-language.
+    pub fn prefix_close(&self) -> Automaton {
+        let Some(init) = self.initial else {
+            return Automaton::new(&self.mgr, &self.alphabet);
+        };
+        if !self.accepting[init.index()] {
+            return Automaton::new(&self.mgr, &self.alphabet);
+        }
+        let mut out = Automaton::new(&self.mgr, &self.alphabet);
+        let mut map = vec![None; self.num_states()];
+        for s in 0..self.num_states() {
+            if self.accepting[s] {
+                let ns = out.add_named_state(true, self.names[s].clone());
+                map[s] = Some(ns);
+            }
+        }
+        for s in 0..self.num_states() {
+            let Some(from) = map[s] else { continue };
+            for (l, t) in &self.trans[s] {
+                if let Some(to) = map[t.index()] {
+                    out.add_transition(from, l.clone(), to);
+                }
+            }
+        }
+        out.set_initial(map[init.index()].expect("initial accepting"));
+        out.trim()
+    }
+
+    /// Iteratively removes states that are not *input-progressive*: a state
+    /// survives iff for **every** assignment of `input_vars` it has at least
+    /// one transition (to a surviving state). This is the paper's
+    /// `Progressive` step, turning the most general prefix-closed solution
+    /// into the Complete Sequential Flexibility (an FSM-implementable
+    /// automaton). Returns the empty automaton if the initial state dies.
+    pub fn progressive(&self, input_vars: &[VarId]) -> Automaton {
+        let Some(init) = self.initial else {
+            return Automaton::new(&self.mgr, &self.alphabet);
+        };
+        let other_vars: Vec<VarId> = self
+            .alphabet
+            .iter()
+            .copied()
+            .filter(|v| !input_vars.contains(v))
+            .collect();
+        let mut alive = vec![true; self.num_states()];
+        loop {
+            let mut changed = false;
+            for s in 0..self.num_states() {
+                if !alive[s] {
+                    continue;
+                }
+                let mut covered = self.mgr.zero();
+                for (l, t) in &self.trans[s] {
+                    if alive[t.index()] {
+                        covered = covered.or(l);
+                    }
+                    if covered.is_one() {
+                        break;
+                    }
+                }
+                // Project onto the inputs: must cover every input letter.
+                let input_cover = covered.exists(&other_vars);
+                if !input_cover.is_one() {
+                    alive[s] = false;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        if !alive[init.index()] {
+            return Automaton::new(&self.mgr, &self.alphabet);
+        }
+        let mut out = Automaton::new(&self.mgr, &self.alphabet);
+        let mut map = vec![None; self.num_states()];
+        for s in 0..self.num_states() {
+            if alive[s] {
+                let ns = out.add_named_state(self.accepting[s], self.names[s].clone());
+                map[s] = Some(ns);
+            }
+        }
+        for s in 0..self.num_states() {
+            let Some(from) = map[s] else { continue };
+            for (l, t) in &self.trans[s] {
+                if let Some(to) = map[t.index()] {
+                    out.add_transition(from, l.clone(), to);
+                }
+            }
+        }
+        out.set_initial(map[init.index()].expect("alive"));
+        out.trim()
+    }
+}
+
+fn subset_name(a: &Automaton, subset: &[u32]) -> String {
+    let parts: Vec<&str> = subset.iter().map(|&m| a.names[m as usize].as_str()).collect();
+    format!("{{{}}}", parts.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use langeq_bdd::BddManager;
+
+    /// Two-variable alphabet (a, b); returns (mgr, a, b).
+    fn setup() -> (BddManager, Bdd, Bdd) {
+        let mgr = BddManager::new();
+        let a = mgr.new_var();
+        let b = mgr.new_var();
+        (mgr, a, b)
+    }
+
+    fn alphabet(fs: &[&Bdd]) -> Vec<VarId> {
+        let mut v: Vec<VarId> = fs.iter().flat_map(|f| f.support()).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn complete_adds_universal_trap() {
+        let (mgr, a, b) = setup();
+        let mut aut = Automaton::new(&mgr, &alphabet(&[&a, &b]));
+        let s0 = aut.add_state(true);
+        aut.set_initial(s0);
+        aut.add_transition(s0, a.clone(), s0); // only defined on a=1
+        assert!(!aut.is_complete());
+        let (c, dc) = aut.complete(false);
+        assert!(c.is_complete());
+        let dc = dc.unwrap();
+        assert!(!c.is_accepting(dc));
+        // DC self-loop on everything.
+        assert!(c.defined_labels(dc).is_one());
+        // Completing twice is a no-op.
+        let (c2, dc2) = c.complete(false);
+        assert!(dc2.is_none());
+        assert_eq!(c2.num_states(), c.num_states());
+    }
+
+    #[test]
+    fn determinize_merges_overlapping_transitions() {
+        let (mgr, a, b) = setup();
+        let mut aut = Automaton::new(&mgr, &alphabet(&[&a, &b]));
+        let s0 = aut.add_state(true);
+        let s1 = aut.add_state(true);
+        let s2 = aut.add_state(false);
+        aut.set_initial(s0);
+        // Nondeterministic on a=1: to s1 and (if b) to s2.
+        aut.add_transition(s0, a.clone(), s1);
+        aut.add_transition(s0, a.and(&b), s2);
+        aut.add_transition(s1, b.clone(), s1);
+        aut.add_transition(s2, b.clone(), s2);
+        assert!(!aut.is_deterministic());
+        let det = aut.determinize();
+        assert!(det.is_deterministic());
+        // Language preserved on sample words (letters = [a, b] assignments).
+        let words: Vec<Vec<Vec<bool>>> = vec![
+            vec![],
+            vec![vec![true, false]],
+            vec![vec![true, true]],
+            vec![vec![true, true], vec![false, true]],
+            vec![vec![true, false], vec![true, false]],
+            vec![vec![false, false]],
+        ];
+        for w in &words {
+            assert_eq!(aut.accepts(w), det.accepts(w), "word {w:?}");
+        }
+    }
+
+    #[test]
+    fn complement_flips_acceptance() {
+        let (mgr, a, b) = setup();
+        let mut aut = Automaton::new(&mgr, &alphabet(&[&a, &b]));
+        let s0 = aut.add_state(true);
+        aut.set_initial(s0);
+        aut.add_transition(s0, a.clone(), s0);
+        let comp = aut.complement();
+        assert!(comp.is_complete());
+        let words: Vec<Vec<Vec<bool>>> = vec![
+            vec![],
+            vec![vec![true, false]],
+            vec![vec![false, false]],
+            vec![vec![true, true], vec![true, false]],
+            vec![vec![true, false], vec![false, true]],
+        ];
+        for w in &words {
+            assert_eq!(aut.accepts(w), !comp.accepts(w), "word {w:?}");
+        }
+    }
+
+    #[test]
+    fn product_intersects_languages() {
+        let (mgr, a, b) = setup();
+        // A: even number of a's; B: b always true.
+        let va = alphabet(&[&a]);
+        let vb = alphabet(&[&b]);
+        let mut aa = Automaton::new(&mgr, &va);
+        let e = aa.add_state(true);
+        let o = aa.add_state(false);
+        aa.set_initial(e);
+        aa.add_transition(e, a.clone(), o);
+        aa.add_transition(e, a.not(), e);
+        aa.add_transition(o, a.clone(), e);
+        aa.add_transition(o, a.not(), o);
+        let mut bb = Automaton::new(&mgr, &vb);
+        let t = bb.add_state(true);
+        bb.set_initial(t);
+        bb.add_transition(t, b.clone(), t);
+        let prod = aa.product(&bb);
+        assert_eq!(prod.alphabet().len(), 2);
+        assert!(prod.accepts(&[vec![true, true], vec![true, true]]));
+        assert!(!prod.accepts(&[vec![true, true]])); // odd a's
+        assert!(!prod.accepts(&[vec![false, false]])); // b violated
+    }
+
+    #[test]
+    fn hide_projects_labels() {
+        let (mgr, a, b) = setup();
+        let mut aut = Automaton::new(&mgr, &alphabet(&[&a, &b]));
+        let s0 = aut.add_state(true);
+        let s1 = aut.add_state(true);
+        aut.set_initial(s0);
+        aut.add_transition(s0, a.and(&b), s1);
+        aut.add_transition(s1, a.not().and(&b.not()), s0);
+        let hidden = aut.hide(&a.support());
+        assert_eq!(hidden.alphabet(), &b.support()[..]);
+        // After hiding a, the first step fires on b=1 regardless of a.
+        assert!(hidden.accepts(&[vec![false, true]]));
+        assert!(!hidden.accepts(&[vec![false, false]]));
+    }
+
+    #[test]
+    fn expand_admits_all_new_letters() {
+        let (mgr, a, b) = setup();
+        let mut aut = Automaton::new(&mgr, &alphabet(&[&a]));
+        let s0 = aut.add_state(true);
+        aut.set_initial(s0);
+        aut.add_transition(s0, a.clone(), s0);
+        let big = aut.expand(&b.support());
+        assert_eq!(big.alphabet().len(), 2);
+        assert!(big.accepts(&[vec![true, true]]));
+        assert!(big.accepts(&[vec![true, false]]));
+        assert!(!big.accepts(&[vec![false, true]]));
+    }
+
+    #[test]
+    fn prefix_close_drops_rejecting_states() {
+        let (mgr, a, _) = setup();
+        let mut aut = Automaton::new(&mgr, &alphabet(&[&a]));
+        let s0 = aut.add_state(true);
+        let bad = aut.add_state(false);
+        let s2 = aut.add_state(true);
+        aut.set_initial(s0);
+        aut.add_transition(s0, a.clone(), bad);
+        aut.add_transition(bad, a.clone(), s2);
+        aut.add_transition(s0, a.not(), s2);
+        let pc = aut.prefix_close();
+        // bad removed; s2 still reachable via a=0.
+        assert_eq!(pc.num_states(), 2);
+        assert!(pc.accepts(&[vec![false]]));
+        assert!(!pc.accepts(&[vec![true]]));
+        assert!(!pc.accepts(&[vec![true], vec![true]]));
+    }
+
+    #[test]
+    fn prefix_close_of_rejecting_initial_is_empty() {
+        let (mgr, a, _) = setup();
+        let mut aut = Automaton::new(&mgr, &alphabet(&[&a]));
+        let s0 = aut.add_state(false);
+        aut.set_initial(s0);
+        aut.add_transition(s0, a.clone(), s0);
+        let pc = aut.prefix_close();
+        assert_eq!(pc.num_states(), 0);
+        assert!(pc.initial().is_none());
+    }
+
+    #[test]
+    fn progressive_removes_input_incomplete_states() {
+        let (mgr, u, v) = setup();
+        // Alphabet (u=input, v=output).
+        let mut aut = Automaton::new(&mgr, &alphabet(&[&u, &v]));
+        let s0 = aut.add_state(true);
+        let s1 = aut.add_state(true);
+        aut.set_initial(s0);
+        // s0 handles u=0 (emit v=1, stay) and u=1 (go to s1).
+        aut.add_transition(s0, u.not().and(&v), s0);
+        aut.add_transition(s0, u.clone().and(&v.not()), s1);
+        // s1 only handles u=1: not input-progressive.
+        aut.add_transition(s1, u.clone(), s1);
+        let prog = aut.progressive(&u.support());
+        // s1 dies; then s0 loses its u=1 move and dies too -> empty.
+        assert_eq!(prog.num_states(), 0);
+    }
+
+    #[test]
+    fn progressive_keeps_input_complete_core() {
+        let (mgr, u, v) = setup();
+        let mut aut = Automaton::new(&mgr, &alphabet(&[&u, &v]));
+        let s0 = aut.add_state(true);
+        let s1 = aut.add_state(true);
+        aut.set_initial(s0);
+        // s0: for every u there is a move (v free on u=0, v=0 on u=1).
+        aut.add_transition(s0, u.not(), s0);
+        aut.add_transition(s0, u.clone().and(&v.not()), s1);
+        // s1: only u=0 covered -> dies.
+        aut.add_transition(s1, u.not().and(&v), s1);
+        let prog = aut.progressive(&u.support());
+        // s1 dies; s0 still covers u=1? Its u=1 move led to s1 -> removed,
+        // so s0 dies as well.
+        assert_eq!(prog.num_states(), 0);
+
+        // Now give s0 a self-loop on u=1 as alternative; s0 survives.
+        let mut aut2 = Automaton::new(&mgr, &alphabet(&[&u, &v]));
+        let t0 = aut2.add_state(true);
+        let t1 = aut2.add_state(true);
+        aut2.set_initial(t0);
+        aut2.add_transition(t0, u.not(), t0);
+        aut2.add_transition(t0, u.clone().and(&v.not()), t1);
+        aut2.add_transition(t0, u.clone().and(&v.clone()), t0);
+        aut2.add_transition(t1, u.not().and(&v), t1);
+        let prog2 = aut2.progressive(&u.support());
+        assert_eq!(prog2.num_states(), 1);
+        assert!(prog2.accepts(&[vec![true, true], vec![false, false]]));
+    }
+
+    #[test]
+    fn trim_drops_unreachable() {
+        let (mgr, a, _) = setup();
+        let mut aut = Automaton::new(&mgr, &alphabet(&[&a]));
+        let s0 = aut.add_state(true);
+        let _dead = aut.add_state(true);
+        aut.set_initial(s0);
+        aut.add_transition(s0, a.clone(), s0);
+        let t = aut.trim();
+        assert_eq!(t.num_states(), 1);
+        assert!(t.accepts(&[vec![true]]));
+    }
+}

@@ -1,0 +1,131 @@
+//! Deterministic random automaton generation — used by the property-based
+//! test suites of this crate and of `langeq-core` (e.g. for Theorem 1 of the
+//! paper's appendix).
+
+use langeq_bdd::{Bdd, BddManager, VarId};
+
+use crate::Automaton;
+
+/// Parameters for [`generate`].
+#[derive(Debug, Clone, Copy)]
+pub struct RandomAutomaton {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of states (≥ 1).
+    pub num_states: usize,
+    /// Number of alphabet variables (≥ 1, ≤ 8).
+    pub num_vars: usize,
+    /// Expected transitions per state.
+    pub density: usize,
+    /// Probability (percent) of a state being accepting.
+    pub accepting_pct: u32,
+}
+
+impl Default for RandomAutomaton {
+    fn default() -> Self {
+        RandomAutomaton {
+            seed: 1,
+            num_states: 4,
+            num_vars: 2,
+            density: 3,
+            accepting_pct: 70,
+        }
+    }
+}
+
+/// A tiny deterministic xorshift generator so the crate does not need a
+/// `rand` dependency in non-dev builds.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        self.0 = x;
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Generates a random automaton over fresh variables of `mgr`.
+///
+/// Labels are random cubes (each variable constrained with probability 2/3),
+/// so nondeterminism and incompleteness both occur naturally. Generation is
+/// fully determined by the parameters.
+pub fn generate(mgr: &BddManager, params: RandomAutomaton) -> (Automaton, Vec<VarId>) {
+    assert!(params.num_states >= 1);
+    assert!((1..=8).contains(&params.num_vars));
+    let mut rng = XorShift(params.seed ^ 0xDEAD_BEEF_CAFE_F00D);
+    let vars: Vec<Bdd> = (0..params.num_vars).map(|_| mgr.new_var()).collect();
+    let var_ids: Vec<VarId> = vars.iter().map(|v| v.support()[0]).collect();
+    let mut aut = Automaton::new(mgr, &var_ids);
+    for _ in 0..params.num_states {
+        let accepting = rng.below(100) < params.accepting_pct as u64;
+        aut.add_state(accepting);
+    }
+    aut.set_initial(crate::StateId(0));
+    for s in 0..params.num_states {
+        for _ in 0..params.density {
+            let target = crate::StateId(rng.below(params.num_states as u64) as u32);
+            let mut label = mgr.one();
+            for v in &vars {
+                match rng.below(3) {
+                    0 => label = label.and(v),
+                    1 => label = label.and(&v.not()),
+                    _ => {}
+                }
+            }
+            aut.add_transition(crate::StateId(s as u32), label, target);
+        }
+    }
+    (aut, var_ids)
+}
+
+/// Generates a random word of `len` letters over the *first* `num_vars`
+/// variables of the manager (total assignments padded to the manager's
+/// variable count).
+pub fn random_word(seed: u64, len: usize, total_vars: usize) -> Vec<Vec<bool>> {
+    let mut rng = XorShift(seed ^ 0x0123_4567_89AB_CDEF);
+    (0..len)
+        .map(|_| (0..total_vars).map(|_| rng.below(2) == 1).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let m1 = BddManager::new();
+        let m2 = BddManager::new();
+        let p = RandomAutomaton::default();
+        let (a1, _) = generate(&m1, p);
+        let (a2, _) = generate(&m2, p);
+        assert_eq!(a1.num_states(), a2.num_states());
+        assert_eq!(a1.num_transitions(), a2.num_transitions());
+        for s in 0..a1.num_states() {
+            assert_eq!(
+                a1.is_accepting(crate::StateId(s as u32)),
+                a2.is_accepting(crate::StateId(s as u32))
+            );
+        }
+        for w in 0..20u64 {
+            let word = random_word(w, 4, 2);
+            assert_eq!(a1.accepts(&word), a2.accepts(&word));
+        }
+    }
+
+    #[test]
+    fn words_have_requested_shape() {
+        let w = random_word(7, 5, 3);
+        assert_eq!(w.len(), 5);
+        assert!(w.iter().all(|l| l.len() == 3));
+    }
+}

@@ -1,0 +1,330 @@
+//! Property-based laws for the automaton operations, checked against the
+//! explicit NFA word semantics ([`Automaton::accepts`]). Includes Theorem 1
+//! of the DATE'05 paper's appendix (determinization and completion commute).
+
+use langeq_automata::random::{generate, random_word, RandomAutomaton};
+use langeq_automata::Automaton;
+use langeq_bdd::BddManager;
+use proptest::prelude::*;
+
+fn arb_params() -> impl Strategy<Value = RandomAutomaton> {
+    (
+        any::<u64>(),
+        1usize..6,
+        1usize..4,
+        0usize..5,
+        0u32..=100,
+    )
+        .prop_map(|(seed, num_states, num_vars, density, accepting_pct)| RandomAutomaton {
+            seed,
+            num_states,
+            num_vars,
+            density,
+            accepting_pct,
+        })
+}
+
+/// Sample words of lengths 0..=4 (deterministically derived from `seed`).
+fn sample_words(seed: u64, num_vars: usize) -> Vec<Vec<Vec<bool>>> {
+    let mut words = vec![vec![]];
+    for len in 1..=4 {
+        for k in 0..6 {
+            words.push(random_word(
+                seed.wrapping_mul(31).wrapping_add(len as u64 * 101 + k),
+                len,
+                num_vars,
+            ));
+        }
+    }
+    words
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn determinize_preserves_language(p in arb_params(), wseed in any::<u64>()) {
+        let mgr = BddManager::new();
+        let (aut, vars) = generate(&mgr, p);
+        let det = aut.determinize();
+        prop_assert!(det.is_deterministic());
+        for w in sample_words(wseed, vars.len()) {
+            prop_assert_eq!(aut.accepts(&w), det.accepts(&w), "word {:?}", w);
+        }
+    }
+
+    #[test]
+    fn complement_is_negation(p in arb_params(), wseed in any::<u64>()) {
+        let mgr = BddManager::new();
+        let (aut, vars) = generate(&mgr, p);
+        let comp = aut.complement();
+        prop_assert!(comp.is_deterministic());
+        prop_assert!(comp.is_complete());
+        for w in sample_words(wseed, vars.len()) {
+            prop_assert_eq!(aut.accepts(&w), !comp.accepts(&w), "word {:?}", w);
+        }
+    }
+
+    #[test]
+    fn double_complement_is_identity(p in arb_params()) {
+        let mgr = BddManager::new();
+        let (aut, _) = generate(&mgr, p);
+        let cc = aut.complement().complement();
+        prop_assert!(aut.equivalent(&cc));
+    }
+
+    #[test]
+    fn product_is_intersection(p1 in arb_params(), p2 in arb_params(), wseed in any::<u64>()) {
+        let mgr = BddManager::new();
+        // Share the variable block: generate the second automaton over the
+        // same variables by reusing the alphabet.
+        let (a, vars) = generate(&mgr, p1);
+        let (b_raw, vars2) = generate(&mgr, p2);
+        // Move b's labels onto a's variables (pad/truncate pairing).
+        let map: Vec<_> = vars2
+            .iter()
+            .zip(vars.iter().cycle())
+            .map(|(&from, &to)| (from, to))
+            .collect();
+        let b = b_raw.rename_alphabet(&map);
+        let prod = a.product(&b);
+        let total = vars.len() + vars2.len();
+        for w in sample_words(wseed, total) {
+            prop_assert_eq!(
+                prod.accepts(&w),
+                a.accepts(&w) && b.accepts(&w),
+                "word {:?}", w
+            );
+        }
+    }
+
+    #[test]
+    fn hide_is_projection(p in arb_params(), wseed in any::<u64>()) {
+        let mgr = BddManager::new();
+        let (aut, vars) = generate(&mgr, p);
+        if vars.len() < 2 {
+            return Ok(());
+        }
+        let hidden_var = vars[0];
+        let hidden = aut.hide(&[hidden_var]);
+        // Oracle: w ∈ L(hide(A)) iff some per-letter extension of the hidden
+        // variable yields a word of L(A).
+        for w in sample_words(wseed, vars.len()) {
+            if w.len() > 3 {
+                continue; // keep the 2^len enumeration small
+            }
+            let mut any = false;
+            for mask in 0..(1u32 << w.len()) {
+                let mut ext = w.clone();
+                for (k, letter) in ext.iter_mut().enumerate() {
+                    letter[hidden_var.index()] = mask >> k & 1 == 1;
+                }
+                if aut.accepts(&ext) {
+                    any = true;
+                    break;
+                }
+            }
+            prop_assert_eq!(hidden.accepts(&w), any, "word {:?}", w);
+        }
+    }
+
+    #[test]
+    fn expand_does_not_change_acceptance(p in arb_params(), wseed in any::<u64>()) {
+        let mgr = BddManager::new();
+        let (aut, vars) = generate(&mgr, p);
+        let extra = mgr.new_var();
+        let big = aut.expand(&extra.support());
+        for w in sample_words(wseed, vars.len() + 1) {
+            prop_assert_eq!(aut.accepts(&w), big.accepts(&w));
+        }
+    }
+
+    #[test]
+    fn prefix_close_of_deterministic_is_largest_prefix_closed(
+        p in arb_params(), wseed in any::<u64>()
+    ) {
+        let mgr = BddManager::new();
+        let (raw, vars) = generate(&mgr, p);
+        let aut = raw.determinize();
+        let pc = aut.prefix_close();
+        for w in sample_words(wseed, vars.len()) {
+            let all_prefixes = (0..=w.len()).all(|k| aut.accepts(&w[..k]));
+            prop_assert_eq!(pc.accepts(&w), all_prefixes, "word {:?}", w);
+        }
+    }
+
+    #[test]
+    fn progressive_result_is_input_progressive(p in arb_params()) {
+        let mgr = BddManager::new();
+        let (aut, vars) = generate(&mgr, p);
+        if vars.len() < 2 {
+            return Ok(());
+        }
+        let inputs = &vars[..1];
+        let rest: Vec<_> = vars[1..].to_vec();
+        let prog = aut.progressive(inputs);
+        // Every reachable state covers every input letter.
+        for s in prog.reachable_states() {
+            let cover = prog.defined_labels(s).exists(&rest);
+            prop_assert!(cover.is_one(), "state {s} not input-progressive");
+        }
+        // And the result is a sub-language.
+        prop_assert!(prog.is_contained_in(&aut));
+    }
+
+    #[test]
+    fn containment_is_sound_on_samples(
+        p1 in arb_params(), p2 in arb_params(), wseed in any::<u64>()
+    ) {
+        let mgr = BddManager::new();
+        let (a, vars) = generate(&mgr, p1);
+        let (b_raw, vars2) = generate(&mgr, p2);
+        let map: Vec<_> = vars2
+            .iter()
+            .zip(vars.iter().cycle())
+            .map(|(&from, &to)| (from, to))
+            .collect();
+        let b = b_raw.rename_alphabet(&map);
+        if a.is_contained_in(&b) {
+            for w in sample_words(wseed, vars.len() + vars2.len()) {
+                prop_assert!(!a.accepts(&w) || b.accepts(&w), "word {:?}", w);
+            }
+        }
+        prop_assert!(a.is_contained_in(&a));
+    }
+
+    #[test]
+    fn minimize_preserves_language(p in arb_params()) {
+        let mgr = BddManager::new();
+        let (aut, _) = generate(&mgr, p);
+        let min = aut.minimize();
+        prop_assert!(min.num_states() <= aut.reachable_states().len());
+        prop_assert!(min.equivalent(&aut));
+    }
+
+    /// Theorem 1 (paper appendix): Complete(Determinize(A)) and
+    /// Determinize(Complete(A)) accept the same language.
+    #[test]
+    fn theorem1_determinize_complete_commute(p in arb_params(), wseed in any::<u64>()) {
+        let mgr = BddManager::new();
+        let (aut, vars) = generate(&mgr, p);
+        let (path1, _) = aut.determinize().complete(false);
+        let path2 = {
+            let (c, _) = aut.complete(false);
+            c.determinize()
+        };
+        prop_assert!(path1.equivalent(&path2));
+        for w in sample_words(wseed, vars.len()) {
+            prop_assert_eq!(path1.accepts(&w), path2.accepts(&w), "word {:?}", w);
+        }
+    }
+
+    /// The companion observations of the appendix: completion commutes with
+    /// complementation (on the accepting-trap side) and with product.
+    #[test]
+    fn completion_commutes_with_product(p1 in arb_params(), p2 in arb_params()) {
+        let mgr = BddManager::new();
+        let (a, vars) = generate(&mgr, p1);
+        let (b_raw, vars2) = generate(&mgr, p2);
+        let map: Vec<_> = vars2
+            .iter()
+            .zip(vars.iter().cycle())
+            .map(|(&from, &to)| (from, to))
+            .collect();
+        let b = b_raw.rename_alphabet(&map);
+        // Complete(A) x Complete(B) equals Complete(A x B) *restricted to
+        // accepting behaviour*: the accepted languages coincide because a
+        // product state accepts iff both components do, and DC states never
+        // accept.
+        let (ca, _) = a.complete(false);
+        let (cb, _) = b.complete(false);
+        let lhs = ca.product(&cb);
+        let (rhs, _) = a.product(&b).complete(false);
+        prop_assert!(lhs.equivalent(&rhs));
+    }
+
+    /// The appendix's remaining observation: pre-completing an automaton
+    /// does not change its complement's language (complementation already
+    /// completes internally, so completion is absorbed).
+    #[test]
+    fn completion_commutes_with_complementation(p in arb_params(), wseed in any::<u64>()) {
+        let mgr = BddManager::new();
+        let (aut, vars) = generate(&mgr, p);
+        let lhs = {
+            let (c, _) = aut.complete(false);
+            c.complement()
+        };
+        let rhs = aut.complement();
+        prop_assert!(lhs.equivalent(&rhs));
+        for w in sample_words(wseed, vars.len()) {
+            prop_assert_eq!(lhs.accepts(&w), rhs.accepts(&w), "word {:?}", w);
+        }
+    }
+
+    /// Completion itself never changes the language: the added trap state
+    /// is non-accepting.
+    #[test]
+    fn completion_preserves_language(p in arb_params(), wseed in any::<u64>()) {
+        let mgr = BddManager::new();
+        let (aut, vars) = generate(&mgr, p);
+        let (done, _) = aut.complete(false);
+        prop_assert!(done.is_complete());
+        for w in sample_words(wseed, vars.len()) {
+            prop_assert_eq!(aut.accepts(&w), done.accepts(&w), "word {:?}", w);
+        }
+    }
+
+    /// Trimming (dropping unreachable states) preserves the language.
+    #[test]
+    fn trim_preserves_language(p in arb_params(), wseed in any::<u64>()) {
+        let mgr = BddManager::new();
+        let (aut, vars) = generate(&mgr, p);
+        let trimmed = aut.trim();
+        prop_assert!(trimmed.num_states() <= aut.num_states());
+        for w in sample_words(wseed, vars.len()) {
+            prop_assert_eq!(aut.accepts(&w), trimmed.accepts(&w), "word {:?}", w);
+        }
+    }
+
+    /// `progressive` is a closure operator downward: it is idempotent and
+    /// its result's language is contained in the original's.
+    #[test]
+    fn progressive_is_idempotent_and_shrinking(p in arb_params(), wseed in any::<u64>()) {
+        let mgr = BddManager::new();
+        let (aut, vars) = generate(&mgr, p);
+        let inputs = &vars[..vars.len().div_ceil(2)];
+        let once = aut.progressive(inputs);
+        let twice = once.progressive(inputs);
+        prop_assert!(once.equivalent(&twice));
+        for w in sample_words(wseed, vars.len()) {
+            if once.accepts(&w) {
+                prop_assert!(aut.accepts(&w), "progressive invented word {:?}", w);
+            }
+        }
+    }
+}
+
+/// Deterministic regression: the subset construction on a classic NFA
+/// (accepts words whose 2nd-to-last letter has a=1) gives the known 4-state
+/// DFA.
+#[test]
+fn subset_construction_classic_example() {
+    let mgr = BddManager::new();
+    let a = mgr.new_var();
+    let vars = a.support();
+    let mut nfa = Automaton::new(&mgr, &vars);
+    let s0 = nfa.add_state(false);
+    let s1 = nfa.add_state(false);
+    let s2 = nfa.add_state(true);
+    nfa.set_initial(s0);
+    nfa.add_transition(s0, mgr.one(), s0);
+    nfa.add_transition(s0, a.clone(), s1);
+    nfa.add_transition(s1, mgr.one(), s2);
+    let det = nfa.determinize();
+    assert!(det.is_deterministic());
+    assert_eq!(det.num_states(), 4);
+    assert!(det.accepts(&[vec![true], vec![false]]));
+    assert!(det.accepts(&[vec![false], vec![true], vec![true]]));
+    assert!(!det.accepts(&[vec![true]]));
+    assert!(!det.accepts(&[vec![false], vec![true], vec![false], vec![false]]));
+}

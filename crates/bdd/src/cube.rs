@@ -1,0 +1,235 @@
+//! Sparse cubes (partial assignments) and cube enumeration.
+
+use crate::inner::{Ref, ONE, ZERO};
+use crate::manager::Bdd;
+use crate::VarId;
+
+/// A single literal: a variable together with its phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Literal {
+    /// The variable.
+    pub var: VarId,
+    /// `true` for the positive literal, `false` for the negated one.
+    pub positive: bool,
+}
+
+impl std::fmt::Display for Literal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.positive {
+            write!(f, "{}", self.var)
+        } else {
+            write!(f, "!{}", self.var)
+        }
+    }
+}
+
+/// A sparse cube: a conjunction of literals over distinct variables.
+///
+/// Variables absent from the cube are unconstrained ("don't care"). Cubes are
+/// produced by [`Bdd::iter_cubes`](crate::Bdd::iter_cubes) and
+/// [`Bdd::pick_cube`](crate::Bdd::pick_cube).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Cube {
+    lits: Vec<Literal>,
+}
+
+impl Cube {
+    /// Creates a cube from literals; sorts them by variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if two literals constrain the same variable.
+    pub fn new(mut lits: Vec<Literal>) -> Self {
+        lits.sort_unstable();
+        debug_assert!(lits.windows(2).all(|w| w[0].var != w[1].var));
+        Cube { lits }
+    }
+
+    /// The literals, sorted by variable.
+    pub fn literals(&self) -> &[Literal] {
+        &self.lits
+    }
+
+    /// Number of literals.
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// True if no variable is constrained (the universal cube).
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// Phase of `var` in this cube, if constrained.
+    pub fn phase(&self, var: VarId) -> Option<bool> {
+        self.lits
+            .binary_search_by_key(&var, |l| l.var)
+            .ok()
+            .map(|i| self.lits[i].positive)
+    }
+
+    /// Renders the cube as a positional string over `vars` using `1`, `0`
+    /// and `-` (don't care) — the classic espresso/BLIF notation.
+    pub fn to_positional(&self, vars: &[VarId]) -> String {
+        vars.iter()
+            .map(|v| match self.phase(*v) {
+                Some(true) => '1',
+                Some(false) => '0',
+                None => '-',
+            })
+            .collect()
+    }
+}
+
+impl FromIterator<Literal> for Cube {
+    fn from_iter<T: IntoIterator<Item = Literal>>(iter: T) -> Self {
+        Cube::new(iter.into_iter().collect())
+    }
+}
+
+impl std::fmt::Display for Cube {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.lits.is_empty() {
+            return write!(f, "true");
+        }
+        let parts: Vec<String> = self.lits.iter().map(|l| l.to_string()).collect();
+        write!(f, "{}", parts.join(" & "))
+    }
+}
+
+/// Iterator over the satisfying sparse cubes of a [`Bdd`], in depth-first
+/// (then-branch first) order.
+///
+/// Each yielded [`Cube`] constrains exactly the variables on one root-to-ONE
+/// path; the cubes are pairwise disjoint and their union is the function.
+pub struct CubeIter {
+    bdd: Bdd,
+    /// Work list of `(edge, path length to restore, literal to append)`.
+    stack: Vec<(Ref, usize, Option<Literal>)>,
+    path: Vec<Literal>,
+}
+
+impl CubeIter {
+    pub(crate) fn new(bdd: Bdd) -> Self {
+        let root = bdd.raw;
+        let mut stack = Vec::new();
+        if root != ZERO {
+            stack.push((root, 0, None));
+        }
+        CubeIter {
+            bdd,
+            stack,
+            path: Vec::new(),
+        }
+    }
+}
+
+impl Iterator for CubeIter {
+    type Item = Cube;
+
+    fn next(&mut self) -> Option<Cube> {
+        let mgr = self.bdd.manager();
+        while let Some((r, plen, lit)) = self.stack.pop() {
+            self.path.truncate(plen);
+            if let Some(l) = lit {
+                self.path.push(l);
+            }
+            if r == ONE {
+                return Some(Cube::new(self.path.clone()));
+            }
+            if r == ZERO {
+                continue;
+            }
+            let (var, hi, lo) = mgr
+                .raw_expand(&mgr.wrap_raw(r))
+                .expect("non-terminal edge expands");
+            let depth = self.path.len();
+            // Push `lo` first so the `hi` branch is explored first.
+            if lo != ZERO {
+                self.stack.push((
+                    lo,
+                    depth,
+                    Some(Literal {
+                        var: VarId(var),
+                        positive: false,
+                    }),
+                ));
+            }
+            if hi != ZERO {
+                self.stack.push((
+                    hi,
+                    depth,
+                    Some(Literal {
+                        var: VarId(var),
+                        positive: true,
+                    }),
+                ));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BddManager;
+
+    #[test]
+    fn cube_display_and_positional() {
+        let c = Cube::new(vec![
+            Literal {
+                var: VarId(2),
+                positive: false,
+            },
+            Literal {
+                var: VarId(0),
+                positive: true,
+            },
+        ]);
+        assert_eq!(c.to_string(), "v0 & !v2");
+        assert_eq!(c.to_positional(&[VarId(0), VarId(1), VarId(2)]), "1-0");
+        assert_eq!(c.phase(VarId(0)), Some(true));
+        assert_eq!(c.phase(VarId(1)), None);
+    }
+
+    #[test]
+    fn iter_cubes_partitions_function() {
+        let mgr = BddManager::new();
+        let vs = mgr.new_vars(4);
+        let f = vs[0].xor(&vs[1]).or(&vs[2].and(&vs[3]));
+        let cubes: Vec<Cube> = f.iter_cubes().collect();
+        assert!(!cubes.is_empty());
+        // Reassemble: OR of all cubes equals f; cubes pairwise disjoint.
+        let mut acc = mgr.zero();
+        for c in &cubes {
+            let lits: Vec<(VarId, bool)> = c.literals().iter().map(|l| (l.var, l.positive)).collect();
+            let cb = mgr.cube(&lits);
+            assert!(cb.and(&acc).is_zero(), "cubes must be disjoint");
+            acc = acc.or(&cb);
+        }
+        assert_eq!(acc, f);
+    }
+
+    #[test]
+    fn iter_cubes_of_constants() {
+        let mgr = BddManager::new();
+        let _ = mgr.new_vars(2);
+        assert_eq!(mgr.zero().iter_cubes().count(), 0);
+        let ones: Vec<Cube> = mgr.one().iter_cubes().collect();
+        assert_eq!(ones.len(), 1);
+        assert!(ones[0].is_empty());
+    }
+
+    #[test]
+    fn iter_cubes_through_complement_edges() {
+        let mgr = BddManager::new();
+        let vs = mgr.new_vars(3);
+        let f = vs[0].and(&vs[1]).not().and(&vs[2]);
+        let total: f64 = f
+            .iter_cubes()
+            .map(|c| (3.0f64 - c.len() as f64).exp2())
+            .sum();
+        assert_eq!(total, f.sat_count(3));
+    }
+}

@@ -1,0 +1,197 @@
+//! Cofactor-class decomposition: partitioning a function's top-variable
+//! space by its distinct cofactors.
+//!
+//! This is the engine behind the explicit successor enumeration in the
+//! subset construction of `langeq-core`: given `P(u, v, ns)` with the
+//! `(u, v)` variables ordered *above* the `ns` variables, the decomposition
+//! returns, for each distinct residual function `ξ'(ns)`, the BDD over
+//! `(u, v)` describing exactly the letters that lead to it.
+
+use std::collections::HashMap;
+
+use crate::inner::{Ref, ONE, ZERO};
+use crate::manager::{Bdd, BddManager};
+use crate::VarId;
+
+impl BddManager {
+    /// Splits `f` into classes by its cofactors over `split` variables.
+    ///
+    /// Returns pairs `(guard, residual)` such that
+    ///
+    /// * each `guard` is a function of `split` variables only,
+    /// * each `residual` is a function of the remaining variables only,
+    /// * the guards are pairwise disjoint and cover exactly `∃rest . f`,
+    /// * `f = ⋁ guardᵢ ∧ residualᵢ`,
+    /// * residuals are distinct and never the zero function.
+    ///
+    /// The decomposition is linear in the number of nodes of `f` (memoised
+    /// over subgraphs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable of `f`'s support that is *not* in `split`
+    /// appears above one that is — the split variables must form a prefix of
+    /// the variable order restricted to `f`'s support. (The solver crates
+    /// guarantee this by construction of their variable universes.)
+    pub fn cofactor_classes(&self, f: &Bdd, split: &[VarId]) -> Vec<(Bdd, Bdd)> {
+        // Verify the prefix property.
+        let support = self.support(f);
+        let max_split = support
+            .iter()
+            .filter(|v| split.contains(v))
+            .map(|v| v.0)
+            .max();
+        let min_rest = support
+            .iter()
+            .filter(|v| !split.contains(v))
+            .map(|v| v.0)
+            .min();
+        if let (Some(ms), Some(mr)) = (max_split, min_rest) {
+            assert!(
+                ms < mr,
+                "split variables must be ordered above residual variables"
+            );
+        }
+        let split_set: std::collections::HashSet<u32> = split.iter().map(|v| v.0).collect();
+
+        // memo: regular node ref -> vec of (guard_raw, residual_raw).
+        let mut memo: HashMap<Ref, Vec<(Ref, Ref)>> = HashMap::new();
+        let classes = {
+            self.with_inner_pub(|inner| {
+                fn walk(
+                    inner: &mut crate::inner::Inner,
+                    f: Ref,
+                    split: &std::collections::HashSet<u32>,
+                    memo: &mut HashMap<Ref, Vec<(Ref, Ref)>>,
+                ) -> Vec<(Ref, Ref)> {
+                    if f == ZERO {
+                        return Vec::new();
+                    }
+                    let top_in_split = f != ONE && {
+                        let lvl = inner.level(f);
+                        split.contains(&lvl)
+                    };
+                    if !top_in_split {
+                        // Whole remaining function is one residual class.
+                        return vec![(ONE, f)];
+                    }
+                    if let Some(cached) = memo.get(&f) {
+                        return cached.clone();
+                    }
+                    let (var, hi, lo) = inner.expand(f).expect("non-terminal");
+                    let var_ref = inner.var_ref(var);
+                    let hi_classes = walk(inner, hi, split, memo);
+                    let lo_classes = walk(inner, lo, split, memo);
+                    // Merge: guard' = var ? guard_hi : guard_lo, grouped by
+                    // residual.
+                    let mut grouped: Vec<(Ref, Ref)> = Vec::new();
+                    for (polarity, classes) in [(var_ref, hi_classes), (var_ref ^ 1, lo_classes)] {
+                        for (g, r) in classes {
+                            let guard = inner.and(polarity, g);
+                            if guard == ZERO {
+                                continue;
+                            }
+                            match grouped.iter_mut().find(|(_, res)| *res == r) {
+                                Some((acc, _)) => *acc = inner.or(*acc, guard),
+                                None => grouped.push((guard, r)),
+                            }
+                        }
+                    }
+                    memo.insert(f, grouped.clone());
+                    grouped
+                }
+                walk(inner, self.raw_of(f), &split_set, &mut memo)
+            })
+        };
+        classes
+            .into_iter()
+            .map(|(g, r)| (self.wrap_raw(g), self.wrap_raw(r)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_partition_function() {
+        let mgr = BddManager::new();
+        let u = mgr.new_var();
+        let v = mgr.new_var();
+        let x = mgr.new_var();
+        let y = mgr.new_var();
+        // f = (u -> x&y) & (!u -> (v ? x : y))
+        let f = mgr.ite(&u, &x.and(&y), &v.ite(&x, &y));
+        let split = [u.support()[0], v.support()[0]];
+        let classes = mgr.cofactor_classes(&f, &split);
+        // Expected residuals: x&y (u=1), x (u=0,v=1), y (u=0,v=0).
+        assert_eq!(classes.len(), 3);
+        let mut cover = mgr.zero();
+        let mut rebuilt = mgr.zero();
+        for (g, r) in &classes {
+            // Guards over split vars only; residuals over the rest.
+            assert!(g.support().iter().all(|s| split.contains(s)));
+            assert!(r.support().iter().all(|s| !split.contains(s)));
+            assert!(!r.is_zero());
+            assert!(g.and(&cover).is_zero(), "guards disjoint");
+            cover = cover.or(g);
+            rebuilt = rebuilt.or(&g.and(r));
+        }
+        assert_eq!(rebuilt, f);
+        assert!(cover.is_one());
+    }
+
+    #[test]
+    fn zero_function_has_no_classes() {
+        let mgr = BddManager::new();
+        let _ = mgr.new_vars(2);
+        assert!(mgr.cofactor_classes(&mgr.zero(), &[VarId(0)]).is_empty());
+    }
+
+    #[test]
+    fn constant_residual() {
+        let mgr = BddManager::new();
+        let u = mgr.new_var();
+        // f = u: one class with residual ONE under guard u.
+        let classes = mgr.cofactor_classes(&u, &u.support());
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].0, u);
+        assert!(classes[0].1.is_one());
+    }
+
+    #[test]
+    fn no_split_vars_in_support() {
+        let mgr = BddManager::new();
+        let u = mgr.new_var();
+        let x = mgr.new_var();
+        let f = x.clone();
+        let classes = mgr.cofactor_classes(&f, &u.support());
+        assert_eq!(classes.len(), 1);
+        assert!(classes[0].0.is_one());
+        assert_eq!(classes[0].1, f);
+    }
+
+    #[test]
+    #[should_panic(expected = "split variables must be ordered above")]
+    fn wrong_order_panics() {
+        let mgr = BddManager::new();
+        let x = mgr.new_var(); // below
+        let u = mgr.new_var(); // above — but we split on u
+        let f = x.and(&u);
+        let _ = mgr.cofactor_classes(&f, &u.support());
+    }
+
+    #[test]
+    fn guards_cover_exactly_domain() {
+        let mgr = BddManager::new();
+        let u = mgr.new_var();
+        let x = mgr.new_var();
+        // f defined only on u=1.
+        let f = u.and(&x);
+        let classes = mgr.cofactor_classes(&f, &u.support());
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].0, u);
+        assert_eq!(classes[0].1, x);
+    }
+}

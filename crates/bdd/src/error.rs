@@ -1,0 +1,32 @@
+//! Error/abort types for the BDD engine.
+
+/// Panic payload raised when the manager exceeds its configured live-node
+/// limit (see [`crate::BddManager::set_node_limit`]).
+///
+/// The limit exists so that callers can bound runaway monolithic
+/// computations — exactly the "CNC" (could not complete) outcomes reported in
+/// Table 1 of the DATE'05 paper. Because a single BDD operation can blow past
+/// any limit internally, the abort is delivered as a panic with this payload
+/// (CUDD uses `longjmp` for the same purpose); harnesses catch it with
+/// [`std::panic::catch_unwind`] and report CNC. The manager remains in a
+/// consistent, usable state afterwards: partially created nodes are
+/// unreferenced and are reclaimed by the next garbage collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeLimitExceeded {
+    /// The configured limit that was exceeded.
+    pub limit: usize,
+    /// The number of live nodes at the moment the limit check fired.
+    pub live: usize,
+}
+
+impl std::fmt::Display for NodeLimitExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "BDD live-node limit exceeded: {} live nodes > limit {}",
+            self.live, self.limit
+        )
+    }
+}
+
+impl std::error::Error for NodeLimitExceeded {}

@@ -1,0 +1,1089 @@
+//! The BDD engine proper: node store, unique table, computed cache, and the
+//! recursive algorithms, all operating on raw `Ref`s (`u32` with a complement
+//! bit). The safe, reference-counted surface lives in [`crate::manager`].
+
+use std::collections::HashMap;
+
+use crate::error::NodeLimitExceeded;
+
+/// A raw edge: node index shifted left by one, with bit 0 as the complement
+/// flag. Not exposed outside the crate.
+pub(crate) type Ref = u32;
+
+/// The constant TRUE function (terminal node, regular edge).
+pub(crate) const ONE: Ref = 0;
+/// The constant FALSE function (terminal node, complemented edge).
+pub(crate) const ZERO: Ref = 1;
+
+const NIL: u32 = u32::MAX;
+/// Pseudo-level of the terminal node; sorts after every real variable.
+const VAR_TERMINAL: u32 = u32::MAX;
+/// Marker for a slot on the free list.
+const VAR_FREE: u32 = u32::MAX - 1;
+
+const OP_ITE: u32 = 1;
+const OP_EXISTS: u32 = 2;
+const OP_ANDEX: u32 = 3;
+const OP_CONSTRAIN: u32 = 4;
+const OP_RESTRICT: u32 = 5;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    /// Variable index == level (static variable order).
+    var: u32,
+    /// Then-child; always a regular (uncomplemented) edge.
+    hi: Ref,
+    /// Else-child; may carry a complement bit.
+    lo: Ref,
+    /// Next node in the unique-table bucket chain.
+    next: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CacheEntry {
+    op: u32,
+    f: Ref,
+    g: Ref,
+    h: Ref,
+    res: Ref,
+}
+
+const EMPTY_ENTRY: CacheEntry = CacheEntry {
+    op: 0,
+    f: NIL,
+    g: NIL,
+    h: NIL,
+    res: NIL,
+};
+
+/// Counters exposed through [`crate::BddStats`].
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct Counters {
+    pub gc_runs: u64,
+    pub cache_lookups: u64,
+    pub cache_hits: u64,
+    pub peak_live: usize,
+    pub allocated: u64,
+}
+
+pub(crate) struct Inner {
+    nodes: Vec<Node>,
+    /// External reference counts (from `Bdd` handles and pinned variables),
+    /// parallel to `nodes`.
+    ext: Vec<u32>,
+    free: Vec<u32>,
+    buckets: Vec<u32>,
+    cache: Vec<CacheEntry>,
+    nvars: u32,
+    /// Regular refs of the projection functions, pinned for the manager's
+    /// lifetime.
+    var_refs: Vec<Ref>,
+    live: usize,
+    gc_threshold: usize,
+    node_limit: Option<usize>,
+    pub(crate) counters: Counters,
+}
+
+#[inline]
+fn mix3(a: u32, b: u32, c: u32) -> usize {
+    let mut h = (a as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= (b as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    h ^= (c as u64).wrapping_mul(0x1656_67B1_9E37_79F9);
+    h ^= h >> 29;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 32;
+    h as usize
+}
+
+impl Inner {
+    pub(crate) fn new() -> Self {
+        let mut inner = Inner {
+            nodes: Vec::with_capacity(1 << 12),
+            ext: Vec::with_capacity(1 << 12),
+            free: Vec::new(),
+            buckets: vec![NIL; 1 << 12],
+            cache: vec![EMPTY_ENTRY; 1 << 14],
+            nvars: 0,
+            var_refs: Vec::new(),
+            live: 1,
+            gc_threshold: 1 << 20,
+            node_limit: None,
+            counters: Counters::default(),
+        };
+        // Terminal node at index 0; never hashed, never freed.
+        inner.nodes.push(Node {
+            var: VAR_TERMINAL,
+            hi: ONE,
+            lo: ONE,
+            next: NIL,
+        });
+        inner.ext.push(1); // permanently pinned
+        inner.counters.peak_live = 1;
+        inner
+    }
+
+    // ----- basic accessors -------------------------------------------------
+
+    #[inline]
+    pub(crate) fn level(&self, r: Ref) -> u32 {
+        self.nodes[(r >> 1) as usize].var
+    }
+
+    #[inline]
+    fn hi(&self, r: Ref) -> Ref {
+        self.nodes[(r >> 1) as usize].hi
+    }
+
+    /// Cofactors of `r` with respect to level `lvl` (which must be at or
+    /// above `r`'s top level). Returns `(hi, lo)` with complement parity
+    /// pushed down.
+    #[inline]
+    fn cof(&self, r: Ref, lvl: u32) -> (Ref, Ref) {
+        let n = &self.nodes[(r >> 1) as usize];
+        if n.var != lvl {
+            (r, r)
+        } else {
+            let c = r & 1;
+            (n.hi ^ c, n.lo ^ c)
+        }
+    }
+
+    /// Canonical operand order used to normalise commutative operations for
+    /// the computed cache: by level, then node index, then parity.
+    #[inline]
+    fn order_before(&self, a: Ref, b: Ref) -> bool {
+        let la = self.level(a);
+        let lb = self.level(b);
+        (la, a >> 1, a & 1) < (lb, b >> 1, b & 1)
+    }
+
+    pub(crate) fn nvars(&self) -> u32 {
+        self.nvars
+    }
+
+    pub(crate) fn live(&self) -> usize {
+        self.live
+    }
+
+    pub(crate) fn node_limit(&self) -> Option<usize> {
+        self.node_limit
+    }
+
+    pub(crate) fn set_node_limit(&mut self, limit: Option<usize>) {
+        self.node_limit = limit;
+    }
+
+    pub(crate) fn adjust_ext(&mut self, idx: u32, d: i32) {
+        let e = &mut self.ext[idx as usize];
+        if d >= 0 {
+            *e += d as u32;
+        } else {
+            let dec = (-d) as u32;
+            debug_assert!(*e >= dec, "external refcount underflow");
+            *e = e.saturating_sub(dec);
+        }
+    }
+
+    // ----- variables -------------------------------------------------------
+
+    pub(crate) fn new_var(&mut self) -> Ref {
+        let v = self.nvars;
+        self.nvars += 1;
+        let r = self.mk(v, ONE, ZERO);
+        debug_assert_eq!(r & 1, 0);
+        self.ext[(r >> 1) as usize] += 1; // pin forever
+        self.var_refs.push(r);
+        r
+    }
+
+    #[inline]
+    pub(crate) fn var_ref(&self, v: u32) -> Ref {
+        self.var_refs[v as usize]
+    }
+
+    // ----- unique table ----------------------------------------------------
+
+    /// Finds or creates the node `(var, hi, lo)`, enforcing both reduction
+    /// rules and the regular-then-edge canonical form.
+    pub(crate) fn mk(&mut self, var: u32, hi: Ref, lo: Ref) -> Ref {
+        if hi == lo {
+            return hi;
+        }
+        let (hi, lo, flip) = if hi & 1 == 1 {
+            (hi ^ 1, lo ^ 1, 1)
+        } else {
+            (hi, lo, 0)
+        };
+        debug_assert!(self.level(hi) > var && self.level(lo) > var);
+        let mask = self.buckets.len() - 1;
+        let slot = mix3(var, hi, lo) & mask;
+        let mut p = self.buckets[slot];
+        while p != NIL {
+            let n = &self.nodes[p as usize];
+            if n.var == var && n.hi == hi && n.lo == lo {
+                return (p << 1) | flip;
+            }
+            p = n.next;
+        }
+        // Allocate.
+        if let Some(limit) = self.node_limit {
+            if self.live + 1 > limit {
+                std::panic::panic_any(NodeLimitExceeded {
+                    limit,
+                    live: self.live,
+                });
+            }
+        }
+        let idx = if let Some(i) = self.free.pop() {
+            self.nodes[i as usize] = Node {
+                var,
+                hi,
+                lo,
+                next: self.buckets[slot],
+            };
+            self.ext[i as usize] = 0;
+            i
+        } else {
+            let i = self.nodes.len() as u32;
+            self.nodes.push(Node {
+                var,
+                hi,
+                lo,
+                next: self.buckets[slot],
+            });
+            self.ext.push(0);
+            i
+        };
+        self.buckets[slot] = idx;
+        self.live += 1;
+        self.counters.allocated += 1;
+        if self.live > self.counters.peak_live {
+            self.counters.peak_live = self.live;
+        }
+        if self.live * 4 > self.buckets.len() * 3 {
+            self.grow_buckets();
+        }
+        (idx << 1) | flip
+    }
+
+    fn grow_buckets(&mut self) {
+        let new_len = self.buckets.len() * 2;
+        let mask = new_len - 1;
+        let mut buckets = vec![NIL; new_len];
+        for (idx, n) in self.nodes.iter_mut().enumerate().skip(1) {
+            if n.var >= VAR_FREE {
+                continue;
+            }
+            let slot = mix3(n.var, n.hi, n.lo) & mask;
+            n.next = buckets[slot];
+            buckets[slot] = idx as u32;
+        }
+        self.buckets = buckets;
+    }
+
+    // ----- computed cache --------------------------------------------------
+
+    #[inline]
+    fn cache_get(&mut self, op: u32, f: Ref, g: Ref, h: Ref) -> Option<Ref> {
+        self.counters.cache_lookups += 1;
+        let slot = mix3(f, g, h.wrapping_add(op.wrapping_mul(0x517C_C1B7))) & (self.cache.len() - 1);
+        let e = &self.cache[slot];
+        if e.op == op && e.f == f && e.g == g && e.h == h {
+            self.counters.cache_hits += 1;
+            Some(e.res)
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn cache_put(&mut self, op: u32, f: Ref, g: Ref, h: Ref, res: Ref) {
+        let slot = mix3(f, g, h.wrapping_add(op.wrapping_mul(0x517C_C1B7))) & (self.cache.len() - 1);
+        self.cache[slot] = CacheEntry { op, f, g, h, res };
+    }
+
+    fn clear_cache(&mut self) {
+        self.cache.fill(EMPTY_ENTRY);
+    }
+
+    fn maybe_grow_cache(&mut self) {
+        const MAX_CACHE: usize = 1 << 22;
+        if self.live > self.cache.len() && self.cache.len() < MAX_CACHE {
+            let new_len = (self.cache.len() * 4).min(MAX_CACHE);
+            self.cache = vec![EMPTY_ENTRY; new_len];
+        }
+    }
+
+    // ----- garbage collection ---------------------------------------------
+
+    /// Runs GC if the live-node count crossed the adaptive threshold. Called
+    /// at the entry of every top-level operation (when all live functions are
+    /// externally referenced), never mid-recursion.
+    pub(crate) fn maybe_gc(&mut self) {
+        if self.live >= self.gc_threshold {
+            self.gc();
+        }
+    }
+
+    /// Mark-and-sweep collection from externally referenced roots.
+    #[allow(clippy::needless_range_loop)] // walks two parallel arrays by index
+    pub(crate) fn gc(&mut self) {
+        self.counters.gc_runs += 1;
+        let mut mark = vec![false; self.nodes.len()];
+        mark[0] = true;
+        let mut stack: Vec<u32> = Vec::new();
+        for (idx, &e) in self.ext.iter().enumerate() {
+            if e > 0 && !mark[idx] {
+                mark[idx] = true;
+                stack.push(idx as u32);
+            }
+        }
+        while let Some(i) = stack.pop() {
+            let n = self.nodes[i as usize];
+            if n.var >= VAR_FREE {
+                continue;
+            }
+            for ch in [n.hi >> 1, n.lo >> 1] {
+                if !mark[ch as usize] {
+                    mark[ch as usize] = true;
+                    stack.push(ch);
+                }
+            }
+        }
+        // Sweep: rebuild the unique table from marked nodes.
+        self.buckets.fill(NIL);
+        self.free.clear();
+        let mask = self.buckets.len() - 1;
+        let mut live = 1usize;
+        for idx in 1..self.nodes.len() {
+            if mark[idx] && self.nodes[idx].var < VAR_FREE {
+                let n = &mut self.nodes[idx];
+                let slot = mix3(n.var, n.hi, n.lo) & mask;
+                n.next = self.buckets[slot];
+                self.buckets[slot] = idx as u32;
+                live += 1;
+            } else {
+                self.nodes[idx].var = VAR_FREE;
+                self.free.push(idx as u32);
+            }
+        }
+        self.live = live;
+        self.clear_cache();
+        self.maybe_grow_cache();
+        self.gc_threshold = (live * 2).max(1 << 16);
+    }
+
+    // ----- core algorithms ---------------------------------------------------
+
+    /// If-then-else with standard normalisation (Brace–Rudell–Bryant) and
+    /// complement-edge canonicalisation.
+    #[allow(clippy::manual_swap)] // three-way literal rotations, not swaps
+    pub(crate) fn ite(&mut self, f: Ref, g: Ref, h: Ref) -> Ref {
+        if f == ONE {
+            return g;
+        }
+        if f == ZERO {
+            return h;
+        }
+        let (mut f, mut g, mut h) = (f, g, h);
+        if g == h {
+            return g;
+        }
+        if g == f {
+            g = ONE;
+        } else if g == (f ^ 1) {
+            g = ZERO;
+        }
+        if h == f {
+            h = ZERO;
+        } else if h == (f ^ 1) {
+            h = ONE;
+        }
+        if g == ONE && h == ZERO {
+            return f;
+        }
+        if g == ZERO && h == ONE {
+            return f ^ 1;
+        }
+        if g == h {
+            return g;
+        }
+        // Normalise commutative forms so equivalent calls share cache slots.
+        if g == ONE {
+            // f | h
+            if self.order_before(h, f) {
+                std::mem::swap(&mut f, &mut h);
+            }
+        } else if h == ZERO {
+            // f & g
+            if self.order_before(g, f) {
+                std::mem::swap(&mut f, &mut g);
+            }
+        } else if g == ZERO {
+            // !f & h == ite(!h, 0, !f)
+            if self.order_before(h, f) {
+                let nf = f ^ 1;
+                f = h ^ 1;
+                h = nf;
+            }
+        } else if h == ONE {
+            // !f | g == ite(!g, !f, 1)
+            if self.order_before(g, f) {
+                let nf = f ^ 1;
+                f = g ^ 1;
+                g = nf;
+            }
+        } else if g == (h ^ 1) {
+            // f XNOR g == ite(g, f, !f)
+            if self.order_before(g, f) {
+                let t = f;
+                f = g;
+                g = t;
+                h = t ^ 1;
+            }
+        }
+        // First argument regular.
+        if f & 1 == 1 {
+            f ^= 1;
+            std::mem::swap(&mut g, &mut h);
+        }
+        // Then-branch regular; complement the result instead.
+        let flip = g & 1;
+        if flip == 1 {
+            g ^= 1;
+            h ^= 1;
+        }
+        if let Some(r) = self.cache_get(OP_ITE, f, g, h) {
+            return r ^ flip;
+        }
+        let top = self.level(f).min(self.level(g)).min(self.level(h));
+        let (f1, f0) = self.cof(f, top);
+        let (g1, g0) = self.cof(g, top);
+        let (h1, h0) = self.cof(h, top);
+        let r1 = self.ite(f1, g1, h1);
+        let r0 = self.ite(f0, g0, h0);
+        let r = self.mk(top, r1, r0);
+        self.cache_put(OP_ITE, f, g, h, r);
+        r ^ flip
+    }
+
+    #[inline]
+    pub(crate) fn and(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ite(f, g, ZERO)
+    }
+
+    #[inline]
+    pub(crate) fn or(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ite(f, ONE, g)
+    }
+
+    #[inline]
+    pub(crate) fn xor(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ite(f, g ^ 1, g)
+    }
+
+    /// Existential quantification of the positive-literal cube `cube`.
+    pub(crate) fn exists(&mut self, f: Ref, cube: Ref) -> Ref {
+        if f == ONE || f == ZERO || cube == ONE {
+            return f;
+        }
+        debug_assert_eq!(cube & 1, 0, "quantification cube must be a positive cube");
+        let top = self.level(f);
+        // Skip quantified variables above f's support.
+        let mut c = cube;
+        while self.level(c) < top {
+            c = self.hi(c);
+        }
+        if c == ONE {
+            return f;
+        }
+        if let Some(r) = self.cache_get(OP_EXISTS, f, c, 0) {
+            return r;
+        }
+        let (f1, f0) = self.cof(f, top);
+        let r = if self.level(c) == top {
+            let nc = self.hi(c);
+            let r1 = self.exists(f1, nc);
+            if r1 == ONE {
+                ONE
+            } else {
+                let r0 = self.exists(f0, nc);
+                self.or(r1, r0)
+            }
+        } else {
+            let r1 = self.exists(f1, c);
+            let r0 = self.exists(f0, c);
+            self.mk(top, r1, r0)
+        };
+        self.cache_put(OP_EXISTS, f, c, 0, r);
+        r
+    }
+
+    pub(crate) fn forall(&mut self, f: Ref, cube: Ref) -> Ref {
+        self.exists(f ^ 1, cube) ^ 1
+    }
+
+    /// The relational product `∃ cube . f ∧ g`, computed in one recursive
+    /// pass (the workhorse of image computation).
+    pub(crate) fn and_exists(&mut self, f: Ref, g: Ref, cube: Ref) -> Ref {
+        if f == ZERO || g == ZERO || f == (g ^ 1) {
+            return ZERO;
+        }
+        if f == ONE && g == ONE {
+            return ONE;
+        }
+        if f == ONE {
+            return self.exists(g, cube);
+        }
+        if g == ONE {
+            return self.exists(f, cube);
+        }
+        if f == g {
+            return self.exists(f, cube);
+        }
+        if cube == ONE {
+            return self.and(f, g);
+        }
+        let (f, g) = if (g >> 1, g & 1) < (f >> 1, f & 1) {
+            (g, f)
+        } else {
+            (f, g)
+        };
+        if let Some(r) = self.cache_get(OP_ANDEX, f, g, cube) {
+            return r;
+        }
+        let top = self.level(f).min(self.level(g));
+        let mut c = cube;
+        while self.level(c) < top {
+            c = self.hi(c);
+        }
+        let r = if c == ONE {
+            self.and(f, g)
+        } else {
+            let (f1, f0) = self.cof(f, top);
+            let (g1, g0) = self.cof(g, top);
+            if self.level(c) == top {
+                let nc = self.hi(c);
+                let r1 = self.and_exists(f1, g1, nc);
+                if r1 == ONE {
+                    ONE
+                } else {
+                    let r0 = self.and_exists(f0, g0, nc);
+                    self.or(r1, r0)
+                }
+            } else {
+                let r1 = self.and_exists(f1, g1, c);
+                let r0 = self.and_exists(f0, g0, c);
+                self.mk(top, r1, r0)
+            }
+        };
+        self.cache_put(OP_ANDEX, f, g, cube, r);
+        r
+    }
+
+    /// The Coudert–Madre generalized cofactor `f ⇓ c` ("constrain"): a
+    /// function that agrees with `f` on the care set `c` and maps every
+    /// minterm outside `c` to the value of `f` at the nearest minterm of `c`
+    /// (in variable-order distance). Key identity: `constrain(f,c) ∧ c =
+    /// f ∧ c`. May introduce variables of `c` that are not in `f`.
+    ///
+    /// For the degenerate care set `c = 0`, returns `f` unchanged (every
+    /// function agrees with `f` on the empty care set).
+    pub(crate) fn constrain(&mut self, f: Ref, c: Ref) -> Ref {
+        if c == ONE || c == ZERO || f == ONE || f == ZERO {
+            return f;
+        }
+        if f == c {
+            return ONE;
+        }
+        if f == (c ^ 1) {
+            return ZERO;
+        }
+        if let Some(r) = self.cache_get(OP_CONSTRAIN, f, c, 0) {
+            return r;
+        }
+        let top = self.level(f).min(self.level(c));
+        let (f1, f0) = self.cof(f, top);
+        let (c1, c0) = self.cof(c, top);
+        let r = if c1 == ZERO {
+            self.constrain(f0, c0)
+        } else if c0 == ZERO {
+            self.constrain(f1, c1)
+        } else {
+            let r1 = self.constrain(f1, c1);
+            let r0 = self.constrain(f0, c0);
+            self.mk(top, r1, r0)
+        };
+        self.cache_put(OP_CONSTRAIN, f, c, 0, r);
+        r
+    }
+
+    /// The "restrict" operator (sibling substitution): like
+    /// [`constrain`](Self::constrain) it agrees with `f` on the care set `c`
+    /// (`restrict(f,c) ∧ c = f ∧ c`), but it never introduces variables
+    /// outside `f`'s support — care-set variables above `f`'s top are
+    /// existentially quantified away first. Usually (not always) shrinks `f`.
+    pub(crate) fn restrict(&mut self, f: Ref, c: Ref) -> Ref {
+        if c == ONE || c == ZERO || f == ONE || f == ZERO {
+            return f;
+        }
+        if f == c {
+            return ONE;
+        }
+        if f == (c ^ 1) {
+            return ZERO;
+        }
+        // Quantify away care-set variables above f's support: they cannot
+        // appear in the result.
+        let top_f = self.level(f);
+        let mut c = c;
+        while self.level(c) < top_f {
+            let vref = self.var_ref(self.level(c));
+            c = self.exists(c, vref);
+            if c == ONE {
+                return f;
+            }
+        }
+        if f == c {
+            return ONE;
+        }
+        if f == (c ^ 1) {
+            return ZERO;
+        }
+        if let Some(r) = self.cache_get(OP_RESTRICT, f, c, 0) {
+            return r;
+        }
+        let (f1, f0) = self.cof(f, top_f);
+        let r = if self.level(c) == top_f {
+            let (c1, c0) = self.cof(c, top_f);
+            if c1 == ZERO {
+                self.restrict(f0, c0)
+            } else if c0 == ZERO {
+                self.restrict(f1, c1)
+            } else {
+                let r1 = self.restrict(f1, c1);
+                let r0 = self.restrict(f0, c0);
+                self.mk(top_f, r1, r0)
+            }
+        } else {
+            let r1 = self.restrict(f1, c);
+            let r0 = self.restrict(f0, c);
+            self.mk(top_f, r1, r0)
+        };
+        self.cache_put(OP_RESTRICT, f, c, 0, r);
+        r
+    }
+
+    // ----- substitution ------------------------------------------------------
+
+    /// Simultaneous composition: replaces every variable `v` in `f` by
+    /// `subst[v]` (variables without an entry stay). Correct for arbitrary
+    /// substitutions; memoised per call.
+    pub(crate) fn vec_compose(
+        &mut self,
+        f: Ref,
+        subst: &HashMap<u32, Ref>,
+        memo: &mut HashMap<Ref, Ref>,
+    ) -> Ref {
+        if f == ONE || f == ZERO {
+            return f;
+        }
+        let flip = f & 1;
+        let fr = f & !1;
+        if let Some(&r) = memo.get(&fr) {
+            return r ^ flip;
+        }
+        let n = self.nodes[(fr >> 1) as usize];
+        let r1 = self.vec_compose(n.hi, subst, memo);
+        let r0 = self.vec_compose(n.lo, subst, memo);
+        let gate = match subst.get(&n.var) {
+            Some(&g) => g,
+            None => self.var_ref(n.var),
+        };
+        let r = self.ite(gate, r1, r0);
+        memo.insert(fr, r);
+        r ^ flip
+    }
+
+    /// Structural variable renaming; only valid when `map` preserves the
+    /// level order of `f`'s support (checked by the caller).
+    pub(crate) fn rename_monotone(
+        &mut self,
+        f: Ref,
+        map: &HashMap<u32, u32>,
+        memo: &mut HashMap<Ref, Ref>,
+    ) -> Ref {
+        if f == ONE || f == ZERO {
+            return f;
+        }
+        let flip = f & 1;
+        let fr = f & !1;
+        if let Some(&r) = memo.get(&fr) {
+            return r ^ flip;
+        }
+        let n = self.nodes[(fr >> 1) as usize];
+        let r1 = self.rename_monotone(n.hi, map, memo);
+        let r0 = self.rename_monotone(n.lo, map, memo);
+        let var = map.get(&n.var).copied().unwrap_or(n.var);
+        let r = self.mk(var, r1, r0);
+        memo.insert(fr, r);
+        r ^ flip
+    }
+
+    /// Cofactor of `f` with respect to a single variable.
+    pub(crate) fn restrict_var(
+        &mut self,
+        f: Ref,
+        var: u32,
+        val: bool,
+        memo: &mut HashMap<Ref, Ref>,
+    ) -> Ref {
+        if self.level(f) > var {
+            return f;
+        }
+        let flip = f & 1;
+        let fr = f & !1;
+        if let Some(&r) = memo.get(&fr) {
+            return r ^ flip;
+        }
+        let n = self.nodes[(fr >> 1) as usize];
+        let r = if n.var == var {
+            if val {
+                n.hi
+            } else {
+                n.lo
+            }
+        } else {
+            let r1 = self.restrict_var(n.hi, var, val, memo);
+            let r0 = self.restrict_var(n.lo, var, val, memo);
+            self.mk(n.var, r1, r0)
+        };
+        memo.insert(fr, r);
+        r ^ flip
+    }
+
+    // ----- inspection --------------------------------------------------------
+
+    /// Collects the support of `f` as a sorted list of variable indices.
+    pub(crate) fn support(&self, f: Ref) -> Vec<u32> {
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = std::collections::BTreeSet::new();
+        let mut stack = vec![f >> 1];
+        while let Some(idx) = stack.pop() {
+            if idx == 0 || !seen.insert(idx) {
+                continue;
+            }
+            let n = &self.nodes[idx as usize];
+            vars.insert(n.var);
+            stack.push(n.hi >> 1);
+            stack.push(n.lo >> 1);
+        }
+        vars.into_iter().collect()
+    }
+
+    /// Number of distinct nodes (including the terminal) in `f`.
+    pub(crate) fn node_count(&self, f: Ref) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f >> 1];
+        while let Some(idx) = stack.pop() {
+            if !seen.insert(idx) {
+                continue;
+            }
+            if idx != 0 {
+                let n = &self.nodes[idx as usize];
+                stack.push(n.hi >> 1);
+                stack.push(n.lo >> 1);
+            }
+        }
+        seen.len()
+    }
+
+    /// Fraction of the 2^nvars assignments satisfying `f`.
+    fn density(&self, f: Ref, memo: &mut HashMap<u32, f64>) -> f64 {
+        if f == ONE {
+            return 1.0;
+        }
+        if f == ZERO {
+            return 0.0;
+        }
+        let flip = f & 1 == 1;
+        let idx = f >> 1;
+        let d = if let Some(&d) = memo.get(&idx) {
+            d
+        } else {
+            let n = self.nodes[idx as usize];
+            let d = 0.5 * (self.density(n.hi, memo) + self.density(n.lo, memo));
+            memo.insert(idx, d);
+            d
+        };
+        if flip {
+            1.0 - d
+        } else {
+            d
+        }
+    }
+
+    pub(crate) fn sat_count(&self, f: Ref, nvars: u32) -> f64 {
+        let mut memo = HashMap::new();
+        self.density(f, &mut memo) * (nvars as f64).exp2()
+    }
+
+    /// Evaluates `f` under a total assignment indexed by variable.
+    pub(crate) fn eval(&self, f: Ref, assignment: &[bool]) -> bool {
+        let mut cur = f;
+        loop {
+            let idx = cur >> 1;
+            if idx == 0 {
+                return cur == ONE;
+            }
+            let n = &self.nodes[idx as usize];
+            let child = if assignment[n.var as usize] { n.hi } else { n.lo };
+            cur = child ^ (cur & 1);
+        }
+    }
+
+    /// One satisfying sparse cube of `f`, or `None` for the zero function.
+    pub(crate) fn pick_cube(&self, f: Ref) -> Option<Vec<(u32, bool)>> {
+        if f == ZERO {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut cur = f;
+        while cur >> 1 != 0 {
+            let n = &self.nodes[(cur >> 1) as usize];
+            let c = cur & 1;
+            let hi = n.hi ^ c;
+            let lo = n.lo ^ c;
+            if hi != ZERO {
+                path.push((n.var, true));
+                cur = hi;
+            } else {
+                path.push((n.var, false));
+                cur = lo;
+            }
+        }
+        debug_assert_eq!(cur, ONE);
+        Some(path)
+    }
+
+    /// Children of a non-terminal ref with parity applied: `(var, hi, lo)`.
+    pub(crate) fn expand(&self, f: Ref) -> Option<(u32, Ref, Ref)> {
+        let idx = f >> 1;
+        if idx == 0 {
+            return None;
+        }
+        let n = &self.nodes[idx as usize];
+        let c = f & 1;
+        Some((n.var, n.hi ^ c, n.lo ^ c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr3() -> (Inner, Ref, Ref, Ref) {
+        let mut m = Inner::new();
+        let a = m.new_var();
+        let b = m.new_var();
+        let c = m.new_var();
+        (m, a, b, c)
+    }
+
+    #[test]
+    fn terminal_constants() {
+        let m = Inner::new();
+        assert_eq!(m.level(ONE), VAR_TERMINAL);
+        assert_eq!(ONE ^ 1, ZERO);
+        assert_eq!(m.live(), 1);
+    }
+
+    #[test]
+    fn mk_reduces_equal_children() {
+        let (mut m, a, _, _) = mgr3();
+        let r = m.mk(1, a & !1, a & !1);
+        assert_eq!(r, a & !1);
+    }
+
+    #[test]
+    fn complement_edge_canonical() {
+        let (mut m, a, _, _) = mgr3();
+        // !a built two ways must match.
+        let na1 = a ^ 1;
+        let na2 = m.ite(a, ZERO, ONE);
+        assert_eq!(na1, na2);
+    }
+
+    #[test]
+    fn and_or_dedup() {
+        let (mut m, a, b, _) = mgr3();
+        let ab = m.and(a, b);
+        let ba = m.and(b, a);
+        assert_eq!(ab, ba);
+        let o1 = m.or(a, b);
+        let o2 = m.or(b, a);
+        assert_eq!(o1, o2);
+        // De Morgan as canonicity check.
+        let lhs = m.and(a, b) ^ 1;
+        let rhs = m.or(a ^ 1, b ^ 1);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn xor_identities() {
+        let (mut m, a, b, _) = mgr3();
+        let x = m.xor(a, b);
+        let x2 = m.xor(b, a);
+        assert_eq!(x, x2);
+        let xx = m.xor(a, a);
+        assert_eq!(xx, ZERO);
+        let xnot = m.xor(a, a ^ 1);
+        assert_eq!(xnot, ONE);
+    }
+
+    #[test]
+    fn exists_simple() {
+        let (mut m, a, b, c) = mgr3();
+        let f = m.and(a, b);
+        let cube_a = a; // positive cube {a}
+        let ex = m.exists(f, cube_a);
+        assert_eq!(ex, b);
+        // exists over var not in support
+        let ex2 = m.exists(f, c);
+        assert_eq!(ex2, f);
+    }
+
+    #[test]
+    fn and_exists_matches_composed() {
+        let (mut m, a, b, c) = mgr3();
+        let f = m.or(a, b);
+        let g = m.xor(b, c);
+        let cube = m.and(b, c);
+        let fused = m.and_exists(f, g, cube);
+        let conj = m.and(f, g);
+        let split = m.exists(conj, cube);
+        assert_eq!(fused, split);
+    }
+
+    #[test]
+    fn forall_dual() {
+        let (mut m, a, b, _) = mgr3();
+        let f = m.or(a, b);
+        let fa = m.forall(f, a);
+        // forall a. (a|b) == b
+        assert_eq!(fa, b);
+    }
+
+    #[test]
+    fn gc_keeps_externally_referenced() {
+        let (mut m, a, b, _) = mgr3();
+        let f = m.and(a, b);
+        m.adjust_ext(f >> 1, 1);
+        let dead = m.or(a, b); // no external ref
+        let live_before = m.live();
+        m.gc();
+        assert!(m.live() < live_before || m.live() == live_before);
+        // f still intact after GC:
+        let f2 = m.and(a, b);
+        assert_eq!(f, f2);
+        // The dead node was collected; rebuilding gives a fresh (possibly
+        // recycled) slot but the function is the same by canonicity.
+        let dead2 = m.or(a, b);
+        let _ = (dead, dead2);
+    }
+
+    #[test]
+    fn eval_walks_complement_edges() {
+        let (mut m, a, b, _) = mgr3();
+        let f = m.xor(a, b) ^ 1; // XNOR
+        assert!(m.eval(f, &[false, false, false]));
+        assert!(!m.eval(f, &[true, false, false]));
+        assert!(m.eval(f, &[true, true, false]));
+    }
+
+    #[test]
+    fn sat_count_basic() {
+        let (mut m, a, b, c) = mgr3();
+        let f = m.and(a, b);
+        assert_eq!(m.sat_count(f, 3) as u64, 2); // a&b free c
+        let g = m.or(f, c);
+        assert_eq!(m.sat_count(g, 3) as u64, 5);
+    }
+
+    #[test]
+    fn constrain_agrees_on_care_set() {
+        let (mut m, a, b, c) = mgr3();
+        let f = m.xor(a, b);
+        let care = m.or(b, c);
+        let g = m.constrain(f, care);
+        let lhs = m.and(g, care);
+        let rhs = m.and(f, care);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn constrain_terminal_cases() {
+        let (mut m, a, b, _) = mgr3();
+        let f = m.and(a, b);
+        assert_eq!(m.constrain(f, ONE), f);
+        assert_eq!(m.constrain(f, ZERO), f);
+        assert_eq!(m.constrain(f, f), ONE);
+        assert_eq!(m.constrain(f, f ^ 1), ZERO);
+        assert_eq!(m.constrain(ONE, a), ONE);
+        assert_eq!(m.constrain(ZERO, a), ZERO);
+    }
+
+    #[test]
+    fn constrain_commutes_with_complement() {
+        let (mut m, a, b, c) = mgr3();
+        let f = m.ite(a, b, c);
+        let care = m.or(a, c);
+        let g1 = m.constrain(f ^ 1, care);
+        let g2 = m.constrain(f, care) ^ 1;
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn restrict_agrees_on_care_set_and_keeps_support() {
+        let (mut m, a, b, c) = mgr3();
+        let f = m.xor(b, c);
+        // Care set with a variable (a) above f's support.
+        let bc = m.and(b, c);
+        let care = m.or(a, bc);
+        let g = m.restrict(f, care);
+        let lhs = m.and(g, care);
+        let rhs = m.and(f, care);
+        assert_eq!(lhs, rhs);
+        // No variable of the result escapes f's support.
+        let f_sup = m.support(f);
+        for v in m.support(g) {
+            assert!(f_sup.contains(&v), "restrict introduced v{v}");
+        }
+    }
+
+    #[test]
+    fn restrict_simplifies_with_cube_care_set() {
+        let (mut m, a, b, _) = mgr3();
+        // f = a&b restricted to care set a: on a=1 f is b.
+        let f = m.and(a, b);
+        let g = m.restrict(f, a);
+        assert_eq!(g, b);
+    }
+
+    #[test]
+    fn node_limit_panics_with_payload() {
+        let mut m = Inner::new();
+        let vars: Vec<Ref> = (0..8).map(|_| m.new_var()).collect();
+        m.set_node_limit(Some(m.live() + 2));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut acc = ONE;
+            for (i, &v) in vars.iter().enumerate() {
+                let w = if i % 2 == 0 { v } else { v ^ 1 };
+                acc = m.and(acc, w);
+            }
+            acc
+        }));
+        let err = caught.expect_err("expected node limit panic");
+        assert!(err.downcast_ref::<NodeLimitExceeded>().is_some());
+    }
+}

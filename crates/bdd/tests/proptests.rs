@@ -1,0 +1,269 @@
+//! Property-based tests for the BDD engine: every operation is checked
+//! against a brute-force truth-table oracle on random expressions.
+
+use langeq_bdd::{Bdd, BddManager, VarId};
+use proptest::prelude::*;
+
+const NVARS: usize = 6;
+
+/// A random Boolean expression over `NVARS` variables.
+#[derive(Debug, Clone)]
+enum Expr {
+    Var(usize),
+    Const(bool),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    fn eval(&self, env: &[bool]) -> bool {
+        match self {
+            Expr::Var(i) => env[*i],
+            Expr::Const(b) => *b,
+            Expr::Not(e) => !e.eval(env),
+            Expr::And(a, b) => a.eval(env) && b.eval(env),
+            Expr::Or(a, b) => a.eval(env) || b.eval(env),
+            Expr::Xor(a, b) => a.eval(env) != b.eval(env),
+            Expr::Ite(c, t, e) => {
+                if c.eval(env) {
+                    t.eval(env)
+                } else {
+                    e.eval(env)
+                }
+            }
+        }
+    }
+
+    fn build(&self, mgr: &BddManager, vars: &[Bdd]) -> Bdd {
+        match self {
+            Expr::Var(i) => vars[*i].clone(),
+            Expr::Const(true) => mgr.one(),
+            Expr::Const(false) => mgr.zero(),
+            Expr::Not(e) => e.build(mgr, vars).not(),
+            Expr::And(a, b) => a.build(mgr, vars).and(&b.build(mgr, vars)),
+            Expr::Or(a, b) => a.build(mgr, vars).or(&b.build(mgr, vars)),
+            Expr::Xor(a, b) => a.build(mgr, vars).xor(&b.build(mgr, vars)),
+            Expr::Ite(c, t, e) => mgr.ite(
+                &c.build(mgr, vars),
+                &t.build(mgr, vars),
+                &e.build(mgr, vars),
+            ),
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0..NVARS).prop_map(Expr::Var),
+        any::<bool>().prop_map(Expr::Const),
+    ];
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, t, e)| Expr::Ite(Box::new(c), Box::new(t), Box::new(e))),
+        ]
+    })
+}
+
+/// All 2^NVARS assignments.
+fn assignments() -> impl Iterator<Item = Vec<bool>> {
+    (0..(1usize << NVARS)).map(|m| (0..NVARS).map(|i| m >> i & 1 == 1).collect())
+}
+
+fn setup() -> (BddManager, Vec<Bdd>) {
+    let mgr = BddManager::new();
+    let vars = mgr.new_vars(NVARS);
+    (mgr, vars)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn bdd_matches_truth_table(e in arb_expr()) {
+        let (mgr, vars) = setup();
+        let f = e.build(&mgr, &vars);
+        for env in assignments() {
+            prop_assert_eq!(f.eval(&env), e.eval(&env));
+        }
+    }
+
+    #[test]
+    fn canonicity_equal_functions_equal_handles(a in arb_expr(), b in arb_expr()) {
+        let (mgr, vars) = setup();
+        let fa = a.build(&mgr, &vars);
+        let fb = b.build(&mgr, &vars);
+        let semantically_equal = assignments().all(|env| a.eval(&env) == b.eval(&env));
+        prop_assert_eq!(fa == fb, semantically_equal);
+    }
+
+    #[test]
+    fn exists_forall_oracle(e in arb_expr(), qmask in 0u8..(1 << NVARS)) {
+        let (mgr, vars) = setup();
+        let f = e.build(&mgr, &vars);
+        let qvars: Vec<VarId> = (0..NVARS)
+            .filter(|i| qmask >> i & 1 == 1)
+            .map(|i| VarId(i as u32))
+            .collect();
+        let ex = f.exists(&qvars);
+        let fa = f.forall(&qvars);
+        for env in assignments() {
+            // Oracle: try all assignments of quantified vars.
+            let mut any = false;
+            let mut all = true;
+            let free: Vec<usize> = (0..NVARS).filter(|i| qmask >> i & 1 == 1).collect();
+            for m in 0..(1usize << free.len()) {
+                let mut env2 = env.clone();
+                for (k, &i) in free.iter().enumerate() {
+                    env2[i] = m >> k & 1 == 1;
+                }
+                let v = e.eval(&env2);
+                any |= v;
+                all &= v;
+            }
+            prop_assert_eq!(ex.eval(&env), any);
+            prop_assert_eq!(fa.eval(&env), all);
+        }
+    }
+
+    #[test]
+    fn and_exists_equals_and_then_exists(a in arb_expr(), b in arb_expr(), qmask in 0u8..(1 << NVARS)) {
+        let (mgr, vars) = setup();
+        let fa = a.build(&mgr, &vars);
+        let fb = b.build(&mgr, &vars);
+        let qvars: Vec<VarId> = (0..NVARS)
+            .filter(|i| qmask >> i & 1 == 1)
+            .map(|i| VarId(i as u32))
+            .collect();
+        let cube = mgr.positive_cube(&qvars);
+        let fused = mgr.and_exists(&fa, &fb, &cube);
+        let split = fa.and(&fb).exists(&qvars);
+        prop_assert_eq!(fused, split);
+    }
+
+    #[test]
+    fn sat_count_matches_enumeration(e in arb_expr()) {
+        let (mgr, vars) = setup();
+        let f = e.build(&mgr, &vars);
+        let expected = assignments().filter(|env| e.eval(env)).count();
+        prop_assert_eq!(f.sat_count(NVARS) as usize, expected);
+    }
+
+    #[test]
+    fn cube_iteration_reassembles(e in arb_expr()) {
+        let (mgr, vars) = setup();
+        let f = e.build(&mgr, &vars);
+        let mut acc = mgr.zero();
+        for cube in f.iter_cubes() {
+            let lits: Vec<(VarId, bool)> = cube
+                .literals()
+                .iter()
+                .map(|l| (l.var, l.positive))
+                .collect();
+            let c = mgr.cube(&lits);
+            prop_assert!(c.and(&acc).is_zero());
+            acc = acc.or(&c);
+        }
+        prop_assert_eq!(acc, f);
+        let _ = vars;
+    }
+
+    #[test]
+    fn shannon_expansion(e in arb_expr(), v in 0..NVARS) {
+        let (mgr, vars) = setup();
+        let f = e.build(&mgr, &vars);
+        let var = VarId(v as u32);
+        let hi = f.cofactor(var, true);
+        let lo = f.cofactor(var, false);
+        let rebuilt = mgr.ite(&vars[v], &hi, &lo);
+        prop_assert_eq!(rebuilt, f.clone());
+        // Cofactors are independent of the variable.
+        prop_assert!(!hi.support().contains(&var));
+        prop_assert!(!lo.support().contains(&var));
+    }
+
+    #[test]
+    fn rename_round_trip(e in arb_expr()) {
+        let (mgr, _) = setup();
+        // Create a second block of variables to rename into.
+        let vars: Vec<Bdd> = mgr.new_vars(NVARS);
+        let f = e.build(&mgr, &vars);
+        let fwd: Vec<(VarId, VarId)> = (0..NVARS)
+            .map(|i| (VarId((NVARS + i) as u32), VarId(i as u32)))
+            .collect();
+        let bwd: Vec<(VarId, VarId)> = (0..NVARS)
+            .map(|i| (VarId(i as u32), VarId((NVARS + i) as u32)))
+            .collect();
+        let g = f.rename(&fwd);
+        let back = g.rename(&bwd);
+        prop_assert_eq!(back, f);
+    }
+
+    #[test]
+    fn support_is_exact(e in arb_expr()) {
+        let (mgr, vars) = setup();
+        let f = e.build(&mgr, &vars);
+        let sup = f.support();
+        for i in 0..NVARS {
+            let var = VarId(i as u32);
+            let depends = f.cofactor(var, true) != f.cofactor(var, false);
+            prop_assert_eq!(sup.contains(&var), depends);
+        }
+    }
+
+    #[test]
+    fn constrain_laws(a in arb_expr(), c in arb_expr()) {
+        let (mgr, vars) = setup();
+        let f = a.build(&mgr, &vars);
+        let care = c.build(&mgr, &vars);
+        let g = mgr.constrain(&f, &care);
+        // Agreement on the care set.
+        prop_assert_eq!(g.and(&care), f.and(&care));
+        // Identity care set.
+        prop_assert_eq!(mgr.constrain(&f, &mgr.one()), f.clone());
+        // Self care set (nonzero f).
+        if !f.is_zero() {
+            prop_assert!(mgr.constrain(&f, &f).is_one());
+        }
+        // Commutes with complement.
+        prop_assert_eq!(mgr.constrain(&f.not(), &care), g.not());
+    }
+
+    #[test]
+    fn restrict_laws(a in arb_expr(), c in arb_expr()) {
+        let (mgr, vars) = setup();
+        let f = a.build(&mgr, &vars);
+        let care = c.build(&mgr, &vars);
+        let g = mgr.restrict(&f, &care);
+        // Agreement on the care set.
+        prop_assert_eq!(g.and(&care), f.and(&care));
+        // Support never grows.
+        let f_sup = f.support();
+        for v in g.support() {
+            prop_assert!(f_sup.contains(&v), "restrict introduced {v:?}");
+        }
+        // Identity care set.
+        prop_assert_eq!(mgr.restrict(&f, &mgr.one()), f);
+    }
+
+    #[test]
+    fn gc_preserves_functions(e in arb_expr(), f2 in arb_expr()) {
+        let (mgr, vars) = setup();
+        let f = e.build(&mgr, &vars);
+        {
+            // Create garbage.
+            let _junk = f2.build(&mgr, &vars);
+        }
+        mgr.collect_garbage();
+        for env in assignments() {
+            prop_assert_eq!(f.eval(&env), e.eval(&env));
+        }
+    }
+}

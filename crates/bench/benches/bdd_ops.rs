@@ -1,0 +1,85 @@
+//! Micro-benchmarks of the BDD substrate: the primitive operations whose
+//! cost profile determines both solver flows (conjunction, quantification,
+//! the fused relational product, renaming, and the cofactor-class
+//! decomposition).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use langeq_bdd::{Bdd, BddManager, VarId};
+
+/// Builds the classic n-queens constraint BDD — a standard BDD stress load.
+#[allow(clippy::needless_range_loop)] // board coordinates
+fn queens(mgr: &BddManager, n: usize) -> Bdd {
+    let vars: Vec<Vec<Bdd>> = (0..n)
+        .map(|_| (0..n).map(|_| mgr.new_var()).collect())
+        .collect();
+    let mut acc = mgr.one();
+    for r in 0..n {
+        // Exactly one queen per row.
+        let mut row = mgr.zero();
+        for c in 0..n {
+            row = row.or(&vars[r][c]);
+        }
+        acc = acc.and(&row);
+        for c in 0..n {
+            for c2 in c + 1..n {
+                acc = acc.and(&vars[r][c].and(&vars[r][c2]).not());
+            }
+        }
+    }
+    for c in 0..n {
+        for r in 0..n {
+            for r2 in r + 1..n {
+                acc = acc.and(&vars[r][c].and(&vars[r2][c]).not());
+                let d = r2 - r;
+                if c + d < n {
+                    acc = acc.and(&vars[r][c].and(&vars[r2][c + d]).not());
+                }
+                if c >= d {
+                    acc = acc.and(&vars[r][c].and(&vars[r2][c - d]).not());
+                }
+            }
+        }
+    }
+    acc
+}
+
+fn bench_build(c: &mut Criterion) {
+    c.bench_function("bdd/queens6_build", |b| {
+        b.iter(|| {
+            let mgr = BddManager::new();
+            std::hint::black_box(queens(&mgr, 6))
+        })
+    });
+}
+
+fn bench_quantify(c: &mut Criterion) {
+    let mgr = BddManager::new();
+    let q = queens(&mgr, 6);
+    let vars: Vec<VarId> = (0..18).map(VarId).collect();
+    c.bench_function("bdd/exists_18_of_36", |b| {
+        b.iter(|| std::hint::black_box(q.exists(&vars)))
+    });
+    let half = queens(&mgr, 6); // same function: canonicity makes this cheap
+    let cube_vars: Vec<VarId> = (0..12).map(VarId).collect();
+    let cube = mgr.positive_cube(&cube_vars);
+    c.bench_function("bdd/and_exists_vs_split", |b| {
+        b.iter(|| std::hint::black_box(mgr.and_exists(&q, &half, &cube)))
+    });
+}
+
+fn bench_rename_and_classes(c: &mut Criterion) {
+    let mgr = BddManager::new();
+    let q = queens(&mgr, 6);
+    // Monotone shift by one row (6 vars) within the order.
+    let map: Vec<(VarId, VarId)> = (0..30).map(|k| (VarId(k), VarId(k + 6))).collect();
+    c.bench_function("bdd/rename_monotone", |b| {
+        b.iter(|| std::hint::black_box(q.rename(&map)))
+    });
+    let split: Vec<VarId> = (0..12).map(VarId).collect();
+    c.bench_function("bdd/cofactor_classes", |b| {
+        b.iter(|| std::hint::black_box(mgr.cofactor_classes(&q, &split)))
+    });
+}
+
+criterion_group!(benches, bench_build, bench_quantify, bench_rename_and_classes);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Ablation: early-quantification scheduling vs quantify-at-the-end in the
+//! partitioned image computation — the image-computation technology the
+//! paper credits for the partitioned flow's efficiency (§1, refs [4][5][8]).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use langeq_bdd::{BddManager, VarId};
+use langeq_core::{LatchSplitProblem, PartitionedOptions, SolverLimits};
+use langeq_image::{reachable, ImageComputer, ImageOptions, QuantSchedule};
+use langeq_logic::gen;
+use std::time::Duration;
+
+/// Reachability fixpoint on a mid-size controller with either schedule.
+fn bench_reachability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quant_sched/reachability");
+    group.sample_size(10);
+    let net = gen::random_controller(&gen::ControllerCfg::new("qs", 77, 4, 2, 14));
+    for (label, schedule) in [("early", QuantSchedule::Early), ("late", QuantSchedule::Late)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mgr = BddManager::new();
+                let pis: Vec<_> = (0..net.num_inputs()).map(|_| mgr.new_var()).collect();
+                let mut cs = Vec::new();
+                let mut ns = Vec::new();
+                for _ in 0..net.num_latches() {
+                    cs.push(mgr.new_var());
+                    ns.push(mgr.new_var());
+                }
+                let bdds = net.elaborate(&mgr, &pis, &cs).unwrap();
+                let parts: Vec<_> = ns
+                    .iter()
+                    .zip(&bdds.next_state)
+                    .map(|(n, t)| n.xnor(t))
+                    .collect();
+                let mut quantify: Vec<VarId> =
+                    pis.iter().map(|p| p.support()[0]).collect();
+                quantify.extend(cs.iter().map(|c| c.support()[0]));
+                let img = ImageComputer::new(
+                    &mgr,
+                    &parts,
+                    &quantify,
+                    ImageOptions {
+                        schedule,
+                        ..Default::default()
+                    },
+                );
+                let init = cs.iter().fold(mgr.one(), |acc, c| acc.and(&c.not()));
+                let map: Vec<_> = ns
+                    .iter()
+                    .zip(&cs)
+                    .map(|(n, c)| (n.support()[0], c.support()[0]))
+                    .collect();
+                std::hint::black_box(reachable(&img, &init, &map))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The full partitioned solve with either schedule inside its images.
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quant_sched/solver");
+    group.sample_size(10);
+    let instances = gen::table1();
+    let inst = &instances[2]; // sim_s298
+    for (label, schedule) in [("early", QuantSchedule::Early), ("late", QuantSchedule::Late)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let p = LatchSplitProblem::new(&inst.network, &inst.unknown_latches).unwrap();
+                let opts = PartitionedOptions {
+                    image: ImageOptions {
+                        schedule,
+                        ..Default::default()
+                    },
+                    trim_dcn: true,
+                    limits: SolverLimits {
+                        node_limit: Some(8_000_000),
+                        time_limit: Some(Duration::from_secs(120)),
+                        max_states: None,
+                    },
+                };
+                std::hint::black_box(langeq_core::solve_partitioned(&p.equation, &opts))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reachability, bench_solver);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benchmark over the Table-1 instances: each of the smaller
+//! circuits is solved by the partitioned and the monolithic flow. The large
+//! instances (sim_s349, sim_s444, sim_s526) are excluded here — they take
+//! minutes / CNC by design; use the `table1` binary for the full table.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use langeq_core::{LatchSplitProblem, MonolithicOptions, PartitionedOptions, SolverLimits};
+use langeq_logic::gen;
+
+fn limits() -> SolverLimits {
+    SolverLimits {
+        node_limit: Some(8_000_000),
+        time_limit: Some(Duration::from_secs(60)),
+        max_states: Some(1_000_000),
+    }
+}
+
+fn bench_pairs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for inst in gen::table1() {
+        if matches!(inst.name, "sim_s349" | "sim_s444" | "sim_s526") {
+            continue;
+        }
+        group.bench_function(format!("{}/partitioned", inst.name), |b| {
+            b.iter(|| {
+                let p = LatchSplitProblem::new(&inst.network, &inst.unknown_latches).unwrap();
+                let opts = PartitionedOptions {
+                    limits: limits(),
+                    ..PartitionedOptions::paper()
+                };
+                std::hint::black_box(langeq_core::solve_partitioned(&p.equation, &opts))
+            })
+        });
+        group.bench_function(format!("{}/monolithic", inst.name), |b| {
+            b.iter(|| {
+                let p = LatchSplitProblem::new(&inst.network, &inst.unknown_latches).unwrap();
+                let opts = MonolithicOptions { limits: limits() };
+                std::hint::black_box(langeq_core::solve_monolithic(&p.equation, &opts))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pairs);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Ablation: the prefix-closed DCN trimming of §3.2 ("this leads to a
+//! substantial trimming during the subset construction") — partitioned
+//! solver with and without redirecting non-conformance letters to the
+//! single DCN trap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use langeq_core::{LatchSplitProblem, PartitionedOptions, SolverLimits};
+use langeq_logic::gen;
+use std::time::Duration;
+
+fn bench_trimming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trimming");
+    group.sample_size(10);
+    let instances = gen::table1();
+    for inst in instances.iter().take(3) {
+        for (label, trim) in [("trimmed", true), ("untrimmed", false)] {
+            group.bench_function(format!("{}/{}", inst.name, label), |b| {
+                b.iter(|| {
+                    let p =
+                        LatchSplitProblem::new(&inst.network, &inst.unknown_latches).unwrap();
+                    let opts = PartitionedOptions {
+                        trim_dcn: trim,
+                        limits: SolverLimits {
+                            node_limit: Some(8_000_000),
+                            time_limit: Some(Duration::from_secs(120)),
+                            max_states: None,
+                        },
+                        ..PartitionedOptions::paper()
+                    };
+                    std::hint::black_box(langeq_core::solve_partitioned(&p.equation, &opts))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trimming);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Ablation: **static variable order** — interleaved `cs/ns` pairs (the
+//! order the solvers rely on; see `langeq_core::VarUniverse`) vs the naive
+//! blocked layout (all `cs`, then all `ns`). Measures monolithic relation
+//! construction and a reachability fixpoint on Table-1 specification
+//! circuits; the interleaved order is what keeps the `ns → cs` renaming a
+//! cheap structural pass and the relation BDDs small.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use langeq_core::{PartitionedFsm, StateOrder};
+use langeq_image::{reachable, ImageComputer, ImageOptions};
+use langeq_logic::gen;
+use langeq_logic::Network;
+
+fn instance(name: &str) -> Network {
+    gen::table1()
+        .into_iter()
+        .find(|t| t.name == name)
+        .unwrap_or_else(|| panic!("unknown instance {name}"))
+        .network
+}
+
+/// Builds the monolithic transition-output relation under the given order
+/// and returns its node count.
+fn build_to(net: &Network, order: StateOrder) -> usize {
+    let (mgr, fsm) = PartitionedFsm::standalone(net, order).expect("valid network");
+    let mut to = mgr.one();
+    for p in fsm.output_parts(&mgr) {
+        to = to.and(&p);
+    }
+    for p in fsm.transition_parts(&mgr) {
+        to = to.and(&p);
+    }
+    to.node_count()
+}
+
+fn bench_to_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("var_order/monolithic_to_build");
+    group.sample_size(10);
+    for inst in ["sim_s208", "sim_s298"] {
+        let net = instance(inst);
+        for (label, order) in [
+            ("interleaved", StateOrder::Interleaved),
+            ("blocked", StateOrder::Blocked),
+        ] {
+            group.bench_function(format!("{inst}/{label}"), |b| {
+                b.iter(|| std::hint::black_box(build_to(&net, order)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_reachability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("var_order/reachability");
+    group.sample_size(10);
+    for inst in ["sim_s208", "sim_s298"] {
+        let net = instance(inst);
+        for (label, order) in [
+            ("interleaved", StateOrder::Interleaved),
+            ("blocked", StateOrder::Blocked),
+        ] {
+            group.bench_function(format!("{inst}/{label}"), |b| {
+                b.iter(|| {
+                    let (mgr, fsm) =
+                        PartitionedFsm::standalone(&net, order).expect("valid network");
+                    let parts = fsm.transition_parts(&mgr);
+                    let mut quantify = fsm.inputs.clone();
+                    quantify.extend(fsm.cs_vars());
+                    let img =
+                        ImageComputer::new(&mgr, &parts, &quantify, ImageOptions::default());
+                    let init = fsm.initial_cube(&mgr);
+                    std::hint::black_box(reachable(&img, &init, &fsm.ns_to_cs()))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// One-shot size report printed alongside the timing numbers (criterion
+/// does not capture sizes): interleaved vs blocked TO node counts.
+fn report_sizes() {
+    println!("monolithic TO node counts (interleaved vs blocked):");
+    for inst in ["sim_s510", "sim_s208", "sim_s298"] {
+        let net = instance(inst);
+        let a = build_to(&net, StateOrder::Interleaved);
+        let b = build_to(&net, StateOrder::Blocked);
+        println!("  {inst}: {a} vs {b} ({:.2}x)", b as f64 / a.max(1) as f64);
+    }
+}
+
+fn bench_all(c: &mut Criterion) {
+    report_sizes();
+    bench_to_build(c);
+    bench_reachability(c);
+}
+
+criterion_group!(var_order, bench_all);
+criterion_main!(var_order);

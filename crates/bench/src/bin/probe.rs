@@ -1,0 +1,150 @@
+//! Diagnostic: solve one instance with progressively larger state budgets,
+//! reporting where the subset construction lands. Useful when tuning
+//! generator parameters so the stand-in circuits stay in the paper's
+//! regime.
+//!
+//! ```text
+//! cargo run --release -p langeq-bench --bin probe -- [name|ctrl:<seed>:<i>:<o>:<latches>:<split>] [--budget N]
+//! ```
+
+use std::time::{Duration, Instant};
+
+use langeq_core::{
+    CncReason, LatchSplitProblem, MonolithicOptions, Outcome, PartitionedOptions, SolverLimits,
+};
+use langeq_logic::gen;
+use langeq_logic::Network;
+
+fn instance(spec: &str) -> (Network, Vec<usize>) {
+    if let Some(rest) = spec.strip_prefix("ctrl:") {
+        let parts: Vec<usize> = rest.split(':').map(|s| s.parse().unwrap()).collect();
+        let (seed, i, o, l, split) = (parts[0], parts[1], parts[2], parts[3], parts[4]);
+        let net = gen::random_controller(&gen::ControllerCfg::new(
+            "probe", seed as u64, i, o, l,
+        ));
+        (net, ((l - split)..l).collect())
+    } else if let Some(rest) = spec.strip_prefix("hyb:") {
+        // hyb:<seed>:<i>:<o>:<count>:<shift>:<rand>:<split>
+        //    [:<window>:<depth>:<rand_first>:<leading_split>]
+        let parts: Vec<usize> = rest.split(':').map(|s| s.parse().unwrap()).collect();
+        let (seed, i, o, cnt, sh, rnd, split) = (
+            parts[0], parts[1], parts[2], parts[3], parts[4], parts[5], parts[6],
+        );
+        let window = parts.get(7).copied().unwrap_or(2);
+        let depth = parts.get(8).copied().unwrap_or(3);
+        let rand_first = parts.get(9).copied().unwrap_or(1) == 1;
+        let leading = parts.get(10).copied().unwrap_or(0) == 1;
+        let out_extra = parts.get(11).copied().unwrap_or(0);
+        let net = gen::hybrid_controller(&gen::HybridCfg {
+            name: "probe".into(),
+            seed: seed as u64,
+            num_inputs: i,
+            num_outputs: o,
+            count_bits: cnt,
+            shift_bits: sh,
+            rand_bits: rnd,
+            window,
+            depth,
+            out_extra,
+            rand_first,
+        });
+        let l = cnt + sh + rnd;
+        let unknown = if leading {
+            (0..split).collect()
+        } else {
+            ((l - split)..l).collect()
+        };
+        (net, unknown)
+    } else {
+        let inst = gen::table1()
+            .into_iter()
+            .find(|t| t.name == spec)
+            .unwrap_or_else(|| panic!("unknown instance {spec}"));
+        (inst.network, inst.unknown_latches)
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let spec = args.next().unwrap_or_else(|| "ctrl:7:3:3:8:4".into());
+    let mut budgets = vec![500usize, 2_000, 10_000, 50_000, 200_000];
+    let mut run_mono = false;
+    let mut time_limit = Duration::from_secs(300);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--budget" => budgets = vec![args.next().unwrap().parse().unwrap()],
+            "--mono" => run_mono = true,
+            "--time-limit" => {
+                time_limit = Duration::from_secs(args.next().unwrap().parse().unwrap())
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    let (net, unknown) = instance(&spec);
+    println!(
+        "{}: {} PIs / {} POs / {} latches, unknown {:?}",
+        spec,
+        net.num_inputs(),
+        net.num_outputs(),
+        net.num_latches(),
+        unknown
+    );
+    for budget in budgets {
+        let p = LatchSplitProblem::new(&net, &unknown).unwrap();
+        let t0 = Instant::now();
+        let out = langeq_core::solve_partitioned(
+            &p.equation,
+            &PartitionedOptions {
+                limits: SolverLimits {
+                    node_limit: Some(32_000_000),
+                    time_limit: Some(time_limit),
+                    max_states: Some(budget),
+                },
+                ..PartitionedOptions::paper()
+            },
+        );
+        let dt = t0.elapsed().as_secs_f64();
+        match out {
+            Outcome::Solved(sol) => {
+                println!(
+                    "budget {budget:>7}: SOLVED in {dt:.2}s — {} subset states, {} transitions, CSF {} states, {} images",
+                    sol.stats.subset_states,
+                    sol.stats.transitions,
+                    sol.csf.num_states(),
+                    sol.stats.images,
+                );
+                break;
+            }
+            Outcome::Cnc(CncReason::StateLimit(_)) => {
+                println!("budget {budget:>7}: exceeded after {dt:.2}s");
+            }
+            Outcome::Cnc(r) => {
+                println!("budget {budget:>7}: {r} after {dt:.2}s");
+                break;
+            }
+        }
+    }
+    if run_mono {
+        let p = LatchSplitProblem::new(&net, &unknown).unwrap();
+        let t0 = Instant::now();
+        let out = langeq_core::solve_monolithic(
+            &p.equation,
+            &MonolithicOptions {
+                limits: SolverLimits {
+                    node_limit: Some(8_000_000),
+                    time_limit: Some(Duration::from_secs(120)),
+                    max_states: Some(2_000_000),
+                },
+            },
+        );
+        let dt = t0.elapsed().as_secs_f64();
+        match out {
+            Outcome::Solved(sol) => println!(
+                "mono: SOLVED in {dt:.2}s — {} subset states, CSF {} states",
+                sol.stats.subset_states,
+                sol.csf.num_states()
+            ),
+            Outcome::Cnc(r) => println!("mono: {r} after {dt:.2}s"),
+        }
+    }
+}

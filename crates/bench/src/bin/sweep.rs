@@ -1,0 +1,50 @@
+//! Scaling sweep (extension experiment): backs the paper's observation that
+//! "the partitioned method is more efficient … with efficiency increasing
+//! as the problem size increases", by solving a family of random
+//! controllers of growing latch count with both flows.
+//!
+//! ```text
+//! cargo run --release -p langeq-bench --bin sweep [-- --timeout SECS] [--sizes 6,8,10,12]
+//! ```
+
+use std::time::Duration;
+
+use langeq_bench::{format_sweep, run_sweep, HarnessOptions};
+
+fn main() {
+    let mut opts = HarnessOptions {
+        time_limit: Duration::from_secs(60),
+        ..HarnessOptions::default()
+    };
+    let mut sizes: Vec<usize> = vec![6, 8, 10, 12, 14];
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--timeout" => {
+                let secs: u64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--timeout needs seconds");
+                opts.time_limit = Duration::from_secs(secs);
+            }
+            "--sizes" => {
+                sizes = args
+                    .next()
+                    .expect("--sizes needs a comma list")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("size"))
+                    .collect();
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: sweep [--timeout SECS] [--sizes 6,8,10]");
+                std::process::exit(2);
+            }
+        }
+    }
+    println!("Scaling sweep — random controllers, half the latches unknown");
+    println!("(limit {}s per run)", opts.time_limit.as_secs());
+    println!();
+    let points = run_sweep(&sizes, &opts);
+    println!("{}", format_sweep(&points));
+}

@@ -1,0 +1,60 @@
+//! Reproduces **Table 1** of the paper: partitioned vs monolithic
+//! computation of the Complete Sequential Flexibility on six latch-split
+//! circuits.
+//!
+//! ```text
+//! cargo run --release -p langeq-bench --bin table1 [-- --verify] [--timeout SECS]
+//! ```
+//!
+//! Prints the measured table in the paper's layout, followed by a
+//! paper-vs-measured markdown comparison (pasteable into EXPERIMENTS.md).
+
+use std::time::Duration;
+
+use langeq_bench::{format_comparison, format_table1, run_table1, HarnessOptions};
+
+fn main() {
+    let mut opts = HarnessOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--verify" => opts.verify = true,
+            "--timeout" => {
+                let secs: u64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--timeout needs seconds");
+                opts.time_limit = Duration::from_secs(secs);
+            }
+            "--node-limit" => {
+                opts.node_limit = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--node-limit needs a count");
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: table1 [--verify] [--timeout SECS] [--node-limit N]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("Table 1 reproduction — partitioned vs monolithic CSF computation");
+    println!(
+        "(limits: {}s wall clock, {} live BDD nodes{})",
+        opts.time_limit.as_secs(),
+        opts.node_limit,
+        if opts.verify {
+            "; verifying X_P ⊆ X and F∘X ⊆ S"
+        } else {
+            ""
+        }
+    );
+    println!();
+    let rows = run_table1(&opts);
+    println!("{}", format_table1(&rows));
+    println!("Paper-reported vs measured (markdown):");
+    println!();
+    println!("{}", format_comparison(&rows));
+}

@@ -1,0 +1,378 @@
+//! # langeq-bench
+//!
+//! The evaluation harness reproducing the DATE'05 paper's experiments:
+//!
+//! * [`run_table1`] — the Table-1 comparison (partitioned vs monolithic
+//!   runtimes, CSF sizes, CNC outcomes) on the six stand-in circuits,
+//! * [`run_sweep`] — a scaling sweep (extension) backing the paper's claim
+//!   that the partitioned method's advantage grows with problem size,
+//! * formatting helpers producing the paper-style tables, and
+//! * criterion micro-benchmarks (see `benches/`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+use langeq_core::verify::verify_latch_split;
+use langeq_core::{
+    CncReason, LatchSplitProblem, MonolithicOptions, Outcome, PartitionedOptions, SolverLimits,
+};
+use langeq_logic::gen::{self, Table1Instance};
+
+/// Outcome of one solver run inside the harness.
+#[derive(Debug, Clone)]
+pub enum RunResult {
+    /// Completed: wall-clock time and CSF state count.
+    Done {
+        /// Wall-clock duration of the solve.
+        time: Duration,
+        /// States of the computed CSF.
+        csf_states: usize,
+        /// Subset states explored.
+        subset_states: usize,
+    },
+    /// Could not complete within the limits.
+    Cnc(CncReason),
+}
+
+impl RunResult {
+    /// Seconds, if completed.
+    pub fn seconds(&self) -> Option<f64> {
+        match self {
+            RunResult::Done { time, .. } => Some(time.as_secs_f64()),
+            RunResult::Cnc(_) => None,
+        }
+    }
+}
+
+/// One measured row of the Table-1 reproduction.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Instance name (`sim_s298`, …).
+    pub name: String,
+    /// `i/o/cs` of the circuit.
+    pub io_cs: String,
+    /// `Fcs/Xcs` split sizes.
+    pub fcs_xcs: String,
+    /// Partitioned-run result.
+    pub partitioned: RunResult,
+    /// Monolithic-run result.
+    pub monolithic: RunResult,
+    /// Did the verification checks pass (when run)?
+    pub verified: Option<bool>,
+    /// The values the paper reports for the original ISCAS circuit.
+    pub paper: gen::PaperRow,
+}
+
+impl Table1Row {
+    /// `Mono/Part` runtime ratio, when both completed.
+    pub fn ratio(&self) -> Option<f64> {
+        match (self.partitioned.seconds(), self.monolithic.seconds()) {
+            (Some(p), Some(m)) if p > 0.0 => Some(m / p),
+            _ => None,
+        }
+    }
+}
+
+/// Harness configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessOptions {
+    /// Per-run wall-clock limit (the CNC threshold).
+    pub time_limit: Duration,
+    /// Per-run live-node limit.
+    pub node_limit: usize,
+    /// Run the paper's verification checks on the partitioned CSF.
+    pub verify: bool,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        HarnessOptions {
+            time_limit: Duration::from_secs(120),
+            node_limit: 8_000_000,
+            verify: false,
+        }
+    }
+}
+
+fn limits(opts: &HarnessOptions) -> SolverLimits {
+    SolverLimits {
+        node_limit: Some(opts.node_limit),
+        time_limit: Some(opts.time_limit),
+        max_states: Some(2_000_000),
+    }
+}
+
+/// Runs both solvers on one instance.
+pub fn run_instance(inst: &Table1Instance, opts: &HarnessOptions) -> Table1Row {
+    // Separate problems (and hence managers) per run, so the flows do not
+    // share caches — as in the paper, each method runs standalone.
+    let part = {
+        let problem = LatchSplitProblem::new(&inst.network, &inst.unknown_latches)
+            .expect("instance must split");
+        let t0 = Instant::now();
+        let outcome = langeq_core::solve_partitioned(
+            &problem.equation,
+            &PartitionedOptions {
+                limits: limits(opts),
+                ..PartitionedOptions::paper()
+            },
+        );
+        let elapsed = t0.elapsed();
+        (problem, outcome, elapsed)
+    };
+    let (problem, part_outcome, part_time) = part;
+    let verified = match (&part_outcome, opts.verify) {
+        (Outcome::Solved(sol), true) => {
+            Some(verify_latch_split(&problem, &sol.csf).all_passed())
+        }
+        _ => None,
+    };
+    let partitioned = match &part_outcome {
+        Outcome::Solved(sol) => RunResult::Done {
+            time: part_time,
+            csf_states: sol.csf.num_states(),
+            subset_states: sol.stats.subset_states,
+        },
+        Outcome::Cnc(r) => RunResult::Cnc(*r),
+    };
+    drop(part_outcome);
+    drop(problem);
+
+    let monolithic = {
+        let problem = LatchSplitProblem::new(&inst.network, &inst.unknown_latches)
+            .expect("instance must split");
+        let t0 = Instant::now();
+        let outcome = langeq_core::solve_monolithic(
+            &problem.equation,
+            &MonolithicOptions {
+                limits: limits(opts),
+            },
+        );
+        let elapsed = t0.elapsed();
+        match outcome {
+            Outcome::Solved(sol) => RunResult::Done {
+                time: elapsed,
+                csf_states: sol.csf.num_states(),
+                subset_states: sol.stats.subset_states,
+            },
+            Outcome::Cnc(r) => RunResult::Cnc(r),
+        }
+    };
+
+    let n = &inst.network;
+    Table1Row {
+        name: inst.name.to_string(),
+        io_cs: format!("{}/{}/{}", n.num_inputs(), n.num_outputs(), n.num_latches()),
+        fcs_xcs: format!(
+            "{}/{}",
+            n.num_latches() - inst.unknown_latches.len(),
+            inst.unknown_latches.len()
+        ),
+        partitioned,
+        monolithic,
+        verified,
+        paper: inst.paper,
+    }
+}
+
+/// Runs the full Table-1 reproduction.
+pub fn run_table1(opts: &HarnessOptions) -> Vec<Table1Row> {
+    gen::table1()
+        .iter()
+        .map(|inst| run_instance(inst, opts))
+        .collect()
+}
+
+/// Formats measured rows in the paper's column layout.
+pub fn format_table1(rows: &[Table1Row]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>8} {:>8} {:>10} {:>9} {:>9} {:>7}  Verified",
+        "Name", "i/o/cs", "Fcs/Xcs", "States(X)", "Part,s", "Mono,s", "Ratio"
+    );
+    for r in rows {
+        let states = match &r.partitioned {
+            RunResult::Done { csf_states, .. } => csf_states.to_string(),
+            RunResult::Cnc(_) => "-".into(),
+        };
+        let part = r
+            .partitioned
+            .seconds()
+            .map(|s| format!("{s:.2}"))
+            .unwrap_or_else(|| "CNC".into());
+        let mono = r
+            .monolithic
+            .seconds()
+            .map(|s| format!("{s:.2}"))
+            .unwrap_or_else(|| "CNC".into());
+        let ratio = r
+            .ratio()
+            .map(|x| format!("{x:.1}"))
+            .unwrap_or_else(|| "-".into());
+        let verified = match r.verified {
+            Some(true) => "ok",
+            Some(false) => "FAILED",
+            None => "-",
+        };
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8} {:>8} {:>10} {:>9} {:>9} {:>7}  {}",
+            r.name, r.io_cs, r.fcs_xcs, states, part, mono, ratio, verified
+        );
+    }
+    out
+}
+
+/// Formats the paper-reported values alongside the measurements (for
+/// EXPERIMENTS.md).
+pub fn format_comparison(rows: &[Table1Row]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| Instance | paper States(X) | ours | paper Part,s | ours | paper Mono,s | ours | paper Ratio | ours |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|");
+    for r in rows {
+        let states = match &r.partitioned {
+            RunResult::Done { csf_states, .. } => csf_states.to_string(),
+            RunResult::Cnc(_) => "CNC".into(),
+        };
+        let part = r
+            .partitioned
+            .seconds()
+            .map(|s| format!("{s:.2}"))
+            .unwrap_or_else(|| "CNC".into());
+        let mono = r
+            .monolithic
+            .seconds()
+            .map(|s| format!("{s:.2}"))
+            .unwrap_or_else(|| "CNC".into());
+        let ratio = r
+            .ratio()
+            .map(|x| format!("{x:.1}"))
+            .unwrap_or_else(|| "-".into());
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            r.name, r.paper.states_x, states, r.paper.part_s, part, r.paper.mono_s, mono,
+            r.paper.ratio, ratio
+        );
+    }
+    out
+}
+
+/// One point of the scaling sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Total latches of the generated circuit.
+    pub latches: usize,
+    /// Partitioned result.
+    pub partitioned: RunResult,
+    /// Monolithic result.
+    pub monolithic: RunResult,
+}
+
+/// Scaling sweep (extension experiment): structured controllers (the
+/// convergent counter + shift-chain family of the Table-1 stand-ins) of
+/// growing size, split in half, solved by both flows. Pure random state
+/// logic is *not* used here — its sequential flexibility explodes and both
+/// flows CNC almost immediately (see DESIGN.md §6), which would hide the
+/// partitioned-vs-monolithic trend the sweep is meant to expose.
+pub fn run_sweep(sizes: &[usize], opts: &HarnessOptions) -> Vec<SweepPoint> {
+    sizes
+        .iter()
+        .map(|&l| {
+            let shift = l / 3;
+            let cfg = gen::HybridCfg {
+                name: format!("sweep{l}"),
+                seed: 9000 + l as u64,
+                num_inputs: 3,
+                num_outputs: 2,
+                count_bits: l - shift,
+                shift_bits: shift,
+                rand_bits: 0,
+                window: 2,
+                depth: 2,
+                out_extra: 0,
+                rand_first: false,
+            };
+            let net = gen::hybrid_controller(&cfg);
+            let unknown: Vec<usize> = (l / 2..l).collect();
+            let inst = Table1Instance {
+                name: "sweep",
+                network: net,
+                unknown_latches: unknown,
+                paper: gen::PaperRow {
+                    io_cs: "",
+                    fcs_xcs: "",
+                    states_x: "",
+                    part_s: "",
+                    mono_s: "",
+                    ratio: "",
+                },
+            };
+            let row = run_instance(&inst, opts);
+            SweepPoint {
+                latches: l,
+                partitioned: row.partitioned,
+                monolithic: row.monolithic,
+            }
+        })
+        .collect()
+}
+
+/// Formats the sweep as a series (the shape behind the paper's "efficiency
+/// increasing as the problem size increases").
+pub fn format_sweep(points: &[SweepPoint]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>8} {:>10} {:>10} {:>8}", "latches", "Part,s", "Mono,s", "Ratio");
+    for p in points {
+        let part = p
+            .partitioned
+            .seconds()
+            .map(|s| format!("{s:.2}"))
+            .unwrap_or_else(|| "CNC".into());
+        let mono = p
+            .monolithic
+            .seconds()
+            .map(|s| format!("{s:.2}"))
+            .unwrap_or_else(|| "CNC".into());
+        let ratio = match (p.partitioned.seconds(), p.monolithic.seconds()) {
+            (Some(a), Some(b)) if a > 0.0 => format!("{:.1}", b / a),
+            _ => "-".into(),
+        };
+        let _ = writeln!(out, "{:>8} {:>10} {:>10} {:>8}", p.latches, part, mono, ratio);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smallest_instance_runs_end_to_end() {
+        let instances = gen::table1();
+        let inst = &instances[0]; // sim_s510
+        let row = run_instance(
+            inst,
+            &HarnessOptions {
+                time_limit: Duration::from_secs(60),
+                node_limit: 4_000_000,
+                verify: true,
+            },
+        );
+        assert!(matches!(row.partitioned, RunResult::Done { .. }));
+        assert_eq!(row.verified, Some(true));
+        let table = format_table1(std::slice::from_ref(&row));
+        assert!(table.contains("sim_s510"));
+        let md = format_comparison(&[row]);
+        assert!(md.contains("| sim_s510 |"));
+    }
+}

@@ -1,0 +1,160 @@
+//! A minimal option scanner for the CLI: positional arguments plus
+//! `--flag` / `--key value` options, with typed accessors and an
+//! unknown-option check. Deliberately tiny — the workspace has no
+//! command-line-parsing dependency.
+
+use crate::commands::CliError;
+
+/// Parsed arguments of one subcommand invocation.
+pub struct Parsed {
+    positional: Vec<String>,
+    options: Vec<(String, Option<String>)>,
+}
+
+/// Splits `args` into positionals and options. `value_keys` lists the
+/// options that consume a following value; everything else starting with
+/// `--` is a boolean flag.
+pub fn scan(args: &[String], value_keys: &[&str]) -> Result<Parsed, CliError> {
+    let mut positional = Vec::new();
+    let mut options = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            if value_keys.contains(&key) {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage(format!("--{key} needs a value")))?;
+                options.push((key.to_string(), Some(v.clone())));
+            } else {
+                options.push((key.to_string(), None));
+            }
+        } else if a == "-o" {
+            let v = it
+                .next()
+                .ok_or_else(|| CliError::Usage("-o needs a path".into()))?;
+            options.push(("o".to_string(), Some(v.clone())));
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok(Parsed {
+        positional,
+        options,
+    })
+}
+
+impl Parsed {
+    /// Exactly `n` positionals, or a usage error.
+    pub fn exactly(&self, n: usize, what: &str) -> Result<&[String], CliError> {
+        if self.positional.len() == n {
+            Ok(&self.positional)
+        } else {
+            Err(CliError::Usage(format!(
+                "expected {n} argument(s): {what} (got {})",
+                self.positional.len()
+            )))
+        }
+    }
+
+    /// The value of `--key value` (or `-o` as key `"o"`).
+    pub fn value(&self, key: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// True if the boolean flag is present.
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.iter().any(|(k, v)| k == key && v.is_none())
+    }
+
+    /// Parses a comma-separated `usize` list option.
+    pub fn usize_list(&self, key: &str) -> Result<Option<Vec<usize>>, CliError> {
+        match self.value(key) {
+            None => Ok(None),
+            Some(text) => text
+                .split(',')
+                .filter(|t| !t.is_empty())
+                .map(|t| {
+                    t.trim()
+                        .parse()
+                        .map_err(|_| CliError::Usage(format!("bad index `{t}` in --{key}")))
+                })
+                .collect::<Result<Vec<usize>, CliError>>()
+                .map(Some),
+        }
+    }
+
+    /// Parses a numeric option.
+    pub fn number<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, CliError> {
+        match self.value(key) {
+            None => Ok(None),
+            Some(text) => text
+                .parse()
+                .map(Some)
+                .map_err(|_| CliError::Usage(format!("bad number `{text}` for --{key}"))),
+        }
+    }
+
+    /// Errors on any option not in `known` (catches typos).
+    pub fn reject_unknown(&self, known: &[&str]) -> Result<(), CliError> {
+        for (k, _) in &self.options {
+            if !known.contains(&k.as_str()) {
+                return Err(CliError::Usage(format!("unknown option --{k}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn scan_splits_positionals_and_options() {
+        let p = scan(
+            &strs(&["a.aut", "--split", "1,2", "--verify", "-o", "out.aut"]),
+            &["split"],
+        )
+        .unwrap();
+        assert_eq!(p.exactly(1, "<file>").unwrap(), &["a.aut"]);
+        assert_eq!(p.value("split"), Some("1,2"));
+        assert!(p.flag("verify"));
+        assert_eq!(p.value("o"), Some("out.aut"));
+        assert_eq!(p.usize_list("split").unwrap(), Some(vec![1, 2]));
+    }
+
+    #[test]
+    fn missing_value_is_usage_error() {
+        assert!(scan(&strs(&["--split"]), &["split"]).is_err());
+        assert!(scan(&strs(&["-o"]), &[]).is_err());
+    }
+
+    #[test]
+    fn reject_unknown_catches_typos() {
+        let p = scan(&strs(&["--verbose"]), &[]).unwrap();
+        assert!(p.reject_unknown(&["verify"]).is_err());
+        assert!(p.reject_unknown(&["verbose"]).is_ok());
+    }
+
+    #[test]
+    fn exactly_counts_positionals() {
+        let p = scan(&strs(&["x", "y"]), &[]).unwrap();
+        assert!(p.exactly(2, "files").is_ok());
+        assert!(p.exactly(1, "file").is_err());
+    }
+
+    #[test]
+    fn bad_numbers_are_usage_errors() {
+        let p = scan(&strs(&["--timeout", "abc"]), &["timeout"]).unwrap();
+        assert!(p.number::<u64>("timeout").is_err());
+        let p = scan(&strs(&["--split", "1,x"]), &["split"]).unwrap();
+        assert!(p.usize_list("split").is_err());
+    }
+}

@@ -1,0 +1,189 @@
+//! Automaton-level commands: the unary operations, `progressive`,
+//! `support`, `product`, `dot`, and the language checks.
+
+use std::process::ExitCode;
+
+use langeq_bdd::VarId;
+
+use crate::cliargs::scan;
+use crate::commands::CliError;
+use crate::io;
+
+/// `langeq complete|determinize|complement|minimize|prefix-close <in> [-o]`.
+///
+/// `minimize` also accepts a `.kiss`/`.kiss2` machine, applying Mealy state
+/// minimization instead of the automaton bisimulation quotient.
+pub fn unary(cmd: &str, args: &[String]) -> Result<ExitCode, CliError> {
+    let p = scan(args, &[])?;
+    p.reject_unknown(&["o"])?;
+    let [path] = p.exactly(1, "<in.aut>")? else {
+        unreachable!()
+    };
+    if cmd == "minimize" && io::kind_of(path)? == io::Kind::Kiss {
+        let fsm = io::load_kiss(path)?;
+        let min = fsm
+            .minimize()
+            .map_err(|e| CliError::Run(format!("{path}: {e}")))?;
+        println!(
+            "minimized {} states to {}",
+            fsm.num_states(),
+            min.num_states()
+        );
+        io::write_out(p.value("o"), &min.to_kiss())?;
+        return Ok(ExitCode::SUCCESS);
+    }
+    let (_mgr, aut, names) = io::load_automaton(path)?;
+    let result = match cmd {
+        "complete" => aut.complete(false).0,
+        "determinize" => aut.determinize(),
+        "complement" => aut.complement(),
+        "minimize" => aut.minimize(),
+        "prefix-close" => aut.prefix_close(),
+        other => return Err(CliError::Usage(format!("not a unary op: {other}"))),
+    };
+    let text = langeq_automata::format::write(&result, &io::invert(&names));
+    io::write_out(p.value("o"), &text)?;
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Resolves a comma-separated variable-name list against the `.alphabet`
+/// names of a parsed automaton.
+fn resolve_vars(
+    names: &std::collections::HashMap<String, VarId>,
+    list: &str,
+) -> Result<Vec<VarId>, CliError> {
+    list.split(',')
+        .filter(|t| !t.is_empty())
+        .map(|t| {
+            names
+                .get(t.trim())
+                .copied()
+                .ok_or_else(|| CliError::Usage(format!("unknown alphabet variable `{t}`")))
+        })
+        .collect()
+}
+
+/// `langeq progressive <in> --inputs a,b [-o]` — the input-progressive
+/// sub-automaton (the CSF post-processing step).
+pub fn progressive(args: &[String]) -> Result<ExitCode, CliError> {
+    let p = scan(args, &["inputs"])?;
+    p.reject_unknown(&["inputs", "o"])?;
+    let [path] = p.exactly(1, "<in.aut>")? else {
+        unreachable!()
+    };
+    let (_mgr, aut, names) = io::load_automaton(path)?;
+    let inputs = resolve_vars(
+        &names,
+        p.value("inputs")
+            .ok_or_else(|| CliError::Usage("--inputs a,b,... is required".into()))?,
+    )?;
+    let result = aut.progressive(&inputs);
+    let text = langeq_automata::format::write(&result, &io::invert(&names));
+    io::write_out(p.value("o"), &text)?;
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `langeq support <in> --vars a,b,c [-o]` — changes the automaton's
+/// support to exactly the listed variables (hiding the rest, expanding by
+/// the new ones), the paper's `⇑`/`⇓` operators.
+pub fn support(args: &[String]) -> Result<ExitCode, CliError> {
+    let p = scan(args, &["vars"])?;
+    p.reject_unknown(&["vars", "o"])?;
+    let [path] = p.exactly(1, "<in.aut>")? else {
+        unreachable!()
+    };
+    let (mgr, aut, mut names) = io::load_automaton(path)?;
+    let spec = p
+        .value("vars")
+        .ok_or_else(|| CliError::Usage("--vars a,b,... is required".into()))?;
+    // Targets may include fresh names: create variables for them.
+    let mut target = Vec::new();
+    for tok in spec.split(',').filter(|t| !t.is_empty()) {
+        let name = tok.trim().to_string();
+        let var = *names
+            .entry(name)
+            .or_insert_with(|| mgr.new_var().support()[0]);
+        target.push(var);
+    }
+    let hide: Vec<VarId> = aut
+        .alphabet()
+        .iter()
+        .copied()
+        .filter(|v| !target.contains(v))
+        .collect();
+    let expand: Vec<VarId> = target
+        .iter()
+        .copied()
+        .filter(|v| !aut.alphabet().contains(v))
+        .collect();
+    let result = aut.hide(&hide).expand(&expand);
+    let text = langeq_automata::format::write(&result, &io::invert(&names));
+    io::write_out(p.value("o"), &text)?;
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `langeq product <a> <b> [-o]` — synchronous product (the automata must
+/// have the same alphabet names).
+pub fn product(args: &[String]) -> Result<ExitCode, CliError> {
+    let p = scan(args, &[])?;
+    p.reject_unknown(&["o"])?;
+    let [a_path, b_path] = p.exactly(2, "<a.aut> <b.aut>")? else {
+        unreachable!()
+    };
+    let (mgr, a, names) = io::load_automaton(a_path)?;
+    let b = io::load_automaton_into(&mgr, &names, b_path)?;
+    let result = a.product(&b);
+    let text = langeq_automata::format::write(&result, &io::invert(&names));
+    io::write_out(p.value("o"), &text)?;
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `langeq contains <a> <b>` (L(b) ⊆ L(a)?) and `langeq equivalent <a> <b>`.
+/// Prints the verdict; exit 0 = holds, 1 = fails.
+pub fn check(cmd: &str, args: &[String]) -> Result<ExitCode, CliError> {
+    let p = scan(args, &[])?;
+    p.reject_unknown(&[])?;
+    let [a_path, b_path] = p.exactly(2, "<a.aut> <b.aut>")? else {
+        unreachable!()
+    };
+    let (mgr, a, names) = io::load_automaton(a_path)?;
+    let b = io::load_automaton_into(&mgr, &names, b_path)?;
+    let holds = match cmd {
+        "contains" => a.contains_languages_of(&b),
+        "equivalent" => a.equivalent(&b),
+        other => return Err(CliError::Usage(format!("not a check: {other}"))),
+    };
+    println!("{holds}");
+    Ok(if holds {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+/// `langeq dot <in> [-o out.dot]` — Graphviz rendering of an automaton or a
+/// small network's STG.
+pub fn dot(args: &[String]) -> Result<ExitCode, CliError> {
+    let p = scan(args, &[])?;
+    p.reject_unknown(&["o"])?;
+    let [path] = p.exactly(1, "<in>")? else {
+        unreachable!()
+    };
+    let text = match io::kind_of(path)? {
+        io::Kind::Aut => {
+            let (_mgr, aut, names) = io::load_automaton(path)?;
+            aut.to_dot(&io::invert(&names))
+        }
+        io::Kind::Bench | io::Kind::Blif | io::Kind::Kiss => {
+            let net = io::load_network(path)?;
+            io::extract_stg_checked(&net)?.to_dot()
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "`{path}` is {other:?}; dot needs an automaton or network"
+            )))
+        }
+    };
+    io::write_out(p.value("o"), &text)?;
+    Ok(ExitCode::SUCCESS)
+}

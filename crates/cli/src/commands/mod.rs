@@ -1,0 +1,14 @@
+//! Subcommand implementations.
+
+pub mod aut;
+pub mod net;
+pub mod solve;
+
+/// CLI failure modes, mapped to exit codes in `main`.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad invocation (exit 2).
+    Usage(String),
+    /// Valid invocation that failed while running (exit 3).
+    Run(String),
+}

@@ -1,0 +1,148 @@
+//! Network-level commands: `info`, `convert`, `stg`, `latch-split`.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use langeq_bdd::{BddManager, VarId};
+use langeq_core::PartitionedFsm;
+use langeq_logic::Network;
+
+use crate::cliargs::scan;
+use crate::commands::CliError;
+use crate::io;
+
+/// `langeq info <file>` — interface and size statistics.
+pub fn info(args: &[String]) -> Result<ExitCode, CliError> {
+    let p = scan(args, &[])?;
+    p.reject_unknown(&[])?;
+    let [path] = p.exactly(1, "<file>")? else {
+        unreachable!()
+    };
+    match io::kind_of(path)? {
+        io::Kind::Aut => {
+            let (_mgr, aut, names) = io::load_automaton(path)?;
+            let mut cols: Vec<&String> = names.keys().collect();
+            cols.sort();
+            println!("automaton      {path}");
+            println!("alphabet vars  {}", aut.alphabet().len());
+            println!("states         {}", aut.num_states());
+            println!("transitions    {}", aut.num_transitions());
+            println!("reachable      {}", aut.reachable_states().len());
+            println!("deterministic  {}", aut.is_deterministic());
+            println!("complete       {}", aut.is_complete());
+            println!(
+                "accepting      {}",
+                (0..aut.num_states())
+                    .filter(|&s| aut.is_accepting(langeq_automata::StateId(s as u32)))
+                    .count()
+            );
+        }
+        io::Kind::Kiss => {
+            let fsm = io::load_kiss(path)?;
+            println!("kiss machine   {path}");
+            println!("inputs         {}", fsm.num_inputs());
+            println!("outputs        {}", fsm.num_outputs());
+            println!("states         {}", fsm.num_states());
+            println!("products       {}", fsm.transitions().len());
+            println!("reset          {}", fsm.state_names()[fsm.reset()]);
+            println!("deterministic  {}", fsm.is_deterministic());
+            println!("complete       {}", fsm.is_complete());
+        }
+        _ => {
+            let net = io::load_network(path)?;
+            net.validate()
+                .map_err(|e| CliError::Run(format!("invalid network: {e}")))?;
+            println!("network        {}", net.name());
+            println!("inputs         {}", net.num_inputs());
+            println!("outputs        {}", net.num_outputs());
+            println!("latches        {}", net.num_latches());
+            println!("gates          {}", net.num_gates());
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `langeq convert <in> <out>` — between network formats (including KISS
+/// synthesis and, for small networks, KISS extraction).
+pub fn convert(args: &[String]) -> Result<ExitCode, CliError> {
+    let p = scan(args, &[])?;
+    p.reject_unknown(&[])?;
+    let [input, output] = p.exactly(2, "<in> <out>")? else {
+        unreachable!()
+    };
+    let net = io::load_network(input)?;
+    io::save_network(&net, output)?;
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Builds the `(i, o)`-automaton of a network together with the display
+/// names of its alphabet variables.
+pub fn network_automaton(
+    net: &Network,
+) -> Result<(BddManager, langeq_automata::Automaton, HashMap<VarId, String>), CliError> {
+    net.validate()
+        .map_err(|e| CliError::Run(format!("invalid network: {e}")))?;
+    if net.num_latches() > 16 {
+        return Err(CliError::Run(format!(
+            "network has {} latches; explicit automaton extraction is limited to 16",
+            net.num_latches()
+        )));
+    }
+    let (mgr, fsm) = PartitionedFsm::standalone(net, langeq_core::StateOrder::Interleaved)
+        .map_err(|e| CliError::Run(format!("elaboration failed: {e}")))?;
+    let aut = langeq_core::algorithm1::component_to_automaton(&mgr, &fsm);
+    let mut names = HashMap::new();
+    for (k, &v) in fsm.inputs.iter().enumerate() {
+        names.insert(v, net.net_name(net.inputs()[k]).to_string());
+    }
+    for (j, out) in fsm.outputs.iter().enumerate() {
+        names.insert(out.var, net.net_name(net.outputs()[j]).to_string());
+    }
+    Ok((mgr, aut, names))
+}
+
+/// `langeq stg <net> [-o out.aut]` — the automaton of a network (every
+/// reachable state accepting; the paper's network → automaton derivation).
+pub fn stg(args: &[String]) -> Result<ExitCode, CliError> {
+    let p = scan(args, &[])?;
+    p.reject_unknown(&["o"])?;
+    let [path] = p.exactly(1, "<net>")? else {
+        unreachable!()
+    };
+    let net = io::load_network(path)?;
+    let (_mgr, aut, names) = network_automaton(&net)?;
+    let text = langeq_automata::format::write(&aut, &names);
+    io::write_out(p.value("o"), &text)?;
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `langeq latch-split <net> --split K,K,... [--fixed F] [--xp X]` — the
+/// paper's benchmark transformation.
+pub fn latch_split(args: &[String]) -> Result<ExitCode, CliError> {
+    let p = scan(args, &["split", "fixed", "xp"])?;
+    p.reject_unknown(&["split", "fixed", "xp"])?;
+    let [path] = p.exactly(1, "<net>")? else {
+        unreachable!()
+    };
+    let split = p
+        .usize_list("split")?
+        .ok_or_else(|| CliError::Usage("--split K,K,... is required".into()))?;
+    let net = io::load_network(path)?;
+    let parts = net
+        .split_latches(&split)
+        .map_err(|e| CliError::Run(format!("split failed: {e}")))?;
+    println!(
+        "split {} ({} latches) into F ({} latches) and X_P ({} latches)",
+        net.name(),
+        net.num_latches(),
+        parts.fixed.num_latches(),
+        parts.unknown.num_latches()
+    );
+    if let Some(out) = p.value("fixed") {
+        io::save_network(&parts.fixed, out)?;
+    }
+    if let Some(out) = p.value("xp") {
+        io::save_network(&parts.unknown, out)?;
+    }
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,155 @@
+//! The solver commands: `solve` (CSF of a latch split) and `extract`
+//! (CSF → deterministic Mealy sub-solution).
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use langeq_core::extract::{extract_submachine, submachine_to_automaton, SelectionStrategy};
+use langeq_core::verify::verify_latch_split;
+use langeq_core::{
+    LatchSplitProblem, MonolithicOptions, Outcome, PartitionedOptions, Solution, SolverLimits,
+};
+
+use crate::cliargs::{scan, Parsed};
+use crate::commands::CliError;
+use crate::io;
+
+fn build_problem(p: &Parsed) -> Result<LatchSplitProblem, CliError> {
+    let spec_path = p
+        .value("spec")
+        .ok_or_else(|| CliError::Usage("--spec <network file> is required".into()))?;
+    let split = p
+        .usize_list("split")?
+        .ok_or_else(|| CliError::Usage("--split K,K,... is required".into()))?;
+    let net = io::load_network(spec_path)?;
+    LatchSplitProblem::new(&net, &split)
+        .map_err(|e| CliError::Run(format!("latch split failed: {e}")))
+}
+
+fn limits(p: &Parsed) -> Result<SolverLimits, CliError> {
+    Ok(SolverLimits {
+        node_limit: p.number::<usize>("node-limit")?,
+        time_limit: p.number::<u64>("timeout")?.map(Duration::from_secs),
+        max_states: Some(2_000_000),
+    })
+}
+
+fn run_solver(problem: &LatchSplitProblem, p: &Parsed) -> Result<Solution, CliError> {
+    let limits = limits(p)?;
+    let outcome = if p.flag("mono") {
+        langeq_core::solve_monolithic(&problem.equation, &MonolithicOptions { limits })
+    } else {
+        langeq_core::solve_partitioned(
+            &problem.equation,
+            &PartitionedOptions {
+                limits,
+                ..PartitionedOptions::paper()
+            },
+        )
+    };
+    match outcome {
+        Outcome::Solved(sol) => Ok(*sol),
+        Outcome::Cnc(reason) => Err(CliError::Run(format!("could not complete: {reason}"))),
+    }
+}
+
+/// `langeq solve --spec <net> --split K,... [--mono] [--timeout S]
+/// [--node-limit N] [--verify] [--stats] [-o csf.aut]`.
+pub fn solve(args: &[String]) -> Result<ExitCode, CliError> {
+    let p = scan(args, &["spec", "split", "timeout", "node-limit"])?;
+    p.reject_unknown(&["spec", "split", "timeout", "node-limit", "mono", "verify", "stats", "o"])?;
+    let problem = build_problem(&p)?;
+    let sol = run_solver(&problem, &p)?;
+    println!(
+        "CSF: {} states, {} transitions",
+        sol.csf.num_states(),
+        sol.csf.num_transitions()
+    );
+    if p.flag("stats") {
+        println!(
+            "subset states {}  images {}  peak live nodes {}  time {:.2}s",
+            sol.stats.subset_states,
+            sol.stats.images,
+            sol.stats.peak_live_nodes,
+            sol.stats.duration.as_secs_f64()
+        );
+    }
+    let mut ok = true;
+    if p.flag("verify") {
+        let report = verify_latch_split(&problem, &sol.csf);
+        println!("verify: {report}");
+        ok = report.all_passed();
+    }
+    if let Some(out) = p.value("o") {
+        let text = langeq_automata::format::write(&sol.csf, problem.equation.vars.names());
+        io::write_out(Some(out), &text)?;
+    }
+    Ok(if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+/// `langeq extract --spec <net> --split K,... [--strategy s] [--verify]
+/// [-o sub.kiss]`.
+pub fn extract(args: &[String]) -> Result<ExitCode, CliError> {
+    let p = scan(args, &["spec", "split", "timeout", "node-limit", "strategy"])?;
+    p.reject_unknown(&[
+        "spec",
+        "split",
+        "timeout",
+        "node-limit",
+        "strategy",
+        "verify",
+        "minimize",
+        "o",
+    ])?;
+    let strategy = match p.value("strategy").unwrap_or("lexmin") {
+        "lexmin" => SelectionStrategy::LexMinOutput,
+        "first" => SelectionStrategy::FirstTransition,
+        "selfloop" => SelectionStrategy::PreferSelfLoop,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown strategy `{other}` (lexmin|first|selfloop)"
+            )))
+        }
+    };
+    let problem = build_problem(&p)?;
+    let sol = run_solver(&problem, &p)?;
+    let vars = &problem.equation.vars;
+    let mut fsm = extract_submachine(&sol.csf, &vars.u, &vars.v, strategy)
+        .map_err(|e| CliError::Run(format!("extraction failed: {e}")))?;
+    if p.flag("minimize") {
+        fsm = fsm
+            .minimize()
+            .map_err(|e| CliError::Run(format!("minimization failed: {e}")))?;
+    }
+    println!(
+        "sub-solution: {} states, {} products (CSF had {} states)",
+        fsm.num_states(),
+        fsm.transitions().len(),
+        sol.csf.num_states()
+    );
+    let mut ok = true;
+    if p.flag("verify") {
+        let sub = submachine_to_automaton(&fsm, problem.equation.manager(), &vars.u, &vars.v);
+        let contained = sol.csf.contains_languages_of(&sub);
+        let satisfies =
+            langeq_core::verify::composition_contained_in_spec(&problem.equation, &sub);
+        println!(
+            "verify: sub ⊆ CSF: {}; F∘sub ⊆ S: {}",
+            if contained { "ok" } else { "FAILED" },
+            if satisfies { "ok" } else { "FAILED" }
+        );
+        ok = contained && satisfies;
+    }
+    if let Some(out) = p.value("o") {
+        io::write_out(Some(out), &fsm.to_kiss())?;
+    }
+    Ok(if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}

@@ -1,0 +1,182 @@
+//! File I/O helpers: artifact kind detection by extension, loading and
+//! saving of networks, FSMs and automata, and `-` as stdout.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use langeq_automata::Automaton;
+use langeq_bdd::{BddManager, VarId};
+use langeq_logic::kiss::MealyFsm;
+use langeq_logic::Network;
+
+use crate::commands::CliError;
+
+/// On-disk artifact kinds understood by the CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// ISCAS'89 `.bench` netlist.
+    Bench,
+    /// Berkeley BLIF netlist.
+    Blif,
+    /// KISS2 Mealy FSM.
+    Kiss,
+    /// `.aut` automaton.
+    Aut,
+    /// Graphviz output.
+    Dot,
+}
+
+/// Determines the artifact kind from a file extension.
+pub fn kind_of(path: &str) -> Result<Kind, CliError> {
+    let ext = Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("")
+        .to_ascii_lowercase();
+    match ext.as_str() {
+        "bench" => Ok(Kind::Bench),
+        "blif" => Ok(Kind::Blif),
+        "kiss" | "kiss2" => Ok(Kind::Kiss),
+        "aut" => Ok(Kind::Aut),
+        "dot" | "gv" => Ok(Kind::Dot),
+        other => Err(CliError::Usage(format!(
+            "cannot tell the format of `{path}` (extension `{other}`); \
+             known: .bench .blif .kiss .kiss2 .aut .dot"
+        ))),
+    }
+}
+
+fn read(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|e| CliError::Run(format!("reading {path}: {e}")))
+}
+
+/// Writes `text` to `path`, or to stdout when `path` is `-` or absent.
+pub fn write_out(path: Option<&str>, text: &str) -> Result<(), CliError> {
+    match path {
+        None | Some("-") => {
+            print!("{text}");
+            Ok(())
+        }
+        Some(p) => std::fs::write(p, text).map_err(|e| CliError::Run(format!("writing {p}: {e}"))),
+    }
+}
+
+/// Loads a sequential network from a `.bench`, `.blif` or `.kiss`/`.kiss2`
+/// file (KISS machines are synthesized with
+/// [`MealyFsm::to_network`]).
+pub fn load_network(path: &str) -> Result<Network, CliError> {
+    let text = read(path)?;
+    match kind_of(path)? {
+        Kind::Bench => langeq_logic::bench_fmt::parse(&text)
+            .map_err(|e| CliError::Run(format!("{path}: {e}"))),
+        Kind::Blif => {
+            langeq_logic::blif::parse(&text).map_err(|e| CliError::Run(format!("{path}: {e}")))
+        }
+        Kind::Kiss => {
+            let fsm = load_kiss_text(&text, path)?;
+            fsm.to_network()
+                .map_err(|e| CliError::Run(format!("{path}: {e}")))
+        }
+        other => Err(CliError::Usage(format!(
+            "`{path}` is {other:?}, expected a network (.bench/.blif/.kiss)"
+        ))),
+    }
+}
+
+/// Loads a KISS2 machine.
+pub fn load_kiss(path: &str) -> Result<MealyFsm, CliError> {
+    let text = read(path)?;
+    load_kiss_text(&text, path)
+}
+
+fn load_kiss_text(text: &str, path: &str) -> Result<MealyFsm, CliError> {
+    langeq_logic::kiss::parse(text).map_err(|e| CliError::Run(format!("{path}: {e}")))
+}
+
+/// Loads an automaton into a fresh manager, returning also the
+/// name → variable map from its `.alphabet` line.
+pub fn load_automaton(path: &str) -> Result<(BddManager, Automaton, HashMap<String, VarId>), CliError> {
+    let text = read(path)?;
+    if kind_of(path)? != Kind::Aut {
+        return Err(CliError::Usage(format!("`{path}` is not an .aut file")));
+    }
+    let mgr = BddManager::new();
+    let (aut, names) = langeq_automata::format::parse(&mgr, &text)
+        .map_err(|e| CliError::Run(format!("{path}: {e}")))?;
+    Ok((mgr, aut, names))
+}
+
+/// Loads a second automaton into an existing manager (so labels are
+/// comparable across the two), requiring the same alphabet names.
+pub fn load_automaton_into(
+    mgr: &BddManager,
+    names: &HashMap<String, VarId>,
+    path: &str,
+) -> Result<Automaton, CliError> {
+    let text = read(path)?;
+    let (aut, names2) = langeq_automata::format::parse(mgr, &text)
+        .map_err(|e| CliError::Run(format!("{path}: {e}")))?;
+    // The second parse created fresh variables; rename them onto the first
+    // automaton's columns by name.
+    let mut map: Vec<(VarId, VarId)> = Vec::new();
+    for (name, var) in &names2 {
+        let target = names.get(name).ok_or_else(|| {
+            CliError::Run(format!(
+                "alphabets disagree: `{name}` is not in the first automaton"
+            ))
+        })?;
+        map.push((*var, *target));
+    }
+    if names2.len() != names.len() {
+        return Err(CliError::Run(format!(
+            "alphabets disagree: {} vs {} variables",
+            names.len(),
+            names2.len()
+        )));
+    }
+    Ok(aut.rename_alphabet(&map))
+}
+
+/// Inverts a name → variable map for writers.
+pub fn invert(names: &HashMap<String, VarId>) -> HashMap<VarId, String> {
+    names.iter().map(|(n, v)| (*v, n.clone())).collect()
+}
+
+/// Saves a network in the format implied by the output extension. Covers
+/// and constants are expanded into plain gates for `.bench` output.
+pub fn save_network(net: &Network, path: &str) -> Result<(), CliError> {
+    let text = match kind_of(path)? {
+        Kind::Bench => {
+            let gates_only = net
+                .expand_covers()
+                .map_err(|e| CliError::Run(format!("{path}: {e}")))?;
+            langeq_logic::bench_fmt::write(&gates_only)
+                .map_err(|e| CliError::Run(format!("{path}: {e}")))?
+        }
+        Kind::Blif => langeq_logic::blif::write(net),
+        Kind::Kiss => {
+            let stg = extract_stg_checked(net)?;
+            MealyFsm::from_stg(net.name(), &stg).to_kiss()
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "`{path}` is {other:?}, expected a network format"
+            )))
+        }
+    };
+    write_out(Some(path), &text)
+}
+
+/// STG extraction with a friendly error instead of the library panic.
+pub fn extract_stg_checked(net: &Network) -> Result<langeq_logic::stg::Stg, CliError> {
+    if net.num_inputs() > langeq_logic::stg::MAX_INPUTS {
+        return Err(CliError::Run(format!(
+            "network has {} inputs; explicit STG extraction is limited to {}",
+            net.num_inputs(),
+            langeq_logic::stg::MAX_INPUTS
+        )));
+    }
+    net.validate()
+        .map_err(|e| CliError::Run(format!("invalid network: {e}")))?;
+    Ok(langeq_logic::stg::extract(net))
+}

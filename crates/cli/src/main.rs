@@ -1,0 +1,100 @@
+//! `langeq` — a BALM-style command-line front end for the language-equation
+//! solver.
+//!
+//! The tool operates on three on-disk artifact kinds, selected by file
+//! extension:
+//!
+//! * sequential networks — `.bench` (ISCAS'89) or `.blif`,
+//! * Mealy FSMs — `.kiss`/`.kiss2`,
+//! * automata — `.aut` (the workspace's text exchange format).
+//!
+//! Run `langeq help` for the command list. Exit codes: `0` success (and
+//! "holds" for the check commands), `1` a check failed or the solver could
+//! not complete, `2` usage error, `3` input/processing error.
+
+mod cliargs;
+mod commands;
+mod io;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+langeq — language-equation toolkit (DATE'05 partitioned-representation solver)
+
+USAGE: langeq <command> [args]
+
+Network commands (.bench / .blif / .kiss / .kiss2):
+  info <file>                         print interface and size statistics
+  convert <in> <out>                  convert between network formats
+  stg <net> [-o out.aut]              extract the automaton of a network
+  latch-split <net> --split K,K,...   write the fixed part F and the
+        [--fixed f.blif] [--xp x.blif] particular solution X_P
+
+Automaton commands (.aut):
+  complete <in> [-o out.aut]          add the non-accepting DC trap state
+  determinize <in> [-o out.aut]       subset construction
+  complement <in> [-o out.aut]        language complement
+  minimize <in> [-o out.aut]          bisimulation quotient
+  prefix-close <in> [-o out.aut]      drop non-accepting states
+  progressive <in> --inputs a,b [-o]  input-progressive sub-automaton
+  support <in> --vars a,b,c [-o]      hide/expand to the listed variables
+  product <a> <b> [-o out.aut]        synchronous product
+  dot <in> [-o out.dot]               Graphviz rendering (network or automaton)
+
+Check commands (exit 0 = holds, 1 = fails):
+  contains <a> <b>                    L(b) ⊆ L(a)?
+  equivalent <a> <b>                  L(a) = L(b)?
+
+Solver commands:
+  solve --spec <net> --split K,K,...  compute the CSF of a latch split
+        [--mono] [--timeout SECS] [--node-limit N]
+        [--verify] [-o csf.aut] [--stats]
+  extract --spec <net> --split K,...  CSF → deterministic Mealy sub-solution
+        [--strategy lexmin|first|selfloop] [--minimize]
+        [-o sub.kiss] [--verify]
+
+  help                                this text
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match cmd.as_str() {
+        "info" => commands::net::info(rest),
+        "convert" => commands::net::convert(rest),
+        "stg" => commands::net::stg(rest),
+        "latch-split" => commands::net::latch_split(rest),
+        "complete" | "determinize" | "complement" | "minimize" | "prefix-close" => {
+            commands::aut::unary(cmd, rest)
+        }
+        "progressive" => commands::aut::progressive(rest),
+        "support" => commands::aut::support(rest),
+        "product" => commands::aut::product(rest),
+        "dot" => commands::aut::dot(rest),
+        "contains" | "equivalent" => commands::aut::check(cmd, rest),
+        "solve" => commands::solve::solve(rest),
+        "extract" => commands::solve::extract(rest),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => {
+            eprintln!("unknown command `{other}`; run `langeq help`");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(code) => code,
+        Err(commands::CliError::Usage(msg)) => {
+            eprintln!("usage error: {msg}");
+            ExitCode::from(2)
+        }
+        Err(commands::CliError::Run(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(3)
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! End-to-end tests of the `langeq` binary: every command is exercised
+//! against real files in a scratch directory, checking outputs, round trips
+//! and exit codes.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn langeq(dir: &Path, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_langeq"))
+        .current_dir(dir)
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// A scratch directory unique to this test.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("langeq-cli-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// The paper's Figure-3 circuit in `.bench` format.
+const FIGURE3: &str = "\
+INPUT(i)
+OUTPUT(o)
+cs1 = DFF(ns1)
+cs2 = DFF(ns2)
+ns1 = AND(i, cs2)
+ni = NOT(i)
+ns2 = OR(ni, cs1)
+o = XOR(cs1, cs2)
+";
+
+const BEACON_KISS: &str = "\
+.i 1
+.o 1
+.p 4
+.s 2
+.r off
+0 off off 0
+1 off on  0
+0 on  off 1
+1 on  on  1
+.e
+";
+
+#[test]
+fn help_and_unknown_command() {
+    let dir = scratch("help");
+    let out = langeq(&dir, &["help"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("USAGE"));
+    let out = langeq(&dir, &["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown command"));
+    // No arguments at all prints usage on stderr.
+    let out = langeq(&dir, &[]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn info_reports_network_shape() {
+    let dir = scratch("info");
+    std::fs::write(dir.join("fig3.bench"), FIGURE3).unwrap();
+    let out = langeq(&dir, &["info", "fig3.bench"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("inputs         1"));
+    assert!(text.contains("outputs        1"));
+    assert!(text.contains("latches        2"));
+}
+
+#[test]
+fn convert_bench_blif_round_trip() {
+    let dir = scratch("convert");
+    std::fs::write(dir.join("fig3.bench"), FIGURE3).unwrap();
+    assert!(langeq(&dir, &["convert", "fig3.bench", "fig3.blif"])
+        .status
+        .success());
+    assert!(langeq(&dir, &["convert", "fig3.blif", "back.bench"])
+        .status
+        .success());
+    // The round-tripped network still has the same interface.
+    let out = langeq(&dir, &["info", "back.bench"]);
+    let text = stdout(&out);
+    assert!(text.contains("latches        2"), "{text}");
+}
+
+#[test]
+fn stg_emits_figure3_automaton() {
+    let dir = scratch("stg");
+    std::fs::write(dir.join("fig3.bench"), FIGURE3).unwrap();
+    let out = langeq(&dir, &["stg", "fig3.bench", "-o", "fig3.aut"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = std::fs::read_to_string(dir.join("fig3.aut")).unwrap();
+    // Figure 3: three reachable states before completion.
+    assert!(text.contains(".states 3"), "{text}");
+    let out = langeq(&dir, &["info", "fig3.aut"]);
+    let info = stdout(&out);
+    assert!(info.contains("deterministic  true"), "{info}");
+    assert!(info.contains("complete       false"), "{info}");
+}
+
+#[test]
+fn completion_adds_the_dc_state() {
+    let dir = scratch("complete");
+    std::fs::write(dir.join("fig3.bench"), FIGURE3).unwrap();
+    assert!(langeq(&dir, &["stg", "fig3.bench", "-o", "fig3.aut"])
+        .status
+        .success());
+    let out = langeq(&dir, &["complete", "fig3.aut", "-o", "done.aut"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let info = stdout(&langeq(&dir, &["info", "done.aut"]));
+    assert!(info.contains("states         4"), "{info}");
+    assert!(info.contains("complete       true"), "{info}");
+    // Completion preserves the language: the original is contained both
+    // ways on accepting runs — check equivalence via the checker command.
+    let out = langeq(&dir, &["equivalent", "fig3.aut", "done.aut"]);
+    assert!(out.status.success(), "completion must preserve the language");
+}
+
+#[test]
+fn complement_flips_and_checks_fail_with_exit_1() {
+    let dir = scratch("complement");
+    std::fs::write(dir.join("fig3.bench"), FIGURE3).unwrap();
+    assert!(langeq(&dir, &["stg", "fig3.bench", "-o", "a.aut"])
+        .status
+        .success());
+    assert!(langeq(&dir, &["complement", "a.aut", "-o", "na.aut"])
+        .status
+        .success());
+    let out = langeq(&dir, &["equivalent", "a.aut", "na.aut"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stdout(&out).contains("false"));
+    // Everything contains the empty intersection: a ∩ ¬a ⊆ a.
+    assert!(langeq(&dir, &["product", "a.aut", "na.aut", "-o", "empty.aut"])
+        .status
+        .success());
+    let out = langeq(&dir, &["contains", "a.aut", "empty.aut"]);
+    assert!(out.status.success());
+}
+
+#[test]
+fn minimize_and_determinize_preserve_language() {
+    let dir = scratch("minimize");
+    std::fs::write(dir.join("fig3.bench"), FIGURE3).unwrap();
+    assert!(langeq(&dir, &["stg", "fig3.bench", "-o", "a.aut"])
+        .status
+        .success());
+    assert!(langeq(&dir, &["determinize", "a.aut", "-o", "d.aut"])
+        .status
+        .success());
+    assert!(langeq(&dir, &["minimize", "d.aut", "-o", "m.aut"])
+        .status
+        .success());
+    let out = langeq(&dir, &["equivalent", "a.aut", "m.aut"]);
+    assert!(out.status.success(), "{}", stdout(&out));
+}
+
+#[test]
+fn support_hides_variables() {
+    let dir = scratch("support");
+    std::fs::write(dir.join("fig3.bench"), FIGURE3).unwrap();
+    assert!(langeq(&dir, &["stg", "fig3.bench", "-o", "a.aut"])
+        .status
+        .success());
+    // Hide the output column, keeping only the input.
+    let out = langeq(&dir, &["support", "a.aut", "--vars", "i", "-o", "h.aut"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = std::fs::read_to_string(dir.join("h.aut")).unwrap();
+    assert!(text.contains(".alphabet i\n"), "{text}");
+}
+
+#[test]
+fn dot_renders_both_kinds() {
+    let dir = scratch("dot");
+    std::fs::write(dir.join("fig3.bench"), FIGURE3).unwrap();
+    assert!(langeq(&dir, &["stg", "fig3.bench", "-o", "a.aut"])
+        .status
+        .success());
+    let out = langeq(&dir, &["dot", "a.aut"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("digraph"));
+    let out = langeq(&dir, &["dot", "fig3.bench"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("digraph"));
+}
+
+#[test]
+fn kiss_machines_load_convert_and_report() {
+    let dir = scratch("kiss");
+    std::fs::write(dir.join("beacon.kiss"), BEACON_KISS).unwrap();
+    let info = stdout(&langeq(&dir, &["info", "beacon.kiss"]));
+    assert!(info.contains("states         2"), "{info}");
+    assert!(info.contains("deterministic  true"), "{info}");
+    // KISS → BLIF synthesis, then back to a KISS via STG extraction.
+    assert!(langeq(&dir, &["convert", "beacon.kiss", "beacon.blif"])
+        .status
+        .success());
+    let out = langeq(&dir, &["convert", "beacon.blif", "back.kiss"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let info = stdout(&langeq(&dir, &["info", "back.kiss"]));
+    assert!(info.contains("complete       true"), "{info}");
+}
+
+#[test]
+fn latch_split_writes_parts() {
+    let dir = scratch("split");
+    std::fs::write(dir.join("fig3.bench"), FIGURE3).unwrap();
+    let out = langeq(
+        &dir,
+        &[
+            "latch-split",
+            "fig3.bench",
+            "--split",
+            "1",
+            "--fixed",
+            "f.blif",
+            "--xp",
+            "xp.blif",
+        ],
+    );
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("X_P (1 latches)"));
+    let f_info = stdout(&langeq(&dir, &["info", "f.blif"]));
+    // F gains a v input and a u output: 2 inputs, 2 outputs, 1 latch.
+    assert!(f_info.contains("inputs         2"), "{f_info}");
+    assert!(f_info.contains("outputs        2"), "{f_info}");
+    assert!(f_info.contains("latches        1"), "{f_info}");
+}
+
+#[test]
+fn solve_computes_and_verifies_the_csf() {
+    let dir = scratch("solve");
+    std::fs::write(dir.join("fig3.bench"), FIGURE3).unwrap();
+    let out = langeq(
+        &dir,
+        &[
+            "solve", "--spec", "fig3.bench", "--split", "1", "--verify", "--stats", "-o",
+            "csf.aut",
+        ],
+    );
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("CSF:"), "{text}");
+    assert!(text.contains("X_P ⊆ X: ok"), "{text}");
+    assert!(text.contains("F∘X ⊆ S: ok"), "{text}");
+    assert!(dir.join("csf.aut").exists());
+    // The CSF automaton round-trips through info.
+    let info = stdout(&langeq(&dir, &["info", "csf.aut"]));
+    assert!(info.contains("automaton"), "{info}");
+}
+
+#[test]
+fn solve_mono_agrees_with_partitioned() {
+    let dir = scratch("solvemono");
+    std::fs::write(dir.join("fig3.bench"), FIGURE3).unwrap();
+    assert!(langeq(
+        &dir,
+        &["solve", "--spec", "fig3.bench", "--split", "0", "-o", "part.aut"],
+    )
+    .status
+    .success());
+    assert!(langeq(
+        &dir,
+        &["solve", "--spec", "fig3.bench", "--split", "0", "--mono", "-o", "mono.aut"],
+    )
+    .status
+    .success());
+    let out = langeq(&dir, &["equivalent", "part.aut", "mono.aut"]);
+    assert!(out.status.success(), "Corollary 1 violated: {}", stdout(&out));
+}
+
+#[test]
+fn solve_reports_cnc_on_tiny_budget() {
+    let dir = scratch("cnc");
+    std::fs::write(dir.join("fig3.bench"), FIGURE3).unwrap();
+    let out = langeq(
+        &dir,
+        &[
+            "solve",
+            "--spec",
+            "fig3.bench",
+            "--split",
+            "1",
+            "--node-limit",
+            "8",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(3), "{}", stdout(&out));
+    assert!(stderr(&out).contains("could not complete"), "{}", stderr(&out));
+}
+
+#[test]
+fn extract_emits_verified_kiss_submachine() {
+    let dir = scratch("extract");
+    std::fs::write(dir.join("fig3.bench"), FIGURE3).unwrap();
+    for strategy in ["lexmin", "first", "selfloop"] {
+        let out = langeq(
+            &dir,
+            &[
+                "extract", "--spec", "fig3.bench", "--split", "1", "--strategy", strategy,
+                "--verify", "-o", "sub.kiss",
+            ],
+        );
+        assert!(out.status.success(), "{strategy}: {}", stderr(&out));
+        let text = stdout(&out);
+        assert!(text.contains("sub ⊆ CSF: ok"), "{strategy}: {text}");
+        assert!(text.contains("F∘sub ⊆ S: ok"), "{strategy}: {text}");
+        // The written machine is well-formed KISS2.
+        let info = stdout(&langeq(&dir, &["info", "sub.kiss"]));
+        assert!(info.contains("deterministic  true"), "{strategy}: {info}");
+        assert!(info.contains("complete       true"), "{strategy}: {info}");
+    }
+}
+
+#[test]
+fn kiss_minimize_collapses_duplicates() {
+    let dir = scratch("kissmin");
+    // Two behaviourally identical copies of each beacon state.
+    let bloated = "\
+.i 1
+.o 1
+.r off
+0 off off 0
+1 off on  0
+0 on  off2 1
+1 on  on2  1
+0 off2 off 0
+1 off2 on2 0
+0 on2 off2 1
+1 on2 on 1
+";
+    std::fs::write(dir.join("bloated.kiss"), bloated).unwrap();
+    let out = langeq(&dir, &["minimize", "bloated.kiss", "-o", "min.kiss"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("minimized 4 states to 2"));
+    let info = stdout(&langeq(&dir, &["info", "min.kiss"]));
+    assert!(info.contains("states         2"), "{info}");
+}
+
+#[test]
+fn extract_with_minimize_flag() {
+    let dir = scratch("extractmin");
+    std::fs::write(dir.join("fig3.bench"), FIGURE3).unwrap();
+    let out = langeq(
+        &dir,
+        &[
+            "extract", "--spec", "fig3.bench", "--split", "1", "--minimize", "--verify",
+            "-o", "sub.kiss",
+        ],
+    );
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("sub ⊆ CSF: ok"));
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let dir = scratch("usage");
+    std::fs::write(dir.join("fig3.bench"), FIGURE3).unwrap();
+    // Missing required option.
+    let out = langeq(&dir, &["solve", "--spec", "fig3.bench"]);
+    assert_eq!(out.status.code(), Some(2));
+    // Unknown option.
+    let out = langeq(&dir, &["info", "fig3.bench", "--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    // Wrong arity.
+    let out = langeq(&dir, &["equivalent", "one.aut"]);
+    assert_eq!(out.status.code(), Some(2));
+    // Unknown extension.
+    let out = langeq(&dir, &["info", "file.xyz"]);
+    assert_eq!(out.status.code(), Some(2));
+    // Missing file is a run error (3).
+    let out = langeq(&dir, &["info", "missing.bench"]);
+    assert_eq!(out.status.code(), Some(3));
+}

@@ -1,0 +1,274 @@
+//! Problem setup: the language equation `F ∘ X ⊆ S` over the topology of
+//! Figure 1 of the paper, and the latch-splitting construction that produces
+//! the benchmark instances of Table 1.
+
+use langeq_bdd::{Bdd, BddManager, VarId};
+use langeq_logic::{Network, NetworkError};
+
+use crate::fsm::{FsmOutput, PartitionedFsm};
+use crate::universe::{UniverseSizes, VarUniverse};
+
+/// A language equation `F ∘ X ⊆ S` in partitioned representation.
+///
+/// * `F` — the fixed component, reading `(i, v)` and driving `(o, u)`;
+///   its outputs are stored with the `o`-outputs first (paired with
+///   [`VarUniverse::o`]) followed by the `u`-outputs (paired with
+///   [`VarUniverse::u`]).
+/// * `S` — the specification, reading `i` and driving `o`.
+///
+/// Both components are prefix-closed by construction (they are FSMs derived
+/// from netlists), which is the precondition for the paper's algorithm.
+#[derive(Debug, Clone)]
+pub struct LanguageEquation {
+    mgr: BddManager,
+    /// The variable universe shared by all relations of the problem.
+    pub vars: VarUniverse,
+    /// The fixed component (over `i ∪ v` with latches on `cs_f/ns_f`).
+    pub f: PartitionedFsm,
+    /// The specification (over `i` with latches on `cs_s/ns_s`).
+    pub s: PartitionedFsm,
+}
+
+impl LanguageEquation {
+    /// Assembles an equation from pre-built components, validating the
+    /// variable wiring against the universe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the components do not use the universe's variables in the
+    /// canonical way (inputs, latch pairs and output variables must match).
+    pub fn new(vars: VarUniverse, f: PartitionedFsm, s: PartitionedFsm) -> Self {
+        let mgr = vars.manager().clone();
+        // F reads (i, v) and drives o-outputs then u-outputs.
+        let mut expect_f_in: Vec<VarId> = vars.i.clone();
+        expect_f_in.extend(&vars.v);
+        assert_eq!(f.inputs, expect_f_in, "F must read i ∪ v");
+        assert_eq!(
+            f.outputs.len(),
+            vars.o.len() + vars.u.len(),
+            "F must drive o ∪ u"
+        );
+        for (j, out) in f.outputs.iter().enumerate() {
+            let expect = if j < vars.o.len() {
+                vars.o[j]
+            } else {
+                vars.u[j - vars.o.len()]
+            };
+            assert_eq!(out.var, expect, "F output {j} wired to the wrong variable");
+        }
+        for (k, l) in f.latches.iter().enumerate() {
+            assert_eq!((l.cs, l.ns), (vars.cs_f[k], vars.ns_f[k]));
+        }
+        // S reads i and drives o.
+        assert_eq!(s.inputs, vars.i, "S must read i");
+        assert_eq!(s.outputs.len(), vars.o.len(), "S must drive o");
+        for (j, out) in s.outputs.iter().enumerate() {
+            assert_eq!(out.var, vars.o[j]);
+        }
+        for (k, l) in s.latches.iter().enumerate() {
+            assert_eq!((l.cs, l.ns), (vars.cs_s[k], vars.ns_s[k]));
+        }
+        LanguageEquation { mgr, vars, f, s }
+    }
+
+    /// The shared BDD manager.
+    pub fn manager(&self) -> &BddManager {
+        &self.mgr
+    }
+
+    /// `F`'s `o`-outputs (`OF_j(i, v, cs_f)`).
+    pub fn f_o_outputs(&self) -> &[FsmOutput] {
+        &self.f.outputs[..self.vars.o.len()]
+    }
+
+    /// `F`'s `u`-outputs (`U_j(i, v, cs_f)`).
+    pub fn f_u_outputs(&self) -> &[FsmOutput] {
+        &self.f.outputs[self.vars.o.len()..]
+    }
+
+    /// The per-output conformance conditions
+    /// `C_j(i, v, cs) = [OF_j(i, v, cs_f) ≡ OS_j(i, cs_s)]` of §3.2.
+    pub fn conformance_parts(&self) -> Vec<Bdd> {
+        self.f_o_outputs()
+            .iter()
+            .zip(&self.s.outputs)
+            .map(|(fo, so)| fo.func.xnor(&so.func))
+            .collect()
+    }
+
+    /// The `u`-constraint partition `{ u_j ≡ U_j(i, v, cs_f) }`.
+    pub fn u_parts(&self) -> Vec<Bdd> {
+        self.f_u_outputs()
+            .iter()
+            .map(|o| self.mgr.var(o.var).xnor(&o.func))
+            .collect()
+    }
+
+    /// The combined transition partition of the product `F × S`:
+    /// `{ ns_f ≡ T_f } ∪ { ns_s ≡ T_s }` — the union of partitions, which is
+    /// all the paper's product construction requires.
+    pub fn product_transition_parts(&self) -> Vec<Bdd> {
+        let mut parts = self.f.transition_parts(&self.mgr);
+        parts.extend(self.s.transition_parts(&self.mgr));
+        parts
+    }
+
+    /// Initial product-state cube `ξ₀(cs_f, cs_s)`.
+    pub fn initial_product_cube(&self) -> Bdd {
+        self.f
+            .initial_cube(&self.mgr)
+            .and(&self.s.initial_cube(&self.mgr))
+    }
+}
+
+/// A Table-1 style benchmark instance: a network latch-split into a fixed
+/// part `F` and a particular solution `X_P`, with the original network as
+/// the specification `S`.
+#[derive(Debug, Clone)]
+pub struct LatchSplitProblem {
+    /// The assembled equation (fresh manager and universe).
+    pub equation: LanguageEquation,
+    /// The original network (= the specification).
+    pub original: Network,
+    /// The particular solution: a register bank over the selected latches.
+    pub xp: Network,
+    /// Indices (into the original latch list) of the latches moved to `X`.
+    pub unknown_latches: Vec<usize>,
+}
+
+impl LatchSplitProblem {
+    /// Splits `network` at the given latches and elaborates both components
+    /// into a fresh variable universe.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist validation/splitting errors.
+    pub fn new(network: &Network, unknown_latches: &[usize]) -> Result<Self, NetworkError> {
+        let split = network.split_latches(unknown_latches)?;
+        let mgr = BddManager::new();
+        let nu = unknown_latches.len();
+        let vars = VarUniverse::new(
+            &mgr,
+            UniverseSizes {
+                num_i: network.num_inputs(),
+                num_u: nu,
+                num_v: nu,
+                num_o: network.num_outputs(),
+                num_f_latches: split.fixed.num_latches(),
+                num_s_latches: network.num_latches(),
+            },
+        );
+        // F: inputs are the original PIs followed by the new v inputs (the
+        // split constructor appends them in that order); outputs are the
+        // original POs followed by the u outputs.
+        let mut f_inputs: Vec<VarId> = vars.i.clone();
+        f_inputs.extend(&vars.v);
+        let f_states: Vec<(VarId, VarId)> = vars
+            .cs_f
+            .iter()
+            .zip(&vars.ns_f)
+            .map(|(&c, &n)| (c, n))
+            .collect();
+        let mut f_outputs: Vec<VarId> = vars.o.clone();
+        f_outputs.extend(&vars.u);
+        let f = PartitionedFsm::from_network(&mgr, &split.fixed, &f_inputs, &f_states, &f_outputs)?;
+        // S: the original network.
+        let s_states: Vec<(VarId, VarId)> = vars
+            .cs_s
+            .iter()
+            .zip(&vars.ns_s)
+            .map(|(&c, &n)| (c, n))
+            .collect();
+        let s = PartitionedFsm::from_network(&mgr, network, &vars.i, &s_states, &vars.o)?;
+        Ok(LatchSplitProblem {
+            equation: LanguageEquation::new(vars, f, s),
+            original: network.clone(),
+            xp: split.unknown,
+            unknown_latches: unknown_latches.to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use langeq_logic::gen;
+
+    #[test]
+    fn latch_split_problem_wires_up() {
+        let net = gen::figure3();
+        let p = LatchSplitProblem::new(&net, &[1]).unwrap();
+        let eq = &p.equation;
+        assert_eq!(eq.vars.i.len(), 1);
+        assert_eq!(eq.vars.o.len(), 1);
+        assert_eq!(eq.vars.u.len(), 1);
+        assert_eq!(eq.vars.v.len(), 1);
+        assert_eq!(eq.f.latches.len(), 1);
+        assert_eq!(eq.s.latches.len(), 2);
+        assert_eq!(eq.f_u_outputs().len(), 1);
+        assert_eq!(eq.f_o_outputs().len(), 1);
+        assert_eq!(p.xp.num_latches(), 1);
+    }
+
+    #[test]
+    fn split_functions_relate_to_original() {
+        // Splitting latch 1 (cs2): F's u-output must be T2 with cs2 replaced
+        // by v, i.e. u = !i | cs1(F).
+        let net = gen::figure3();
+        let p = LatchSplitProblem::new(&net, &[1]).unwrap();
+        let eq = &p.equation;
+        let mgr = eq.manager();
+        let i = mgr.var(eq.vars.i[0]);
+        let csf = mgr.var(eq.vars.cs_f[0]); // F keeps latch cs1
+        let v = mgr.var(eq.vars.v[0]); // stands for cs2
+        assert_eq!(eq.f_u_outputs()[0].func, i.not().or(&csf));
+        // F's o-output = cs1 ^ v.
+        assert_eq!(eq.f_o_outputs()[0].func, csf.xor(&v));
+        // F's latch: T1 = i & v (cs2 -> v).
+        assert_eq!(eq.f.latches[0].func, i.and(&v));
+        // Conformance: OF(i,v,csf) ≡ OS(i,cs2) with OS = cs1 ^ cs2.
+        let cs1 = mgr.var(eq.vars.cs_s[0]);
+        let cs2 = mgr.var(eq.vars.cs_s[1]);
+        let expect = csf.xor(&v).xnor(&cs1.xor(&cs2));
+        assert_eq!(eq.conformance_parts()[0], expect);
+    }
+
+    #[test]
+    fn initial_product_cube_counts_one_state() {
+        let net = gen::figure3();
+        let p = LatchSplitProblem::new(&net, &[0]).unwrap();
+        let eq = &p.equation;
+        let mgr = eq.manager();
+        let cube = eq.initial_product_cube();
+        // One minterm over cs_f(1) + cs_s(2) = 3 variables.
+        let total = mgr.num_vars();
+        assert_eq!(cube.sat_count(total) as u64, 1u64 << (total - 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "F must read")]
+    fn mismatched_wiring_panics() {
+        let net = gen::figure3();
+        let mgr = BddManager::new();
+        let vars = VarUniverse::new(
+            &mgr,
+            UniverseSizes {
+                num_i: 1,
+                num_u: 1,
+                num_v: 1,
+                num_o: 1,
+                num_f_latches: 1,
+                num_s_latches: 2,
+            },
+        );
+        // Elaborate S twice and pass it as F: wrong inputs.
+        let sv: Vec<(VarId, VarId)> = vars
+            .cs_s
+            .iter()
+            .zip(&vars.ns_s)
+            .map(|(&c, &n)| (c, n))
+            .collect();
+        let s = PartitionedFsm::from_network(&mgr, &net, &vars.i, &sv, &vars.o).unwrap();
+        let _ = LanguageEquation::new(vars, s.clone(), s);
+    }
+}

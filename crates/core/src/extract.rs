@@ -1,0 +1,369 @@
+//! **Sub-solution extraction** from the Complete Sequential Flexibility —
+//! the step the paper's conclusion leaves as future work ("finding an
+//! optimum sub-solution of the CSF remains the outstanding problem").
+//!
+//! The CSF is a prefix-closed, input-progressive automaton over the
+//! variables `(u, v)` (the unknown component's inputs and outputs). Any
+//! deterministic Mealy machine whose behaviour is contained in the CSF is a
+//! legitimate replacement for the unknown component. This module extracts
+//! one: for every reachable state and every `u`-minterm it commits to a
+//! single output `v` and successor, guided by a [`SelectionStrategy`].
+//! Input-progressiveness of the CSF guarantees the extraction never gets
+//! stuck.
+//!
+//! The result is an explicit [`MealyFsm`] which can be written to KISS2,
+//! synthesized into a gate-level network
+//! ([`MealyFsm::to_network`]), and verified against the specification with
+//! [`crate::verify::composition_contained_in_spec`] after conversion by
+//! [`submachine_to_automaton`].
+
+use langeq_automata::{Automaton, StateId};
+use langeq_bdd::{Bdd, BddManager, VarId};
+use langeq_logic::kiss::MealyFsm;
+
+/// How to choose among the permissible `(v, successor)` pairs of a state
+/// under a given `u`-minterm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionStrategy {
+    /// Choose the transition admitting the lexicographically smallest output
+    /// assignment (`v` bits compared in variable order, 0 < 1); ties go to
+    /// the earlier transition. Deterministic and canonical.
+    #[default]
+    LexMinOutput,
+    /// Take the first transition (in the automaton's edge order) that can
+    /// fire, then its lex-min output.
+    FirstTransition,
+    /// Prefer a self-loop when one can fire (minimizing state activity),
+    /// otherwise fall back to the first transition.
+    PreferSelfLoop,
+}
+
+/// Errors raised by [`extract_submachine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExtractError {
+    /// The CSF is empty (no initial state): the equation has no solution
+    /// with behaviour.
+    EmptyCsf,
+    /// Too many `u` variables for explicit minterm enumeration.
+    TooManyInputs {
+        /// Number of `u` variables requested.
+        got: usize,
+        /// The enumeration bound ([`MAX_EXTRACT_INPUTS`]).
+        max: usize,
+    },
+    /// A reachable state has no permissible move under some `u`-minterm —
+    /// the automaton is not input-progressive over `u` (cannot happen for a
+    /// CSF produced by the solvers).
+    NotProgressive {
+        /// Name of the stuck state.
+        state: String,
+        /// The offending `u` assignment (bit per `u` variable, in order).
+        minterm: Vec<bool>,
+    },
+}
+
+impl std::fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExtractError::EmptyCsf => write!(f, "the flexibility is empty"),
+            ExtractError::TooManyInputs { got, max } => {
+                write!(f, "{got} input variables exceed the enumeration bound {max}")
+            }
+            ExtractError::NotProgressive { state, minterm } => {
+                write!(
+                    f,
+                    "state {state} has no move under u = {:?} (not input-progressive)",
+                    minterm
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+/// Maximum number of `u` variables accepted by [`extract_submachine`]
+/// (2^|u| minterms are enumerated per state).
+pub const MAX_EXTRACT_INPUTS: usize = 16;
+
+/// Lexicographically smallest assignment of `vars` satisfying the nonzero
+/// function `f` (0 preferred at each position), with the residual cofactor
+/// threaded through.
+fn lex_min_assignment(f: &Bdd, vars: &[VarId]) -> Vec<bool> {
+    debug_assert!(!f.is_zero());
+    let mut cur = f.clone();
+    let mut bits = Vec::with_capacity(vars.len());
+    for &v in vars {
+        let lo = cur.cofactor(v, false);
+        if lo.is_zero() {
+            bits.push(true);
+            cur = cur.cofactor(v, true);
+        } else {
+            bits.push(false);
+            cur = lo;
+        }
+    }
+    bits
+}
+
+/// Extracts a deterministic, complete Mealy machine (inputs `u`, outputs
+/// `v`) contained in the automaton `csf`.
+///
+/// Only the states reachable under the committed choices are emitted, so
+/// the result is often much smaller than the CSF. State names are carried
+/// over from `csf`.
+///
+/// # Errors
+///
+/// * [`ExtractError::EmptyCsf`] if `csf` has no initial state,
+/// * [`ExtractError::TooManyInputs`] if `u_vars` exceeds
+///   [`MAX_EXTRACT_INPUTS`],
+/// * [`ExtractError::NotProgressive`] if some reachable state lacks a move
+///   under some `u`-minterm (i.e. `csf` is not input-progressive over `u`).
+pub fn extract_submachine(
+    csf: &Automaton,
+    u_vars: &[VarId],
+    v_vars: &[VarId],
+    strategy: SelectionStrategy,
+) -> Result<MealyFsm, ExtractError> {
+    if u_vars.len() > MAX_EXTRACT_INPUTS {
+        return Err(ExtractError::TooManyInputs {
+            got: u_vars.len(),
+            max: MAX_EXTRACT_INPUTS,
+        });
+    }
+    let Some(init) = csf.initial() else {
+        return Err(ExtractError::EmptyCsf);
+    };
+    let mut fsm = MealyFsm::new("csf_submachine", u_vars.len(), v_vars.len());
+    let mut map: std::collections::HashMap<StateId, usize> = std::collections::HashMap::new();
+    let mut work = vec![init];
+    let init_idx = fsm.add_state(csf.state_name(init));
+    map.insert(init, init_idx);
+    fsm.set_reset(init_idx).expect("reset state just added");
+
+    while let Some(s) = work.pop() {
+        let from_idx = map[&s];
+        for m in 0..(1u32 << u_vars.len()) {
+            let u_bits: Vec<bool> = (0..u_vars.len()).map(|k| m >> k & 1 == 1).collect();
+            // The v-choices each transition offers under this u-minterm.
+            let at_u = |label: &Bdd| -> Bdd {
+                let mut l = label.clone();
+                for (&var, &val) in u_vars.iter().zip(&u_bits) {
+                    l = l.cofactor(var, val);
+                }
+                l
+            };
+            let edges = csf.transitions_from(s);
+            let choice: Option<(usize, Vec<bool>)> = match strategy {
+                SelectionStrategy::FirstTransition => edges
+                    .iter()
+                    .enumerate()
+                    .find(|(_, (label, _))| !at_u(label).is_zero())
+                    .map(|(k, (label, _))| (k, lex_min_assignment(&at_u(label), v_vars))),
+                SelectionStrategy::PreferSelfLoop => edges
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (_, t))| *t == s)
+                    .find(|(_, (label, _))| !at_u(label).is_zero())
+                    .or_else(|| {
+                        edges
+                            .iter()
+                            .enumerate()
+                            .find(|(_, (label, _))| !at_u(label).is_zero())
+                    })
+                    .map(|(k, (label, _))| (k, lex_min_assignment(&at_u(label), v_vars))),
+                SelectionStrategy::LexMinOutput => edges
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(k, (label, _))| {
+                        let l = at_u(label);
+                        if l.is_zero() {
+                            None
+                        } else {
+                            Some((k, lex_min_assignment(&l, v_vars)))
+                        }
+                    })
+                    .min_by(|(ka, va), (kb, vb)| va.cmp(vb).then(ka.cmp(kb))),
+            };
+            let Some((edge_idx, v_bits)) = choice else {
+                return Err(ExtractError::NotProgressive {
+                    state: csf.state_name(s).to_string(),
+                    minterm: u_bits,
+                });
+            };
+            let target = edges[edge_idx].1;
+            let to_idx = *map.entry(target).or_insert_with(|| {
+                work.push(target);
+                fsm.add_state(csf.state_name(target))
+            });
+            fsm.add_transition(
+                u_bits.iter().map(|&b| Some(b)).collect(),
+                from_idx,
+                to_idx,
+                v_bits.iter().map(|&b| Some(b)).collect(),
+            )
+            .expect("widths match by construction");
+        }
+    }
+    Ok(fsm)
+}
+
+/// Converts an extracted machine back into an automaton over `(u, v)` (all
+/// states accepting, one transition per product term), suitable for
+/// containment checks against the CSF and for
+/// [`crate::verify::composition_contained_in_spec`].
+///
+/// # Panics
+///
+/// Panics if the machine's interface widths disagree with `u_vars`/`v_vars`.
+pub fn submachine_to_automaton(
+    fsm: &MealyFsm,
+    mgr: &BddManager,
+    u_vars: &[VarId],
+    v_vars: &[VarId],
+) -> Automaton {
+    assert_eq!(fsm.num_inputs(), u_vars.len(), "u width mismatch");
+    assert_eq!(fsm.num_outputs(), v_vars.len(), "v width mismatch");
+    let alphabet: Vec<VarId> = u_vars.iter().chain(v_vars).copied().collect();
+    let mut aut = Automaton::new(mgr, &alphabet);
+    for name in fsm.state_names() {
+        aut.add_named_state(true, name.clone());
+    }
+    for t in fsm.transitions() {
+        let mut lits: Vec<(VarId, bool)> = Vec::new();
+        for (&var, trit) in u_vars.iter().zip(&t.input) {
+            if let Some(v) = trit {
+                lits.push((var, *v));
+            }
+        }
+        for (&var, trit) in v_vars.iter().zip(&t.output) {
+            // Output don't-cares are realised as 0, as in
+            // `MealyFsm::to_network`.
+            lits.push((var, trit.unwrap_or(false)));
+        }
+        aut.add_transition(StateId(t.from as u32), mgr.cube(&lits), StateId(t.to as u32));
+    }
+    if fsm.num_states() > 0 {
+        aut.set_initial(StateId(fsm.reset() as u32));
+    }
+    aut
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{partitioned, PartitionedOptions};
+    use crate::verify::composition_contained_in_spec;
+    use crate::LatchSplitProblem;
+    use langeq_logic::gen;
+
+    fn csf_of(net: &langeq_logic::Network, unknown: &[usize]) -> (LatchSplitProblem, Automaton) {
+        let p = LatchSplitProblem::new(net, unknown).unwrap();
+        let sol = partitioned::solve(&p.equation, &PartitionedOptions::paper());
+        let csf = sol.expect_solved().csf.clone();
+        (p, csf)
+    }
+
+    #[test]
+    fn figure3_extraction_is_deterministic_complete_and_contained() {
+        let net = gen::figure3();
+        let (p, csf) = csf_of(&net, &[1]);
+        let vars = &p.equation.vars;
+        let fsm =
+            extract_submachine(&csf, &vars.u, &vars.v, SelectionStrategy::LexMinOutput).unwrap();
+        assert!(fsm.is_deterministic());
+        assert!(fsm.is_complete());
+        assert!(fsm.num_states() <= csf.num_states());
+        // Contained in the CSF as a language.
+        let sub = submachine_to_automaton(&fsm, p.equation.manager(), &vars.u, &vars.v);
+        assert!(csf.contains_languages_of(&sub));
+        // And the composition satisfies the spec.
+        assert!(composition_contained_in_spec(&p.equation, &sub));
+    }
+
+    #[test]
+    fn all_strategies_yield_valid_submachines() {
+        let net = gen::counter("c3", 3);
+        let (p, csf) = csf_of(&net, &[0, 2]);
+        let vars = &p.equation.vars;
+        for strategy in [
+            SelectionStrategy::LexMinOutput,
+            SelectionStrategy::FirstTransition,
+            SelectionStrategy::PreferSelfLoop,
+        ] {
+            let fsm = extract_submachine(&csf, &vars.u, &vars.v, strategy).unwrap();
+            assert!(fsm.is_deterministic(), "{strategy:?}");
+            assert!(fsm.is_complete(), "{strategy:?}");
+            let sub = submachine_to_automaton(&fsm, p.equation.manager(), &vars.u, &vars.v);
+            assert!(csf.contains_languages_of(&sub), "{strategy:?} not contained");
+            assert!(
+                composition_contained_in_spec(&p.equation, &sub),
+                "{strategy:?} violates the spec"
+            );
+        }
+    }
+
+    #[test]
+    fn extracted_network_round_trips_through_kiss() {
+        let net = gen::figure3();
+        let (p, csf) = csf_of(&net, &[0]);
+        let vars = &p.equation.vars;
+        let fsm =
+            extract_submachine(&csf, &vars.u, &vars.v, SelectionStrategy::default()).unwrap();
+        let text = fsm.to_kiss();
+        let again = langeq_logic::kiss::parse(&text).unwrap();
+        assert_eq!(fsm.num_states(), again.num_states());
+        // The synthesized network has the right interface.
+        let impl_net = fsm.to_network().unwrap();
+        assert_eq!(impl_net.num_inputs(), vars.u.len());
+        assert_eq!(impl_net.num_outputs(), vars.v.len());
+    }
+
+    #[test]
+    fn empty_csf_is_reported() {
+        let mgr = BddManager::new();
+        let u = mgr.new_var();
+        let v = mgr.new_var();
+        let (uv, vv) = (u.support()[0], v.support()[0]);
+        let empty = Automaton::new(&mgr, &[uv, vv]);
+        assert_eq!(
+            extract_submachine(&empty, &[uv], &[vv], SelectionStrategy::default()),
+            Err(ExtractError::EmptyCsf)
+        );
+    }
+
+    #[test]
+    fn non_progressive_automaton_is_reported() {
+        let mgr = BddManager::new();
+        let u = mgr.new_var();
+        let v = mgr.new_var();
+        let (uv, vv) = (u.support()[0], v.support()[0]);
+        let mut aut = Automaton::new(&mgr, &[uv, vv]);
+        let s0 = aut.add_named_state(true, "stuck");
+        aut.set_initial(s0);
+        // Only a move under u=1; u=0 is undefined.
+        aut.add_transition(s0, u.and(&v.not()), s0);
+        match extract_submachine(&aut, &[uv], &[vv], SelectionStrategy::default()) {
+            Err(ExtractError::NotProgressive { state, minterm }) => {
+                assert_eq!(state, "stuck");
+                assert_eq!(minterm, vec![false]);
+            }
+            other => panic!("expected NotProgressive, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lex_min_assignment_prefers_zero() {
+        let mgr = BddManager::new();
+        let a = mgr.new_var();
+        let b = mgr.new_var();
+        let (va, vb) = (a.support()[0], b.support()[0]);
+        // f = a | b: lex-min satisfying assignment is a=0, b=1.
+        let f = a.or(&b);
+        assert_eq!(lex_min_assignment(&f, &[va, vb]), vec![false, true]);
+        // f = a & b: forced to 1,1.
+        let g = a.and(&b);
+        assert_eq!(lex_min_assignment(&g, &[va, vb]), vec![true, true]);
+    }
+}

@@ -1,0 +1,302 @@
+//! The partitioned representation of a sequential component: the sets of
+//! next-state functions `{T_k}` and output functions `{O_j}` of the paper,
+//! kept as individual BDDs and never multiplied out.
+
+use langeq_bdd::{Bdd, BddManager, VarId};
+use langeq_image::{reachable, ImageComputer, ImageOptions};
+use langeq_logic::{Network, NetworkError};
+
+/// One latch of a partitioned FSM: its state variables and next-state
+/// function `T_k`.
+#[derive(Debug, Clone)]
+pub struct FsmLatch {
+    /// Current-state variable.
+    pub cs: VarId,
+    /// Next-state variable.
+    pub ns: VarId,
+    /// Power-up value.
+    pub init: bool,
+    /// `T_k(inputs, cs)` — the next-state function.
+    pub func: Bdd,
+}
+
+/// One output of a partitioned FSM: its variable and function `O_j`.
+#[derive(Debug, Clone)]
+pub struct FsmOutput {
+    /// The output variable (used when relations mention the output).
+    pub var: VarId,
+    /// `O_j(inputs, cs)` — the output function.
+    pub func: Bdd,
+}
+
+/// A deterministic FSM in partitioned representation.
+///
+/// This is the paper's input format: the component is *never* represented by
+/// a monolithic transition relation; all computations use the per-latch and
+/// per-output functions directly.
+#[derive(Debug, Clone)]
+pub struct PartitionedFsm {
+    /// Variables the component reads (its automaton-input part).
+    pub inputs: Vec<VarId>,
+    /// The latches with their next-state functions.
+    pub latches: Vec<FsmLatch>,
+    /// The outputs with their functions.
+    pub outputs: Vec<FsmOutput>,
+}
+
+/// State-variable layout used by [`PartitionedFsm::standalone`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StateOrder {
+    /// `cs_k, ns_k` pairs adjacent per latch — the order the solvers use
+    /// (makes the `ns → cs` renaming a cheap structural pass and keeps
+    /// related variables close).
+    #[default]
+    Interleaved,
+    /// All current-state variables, then all next-state variables — the
+    /// naive layout, kept as an ablation baseline.
+    Blocked,
+}
+
+impl PartitionedFsm {
+    /// Elaborates a network **standalone** on a fresh manager: input
+    /// variables first, then output variables, then the state variables in
+    /// the chosen [`StateOrder`]. This is the entry point for analyses of a
+    /// single component (reachability, re-encoding, STG extraction) outside
+    /// a language-equation universe.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network validation errors.
+    pub fn standalone(
+        net: &Network,
+        order: StateOrder,
+    ) -> Result<(BddManager, Self), NetworkError> {
+        let mgr = BddManager::new();
+        let ivars: Vec<VarId> = (0..net.num_inputs())
+            .map(|_| mgr.new_var().support()[0])
+            .collect();
+        let ovars: Vec<VarId> = (0..net.num_outputs())
+            .map(|_| mgr.new_var().support()[0])
+            .collect();
+        let svars: Vec<(VarId, VarId)> = match order {
+            StateOrder::Interleaved => (0..net.num_latches())
+                .map(|_| {
+                    let c = mgr.new_var().support()[0];
+                    let n = mgr.new_var().support()[0];
+                    (c, n)
+                })
+                .collect(),
+            StateOrder::Blocked => {
+                let cs: Vec<VarId> = (0..net.num_latches())
+                    .map(|_| mgr.new_var().support()[0])
+                    .collect();
+                let ns: Vec<VarId> = (0..net.num_latches())
+                    .map(|_| mgr.new_var().support()[0])
+                    .collect();
+                cs.into_iter().zip(ns).collect()
+            }
+        };
+        let fsm = PartitionedFsm::from_network(&mgr, net, &ivars, &svars, &ovars)?;
+        Ok((mgr, fsm))
+    }
+
+    /// Elaborates a [`Network`] into partitioned form.
+    ///
+    /// * `input_vars[k]` is the variable standing for primary input `k`,
+    /// * `state_vars[k] = (cs, ns)` for latch `k`,
+    /// * `output_vars[j]` is the variable standing for primary output `j`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network validation errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable slices do not match the network's shape.
+    pub fn from_network(
+        mgr: &BddManager,
+        net: &Network,
+        input_vars: &[VarId],
+        state_vars: &[(VarId, VarId)],
+        output_vars: &[VarId],
+    ) -> Result<Self, NetworkError> {
+        assert_eq!(input_vars.len(), net.num_inputs(), "input count mismatch");
+        assert_eq!(state_vars.len(), net.num_latches(), "latch count mismatch");
+        assert_eq!(
+            output_vars.len(),
+            net.num_outputs(),
+            "output count mismatch"
+        );
+        let pi: Vec<Bdd> = input_vars.iter().map(|&v| mgr.var(v)).collect();
+        let cs: Vec<Bdd> = state_vars.iter().map(|&(c, _)| mgr.var(c)).collect();
+        let bdds = net.elaborate(mgr, &pi, &cs)?;
+        let latches = net
+            .latches()
+            .iter()
+            .zip(state_vars)
+            .zip(bdds.next_state)
+            .map(|((l, &(cs, ns)), func)| FsmLatch {
+                cs,
+                ns,
+                init: l.init,
+                func,
+            })
+            .collect();
+        let outputs = output_vars
+            .iter()
+            .zip(bdds.outputs)
+            .map(|(&var, func)| FsmOutput { var, func })
+            .collect();
+        Ok(PartitionedFsm {
+            inputs: input_vars.to_vec(),
+            latches,
+            outputs,
+        })
+    }
+
+    /// The current-state variables, in latch order.
+    pub fn cs_vars(&self) -> Vec<VarId> {
+        self.latches.iter().map(|l| l.cs).collect()
+    }
+
+    /// The next-state variables, in latch order.
+    pub fn ns_vars(&self) -> Vec<VarId> {
+        self.latches.iter().map(|l| l.ns).collect()
+    }
+
+    /// The `ns → cs` renaming of this component.
+    pub fn ns_to_cs(&self) -> Vec<(VarId, VarId)> {
+        self.latches.iter().map(|l| (l.ns, l.cs)).collect()
+    }
+
+    /// The initial-state cube over the current-state variables.
+    pub fn initial_cube(&self, mgr: &BddManager) -> Bdd {
+        let lits: Vec<(VarId, bool)> = self.latches.iter().map(|l| (l.cs, l.init)).collect();
+        mgr.cube(&lits)
+    }
+
+    /// The transition partition `{ ns_k ≡ T_k }`.
+    pub fn transition_parts(&self, mgr: &BddManager) -> Vec<Bdd> {
+        self.latches
+            .iter()
+            .map(|l| mgr.var(l.ns).xnor(&l.func))
+            .collect()
+    }
+
+    /// The output partition `{ o_j ≡ O_j }`.
+    pub fn output_parts(&self, mgr: &BddManager) -> Vec<Bdd> {
+        self.outputs
+            .iter()
+            .map(|o| mgr.var(o.var).xnor(&o.func))
+            .collect()
+    }
+
+    /// The reachable state set (over `cs` variables), computed with the
+    /// partitioned image fixpoint.
+    pub fn reachable_set(&self, mgr: &BddManager, opts: ImageOptions) -> Bdd {
+        if self.latches.is_empty() {
+            return mgr.one();
+        }
+        let parts = self.transition_parts(mgr);
+        let mut quantify = self.inputs.clone();
+        quantify.extend(self.cs_vars());
+        let img = ImageComputer::new(mgr, &parts, &quantify, opts);
+        reachable(&img, &self.initial_cube(mgr), &self.ns_to_cs())
+    }
+
+    /// Number of reachable states.
+    pub fn count_reachable(&self, mgr: &BddManager, opts: ImageOptions) -> f64 {
+        let r = self.reachable_set(mgr, opts);
+        let n = self.latches.len();
+        // sat_count over exactly the cs variables: quotient out the free vars.
+        let total_vars = mgr.num_vars();
+        r.sat_count(total_vars) / ((total_vars - n) as f64).exp2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::{UniverseSizes, VarUniverse};
+    use langeq_logic::gen;
+
+    fn figure3_fsm() -> (BddManager, VarUniverse, PartitionedFsm) {
+        let mgr = BddManager::new();
+        let uni = VarUniverse::new(
+            &mgr,
+            UniverseSizes {
+                num_i: 1,
+                num_u: 0,
+                num_v: 0,
+                num_o: 1,
+                num_f_latches: 0,
+                num_s_latches: 2,
+            },
+        );
+        let net = gen::figure3();
+        let state_vars: Vec<(VarId, VarId)> = uni
+            .cs_s
+            .iter()
+            .zip(&uni.ns_s)
+            .map(|(&c, &n)| (c, n))
+            .collect();
+        let fsm =
+            PartitionedFsm::from_network(&mgr, &net, &uni.i, &state_vars, &uni.o).unwrap();
+        (mgr, uni, fsm)
+    }
+
+    #[test]
+    fn elaboration_produces_paper_functions() {
+        let (mgr, uni, fsm) = figure3_fsm();
+        let i = mgr.var(uni.i[0]);
+        let cs1 = mgr.var(uni.cs_s[0]);
+        let cs2 = mgr.var(uni.cs_s[1]);
+        assert_eq!(fsm.latches[0].func, i.and(&cs2)); // T1 = i & cs2
+        assert_eq!(fsm.latches[1].func, i.not().or(&cs1)); // T2 = !i | cs1
+        assert_eq!(fsm.outputs[0].func, cs1.xor(&cs2)); // o = cs1 ^ cs2
+    }
+
+    #[test]
+    fn figure3_has_three_reachable_states() {
+        let (mgr, _, fsm) = figure3_fsm();
+        let n = fsm.count_reachable(&mgr, ImageOptions::default());
+        assert_eq!(n as u64, 3);
+    }
+
+    #[test]
+    fn initial_cube_and_parts() {
+        let (mgr, uni, fsm) = figure3_fsm();
+        let init = fsm.initial_cube(&mgr);
+        let mut env = vec![false; mgr.num_vars()];
+        assert!(init.eval(&env));
+        env[uni.cs_s[0].index()] = true;
+        assert!(!init.eval(&env));
+        assert_eq!(fsm.transition_parts(&mgr).len(), 2);
+        assert_eq!(fsm.output_parts(&mgr).len(), 1);
+    }
+
+    #[test]
+    fn counter_reachability() {
+        let mgr = BddManager::new();
+        let net = gen::counter("c5", 5);
+        let uni = VarUniverse::new(
+            &mgr,
+            UniverseSizes {
+                num_i: 1,
+                num_u: 0,
+                num_v: 0,
+                num_o: 1,
+                num_f_latches: 0,
+                num_s_latches: 5,
+            },
+        );
+        let sv: Vec<(VarId, VarId)> = uni
+            .cs_s
+            .iter()
+            .zip(&uni.ns_s)
+            .map(|(&c, &n)| (c, n))
+            .collect();
+        let fsm = PartitionedFsm::from_network(&mgr, &net, &uni.i, &sv, &uni.o).unwrap();
+        assert_eq!(fsm.count_reachable(&mgr, ImageOptions::default()) as u64, 32);
+    }
+}

@@ -1,0 +1,76 @@
+//! # langeq-core
+//!
+//! The heart of the reproduction of *Efficient Solution of Language
+//! Equations Using Partitioned Representations* (DATE 2005): solvers for
+//! the language equation `F ∘ X ⊆ S` when both the fixed component `F` and
+//! the specification `S` are prefix-closed FSMs derived from multi-level
+//! sequential networks.
+//!
+//! Two flows are provided, mirroring the paper's Table-1 comparison:
+//!
+//! * [`solver::partitioned`] — the paper's contribution: everything is done
+//!   in one modified subset construction driven by partitioned image
+//!   computation (completion, complementation, product and hiding are all
+//!   folded in; see the module docs for the formulas),
+//! * [`solver::monolithic`] — the baseline: monolithic `TO` relations,
+//!   explicit completion of `S` (extra state bit), product, hiding by
+//!   quantification, traditional subset construction.
+//!
+//! A third, explicit-automaton reference pipeline ([`algorithm1`])
+//! implements the paper's generic Algorithm 1 literally with
+//! `langeq-automata` operations; it is used to cross-validate the symbolic
+//! solvers on small instances.
+//!
+//! The solution produced is the **most general prefix-closed solution**, and
+//! the **Complete Sequential Flexibility** (CSF) — the largest prefix-closed
+//! input-progressive sub-automaton — together with the intermediate
+//! automata and run statistics. [`verify`] implements the paper's two
+//! checks: `X_P ⊆ X` and `F ∘ X ⊆ S`. [`extract`] goes one step beyond the
+//! paper and commits the CSF to a concrete deterministic Mealy
+//! implementation (the conclusion's "future work" step).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use langeq_core::{LatchSplitProblem, PartitionedOptions};
+//! use langeq_logic::gen;
+//!
+//! // The paper's Figure-3 circuit, latch-split like the Table-1 benchmarks.
+//! let network = gen::figure3();
+//! let problem = LatchSplitProblem::new(&network, &[1]).unwrap();
+//! let outcome = langeq_core::solve_partitioned(&problem.equation, &PartitionedOptions::paper());
+//! let solution = outcome.expect_solved();
+//! assert!(solution.csf.initial().is_some());
+//! let report = langeq_core::verify::verify_latch_split(&problem, &solution.csf);
+//! assert!(report.all_passed());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithm1;
+mod equation;
+pub mod extract;
+mod fsm;
+pub mod reencode;
+pub mod solver;
+mod universe;
+pub mod verify;
+
+pub use equation::{LanguageEquation, LatchSplitProblem};
+pub use fsm::{FsmLatch, FsmOutput, PartitionedFsm, StateOrder};
+pub use solver::{
+    CncReason, MonolithicOptions, Outcome, PartitionedOptions, Solution, SolverKind,
+    SolverLimits, SolverStats,
+};
+pub use universe::{UniverseSizes, VarUniverse};
+
+/// Solves with the paper's partitioned flow (see [`solver::partitioned`]).
+pub fn solve_partitioned(eq: &LanguageEquation, opts: &PartitionedOptions) -> Outcome {
+    solver::partitioned::solve(eq, opts)
+}
+
+/// Solves with the monolithic baseline (see [`solver::monolithic`]).
+pub fn solve_monolithic(eq: &LanguageEquation, opts: &MonolithicOptions) -> Outcome {
+    solver::monolithic::solve(eq, opts)
+}

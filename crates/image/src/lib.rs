@@ -1,0 +1,503 @@
+//! # langeq-image
+//!
+//! Partitioned **image computation** for transition systems represented as a
+//! conjunction of small BDDs (the "partitioned transition relation").
+//!
+//! Given a partition `{P_1(x), …, P_n(x)}` (for a sequential network these
+//! are the per-latch constraints `ns_k ≡ T_k(i, cs)` plus per-output
+//! constraints `o_j ≡ O_j(i, cs)`), a set of variables to quantify `Q`
+//! (typically the inputs `i` and current states `cs`), and a *from* set
+//! `ξ(cs)`, the image is
+//!
+//! ```text
+//! Img(ξ) = ∃Q . ξ ∧ P_1 ∧ … ∧ P_n
+//! ```
+//!
+//! Building the full conjunction first (the *monolithic* approach) is often
+//! infeasible; this crate implements the standard remedy the DATE'05 paper
+//! leans on:
+//!
+//! * **clustering** — small conjuncts are merged up to a node-count
+//!   threshold,
+//! * **early quantification** — clusters are ordered by a greedy
+//!   benefit heuristic (à la Ranjan et al., IWLS'95) and each variable of
+//!   `Q` is quantified at the *last* cluster whose support mentions it, so
+//!   intermediate products stay small. The fused
+//!   [`and_exists`](langeq_bdd::BddManager::and_exists) operator performs
+//!   conjunction and quantification in one pass.
+//!
+//! The "quantify only at the end" mode ([`QuantSchedule::Late`]) is kept as
+//! the ablation baseline for the benchmark suite.
+//!
+//! ```
+//! use langeq_bdd::BddManager;
+//! use langeq_image::{ImageComputer, ImageOptions};
+//!
+//! // A 2-bit counter: ns0 = !cs0, ns1 = cs0 ^ cs1.
+//! let mgr = BddManager::new();
+//! let cs0 = mgr.new_var(); let ns0 = mgr.new_var();
+//! let cs1 = mgr.new_var(); let ns1 = mgr.new_var();
+//! let p0 = ns0.xnor(&cs0.not());
+//! let p1 = ns1.xnor(&cs0.xor(&cs1));
+//! let quantify = [cs0.support()[0], cs1.support()[0]];
+//! let img = ImageComputer::new(&mgr, &[p0, p1], &quantify, ImageOptions::default());
+//! // From state 00 the only successor is 10 (ns0=1, ns1=0).
+//! let from = cs0.not().and(&cs1.not());
+//! let succ = img.image(&from);
+//! assert_eq!(succ, ns0.and(&ns1.not()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeSet;
+
+use langeq_bdd::{Bdd, BddManager, VarId};
+
+/// Quantification scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QuantSchedule {
+    /// Quantify each variable at the last cluster that mentions it
+    /// (early quantification). The default, and what the paper assumes.
+    #[default]
+    Early,
+    /// Conjoin the full relation first and quantify once at the end —
+    /// the monolithic baseline used in ablation benchmarks.
+    Late,
+}
+
+/// Tuning knobs for [`ImageComputer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImageOptions {
+    /// Scheduling policy.
+    pub schedule: QuantSchedule,
+    /// Maximum BDD node count of a cluster; adjacent conjuncts are merged
+    /// while below this size.
+    pub cluster_threshold: usize,
+}
+
+impl Default for ImageOptions {
+    fn default() -> Self {
+        ImageOptions {
+            schedule: QuantSchedule::Early,
+            cluster_threshold: 1000,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Cluster {
+    func: Bdd,
+    support: BTreeSet<VarId>,
+}
+
+/// A compiled image computation: a clustered, ordered partition with a
+/// per-cluster quantification schedule.
+///
+/// Build once per transition relation, then call [`image`](Self::image) for
+/// every *from* set — the schedule is reused across calls (this is the inner
+/// loop of the paper's subset construction).
+#[derive(Debug, Clone)]
+pub struct ImageComputer {
+    mgr: BddManager,
+    clusters: Vec<Cluster>,
+    /// Positive cube to quantify together with cluster `k`.
+    step_cubes: Vec<Bdd>,
+    quantify: Vec<VarId>,
+    schedule: QuantSchedule,
+}
+
+impl ImageComputer {
+    /// Compiles a partitioned relation into an ordered, clustered schedule.
+    ///
+    /// * `parts` — the conjuncts of the transition relation,
+    /// * `quantify` — variables to existentially quantify (inputs and
+    ///   current-state variables); they may also appear in the `from`
+    ///   argument of [`image`](Self::image).
+    pub fn new(mgr: &BddManager, parts: &[Bdd], quantify: &[VarId], opts: ImageOptions) -> Self {
+        let quantify: Vec<VarId> = {
+            let mut q: Vec<VarId> = quantify.to_vec();
+            q.sort_unstable();
+            q.dedup();
+            q
+        };
+        let qset: BTreeSet<VarId> = quantify.iter().copied().collect();
+
+        // Drop constant-true parts; keep zero (it annihilates images).
+        let mut conjuncts: Vec<Cluster> = parts
+            .iter()
+            .filter(|p| !p.is_one())
+            .map(|p| Cluster {
+                func: p.clone(),
+                support: p.support().into_iter().collect(),
+            })
+            .collect();
+
+        // ---- ordering: greedy benefit heuristic -------------------------
+        // Pick next the cluster that (a) lets the most quantified variables
+        // die (no remaining cluster mentions them), (b) introduces the
+        // fewest new variables.
+        let mut ordered: Vec<Cluster> = Vec::with_capacity(conjuncts.len());
+        let mut seen_vars: BTreeSet<VarId> = BTreeSet::new();
+        while !conjuncts.is_empty() {
+            let mut best = 0usize;
+            let mut best_score = i64::MIN;
+            for (k, c) in conjuncts.iter().enumerate() {
+                let mut dying = 0i64;
+                let mut fresh = 0i64;
+                for v in &c.support {
+                    let in_others = conjuncts
+                        .iter()
+                        .enumerate()
+                        .any(|(j, o)| j != k && o.support.contains(v));
+                    if qset.contains(v) && !in_others {
+                        dying += 1;
+                    }
+                    if !seen_vars.contains(v) {
+                        fresh += 1;
+                    }
+                }
+                let score = dying * 4 - fresh;
+                if score > best_score {
+                    best_score = score;
+                    best = k;
+                }
+            }
+            let c = conjuncts.swap_remove(best);
+            seen_vars.extend(c.support.iter().copied());
+            ordered.push(c);
+        }
+
+        // ---- clustering: merge adjacent conjuncts up to the threshold ----
+        let mut clusters: Vec<Cluster> = Vec::new();
+        for c in ordered {
+            let mergeable = clusters.last().is_some_and(|last| {
+                last.func.node_count() + c.func.node_count() <= opts.cluster_threshold
+            });
+            if mergeable {
+                let last = clusters.last_mut().expect("nonempty");
+                let merged = last.func.and(&c.func);
+                if merged.node_count() <= opts.cluster_threshold {
+                    last.support = merged.support().into_iter().collect();
+                    last.func = merged;
+                    continue;
+                }
+            }
+            clusters.push(c);
+        }
+
+        // ---- per-step quantification cubes -------------------------------
+        // Variable v dies after the last cluster that mentions it. Variables
+        // mentioned by no cluster can only occur in the from-set and are
+        // quantified at step 0.
+        let mut step_vars: Vec<Vec<VarId>> = vec![Vec::new(); clusters.len()];
+        let mut from_only: Vec<VarId> = Vec::new();
+        for &v in &quantify {
+            let last = clusters.iter().rposition(|c| c.support.contains(&v));
+            match last {
+                Some(k) => step_vars[k].push(v),
+                None => from_only.push(v),
+            }
+        }
+        if let Some(first) = step_vars.first_mut() {
+            first.extend(from_only.iter().copied());
+        }
+        let step_cubes = step_vars.iter().map(|vs| mgr.positive_cube(vs)).collect();
+
+        ImageComputer {
+            mgr: mgr.clone(),
+            clusters,
+            step_cubes,
+            quantify,
+            schedule: opts.schedule,
+        }
+    }
+
+    /// The number of clusters after merging.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// The variables this computation quantifies.
+    pub fn quantified_vars(&self) -> &[VarId] {
+        &self.quantify
+    }
+
+    /// Computes `∃ quantify . from ∧ P_1 ∧ … ∧ P_n`.
+    ///
+    /// With [`QuantSchedule::Early`] the quantifications are interleaved with
+    /// the conjunctions according to the compiled schedule; with
+    /// [`QuantSchedule::Late`] the full product is built first (ablation
+    /// baseline).
+    pub fn image(&self, from: &Bdd) -> Bdd {
+        match self.schedule {
+            QuantSchedule::Early => {
+                if self.clusters.is_empty() {
+                    return self.mgr.exists(from, &self.quantify);
+                }
+                let mut acc = from.clone();
+                for (cluster, cube) in self.clusters.iter().zip(&self.step_cubes) {
+                    acc = self.mgr.and_exists(&acc, &cluster.func, cube);
+                    if acc.is_zero() {
+                        return acc;
+                    }
+                }
+                acc
+            }
+            QuantSchedule::Late => {
+                let mut acc = from.clone();
+                for cluster in &self.clusters {
+                    acc = acc.and(&cluster.func);
+                }
+                self.mgr.exists(&acc, &self.quantify)
+            }
+        }
+    }
+
+    /// Computes the image of the constant-true from-set (i.e. the
+    /// projection of the relation onto the unquantified variables).
+    pub fn image_all(&self) -> Bdd {
+        self.image(&self.mgr.one())
+    }
+}
+
+/// Least fixpoint of the image: all states reachable from `init`.
+///
+/// `ns_to_cs` maps each next-state variable back to its current-state
+/// variable (the result and `init` are expressed over current-state
+/// variables).
+///
+/// # Examples
+///
+/// ```
+/// use langeq_bdd::BddManager;
+/// use langeq_image::{reachable, ImageComputer, ImageOptions};
+///
+/// // 2-bit counter again; all 4 states are reachable from 00.
+/// let mgr = BddManager::new();
+/// let cs0 = mgr.new_var(); let ns0 = mgr.new_var();
+/// let cs1 = mgr.new_var(); let ns1 = mgr.new_var();
+/// let parts = [ns0.xnor(&cs0.not()), ns1.xnor(&cs0.xor(&cs1))];
+/// let q = [cs0.support()[0], cs1.support()[0]];
+/// let img = ImageComputer::new(&mgr, &parts, &q, ImageOptions::default());
+/// let init = cs0.not().and(&cs1.not());
+/// let map = [(ns0.support()[0], cs0.support()[0]), (ns1.support()[0], cs1.support()[0])];
+/// let r = reachable(&img, &init, &map);
+/// assert!(r.is_one());
+/// ```
+pub fn reachable(img: &ImageComputer, init: &Bdd, ns_to_cs: &[(VarId, VarId)]) -> Bdd {
+    let mut reached = init.clone();
+    let mut frontier = init.clone();
+    while !frontier.is_zero() {
+        let next_ns = img.image(&frontier);
+        let next_cs = next_ns.rename(ns_to_cs);
+        frontier = next_cs.and(&reached.not());
+        reached = reached.or(&frontier);
+    }
+    reached
+}
+
+/// Least fixpoint of the **pre-image**: all states that can reach a state
+/// in `targets` (including `targets` itself).
+///
+/// The [`ImageComputer`] is direction-agnostic — it evaluates
+/// `∃ quantify . from ∧ P₁ ∧ … ∧ Pₙ` — so backward analysis uses the *same*
+/// compiled relation with the quantification set `inputs ∪ ns` instead of
+/// `inputs ∪ cs`: pass a computer built that way as `pre`. `targets` and
+/// the result are expressed over current-state variables; `cs_to_ns` maps
+/// each current-state variable to its next-state partner.
+///
+/// # Examples
+///
+/// ```
+/// use langeq_bdd::BddManager;
+/// use langeq_image::{backward_reachable, ImageComputer, ImageOptions};
+///
+/// // 1-bit toggle: ns = !cs. Every state can reach state 1.
+/// let mgr = BddManager::new();
+/// let cs = mgr.new_var(); let ns = mgr.new_var();
+/// let parts = [ns.xnor(&cs.not())];
+/// let pre = ImageComputer::new(&mgr, &parts, &ns.support(), ImageOptions::default());
+/// let bad = cs.clone(); // target: cs = 1
+/// let can_reach = backward_reachable(&pre, &bad, &[(cs.support()[0], ns.support()[0])]);
+/// assert!(can_reach.is_one());
+/// ```
+pub fn backward_reachable(pre: &ImageComputer, targets: &Bdd, cs_to_ns: &[(VarId, VarId)]) -> Bdd {
+    let mut reached = targets.clone();
+    let mut frontier = targets.clone();
+    while !frontier.is_zero() {
+        let as_ns = frontier.rename(cs_to_ns);
+        let pre_cs = pre.image(&as_ns);
+        frontier = pre_cs.and(&reached.not());
+        reached = reached.or(&frontier);
+    }
+    reached
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive reference: conjoin everything, then quantify.
+    fn naive_image(mgr: &BddManager, parts: &[Bdd], quantify: &[VarId], from: &Bdd) -> Bdd {
+        let mut acc = from.clone();
+        for p in parts {
+            acc = acc.and(p);
+        }
+        mgr.exists(&acc, quantify)
+    }
+
+    /// Parts, quantified vars, ns->cs map, and initial-state cube.
+    type CounterParts = (Vec<Bdd>, Vec<VarId>, Vec<(VarId, VarId)>, Bdd);
+
+    /// Builds a 3-bit counter with enable input.
+    /// ns_k = cs_k ^ (en & carry), carry = cs_0 & .. & cs_{k-1}.
+    fn counter(mgr: &BddManager) -> CounterParts {
+        let en = mgr.new_var();
+        let mut parts = Vec::new();
+        let mut quantify = vec![en.support()[0]];
+        let mut map = Vec::new();
+        let mut carry = en.clone();
+        let mut init = mgr.one();
+        for _ in 0..3 {
+            let cs = mgr.new_var();
+            let ns = mgr.new_var();
+            let t = cs.xor(&carry);
+            parts.push(ns.xnor(&t));
+            carry = carry.and(&cs);
+            quantify.push(cs.support()[0]);
+            map.push((ns.support()[0], cs.support()[0]));
+            init = init.and(&cs.not());
+        }
+        (parts, quantify, map, init)
+    }
+
+    #[test]
+    fn image_matches_naive_on_counter() {
+        let mgr = BddManager::new();
+        let (parts, quantify, _, init) = counter(&mgr);
+        for opts in [
+            ImageOptions::default(),
+            ImageOptions {
+                schedule: QuantSchedule::Late,
+                ..Default::default()
+            },
+            ImageOptions {
+                schedule: QuantSchedule::Early,
+                cluster_threshold: 1,
+            },
+        ] {
+            let img = ImageComputer::new(&mgr, &parts, &quantify, opts);
+            let got = img.image(&init);
+            let want = naive_image(&mgr, &parts, &quantify, &init);
+            assert_eq!(got, want, "options {opts:?}");
+        }
+    }
+
+    #[test]
+    fn counter_reaches_all_states() {
+        let mgr = BddManager::new();
+        let (parts, quantify, map, init) = counter(&mgr);
+        let img = ImageComputer::new(&mgr, &parts, &quantify, ImageOptions::default());
+        let r = reachable(&img, &init, &map);
+        assert!(r.is_one(), "counter with enable reaches all 8 states");
+    }
+
+    #[test]
+    fn disabled_counter_stays_put() {
+        let mgr = BddManager::new();
+        // Same structure, but force enable=0 by adding a constraint part.
+        let (mut parts, quantify, map, init) = counter(&mgr);
+        let en = VarId(0);
+        parts.push(mgr.var(en).not());
+        let img = ImageComputer::new(&mgr, &parts, &quantify, ImageOptions::default());
+        let r = reachable(&img, &init, &map);
+        assert_eq!(
+            r, init,
+            "with enable stuck at 0 only the initial state is reachable"
+        );
+    }
+
+    #[test]
+    fn empty_from_set_gives_empty_image() {
+        let mgr = BddManager::new();
+        let (parts, quantify, _, _) = counter(&mgr);
+        let img = ImageComputer::new(&mgr, &parts, &quantify, ImageOptions::default());
+        assert!(img.image(&mgr.zero()).is_zero());
+    }
+
+    #[test]
+    fn image_all_projects_relation() {
+        let mgr = BddManager::new();
+        let (parts, quantify, _, _) = counter(&mgr);
+        let img = ImageComputer::new(&mgr, &parts, &quantify, ImageOptions::default());
+        // Every ns combination is producible by some (en, cs).
+        assert!(img.image_all().is_one());
+    }
+
+    #[test]
+    fn from_only_vars_are_quantified() {
+        let mgr = BddManager::new();
+        let a = mgr.new_var(); // only occurs in `from`
+        let cs = mgr.new_var();
+        let ns = mgr.new_var();
+        let parts = [ns.xnor(&cs.not())];
+        let quantify = [a.support()[0], cs.support()[0]];
+        let img = ImageComputer::new(&mgr, &parts, &quantify, ImageOptions::default());
+        let from = a.and(&cs.not()); // constrains a, which must vanish
+        let got = img.image(&from);
+        assert_eq!(got, ns);
+    }
+
+    #[test]
+    fn backward_reachability_on_counter() {
+        let mgr = BddManager::new();
+        let (parts, _, map, init) = counter(&mgr);
+        // Backward computer: quantify the input (en) and the ns variables.
+        let mut q = vec![VarId(0)];
+        q.extend(map.iter().map(|&(ns, _)| ns));
+        let pre = ImageComputer::new(&mgr, &parts, &q, ImageOptions::default());
+        let cs_to_ns: Vec<(VarId, VarId)> = map.iter().map(|&(ns, cs)| (cs, ns)).collect();
+        // Target: the all-ones state. With enable free, every state can
+        // reach it (the counter cycles).
+        let all_ones = map
+            .iter()
+            .fold(mgr.one(), |acc, &(_, cs)| acc.and(&mgr.var(cs)));
+        let can_reach = backward_reachable(&pre, &all_ones, &cs_to_ns);
+        assert!(can_reach.is_one());
+        // Forward/backward duality: init reaches all states, and all states
+        // reach init's successor set — check membership agreement for the
+        // initial state specifically.
+        assert!(can_reach.and(&init).eval(&vec![false; mgr.num_vars()]));
+    }
+
+    #[test]
+    fn backward_reachability_respects_stuck_enable() {
+        let mgr = BddManager::new();
+        let (mut parts, _, map, init) = counter(&mgr);
+        // Force enable = 0: nothing moves.
+        parts.push(mgr.var(VarId(0)).not());
+        let mut q = vec![VarId(0)];
+        q.extend(map.iter().map(|&(ns, _)| ns));
+        let pre = ImageComputer::new(&mgr, &parts, &q, ImageOptions::default());
+        let cs_to_ns: Vec<(VarId, VarId)> = map.iter().map(|&(ns, cs)| (cs, ns)).collect();
+        let all_ones = map
+            .iter()
+            .fold(mgr.one(), |acc, &(_, cs)| acc.and(&mgr.var(cs)));
+        let can_reach = backward_reachable(&pre, &all_ones, &cs_to_ns);
+        // Only the target itself (self-loop) reaches it.
+        assert_eq!(can_reach, all_ones);
+        let _ = init;
+    }
+
+    #[test]
+    fn zero_part_annihilates() {
+        let mgr = BddManager::new();
+        let cs = mgr.new_var();
+        let ns = mgr.new_var();
+        let parts = [ns.xnor(&cs), mgr.zero()];
+        let quantify = [cs.support()[0]];
+        let img = ImageComputer::new(&mgr, &parts, &quantify, ImageOptions::default());
+        assert!(img.image(&mgr.one()).is_zero());
+    }
+}

@@ -1,0 +1,32 @@
+//! # langeq-logic
+//!
+//! Multi-level **sequential gate-level networks** — the input format of the
+//! DATE'05 language-equation experiments — together with:
+//!
+//! * construction and simulation of netlists with latches ([`Network`]),
+//! * ISCAS'89 **`.bench`** and Berkeley **BLIF** (subset) parsing/writing
+//!   ([`bench_fmt`], [`blif`]),
+//! * **elaboration** of the partitioned BDD representation
+//!   `{T_k(i, cs)}, {O_j(i, cs)}` used by the solvers ([`Network::elaborate`]),
+//! * the paper's **latch splitting** benchmark transformation
+//!   ([`Network::split_latches`]),
+//! * explicit **state-transition-graph** extraction for small networks
+//!   ([`stg`]),
+//! * explicit **Mealy FSMs** and the **KISS2** benchmark format, with
+//!   synthesis into networks ([`kiss`]),
+//! * deterministic benchmark **generators**, including the six stand-ins for
+//!   the ISCAS'89 circuits of Table 1 ([`gen`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench_fmt;
+pub mod blif;
+pub mod gen;
+pub mod kiss;
+mod network;
+pub mod stg;
+
+pub use network::{
+    Driver, Gate, GateKind, Latch, LatchSplit, NetId, Network, NetworkBdds, NetworkError,
+};

@@ -1,0 +1,186 @@
+//! Explicit state-transition-graph (STG) extraction for small networks.
+//!
+//! This is the bridge from netlists to the explicit automata world: it
+//! enumerates the reachable states of a [`Network`] by exhaustive input
+//! simulation, exactly the construction illustrated by Figure 3 of the
+//! paper (circuit → automaton). Only practical for networks with few
+//! inputs/latches; the symbolic solvers in `langeq-core` never use it.
+
+use std::collections::HashMap;
+
+use crate::network::Network;
+
+/// One explicit transition: `(input minterm, output minterm, target state)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StgEdge {
+    /// Input assignment encoded as a bit mask over the primary inputs
+    /// (bit `k` = input `k`).
+    pub input: u32,
+    /// Output values under this input, as a bit mask over the primary
+    /// outputs.
+    pub output: u32,
+    /// Target state index.
+    pub target: usize,
+}
+
+/// An explicit state-transition graph of a sequential network.
+#[derive(Debug, Clone)]
+pub struct Stg {
+    /// Reachable states, as latch-value vectors; index 0 is the initial
+    /// state.
+    pub states: Vec<Vec<bool>>,
+    /// Outgoing edges per state, one per input minterm.
+    pub edges: Vec<Vec<StgEdge>>,
+    /// Number of primary inputs.
+    pub num_inputs: usize,
+    /// Number of primary outputs.
+    pub num_outputs: usize,
+}
+
+/// Maximum number of primary inputs accepted by [`extract`] (2^inputs
+/// minterms are enumerated per state).
+pub const MAX_INPUTS: usize = 16;
+
+/// Enumerates the reachable STG of `n` by breadth-first simulation.
+///
+/// # Panics
+///
+/// Panics if the network has more than [`MAX_INPUTS`] primary inputs or
+/// does not validate.
+pub fn extract(n: &Network) -> Stg {
+    assert!(
+        n.num_inputs() <= MAX_INPUTS,
+        "too many inputs for explicit STG extraction"
+    );
+    let ni = n.num_inputs();
+    let init = n.initial_state();
+    let mut index: HashMap<Vec<bool>, usize> = HashMap::new();
+    index.insert(init.clone(), 0);
+    let mut states = vec![init];
+    let mut edges: Vec<Vec<StgEdge>> = Vec::new();
+    let mut frontier = vec![0usize];
+    while let Some(s) = frontier.pop() {
+        while edges.len() <= s {
+            edges.push(Vec::new());
+        }
+        let cs = states[s].clone();
+        let mut out = Vec::with_capacity(1 << ni);
+        for m in 0..(1u32 << ni) {
+            let pi: Vec<bool> = (0..ni).map(|k| m >> k & 1 == 1).collect();
+            let (po, ns) = n.eval_step(&pi, &cs);
+            let target = match index.get(&ns) {
+                Some(&t) => t,
+                None => {
+                    let t = states.len();
+                    index.insert(ns.clone(), t);
+                    states.push(ns);
+                    frontier.push(t);
+                    t
+                }
+            };
+            let output = po
+                .iter()
+                .enumerate()
+                .fold(0u32, |acc, (k, &b)| acc | (u32::from(b) << k));
+            out.push(StgEdge {
+                input: m,
+                output,
+                target,
+            });
+        }
+        edges[s] = out;
+    }
+    Stg {
+        states,
+        edges,
+        num_inputs: ni,
+        num_outputs: n.num_outputs(),
+    }
+}
+
+impl Stg {
+    /// Number of reachable states.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Renders the STG in Graphviz DOT, labelling edges `inputs/outputs`.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph stg {{");
+        for (k, s) in self.states.iter().enumerate() {
+            let label: String = s.iter().map(|&b| if b { '1' } else { '0' }).collect();
+            let _ = writeln!(out, "  s{k} [label=\"{label}\"];");
+        }
+        for (k, es) in self.edges.iter().enumerate() {
+            for e in es {
+                let i: String = (0..self.num_inputs)
+                    .map(|b| if e.input >> b & 1 == 1 { '1' } else { '0' })
+                    .collect();
+                let o: String = (0..self.num_outputs)
+                    .map(|b| if e.output >> b & 1 == 1 { '1' } else { '0' })
+                    .collect();
+                let _ = writeln!(out, "  s{k} -> s{} [label=\"{i}/{o}\"];", e.target);
+            }
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_fmt;
+
+    #[test]
+    fn figure3_stg_matches_paper() {
+        // The automaton in Figure 3 has 3 reachable circuit states labelled
+        // by (cs1, cs2) — 00, 01, 10 — plus the DC completion state added at
+        // the automaton level ((11) is unreachable).
+        let n = crate::gen::figure3();
+        let stg = extract(&n);
+        assert_eq!(stg.num_states(), 3);
+        // From 00 under i=0 the paper's arc goes to 01 with output 0
+        // (transition label "00").
+        let s0 = &stg.edges[0];
+        let e = s0.iter().find(|e| e.input == 0).unwrap();
+        assert_eq!(stg.states[e.target], vec![false, true]);
+        assert_eq!(e.output, 0);
+        // From 00 under i=1 the circuit self-loops with output 0
+        // (label "10").
+        let e = s0.iter().find(|e| e.input == 1).unwrap();
+        assert_eq!(stg.states[e.target], vec![false, false]);
+        assert_eq!(e.output, 0);
+        // From 10 every input goes to 01 with output 1 (label "-1").
+        let s10 = stg
+            .states
+            .iter()
+            .position(|s| s == &vec![true, false])
+            .unwrap();
+        for e in &stg.edges[s10] {
+            assert_eq!(stg.states[e.target], vec![false, true]);
+            assert_eq!(e.output, 1);
+        }
+        // DOT export sanity.
+        let dot = stg.to_dot();
+        assert!(dot.contains("s0 ->"));
+    }
+
+    #[test]
+    fn counter_stg_is_a_cycle() {
+        let n = bench_fmt::parse(
+            "INPUT(en)\nOUTPUT(c)\nq0 = DFF(d0)\nq1 = DFF(d1)\n\
+             d0 = XOR(q0, en)\nca = AND(q0, en)\nd1 = XOR(q1, ca)\nc = AND(q0, q1)\n",
+        )
+        .unwrap();
+        let stg = extract(&n);
+        assert_eq!(stg.num_states(), 4);
+        for (k, es) in stg.edges.iter().enumerate() {
+            // en=0 self-loops, en=1 advances.
+            assert_eq!(es[0].target, k);
+            assert_ne!(es[1].target, k);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the KISS2 / Mealy-FSM module: format round
+//! trips, synthesis equivalence, and minimization laws over randomly
+//! generated machines.
+
+use langeq_logic::kiss::{self, MealyFsm};
+use proptest::prelude::*;
+
+/// Pseudo-random input word from a seed.
+fn word(seed: u64, len: usize, width: usize) -> Vec<Vec<bool>> {
+    let mut x = seed | 1;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (0..width).map(|k| x >> k & 1 == 1).collect()
+        })
+        .collect()
+}
+
+fn machines() -> impl Strategy<Value = MealyFsm> {
+    (any::<u64>(), 1usize..=3, 1usize..=3, 1usize..=6)
+        .prop_map(|(seed, ni, no, ns)| kiss::random_fsm(seed, ni, no, ns))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kiss_round_trip_preserves_machine(fsm in machines(), seed in any::<u64>()) {
+        // The parser numbers states by first mention, so the round trip is
+        // an isomorphism, not the identity: same sizes, same reset name,
+        // same behaviour, and a fixpoint after one round.
+        let text = fsm.to_kiss();
+        let back = kiss::parse(&text).expect("writer output parses");
+        prop_assert_eq!(fsm.num_states(), back.num_states());
+        prop_assert_eq!(fsm.transitions().len(), back.transitions().len());
+        prop_assert_eq!(
+            &fsm.state_names()[fsm.reset()],
+            &back.state_names()[back.reset()]
+        );
+        let w = word(seed, 48, fsm.num_inputs());
+        prop_assert_eq!(fsm.run(&w), back.run(&w));
+        // Stability: a second round trip reproduces the text exactly.
+        let text2 = back.to_kiss();
+        let back2 = kiss::parse(&text2).expect("parses again");
+        prop_assert_eq!(back2.to_kiss(), text2);
+    }
+
+    #[test]
+    fn generated_machines_are_well_formed(fsm in machines()) {
+        prop_assert!(fsm.is_deterministic());
+        prop_assert!(fsm.is_complete());
+        // Every run is defined.
+        let w = word(99, 32, fsm.num_inputs());
+        prop_assert!(fsm.run(&w).is_some());
+    }
+
+    #[test]
+    fn synthesis_preserves_traces(fsm in machines(), seed in any::<u64>()) {
+        let net = fsm.to_network().expect("synthesis");
+        net.validate().expect("valid netlist");
+        let mut state = fsm.reset();
+        let mut cs = net.initial_state();
+        for inputs in word(seed, 48, fsm.num_inputs()) {
+            let (next, out) = fsm.step(state, &inputs).expect("complete");
+            let (net_out, net_ns) = net.eval_step(&inputs, &cs);
+            prop_assert_eq!(out, net_out);
+            state = next;
+            cs = net_ns;
+        }
+    }
+
+    #[test]
+    fn minimize_preserves_traces_and_never_grows(fsm in machines(), seed in any::<u64>()) {
+        let min = fsm.minimize().expect("complete deterministic machine");
+        prop_assert!(min.num_states() <= fsm.num_states());
+        prop_assert!(min.is_deterministic());
+        prop_assert!(min.is_complete());
+        let mut a = fsm.reset();
+        let mut b = min.reset();
+        for inputs in word(seed, 48, fsm.num_inputs()) {
+            let (na, oa) = fsm.step(a, &inputs).expect("complete");
+            let (nb, ob) = min.step(b, &inputs).expect("complete");
+            prop_assert_eq!(oa, ob);
+            a = na;
+            b = nb;
+        }
+        // Idempotence.
+        let again = min.minimize().expect("still minimizable");
+        prop_assert_eq!(again.num_states(), min.num_states());
+    }
+
+    #[test]
+    fn minimized_machine_round_trips_through_stg(fsm in machines()) {
+        // fsm -> network -> STG -> fsm' has the reachable behaviour of fsm;
+        // minimizing both gives machines of equal size.
+        let net = fsm.to_network().expect("synthesis");
+        let stg = langeq_logic::stg::extract(&net);
+        let back = MealyFsm::from_stg("back", &stg);
+        let m1 = fsm.minimize().expect("minimize original");
+        let m2 = back.minimize().expect("minimize extraction");
+        prop_assert_eq!(m1.num_states(), m2.num_states());
+    }
+}

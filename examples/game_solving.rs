@@ -1,0 +1,136 @@
+//! Game solving — another application from the paper's introduction.
+//!
+//! A safety game as a language equation: a token walks a 4-cell ring
+//! (the fixed component `F`). Each round the **environment** issues a move
+//! request `i`; the **controller** `X` sees the token position (wires
+//! `u1 u0`) and drives a gate `v`. The token advances one cell exactly when
+//! `i ∧ v`; cell 3 is forbidden (`F` raises `o` there). The specification
+//! `S` says `o` must stay low forever — so the most general solution of
+//! `F ∘ X ⊆ S` is precisely the set of **winning controller strategies**,
+//! and the CSF is its implementable (prefix-closed, input-progressive)
+//! core.
+//!
+//! ```text
+//! cargo run --example game_solving
+//! ```
+
+use langeq::prelude::*;
+use langeq_core::extract::{extract_submachine, submachine_to_automaton};
+use langeq_core::verify::composition_contained_in_spec;
+use langeq_core::UniverseSizes;
+use langeq_logic::GateKind;
+
+fn main() {
+    let mgr = BddManager::new();
+    let vars = VarUniverse::new(
+        &mgr,
+        UniverseSizes {
+            num_i: 1, // environment's move request
+            num_u: 2, // controller observes the token position
+            num_v: 1, // controller drives the gate
+            num_o: 1, // "token in the forbidden cell"
+            num_f_latches: 2,
+            num_s_latches: 0,
+        },
+    );
+
+    // --- the arena F: a gated 2-bit ring counter ---------------------------
+    // pos' = pos + 1 (mod 4) when i ∧ v, else pos;  o = [pos == 3];  u = pos.
+    let mut f_net = Network::new("arena");
+    let i = f_net.add_input("i");
+    let v = f_net.add_input("v");
+    let (l0, p0) = f_net.add_latch("p0", false);
+    let (l1, p1) = f_net.add_latch("p1", false);
+    let step = f_net.add_gate("step", GateKind::And, &[i, v]).unwrap();
+    // Binary increment of (p1 p0) gated by `step`.
+    let n0 = f_net.add_gate("n0", GateKind::Xor, &[p0, step]).unwrap();
+    let carry = f_net.add_gate("carry", GateKind::And, &[p0, step]).unwrap();
+    let n1 = f_net.add_gate("n1", GateKind::Xor, &[p1, carry]).unwrap();
+    f_net.set_latch_data(l0, n0);
+    f_net.set_latch_data(l1, n1);
+    let o = f_net.add_gate("o", GateKind::And, &[p0, p1]).unwrap();
+    f_net.add_output(o); // o first …
+    let u0 = f_net.add_gate("u0", GateKind::Buf, &[p0]).unwrap();
+    let u1 = f_net.add_gate("u1", GateKind::Buf, &[p1]).unwrap();
+    f_net.add_output(u0); // … then the u wires, as the equation expects.
+    f_net.add_output(u1);
+    let mut f_inputs = vars.i.clone();
+    f_inputs.extend(&vars.v);
+    let f_states = [(vars.cs_f[0], vars.ns_f[0]), (vars.cs_f[1], vars.ns_f[1])];
+    let mut f_outputs = vars.o.clone();
+    f_outputs.extend(&vars.u);
+    let f = PartitionedFsm::from_network(&mgr, &f_net, &f_inputs, &f_states, &f_outputs).unwrap();
+
+    // --- the safety specification S: o is never raised ----------------------
+    let mut s_net = Network::new("safe");
+    let _si = s_net.add_input("i");
+    let zero = s_net.add_const("zero", false).unwrap();
+    s_net.add_output(zero);
+    let s = PartitionedFsm::from_network(&mgr, &s_net, &vars.i, &[], &vars.o).unwrap();
+
+    // --- solve: the CSF is the set of winning strategies ---------------------
+    let eq = LanguageEquation::new(vars, f, s);
+    let solution = langeq::core::solve_partitioned(&eq, &PartitionedOptions::paper());
+    let solution = solution.expect_solved();
+    println!(
+        "winning-strategy flexibility (CSF): {} states\n\n{}",
+        solution.csf.num_states(),
+        solution.csf.to_text()
+    );
+
+    let uv = eq.vars.uv();
+    let u0v = mgr.var(eq.vars.u[0]);
+    let u1v = mgr.var(eq.vars.u[1]);
+    let vv = mgr.var(eq.vars.v[0]);
+
+    // --- strategy 1: keep the gate shut. Safe (the token never moves). ------
+    let mut shut = Automaton::new(&mgr, &uv);
+    let s0 = shut.add_named_state(true, "shut");
+    shut.set_initial(s0);
+    shut.add_transition(s0, vv.not(), s0);
+    assert!(shut.is_contained_in(&solution.csf), "closed gate must win");
+    assert!(composition_contained_in_spec(&eq, &shut));
+    println!("strategy `gate always shut`: winning — ok");
+
+    // --- strategy 2: open unless the token is one step from the trap. -------
+    // v = ¬(pos == 2), i.e. ¬(u1 ∧ ¬u0).
+    let mut guard = Automaton::new(&mgr, &uv);
+    let g0 = guard.add_named_state(true, "guard");
+    guard.set_initial(g0);
+    let danger = u1v.and(&u0v.not());
+    guard.add_transition(g0, vv.xnor(&danger.not()), g0);
+    assert!(
+        guard.is_contained_in(&solution.csf),
+        "guarding cell 2 must win"
+    );
+    assert!(composition_contained_in_spec(&eq, &guard));
+    println!("strategy `open unless pos = 2`: winning — ok");
+
+    // --- non-strategy: always open loses to the adversary. -------------------
+    let mut open = Automaton::new(&mgr, &uv);
+    let o0 = open.add_named_state(true, "open");
+    open.set_initial(o0);
+    open.add_transition(o0, vv.clone(), o0);
+    assert!(
+        !open.is_contained_in(&solution.csf),
+        "an always-open gate lets the environment reach cell 3"
+    );
+    println!("strategy `gate always open`: losing — correctly rejected");
+
+    // --- commit one strategy automatically (the future-work extraction). -----
+    let fsm = extract_submachine(
+        &solution.csf,
+        &eq.vars.u,
+        &eq.vars.v,
+        SelectionStrategy::LexMinOutput,
+    )
+    .expect("the CSF is input-progressive");
+    let sub = submachine_to_automaton(&fsm, &mgr, &eq.vars.u, &eq.vars.v);
+    assert!(solution.csf.contains_languages_of(&sub));
+    assert!(composition_contained_in_spec(&eq, &sub));
+    println!(
+        "\nextracted winning strategy ({} states):\n{}",
+        fsm.num_states(),
+        fsm.to_kiss()
+    );
+}

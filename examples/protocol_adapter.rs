@@ -1,0 +1,112 @@
+//! Protocol conversion — one of the applications motivating language
+//! equations in the paper's introduction.
+//!
+//! A line driver `F` inverts whatever the adapter `X` hands it
+//! (`o = ¬v`) and forwards the external command to the adapter (`u = i`).
+//! The protocol specification `S` demands that the line level follow the
+//! external command with one cycle of delay (`o(t) = i(t-1)`).
+//!
+//! Solving `F ∘ X ⊆ S` yields every adapter that makes the composed system
+//! obey the protocol; the expected implementation — register the command,
+//! emit its complement — must lie inside the flexibility, while a
+//! non-inverting adapter must not.
+//!
+//! ```text
+//! cargo run --example protocol_adapter
+//! ```
+
+use langeq::prelude::*;
+use langeq_core::verify::composition_contained_in_spec;
+use langeq_core::UniverseSizes;
+use langeq_logic::GateKind;
+
+fn main() {
+    let mgr = BddManager::new();
+    let vars = VarUniverse::new(
+        &mgr,
+        UniverseSizes {
+            num_i: 1,
+            num_u: 1,
+            num_v: 1,
+            num_o: 1,
+            num_f_latches: 0,
+            num_s_latches: 1,
+        },
+    );
+
+    // --- the fixed component: combinational line driver --------------------
+    // inputs (i, v); outputs (o = ¬v, u = i).
+    let mut f_net = Network::new("line_driver");
+    let i = f_net.add_input("i");
+    let v = f_net.add_input("v");
+    let o = f_net.add_gate("o", GateKind::Not, &[v]).unwrap();
+    let u = f_net.add_gate("u", GateKind::Buf, &[i]).unwrap();
+    f_net.add_output(o);
+    f_net.add_output(u);
+    let mut f_inputs = vars.i.clone();
+    f_inputs.extend(&vars.v);
+    let mut f_outputs = vars.o.clone();
+    f_outputs.extend(&vars.u);
+    let f = PartitionedFsm::from_network(&mgr, &f_net, &f_inputs, &[], &f_outputs).unwrap();
+
+    // --- the specification: o follows i with one cycle delay ----------------
+    let mut s_net = Network::new("delayed_follow");
+    let si = s_net.add_input("i");
+    let (l, q) = s_net.add_latch("q", false);
+    s_net.set_latch_data(l, si);
+    let so = s_net.add_gate("o", GateKind::Buf, &[q]).unwrap();
+    s_net.add_output(so);
+    let s_states = [(vars.cs_s[0], vars.ns_s[0])];
+    let s = PartitionedFsm::from_network(&mgr, &s_net, &vars.i, &s_states, &vars.o).unwrap();
+
+    // --- solve ----------------------------------------------------------------
+    let eq = LanguageEquation::new(vars, f, s);
+    let solution = langeq::core::solve_partitioned(&eq, &PartitionedOptions::paper());
+    let solution = solution.expect_solved();
+    println!(
+        "CSF of the adapter: {} states\n\n{}",
+        solution.csf.num_states(),
+        solution.csf.to_text()
+    );
+
+    // --- the expected adapter: register u, emit its complement ---------------
+    // State = registered bit b; label (u, v) with v ≡ ¬b; next state = u.
+    let uv = eq.vars.uv();
+    let u_var = mgr.var(eq.vars.u[0]);
+    let v_var = mgr.var(eq.vars.v[0]);
+    let mut adapter = Automaton::new(&mgr, &uv);
+    let s0 = adapter.add_named_state(true, "b=0");
+    let s1 = adapter.add_named_state(true, "b=1");
+    adapter.set_initial(s0);
+    for (state, bit) in [(s0, false), (s1, true)] {
+        // v must equal ¬bit; any u is consumed and becomes the next bit.
+        let v_ok = if bit { v_var.not() } else { v_var.clone() };
+        adapter.add_transition(state, v_ok.and(&u_var.not()), s0);
+        adapter.add_transition(state, v_ok.and(&u_var), s1);
+    }
+    assert!(
+        adapter.is_contained_in(&solution.csf),
+        "the inverting register adapter must be a legal implementation"
+    );
+    assert!(
+        composition_contained_in_spec(&eq, &adapter),
+        "composing it with F must satisfy S"
+    );
+    println!("inverting register adapter: contained in the CSF — ok");
+
+    // --- a wrong adapter: plain (non-inverting) register ----------------------
+    let mut wrong = Automaton::new(&mgr, &uv);
+    let w0 = wrong.add_named_state(true, "b=0");
+    let w1 = wrong.add_named_state(true, "b=1");
+    wrong.set_initial(w0);
+    for (state, bit) in [(w0, false), (w1, true)] {
+        let v_ok = if bit { v_var.clone() } else { v_var.not() };
+        wrong.add_transition(state, v_ok.and(&u_var.not()), w0);
+        wrong.add_transition(state, v_ok.and(&u_var), w1);
+    }
+    assert!(
+        !wrong.is_contained_in(&solution.csf),
+        "the non-inverting adapter must be rejected"
+    );
+    println!("non-inverting adapter: correctly rejected by the CSF");
+}

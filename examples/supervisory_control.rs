@@ -1,0 +1,118 @@
+//! Discrete (supervisory) control — another application from the paper's
+//! introduction.
+//!
+//! The plant `F` is a machine whose on/off state is set each cycle by the
+//! controller's command `v`; the machine's status is observable (`o`) and
+//! is also fed back to the controller together with the external request
+//! (`u = (request, status)`). The specification `S` demands: *the machine
+//! runs exactly one cycle after each request, and never two cycles in a
+//! row* (`o(t) = i(t-1) ∧ ¬o(t-1)`).
+//!
+//! The CSF of the controller contains the textbook solution — the
+//! memoryless law `v = request ∧ ¬status` — and rejects the "always run"
+//! controller.
+//!
+//! ```text
+//! cargo run --example supervisory_control
+//! ```
+
+use langeq::prelude::*;
+use langeq_core::verify::composition_contained_in_spec;
+use langeq_core::UniverseSizes;
+use langeq_logic::GateKind;
+
+fn main() {
+    let mgr = BddManager::new();
+    let vars = VarUniverse::new(
+        &mgr,
+        UniverseSizes {
+            num_i: 1,
+            num_u: 2, // u0 = forwarded request, u1 = machine status
+            num_v: 1, // v = run command
+            num_o: 1,
+            num_f_latches: 1,  // the machine state
+            num_s_latches: 2,  // spec: previous request, previous output
+        },
+    );
+
+    // --- the plant ------------------------------------------------------------
+    // Latch m: next = v. Outputs: o = m, u0 = i, u1 = m.
+    let mut plant = Network::new("machine");
+    let i = plant.add_input("req");
+    let v = plant.add_input("run_cmd");
+    let (lm, m) = plant.add_latch("m", false);
+    plant.set_latch_data(lm, v);
+    let o = plant.add_gate("o", GateKind::Buf, &[m]).unwrap();
+    let u0 = plant.add_gate("u0", GateKind::Buf, &[i]).unwrap();
+    let u1 = plant.add_gate("u1", GateKind::Buf, &[m]).unwrap();
+    plant.add_output(o);
+    plant.add_output(u0);
+    plant.add_output(u1);
+    let mut f_inputs = vars.i.clone();
+    f_inputs.extend(&vars.v);
+    let f_states = [(vars.cs_f[0], vars.ns_f[0])];
+    let mut f_outputs = vars.o.clone();
+    f_outputs.extend(&vars.u);
+    let f = PartitionedFsm::from_network(&mgr, &plant, &f_inputs, &f_states, &f_outputs).unwrap();
+
+    // --- the specification -----------------------------------------------------
+    // Latches: q = previous request, r = previous output.
+    // Output: o = q ∧ ¬r; next r = o.
+    let mut spec = Network::new("run_once_per_request");
+    let si = spec.add_input("req");
+    let (lq, q) = spec.add_latch("q", false);
+    spec.set_latch_data(lq, si);
+    let (lr, r) = spec.add_latch("r", false);
+    let nr = spec.add_gate("nr", GateKind::Not, &[r]).unwrap();
+    let so = spec.add_gate("o", GateKind::And, &[q, nr]).unwrap();
+    spec.set_latch_data(lr, so);
+    spec.add_output(so);
+    let s_states: Vec<(VarId, VarId)> = vars
+        .cs_s
+        .iter()
+        .zip(&vars.ns_s)
+        .map(|(&c, &n)| (c, n))
+        .collect();
+    let s = PartitionedFsm::from_network(&mgr, &spec, &vars.i, &s_states, &vars.o).unwrap();
+
+    // --- solve -------------------------------------------------------------------
+    let eq = LanguageEquation::new(vars, f, s);
+    let solution = langeq::core::solve_partitioned(&eq, &PartitionedOptions::paper());
+    let solution = solution.expect_solved();
+    println!(
+        "controller CSF: {} states ({} subset states explored)",
+        solution.csf.num_states(),
+        solution.stats.subset_states
+    );
+
+    // --- the textbook controller: v = request ∧ ¬status ---------------------------
+    let uv = eq.vars.uv();
+    let req = mgr.var(eq.vars.u[0]);
+    let status = mgr.var(eq.vars.u[1]);
+    let cmd = mgr.var(eq.vars.v[0]);
+    let mut law = Automaton::new(&mgr, &uv);
+    let s0 = law.add_named_state(true, "law");
+    law.set_initial(s0);
+    law.add_transition(s0, cmd.xnor(&req.and(&status.not())), s0);
+    assert!(
+        law.is_contained_in(&solution.csf),
+        "v = req ∧ ¬status must be a legal control law"
+    );
+    assert!(composition_contained_in_spec(&eq, &law));
+    println!("control law v = req ∧ ¬status: accepted by the CSF");
+
+    // --- a bad controller: always run ----------------------------------------------
+    let mut always = Automaton::new(&mgr, &uv);
+    let a0 = always.add_named_state(true, "on");
+    always.set_initial(a0);
+    always.add_transition(a0, cmd.clone(), a0);
+    assert!(
+        !always.is_contained_in(&solution.csf),
+        "the always-run controller must be rejected"
+    );
+    println!("always-run controller: correctly rejected");
+
+    // --- and the paper's composition check on the whole CSF -------------------------
+    assert!(composition_contained_in_spec(&eq, &solution.csf));
+    println!("F ∘ CSF ⊆ S: verified");
+}

@@ -1,0 +1,43 @@
+//! # langeq — language equation solving with partitioned representations
+//!
+//! This is the facade crate of the workspace reproducing
+//! *Efficient Solution of Language Equations Using Partitioned
+//! Representations* (Mishchenko, Brayton, Jiang, Villa, Yevtushenko —
+//! DATE 2005). It re-exports the member crates:
+//!
+//! * [`bdd`] — the ROBDD engine (complemented edges, GC, relational product),
+//! * [`image`] — partitioned image computation with quantification scheduling,
+//! * [`logic`] — sequential gate-level networks, `.bench`/BLIF/KISS2 I/O,
+//!   latch splitting, explicit Mealy FSMs and circuit generators,
+//! * [`automata`] — explicit automata with BDD-labelled transitions and the
+//!   classic operation set (complete, determinize, complement, product, hide,
+//!   prefix-close, progressive),
+//! * [`core`] — the paper's contribution: the partitioned and monolithic
+//!   language-equation solvers computing the Complete Sequential Flexibility,
+//!   plus sub-solution extraction and the §2 re-encoding experiment.
+//!
+//! A command-line front end (`langeq`, in `crates/cli`) exposes the
+//! BALM-style workflow over `.bench`/`.blif`/`.kiss`/`.aut` files.
+//!
+//! See the workspace `README.md` for a tour and `DESIGN.md` for the mapping
+//! from the paper to the code.
+
+pub use langeq_automata as automata;
+pub use langeq_bdd as bdd;
+pub use langeq_core as core;
+pub use langeq_image as image;
+pub use langeq_logic as logic;
+
+/// Convenient glob-import surface: `use langeq::prelude::*;`.
+pub mod prelude {
+    pub use langeq_automata::{Automaton, StateId};
+    pub use langeq_bdd::{Bdd, BddManager, VarId};
+    pub use langeq_core::extract::SelectionStrategy;
+    pub use langeq_core::{
+        LanguageEquation, LatchSplitProblem, MonolithicOptions, Outcome, PartitionedFsm,
+        PartitionedOptions, Solution, SolverKind, StateOrder, VarUniverse,
+    };
+    pub use langeq_image::{ImageComputer, QuantSchedule};
+    pub use langeq_logic::kiss::MealyFsm;
+    pub use langeq_logic::{Gate, GateKind, Network};
+}

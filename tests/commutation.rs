@@ -1,0 +1,79 @@
+//! Corollary 1 of the paper's appendix at the system level: deferring the
+//! completion of `F` and `S` into the final determinization (what the
+//! partitioned flow does) yields the same language as completing everything
+//! eagerly (what the generic Algorithm-1 pipeline and the monolithic flow
+//! do). The automaton-level Theorem 1 is property-tested in
+//! `langeq-automata`; here we exercise the full solver stack.
+
+use langeq::prelude::*;
+use langeq_core::algorithm1;
+use langeq_logic::gen;
+
+/// Eager-completion variant of Algorithm 1: complete S *and* F before
+/// anything else, then run the explicit pipeline. Per Corollary 1 this must
+/// not change the result.
+fn solve_generic_with_eager_completion(eq: &LanguageEquation) -> (Automaton, Automaton) {
+    let mgr = eq.manager();
+    let vars = &eq.vars;
+    let s_aut = algorithm1::component_to_automaton(mgr, &eq.s);
+    let f_aut = algorithm1::component_to_automaton(mgr, &eq.f);
+    // Eager completion of both components.
+    let (s_completed, _) = s_aut.complete(false);
+    let (f_completed, _) = f_aut.complete(false);
+    let x = s_completed.determinize();
+    let x = x.complement();
+    let mut extra = vars.v.clone();
+    extra.extend(&vars.u);
+    let x = x.expand(&extra);
+    let x = f_completed.product(&x);
+    let mut io = vars.i.clone();
+    io.extend(&vars.o);
+    let x = x.hide(&io);
+    let x = x.determinize();
+    let general = x.complement();
+    let prefix_closed = general.prefix_close();
+    let csf = prefix_closed.progressive(&vars.u);
+    (prefix_closed, csf)
+}
+
+#[test]
+fn corollary1_eager_vs_deferred_completion() {
+    let circuits: Vec<(Network, Vec<usize>)> = vec![
+        (gen::figure3(), vec![0]),
+        (gen::figure3(), vec![1]),
+        (gen::counter("c3", 3), vec![1, 2]),
+        (gen::shift_register("sr3", 3), vec![0]),
+    ];
+    for (net, unknown) in circuits {
+        let p = LatchSplitProblem::new(&net, &unknown).expect("split");
+        let (eager_pc, eager_csf) = solve_generic_with_eager_completion(&p.equation);
+        let deferred = algorithm1::solve_generic(&p.equation);
+        let part = langeq::core::solve_partitioned(&p.equation, &PartitionedOptions::paper());
+        let part = part.expect_solved();
+        let label = format!("{} / {:?}", net.name(), unknown);
+        assert!(
+            eager_pc.equivalent(&deferred.prefix_closed),
+            "eager vs deferred generic prefix-closed: {label}"
+        );
+        assert!(
+            eager_csf.equivalent(&deferred.csf),
+            "eager vs deferred generic CSF: {label}"
+        );
+        assert!(
+            eager_csf.equivalent(&part.csf),
+            "eager generic vs partitioned CSF: {label}"
+        );
+    }
+}
+
+#[test]
+fn progressive_is_idempotent_on_csf() {
+    let net = gen::figure3();
+    let p = LatchSplitProblem::new(&net, &[1]).expect("split");
+    let sol = langeq::core::solve_partitioned(&p.equation, &PartitionedOptions::paper());
+    let sol = sol.expect_solved();
+    let again = sol.csf.progressive(&p.equation.vars.u);
+    assert!(again.equivalent(&sol.csf));
+    let pc_again = sol.prefix_closed.prefix_close();
+    assert!(pc_again.equivalent(&sol.prefix_closed));
+}

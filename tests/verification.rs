@@ -1,0 +1,102 @@
+//! End-to-end verification: for each solved instance, the paper's checks
+//! (1) `X_P ⊆ X` and (2) `F ∘ X ⊆ S` must pass — and deliberately broken
+//! flexibilities must fail them.
+
+use langeq::prelude::*;
+use langeq_core::verify::{composition_contained_in_spec, verify_latch_split, xp_contained_in};
+use langeq_logic::gen;
+
+fn solve(net: &Network, unknown: &[usize]) -> (LatchSplitProblem, Solution) {
+    let p = LatchSplitProblem::new(net, unknown).expect("split");
+    let sol = langeq::core::solve_partitioned(&p.equation, &PartitionedOptions::paper())
+        .expect_solved()
+        .clone();
+    (p, sol)
+}
+
+#[test]
+fn csf_verifies_across_circuit_family() {
+    let circuits: Vec<(Network, Vec<usize>)> = vec![
+        (gen::figure3(), vec![0]),
+        (gen::figure3(), vec![1]),
+        (gen::counter("c4", 4), vec![1, 2]),
+        (gen::shift_register("sr4", 4), vec![0, 3]),
+        (gen::gray_counter("gray3", 3), vec![2]),
+        (gen::sequence_detector("det", &[true, true, false]), vec![0, 1]),
+    ];
+    for (net, unknown) in circuits {
+        let (p, sol) = solve(&net, &unknown);
+        let report = verify_latch_split(&p, &sol.csf);
+        assert!(
+            report.all_passed(),
+            "{} split {:?}: {report}",
+            net.name(),
+            unknown
+        );
+    }
+}
+
+#[test]
+fn prefix_closed_solution_satisfies_spec_too() {
+    // Check (2) holds for the entire most-general prefix-closed solution,
+    // not just the progressive CSF.
+    let (p, sol) = solve(&gen::counter("c3", 3), &[0, 1]);
+    assert!(composition_contained_in_spec(&p.equation, &sol.prefix_closed));
+}
+
+#[test]
+fn xp_is_strictly_inside_nontrivial_csf() {
+    // The register bank is one implementation among many: the CSF should
+    // accept it, and (for the figure-3 split) strictly more.
+    let (p, sol) = solve(&gen::figure3(), &[1]);
+    assert!(xp_contained_in(&p, &sol.csf));
+    // The CSF accepts some letter freedom the plain register does not have
+    // (the DCA part at least). Build the X_P automaton explicitly and
+    // compare languages.
+    let mgr = p.equation.manager();
+    let uv = p.equation.vars.uv();
+    let u = mgr.var(p.equation.vars.u[0]);
+    let v = mgr.var(p.equation.vars.v[0]);
+    let mut xp = Automaton::new(mgr, &uv);
+    let s0 = xp.add_state(true);
+    let s1 = xp.add_state(true);
+    xp.set_initial(s0);
+    xp.add_transition(s0, v.not().and(&u.not()), s0);
+    xp.add_transition(s0, v.not().and(&u), s1);
+    xp.add_transition(s1, v.clone().and(&u.not()), s0);
+    xp.add_transition(s1, v.clone().and(&u), s1);
+    assert!(xp.is_contained_in(&sol.csf));
+    assert!(
+        !sol.csf.is_contained_in(&xp),
+        "the flexibility must be strictly larger than the fixed register"
+    );
+}
+
+#[test]
+fn corrupted_csf_fails_checks() {
+    let (p, sol) = solve(&gen::figure3(), &[1]);
+    let mgr = p.equation.manager();
+    // Corruption 1: an over-permissive X (accepts everything).
+    let mut universal = Automaton::new(mgr, &p.equation.vars.uv());
+    let s = universal.add_state(true);
+    universal.set_initial(s);
+    universal.add_transition(s, mgr.one(), s);
+    assert!(
+        !composition_contained_in_spec(&p.equation, &universal),
+        "the universal X must violate the specification"
+    );
+    // Corruption 2: an X too small to contain the register bank.
+    let empty = Automaton::new(mgr, &p.equation.vars.uv());
+    assert!(!xp_contained_in(&p, &empty));
+    // The genuine CSF passes both.
+    assert!(verify_latch_split(&p, &sol.csf).all_passed());
+}
+
+#[test]
+fn verification_report_formats() {
+    let (p, sol) = solve(&gen::figure3(), &[0]);
+    let report = verify_latch_split(&p, &sol.csf);
+    let text = report.to_string();
+    assert!(text.contains("X_P"));
+    assert!(text.contains("ok"));
+}
