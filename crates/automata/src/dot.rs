@@ -87,7 +87,12 @@ impl Automaton {
                     .take(16)
                     .map(|c| c.to_positional(&self.alphabet))
                     .collect();
-                let _ = writeln!(out, "    --[{}]--> {}", cubes.join("|"), self.names[t.index()]);
+                let _ = writeln!(
+                    out,
+                    "    --[{}]--> {}",
+                    cubes.join("|"),
+                    self.names[t.index()]
+                );
             }
         }
         out

@@ -34,7 +34,11 @@ pub struct FormatError {
 
 impl std::fmt::Display for FormatError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "automaton format error at line {}: {}", self.line, self.msg)
+        write!(
+            f,
+            "automaton format error at line {}: {}",
+            self.line, self.msg
+        )
     }
 }
 
@@ -65,7 +69,12 @@ pub fn write(aut: &Automaton, names: &HashMap<VarId, String>) -> String {
         let sid = StateId(s as u32);
         let name = aut.state_name(sid);
         if name != format!("s{s}") {
-            let _ = writeln!(out, ".name {} {}", s, name.replace(char::is_whitespace, "_"));
+            let _ = writeln!(
+                out,
+                ".name {} {}",
+                s,
+                name.replace(char::is_whitespace, "_")
+            );
         }
     }
     for s in 0..aut.num_states() {
@@ -97,7 +106,10 @@ pub fn write(aut: &Automaton, names: &HashMap<VarId, String>) -> String {
 /// # Errors
 ///
 /// [`FormatError`] with a line number on malformed input.
-pub fn parse(mgr: &BddManager, text: &str) -> Result<(Automaton, HashMap<String, VarId>), FormatError> {
+pub fn parse(
+    mgr: &BddManager,
+    text: &str,
+) -> Result<(Automaton, HashMap<String, VarId>), FormatError> {
     let mut cols: Vec<(String, VarId)> = Vec::new();
     let mut num_states = 0usize;
     let mut initial: Option<u32> = None;
@@ -147,7 +159,9 @@ pub fn parse(mgr: &BddManager, text: &str) -> Result<(Automaton, HashMap<String,
                     .next()
                     .and_then(|t| t.parse().ok())
                     .ok_or_else(|| err(".name needs a state".into()))?;
-                let n = toks.next().ok_or_else(|| err(".name needs a name".into()))?;
+                let n = toks
+                    .next()
+                    .ok_or_else(|| err(".name needs a name".into()))?;
                 names.push((s, n.to_string()));
             }
             ".trans" => {

@@ -42,9 +42,7 @@ impl Automaton {
                 let mut per_block: HashMap<usize, langeq_bdd::Bdd> = HashMap::new();
                 for (l, t) in &trimmed.trans[s] {
                     let b = block[t.index()];
-                    let entry = per_block
-                        .entry(b)
-                        .or_insert_with(|| trimmed.mgr.zero());
+                    let entry = per_block.entry(b).or_insert_with(|| trimmed.mgr.zero());
                     *entry = entry.or(l);
                 }
                 let mut sig: Vec<(usize, u64)> = per_block

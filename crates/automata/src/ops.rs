@@ -205,10 +205,7 @@ impl Automaton {
         };
         let mut index: HashMap<(u32, u32), StateId> = HashMap::new();
         let name = |a: &Automaton, b: &Automaton, s: (u32, u32)| {
-            format!(
-                "({},{})",
-                a.names[s.0 as usize], b.names[s.1 as usize]
-            )
+            format!("({},{})", a.names[s.0 as usize], b.names[s.1 as usize])
         };
         let s0 = out.add_named_state(
             self.accepting[i1.index()] && other.accepting[i2.index()],
@@ -260,11 +257,7 @@ impl Automaton {
         out.trans = self
             .trans
             .iter()
-            .map(|ts| {
-                ts.iter()
-                    .map(|(l, t)| (l.exists(vars), *t))
-                    .collect()
-            })
+            .map(|ts| ts.iter().map(|(l, t)| (l.exists(vars), *t)).collect())
             .collect();
         out
     }
@@ -381,7 +374,10 @@ impl Automaton {
 }
 
 fn subset_name(a: &Automaton, subset: &[u32]) -> String {
-    let parts: Vec<&str> = subset.iter().map(|&m| a.names[m as usize].as_str()).collect();
+    let parts: Vec<&str> = subset
+        .iter()
+        .map(|&m| a.names[m as usize].as_str())
+        .collect();
     format!("{{{}}}", parts.join(","))
 }
 

@@ -8,20 +8,15 @@ use langeq_bdd::BddManager;
 use proptest::prelude::*;
 
 fn arb_params() -> impl Strategy<Value = RandomAutomaton> {
-    (
-        any::<u64>(),
-        1usize..6,
-        1usize..4,
-        0usize..5,
-        0u32..=100,
-    )
-        .prop_map(|(seed, num_states, num_vars, density, accepting_pct)| RandomAutomaton {
+    (any::<u64>(), 1usize..6, 1usize..4, 0usize..5, 0u32..=100).prop_map(
+        |(seed, num_states, num_vars, density, accepting_pct)| RandomAutomaton {
             seed,
             num_states,
             num_vars,
             density,
             accepting_pct,
-        })
+        },
+    )
 }
 
 /// Sample words of lengths 0..=4 (deterministically derived from `seed`).

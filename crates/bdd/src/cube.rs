@@ -203,7 +203,8 @@ mod tests {
         // Reassemble: OR of all cubes equals f; cubes pairwise disjoint.
         let mut acc = mgr.zero();
         for c in &cubes {
-            let lits: Vec<(VarId, bool)> = c.literals().iter().map(|l| (l.var, l.positive)).collect();
+            let lits: Vec<(VarId, bool)> =
+                c.literals().iter().map(|l| (l.var, l.positive)).collect();
             let cb = mgr.cube(&lits);
             assert!(cb.and(&acc).is_zero(), "cubes must be disjoint");
             acc = acc.or(&cb);

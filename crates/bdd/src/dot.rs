@@ -32,7 +32,11 @@ impl BddManager {
                 "  root_{lbl} -> n{idx} [style={style}];",
                 lbl = sanitize(label),
                 idx = root.id() >> 1,
-                style = if root.id() & 1 == 1 { "dotted" } else { "solid" }
+                style = if root.id() & 1 == 1 {
+                    "dotted"
+                } else {
+                    "solid"
+                }
             );
             stack.push((*root).clone());
         }
@@ -54,8 +58,16 @@ impl BddManager {
                 let _ = writeln!(out, "  n{idx} [label=\"{name}\"];");
                 let hi_idx = hi.id() >> 1;
                 let lo_idx = lo.id() >> 1;
-                let hi_node = if hi_idx == 0 { "one".to_string() } else { format!("n{hi_idx}") };
-                let lo_node = if lo_idx == 0 { "one".to_string() } else { format!("n{lo_idx}") };
+                let hi_node = if hi_idx == 0 {
+                    "one".to_string()
+                } else {
+                    format!("n{hi_idx}")
+                };
+                let lo_node = if lo_idx == 0 {
+                    "one".to_string()
+                } else {
+                    format!("n{lo_idx}")
+                };
                 let _ = writeln!(
                     out,
                     "  n{idx} -> {hi_node} [style={}];",

@@ -1,32 +1,44 @@
-//! Error/abort types for the BDD engine.
+//! Cooperative-abort types for the BDD engine.
 
-/// Panic payload raised when the manager exceeds its configured live-node
-/// limit (see [`crate::BddManager::set_node_limit`]).
+/// Why the engine abandoned the computation in progress.
 ///
-/// The limit exists so that callers can bound runaway monolithic
-/// computations — exactly the "CNC" (could not complete) outcomes reported in
-/// Table 1 of the DATE'05 paper. Because a single BDD operation can blow past
-/// any limit internally, the abort is delivered as a panic with this payload
-/// (CUDD uses `longjmp` for the same purpose); harnesses catch it with
-/// [`std::panic::catch_unwind`] and report CNC. The manager remains in a
-/// consistent, usable state afterwards: partially created nodes are
-/// unreferenced and are reclaimed by the next garbage collection.
+/// The engine never unwinds: when a resource limit or an external abort
+/// request fires, the current operation (and every operation after it)
+/// short-circuits to a dummy result and the manager records one of these
+/// reasons. Callers running long computations poll
+/// [`BddManager::abort_reason`](crate::BddManager::abort_reason) between
+/// steps (discarding the dummy results of an aborted step) and clear the
+/// state with [`BddManager::take_abort`](crate::BddManager::take_abort),
+/// after which the manager is immediately reusable. This is the engine half
+/// of the solver's "could not complete" (CNC) outcomes, which Table 1 of the
+/// DATE'05 paper reports for the monolithic flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct NodeLimitExceeded {
-    /// The configured limit that was exceeded.
-    pub limit: usize,
-    /// The number of live nodes at the moment the limit check fired.
-    pub live: usize,
+pub enum AbortReason {
+    /// Creating one more node would have exceeded the configured live-node
+    /// limit (see [`BddManager::set_node_limit`](crate::BddManager::set_node_limit)).
+    NodeLimit {
+        /// The configured limit.
+        limit: usize,
+        /// Live nodes at the moment the check fired.
+        live: usize,
+    },
+    /// The abort hook installed with
+    /// [`BddManager::set_abort_hook`](crate::BddManager::set_abort_hook)
+    /// returned `true` (cancellation, deadline, …: the hook's owner knows
+    /// which).
+    Hook,
 }
 
-impl std::fmt::Display for NodeLimitExceeded {
+impl std::fmt::Display for AbortReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "BDD live-node limit exceeded: {} live nodes > limit {}",
-            self.live, self.limit
-        )
+        match self {
+            AbortReason::NodeLimit { limit, live } => write!(
+                f,
+                "BDD live-node limit exceeded: {live} live nodes at limit {limit}"
+            ),
+            AbortReason::Hook => write!(f, "BDD operation aborted by the abort hook"),
+        }
     }
 }
 
-impl std::error::Error for NodeLimitExceeded {}
+impl std::error::Error for AbortReason {}

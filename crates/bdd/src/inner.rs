@@ -4,7 +4,7 @@
 
 use std::collections::HashMap;
 
-use crate::error::NodeLimitExceeded;
+use crate::error::AbortReason;
 
 /// A raw edge: node index shifted left by one, with bit 0 as the complement
 /// flag. Not exposed outside the crate.
@@ -20,6 +20,12 @@ const NIL: u32 = u32::MAX;
 const VAR_TERMINAL: u32 = u32::MAX;
 /// Marker for a slot on the free list.
 const VAR_FREE: u32 = u32::MAX - 1;
+
+/// How many node allocations may pass between two abort-hook polls. Small
+/// enough that a runaway operation notices cancellation within microseconds,
+/// large enough that the poll (an `Instant::now()` or an atomic load in the
+/// typical hook) stays off the allocation fast path.
+const HOOK_STRIDE: u32 = 1024;
 
 const OP_ITE: u32 = 1;
 const OP_EXISTS: u32 = 2;
@@ -81,6 +87,13 @@ pub(crate) struct Inner {
     live: usize,
     gc_threshold: usize,
     node_limit: Option<usize>,
+    /// Set when a limit or the hook fired; every operation short-circuits to
+    /// `ZERO` until [`Inner::take_abort`] clears it.
+    abort: Option<AbortReason>,
+    /// External abort request, polled every [`HOOK_STRIDE`] allocations and
+    /// at every top-level operation entry; `true` means "abort now".
+    hook: Option<Box<dyn Fn() -> bool>>,
+    hook_countdown: u32,
     pub(crate) counters: Counters,
 }
 
@@ -108,6 +121,9 @@ impl Inner {
             live: 1,
             gc_threshold: 1 << 20,
             node_limit: None,
+            abort: None,
+            hook: None,
+            hook_countdown: HOOK_STRIDE,
             counters: Counters::default(),
         };
         // Terminal node at index 0; never hashed, never freed.
@@ -173,6 +189,30 @@ impl Inner {
         self.node_limit = limit;
     }
 
+    pub(crate) fn set_abort_hook(
+        &mut self,
+        hook: Option<Box<dyn Fn() -> bool>>,
+    ) -> Option<Box<dyn Fn() -> bool>> {
+        self.hook_countdown = HOOK_STRIDE;
+        std::mem::replace(&mut self.hook, hook)
+    }
+
+    pub(crate) fn abort(&self) -> Option<AbortReason> {
+        self.abort
+    }
+
+    pub(crate) fn take_abort(&mut self) -> Option<AbortReason> {
+        self.abort.take()
+    }
+
+    /// Polls the abort hook immediately (called at top-level operation entry
+    /// and before a garbage collection).
+    pub(crate) fn poll_hook(&mut self) {
+        if self.abort.is_none() && self.hook.as_ref().is_some_and(|h| h()) {
+            self.abort = Some(AbortReason::Hook);
+        }
+    }
+
     pub(crate) fn adjust_ext(&mut self, idx: u32, d: i32) {
         let e = &mut self.ext[idx as usize];
         if d >= 0 {
@@ -189,7 +229,10 @@ impl Inner {
     pub(crate) fn new_var(&mut self) -> Ref {
         let v = self.nvars;
         self.nvars += 1;
-        let r = self.mk(v, ONE, ZERO);
+        // Variable creation bypasses the abort/limit guards: a projection
+        // node is O(1), and a `ZERO` stand-in here would corrupt `var_refs`
+        // for the manager's whole lifetime.
+        let r = self.mk_inner(v, ONE, ZERO, false);
         debug_assert_eq!(r & 1, 0);
         self.ext[(r >> 1) as usize] += 1; // pin forever
         self.var_refs.push(r);
@@ -204,8 +247,18 @@ impl Inner {
     // ----- unique table ----------------------------------------------------
 
     /// Finds or creates the node `(var, hi, lo)`, enforcing both reduction
-    /// rules and the regular-then-edge canonical form.
+    /// rules and the regular-then-edge canonical form. Short-circuits to
+    /// `ZERO` once an abort is pending, and raises one when an allocation
+    /// would cross the node limit or the abort hook fires.
     pub(crate) fn mk(&mut self, var: u32, hi: Ref, lo: Ref) -> Ref {
+        self.mk_inner(var, hi, lo, true)
+    }
+
+    #[inline]
+    fn mk_inner(&mut self, var: u32, hi: Ref, lo: Ref, guarded: bool) -> Ref {
+        if guarded && self.abort.is_some() {
+            return ZERO;
+        }
         if hi == lo {
             return hi;
         }
@@ -225,13 +278,26 @@ impl Inner {
             }
             p = n.next;
         }
-        // Allocate.
-        if let Some(limit) = self.node_limit {
-            if self.live + 1 > limit {
-                std::panic::panic_any(NodeLimitExceeded {
-                    limit,
-                    live: self.live,
-                });
+        // Allocate, checking the cooperative guards first.
+        if guarded {
+            if let Some(limit) = self.node_limit {
+                if self.live + 1 > limit {
+                    self.abort = Some(AbortReason::NodeLimit {
+                        limit,
+                        live: self.live,
+                    });
+                    return ZERO;
+                }
+            }
+            if self.hook.is_some() {
+                self.hook_countdown -= 1;
+                if self.hook_countdown == 0 {
+                    self.hook_countdown = HOOK_STRIDE;
+                    self.poll_hook();
+                    if self.abort.is_some() {
+                        return ZERO;
+                    }
+                }
             }
         }
         let idx = if let Some(i) = self.free.pop() {
@@ -286,7 +352,8 @@ impl Inner {
     #[inline]
     fn cache_get(&mut self, op: u32, f: Ref, g: Ref, h: Ref) -> Option<Ref> {
         self.counters.cache_lookups += 1;
-        let slot = mix3(f, g, h.wrapping_add(op.wrapping_mul(0x517C_C1B7))) & (self.cache.len() - 1);
+        let slot =
+            mix3(f, g, h.wrapping_add(op.wrapping_mul(0x517C_C1B7))) & (self.cache.len() - 1);
         let e = &self.cache[slot];
         if e.op == op && e.f == f && e.g == g && e.h == h {
             self.counters.cache_hits += 1;
@@ -298,7 +365,13 @@ impl Inner {
 
     #[inline]
     fn cache_put(&mut self, op: u32, f: Ref, g: Ref, h: Ref, res: Ref) {
-        let slot = mix3(f, g, h.wrapping_add(op.wrapping_mul(0x517C_C1B7))) & (self.cache.len() - 1);
+        if self.abort.is_some() {
+            // `res` may be a short-circuit dummy; never let it poison the
+            // cache past `take_abort`.
+            return;
+        }
+        let slot =
+            mix3(f, g, h.wrapping_add(op.wrapping_mul(0x517C_C1B7))) & (self.cache.len() - 1);
         self.cache[slot] = CacheEntry { op, f, g, h, res };
     }
 
@@ -318,8 +391,10 @@ impl Inner {
 
     /// Runs GC if the live-node count crossed the adaptive threshold. Called
     /// at the entry of every top-level operation (when all live functions are
-    /// externally referenced), never mid-recursion.
+    /// externally referenced), never mid-recursion. Doubles as the
+    /// between-operations poll point of the abort hook.
     pub(crate) fn maybe_gc(&mut self) {
+        self.poll_hook();
         if self.live >= self.gc_threshold {
             self.gc();
         }
@@ -379,6 +454,9 @@ impl Inner {
     /// complement-edge canonicalisation.
     #[allow(clippy::manual_swap)] // three-way literal rotations, not swaps
     pub(crate) fn ite(&mut self, f: Ref, g: Ref, h: Ref) -> Ref {
+        if self.abort.is_some() {
+            return ZERO;
+        }
         if f == ONE {
             return g;
         }
@@ -484,6 +562,9 @@ impl Inner {
 
     /// Existential quantification of the positive-literal cube `cube`.
     pub(crate) fn exists(&mut self, f: Ref, cube: Ref) -> Ref {
+        if self.abort.is_some() {
+            return ZERO;
+        }
         if f == ONE || f == ZERO || cube == ONE {
             return f;
         }
@@ -526,6 +607,9 @@ impl Inner {
     /// The relational product `∃ cube . f ∧ g`, computed in one recursive
     /// pass (the workhorse of image computation).
     pub(crate) fn and_exists(&mut self, f: Ref, g: Ref, cube: Ref) -> Ref {
+        if self.abort.is_some() {
+            return ZERO;
+        }
         if f == ZERO || g == ZERO || f == (g ^ 1) {
             return ZERO;
         }
@@ -590,6 +674,9 @@ impl Inner {
     /// For the degenerate care set `c = 0`, returns `f` unchanged (every
     /// function agrees with `f` on the empty care set).
     pub(crate) fn constrain(&mut self, f: Ref, c: Ref) -> Ref {
+        if self.abort.is_some() {
+            return ZERO;
+        }
         if c == ONE || c == ZERO || f == ONE || f == ZERO {
             return f;
         }
@@ -624,6 +711,9 @@ impl Inner {
     /// outside `f`'s support — care-set variables above `f`'s top are
     /// existentially quantified away first. Usually (not always) shrinks `f`.
     pub(crate) fn restrict(&mut self, f: Ref, c: Ref) -> Ref {
+        if self.abort.is_some() {
+            return ZERO;
+        }
         if c == ONE || c == ZERO || f == ONE || f == ZERO {
             return f;
         }
@@ -685,6 +775,9 @@ impl Inner {
         subst: &HashMap<u32, Ref>,
         memo: &mut HashMap<Ref, Ref>,
     ) -> Ref {
+        if self.abort.is_some() {
+            return ZERO;
+        }
         if f == ONE || f == ZERO {
             return f;
         }
@@ -713,6 +806,9 @@ impl Inner {
         map: &HashMap<u32, u32>,
         memo: &mut HashMap<Ref, Ref>,
     ) -> Ref {
+        if self.abort.is_some() {
+            return ZERO;
+        }
         if f == ONE || f == ZERO {
             return f;
         }
@@ -738,6 +834,9 @@ impl Inner {
         val: bool,
         memo: &mut HashMap<Ref, Ref>,
     ) -> Ref {
+        if self.abort.is_some() {
+            return ZERO;
+        }
         if self.level(f) > var {
             return f;
         }
@@ -837,7 +936,11 @@ impl Inner {
                 return cur == ONE;
             }
             let n = &self.nodes[idx as usize];
-            let child = if assignment[n.var as usize] { n.hi } else { n.lo };
+            let child = if assignment[n.var as usize] {
+                n.hi
+            } else {
+                n.lo
+            };
             cur = child ^ (cur & 1);
         }
     }
@@ -1071,19 +1174,74 @@ mod tests {
     }
 
     #[test]
-    fn node_limit_panics_with_payload() {
+    fn node_limit_sets_abort_cooperatively() {
         let mut m = Inner::new();
         let vars: Vec<Ref> = (0..8).map(|_| m.new_var()).collect();
         m.set_node_limit(Some(m.live() + 2));
-        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut acc = ONE;
-            for (i, &v) in vars.iter().enumerate() {
-                let w = if i % 2 == 0 { v } else { v ^ 1 };
-                acc = m.and(acc, w);
-            }
-            acc
-        }));
-        let err = caught.expect_err("expected node limit panic");
-        assert!(err.downcast_ref::<NodeLimitExceeded>().is_some());
+        let mut acc = ONE;
+        for (i, &v) in vars.iter().enumerate() {
+            let w = if i % 2 == 0 { v } else { v ^ 1 };
+            acc = m.and(acc, w);
+        }
+        // The limit fired mid-computation: the result is the dummy and the
+        // reason is recorded.
+        assert_eq!(acc, ZERO);
+        assert!(matches!(m.abort(), Some(AbortReason::NodeLimit { .. })));
+        // Ops keep short-circuiting until the abort is taken...
+        assert_eq!(m.ite(vars[0], vars[1], vars[2]), ZERO);
+        let reason = m.take_abort().expect("abort pending");
+        assert!(matches!(reason, AbortReason::NodeLimit { limit, .. } if limit == 11));
+        // ...after which the engine works again (limit still set but the
+        // small op below stays under it once the limit is lifted).
+        m.set_node_limit(None);
+        let x = m.and(vars[0], vars[1]);
+        assert_ne!(x, ZERO);
+        assert!(m.abort().is_none());
+    }
+
+    #[test]
+    fn abort_hook_cancels_mid_operation() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+
+        let mut m = Inner::new();
+        let vars: Vec<Ref> = (0..28).map(|_| m.new_var()).collect();
+        // Fire after a few thousand allocations (several hook strides).
+        let calls = Rc::new(Cell::new(0u32));
+        let calls2 = Rc::clone(&calls);
+        m.set_abort_hook(Some(Box::new(move || {
+            calls2.set(calls2.get() + 1);
+            calls2.get() >= 2
+        })));
+        // ⋁ v_i ∧ v_{i+14} is exponential in this variable order, so the
+        // stride poll is guaranteed to run several times.
+        let mut acc = ZERO;
+        for i in 0..14 {
+            let t = m.and(vars[i], vars[i + 14]);
+            acc = m.or(acc, t);
+        }
+        // Enough work ran that the stride poll hit the hook at least twice.
+        assert!(calls.get() >= 2, "hook was polled {} times", calls.get());
+        assert_eq!(m.abort(), Some(AbortReason::Hook));
+        assert_eq!(m.take_abort(), Some(AbortReason::Hook));
+        m.set_abort_hook(None);
+        let x = m.and(vars[0], vars[1]);
+        assert_ne!(x, ZERO);
+    }
+
+    #[test]
+    fn cache_is_not_poisoned_by_aborted_results() {
+        let mut m = Inner::new();
+        let a = m.new_var();
+        let b = m.new_var();
+        let good = m.and(a, b);
+        // Force an abort, then issue the same op: the short-circuit dummy
+        // must not be cached over the valid entry.
+        m.set_abort_hook(Some(Box::new(|| true)));
+        m.poll_hook();
+        assert_eq!(m.and(a, b), ZERO);
+        m.take_abort();
+        m.set_abort_hook(None);
+        assert_eq!(m.and(a, b), good);
     }
 }

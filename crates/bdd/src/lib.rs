@@ -25,9 +25,13 @@
 //!   variable [`rename`](BddManager::rename)/[`compose`](BddManager::compose),
 //!   [`support`](BddManager::support), satisfy-count, cube enumeration and
 //!   DOT export.
-//! * A configurable **live-node limit** used by the solver crates to report
-//!   "could not complete" (CNC) outcomes faithfully, as in Table 1 of the
-//!   paper.
+//! * **Cooperative abort**: a configurable live-node limit and an
+//!   [`set_abort_hook`](BddManager::set_abort_hook) predicate (cancellation
+//!   flags, deadlines) checked during operations. On abort nothing unwinds —
+//!   operations short-circuit, the manager records an [`AbortReason`], and
+//!   [`take_abort`](BddManager::take_abort) restores normal operation. The
+//!   solver crates build their "could not complete" (CNC) outcomes, as in
+//!   Table 1 of the paper, on this mechanism.
 //!
 //! ## Quickstart
 //!
@@ -61,7 +65,7 @@ mod inner;
 mod manager;
 
 pub use cube::{Cube, CubeIter, Literal};
-pub use error::NodeLimitExceeded;
+pub use error::AbortReason;
 pub use manager::{Bdd, BddManager, BddStats};
 
 /// Identifier of a BDD variable.

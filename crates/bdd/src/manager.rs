@@ -290,7 +290,11 @@ impl BddManager {
             let mut acc = ONE;
             for &(v, s) in sorted.iter().rev() {
                 assert!(v < i.nvars(), "unknown variable v{v}");
-                acc = if s { i.mk(v, acc, ZERO) } else { i.mk(v, ZERO, acc) };
+                acc = if s {
+                    i.mk(v, acc, ZERO)
+                } else {
+                    i.mk(v, ZERO, acc)
+                };
             }
             acc
         });
@@ -501,9 +505,15 @@ impl BddManager {
 
     /// Sets (or clears) the live-node limit.
     ///
-    /// When the engine would exceed the limit it aborts the current operation
-    /// by panicking with a [`crate::NodeLimitExceeded`] payload; see that type
-    /// for the rationale and how to catch it.
+    /// When an operation would allocate past the limit, the engine aborts
+    /// **cooperatively**: the operation (and every subsequent one) returns a
+    /// dummy constant and the manager records an
+    /// [`AbortReason::NodeLimit`](crate::AbortReason) until
+    /// [`take_abort`](Self::take_abort) clears it. Nothing is unwound and the
+    /// manager stays consistent; callers discard the dummy results of the
+    /// aborted step. Results produced *while an abort is pending* are
+    /// meaningless — always check [`abort_reason`](Self::abort_reason) before
+    /// trusting the output of a long computation.
     pub fn set_node_limit(&self, limit: Option<usize>) {
         self.0.drain_pending();
         self.0.inner.borrow_mut().set_node_limit(limit);
@@ -512,6 +522,39 @@ impl BddManager {
     /// The current live-node limit, if any.
     pub fn node_limit(&self) -> Option<usize> {
         self.with_inner_ref(|i| i.node_limit())
+    }
+
+    /// Installs (or removes) the abort hook: a cheap predicate polled between
+    /// operations and every few thousand node allocations. Returning `true`
+    /// makes the engine abort cooperatively with
+    /// [`AbortReason::Hook`](crate::AbortReason), exactly like a node-limit
+    /// hit. The typical hook reads a cancellation flag shared with another
+    /// thread and/or compares a deadline against `Instant::now()`.
+    ///
+    /// Returns the previously installed hook so that scoped installers (the
+    /// solver session, the CLI's Ctrl-C guard) can restore it when they are
+    /// done.
+    pub fn set_abort_hook(
+        &self,
+        hook: Option<Box<dyn Fn() -> bool>>,
+    ) -> Option<Box<dyn Fn() -> bool>> {
+        self.0.drain_pending();
+        self.0.inner.borrow_mut().set_abort_hook(hook)
+    }
+
+    /// The pending abort, if one fired and has not been taken yet.
+    pub fn abort_reason(&self) -> Option<crate::AbortReason> {
+        self.0.drain_pending();
+        self.0.inner.borrow().abort()
+    }
+
+    /// Takes (and clears) the pending abort, returning the manager to normal
+    /// operation. Garbage left by the aborted computation is reclaimed on the
+    /// next collection; call [`collect_garbage`](Self::collect_garbage) to
+    /// force that immediately.
+    pub fn take_abort(&self) -> Option<crate::AbortReason> {
+        self.0.drain_pending();
+        self.0.inner.borrow_mut().take_abort()
     }
 
     /// Forces a full mark-and-sweep garbage collection.
@@ -728,7 +771,12 @@ impl std::fmt::Debug for Bdd {
         } else if self.is_zero() {
             write!(f, "Bdd(false)")
         } else {
-            write!(f, "Bdd(#{}{})", self.raw >> 1, if self.raw & 1 == 1 { "'" } else { "" })
+            write!(
+                f,
+                "Bdd(#{}{})",
+                self.raw >> 1,
+                if self.raw & 1 == 1 { "'" } else { "" }
+            )
         }
     }
 }
@@ -906,9 +954,7 @@ mod tests {
     fn sat_count_and_eval() {
         let mgr = BddManager::new();
         let vs = mgr.new_vars(4);
-        let parity = vs
-            .iter()
-            .fold(mgr.zero(), |acc, v| acc.xor(v));
+        let parity = vs.iter().fold(mgr.zero(), |acc, v| acc.xor(v));
         assert_eq!(parity.sat_count(4) as u64, 8);
         assert!(parity.eval(&[true, false, false, false]));
         assert!(!parity.eval(&[true, true, false, false]));

@@ -66,8 +66,11 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, t, e)| Expr::Ite(Box::new(c), Box::new(t), Box::new(e))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, e)| Expr::Ite(
+                Box::new(c),
+                Box::new(t),
+                Box::new(e)
+            )),
         ]
     })
 }

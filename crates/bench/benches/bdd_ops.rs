@@ -81,5 +81,10 @@ fn bench_rename_and_classes(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_build, bench_quantify, bench_rename_and_classes);
+criterion_group!(
+    benches,
+    bench_build,
+    bench_quantify,
+    bench_rename_and_classes
+);
 criterion_main!(benches);

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use langeq_bdd::{BddManager, VarId};
-use langeq_core::{LatchSplitProblem, PartitionedOptions, SolverLimits};
+use langeq_core::{LatchSplitProblem, SolveRequest};
 use langeq_image::{reachable, ImageComputer, ImageOptions, QuantSchedule};
 use langeq_logic::gen;
 use std::time::Duration;
@@ -14,7 +14,10 @@ fn bench_reachability(c: &mut Criterion) {
     let mut group = c.benchmark_group("quant_sched/reachability");
     group.sample_size(10);
     let net = gen::random_controller(&gen::ControllerCfg::new("qs", 77, 4, 2, 14));
-    for (label, schedule) in [("early", QuantSchedule::Early), ("late", QuantSchedule::Late)] {
+    for (label, schedule) in [
+        ("early", QuantSchedule::Early),
+        ("late", QuantSchedule::Late),
+    ] {
         group.bench_function(label, |b| {
             b.iter(|| {
                 let mgr = BddManager::new();
@@ -31,8 +34,7 @@ fn bench_reachability(c: &mut Criterion) {
                     .zip(&bdds.next_state)
                     .map(|(n, t)| n.xnor(t))
                     .collect();
-                let mut quantify: Vec<VarId> =
-                    pis.iter().map(|p| p.support()[0]).collect();
+                let mut quantify: Vec<VarId> = pis.iter().map(|p| p.support()[0]).collect();
                 quantify.extend(cs.iter().map(|c| c.support()[0]));
                 let img = ImageComputer::new(
                     &mgr,
@@ -62,23 +64,21 @@ fn bench_solver(c: &mut Criterion) {
     group.sample_size(10);
     let instances = gen::table1();
     let inst = &instances[2]; // sim_s298
-    for (label, schedule) in [("early", QuantSchedule::Early), ("late", QuantSchedule::Late)] {
+    for (label, schedule) in [
+        ("early", QuantSchedule::Early),
+        ("late", QuantSchedule::Late),
+    ] {
         group.bench_function(label, |b| {
             b.iter(|| {
                 let p = LatchSplitProblem::new(&inst.network, &inst.unknown_latches).unwrap();
-                let opts = PartitionedOptions {
-                    image: ImageOptions {
+                let request = SolveRequest::partitioned()
+                    .image_options(ImageOptions {
                         schedule,
                         ..Default::default()
-                    },
-                    trim_dcn: true,
-                    limits: SolverLimits {
-                        node_limit: Some(8_000_000),
-                        time_limit: Some(Duration::from_secs(120)),
-                        max_states: None,
-                    },
-                };
-                std::hint::black_box(langeq_core::solve_partitioned(&p.equation, &opts))
+                    })
+                    .node_limit(8_000_000)
+                    .time_limit(Duration::from_secs(120));
+                std::hint::black_box(request.run(&p.equation))
             })
         });
     }

@@ -6,7 +6,10 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use langeq_core::{LatchSplitProblem, MonolithicOptions, PartitionedOptions, SolverLimits};
+use langeq_core::{
+    Control, LatchSplitProblem, Monolithic, MonolithicOptions, Partitioned, PartitionedOptions,
+    Solver, SolverLimits,
+};
 use langeq_logic::gen;
 
 fn limits() -> SolverLimits {
@@ -20,27 +23,32 @@ fn limits() -> SolverLimits {
 fn bench_pairs(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1");
     group.sample_size(10);
+    // Both flows drive through the same `Solver` trait object.
+    let solvers: Vec<(&str, Box<dyn Solver>)> = vec![
+        (
+            "partitioned",
+            Box::new(Partitioned::new(PartitionedOptions {
+                limits: limits(),
+                ..PartitionedOptions::paper()
+            })),
+        ),
+        (
+            "monolithic",
+            Box::new(Monolithic::new(MonolithicOptions { limits: limits() })),
+        ),
+    ];
     for inst in gen::table1() {
         if matches!(inst.name, "sim_s349" | "sim_s444" | "sim_s526") {
             continue;
         }
-        group.bench_function(format!("{}/partitioned", inst.name), |b| {
-            b.iter(|| {
-                let p = LatchSplitProblem::new(&inst.network, &inst.unknown_latches).unwrap();
-                let opts = PartitionedOptions {
-                    limits: limits(),
-                    ..PartitionedOptions::paper()
-                };
-                std::hint::black_box(langeq_core::solve_partitioned(&p.equation, &opts))
-            })
-        });
-        group.bench_function(format!("{}/monolithic", inst.name), |b| {
-            b.iter(|| {
-                let p = LatchSplitProblem::new(&inst.network, &inst.unknown_latches).unwrap();
-                let opts = MonolithicOptions { limits: limits() };
-                std::hint::black_box(langeq_core::solve_monolithic(&p.equation, &opts))
-            })
-        });
+        for (label, solver) in &solvers {
+            group.bench_function(format!("{}/{}", inst.name, label), |b| {
+                b.iter(|| {
+                    let p = LatchSplitProblem::new(&inst.network, &inst.unknown_latches).unwrap();
+                    std::hint::black_box(solver.solve(&p.equation, &Control::default()))
+                })
+            });
+        }
     }
     group.finish();
 }

@@ -4,7 +4,7 @@
 //! single DCN trap.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use langeq_core::{LatchSplitProblem, PartitionedOptions, SolverLimits};
+use langeq_core::{LatchSplitProblem, SolveRequest};
 use langeq_logic::gen;
 use std::time::Duration;
 
@@ -16,18 +16,13 @@ fn bench_trimming(c: &mut Criterion) {
         for (label, trim) in [("trimmed", true), ("untrimmed", false)] {
             group.bench_function(format!("{}/{}", inst.name, label), |b| {
                 b.iter(|| {
-                    let p =
-                        LatchSplitProblem::new(&inst.network, &inst.unknown_latches).unwrap();
-                    let opts = PartitionedOptions {
-                        trim_dcn: trim,
-                        limits: SolverLimits {
-                            node_limit: Some(8_000_000),
-                            time_limit: Some(Duration::from_secs(120)),
-                            max_states: None,
-                        },
-                        ..PartitionedOptions::paper()
-                    };
-                    std::hint::black_box(langeq_core::solve_partitioned(&p.equation, &opts))
+                    let p = LatchSplitProblem::new(&inst.network, &inst.unknown_latches).unwrap();
+                    let request = SolveRequest::partitioned()
+                        .trim_dcn(trim)
+                        .node_limit(8_000_000)
+                        .time_limit(Duration::from_secs(120))
+                        .max_states(None);
+                    std::hint::black_box(request.run(&p.equation))
                 })
             });
         }

@@ -66,8 +66,7 @@ fn bench_reachability(c: &mut Criterion) {
                     let parts = fsm.transition_parts(&mgr);
                     let mut quantify = fsm.inputs.clone();
                     quantify.extend(fsm.cs_vars());
-                    let img =
-                        ImageComputer::new(&mgr, &parts, &quantify, ImageOptions::default());
+                    let img = ImageComputer::new(&mgr, &parts, &quantify, ImageOptions::default());
                     let init = fsm.initial_cube(&mgr);
                     std::hint::black_box(reachable(&img, &init, &fsm.ns_to_cs()))
                 })

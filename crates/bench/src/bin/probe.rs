@@ -9,9 +9,7 @@
 
 use std::time::{Duration, Instant};
 
-use langeq_core::{
-    CncReason, LatchSplitProblem, MonolithicOptions, Outcome, PartitionedOptions, SolverLimits,
-};
+use langeq_core::{CncReason, LatchSplitProblem, Outcome, SolveRequest};
 use langeq_logic::gen;
 use langeq_logic::Network;
 
@@ -19,9 +17,7 @@ fn instance(spec: &str) -> (Network, Vec<usize>) {
     if let Some(rest) = spec.strip_prefix("ctrl:") {
         let parts: Vec<usize> = rest.split(':').map(|s| s.parse().unwrap()).collect();
         let (seed, i, o, l, split) = (parts[0], parts[1], parts[2], parts[3], parts[4]);
-        let net = gen::random_controller(&gen::ControllerCfg::new(
-            "probe", seed as u64, i, o, l,
-        ));
+        let net = gen::random_controller(&gen::ControllerCfg::new("probe", seed as u64, i, o, l));
         (net, ((l - split)..l).collect())
     } else if let Some(rest) = spec.strip_prefix("hyb:") {
         // hyb:<seed>:<i>:<o>:<count>:<shift>:<rand>:<split>
@@ -92,17 +88,11 @@ fn main() {
     for budget in budgets {
         let p = LatchSplitProblem::new(&net, &unknown).unwrap();
         let t0 = Instant::now();
-        let out = langeq_core::solve_partitioned(
-            &p.equation,
-            &PartitionedOptions {
-                limits: SolverLimits {
-                    node_limit: Some(32_000_000),
-                    time_limit: Some(time_limit),
-                    max_states: Some(budget),
-                },
-                ..PartitionedOptions::paper()
-            },
-        );
+        let out = SolveRequest::partitioned()
+            .node_limit(32_000_000)
+            .time_limit(time_limit)
+            .max_states(budget)
+            .run(&p.equation);
         let dt = t0.elapsed().as_secs_f64();
         match out {
             Outcome::Solved(sol) => {
@@ -127,16 +117,10 @@ fn main() {
     if run_mono {
         let p = LatchSplitProblem::new(&net, &unknown).unwrap();
         let t0 = Instant::now();
-        let out = langeq_core::solve_monolithic(
-            &p.equation,
-            &MonolithicOptions {
-                limits: SolverLimits {
-                    node_limit: Some(8_000_000),
-                    time_limit: Some(Duration::from_secs(120)),
-                    max_states: Some(2_000_000),
-                },
-            },
-        );
+        let out = SolveRequest::monolithic()
+            .node_limit(8_000_000)
+            .time_limit(Duration::from_secs(120))
+            .run(&p.equation);
         let dt = t0.elapsed().as_secs_f64();
         match out {
             Outcome::Solved(sol) => println!(

@@ -16,7 +16,8 @@ use std::time::{Duration, Instant};
 
 use langeq_core::verify::verify_latch_split;
 use langeq_core::{
-    CncReason, LatchSplitProblem, MonolithicOptions, Outcome, PartitionedOptions, SolverLimits,
+    CncReason, Control, LatchSplitProblem, Monolithic, MonolithicOptions, Outcome, Partitioned,
+    PartitionedOptions, Solver, SolverLimits,
 };
 use langeq_logic::gen::{self, Table1Instance};
 
@@ -100,66 +101,58 @@ fn limits(opts: &HarnessOptions) -> SolverLimits {
     SolverLimits {
         node_limit: Some(opts.node_limit),
         time_limit: Some(opts.time_limit),
-        max_states: Some(2_000_000),
+        ..SolverLimits::default()
     }
 }
 
-/// Runs both solvers on one instance.
-pub fn run_instance(inst: &Table1Instance, opts: &HarnessOptions) -> Table1Row {
-    // Separate problems (and hence managers) per run, so the flows do not
-    // share caches — as in the paper, each method runs standalone.
-    let part = {
-        let problem = LatchSplitProblem::new(&inst.network, &inst.unknown_latches)
-            .expect("instance must split");
-        let t0 = Instant::now();
-        let outcome = langeq_core::solve_partitioned(
-            &problem.equation,
-            &PartitionedOptions {
-                limits: limits(opts),
-                ..PartitionedOptions::paper()
-            },
-        );
-        let elapsed = t0.elapsed();
-        (problem, outcome, elapsed)
-    };
-    let (problem, part_outcome, part_time) = part;
-    let verified = match (&part_outcome, opts.verify) {
-        (Outcome::Solved(sol), true) => {
-            Some(verify_latch_split(&problem, &sol.csf).all_passed())
-        }
-        _ => None,
-    };
-    let partitioned = match &part_outcome {
+/// Runs one solver — any [`Solver`] implementation, driven through the
+/// trait — on a fresh problem built from `inst` (fresh problem = fresh
+/// manager, so runs do not share caches; as in the paper, each method runs
+/// standalone). Returns the problem, the outcome, and the wall-clock time.
+pub fn run_solver(
+    inst: &Table1Instance,
+    solver: &dyn Solver,
+) -> (LatchSplitProblem, Outcome, Duration) {
+    let problem =
+        LatchSplitProblem::new(&inst.network, &inst.unknown_latches).expect("instance must split");
+    let t0 = Instant::now();
+    let outcome = solver.solve(&problem.equation, &Control::default());
+    let elapsed = t0.elapsed();
+    (problem, outcome, elapsed)
+}
+
+fn to_run_result(outcome: &Outcome, time: Duration) -> RunResult {
+    match outcome {
         Outcome::Solved(sol) => RunResult::Done {
-            time: part_time,
+            time,
             csf_states: sol.csf.num_states(),
             subset_states: sol.stats.subset_states,
         },
         Outcome::Cnc(r) => RunResult::Cnc(*r),
+    }
+}
+
+/// Runs both symbolic solvers on one instance.
+pub fn run_instance(inst: &Table1Instance, opts: &HarnessOptions) -> Table1Row {
+    let part_solver = Partitioned::new(PartitionedOptions {
+        limits: limits(opts),
+        ..PartitionedOptions::paper()
+    });
+    let mono_solver = Monolithic::new(MonolithicOptions {
+        limits: limits(opts),
+    });
+
+    let (problem, part_outcome, part_time) = run_solver(inst, &part_solver);
+    let verified = match (&part_outcome, opts.verify) {
+        (Outcome::Solved(sol), true) => Some(verify_latch_split(&problem, &sol.csf).all_passed()),
+        _ => None,
     };
+    let partitioned = to_run_result(&part_outcome, part_time);
     drop(part_outcome);
     drop(problem);
 
-    let monolithic = {
-        let problem = LatchSplitProblem::new(&inst.network, &inst.unknown_latches)
-            .expect("instance must split");
-        let t0 = Instant::now();
-        let outcome = langeq_core::solve_monolithic(
-            &problem.equation,
-            &MonolithicOptions {
-                limits: limits(opts),
-            },
-        );
-        let elapsed = t0.elapsed();
-        match outcome {
-            Outcome::Solved(sol) => RunResult::Done {
-                time: elapsed,
-                csf_states: sol.csf.num_states(),
-                subset_states: sol.stats.subset_states,
-            },
-            Outcome::Cnc(r) => RunResult::Cnc(r),
-        }
-    };
+    let (_, mono_outcome, mono_time) = run_solver(inst, &mono_solver);
+    let monolithic = to_run_result(&mono_outcome, mono_time);
 
     let n = &inst.network;
     Table1Row {
@@ -259,8 +252,15 @@ pub fn format_comparison(rows: &[Table1Row]) -> String {
         let _ = writeln!(
             out,
             "| {} | {} | {} | {} | {} | {} | {} | {} | {} |",
-            r.name, r.paper.states_x, states, r.paper.part_s, part, r.paper.mono_s, mono,
-            r.paper.ratio, ratio
+            r.name,
+            r.paper.states_x,
+            states,
+            r.paper.part_s,
+            part,
+            r.paper.mono_s,
+            mono,
+            r.paper.ratio,
+            ratio
         );
     }
     out
@@ -331,7 +331,11 @@ pub fn run_sweep(sizes: &[usize], opts: &HarnessOptions) -> Vec<SweepPoint> {
 pub fn format_sweep(points: &[SweepPoint]) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let _ = writeln!(out, "{:>8} {:>10} {:>10} {:>8}", "latches", "Part,s", "Mono,s", "Ratio");
+    let _ = writeln!(
+        out,
+        "{:>8} {:>10} {:>10} {:>8}",
+        "latches", "Part,s", "Mono,s", "Ratio"
+    );
     for p in points {
         let part = p
             .partitioned
@@ -347,7 +351,11 @@ pub fn format_sweep(points: &[SweepPoint]) -> String {
             (Some(a), Some(b)) if a > 0.0 => format!("{:.1}", b / a),
             _ => "-".into(),
         };
-        let _ = writeln!(out, "{:>8} {:>10} {:>10} {:>8}", p.latches, part, mono, ratio);
+        let _ = writeln!(
+            out,
+            "{:>8} {:>10} {:>10} {:>8}",
+            p.latches, part, mono, ratio
+        );
     }
     out
 }

@@ -6,16 +6,17 @@ use std::process::ExitCode;
 use langeq_bdd::VarId;
 
 use crate::cliargs::scan;
-use crate::commands::CliError;
+use crate::commands::{check_cancelled, stage, CancelGuard, CliError};
 use crate::io;
 
-/// `langeq complete|determinize|complement|minimize|prefix-close <in> [-o]`.
+/// `langeq complete|determinize|complement|minimize|prefix-close <in> [-o]
+/// [--progress]`.
 ///
 /// `minimize` also accepts a `.kiss`/`.kiss2` machine, applying Mealy state
 /// minimization instead of the automaton bisimulation quotient.
 pub fn unary(cmd: &str, args: &[String]) -> Result<ExitCode, CliError> {
     let p = scan(args, &[])?;
-    p.reject_unknown(&["o"])?;
+    p.reject_unknown(&["o", "progress"])?;
     let [path] = p.exactly(1, "<in.aut>")? else {
         unreachable!()
     };
@@ -32,15 +33,17 @@ pub fn unary(cmd: &str, args: &[String]) -> Result<ExitCode, CliError> {
         io::write_out(p.value("o"), &min.to_kiss())?;
         return Ok(ExitCode::SUCCESS);
     }
-    let (_mgr, aut, names) = io::load_automaton(path)?;
-    let result = match cmd {
-        "complete" => aut.complete(false).0,
-        "determinize" => aut.determinize(),
-        "complement" => aut.complement(),
-        "minimize" => aut.minimize(),
-        "prefix-close" => aut.prefix_close(),
-        other => return Err(CliError::Usage(format!("not a unary op: {other}"))),
-    };
+    let (mgr, aut, names) = io::load_automaton(path)?;
+    let _guard = CancelGuard::arm(&mgr);
+    let result = stage(p.flag("progress"), &mgr, cmd, || match cmd {
+        "complete" => Ok(aut.complete(false).0),
+        "determinize" => Ok(aut.determinize()),
+        "complement" => Ok(aut.complement()),
+        "minimize" => Ok(aut.minimize()),
+        "prefix-close" => Ok(aut.prefix_close()),
+        other => Err(CliError::Usage(format!("not a unary op: {other}"))),
+    })?;
+    check_cancelled(&mgr)?;
     let text = langeq_automata::format::write(&result, &io::invert(&names));
     io::write_out(p.value("o"), &text)?;
     Ok(ExitCode::SUCCESS)
@@ -67,17 +70,21 @@ fn resolve_vars(
 /// sub-automaton (the CSF post-processing step).
 pub fn progressive(args: &[String]) -> Result<ExitCode, CliError> {
     let p = scan(args, &["inputs"])?;
-    p.reject_unknown(&["inputs", "o"])?;
+    p.reject_unknown(&["inputs", "o", "progress"])?;
     let [path] = p.exactly(1, "<in.aut>")? else {
         unreachable!()
     };
-    let (_mgr, aut, names) = io::load_automaton(path)?;
+    let (mgr, aut, names) = io::load_automaton(path)?;
     let inputs = resolve_vars(
         &names,
         p.value("inputs")
             .ok_or_else(|| CliError::Usage("--inputs a,b,... is required".into()))?,
     )?;
-    let result = aut.progressive(&inputs);
+    let _guard = CancelGuard::arm(&mgr);
+    let result = stage(p.flag("progress"), &mgr, "progressive", || {
+        aut.progressive(&inputs)
+    });
+    check_cancelled(&mgr)?;
     let text = langeq_automata::format::write(&result, &io::invert(&names));
     io::write_out(p.value("o"), &text)?;
     Ok(ExitCode::SUCCESS)
@@ -88,7 +95,7 @@ pub fn progressive(args: &[String]) -> Result<ExitCode, CliError> {
 /// the new ones), the paper's `⇑`/`⇓` operators.
 pub fn support(args: &[String]) -> Result<ExitCode, CliError> {
     let p = scan(args, &["vars"])?;
-    p.reject_unknown(&["vars", "o"])?;
+    p.reject_unknown(&["vars", "o", "progress"])?;
     let [path] = p.exactly(1, "<in.aut>")? else {
         unreachable!()
     };
@@ -116,7 +123,11 @@ pub fn support(args: &[String]) -> Result<ExitCode, CliError> {
         .copied()
         .filter(|v| !aut.alphabet().contains(v))
         .collect();
-    let result = aut.hide(&hide).expand(&expand);
+    let _guard = CancelGuard::arm(&mgr);
+    let result = stage(p.flag("progress"), &mgr, "support", || {
+        aut.hide(&hide).expand(&expand)
+    });
+    check_cancelled(&mgr)?;
     let text = langeq_automata::format::write(&result, &io::invert(&names));
     io::write_out(p.value("o"), &text)?;
     Ok(ExitCode::SUCCESS)
@@ -126,13 +137,15 @@ pub fn support(args: &[String]) -> Result<ExitCode, CliError> {
 /// have the same alphabet names).
 pub fn product(args: &[String]) -> Result<ExitCode, CliError> {
     let p = scan(args, &[])?;
-    p.reject_unknown(&["o"])?;
+    p.reject_unknown(&["o", "progress"])?;
     let [a_path, b_path] = p.exactly(2, "<a.aut> <b.aut>")? else {
         unreachable!()
     };
     let (mgr, a, names) = io::load_automaton(a_path)?;
     let b = io::load_automaton_into(&mgr, &names, b_path)?;
-    let result = a.product(&b);
+    let _guard = CancelGuard::arm(&mgr);
+    let result = stage(p.flag("progress"), &mgr, "product", || a.product(&b));
+    check_cancelled(&mgr)?;
     let text = langeq_automata::format::write(&result, &io::invert(&names));
     io::write_out(p.value("o"), &text)?;
     Ok(ExitCode::SUCCESS)
@@ -142,17 +155,19 @@ pub fn product(args: &[String]) -> Result<ExitCode, CliError> {
 /// Prints the verdict; exit 0 = holds, 1 = fails.
 pub fn check(cmd: &str, args: &[String]) -> Result<ExitCode, CliError> {
     let p = scan(args, &[])?;
-    p.reject_unknown(&[])?;
+    p.reject_unknown(&["progress"])?;
     let [a_path, b_path] = p.exactly(2, "<a.aut> <b.aut>")? else {
         unreachable!()
     };
     let (mgr, a, names) = io::load_automaton(a_path)?;
     let b = io::load_automaton_into(&mgr, &names, b_path)?;
-    let holds = match cmd {
-        "contains" => a.contains_languages_of(&b),
-        "equivalent" => a.equivalent(&b),
-        other => return Err(CliError::Usage(format!("not a check: {other}"))),
-    };
+    let _guard = CancelGuard::arm(&mgr);
+    let holds = stage(p.flag("progress"), &mgr, cmd, || match cmd {
+        "contains" => Ok(a.contains_languages_of(&b)),
+        "equivalent" => Ok(a.equivalent(&b)),
+        other => Err(CliError::Usage(format!("not a check: {other}"))),
+    })?;
+    check_cancelled(&mgr)?;
     println!("{holds}");
     Ok(if holds {
         ExitCode::SUCCESS

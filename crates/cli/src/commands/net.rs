@@ -8,7 +8,7 @@ use langeq_core::PartitionedFsm;
 use langeq_logic::Network;
 
 use crate::cliargs::scan;
-use crate::commands::CliError;
+use crate::commands::{check_cancelled, stage, CancelGuard, CliError};
 use crate::io;
 
 /// `langeq info <file>` — interface and size statistics.
@@ -76,10 +76,19 @@ pub fn convert(args: &[String]) -> Result<ExitCode, CliError> {
 }
 
 /// Builds the `(i, o)`-automaton of a network together with the display
-/// names of its alphabet variables.
+/// names of its alphabet variables. With `progress`, the heavy extraction
+/// stage reports timing and engine statistics on stderr.
 pub fn network_automaton(
     net: &Network,
-) -> Result<(BddManager, langeq_automata::Automaton, HashMap<VarId, String>), CliError> {
+    progress: bool,
+) -> Result<
+    (
+        BddManager,
+        langeq_automata::Automaton,
+        HashMap<VarId, String>,
+    ),
+    CliError,
+> {
     net.validate()
         .map_err(|e| CliError::Run(format!("invalid network: {e}")))?;
     if net.num_latches() > 16 {
@@ -90,7 +99,14 @@ pub fn network_automaton(
     }
     let (mgr, fsm) = PartitionedFsm::standalone(net, langeq_core::StateOrder::Interleaved)
         .map_err(|e| CliError::Run(format!("elaboration failed: {e}")))?;
-    let aut = langeq_core::algorithm1::component_to_automaton(&mgr, &fsm);
+    // The explicit extraction below is the heavy part: run it under the
+    // Ctrl-C guard so it cancels cleanly.
+    let guard = CancelGuard::arm(&mgr);
+    let aut = stage(progress, &mgr, "extract", || {
+        langeq_core::algorithm1::component_to_automaton(&mgr, &fsm)
+    });
+    check_cancelled(&mgr)?;
+    drop(guard);
     let mut names = HashMap::new();
     for (k, &v) in fsm.inputs.iter().enumerate() {
         names.insert(v, net.net_name(net.inputs()[k]).to_string());
@@ -101,16 +117,26 @@ pub fn network_automaton(
     Ok((mgr, aut, names))
 }
 
-/// `langeq stg <net> [-o out.aut]` — the automaton of a network (every
-/// reachable state accepting; the paper's network → automaton derivation).
+/// `langeq stg <net> [-o out.aut] [--progress]` — the automaton of a network
+/// (every reachable state accepting; the paper's network → automaton
+/// derivation).
 pub fn stg(args: &[String]) -> Result<ExitCode, CliError> {
     let p = scan(args, &[])?;
-    p.reject_unknown(&["o"])?;
+    p.reject_unknown(&["o", "progress"])?;
     let [path] = p.exactly(1, "<net>")? else {
         unreachable!()
     };
     let net = io::load_network(path)?;
-    let (_mgr, aut, names) = network_automaton(&net)?;
+    let (mgr, aut, names) = network_automaton(&net, p.flag("progress"))?;
+    if p.flag("progress") {
+        let stats = mgr.stats();
+        eprintln!(
+            "[stg] {} states, {} transitions, live nodes {}",
+            aut.num_states(),
+            aut.num_transitions(),
+            stats.live_nodes
+        );
+    }
     let text = langeq_automata::format::write(&aut, &names);
     io::write_out(p.value("o"), &text)?;
     Ok(ExitCode::SUCCESS)

@@ -2,16 +2,16 @@
 //! (CSF → deterministic Mealy sub-solution).
 
 use std::process::ExitCode;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use langeq_core::extract::{extract_submachine, submachine_to_automaton, SelectionStrategy};
 use langeq_core::verify::verify_latch_split;
 use langeq_core::{
-    LatchSplitProblem, MonolithicOptions, Outcome, PartitionedOptions, Solution, SolverLimits,
+    LatchSplitProblem, Solution, SolveEvent, SolveRequest, SolverKind, SolverLimits,
 };
 
 use crate::cliargs::{scan, Parsed};
-use crate::commands::CliError;
+use crate::commands::{check_cancelled, CancelGuard, CliError};
 use crate::io;
 
 fn build_problem(p: &Parsed) -> Result<LatchSplitProblem, CliError> {
@@ -27,37 +27,110 @@ fn build_problem(p: &Parsed) -> Result<LatchSplitProblem, CliError> {
 }
 
 fn limits(p: &Parsed) -> Result<SolverLimits, CliError> {
+    let defaults = SolverLimits::default();
     Ok(SolverLimits {
         node_limit: p.number::<usize>("node-limit")?,
         time_limit: p.number::<u64>("timeout")?.map(Duration::from_secs),
-        max_states: Some(2_000_000),
+        max_states: p.number::<usize>("max-states")?.or(defaults.max_states),
     })
 }
 
-fn run_solver(problem: &LatchSplitProblem, p: &Parsed) -> Result<Solution, CliError> {
-    let limits = limits(p)?;
-    let outcome = if p.flag("mono") {
-        langeq_core::solve_monolithic(&problem.equation, &MonolithicOptions { limits })
-    } else {
-        langeq_core::solve_partitioned(
-            &problem.equation,
-            &PartitionedOptions {
-                limits,
-                ..PartitionedOptions::paper()
-            },
-        )
-    };
-    match outcome {
-        Outcome::Solved(sol) => Ok(*sol),
-        Outcome::Cnc(reason) => Err(CliError::Run(format!("could not complete: {reason}"))),
+fn flow(p: &Parsed) -> Result<SolverKind, CliError> {
+    match (p.value("flow"), p.flag("mono")) {
+        (None, false) => Ok(SolverKind::Partitioned),
+        (None, true) => Ok(SolverKind::Monolithic),
+        (Some(name), false) => match name {
+            "partitioned" | "part" => Ok(SolverKind::Partitioned),
+            "monolithic" | "mono" => Ok(SolverKind::Monolithic),
+            "algorithm1" | "alg1" => Ok(SolverKind::Algorithm1),
+            other => Err(CliError::Usage(format!(
+                "unknown flow `{other}` (partitioned|monolithic|algorithm1)"
+            ))),
+        },
+        (Some(_), true) => Err(CliError::Usage(
+            "--mono and --flow are mutually exclusive".into(),
+        )),
     }
 }
 
-/// `langeq solve --spec <net> --split K,... [--mono] [--timeout S]
-/// [--node-limit N] [--verify] [--stats] [-o csf.aut]`.
+/// Builds the stderr progress line printer registered with `--progress`.
+fn progress_printer() -> impl FnMut(&SolveEvent) {
+    const REDRAW: Duration = Duration::from_millis(100);
+    let start = Instant::now();
+    let mut last_draw: Option<Instant> = None;
+    let (mut states, mut frontier, mut images, mut gc) = (0usize, 0usize, 0usize, 0u64);
+    move |event| match event {
+        SolveEvent::Started { kind } => {
+            eprintln!("[solve] {kind} flow started");
+        }
+        SolveEvent::SubsetState {
+            discovered,
+            frontier: f,
+        } => {
+            states = *discovered;
+            frontier = *f;
+        }
+        SolveEvent::ImageComputed { total } => images = *total,
+        SolveEvent::GcPass { gc_runs, .. } => gc = *gc_runs,
+        // Each checkpoint ends with a PeakNodes sample, so drawing here
+        // prints one internally consistent line per checkpoint.
+        SolveEvent::PeakNodes {
+            live_nodes,
+            peak_live_nodes,
+        } => {
+            if last_draw.is_none_or(|t| t.elapsed() >= REDRAW) {
+                last_draw = Some(Instant::now());
+                eprintln!(
+                    "[solve] states {states}  frontier {frontier}  images {images}  \
+                     live nodes {live_nodes} (peak {peak_live_nodes})  gc {gc}  t {:.1}s",
+                    start.elapsed().as_secs_f64()
+                );
+            }
+        }
+    }
+}
+
+fn run_solver(problem: &LatchSplitProblem, p: &Parsed) -> Result<Solution, CliError> {
+    let mut request = SolveRequest::new(flow(p)?)
+        .limits(limits(p)?)
+        .cancel_token(crate::sigint::install());
+    if p.flag("progress") {
+        request = request.on_progress(progress_printer());
+    }
+    request
+        .run(&problem.equation)
+        .into_result()
+        .map_err(|reason| CliError::Run(format!("could not complete: {reason}")))
+}
+
+/// `langeq solve --spec <net> --split K,... [--flow partitioned|monolithic|algorithm1]
+/// [--mono] [--timeout S] [--node-limit N] [--max-states N] [--progress]
+/// [--verify] [--stats] [-o csf.aut]`.
 pub fn solve(args: &[String]) -> Result<ExitCode, CliError> {
-    let p = scan(args, &["spec", "split", "timeout", "node-limit"])?;
-    p.reject_unknown(&["spec", "split", "timeout", "node-limit", "mono", "verify", "stats", "o"])?;
+    let p = scan(
+        args,
+        &[
+            "spec",
+            "split",
+            "timeout",
+            "node-limit",
+            "max-states",
+            "flow",
+        ],
+    )?;
+    p.reject_unknown(&[
+        "spec",
+        "split",
+        "timeout",
+        "node-limit",
+        "max-states",
+        "flow",
+        "mono",
+        "progress",
+        "verify",
+        "stats",
+        "o",
+    ])?;
     let problem = build_problem(&p)?;
     let sol = run_solver(&problem, &p)?;
     println!(
@@ -76,7 +149,12 @@ pub fn solve(args: &[String]) -> Result<ExitCode, CliError> {
     }
     let mut ok = true;
     if p.flag("verify") {
+        // Verification does BDD-heavy automaton work of its own; keep it
+        // under the Ctrl-C guard too.
+        let mgr = problem.equation.manager();
+        let _guard = CancelGuard::arm(mgr);
         let report = verify_latch_split(&problem, &sol.csf);
+        check_cancelled(mgr)?;
         println!("verify: {report}");
         ok = report.all_passed();
     }
@@ -94,13 +172,25 @@ pub fn solve(args: &[String]) -> Result<ExitCode, CliError> {
 /// `langeq extract --spec <net> --split K,... [--strategy s] [--verify]
 /// [-o sub.kiss]`.
 pub fn extract(args: &[String]) -> Result<ExitCode, CliError> {
-    let p = scan(args, &["spec", "split", "timeout", "node-limit", "strategy"])?;
+    let p = scan(
+        args,
+        &[
+            "spec",
+            "split",
+            "timeout",
+            "node-limit",
+            "max-states",
+            "strategy",
+        ],
+    )?;
     p.reject_unknown(&[
         "spec",
         "split",
         "timeout",
         "node-limit",
+        "max-states",
         "strategy",
+        "progress",
         "verify",
         "minimize",
         "o",
@@ -118,6 +208,10 @@ pub fn extract(args: &[String]) -> Result<ExitCode, CliError> {
     let problem = build_problem(&p)?;
     let sol = run_solver(&problem, &p)?;
     let vars = &problem.equation.vars;
+    // Extraction and verification run after the solve finished; arm the
+    // Ctrl-C guard so they cancel cleanly as well.
+    let mgr = problem.equation.manager().clone();
+    let _guard = CancelGuard::arm(&mgr);
     let mut fsm = extract_submachine(&sol.csf, &vars.u, &vars.v, strategy)
         .map_err(|e| CliError::Run(format!("extraction failed: {e}")))?;
     if p.flag("minimize") {
@@ -125,6 +219,7 @@ pub fn extract(args: &[String]) -> Result<ExitCode, CliError> {
             .minimize()
             .map_err(|e| CliError::Run(format!("minimization failed: {e}")))?;
     }
+    check_cancelled(&mgr)?;
     println!(
         "sub-solution: {} states, {} products (CSF had {} states)",
         fsm.num_states(),
@@ -135,8 +230,8 @@ pub fn extract(args: &[String]) -> Result<ExitCode, CliError> {
     if p.flag("verify") {
         let sub = submachine_to_automaton(&fsm, problem.equation.manager(), &vars.u, &vars.v);
         let contained = sol.csf.contains_languages_of(&sub);
-        let satisfies =
-            langeq_core::verify::composition_contained_in_spec(&problem.equation, &sub);
+        let satisfies = langeq_core::verify::composition_contained_in_spec(&problem.equation, &sub);
+        check_cancelled(&mgr)?;
         println!(
             "verify: sub ⊆ CSF: {}; F∘sub ⊆ S: {}",
             if contained { "ok" } else { "FAILED" },

@@ -67,8 +67,9 @@ pub fn write_out(path: Option<&str>, text: &str) -> Result<(), CliError> {
 pub fn load_network(path: &str) -> Result<Network, CliError> {
     let text = read(path)?;
     match kind_of(path)? {
-        Kind::Bench => langeq_logic::bench_fmt::parse(&text)
-            .map_err(|e| CliError::Run(format!("{path}: {e}"))),
+        Kind::Bench => {
+            langeq_logic::bench_fmt::parse(&text).map_err(|e| CliError::Run(format!("{path}: {e}")))
+        }
         Kind::Blif => {
             langeq_logic::blif::parse(&text).map_err(|e| CliError::Run(format!("{path}: {e}")))
         }
@@ -95,7 +96,9 @@ fn load_kiss_text(text: &str, path: &str) -> Result<MealyFsm, CliError> {
 
 /// Loads an automaton into a fresh manager, returning also the
 /// name → variable map from its `.alphabet` line.
-pub fn load_automaton(path: &str) -> Result<(BddManager, Automaton, HashMap<String, VarId>), CliError> {
+pub fn load_automaton(
+    path: &str,
+) -> Result<(BddManager, Automaton, HashMap<String, VarId>), CliError> {
     let text = read(path)?;
     if kind_of(path)? != Kind::Aut {
         return Err(CliError::Usage(format!("`{path}` is not an .aut file")));

@@ -15,6 +15,7 @@
 mod cliargs;
 mod commands;
 mod io;
+mod sigint;
 
 use std::process::ExitCode;
 
@@ -47,13 +48,17 @@ Check commands (exit 0 = holds, 1 = fails):
 
 Solver commands:
   solve --spec <net> --split K,K,...  compute the CSF of a latch split
-        [--mono] [--timeout SECS] [--node-limit N]
-        [--verify] [-o csf.aut] [--stats]
+        [--flow partitioned|monolithic|algorithm1] [--mono]
+        [--timeout SECS] [--node-limit N] [--max-states N]
+        [--progress] [--verify] [-o csf.aut] [--stats]
   extract --spec <net> --split K,...  CSF → deterministic Mealy sub-solution
         [--strategy lexmin|first|selfloop] [--minimize]
         [-o sub.kiss] [--verify]
 
   help                                this text
+
+Long-running commands accept --progress (stage/engine statistics on stderr)
+and cancel cleanly on Ctrl-C (press twice to abort hard).
 ";
 
 fn main() -> ExitCode {

@@ -1,0 +1,51 @@
+//! Ctrl-C → [`CancelToken`] bridge.
+//!
+//! The first SIGINT cancels the current solve cooperatively (the solver
+//! returns a CNC outcome and the process exits through the normal error
+//! path); a second SIGINT aborts the process for users who really mean it.
+//!
+//! Implemented directly against libc's `signal` (the workspace builds
+//! offline, without the `ctrlc`/`signal-hook` crates); the handler only
+//! performs async-signal-safe operations (atomic loads/stores and `abort`).
+
+use std::sync::OnceLock;
+
+use langeq_core::CancelToken;
+
+static TOKEN: OnceLock<CancelToken> = OnceLock::new();
+
+/// Installs the SIGINT handler (once) and returns the token it cancels.
+///
+/// On non-Unix targets this returns the token without installing a handler;
+/// Ctrl-C then terminates the process with the platform default behaviour.
+pub fn install() -> CancelToken {
+    let token = TOKEN.get_or_init(CancelToken::new).clone();
+    #[cfg(unix)]
+    {
+        static INSTALL: std::sync::Once = std::sync::Once::new();
+        INSTALL.call_once(|| unsafe {
+            signal(SIGINT, handle_sigint as *const () as usize);
+        });
+    }
+    token
+}
+
+#[cfg(unix)]
+const SIGINT: i32 = 2;
+
+#[cfg(unix)]
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+#[cfg(unix)]
+extern "C" fn handle_sigint(_signum: i32) {
+    if let Some(token) = TOKEN.get() {
+        if token.is_cancelled() {
+            // Second Ctrl-C: the cooperative path is apparently too slow
+            // for the user — abort hard.
+            std::process::abort();
+        }
+        token.cancel();
+    }
+}

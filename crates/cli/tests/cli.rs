@@ -126,7 +126,10 @@ fn completion_adds_the_dc_state() {
     // Completion preserves the language: the original is contained both
     // ways on accepting runs — check equivalence via the checker command.
     let out = langeq(&dir, &["equivalent", "fig3.aut", "done.aut"]);
-    assert!(out.status.success(), "completion must preserve the language");
+    assert!(
+        out.status.success(),
+        "completion must preserve the language"
+    );
 }
 
 #[test]
@@ -143,9 +146,11 @@ fn complement_flips_and_checks_fail_with_exit_1() {
     assert_eq!(out.status.code(), Some(1));
     assert!(stdout(&out).contains("false"));
     // Everything contains the empty intersection: a ∩ ¬a ⊆ a.
-    assert!(langeq(&dir, &["product", "a.aut", "na.aut", "-o", "empty.aut"])
-        .status
-        .success());
+    assert!(
+        langeq(&dir, &["product", "a.aut", "na.aut", "-o", "empty.aut"])
+            .status
+            .success()
+    );
     let out = langeq(&dir, &["contains", "a.aut", "empty.aut"]);
     assert!(out.status.success());
 }
@@ -246,7 +251,14 @@ fn solve_computes_and_verifies_the_csf() {
     let out = langeq(
         &dir,
         &[
-            "solve", "--spec", "fig3.bench", "--split", "1", "--verify", "--stats", "-o",
+            "solve",
+            "--spec",
+            "fig3.bench",
+            "--split",
+            "1",
+            "--verify",
+            "--stats",
+            "-o",
             "csf.aut",
         ],
     );
@@ -267,18 +279,125 @@ fn solve_mono_agrees_with_partitioned() {
     std::fs::write(dir.join("fig3.bench"), FIGURE3).unwrap();
     assert!(langeq(
         &dir,
-        &["solve", "--spec", "fig3.bench", "--split", "0", "-o", "part.aut"],
+        &[
+            "solve",
+            "--spec",
+            "fig3.bench",
+            "--split",
+            "0",
+            "-o",
+            "part.aut"
+        ],
     )
     .status
     .success());
     assert!(langeq(
         &dir,
-        &["solve", "--spec", "fig3.bench", "--split", "0", "--mono", "-o", "mono.aut"],
+        &[
+            "solve",
+            "--spec",
+            "fig3.bench",
+            "--split",
+            "0",
+            "--mono",
+            "-o",
+            "mono.aut"
+        ],
     )
     .status
     .success());
     let out = langeq(&dir, &["equivalent", "part.aut", "mono.aut"]);
-    assert!(out.status.success(), "Corollary 1 violated: {}", stdout(&out));
+    assert!(
+        out.status.success(),
+        "Corollary 1 violated: {}",
+        stdout(&out)
+    );
+}
+
+#[test]
+fn solve_streams_progress_to_stderr() {
+    let dir = scratch("progress");
+    std::fs::write(dir.join("fig3.bench"), FIGURE3).unwrap();
+    let out = langeq(
+        &dir,
+        &[
+            "solve",
+            "--spec",
+            "fig3.bench",
+            "--split",
+            "1",
+            "--progress",
+        ],
+    );
+    assert!(out.status.success(), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("partitioned flow started"), "{err}");
+    assert!(err.contains("states"), "{err}");
+    // Progress goes to stderr only; stdout keeps the machine-readable shape.
+    assert!(stdout(&out).contains("CSF:"));
+}
+
+#[test]
+fn solve_max_states_budget_reports_cnc() {
+    let dir = scratch("maxstates");
+    std::fs::write(dir.join("fig3.bench"), FIGURE3).unwrap();
+    let out = langeq(
+        &dir,
+        &[
+            "solve",
+            "--spec",
+            "fig3.bench",
+            "--split",
+            "1",
+            "--max-states",
+            "1",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(3), "{}", stdout(&out));
+    let err = stderr(&out);
+    assert!(err.contains("could not complete"), "{err}");
+    assert!(err.contains("1 subset states"), "{err}");
+}
+
+#[test]
+fn solve_flow_selects_the_solver() {
+    let dir = scratch("flow");
+    std::fs::write(dir.join("fig3.bench"), FIGURE3).unwrap();
+    for (flow, file) in [("algorithm1", "a1.aut"), ("partitioned", "part.aut")] {
+        let out = langeq(
+            &dir,
+            &[
+                "solve",
+                "--spec",
+                "fig3.bench",
+                "--split",
+                "1",
+                "--flow",
+                flow,
+                "-o",
+                file,
+            ],
+        );
+        assert!(out.status.success(), "{flow}: {}", stderr(&out));
+    }
+    // Algorithm 1 (explicit automata) agrees with the symbolic flow.
+    let out = langeq(&dir, &["equivalent", "a1.aut", "part.aut"]);
+    assert!(out.status.success(), "{}", stdout(&out));
+    // --flow and --mono are mutually exclusive.
+    let out = langeq(
+        &dir,
+        &[
+            "solve",
+            "--spec",
+            "fig3.bench",
+            "--split",
+            "1",
+            "--flow",
+            "mono",
+            "--mono",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(2));
 }
 
 #[test]
@@ -298,7 +417,11 @@ fn solve_reports_cnc_on_tiny_budget() {
         ],
     );
     assert_eq!(out.status.code(), Some(3), "{}", stdout(&out));
-    assert!(stderr(&out).contains("could not complete"), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("could not complete"),
+        "{}",
+        stderr(&out)
+    );
 }
 
 #[test]
@@ -309,8 +432,16 @@ fn extract_emits_verified_kiss_submachine() {
         let out = langeq(
             &dir,
             &[
-                "extract", "--spec", "fig3.bench", "--split", "1", "--strategy", strategy,
-                "--verify", "-o", "sub.kiss",
+                "extract",
+                "--spec",
+                "fig3.bench",
+                "--split",
+                "1",
+                "--strategy",
+                strategy,
+                "--verify",
+                "-o",
+                "sub.kiss",
             ],
         );
         assert!(out.status.success(), "{strategy}: {}", stderr(&out));
@@ -356,8 +487,15 @@ fn extract_with_minimize_flag() {
     let out = langeq(
         &dir,
         &[
-            "extract", "--spec", "fig3.bench", "--split", "1", "--minimize", "--verify",
-            "-o", "sub.kiss",
+            "extract",
+            "--spec",
+            "fig3.bench",
+            "--split",
+            "1",
+            "--minimize",
+            "--verify",
+            "-o",
+            "sub.kiss",
         ],
     );
     assert!(out.status.success(), "{}", stderr(&out));

@@ -20,6 +20,7 @@ use langeq_bdd::{Bdd, BddManager, VarId};
 
 use crate::equation::LanguageEquation;
 use crate::fsm::PartitionedFsm;
+use crate::solver::CncReason;
 
 /// Hard cap on explicit state enumeration (2^latches).
 pub const MAX_EXPLICIT_LATCHES: usize = 16;
@@ -109,12 +110,26 @@ pub struct GenericSolution {
 }
 
 /// Runs Algorithm 1 on explicit automata. Only suitable for small
-/// instances; see the module docs.
+/// instances; see the module docs. For a resource-limited, cancellable run,
+/// use the [`Algorithm1`](crate::solver::Algorithm1) solver instead.
 pub fn solve_generic(eq: &LanguageEquation) -> GenericSolution {
+    run_pipeline(eq, &mut |_| Ok(())).expect("the no-op observer never aborts the pipeline")
+}
+
+/// The pipeline body: `observe` is called with the current intermediate
+/// automaton after every step and may abort the run (the
+/// [`Algorithm1`](crate::solver::Algorithm1) solver threads its control
+/// checkpoints through here).
+pub(crate) fn run_pipeline(
+    eq: &LanguageEquation,
+    observe: &mut dyn FnMut(&Automaton) -> Result<(), CncReason>,
+) -> Result<GenericSolution, CncReason> {
     let mgr = eq.manager();
     let vars = &eq.vars;
     let s_aut = component_to_automaton(mgr, &eq.s); // over (i, o)
+    observe(&s_aut)?;
     let f_aut = component_to_automaton(mgr, &eq.f); // over (i, v, o, u)
+    observe(&f_aut)?;
 
     // 01-03: Complete, Determinize, Complement the specification. (S is
     // deterministic, so complement() = complete + flip, as in the paper's
@@ -122,6 +137,7 @@ pub fn solve_generic(eq: &LanguageEquation) -> GenericSolution {
     let (x, _) = s_aut.complete(false);
     let x = x.determinize();
     let x = x.complement();
+    observe(&x)?;
     // 04: expand support to (i, v, u, o).
     let mut extra = vars.v.clone();
     extra.extend(&vars.u);
@@ -129,28 +145,31 @@ pub fn solve_generic(eq: &LanguageEquation) -> GenericSolution {
     // 05: product with Complete(F).
     let (fc, _) = f_aut.complete(false);
     let x = fc.product(&x);
+    observe(&x)?;
     // 06: hide (i, o).
     let mut io = vars.i.clone();
     io.extend(&vars.o);
     let x = x.hide(&io);
     // 07-09: determinize, complete, complement.
     let x = x.determinize();
+    observe(&x)?;
     let general = x.complement(); // completes internally, then flips
-    // 10-11: prefix-close, progressive.
+                                  // 10-11: prefix-close, progressive.
     let prefix_closed = general.prefix_close();
     let csf = prefix_closed.progressive(&vars.u);
-    GenericSolution {
+    observe(&csf)?;
+    Ok(GenericSolution {
         general,
         prefix_closed,
         csf,
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::equation::LatchSplitProblem;
-    use crate::solver::{monolithic, partitioned, MonolithicOptions, PartitionedOptions};
+    use crate::solver::SolveRequest;
     use langeq_logic::gen;
 
     #[test]
@@ -181,10 +200,14 @@ mod tests {
             for unknown in splits {
                 let p = LatchSplitProblem::new(net, &unknown).unwrap();
                 let gen_sol = solve_generic(&p.equation);
-                let part = partitioned::solve(&p.equation, &PartitionedOptions::paper());
-                let mono = monolithic::solve(&p.equation, &MonolithicOptions::default());
-                let part = part.expect_solved();
-                let mono = mono.expect_solved();
+                let part = SolveRequest::partitioned()
+                    .run(&p.equation)
+                    .into_result()
+                    .expect("partitioned solves");
+                let mono = SolveRequest::monolithic()
+                    .run(&p.equation)
+                    .into_result()
+                    .expect("monolithic solves");
                 assert!(
                     gen_sol.prefix_closed.equivalent(&part.prefix_closed),
                     "{}: generic vs partitioned prefix-closed ({unknown:?})",

@@ -67,7 +67,10 @@ impl std::fmt::Display for ExtractError {
         match self {
             ExtractError::EmptyCsf => write!(f, "the flexibility is empty"),
             ExtractError::TooManyInputs { got, max } => {
-                write!(f, "{got} input variables exceed the enumeration bound {max}")
+                write!(
+                    f,
+                    "{got} input variables exceed the enumeration bound {max}"
+                )
             }
             ExtractError::NotProgressive { state, minterm } => {
                 write!(
@@ -242,7 +245,11 @@ pub fn submachine_to_automaton(
             // `MealyFsm::to_network`.
             lits.push((var, trit.unwrap_or(false)));
         }
-        aut.add_transition(StateId(t.from as u32), mgr.cube(&lits), StateId(t.to as u32));
+        aut.add_transition(
+            StateId(t.from as u32),
+            mgr.cube(&lits),
+            StateId(t.to as u32),
+        );
     }
     if fsm.num_states() > 0 {
         aut.set_initial(StateId(fsm.reset() as u32));
@@ -253,16 +260,18 @@ pub fn submachine_to_automaton(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::solver::{partitioned, PartitionedOptions};
+    use crate::solver::SolveRequest;
     use crate::verify::composition_contained_in_spec;
     use crate::LatchSplitProblem;
     use langeq_logic::gen;
 
     fn csf_of(net: &langeq_logic::Network, unknown: &[usize]) -> (LatchSplitProblem, Automaton) {
         let p = LatchSplitProblem::new(net, unknown).unwrap();
-        let sol = partitioned::solve(&p.equation, &PartitionedOptions::paper());
-        let csf = sol.expect_solved().csf.clone();
-        (p, csf)
+        let sol = SolveRequest::partitioned()
+            .run(&p.equation)
+            .into_result()
+            .expect("instance solves");
+        (p, sol.csf)
     }
 
     #[test]
@@ -296,7 +305,10 @@ mod tests {
             assert!(fsm.is_deterministic(), "{strategy:?}");
             assert!(fsm.is_complete(), "{strategy:?}");
             let sub = submachine_to_automaton(&fsm, p.equation.manager(), &vars.u, &vars.v);
-            assert!(csf.contains_languages_of(&sub), "{strategy:?} not contained");
+            assert!(
+                csf.contains_languages_of(&sub),
+                "{strategy:?} not contained"
+            );
             assert!(
                 composition_contained_in_spec(&p.equation, &sub),
                 "{strategy:?} violates the spec"
@@ -309,8 +321,7 @@ mod tests {
         let net = gen::figure3();
         let (p, csf) = csf_of(&net, &[0]);
         let vars = &p.equation.vars;
-        let fsm =
-            extract_submachine(&csf, &vars.u, &vars.v, SelectionStrategy::default()).unwrap();
+        let fsm = extract_submachine(&csf, &vars.u, &vars.v, SelectionStrategy::default()).unwrap();
         let text = fsm.to_kiss();
         let again = langeq_logic::kiss::parse(&text).unwrap();
         assert_eq!(fsm.num_states(), again.num_states());

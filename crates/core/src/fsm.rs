@@ -240,8 +240,7 @@ mod tests {
             .zip(&uni.ns_s)
             .map(|(&c, &n)| (c, n))
             .collect();
-        let fsm =
-            PartitionedFsm::from_network(&mgr, &net, &uni.i, &state_vars, &uni.o).unwrap();
+        let fsm = PartitionedFsm::from_network(&mgr, &net, &uni.i, &state_vars, &uni.o).unwrap();
         (mgr, uni, fsm)
     }
 
@@ -297,6 +296,9 @@ mod tests {
             .map(|(&c, &n)| (c, n))
             .collect();
         let fsm = PartitionedFsm::from_network(&mgr, &net, &uni.i, &sv, &uni.o).unwrap();
-        assert_eq!(fsm.count_reachable(&mgr, ImageOptions::default()) as u64, 32);
+        assert_eq!(
+            fsm.count_reachable(&mgr, ImageOptions::default()) as u64,
+            32
+        );
     }
 }

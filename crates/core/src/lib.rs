@@ -31,19 +31,33 @@
 //!
 //! ## Quickstart
 //!
+//! Every flow is driven through the unified engine API: a [`Solver`] trait
+//! (implemented by [`Partitioned`], [`Monolithic`], [`Algorithm1`]),
+//! configured by the [`SolveRequest`] builder and executed against a
+//! [`Control`] carrying a [`CancelToken`], a deadline, and a progress
+//! observer.
+//!
 //! ```
-//! use langeq_core::{LatchSplitProblem, PartitionedOptions};
+//! use langeq_core::{LatchSplitProblem, SolveRequest};
 //! use langeq_logic::gen;
 //!
 //! // The paper's Figure-3 circuit, latch-split like the Table-1 benchmarks.
 //! let network = gen::figure3();
 //! let problem = LatchSplitProblem::new(&network, &[1]).unwrap();
-//! let outcome = langeq_core::solve_partitioned(&problem.equation, &PartitionedOptions::paper());
-//! let solution = outcome.expect_solved();
+//! let outcome = SolveRequest::partitioned()
+//!     .node_limit(1_000_000)
+//!     .on_progress(|event| { let _ = event; /* stream to a UI or log */ })
+//!     .run(&problem.equation);
+//! let solution = outcome.into_result().expect("figure 3 solves");
 //! assert!(solution.csf.initial().is_some());
 //! let report = langeq_core::verify::verify_latch_split(&problem, &solution.csf);
 //! assert!(report.all_passed());
 //! ```
+//!
+//! Cancellation is cooperative: clone the request's [`CancelToken`], hand it
+//! to another thread (or a Ctrl-C handler), and `cancel()` makes the solve
+//! return [`Outcome::Cnc`]`(`[`CncReason::Cancelled`]`)` — nothing panics,
+//! and the BDD manager is immediately reusable.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -60,17 +74,26 @@ pub mod verify;
 pub use equation::{LanguageEquation, LatchSplitProblem};
 pub use fsm::{FsmLatch, FsmOutput, PartitionedFsm, StateOrder};
 pub use solver::{
-    CncReason, MonolithicOptions, Outcome, PartitionedOptions, Solution, SolverKind,
-    SolverLimits, SolverStats,
+    Algorithm1, CancelToken, CncReason, Control, Monolithic, MonolithicOptions, Outcome,
+    Partitioned, PartitionedOptions, Solution, SolveEvent, SolveRequest, Solver, SolverKind,
+    SolverLimits, SolverStats, DEFAULT_MAX_STATES,
 };
 pub use universe::{UniverseSizes, VarUniverse};
 
 /// Solves with the paper's partitioned flow (see [`solver::partitioned`]).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `SolveRequest::partitioned()` or the `Partitioned` solver"
+)]
 pub fn solve_partitioned(eq: &LanguageEquation, opts: &PartitionedOptions) -> Outcome {
-    solver::partitioned::solve(eq, opts)
+    Partitioned::new(*opts).solve(eq, &Control::default())
 }
 
 /// Solves with the monolithic baseline (see [`solver::monolithic`]).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `SolveRequest::monolithic()` or the `Monolithic` solver"
+)]
 pub fn solve_monolithic(eq: &LanguageEquation, opts: &MonolithicOptions) -> Outcome {
-    solver::monolithic::solve(eq, opts)
+    Monolithic::new(*opts).solve(eq, &Control::default())
 }

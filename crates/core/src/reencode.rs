@@ -182,8 +182,10 @@ pub fn reencode_component(
     let mut enc_cs = mgr.zero();
     let mut enc_ns = mgr.zero();
     for (code, bits) in states.iter().enumerate() {
-        let mut lits_cs: Vec<(VarId, bool)> = cs.iter().copied().zip(bits.iter().copied()).collect();
-        let mut lits_ns: Vec<(VarId, bool)> = ns.iter().copied().zip(bits.iter().copied()).collect();
+        let mut lits_cs: Vec<(VarId, bool)> =
+            cs.iter().copied().zip(bits.iter().copied()).collect();
+        let mut lits_ns: Vec<(VarId, bool)> =
+            ns.iter().copied().zip(bits.iter().copied()).collect();
         for (k, (&ev, &env)) in e.iter().zip(&en).enumerate() {
             lits_cs.push((ev, code >> k & 1 == 1));
             lits_ns.push((env, code >> k & 1 == 1));

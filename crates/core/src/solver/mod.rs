@@ -1,13 +1,35 @@
-//! The language-equation solvers: shared types, resource limits, and the
-//! two flows compared in the paper's Table 1.
+//! The language-equation solvers: the unified [`Solver`] engine API
+//! ([`SolveRequest`], [`Control`], [`CancelToken`], [`SolveEvent`]), shared
+//! types and resource limits, and the flows compared in the paper's Table 1.
+//!
+//! Entry points, from highest to lowest level:
+//!
+//! * [`SolveRequest`] — builder: pick a flow, tune it, attach
+//!   cancellation/progress, run;
+//! * [`Solver`] — the trait implemented by [`Partitioned`], [`Monolithic`],
+//!   and [`Algorithm1`]; drive it generically for harnesses that compare
+//!   flows;
+//! * the deprecated free functions
+//!   [`solve_partitioned`](crate::solve_partitioned) /
+//!   [`solve_monolithic`](crate::solve_monolithic), kept as thin shims.
+//!
+//! Exhausting any limit — node budget, wall clock, state budget — or a
+//! cancellation yields [`Outcome::Cnc`] **cooperatively**: nothing panics or
+//! unwinds, and the equation's manager is immediately reusable.
 
+pub mod control;
+mod engine;
 pub mod monolithic;
 pub mod partitioned;
+mod session;
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use langeq_automata::Automaton;
-use langeq_bdd::{BddManager, NodeLimitExceeded};
+
+pub use control::{CancelToken, Control, SolveEvent};
+pub use engine::{Algorithm1, Monolithic, Partitioned, SolveRequest, Solver};
+
 use langeq_image::ImageOptions;
 
 /// Which solver produced a result (for reporting).
@@ -17,6 +39,8 @@ pub enum SolverKind {
     Partitioned,
     /// The monolithic baseline.
     Monolithic,
+    /// The explicit-automata reference pipeline (the paper's Algorithm 1).
+    Algorithm1,
 }
 
 impl std::fmt::Display for SolverKind {
@@ -24,20 +48,50 @@ impl std::fmt::Display for SolverKind {
         match self {
             SolverKind::Partitioned => write!(f, "partitioned"),
             SolverKind::Monolithic => write!(f, "monolithic"),
+            SolverKind::Algorithm1 => write!(f, "algorithm1"),
         }
     }
 }
 
-/// Resource limits shared by both solvers. Exhausting any limit yields
+/// Default ceiling on discovered subset states
+/// ([`SolverLimits::max_states`]): generous enough for every Table-1
+/// instance, small enough that a diverging subset construction is reported
+/// as CNC instead of exhausting memory.
+pub const DEFAULT_MAX_STATES: usize = 2_000_000;
+
+/// Resource limits shared by all solvers. Exhausting any limit yields
 /// [`Outcome::Cnc`] ("could not complete"), the paper's CNC entries.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SolverLimits {
     /// Live-BDD-node ceiling (checked inside the BDD engine).
     pub node_limit: Option<usize>,
-    /// Wall-clock ceiling (checked once per subset state).
+    /// Wall-clock ceiling (checked once per subset state and, via the
+    /// engine's abort hook, inside long BDD operations).
     pub time_limit: Option<Duration>,
-    /// Ceiling on discovered subset states.
+    /// Ceiling on discovered subset states. Defaults to
+    /// [`DEFAULT_MAX_STATES`]; `None` disables the check.
     pub max_states: Option<usize>,
+}
+
+impl Default for SolverLimits {
+    fn default() -> Self {
+        SolverLimits {
+            node_limit: None,
+            time_limit: None,
+            max_states: Some(DEFAULT_MAX_STATES),
+        }
+    }
+}
+
+impl SolverLimits {
+    /// No limits at all (not even the default state budget).
+    pub fn unlimited() -> Self {
+        SolverLimits {
+            node_limit: None,
+            time_limit: None,
+            max_states: None,
+        }
+    }
 }
 
 /// Options for the partitioned solver.
@@ -116,10 +170,12 @@ pub struct Solution {
 pub enum CncReason {
     /// The BDD engine exceeded the configured live-node ceiling.
     NodeLimit(usize),
-    /// The wall-clock limit expired.
+    /// The wall-clock limit (or the [`Control`] deadline) expired.
     Timeout(Duration),
     /// More subset states than allowed were discovered.
     StateLimit(usize),
+    /// The caller cancelled the run through its [`CancelToken`].
+    Cancelled,
 }
 
 impl std::fmt::Display for CncReason {
@@ -128,16 +184,19 @@ impl std::fmt::Display for CncReason {
             CncReason::NodeLimit(n) => write!(f, "CNC: exceeded {n} live BDD nodes"),
             CncReason::Timeout(d) => write!(f, "CNC: exceeded time limit {d:?}"),
             CncReason::StateLimit(n) => write!(f, "CNC: exceeded {n} subset states"),
+            CncReason::Cancelled => write!(f, "CNC: cancelled by the caller"),
         }
     }
 }
+
+impl std::error::Error for CncReason {}
 
 /// Result of a solver run: a solution, or a faithful "could not complete".
 #[derive(Debug, Clone)]
 pub enum Outcome {
     /// Finished within the limits.
     Solved(Box<Solution>),
-    /// Ran out of a resource (the paper's `CNC` entries).
+    /// Ran out of a resource, or was cancelled (the paper's `CNC` entries).
     Cnc(CncReason),
 }
 
@@ -150,11 +209,26 @@ impl Outcome {
         }
     }
 
+    /// Converts into a `Result`, unboxing the solution.
+    ///
+    /// The inverse of the `From<Result<Solution, CncReason>>` conversion:
+    /// `Outcome::from(outcome.into_result())` round-trips.
+    pub fn into_result(self) -> Result<Solution, CncReason> {
+        match self {
+            Outcome::Solved(s) => Ok(*s),
+            Outcome::Cnc(r) => Err(r),
+        }
+    }
+
     /// Unwraps the solution.
     ///
     /// # Panics
     ///
     /// Panics with the CNC reason if the run did not complete.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `into_result()` (or `solution()`) and handle `CncReason` explicitly"
+    )]
     pub fn expect_solved(&self) -> &Solution {
         match self {
             Outcome::Solved(s) => s,
@@ -163,131 +237,29 @@ impl Outcome {
     }
 }
 
-/// Deadline/state-budget tracking inside a solve.
-pub(crate) struct Budget {
-    start: Instant,
-    limits: SolverLimits,
-}
-
-impl Budget {
-    pub(crate) fn new(limits: SolverLimits) -> Self {
-        Budget {
-            start: Instant::now(),
-            limits,
+impl From<Result<Solution, CncReason>> for Outcome {
+    fn from(result: Result<Solution, CncReason>) -> Self {
+        match result {
+            Ok(solution) => Outcome::Solved(Box::new(solution)),
+            Err(reason) => Outcome::Cnc(reason),
         }
-    }
-
-    pub(crate) fn elapsed(&self) -> Duration {
-        self.start.elapsed()
-    }
-
-    /// Checks the time and state budgets.
-    pub(crate) fn check(&self, states: usize) -> Result<(), CncReason> {
-        if let Some(t) = self.limits.time_limit {
-            if self.start.elapsed() > t {
-                return Err(CncReason::Timeout(t));
-            }
-        }
-        if let Some(n) = self.limits.max_states {
-            if states > n {
-                return Err(CncReason::StateLimit(n));
-            }
-        }
-        Ok(())
-    }
-}
-
-/// Silences the default panic hook for [`NodeLimitExceeded`] aborts (they
-/// are caught and turned into [`Outcome::Cnc`]; the default hook would spam
-/// stderr). Installed once, process-wide, and transparent to every other
-/// panic.
-fn install_quiet_hook() {
-    use std::sync::Once;
-    static ONCE: Once = Once::new();
-    ONCE.call_once(|| {
-        let previous = std::panic::take_hook();
-        std::panic::set_hook(Box::new(move |info| {
-            if info.payload().downcast_ref::<NodeLimitExceeded>().is_none() {
-                previous(info);
-            }
-        }));
-    });
-}
-
-/// Runs `body` under the node-limit guard: sets the manager's limit,
-/// converts a [`NodeLimitExceeded`] abort into [`Outcome::Cnc`], and always
-/// restores the previous limit.
-pub(crate) fn with_node_limit_guard(
-    mgr: &BddManager,
-    limits: &SolverLimits,
-    body: impl FnOnce() -> Result<Solution, CncReason>,
-) -> Outcome {
-    install_quiet_hook();
-    let previous = mgr.node_limit();
-    mgr.set_node_limit(limits.node_limit);
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
-    mgr.set_node_limit(previous);
-    match result {
-        Ok(Ok(solution)) => Outcome::Solved(Box::new(solution)),
-        Ok(Err(reason)) => Outcome::Cnc(reason),
-        Err(payload) => match payload.downcast_ref::<NodeLimitExceeded>() {
-            Some(e) => {
-                // The aborted operation may have left garbage; reclaim it so
-                // the manager is immediately reusable.
-                mgr.collect_garbage();
-                Outcome::Cnc(CncReason::NodeLimit(e.limit))
-            }
-            None => std::panic::resume_unwind(payload),
-        },
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::equation::LatchSplitProblem;
+    use langeq_bdd::BddManager;
+    use langeq_logic::gen;
 
     #[test]
-    fn budget_enforces_states_and_time() {
-        let b = Budget::new(SolverLimits {
-            node_limit: None,
-            time_limit: Some(Duration::from_secs(3600)),
-            max_states: Some(10),
-        });
-        assert!(b.check(5).is_ok());
-        assert_eq!(b.check(11), Err(CncReason::StateLimit(10)));
-        let b2 = Budget::new(SolverLimits {
-            time_limit: Some(Duration::ZERO),
-            ..Default::default()
-        });
-        std::thread::sleep(Duration::from_millis(1));
-        assert!(matches!(b2.check(0), Err(CncReason::Timeout(_))));
-    }
-
-    #[test]
-    fn node_limit_guard_reports_cnc_and_restores() {
-        let mgr = BddManager::new();
-        let vars = mgr.new_vars(24);
-        let outcome = with_node_limit_guard(
-            &mgr,
-            &SolverLimits {
-                node_limit: Some(mgr.stats().live_nodes + 8),
-                ..Default::default()
-            },
-            || {
-                // Blow the limit deliberately.
-                let mut acc = mgr.one();
-                for (k, v) in vars.iter().enumerate() {
-                    let w = if k % 3 == 0 { v.not() } else { v.clone() };
-                    acc = acc.and(&w.xor(&vars[(k + 1) % vars.len()]));
-                }
-                unreachable!("must abort before finishing");
-            },
-        );
-        assert!(matches!(outcome, Outcome::Cnc(CncReason::NodeLimit(_))));
-        // Limit restored and manager usable.
-        assert_eq!(mgr.node_limit(), None);
-        let x = vars[0].and(&vars[1]);
-        assert!(!x.is_zero());
+    fn limits_default_includes_the_state_budget() {
+        let limits = SolverLimits::default();
+        assert_eq!(limits.max_states, Some(DEFAULT_MAX_STATES));
+        assert_eq!(limits.node_limit, None);
+        assert_eq!(limits.time_limit, None);
+        assert_eq!(SolverLimits::unlimited().max_states, None);
     }
 
     #[test]
@@ -297,5 +269,60 @@ mod tests {
             .to_string()
             .contains("CNC"));
         assert!(CncReason::StateLimit(7).to_string().contains("7"));
+        assert!(CncReason::Cancelled.to_string().contains("cancelled"));
+    }
+
+    #[test]
+    fn outcome_round_trips_through_result() {
+        let p = LatchSplitProblem::new(&gen::figure3(), &[1]).unwrap();
+        let outcome = SolveRequest::partitioned().run(&p.equation);
+        let states = outcome.solution().expect("solves").general.num_states();
+        let result = outcome.into_result();
+        let back = Outcome::from(result);
+        assert_eq!(
+            back.solution().expect("still solved").general.num_states(),
+            states
+        );
+
+        let cnc = Outcome::Cnc(CncReason::StateLimit(3));
+        let round = Outcome::from(cnc.into_result());
+        assert!(matches!(round, Outcome::Cnc(CncReason::StateLimit(3))));
+    }
+
+    #[test]
+    fn node_limit_reports_cnc_and_leaves_manager_usable() {
+        let net = gen::random_controller(&gen::ControllerCfg::new("cnc", 7, 3, 3, 5));
+        let p = LatchSplitProblem::new(&net, &[3, 4]).unwrap();
+        let mgr = p.equation.manager().clone();
+        let baseline = mgr.stats().live_nodes;
+        let out = SolveRequest::partitioned()
+            .node_limit(baseline + 64)
+            .run(&p.equation);
+        assert!(matches!(out, Outcome::Cnc(CncReason::NodeLimit(_))));
+        // Guards disarmed, abort cleared, manager reusable.
+        assert_eq!(mgr.node_limit(), None);
+        assert!(mgr.abort_reason().is_none());
+        let x = mgr.new_var().and(&mgr.new_var());
+        assert!(!x.is_zero());
+    }
+
+    #[test]
+    fn manager_without_equation_survives_raw_abort_cycles() {
+        // The session machinery is exercised end-to-end elsewhere; this
+        // checks the core contract it relies on at the manager level.
+        let mgr = BddManager::new();
+        let vars = mgr.new_vars(16);
+        mgr.set_node_limit(Some(mgr.stats().live_nodes + 4));
+        let mut acc = mgr.one();
+        for (k, v) in vars.iter().enumerate() {
+            acc = acc.and(&v.xor(&vars[(k + 5) % vars.len()]));
+        }
+        assert!(mgr.abort_reason().is_some());
+        mgr.set_node_limit(None);
+        mgr.take_abort();
+        mgr.collect_garbage();
+        let rebuilt = vars[0].xor(&vars[5]);
+        assert!(!rebuilt.is_zero());
+        drop(acc);
     }
 }

@@ -19,20 +19,27 @@ use langeq_automata::{Automaton, StateId};
 use langeq_bdd::{Bdd, VarId};
 
 use crate::equation::LanguageEquation;
-use crate::solver::{Budget, CncReason, MonolithicOptions, Outcome, Solution, SolverStats};
+use crate::solver::session::Session;
+use crate::solver::{CncReason, Control, Monolithic, MonolithicOptions, Outcome, Solution, Solver};
 
 /// Solves the equation with the monolithic flow.
 ///
 /// Returns [`Outcome::Cnc`] when a limit in `opts.limits` is exhausted.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Monolithic::new(opts).solve(eq, &Control::default())` or `SolveRequest::monolithic()`"
+)]
 pub fn solve(eq: &LanguageEquation, opts: &MonolithicOptions) -> Outcome {
-    let mgr = eq.manager().clone();
-    crate::solver::with_node_limit_guard(&mgr, &opts.limits, || run(eq, opts))
+    Monolithic::new(*opts).solve(eq, &Control::default())
 }
 
 #[allow(clippy::mutable_key_type)] // Bdd hashing is by stable node id
-fn run(eq: &LanguageEquation, opts: &MonolithicOptions) -> Result<Solution, CncReason> {
+pub(crate) fn run(
+    eq: &LanguageEquation,
+    _opts: &MonolithicOptions,
+    sess: &mut Session<'_>,
+) -> Result<Solution, CncReason> {
     let mgr = eq.manager().clone();
-    let budget = Budget::new(opts.limits);
     let vars = &eq.vars;
     let uv = vars.uv();
 
@@ -90,6 +97,9 @@ fn run(eq: &LanguageEquation, opts: &MonolithicOptions) -> Result<Solution, CncR
     let mut io: Vec<VarId> = vars.i.clone();
     io.extend(&vars.o);
     let tr = product.exists(&io);
+    // Relation construction is the monolithic flow's classic blow-up point;
+    // surface an abort before entering the subset construction.
+    sess.poll()?;
 
     // ---- traditional subset construction -----------------------------------
     let cs_all: Vec<VarId> = vars
@@ -109,7 +119,6 @@ fn run(eq: &LanguageEquation, opts: &MonolithicOptions) -> Result<Solution, CncR
     let mut aut = Automaton::new(&mgr, &uv);
     let mut index: HashMap<Bdd, StateId> = HashMap::new();
     let mut work: VecDeque<Bdd> = VecDeque::new();
-    let mut images = 0usize;
 
     let xi0 = eq.initial_product_cube().and(&csd.not());
     let s0 = aut.add_named_state(true, "xi0");
@@ -119,11 +128,11 @@ fn run(eq: &LanguageEquation, opts: &MonolithicOptions) -> Result<Solution, CncR
     let mut dca: Option<StateId> = None;
 
     while let Some(xi) = work.pop_front() {
-        budget.check(aut.num_states())?;
+        sess.checkpoint(aut.num_states(), work.len() + 1)?;
         let from = index[&xi];
-        images += 1;
         // Monolithic image: one relational product against the full TR.
         let p = mgr.and_exists(&tr, &xi, &cs_cube);
+        sess.note_image();
         let mut dom = mgr.zero();
         for (guard, succ_ns) in mgr.cofactor_classes(&p, &uv) {
             dom = dom.or(&guard);
@@ -155,28 +164,14 @@ fn run(eq: &LanguageEquation, opts: &MonolithicOptions) -> Result<Solution, CncR
         aut.add_transition(t, mgr.one(), t);
     }
 
-    let prefix_closed = aut.prefix_close();
-    let csf = prefix_closed.progressive(&vars.u);
-    let stats = SolverStats {
-        subset_states: aut.num_states(),
-        transitions: aut.num_transitions(),
-        images,
-        duration: budget.elapsed(),
-        peak_live_nodes: mgr.stats().peak_live_nodes,
-    };
-    Ok(Solution {
-        general: aut,
-        prefix_closed,
-        csf,
-        stats,
-    })
+    sess.finish(eq, aut)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::equation::LatchSplitProblem;
-    use crate::solver::{partitioned, PartitionedOptions, SolverLimits};
+    use crate::solver::SolveRequest;
     use langeq_logic::gen;
 
     #[test]
@@ -184,18 +179,19 @@ mod tests {
         let net = gen::figure3();
         for unknown in [&[0usize][..], &[1], &[0, 1]] {
             let p = LatchSplitProblem::new(&net, unknown).unwrap();
-            let mono = solve(&p.equation, &MonolithicOptions::default());
-            let part = partitioned::solve(&p.equation, &PartitionedOptions::paper());
-            let untrimmed = partitioned::solve(
-                &p.equation,
-                &PartitionedOptions {
-                    trim_dcn: false,
-                    ..PartitionedOptions::paper()
-                },
-            );
-            let mono = mono.expect_solved();
-            let part = part.expect_solved();
-            let untrimmed = untrimmed.expect_solved();
+            let mono = SolveRequest::monolithic()
+                .run(&p.equation)
+                .into_result()
+                .expect("monolithic solves");
+            let part = SolveRequest::partitioned()
+                .run(&p.equation)
+                .into_result()
+                .expect("partitioned solves");
+            let untrimmed = SolveRequest::partitioned()
+                .trim_dcn(false)
+                .run(&p.equation)
+                .into_result()
+                .expect("untrimmed solves");
             assert!(
                 mono.csf.equivalent(&part.csf),
                 "CSF languages differ for split {unknown:?}"
@@ -222,30 +218,27 @@ mod tests {
     fn monolithic_on_counter_split() {
         let net = gen::counter("c4", 4);
         let p = LatchSplitProblem::new(&net, &[2, 3]).unwrap();
-        let mono = solve(&p.equation, &MonolithicOptions::default());
-        let part = partitioned::solve(&p.equation, &PartitionedOptions::paper());
-        assert!(mono
-            .expect_solved()
-            .csf
-            .equivalent(&part.expect_solved().csf));
+        let mono = SolveRequest::monolithic()
+            .run(&p.equation)
+            .into_result()
+            .expect("monolithic solves");
+        let part = SolveRequest::partitioned()
+            .run(&p.equation)
+            .into_result()
+            .expect("partitioned solves");
+        assert!(mono.csf.equivalent(&part.csf));
     }
 
     #[test]
     fn node_limit_produces_cnc() {
         let net = gen::random_controller(&gen::ControllerCfg::new("cnc", 7, 3, 3, 5));
         let p = LatchSplitProblem::new(&net, &[3, 4]).unwrap();
-        let out = solve(
-            &p.equation,
-            &MonolithicOptions {
-                limits: SolverLimits {
-                    node_limit: Some(2_000),
-                    ..Default::default()
-                },
-            },
-        );
+        let out = SolveRequest::monolithic()
+            .node_limit(2_000)
+            .run(&p.equation);
         assert!(matches!(out, Outcome::Cnc(CncReason::NodeLimit(_))));
         // The manager must remain usable for a subsequent partitioned run.
-        let part = partitioned::solve(&p.equation, &PartitionedOptions::paper());
+        let part = SolveRequest::partitioned().run(&p.equation);
         assert!(part.solution().is_some());
     }
 }

@@ -45,51 +45,30 @@ use langeq_bdd::Bdd;
 use langeq_image::ImageComputer;
 
 use crate::equation::LanguageEquation;
-use crate::solver::{Budget, CncReason, Outcome, PartitionedOptions, Solution, SolverStats};
+use crate::solver::session::Session;
+use crate::solver::{
+    CncReason, Control, Outcome, Partitioned, PartitionedOptions, Solution, Solver,
+};
 
 /// Solves the equation with the partitioned flow.
 ///
 /// Returns [`Outcome::Cnc`] when a limit in `opts.limits` is exhausted.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Partitioned::new(opts).solve(eq, &Control::default())` or `SolveRequest::partitioned()`"
+)]
 pub fn solve(eq: &LanguageEquation, opts: &PartitionedOptions) -> Outcome {
-    let mgr = eq.manager().clone();
-    crate::solver::with_node_limit_guard(&mgr, &opts.limits, || {
-        if opts.trim_dcn {
-            run_trimmed(eq, opts)
-        } else {
-            run_untrimmed(eq, opts)
-        }
-    })
-}
-
-/// Post-processing and stats shared by both variants.
-fn finish(
-    eq: &LanguageEquation,
-    aut: Automaton,
-    images: usize,
-    budget: &Budget,
-) -> Result<Solution, CncReason> {
-    let prefix_closed = aut.prefix_close();
-    let csf = prefix_closed.progressive(&eq.vars.u);
-    let stats = SolverStats {
-        subset_states: aut.num_states(),
-        transitions: aut.num_transitions(),
-        images,
-        duration: budget.elapsed(),
-        peak_live_nodes: eq.manager().stats().peak_live_nodes,
-    };
-    Ok(Solution {
-        general: aut,
-        prefix_closed,
-        csf,
-        stats,
-    })
+    Partitioned::new(*opts).solve(eq, &Control::default())
 }
 
 /// The paper's flow: prefix-closed trimming via `Qξ` and the `DCN` trap.
 #[allow(clippy::mutable_key_type)] // Bdd hashing is by stable node id
-fn run_trimmed(eq: &LanguageEquation, opts: &PartitionedOptions) -> Result<Solution, CncReason> {
+pub(crate) fn run_trimmed(
+    eq: &LanguageEquation,
+    opts: &PartitionedOptions,
+    sess: &mut Session<'_>,
+) -> Result<Solution, CncReason> {
     let mgr = eq.manager().clone();
-    let budget = Budget::new(opts.limits);
     let vars = &eq.vars;
     let uv = vars.uv();
     let quantify = vars.partitioned_quantify();
@@ -114,7 +93,6 @@ fn run_trimmed(eq: &LanguageEquation, opts: &PartitionedOptions) -> Result<Solut
     let mut aut = Automaton::new(&mgr, &uv);
     let mut index: HashMap<Bdd, StateId> = HashMap::new();
     let mut work: VecDeque<Bdd> = VecDeque::new();
-    let mut images = 0usize;
 
     let xi0 = eq.initial_product_cube();
     let s0 = aut.add_named_state(true, "xi0");
@@ -126,21 +104,21 @@ fn run_trimmed(eq: &LanguageEquation, opts: &PartitionedOptions) -> Result<Solut
     let mut dca: Option<StateId> = None;
 
     while let Some(xi) = work.pop_front() {
-        budget.check(aut.num_states())?;
+        sess.checkpoint(aut.num_states(), work.len() + 1)?;
         let from = index[&xi];
 
         // Non-conformance letters, one output at a time with early exit.
         let mut q = mgr.zero();
         for qi in &q_images {
-            images += 1;
             q = q.or(&qi.image(&xi));
+            sess.note_image();
             if q.is_one() {
                 break;
             }
         }
 
-        images += 1;
         let p = p_image.image(&xi).and(&q.not());
+        sess.note_image();
 
         let mut dom = mgr.zero();
         for (guard, succ_ns) in mgr.cofactor_classes(&p, &uv) {
@@ -179,16 +157,19 @@ fn run_trimmed(eq: &LanguageEquation, opts: &PartitionedOptions) -> Result<Solut
         aut.add_transition(t, mgr.one(), t);
     }
 
-    finish(eq, aut, images, &budget)
+    sess.finish(eq, aut)
 }
 
 /// The untrimmed ablation: traditional subset construction over the product
 /// with the **completed** specification (extra `csd` bit), still driven by
 /// partitioned images. Language-identical to the monolithic flow.
 #[allow(clippy::mutable_key_type)] // Bdd hashing is by stable node id
-fn run_untrimmed(eq: &LanguageEquation, opts: &PartitionedOptions) -> Result<Solution, CncReason> {
+pub(crate) fn run_untrimmed(
+    eq: &LanguageEquation,
+    opts: &PartitionedOptions,
+    sess: &mut Session<'_>,
+) -> Result<Solution, CncReason> {
     let mgr = eq.manager().clone();
-    let budget = Budget::new(opts.limits);
     let vars = &eq.vars;
     let uv = vars.uv();
     let csd = mgr.var(vars.csd);
@@ -214,7 +195,6 @@ fn run_untrimmed(eq: &LanguageEquation, opts: &PartitionedOptions) -> Result<Sol
     let mut aut = Automaton::new(&mgr, &uv);
     let mut index: HashMap<Bdd, StateId> = HashMap::new();
     let mut work: VecDeque<Bdd> = VecDeque::new();
-    let mut images = 0usize;
 
     let xi0 = eq.initial_product_cube().and(&csd.not());
     let s0 = aut.add_named_state(true, "xi0");
@@ -224,10 +204,10 @@ fn run_untrimmed(eq: &LanguageEquation, opts: &PartitionedOptions) -> Result<Sol
     let mut dca: Option<StateId> = None;
 
     while let Some(xi) = work.pop_front() {
-        budget.check(aut.num_states())?;
+        sess.checkpoint(aut.num_states(), work.len() + 1)?;
         let from = index[&xi];
-        images += 1;
         let p = p_image.image(&xi);
+        sess.note_image();
         let mut dom = mgr.zero();
         for (guard, succ_ns) in mgr.cofactor_classes(&p, &uv) {
             dom = dom.or(&guard);
@@ -259,22 +239,18 @@ fn run_untrimmed(eq: &LanguageEquation, opts: &PartitionedOptions) -> Result<Sol
         aut.add_transition(t, mgr.one(), t);
     }
 
-    finish(eq, aut, images, &budget)
+    sess.finish(eq, aut)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::equation::LatchSplitProblem;
-    use crate::solver::PartitionedOptions;
+    use crate::solver::SolveRequest;
     use langeq_logic::gen;
 
     fn solve_figure3_problem(p: &LatchSplitProblem, trim: bool) -> Solution {
-        let opts = PartitionedOptions {
-            trim_dcn: trim,
-            ..PartitionedOptions::paper()
-        };
-        match solve(&p.equation, &opts) {
+        match SolveRequest::partitioned().trim_dcn(trim).run(&p.equation) {
             Outcome::Solved(s) => *s,
             Outcome::Cnc(r) => panic!("unexpected CNC: {r}"),
         }

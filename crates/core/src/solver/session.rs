@@ -1,0 +1,206 @@
+//! Per-run plumbing shared by every [`Solver`](crate::solver::Solver)
+//! implementation: arming the BDD engine's cooperative-abort guards,
+//! enforcing the [`SolverLimits`](crate::SolverLimits) and the
+//! [`Control`](crate::Control)'s token/deadline, and emitting
+//! [`SolveEvent`](crate::SolveEvent)s.
+//!
+//! A [`Session`] is created at the top of a solve and dropped at the end
+//! (whatever the outcome); its `Drop` disarms the engine guards, restores
+//! the previous node limit, and reclaims any garbage an abort left behind —
+//! so the manager is immediately reusable, which the old
+//! `catch_unwind`-based machinery could only promise after a panic had
+//! propagated through every stack frame.
+
+use std::time::{Duration, Instant};
+
+use langeq_automata::Automaton;
+use langeq_bdd::{AbortReason, BddManager};
+
+use crate::equation::LanguageEquation;
+use crate::solver::control::{Control, SolveEvent};
+use crate::solver::{CncReason, Solution, SolverKind, SolverLimits, SolverStats};
+
+/// State of one solver run. See the module docs.
+pub(crate) struct Session<'c> {
+    ctrl: &'c Control,
+    mgr: BddManager,
+    limits: SolverLimits,
+    start: Instant,
+    /// Effective absolute deadline: the earlier of `limits.time_limit` from
+    /// `start` and the control's deadline.
+    deadline: Option<Instant>,
+    prev_node_limit: Option<usize>,
+    /// The abort hook that was installed before this session armed its own;
+    /// restored on drop.
+    prev_hook: Option<Box<dyn Fn() -> bool>>,
+    images: usize,
+    last_gc_runs: u64,
+}
+
+impl<'c> Session<'c> {
+    /// Arms the engine guards and emits [`SolveEvent::Started`].
+    pub(crate) fn begin(
+        mgr: &BddManager,
+        limits: SolverLimits,
+        ctrl: &'c Control,
+        kind: SolverKind,
+    ) -> Self {
+        let start = Instant::now();
+        let from_limit = limits.time_limit.map(|d| start + d);
+        let deadline = match (from_limit, ctrl.deadline()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let prev_node_limit = mgr.node_limit();
+        mgr.set_node_limit(limits.node_limit);
+        let token = ctrl.token().clone();
+        let prev_hook = mgr.set_abort_hook(Some(Box::new(move || {
+            token.is_cancelled() || deadline.is_some_and(|d| Instant::now() >= d)
+        })));
+        let last_gc_runs = mgr.stats().gc_runs;
+        ctrl.emit(SolveEvent::Started { kind });
+        Session {
+            ctrl,
+            mgr: mgr.clone(),
+            limits,
+            start,
+            deadline,
+            prev_node_limit,
+            prev_hook,
+            images: 0,
+            last_gc_runs,
+        }
+    }
+
+    /// Wall-clock time since [`begin`](Self::begin).
+    pub(crate) fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Counts one image computation and notifies the observer.
+    pub(crate) fn note_image(&mut self) {
+        self.images += 1;
+        self.ctrl
+            .emit(SolveEvent::ImageComputed { total: self.images });
+    }
+
+    /// The per-iteration control point of the subset-construction loops:
+    /// emits progress events, then checks (in order) a pending engine abort,
+    /// the cancellation token, the deadline, and the state budget.
+    pub(crate) fn checkpoint(
+        &mut self,
+        discovered: usize,
+        frontier: usize,
+    ) -> Result<(), CncReason> {
+        self.ctrl.emit(SolveEvent::SubsetState {
+            discovered,
+            frontier,
+        });
+        self.poll()?;
+        if let Some(max) = self.limits.max_states {
+            if discovered > max {
+                return Err(CncReason::StateLimit(max));
+            }
+        }
+        Ok(())
+    }
+
+    /// A control point *between* pipeline phases (no worklist entry was
+    /// popped, so no [`SolveEvent::SubsetState`] is emitted): samples the
+    /// engine and checks abort/cancellation/deadline.
+    pub(crate) fn poll(&mut self) -> Result<(), CncReason> {
+        self.sample_engine();
+        self.ensure_clean()?;
+        if self.ctrl.token().is_cancelled() {
+            return Err(CncReason::Cancelled);
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(CncReason::Timeout(self.effective_time_limit()));
+        }
+        Ok(())
+    }
+
+    /// Converts a pending engine abort into the corresponding
+    /// [`CncReason`], reclaiming the aborted computation's garbage. Call
+    /// after any BDD-heavy step whose results are about to be trusted.
+    pub(crate) fn ensure_clean(&mut self) -> Result<(), CncReason> {
+        if let Some(abort) = self.mgr.take_abort() {
+            self.mgr.collect_garbage();
+            return Err(match abort {
+                AbortReason::NodeLimit { limit, .. } => CncReason::NodeLimit(limit),
+                AbortReason::Hook => {
+                    if self.ctrl.token().is_cancelled() {
+                        CncReason::Cancelled
+                    } else {
+                        CncReason::Timeout(self.effective_time_limit())
+                    }
+                }
+            });
+        }
+        Ok(())
+    }
+
+    /// Shared post-processing: verifies the run ended clean, derives the
+    /// prefix-closed solution and the CSF, and assembles the
+    /// [`Solution`] with this run's statistics.
+    pub(crate) fn finish(
+        &mut self,
+        eq: &LanguageEquation,
+        general: Automaton,
+    ) -> Result<Solution, CncReason> {
+        self.ensure_clean()?;
+        let prefix_closed = general.prefix_close();
+        let csf = prefix_closed.progressive(&eq.vars.u);
+        // The post-processing itself runs under the engine guards too.
+        self.ensure_clean()?;
+        let stats = SolverStats {
+            subset_states: general.num_states(),
+            transitions: general.num_transitions(),
+            images: self.images,
+            duration: self.elapsed(),
+            peak_live_nodes: self.mgr.stats().peak_live_nodes,
+        };
+        Ok(Solution {
+            general,
+            prefix_closed,
+            csf,
+            stats,
+        })
+    }
+
+    /// The duration to report in [`CncReason::Timeout`]: the configured
+    /// relative limit when one was set, otherwise the elapsed time at the
+    /// moment the control deadline fired.
+    fn effective_time_limit(&self) -> Duration {
+        self.limits.time_limit.unwrap_or_else(|| self.elapsed())
+    }
+
+    /// Emits [`SolveEvent::PeakNodes`] and, when the engine collected since
+    /// the last sample, [`SolveEvent::GcPass`].
+    fn sample_engine(&mut self) {
+        let stats = self.mgr.stats();
+        self.ctrl.emit(SolveEvent::PeakNodes {
+            live_nodes: stats.live_nodes,
+            peak_live_nodes: stats.peak_live_nodes,
+        });
+        if stats.gc_runs > self.last_gc_runs {
+            self.last_gc_runs = stats.gc_runs;
+            self.ctrl.emit(SolveEvent::GcPass {
+                gc_runs: stats.gc_runs,
+                live_nodes: stats.live_nodes,
+            });
+        }
+    }
+}
+
+impl Drop for Session<'_> {
+    fn drop(&mut self) {
+        self.mgr.set_abort_hook(self.prev_hook.take());
+        self.mgr.set_node_limit(self.prev_node_limit);
+        if self.mgr.take_abort().is_some() {
+            // An abort fired after the last `ensure_clean`; reclaim its
+            // garbage so the manager hands back clean.
+            self.mgr.collect_garbage();
+        }
+    }
+}

@@ -182,10 +182,7 @@ impl VarUniverse {
 
     /// Display name of a variable (`i0`, `u3`, `csS2`, …).
     pub fn name(&self, v: VarId) -> String {
-        self.names
-            .get(&v)
-            .cloned()
-            .unwrap_or_else(|| v.to_string())
+        self.names.get(&v).cloned().unwrap_or_else(|| v.to_string())
     }
 
     /// The full name map (for DOT export).
@@ -264,7 +261,10 @@ mod tests {
         assert_eq!(uni.name(uni.i[0]), "i0");
         assert_eq!(uni.name(uni.cs_s[3]), "csS3");
         let cube = uni.state_cube(&uni.cs_f, &[true, false]);
-        assert_eq!(cube.sat_count(mgr.num_vars()) as u64, 1 << (mgr.num_vars() - 2));
+        assert_eq!(
+            cube.sat_count(mgr.num_vars()) as u64,
+            1 << (mgr.num_vars() - 2)
+        );
         assert!(cube.eval(&{
             let mut a = vec![false; mgr.num_vars()];
             a[uni.cs_f[0].index()] = true;

@@ -74,12 +74,7 @@ pub fn xp_contained_in(problem: &LatchSplitProblem, x: &Automaton) -> bool {
         return false;
     };
     let v_to_cube = |bits: &[bool]| -> Bdd {
-        let lits: Vec<_> = vars
-            .v
-            .iter()
-            .copied()
-            .zip(bits.iter().copied())
-            .collect();
+        let lits: Vec<_> = vars.v.iter().copied().zip(bits.iter().copied()).collect();
         mgr.cube(&lits)
     };
     let init_bits = problem.xp.initial_state();
@@ -139,7 +134,12 @@ pub fn composition_contained_in_spec(eq: &LanguageEquation, x: &Automaton) -> bo
     let mismatch_img = {
         let mut parts = u_parts.clone();
         parts.push(conf_all.not());
-        ImageComputer::new(mgr, &parts, &vars.partitioned_quantify(), ImageOptions::default())
+        ImageComputer::new(
+            mgr,
+            &parts,
+            &vars.partitioned_quantify(),
+            ImageOptions::default(),
+        )
     };
     // Propagation image: next product states under conforming, x-enabled
     // letters. `from` is R ∧ label.
@@ -188,15 +188,19 @@ pub fn composition_contained_in_spec(eq: &LanguageEquation, x: &Automaton) -> bo
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::solver::{partitioned, PartitionedOptions};
+    use crate::solver::SolveRequest;
     use langeq_automata::Automaton;
     use langeq_logic::gen;
 
-    fn solved(net: &langeq_logic::Network, unknown: &[usize]) -> (LatchSplitProblem, crate::Solution) {
+    fn solved(
+        net: &langeq_logic::Network,
+        unknown: &[usize],
+    ) -> (LatchSplitProblem, crate::Solution) {
         let p = LatchSplitProblem::new(net, unknown).unwrap();
-        let sol = partitioned::solve(&p.equation, &PartitionedOptions::paper())
-            .expect_solved()
-            .clone();
+        let sol = SolveRequest::partitioned()
+            .run(&p.equation)
+            .into_result()
+            .expect("instance solves");
         (p, sol)
     }
 
@@ -224,7 +228,10 @@ mod tests {
         // prefix-closed most-general solution.
         let net = gen::figure3();
         let (p, sol) = solved(&net, &[1]);
-        assert!(composition_contained_in_spec(&p.equation, &sol.prefix_closed));
+        assert!(composition_contained_in_spec(
+            &p.equation,
+            &sol.prefix_closed
+        ));
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! A minimal, dependency-free stand-in for the [criterion] benchmark harness.
+//!
+//! The workspace builds in offline environments with no access to crates.io,
+//! so the bench targets in `langeq-bench` link against this shim instead of
+//! the real crate. It implements exactly the API subset those benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::sample_size`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — with a simple
+//! median-of-samples timer instead of criterion's statistical machinery.
+//!
+//! To switch to the real harness, replace the `criterion` path dependency in
+//! `crates/bench/Cargo.toml` with the registry version; no bench source
+//! changes are needed.
+//!
+//! [criterion]: https://docs.rs/criterion
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Default number of measured samples per benchmark.
+const DEFAULT_SAMPLES: usize = 10;
+
+/// The top-level harness handle passed to every benchmark function.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` as a named benchmark and prints a one-line summary.
+    pub fn bench_function<S: Into<String>, F>(&mut self, name: S, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into(), self.samples, f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: self.samples,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample count.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs `f` as a named benchmark within the group.
+    pub fn bench_function<S: Into<String>, F>(&mut self, name: S, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_one(&full, self.samples, f);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timer handle given to the benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    measurements: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measures `f`, called once per sample after one warm-up call.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        std::hint::black_box(f()); // warm-up
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.measurements.push(t0.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        samples,
+        measurements: Vec::new(),
+    };
+    f(&mut b);
+    if b.measurements.is_empty() {
+        println!("{name:<48} (no measurements)");
+        return;
+    }
+    b.measurements.sort_unstable();
+    let median = b.measurements[b.measurements.len() / 2];
+    let min = b.measurements[0];
+    let max = b.measurements[b.measurements.len() - 1];
+    println!(
+        "{name:<48} time: [{} {} {}]",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(max)
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Collects benchmark functions into a single runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Expands to `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion::default();
+        c.bench_function("shim/noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3)
+            .bench_function("grouped", |b| b.iter(|| 2 * 2));
+        g.finish();
+    }
+
+    #[test]
+    fn durations_format_across_scales() {
+        assert!(fmt_duration(Duration::from_nanos(5)).contains("ns"));
+        assert!(fmt_duration(Duration::from_micros(5)).contains("µs"));
+        assert!(fmt_duration(Duration::from_millis(5)).contains("ms"));
+        assert!(fmt_duration(Duration::from_secs(5)).contains("s"));
+    }
+}

@@ -229,6 +229,11 @@ impl ImageComputer {
     /// the conjunctions according to the compiled schedule; with
     /// [`QuantSchedule::Late`] the full product is built first (ablation
     /// baseline).
+    /// Cooperative abort: when the manager records an abort (node limit,
+    /// cancellation hook) the remaining steps are skipped and the returned
+    /// function is a meaningless dummy — callers polling
+    /// [`BddManager::abort_reason`] discard it, exactly as for a plain
+    /// aborted operation.
     pub fn image(&self, from: &Bdd) -> Bdd {
         match self.schedule {
             QuantSchedule::Early => {
@@ -238,7 +243,7 @@ impl ImageComputer {
                 let mut acc = from.clone();
                 for (cluster, cube) in self.clusters.iter().zip(&self.step_cubes) {
                     acc = self.mgr.and_exists(&acc, &cluster.func, cube);
-                    if acc.is_zero() {
+                    if acc.is_zero() || self.mgr.abort_reason().is_some() {
                         return acc;
                     }
                 }
@@ -248,6 +253,9 @@ impl ImageComputer {
                 let mut acc = from.clone();
                 for cluster in &self.clusters {
                     acc = acc.and(&cluster.func);
+                    if self.mgr.abort_reason().is_some() {
+                        return acc;
+                    }
                 }
                 self.mgr.exists(&acc, &self.quantify)
             }

@@ -104,14 +104,13 @@ pub fn parse(text: &str) -> Result<Network, NetworkError> {
             }
         };
         let fanins: Vec<_> = args.iter().map(|a| n.net(a)).collect();
-        n.add_gate(target, kind, &fanins)
-            .map_err(|e| match e {
-                NetworkError::BadArity { net, got } => NetworkError::Parse {
-                    line: *lineno,
-                    msg: format!("gate `{net}`: bad fan-in count {got}"),
-                },
-                other => other,
-            })?;
+        n.add_gate(target, kind, &fanins).map_err(|e| match e {
+            NetworkError::BadArity { net, got } => NetworkError::Parse {
+                line: *lineno,
+                msg: format!("gate `{net}`: bad fan-in count {got}"),
+            },
+            other => other,
+        })?;
     }
     for (_, name) in outputs {
         let id = n.net(&name);
@@ -155,7 +154,12 @@ pub fn write(n: &Network) -> Result<String, NetworkError> {
         let _ = writeln!(out, "OUTPUT({})", n.net_name(o));
     }
     for l in n.latches() {
-        let _ = writeln!(out, "{} = DFF({})", n.net_name(l.output), n.net_name(l.data));
+        let _ = writeln!(
+            out,
+            "{} = DFF({})",
+            n.net_name(l.output),
+            n.net_name(l.data)
+        );
     }
     for id in (0..n.num_nets()).map(|k| crate::network::NetId(k as u32)) {
         match n.driver(id) {

@@ -123,8 +123,10 @@ pub fn parse(text: &str) -> Result<Network, NetworkError> {
                         });
                     }
                     let out = args.last().unwrap().to_string();
-                    let ins: Vec<String> =
-                        args[..args.len() - 1].iter().map(|s| s.to_string()).collect();
+                    let ins: Vec<String> = args[..args.len() - 1]
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect();
                     covers.push((*lineno, ins, out, Vec::new()));
                     current_cover = Some(covers.len() - 1);
                 }
@@ -452,9 +454,6 @@ mod tests {
     #[test]
     fn mixed_cover_phase_rejected() {
         let text = ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n0 0\n.end\n";
-        assert!(matches!(
-            parse(text),
-            Err(NetworkError::Parse { .. })
-        ));
+        assert!(matches!(parse(text), Err(NetworkError::Parse { .. })));
     }
 }

@@ -141,16 +141,18 @@ pub fn gray_counter(name: &str, bits: usize) -> Network {
     // Binary → Gray: g_k = b_k ^ b_{k+1}; MSB passes through.
     for k in 0..bits {
         let d = if k + 1 < bits {
-            n.add_gate(&format!("ng{k}"), GateKind::Xor, &[next_bin[k], next_bin[k + 1]])
-                .expect("fresh net")
+            n.add_gate(
+                &format!("ng{k}"),
+                GateKind::Xor,
+                &[next_bin[k], next_bin[k + 1]],
+            )
+            .expect("fresh net")
         } else {
             next_bin[k]
         };
         n.set_latch_data(idxs[k], d);
     }
-    let parity = n
-        .add_gate("parity", GateKind::Xor, &qs)
-        .expect("fresh net");
+    let parity = n.add_gate("parity", GateKind::Xor, &qs).expect("fresh net");
     n.add_output(parity);
     n
 }
@@ -457,7 +459,9 @@ pub fn hybrid_controller(cfg: &HybridCfg) -> Network {
     };
     for j in 0..cfg.num_outputs {
         let anchor = j % total.max(1);
-        let e = random_expr(&mut n, &mut rng, &mut fresh, &inputs, &qs, anchor, &out_ctrl);
+        let e = random_expr(
+            &mut n, &mut rng, &mut fresh, &inputs, &qs, anchor, &out_ctrl,
+        );
         let o = n
             .add_gate(&format!("o{j}"), GateKind::Buf, &[e])
             .expect("fresh net");
@@ -779,7 +783,10 @@ mod tests {
             hits.push(out[0]);
         }
         // Windows ending at indices 2,4,7 match 101.
-        assert_eq!(hits, vec![false, false, true, false, true, false, false, true]);
+        assert_eq!(
+            hits,
+            vec![false, false, true, false, true, false, false, true]
+        );
     }
 
     #[test]
@@ -807,12 +814,7 @@ mod tests {
             let n = &inst.network;
             n.validate().unwrap();
             let expect = inst.paper.io_cs;
-            let got = format!(
-                "{}/{}/{}",
-                n.num_inputs(),
-                n.num_outputs(),
-                n.num_latches()
-            );
+            let got = format!("{}/{}/{}", n.num_inputs(), n.num_outputs(), n.num_latches());
             assert_eq!(got, expect, "{}", inst.name);
             let (fcs, xcs) = {
                 let parts: Vec<&str> = inst.paper.fcs_xcs.split('/').collect();

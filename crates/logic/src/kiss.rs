@@ -143,7 +143,11 @@ impl fmt::Display for MinimizeError {
 
 impl std::error::Error for MinimizeError {}
 
-fn parse_pattern(tok: &str, what: &'static str, width: usize) -> Result<Vec<Option<bool>>, KissError> {
+fn parse_pattern(
+    tok: &str,
+    what: &'static str,
+    width: usize,
+) -> Result<Vec<Option<bool>>, KissError> {
     if tok.len() != width {
         return Err(KissError::Width {
             what,
@@ -183,17 +187,15 @@ fn minterm_bits(m: usize, width: usize) -> Vec<bool> {
 fn cube_matches(pat: &[Option<bool>], values: &[bool]) -> bool {
     pat.iter()
         .zip(values)
-        .all(|(t, &v)| t.map_or(true, |p| p == v))
+        .all(|(t, &v)| t.is_none_or(|p| p == v))
 }
 
 /// True if two cubes share at least one minterm.
 fn cubes_intersect(a: &[Option<bool>], b: &[Option<bool>]) -> bool {
-    a.iter()
-        .zip(b)
-        .all(|(x, y)| match (x, y) {
-            (Some(p), Some(q)) => p == q,
-            _ => true,
-        })
+    a.iter().zip(b).all(|(x, y)| match (x, y) {
+        (Some(p), Some(q)) => p == q,
+        _ => true,
+    })
 }
 
 impl MealyFsm {
@@ -454,7 +456,11 @@ impl MealyFsm {
             class = fresh;
         }
         // Quotient machine over the classes reachable from reset.
-        let mut fsm = MealyFsm::new(format!("{}_min", self.name), self.num_inputs, self.num_outputs);
+        let mut fsm = MealyFsm::new(
+            format!("{}_min", self.name),
+            self.num_inputs,
+            self.num_outputs,
+        );
         let mut rep_of: HashMap<usize, usize> = HashMap::new(); // class -> new index
         let mut work = vec![self.reset];
         let c0 = class[self.reset];
@@ -553,7 +559,7 @@ impl MealyFsm {
             cube.extend((0..nbits).map(|k| Some(t.from >> k & 1 == 1)));
             cube
         };
-        for k in 0..nbits {
+        for (k, &idx) in latch_idx.iter().enumerate() {
             let cubes: Vec<Vec<Option<bool>>> = self
                 .transitions
                 .iter()
@@ -561,7 +567,7 @@ impl MealyFsm {
                 .map(&term_cube)
                 .collect();
             let d = n.add_cover(&format!("d{k}"), &fanins, cubes, true)?;
-            n.set_latch_data(latch_idx[k], d);
+            n.set_latch_data(idx, d);
         }
         for j in 0..self.num_outputs {
             let cubes: Vec<Vec<Option<bool>>> = self
@@ -753,12 +759,7 @@ pub fn parse(text: &str) -> Result<MealyFsm, KissError> {
 /// # Panics
 ///
 /// Panics if `num_inputs > 8` (the generator enumerates input minterms).
-pub fn random_fsm(
-    seed: u64,
-    num_inputs: usize,
-    num_outputs: usize,
-    num_states: usize,
-) -> MealyFsm {
+pub fn random_fsm(seed: u64, num_inputs: usize, num_outputs: usize, num_states: usize) -> MealyFsm {
     use rand::rngs::StdRng;
     use rand::{RngExt, SeedableRng};
     assert!(num_inputs <= 8, "random_fsm enumerates input minterms");
@@ -814,9 +815,7 @@ mod tests {
         let fsm = parse(BEACON).unwrap();
         let (next, out) = fsm.step(0, &[true]).unwrap();
         assert_eq!((next, out), (1, vec![false]));
-        let outs = fsm
-            .run(&[vec![true], vec![true], vec![false]])
-            .unwrap();
+        let outs = fsm.run(&[vec![true], vec![true], vec![false]]).unwrap();
         assert_eq!(outs, vec![vec![false], vec![true], vec![true]]);
     }
 
@@ -831,10 +830,7 @@ mod tests {
 
     #[test]
     fn dont_care_inputs_match() {
-        let fsm = parse(
-            ".i 2\n.o 1\n-1 a b 1\n-0 a a 0\n-- b b 1\n",
-        )
-        .unwrap();
+        let fsm = parse(".i 2\n.o 1\n-1 a b 1\n-0 a a 0\n-- b b 1\n").unwrap();
         assert!(fsm.is_complete());
         assert!(fsm.is_deterministic());
         let (next, out) = fsm.step(0, &[true, true]).unwrap();
@@ -986,10 +982,7 @@ mod tests {
 
     #[test]
     fn minimize_drops_unreachable_states() {
-        let fsm = parse(
-            ".i 1\n.o 1\n.r a\n- a a 0\n- zombie zombie 1\n",
-        )
-        .unwrap();
+        let fsm = parse(".i 1\n.o 1\n.r a\n- a a 0\n- zombie zombie 1\n").unwrap();
         let min = fsm.minimize().unwrap();
         assert_eq!(min.num_states(), 1);
         assert_eq!(min.state_names()[min.reset()], "a");

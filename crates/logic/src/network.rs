@@ -586,7 +586,11 @@ impl Network {
             values[id.index()] = v;
         }
         let po = self.outputs.iter().map(|o| values[o.index()]).collect();
-        let ns = self.latches.iter().map(|l| values[l.data.index()]).collect();
+        let ns = self
+            .latches
+            .iter()
+            .map(|l| values[l.data.index()])
+            .collect();
         (po, ns)
     }
 
@@ -721,11 +725,7 @@ impl Network {
             name
         }
         /// Memoised inverter of `id`.
-        fn invert(
-            out: &mut Network,
-            inverters: &mut HashMap<NetId, NetId>,
-            id: NetId,
-        ) -> NetId {
+        fn invert(out: &mut Network, inverters: &mut HashMap<NetId, NetId>, id: NetId) -> NetId {
             if let Some(&n) = inverters.get(&id) {
                 return n;
             }
@@ -1026,10 +1026,7 @@ mod tests {
             .add_cover(
                 "x",
                 &[a, b],
-                vec![
-                    vec![Some(true), Some(false)],
-                    vec![Some(false), Some(true)],
-                ],
+                vec![vec![Some(true), Some(false)], vec![Some(false), Some(true)]],
                 true,
             )
             .unwrap();

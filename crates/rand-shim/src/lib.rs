@@ -1,0 +1,193 @@
+//! A minimal, dependency-free stand-in for the `rand` crate.
+//!
+//! The workspace builds in offline environments with no access to crates.io,
+//! so `langeq-logic`'s generators link against this shim instead of the real
+//! crate. It implements exactly the API subset the workspace uses —
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and the [`RngExt`]
+//! sampling methods — on top of a splitmix64 generator, so every sequence is
+//! deterministic in the seed (which the generators rely on for reproducible
+//! benchmark circuits).
+//!
+//! To switch to the real crate, replace the `rand` path dependency with the
+//! registry version; no source changes are needed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Low-level generator interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// The next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose output is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly from a single 64-bit word (the shim's analogue
+/// of sampling from the standard distribution).
+pub trait Standard: Sized {
+    /// Maps a uniform word to a sample.
+    fn from_word(word: u64) -> Self;
+}
+
+impl Standard for bool {
+    fn from_word(word: u64) -> Self {
+        word & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn from_word(word: u64) -> Self {
+        word
+    }
+}
+
+impl Standard for u32 {
+    fn from_word(word: u64) -> Self {
+        (word >> 32) as u32
+    }
+}
+
+/// Ranges samplable by [`RngExt::random_range`].
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Uniform sample from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample(self, word: u64) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),+) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample(self, word: u64) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (word % span) as $t
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, word: u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64 + 1;
+                lo + (word % span) as $t
+            }
+        }
+    )+};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i32, i64);
+
+/// High-level sampling methods, available on every [`RngCore`].
+pub trait RngExt: RngCore {
+    /// A sample of `T` from the standard distribution.
+    fn random<T: Standard>(&mut self) -> T {
+        T::from_word(self.next_u64())
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        // 53 bits of the word give a uniform float in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    /// A uniform sample from `range`.
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self.next_u64())
+    }
+}
+
+impl<T: RngCore> RngExt for T {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The shim's standard generator: splitmix64.
+    ///
+    /// Not cryptographic — statistical quality only, matching what the
+    /// workspace's deterministic circuit/FSM generators need.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // XOR with the Weyl constant so small consecutive seeds do not
+            // start the stream near each other.
+            StdRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_in_the_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: usize = rng.random_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y: i32 = rng.random_range(0i32..6);
+            assert!((0..6).contains(&y));
+            let z: u32 = rng.random_range(0u32..=100);
+            assert!(z <= 100);
+        }
+        // Both endpoints of a small inclusive range are reachable.
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..200 {
+            match rng.random_range(0u8..=1) {
+                0 => lo_seen = true,
+                _ => hi_seen = true,
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.4)).count();
+        assert!((3_000..5_000).contains(&hits), "got {hits}");
+        assert_eq!((0..100).filter(|_| rng.random_bool(0.0)).count(), 0);
+        assert_eq!((0..100).filter(|_| rng.random_bool(1.0)).count(), 100);
+    }
+}

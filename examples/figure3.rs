@@ -65,7 +65,10 @@ fn main() {
 
     // The explicit state-transition graph (3 reachable circuit states).
     let graph = stg::extract(&network);
-    println!("\n== explicit STG: {} reachable states ==", graph.num_states());
+    println!(
+        "\n== explicit STG: {} reachable states ==",
+        graph.num_states()
+    );
     print!("{}", graph.to_dot());
 
     // The automaton of Figure 3: inputs and outputs merged into one

@@ -70,8 +70,10 @@ fn main() {
 
     // --- solve: the CSF is the set of winning strategies ---------------------
     let eq = LanguageEquation::new(vars, f, s);
-    let solution = langeq::core::solve_partitioned(&eq, &PartitionedOptions::paper());
-    let solution = solution.expect_solved();
+    let solution = SolveRequest::partitioned()
+        .run(&eq)
+        .into_result()
+        .expect("the safety game solves");
     println!(
         "winning-strategy flexibility (CSF): {} states\n\n{}",
         solution.csf.num_states(),

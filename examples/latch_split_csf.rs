@@ -47,41 +47,37 @@ fn main() {
         max_states: None,
     };
 
-    // Partitioned flow (the paper's method).
-    let problem = LatchSplitProblem::new(&inst.network, &inst.unknown_latches).unwrap();
-    let t0 = std::time::Instant::now();
-    let part = langeq::core::solve_partitioned(
-        &problem.equation,
-        &PartitionedOptions {
+    // Both flows behind the same `Solver` trait, driven generically, on one
+    // shared problem (one manager), so the computed CSFs can be compared
+    // directly. (For timing-faithful standalone runs the bench harness uses
+    // a fresh manager per run instead; this example favours the
+    // cross-check.)
+    let solvers: Vec<Box<dyn Solver>> = vec![
+        Box::new(Partitioned::new(PartitionedOptions {
             limits,
             ..PartitionedOptions::paper()
-        },
-    );
-    let part_time = t0.elapsed();
-    match &part {
-        Outcome::Solved(sol) => println!(
-            "partitioned: {:.2}s, {} subset states, CSF has {} states",
-            part_time.as_secs_f64(),
-            sol.stats.subset_states,
-            sol.csf.num_states()
-        ),
-        Outcome::Cnc(r) => println!("partitioned: {r}"),
+        })),
+        Box::new(Monolithic::new(MonolithicOptions { limits })),
+    ];
+    let problem = LatchSplitProblem::new(&inst.network, &inst.unknown_latches).unwrap();
+    let mut outcomes = Vec::new();
+    for solver in &solvers {
+        let t0 = std::time::Instant::now();
+        let outcome = solver.solve(&problem.equation, &Control::default());
+        let elapsed = t0.elapsed();
+        match &outcome {
+            Outcome::Solved(sol) => println!(
+                "{:<12} {:.2}s, {} subset states, CSF has {} states",
+                format!("{}:", solver.kind()),
+                elapsed.as_secs_f64(),
+                sol.stats.subset_states,
+                sol.csf.num_states()
+            ),
+            Outcome::Cnc(r) => println!("{:<12} {r}", format!("{}:", solver.kind())),
+        }
+        outcomes.push(outcome);
     }
-
-    // Monolithic baseline on a fresh problem instance.
-    let problem2 = LatchSplitProblem::new(&inst.network, &inst.unknown_latches).unwrap();
-    let t0 = std::time::Instant::now();
-    let mono = langeq::core::solve_monolithic(&problem2.equation, &MonolithicOptions { limits });
-    let mono_time = t0.elapsed();
-    match &mono {
-        Outcome::Solved(sol) => println!(
-            "monolithic:  {:.2}s, {} subset states, CSF has {} states",
-            mono_time.as_secs_f64(),
-            sol.stats.subset_states,
-            sol.csf.num_states()
-        ),
-        Outcome::Cnc(r) => println!("monolithic:  {r}"),
-    }
+    let (mono, part) = (outcomes.pop().unwrap(), outcomes.pop().unwrap());
 
     // Corollary 1: the two flows compute the same language.
     if let (Some(p), Some(m)) = (part.solution(), mono.solution()) {

@@ -61,8 +61,10 @@ fn main() {
 
     // --- solve ----------------------------------------------------------------
     let eq = LanguageEquation::new(vars, f, s);
-    let solution = langeq::core::solve_partitioned(&eq, &PartitionedOptions::paper());
-    let solution = solution.expect_solved();
+    let solution = SolveRequest::partitioned()
+        .run(&eq)
+        .into_result()
+        .expect("the adapter equation solves");
     println!(
         "CSF of the adapter: {} states\n\n{}",
         solution.csf.num_states(),

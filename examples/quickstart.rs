@@ -34,9 +34,22 @@ fn main() {
         problem.xp.num_latches()
     );
 
-    // 3. Solve with the paper's partitioned flow.
-    let outcome = langeq::core::solve_partitioned(&problem.equation, &PartitionedOptions::paper());
-    let solution = outcome.expect_solved();
+    // 3. Solve with the paper's partitioned flow, watching progress
+    //    through the engine API's observer (the same hook a UI or a service
+    //    would use; Ctrl-C cancellation rides on the `CancelToken` the same
+    //    way — see `langeq solve --progress`).
+    let outcome = SolveRequest::partitioned()
+        .on_progress(|event| {
+            if let SolveEvent::SubsetState {
+                discovered,
+                frontier,
+            } = event
+            {
+                println!("  progress: {discovered} subset states ({frontier} frontier)");
+            }
+        })
+        .run(&problem.equation);
+    let solution = outcome.into_result().expect("figure 3 solves");
     println!(
         "most general solution: {} states ({} subset states explored)",
         solution.general.num_states(),

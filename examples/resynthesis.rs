@@ -31,8 +31,10 @@ fn main() {
     );
 
     let problem = LatchSplitProblem::new(&network, &unknown).expect("split is valid");
-    let solution = langeq::core::solve_partitioned(&problem.equation, &PartitionedOptions::paper());
-    let solution = solution.expect_solved();
+    let solution = SolveRequest::partitioned()
+        .run(&problem.equation)
+        .into_result()
+        .expect("resynthesis instance solves");
     let vars = &problem.equation.vars;
     println!(
         "CSF: {} states, {} transitions (X_P had {} latches = {} states)",

@@ -30,8 +30,8 @@ fn main() {
             num_u: 2, // u0 = forwarded request, u1 = machine status
             num_v: 1, // v = run command
             num_o: 1,
-            num_f_latches: 1,  // the machine state
-            num_s_latches: 2,  // spec: previous request, previous output
+            num_f_latches: 1, // the machine state
+            num_s_latches: 2, // spec: previous request, previous output
         },
     );
 
@@ -77,8 +77,10 @@ fn main() {
 
     // --- solve -------------------------------------------------------------------
     let eq = LanguageEquation::new(vars, f, s);
-    let solution = langeq::core::solve_partitioned(&eq, &PartitionedOptions::paper());
-    let solution = solution.expect_solved();
+    let solution = SolveRequest::partitioned()
+        .run(&eq)
+        .into_result()
+        .expect("the supervisory-control equation solves");
     println!(
         "controller CSF: {} states ({} subset states explored)",
         solution.csf.num_states(),

@@ -34,8 +34,10 @@ pub mod prelude {
     pub use langeq_bdd::{Bdd, BddManager, VarId};
     pub use langeq_core::extract::SelectionStrategy;
     pub use langeq_core::{
-        LanguageEquation, LatchSplitProblem, MonolithicOptions, Outcome, PartitionedFsm,
-        PartitionedOptions, Solution, SolverKind, StateOrder, VarUniverse,
+        Algorithm1, CancelToken, CncReason, Control, LanguageEquation, LatchSplitProblem,
+        Monolithic, MonolithicOptions, Outcome, Partitioned, PartitionedFsm, PartitionedOptions,
+        Solution, SolveEvent, SolveRequest, Solver, SolverKind, SolverLimits, StateOrder,
+        VarUniverse,
     };
     pub use langeq_image::{ImageComputer, QuantSchedule};
     pub use langeq_logic::kiss::MealyFsm;

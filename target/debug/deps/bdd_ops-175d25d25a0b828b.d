@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bdd_ops-175d25d25a0b828b.d: crates/bench/benches/bdd_ops.rs
+
+/root/repo/target/debug/deps/bdd_ops-175d25d25a0b828b: crates/bench/benches/bdd_ops.rs
+
+crates/bench/benches/bdd_ops.rs:

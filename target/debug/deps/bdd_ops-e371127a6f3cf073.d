@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bdd_ops-e371127a6f3cf073.d: crates/bench/benches/bdd_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbdd_ops-e371127a6f3cf073.rmeta: crates/bench/benches/bdd_ops.rs Cargo.toml
+
+crates/bench/benches/bdd_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

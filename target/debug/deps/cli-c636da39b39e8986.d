@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-c636da39b39e8986.d: crates/cli/tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-c636da39b39e8986.rmeta: crates/cli/tests/cli.rs Cargo.toml
+
+crates/cli/tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_langeq=placeholder:langeq
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-ef3f57d2d74d898b.d: crates/cli/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-ef3f57d2d74d898b: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_langeq=/root/repo/target/debug/langeq

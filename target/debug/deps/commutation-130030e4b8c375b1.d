@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/commutation-130030e4b8c375b1.d: tests/commutation.rs
+
+/root/repo/target/debug/deps/commutation-130030e4b8c375b1: tests/commutation.rs
+
+tests/commutation.rs:

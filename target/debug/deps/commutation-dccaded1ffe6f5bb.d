@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/commutation-dccaded1ffe6f5bb.d: tests/commutation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcommutation-dccaded1ffe6f5bb.rmeta: tests/commutation.rs Cargo.toml
+
+tests/commutation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

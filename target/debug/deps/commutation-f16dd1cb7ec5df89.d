@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/commutation-f16dd1cb7ec5df89.d: tests/commutation.rs
+
+/root/repo/target/debug/deps/libcommutation-f16dd1cb7ec5df89.rmeta: tests/commutation.rs
+
+tests/commutation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-b4c1f705cd52b33a.d: crates/criterion-shim/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-b4c1f705cd52b33a: crates/criterion-shim/src/lib.rs
+
+crates/criterion-shim/src/lib.rs:

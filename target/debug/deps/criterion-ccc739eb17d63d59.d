@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-ccc739eb17d63d59.d: crates/criterion-shim/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-ccc739eb17d63d59.rlib: crates/criterion-shim/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-ccc739eb17d63d59.rmeta: crates/criterion-shim/src/lib.rs
+
+crates/criterion-shim/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-5bc9c1bf72075537.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-5bc9c1bf72075537: tests/end_to_end.rs
+
+tests/end_to_end.rs:

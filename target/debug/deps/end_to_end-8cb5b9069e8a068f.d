@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-8cb5b9069e8a068f.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-8cb5b9069e8a068f.rmeta: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_api-3e1e89361678605d.d: tests/engine_api.rs
+
+/root/repo/target/debug/deps/engine_api-3e1e89361678605d: tests/engine_api.rs
+
+tests/engine_api.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_api-eb04425fa825f680.d: tests/engine_api.rs
+
+/root/repo/target/debug/deps/libengine_api-eb04425fa825f680.rmeta: tests/engine_api.rs
+
+tests/engine_api.rs:

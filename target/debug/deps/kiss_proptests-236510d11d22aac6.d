@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kiss_proptests-236510d11d22aac6.d: crates/logic/tests/kiss_proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkiss_proptests-236510d11d22aac6.rmeta: crates/logic/tests/kiss_proptests.rs Cargo.toml
+
+crates/logic/tests/kiss_proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kiss_proptests-d9f0cebe3de611f3.d: crates/logic/tests/kiss_proptests.rs
+
+/root/repo/target/debug/deps/kiss_proptests-d9f0cebe3de611f3: crates/logic/tests/kiss_proptests.rs
+
+crates/logic/tests/kiss_proptests.rs:

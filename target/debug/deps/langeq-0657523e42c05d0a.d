@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/langeq-0657523e42c05d0a.d: src/lib.rs
+
+/root/repo/target/debug/deps/langeq-0657523e42c05d0a: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/langeq-158397f2017be014.d: crates/cli/src/main.rs crates/cli/src/cliargs.rs crates/cli/src/commands/mod.rs crates/cli/src/commands/aut.rs crates/cli/src/commands/net.rs crates/cli/src/commands/solve.rs crates/cli/src/io.rs crates/cli/src/sigint.rs
+
+/root/repo/target/debug/deps/langeq-158397f2017be014: crates/cli/src/main.rs crates/cli/src/cliargs.rs crates/cli/src/commands/mod.rs crates/cli/src/commands/aut.rs crates/cli/src/commands/net.rs crates/cli/src/commands/solve.rs crates/cli/src/io.rs crates/cli/src/sigint.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/cliargs.rs:
+crates/cli/src/commands/mod.rs:
+crates/cli/src/commands/aut.rs:
+crates/cli/src/commands/net.rs:
+crates/cli/src/commands/solve.rs:
+crates/cli/src/io.rs:
+crates/cli/src/sigint.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/langeq-1edade502991129c.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblangeq-1edade502991129c.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/langeq-4cbbef2798924e44.d: src/lib.rs
+
+/root/repo/target/debug/deps/liblangeq-4cbbef2798924e44.rmeta: src/lib.rs
+
+src/lib.rs:

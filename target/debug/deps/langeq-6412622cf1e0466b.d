@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/langeq-6412622cf1e0466b.d: src/lib.rs
+
+/root/repo/target/debug/deps/liblangeq-6412622cf1e0466b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liblangeq-6412622cf1e0466b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/langeq-8ed53c89964445f2.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblangeq-8ed53c89964445f2.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/langeq-e9d181fe01581249.d: src/lib.rs
+
+/root/repo/target/debug/deps/liblangeq-e9d181fe01581249.rmeta: src/lib.rs
+
+src/lib.rs:

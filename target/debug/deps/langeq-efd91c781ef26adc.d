@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/langeq-efd91c781ef26adc.d: crates/cli/src/main.rs crates/cli/src/cliargs.rs crates/cli/src/commands/mod.rs crates/cli/src/commands/aut.rs crates/cli/src/commands/net.rs crates/cli/src/commands/solve.rs crates/cli/src/io.rs crates/cli/src/sigint.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblangeq-efd91c781ef26adc.rmeta: crates/cli/src/main.rs crates/cli/src/cliargs.rs crates/cli/src/commands/mod.rs crates/cli/src/commands/aut.rs crates/cli/src/commands/net.rs crates/cli/src/commands/solve.rs crates/cli/src/io.rs crates/cli/src/sigint.rs Cargo.toml
+
+crates/cli/src/main.rs:
+crates/cli/src/cliargs.rs:
+crates/cli/src/commands/mod.rs:
+crates/cli/src/commands/aut.rs:
+crates/cli/src/commands/net.rs:
+crates/cli/src/commands/solve.rs:
+crates/cli/src/io.rs:
+crates/cli/src/sigint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/langeq_automata-930690cf8fe88b93.d: crates/automata/src/lib.rs crates/automata/src/check.rs crates/automata/src/dot.rs crates/automata/src/format.rs crates/automata/src/minimize.rs crates/automata/src/ops.rs crates/automata/src/random.rs
+
+/root/repo/target/debug/deps/langeq_automata-930690cf8fe88b93: crates/automata/src/lib.rs crates/automata/src/check.rs crates/automata/src/dot.rs crates/automata/src/format.rs crates/automata/src/minimize.rs crates/automata/src/ops.rs crates/automata/src/random.rs
+
+crates/automata/src/lib.rs:
+crates/automata/src/check.rs:
+crates/automata/src/dot.rs:
+crates/automata/src/format.rs:
+crates/automata/src/minimize.rs:
+crates/automata/src/ops.rs:
+crates/automata/src/random.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/langeq_automata-b2b6170417a2cd2f.d: crates/automata/src/lib.rs crates/automata/src/check.rs crates/automata/src/dot.rs crates/automata/src/format.rs crates/automata/src/minimize.rs crates/automata/src/ops.rs crates/automata/src/random.rs
+
+/root/repo/target/debug/deps/liblangeq_automata-b2b6170417a2cd2f.rlib: crates/automata/src/lib.rs crates/automata/src/check.rs crates/automata/src/dot.rs crates/automata/src/format.rs crates/automata/src/minimize.rs crates/automata/src/ops.rs crates/automata/src/random.rs
+
+/root/repo/target/debug/deps/liblangeq_automata-b2b6170417a2cd2f.rmeta: crates/automata/src/lib.rs crates/automata/src/check.rs crates/automata/src/dot.rs crates/automata/src/format.rs crates/automata/src/minimize.rs crates/automata/src/ops.rs crates/automata/src/random.rs
+
+crates/automata/src/lib.rs:
+crates/automata/src/check.rs:
+crates/automata/src/dot.rs:
+crates/automata/src/format.rs:
+crates/automata/src/minimize.rs:
+crates/automata/src/ops.rs:
+crates/automata/src/random.rs:

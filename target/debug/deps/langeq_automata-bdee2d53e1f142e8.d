@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/langeq_automata-bdee2d53e1f142e8.d: crates/automata/src/lib.rs crates/automata/src/check.rs crates/automata/src/dot.rs crates/automata/src/format.rs crates/automata/src/minimize.rs crates/automata/src/ops.rs crates/automata/src/random.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblangeq_automata-bdee2d53e1f142e8.rmeta: crates/automata/src/lib.rs crates/automata/src/check.rs crates/automata/src/dot.rs crates/automata/src/format.rs crates/automata/src/minimize.rs crates/automata/src/ops.rs crates/automata/src/random.rs Cargo.toml
+
+crates/automata/src/lib.rs:
+crates/automata/src/check.rs:
+crates/automata/src/dot.rs:
+crates/automata/src/format.rs:
+crates/automata/src/minimize.rs:
+crates/automata/src/ops.rs:
+crates/automata/src/random.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

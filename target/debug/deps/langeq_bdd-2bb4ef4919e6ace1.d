@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/langeq_bdd-2bb4ef4919e6ace1.d: crates/bdd/src/lib.rs crates/bdd/src/cube.rs crates/bdd/src/decompose.rs crates/bdd/src/dot.rs crates/bdd/src/error.rs crates/bdd/src/inner.rs crates/bdd/src/manager.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblangeq_bdd-2bb4ef4919e6ace1.rmeta: crates/bdd/src/lib.rs crates/bdd/src/cube.rs crates/bdd/src/decompose.rs crates/bdd/src/dot.rs crates/bdd/src/error.rs crates/bdd/src/inner.rs crates/bdd/src/manager.rs Cargo.toml
+
+crates/bdd/src/lib.rs:
+crates/bdd/src/cube.rs:
+crates/bdd/src/decompose.rs:
+crates/bdd/src/dot.rs:
+crates/bdd/src/error.rs:
+crates/bdd/src/inner.rs:
+crates/bdd/src/manager.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/langeq_bdd-56a0075ec76ded9e.d: crates/bdd/src/lib.rs crates/bdd/src/cube.rs crates/bdd/src/decompose.rs crates/bdd/src/dot.rs crates/bdd/src/error.rs crates/bdd/src/inner.rs crates/bdd/src/manager.rs
+
+/root/repo/target/debug/deps/liblangeq_bdd-56a0075ec76ded9e.rlib: crates/bdd/src/lib.rs crates/bdd/src/cube.rs crates/bdd/src/decompose.rs crates/bdd/src/dot.rs crates/bdd/src/error.rs crates/bdd/src/inner.rs crates/bdd/src/manager.rs
+
+/root/repo/target/debug/deps/liblangeq_bdd-56a0075ec76ded9e.rmeta: crates/bdd/src/lib.rs crates/bdd/src/cube.rs crates/bdd/src/decompose.rs crates/bdd/src/dot.rs crates/bdd/src/error.rs crates/bdd/src/inner.rs crates/bdd/src/manager.rs
+
+crates/bdd/src/lib.rs:
+crates/bdd/src/cube.rs:
+crates/bdd/src/decompose.rs:
+crates/bdd/src/dot.rs:
+crates/bdd/src/error.rs:
+crates/bdd/src/inner.rs:
+crates/bdd/src/manager.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/langeq_bdd-90e4320e5b2030cb.d: crates/bdd/src/lib.rs crates/bdd/src/cube.rs crates/bdd/src/decompose.rs crates/bdd/src/dot.rs crates/bdd/src/error.rs crates/bdd/src/inner.rs crates/bdd/src/manager.rs
+
+/root/repo/target/debug/deps/liblangeq_bdd-90e4320e5b2030cb.rmeta: crates/bdd/src/lib.rs crates/bdd/src/cube.rs crates/bdd/src/decompose.rs crates/bdd/src/dot.rs crates/bdd/src/error.rs crates/bdd/src/inner.rs crates/bdd/src/manager.rs
+
+crates/bdd/src/lib.rs:
+crates/bdd/src/cube.rs:
+crates/bdd/src/decompose.rs:
+crates/bdd/src/dot.rs:
+crates/bdd/src/error.rs:
+crates/bdd/src/inner.rs:
+crates/bdd/src/manager.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/langeq_bench-1ce6400dfcab7ca1.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblangeq_bench-1ce6400dfcab7ca1.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/langeq_bench-c67a8a6cda89ae81.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liblangeq_bench-c67a8a6cda89ae81.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liblangeq_bench-c67a8a6cda89ae81.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

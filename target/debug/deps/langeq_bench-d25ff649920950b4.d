@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/langeq_bench-d25ff649920950b4.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/langeq_bench-d25ff649920950b4: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/langeq_core-3a65a6dd0baa5d96.d: crates/core/src/lib.rs crates/core/src/algorithm1.rs crates/core/src/equation.rs crates/core/src/extract.rs crates/core/src/fsm.rs crates/core/src/reencode.rs crates/core/src/solver/mod.rs crates/core/src/solver/control.rs crates/core/src/solver/engine.rs crates/core/src/solver/monolithic.rs crates/core/src/solver/partitioned.rs crates/core/src/solver/session.rs crates/core/src/universe.rs crates/core/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblangeq_core-3a65a6dd0baa5d96.rmeta: crates/core/src/lib.rs crates/core/src/algorithm1.rs crates/core/src/equation.rs crates/core/src/extract.rs crates/core/src/fsm.rs crates/core/src/reencode.rs crates/core/src/solver/mod.rs crates/core/src/solver/control.rs crates/core/src/solver/engine.rs crates/core/src/solver/monolithic.rs crates/core/src/solver/partitioned.rs crates/core/src/solver/session.rs crates/core/src/universe.rs crates/core/src/verify.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/algorithm1.rs:
+crates/core/src/equation.rs:
+crates/core/src/extract.rs:
+crates/core/src/fsm.rs:
+crates/core/src/reencode.rs:
+crates/core/src/solver/mod.rs:
+crates/core/src/solver/control.rs:
+crates/core/src/solver/engine.rs:
+crates/core/src/solver/monolithic.rs:
+crates/core/src/solver/partitioned.rs:
+crates/core/src/solver/session.rs:
+crates/core/src/universe.rs:
+crates/core/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

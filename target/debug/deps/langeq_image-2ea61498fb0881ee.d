@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/langeq_image-2ea61498fb0881ee.d: crates/image/src/lib.rs
+
+/root/repo/target/debug/deps/liblangeq_image-2ea61498fb0881ee.rmeta: crates/image/src/lib.rs
+
+crates/image/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/langeq_image-4f8bb063fd067c47.d: crates/image/src/lib.rs
+
+/root/repo/target/debug/deps/liblangeq_image-4f8bb063fd067c47.rlib: crates/image/src/lib.rs
+
+/root/repo/target/debug/deps/liblangeq_image-4f8bb063fd067c47.rmeta: crates/image/src/lib.rs
+
+crates/image/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/langeq_image-c19b39605af5ba2c.d: crates/image/src/lib.rs
+
+/root/repo/target/debug/deps/langeq_image-c19b39605af5ba2c: crates/image/src/lib.rs
+
+crates/image/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/langeq_image-d7a1c4a8f94307c0.d: crates/image/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblangeq_image-d7a1c4a8f94307c0.rmeta: crates/image/src/lib.rs Cargo.toml
+
+crates/image/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

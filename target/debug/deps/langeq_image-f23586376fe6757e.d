@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/langeq_image-f23586376fe6757e.d: crates/image/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblangeq_image-f23586376fe6757e.rmeta: crates/image/src/lib.rs Cargo.toml
+
+crates/image/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

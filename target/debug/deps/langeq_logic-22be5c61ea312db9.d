@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/langeq_logic-22be5c61ea312db9.d: crates/logic/src/lib.rs crates/logic/src/bench_fmt.rs crates/logic/src/blif.rs crates/logic/src/gen.rs crates/logic/src/kiss.rs crates/logic/src/network.rs crates/logic/src/stg.rs
+
+/root/repo/target/debug/deps/liblangeq_logic-22be5c61ea312db9.rmeta: crates/logic/src/lib.rs crates/logic/src/bench_fmt.rs crates/logic/src/blif.rs crates/logic/src/gen.rs crates/logic/src/kiss.rs crates/logic/src/network.rs crates/logic/src/stg.rs
+
+crates/logic/src/lib.rs:
+crates/logic/src/bench_fmt.rs:
+crates/logic/src/blif.rs:
+crates/logic/src/gen.rs:
+crates/logic/src/kiss.rs:
+crates/logic/src/network.rs:
+crates/logic/src/stg.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/langeq_logic-94093c9ed55fb67a.d: crates/logic/src/lib.rs crates/logic/src/bench_fmt.rs crates/logic/src/blif.rs crates/logic/src/gen.rs crates/logic/src/kiss.rs crates/logic/src/network.rs crates/logic/src/stg.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblangeq_logic-94093c9ed55fb67a.rmeta: crates/logic/src/lib.rs crates/logic/src/bench_fmt.rs crates/logic/src/blif.rs crates/logic/src/gen.rs crates/logic/src/kiss.rs crates/logic/src/network.rs crates/logic/src/stg.rs Cargo.toml
+
+crates/logic/src/lib.rs:
+crates/logic/src/bench_fmt.rs:
+crates/logic/src/blif.rs:
+crates/logic/src/gen.rs:
+crates/logic/src/kiss.rs:
+crates/logic/src/network.rs:
+crates/logic/src/stg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/op_laws-be94067a58bb209b.d: crates/automata/tests/op_laws.rs
+
+/root/repo/target/debug/deps/op_laws-be94067a58bb209b: crates/automata/tests/op_laws.rs
+
+crates/automata/tests/op_laws.rs:

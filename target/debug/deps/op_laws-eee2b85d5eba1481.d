@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/op_laws-eee2b85d5eba1481.d: crates/automata/tests/op_laws.rs Cargo.toml
+
+/root/repo/target/debug/deps/libop_laws-eee2b85d5eba1481.rmeta: crates/automata/tests/op_laws.rs Cargo.toml
+
+crates/automata/tests/op_laws.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

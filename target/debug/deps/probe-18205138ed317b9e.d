@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe-18205138ed317b9e.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/debug/deps/probe-18205138ed317b9e: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe-8677faf90bf60785.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/debug/deps/probe-8677faf90bf60785: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-2824e721bb36fc93.d: crates/proptest-shim/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-2824e721bb36fc93.rmeta: crates/proptest-shim/src/lib.rs Cargo.toml
+
+crates/proptest-shim/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

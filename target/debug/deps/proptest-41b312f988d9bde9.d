@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-41b312f988d9bde9.d: crates/proptest-shim/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-41b312f988d9bde9: crates/proptest-shim/src/lib.rs
+
+crates/proptest-shim/src/lib.rs:

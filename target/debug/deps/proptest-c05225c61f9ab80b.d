@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-c05225c61f9ab80b.d: crates/proptest-shim/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-c05225c61f9ab80b.rlib: crates/proptest-shim/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-c05225c61f9ab80b.rmeta: crates/proptest-shim/src/lib.rs
+
+crates/proptest-shim/src/lib.rs:

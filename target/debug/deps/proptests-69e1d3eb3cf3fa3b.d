@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-69e1d3eb3cf3fa3b.d: crates/bdd/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-69e1d3eb3cf3fa3b.rmeta: crates/bdd/tests/proptests.rs Cargo.toml
+
+crates/bdd/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-b730aeb4dad8763e.d: crates/bdd/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-b730aeb4dad8763e: crates/bdd/tests/proptests.rs
+
+crates/bdd/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quant_sched-2110bb8c4c8806c7.d: crates/bench/benches/quant_sched.rs
+
+/root/repo/target/debug/deps/quant_sched-2110bb8c4c8806c7: crates/bench/benches/quant_sched.rs
+
+crates/bench/benches/quant_sched.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quant_sched-47f6a583ea3489d3.d: crates/bench/benches/quant_sched.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquant_sched-47f6a583ea3489d3.rmeta: crates/bench/benches/quant_sched.rs Cargo.toml
+
+crates/bench/benches/quant_sched.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-023c725cc694e31c.d: crates/rand-shim/src/lib.rs
+
+/root/repo/target/debug/deps/librand-023c725cc694e31c.rmeta: crates/rand-shim/src/lib.rs
+
+crates/rand-shim/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-4754e42beb32bc02.d: crates/rand-shim/src/lib.rs
+
+/root/repo/target/debug/deps/librand-4754e42beb32bc02.rlib: crates/rand-shim/src/lib.rs
+
+/root/repo/target/debug/deps/librand-4754e42beb32bc02.rmeta: crates/rand-shim/src/lib.rs
+
+crates/rand-shim/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-bd48ca71ca41e8c6.d: crates/rand-shim/src/lib.rs
+
+/root/repo/target/debug/deps/rand-bd48ca71ca41e8c6: crates/rand-shim/src/lib.rs
+
+crates/rand-shim/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-cf9c7775b83a8d26.d: crates/rand-shim/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-cf9c7775b83a8d26.rmeta: crates/rand-shim/src/lib.rs Cargo.toml
+
+crates/rand-shim/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

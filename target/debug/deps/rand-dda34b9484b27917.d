@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-dda34b9484b27917.d: crates/rand-shim/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-dda34b9484b27917.rmeta: crates/rand-shim/src/lib.rs Cargo.toml
+
+crates/rand-shim/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reencode-3ef3d10262553db1.d: crates/bench/src/bin/reencode.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreencode-3ef3d10262553db1.rmeta: crates/bench/src/bin/reencode.rs Cargo.toml
+
+crates/bench/src/bin/reencode.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reencode-70d0a4b96bb397f2.d: crates/bench/src/bin/reencode.rs
+
+/root/repo/target/debug/deps/reencode-70d0a4b96bb397f2: crates/bench/src/bin/reencode.rs
+
+crates/bench/src/bin/reencode.rs:

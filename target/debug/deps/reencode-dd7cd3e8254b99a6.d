@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reencode-dd7cd3e8254b99a6.d: crates/bench/src/bin/reencode.rs
+
+/root/repo/target/debug/deps/reencode-dd7cd3e8254b99a6: crates/bench/src/bin/reencode.rs
+
+crates/bench/src/bin/reencode.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reencode-f9efeeda03b514c9.d: crates/bench/src/bin/reencode.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreencode-f9efeeda03b514c9.rmeta: crates/bench/src/bin/reencode.rs Cargo.toml
+
+crates/bench/src/bin/reencode.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

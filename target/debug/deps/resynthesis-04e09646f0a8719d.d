@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/resynthesis-04e09646f0a8719d.d: tests/resynthesis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libresynthesis-04e09646f0a8719d.rmeta: tests/resynthesis.rs Cargo.toml
+
+tests/resynthesis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

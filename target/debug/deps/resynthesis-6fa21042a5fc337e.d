@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resynthesis-6fa21042a5fc337e.d: tests/resynthesis.rs
+
+/root/repo/target/debug/deps/resynthesis-6fa21042a5fc337e: tests/resynthesis.rs
+
+tests/resynthesis.rs:

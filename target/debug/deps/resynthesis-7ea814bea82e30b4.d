@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resynthesis-7ea814bea82e30b4.d: tests/resynthesis.rs
+
+/root/repo/target/debug/deps/libresynthesis-7ea814bea82e30b4.rmeta: tests/resynthesis.rs
+
+tests/resynthesis.rs:

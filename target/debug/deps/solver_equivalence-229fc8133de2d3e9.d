@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solver_equivalence-229fc8133de2d3e9.d: tests/solver_equivalence.rs
+
+/root/repo/target/debug/deps/libsolver_equivalence-229fc8133de2d3e9.rmeta: tests/solver_equivalence.rs
+
+tests/solver_equivalence.rs:

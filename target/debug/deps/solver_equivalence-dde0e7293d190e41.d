@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solver_equivalence-dde0e7293d190e41.d: tests/solver_equivalence.rs
+
+/root/repo/target/debug/deps/solver_equivalence-dde0e7293d190e41: tests/solver_equivalence.rs
+
+tests/solver_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-38661ed346573250.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-38661ed346573250: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

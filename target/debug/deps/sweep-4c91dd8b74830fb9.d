@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-4c91dd8b74830fb9.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-4c91dd8b74830fb9: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

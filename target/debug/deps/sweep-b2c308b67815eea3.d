@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep-b2c308b67815eea3.d: crates/bench/src/bin/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep-b2c308b67815eea3.rmeta: crates/bench/src/bin/sweep.rs Cargo.toml
+
+crates/bench/src/bin/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-18e98e9a35fb54b6.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-18e98e9a35fb54b6: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

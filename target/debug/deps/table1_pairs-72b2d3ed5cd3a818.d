@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_pairs-72b2d3ed5cd3a818.d: crates/bench/benches/table1_pairs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_pairs-72b2d3ed5cd3a818.rmeta: crates/bench/benches/table1_pairs.rs Cargo.toml
+
+crates/bench/benches/table1_pairs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

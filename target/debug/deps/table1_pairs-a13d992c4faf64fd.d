@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_pairs-a13d992c4faf64fd.d: crates/bench/benches/table1_pairs.rs
+
+/root/repo/target/debug/deps/table1_pairs-a13d992c4faf64fd: crates/bench/benches/table1_pairs.rs
+
+crates/bench/benches/table1_pairs.rs:

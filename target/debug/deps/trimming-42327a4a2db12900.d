@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trimming-42327a4a2db12900.d: crates/bench/benches/trimming.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrimming-42327a4a2db12900.rmeta: crates/bench/benches/trimming.rs Cargo.toml
+
+crates/bench/benches/trimming.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

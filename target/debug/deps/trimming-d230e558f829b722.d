@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trimming-d230e558f829b722.d: crates/bench/benches/trimming.rs
+
+/root/repo/target/debug/deps/trimming-d230e558f829b722: crates/bench/benches/trimming.rs
+
+crates/bench/benches/trimming.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/var_order-67760e844fc6f39d.d: crates/bench/benches/var_order.rs
+
+/root/repo/target/debug/deps/var_order-67760e844fc6f39d: crates/bench/benches/var_order.rs
+
+crates/bench/benches/var_order.rs:

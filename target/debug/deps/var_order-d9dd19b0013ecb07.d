@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/var_order-d9dd19b0013ecb07.d: crates/bench/benches/var_order.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvar_order-d9dd19b0013ecb07.rmeta: crates/bench/benches/var_order.rs Cargo.toml
+
+crates/bench/benches/var_order.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

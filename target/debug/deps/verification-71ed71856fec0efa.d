@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verification-71ed71856fec0efa.d: tests/verification.rs
+
+/root/repo/target/debug/deps/libverification-71ed71856fec0efa.rmeta: tests/verification.rs
+
+tests/verification.rs:

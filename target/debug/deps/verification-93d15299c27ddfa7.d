@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verification-93d15299c27ddfa7.d: tests/verification.rs
+
+/root/repo/target/debug/deps/verification-93d15299c27ddfa7: tests/verification.rs
+
+tests/verification.rs:

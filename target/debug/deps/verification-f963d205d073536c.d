@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/verification-f963d205d073536c.d: tests/verification.rs Cargo.toml
+
+/root/repo/target/debug/deps/libverification-f963d205d073536c.rmeta: tests/verification.rs Cargo.toml
+
+tests/verification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

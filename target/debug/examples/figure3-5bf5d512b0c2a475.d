@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/figure3-5bf5d512b0c2a475.d: examples/figure3.rs
+
+/root/repo/target/debug/examples/libfigure3-5bf5d512b0c2a475.rmeta: examples/figure3.rs
+
+examples/figure3.rs:

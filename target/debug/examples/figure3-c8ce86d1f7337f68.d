@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/figure3-c8ce86d1f7337f68.d: examples/figure3.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfigure3-c8ce86d1f7337f68.rmeta: examples/figure3.rs Cargo.toml
+
+examples/figure3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

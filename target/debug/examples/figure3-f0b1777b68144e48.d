@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/figure3-f0b1777b68144e48.d: examples/figure3.rs
+
+/root/repo/target/debug/examples/figure3-f0b1777b68144e48: examples/figure3.rs
+
+examples/figure3.rs:

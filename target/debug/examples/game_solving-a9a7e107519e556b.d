@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/game_solving-a9a7e107519e556b.d: examples/game_solving.rs
+
+/root/repo/target/debug/examples/libgame_solving-a9a7e107519e556b.rmeta: examples/game_solving.rs
+
+examples/game_solving.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/game_solving-f0547a6a870aa27e.d: examples/game_solving.rs
+
+/root/repo/target/debug/examples/game_solving-f0547a6a870aa27e: examples/game_solving.rs
+
+examples/game_solving.rs:

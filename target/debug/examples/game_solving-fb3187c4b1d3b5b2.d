@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/game_solving-fb3187c4b1d3b5b2.d: examples/game_solving.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgame_solving-fb3187c4b1d3b5b2.rmeta: examples/game_solving.rs Cargo.toml
+
+examples/game_solving.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

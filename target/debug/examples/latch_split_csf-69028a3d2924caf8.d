@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/latch_split_csf-69028a3d2924caf8.d: examples/latch_split_csf.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblatch_split_csf-69028a3d2924caf8.rmeta: examples/latch_split_csf.rs Cargo.toml
+
+examples/latch_split_csf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

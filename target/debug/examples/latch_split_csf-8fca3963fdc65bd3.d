@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/latch_split_csf-8fca3963fdc65bd3.d: examples/latch_split_csf.rs
+
+/root/repo/target/debug/examples/liblatch_split_csf-8fca3963fdc65bd3.rmeta: examples/latch_split_csf.rs
+
+examples/latch_split_csf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/latch_split_csf-9b2c7d3b0b3403ac.d: examples/latch_split_csf.rs
+
+/root/repo/target/debug/examples/latch_split_csf-9b2c7d3b0b3403ac: examples/latch_split_csf.rs
+
+examples/latch_split_csf.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/protocol_adapter-769049c95f77084e.d: examples/protocol_adapter.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprotocol_adapter-769049c95f77084e.rmeta: examples/protocol_adapter.rs Cargo.toml
+
+examples/protocol_adapter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

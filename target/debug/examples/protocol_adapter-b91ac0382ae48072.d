@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/protocol_adapter-b91ac0382ae48072.d: examples/protocol_adapter.rs
+
+/root/repo/target/debug/examples/libprotocol_adapter-b91ac0382ae48072.rmeta: examples/protocol_adapter.rs
+
+examples/protocol_adapter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/protocol_adapter-f749695167c06249.d: examples/protocol_adapter.rs
+
+/root/repo/target/debug/examples/protocol_adapter-f749695167c06249: examples/protocol_adapter.rs
+
+examples/protocol_adapter.rs:

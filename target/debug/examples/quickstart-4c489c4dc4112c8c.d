@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4c489c4dc4112c8c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4c489c4dc4112c8c: examples/quickstart.rs
+
+examples/quickstart.rs:

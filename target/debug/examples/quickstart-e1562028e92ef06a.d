@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e1562028e92ef06a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-e1562028e92ef06a.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resynthesis-0b330f2db39a3d86.d: examples/resynthesis.rs
+
+/root/repo/target/debug/examples/libresynthesis-0b330f2db39a3d86.rmeta: examples/resynthesis.rs
+
+examples/resynthesis.rs:

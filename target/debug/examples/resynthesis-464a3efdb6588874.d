@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/resynthesis-464a3efdb6588874.d: examples/resynthesis.rs Cargo.toml
+
+/root/repo/target/debug/examples/libresynthesis-464a3efdb6588874.rmeta: examples/resynthesis.rs Cargo.toml
+
+examples/resynthesis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resynthesis-bfd73f3a0fb3a9ca.d: examples/resynthesis.rs
+
+/root/repo/target/debug/examples/resynthesis-bfd73f3a0fb3a9ca: examples/resynthesis.rs
+
+examples/resynthesis.rs:

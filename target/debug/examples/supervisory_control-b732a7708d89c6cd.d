@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/supervisory_control-b732a7708d89c6cd.d: examples/supervisory_control.rs
+
+/root/repo/target/debug/examples/libsupervisory_control-b732a7708d89c6cd.rmeta: examples/supervisory_control.rs
+
+examples/supervisory_control.rs:

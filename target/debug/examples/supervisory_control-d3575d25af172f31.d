@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/supervisory_control-d3575d25af172f31.d: examples/supervisory_control.rs
+
+/root/repo/target/debug/examples/supervisory_control-d3575d25af172f31: examples/supervisory_control.rs
+
+examples/supervisory_control.rs:

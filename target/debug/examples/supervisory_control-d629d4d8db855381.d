@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/supervisory_control-d629d4d8db855381.d: examples/supervisory_control.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsupervisory_control-d629d4d8db855381.rmeta: examples/supervisory_control.rs Cargo.toml
+
+examples/supervisory_control.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

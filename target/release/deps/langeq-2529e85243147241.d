@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/langeq-2529e85243147241.d: crates/cli/src/main.rs crates/cli/src/cliargs.rs crates/cli/src/commands/mod.rs crates/cli/src/commands/aut.rs crates/cli/src/commands/net.rs crates/cli/src/commands/solve.rs crates/cli/src/io.rs crates/cli/src/sigint.rs
+
+/root/repo/target/release/deps/langeq-2529e85243147241: crates/cli/src/main.rs crates/cli/src/cliargs.rs crates/cli/src/commands/mod.rs crates/cli/src/commands/aut.rs crates/cli/src/commands/net.rs crates/cli/src/commands/solve.rs crates/cli/src/io.rs crates/cli/src/sigint.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/cliargs.rs:
+crates/cli/src/commands/mod.rs:
+crates/cli/src/commands/aut.rs:
+crates/cli/src/commands/net.rs:
+crates/cli/src/commands/solve.rs:
+crates/cli/src/io.rs:
+crates/cli/src/sigint.rs:

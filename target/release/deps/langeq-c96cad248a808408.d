@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/langeq-c96cad248a808408.d: src/lib.rs
+
+/root/repo/target/release/deps/liblangeq-c96cad248a808408.rlib: src/lib.rs
+
+/root/repo/target/release/deps/liblangeq-c96cad248a808408.rmeta: src/lib.rs
+
+src/lib.rs:

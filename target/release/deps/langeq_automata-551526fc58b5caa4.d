@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/langeq_automata-551526fc58b5caa4.d: crates/automata/src/lib.rs crates/automata/src/check.rs crates/automata/src/dot.rs crates/automata/src/format.rs crates/automata/src/minimize.rs crates/automata/src/ops.rs crates/automata/src/random.rs
+
+/root/repo/target/release/deps/liblangeq_automata-551526fc58b5caa4.rlib: crates/automata/src/lib.rs crates/automata/src/check.rs crates/automata/src/dot.rs crates/automata/src/format.rs crates/automata/src/minimize.rs crates/automata/src/ops.rs crates/automata/src/random.rs
+
+/root/repo/target/release/deps/liblangeq_automata-551526fc58b5caa4.rmeta: crates/automata/src/lib.rs crates/automata/src/check.rs crates/automata/src/dot.rs crates/automata/src/format.rs crates/automata/src/minimize.rs crates/automata/src/ops.rs crates/automata/src/random.rs
+
+crates/automata/src/lib.rs:
+crates/automata/src/check.rs:
+crates/automata/src/dot.rs:
+crates/automata/src/format.rs:
+crates/automata/src/minimize.rs:
+crates/automata/src/ops.rs:
+crates/automata/src/random.rs:

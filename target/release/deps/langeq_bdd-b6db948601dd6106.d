@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/langeq_bdd-b6db948601dd6106.d: crates/bdd/src/lib.rs crates/bdd/src/cube.rs crates/bdd/src/decompose.rs crates/bdd/src/dot.rs crates/bdd/src/error.rs crates/bdd/src/inner.rs crates/bdd/src/manager.rs
+
+/root/repo/target/release/deps/liblangeq_bdd-b6db948601dd6106.rlib: crates/bdd/src/lib.rs crates/bdd/src/cube.rs crates/bdd/src/decompose.rs crates/bdd/src/dot.rs crates/bdd/src/error.rs crates/bdd/src/inner.rs crates/bdd/src/manager.rs
+
+/root/repo/target/release/deps/liblangeq_bdd-b6db948601dd6106.rmeta: crates/bdd/src/lib.rs crates/bdd/src/cube.rs crates/bdd/src/decompose.rs crates/bdd/src/dot.rs crates/bdd/src/error.rs crates/bdd/src/inner.rs crates/bdd/src/manager.rs
+
+crates/bdd/src/lib.rs:
+crates/bdd/src/cube.rs:
+crates/bdd/src/decompose.rs:
+crates/bdd/src/dot.rs:
+crates/bdd/src/error.rs:
+crates/bdd/src/inner.rs:
+crates/bdd/src/manager.rs:

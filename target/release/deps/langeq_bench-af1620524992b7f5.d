@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/langeq_bench-af1620524992b7f5.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/liblangeq_bench-af1620524992b7f5.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/liblangeq_bench-af1620524992b7f5.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/langeq_core-57f906cec09fe041.d: crates/core/src/lib.rs crates/core/src/algorithm1.rs crates/core/src/equation.rs crates/core/src/extract.rs crates/core/src/fsm.rs crates/core/src/reencode.rs crates/core/src/solver/mod.rs crates/core/src/solver/control.rs crates/core/src/solver/engine.rs crates/core/src/solver/monolithic.rs crates/core/src/solver/partitioned.rs crates/core/src/solver/session.rs crates/core/src/universe.rs crates/core/src/verify.rs
+
+/root/repo/target/release/deps/liblangeq_core-57f906cec09fe041.rlib: crates/core/src/lib.rs crates/core/src/algorithm1.rs crates/core/src/equation.rs crates/core/src/extract.rs crates/core/src/fsm.rs crates/core/src/reencode.rs crates/core/src/solver/mod.rs crates/core/src/solver/control.rs crates/core/src/solver/engine.rs crates/core/src/solver/monolithic.rs crates/core/src/solver/partitioned.rs crates/core/src/solver/session.rs crates/core/src/universe.rs crates/core/src/verify.rs
+
+/root/repo/target/release/deps/liblangeq_core-57f906cec09fe041.rmeta: crates/core/src/lib.rs crates/core/src/algorithm1.rs crates/core/src/equation.rs crates/core/src/extract.rs crates/core/src/fsm.rs crates/core/src/reencode.rs crates/core/src/solver/mod.rs crates/core/src/solver/control.rs crates/core/src/solver/engine.rs crates/core/src/solver/monolithic.rs crates/core/src/solver/partitioned.rs crates/core/src/solver/session.rs crates/core/src/universe.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/algorithm1.rs:
+crates/core/src/equation.rs:
+crates/core/src/extract.rs:
+crates/core/src/fsm.rs:
+crates/core/src/reencode.rs:
+crates/core/src/solver/mod.rs:
+crates/core/src/solver/control.rs:
+crates/core/src/solver/engine.rs:
+crates/core/src/solver/monolithic.rs:
+crates/core/src/solver/partitioned.rs:
+crates/core/src/solver/session.rs:
+crates/core/src/universe.rs:
+crates/core/src/verify.rs:

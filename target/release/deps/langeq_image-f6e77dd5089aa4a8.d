@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/langeq_image-f6e77dd5089aa4a8.d: crates/image/src/lib.rs
+
+/root/repo/target/release/deps/liblangeq_image-f6e77dd5089aa4a8.rlib: crates/image/src/lib.rs
+
+/root/repo/target/release/deps/liblangeq_image-f6e77dd5089aa4a8.rmeta: crates/image/src/lib.rs
+
+crates/image/src/lib.rs:

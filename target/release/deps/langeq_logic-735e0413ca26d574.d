@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/langeq_logic-735e0413ca26d574.d: crates/logic/src/lib.rs crates/logic/src/bench_fmt.rs crates/logic/src/blif.rs crates/logic/src/gen.rs crates/logic/src/kiss.rs crates/logic/src/network.rs crates/logic/src/stg.rs
+
+/root/repo/target/release/deps/liblangeq_logic-735e0413ca26d574.rlib: crates/logic/src/lib.rs crates/logic/src/bench_fmt.rs crates/logic/src/blif.rs crates/logic/src/gen.rs crates/logic/src/kiss.rs crates/logic/src/network.rs crates/logic/src/stg.rs
+
+/root/repo/target/release/deps/liblangeq_logic-735e0413ca26d574.rmeta: crates/logic/src/lib.rs crates/logic/src/bench_fmt.rs crates/logic/src/blif.rs crates/logic/src/gen.rs crates/logic/src/kiss.rs crates/logic/src/network.rs crates/logic/src/stg.rs
+
+crates/logic/src/lib.rs:
+crates/logic/src/bench_fmt.rs:
+crates/logic/src/blif.rs:
+crates/logic/src/gen.rs:
+crates/logic/src/kiss.rs:
+crates/logic/src/network.rs:
+crates/logic/src/stg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe-227218eea25ca3ea.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/release/deps/probe-227218eea25ca3ea: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-a92563eb48c4e123.d: crates/rand-shim/src/lib.rs
+
+/root/repo/target/release/deps/librand-a92563eb48c4e123.rlib: crates/rand-shim/src/lib.rs
+
+/root/repo/target/release/deps/librand-a92563eb48c4e123.rmeta: crates/rand-shim/src/lib.rs
+
+crates/rand-shim/src/lib.rs:

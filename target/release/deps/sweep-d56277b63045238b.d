@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep-d56277b63045238b.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/release/deps/sweep-d56277b63045238b: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/figure3-3f864d84e3663aee.d: examples/figure3.rs
+
+/root/repo/target/release/examples/figure3-3f864d84e3663aee: examples/figure3.rs
+
+examples/figure3.rs:

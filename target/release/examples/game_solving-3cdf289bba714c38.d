@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/game_solving-3cdf289bba714c38.d: examples/game_solving.rs
+
+/root/repo/target/release/examples/game_solving-3cdf289bba714c38: examples/game_solving.rs
+
+examples/game_solving.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/latch_split_csf-9666af7af8b871fd.d: examples/latch_split_csf.rs
+
+/root/repo/target/release/examples/latch_split_csf-9666af7af8b871fd: examples/latch_split_csf.rs
+
+examples/latch_split_csf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/protocol_adapter-977436f9d7388b72.d: examples/protocol_adapter.rs
+
+/root/repo/target/release/examples/protocol_adapter-977436f9d7388b72: examples/protocol_adapter.rs
+
+examples/protocol_adapter.rs:

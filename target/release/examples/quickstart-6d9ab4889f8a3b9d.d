@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-6d9ab4889f8a3b9d.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-6d9ab4889f8a3b9d: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/resynthesis-7f1c0499e61c012f.d: examples/resynthesis.rs
+
+/root/repo/target/release/examples/resynthesis-7f1c0499e61c012f: examples/resynthesis.rs
+
+examples/resynthesis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/supervisory_control-8ef0b4c13de33018.d: examples/supervisory_control.rs
+
+/root/repo/target/release/examples/supervisory_control-8ef0b4c13de33018: examples/supervisory_control.rs
+
+examples/supervisory_control.rs:

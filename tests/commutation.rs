@@ -48,8 +48,10 @@ fn corollary1_eager_vs_deferred_completion() {
         let p = LatchSplitProblem::new(&net, &unknown).expect("split");
         let (eager_pc, eager_csf) = solve_generic_with_eager_completion(&p.equation);
         let deferred = algorithm1::solve_generic(&p.equation);
-        let part = langeq::core::solve_partitioned(&p.equation, &PartitionedOptions::paper());
-        let part = part.expect_solved();
+        let part = SolveRequest::partitioned()
+            .run(&p.equation)
+            .into_result()
+            .expect("partitioned solves");
         let label = format!("{} / {:?}", net.name(), unknown);
         assert!(
             eager_pc.equivalent(&deferred.prefix_closed),
@@ -70,8 +72,10 @@ fn corollary1_eager_vs_deferred_completion() {
 fn progressive_is_idempotent_on_csf() {
     let net = gen::figure3();
     let p = LatchSplitProblem::new(&net, &[1]).expect("split");
-    let sol = langeq::core::solve_partitioned(&p.equation, &PartitionedOptions::paper());
-    let sol = sol.expect_solved();
+    let sol = SolveRequest::partitioned()
+        .run(&p.equation)
+        .into_result()
+        .expect("partitioned solves");
     let again = sol.csf.progressive(&p.equation.vars.u);
     assert!(again.equivalent(&sol.csf));
     let pc_again = sol.prefix_closed.prefix_close();

@@ -21,8 +21,10 @@ q0 = BUFF(q)
 ";
     let net = bench_fmt::parse(text).expect("parses");
     let p = LatchSplitProblem::new(&net, &[0]).expect("split");
-    let sol = langeq::core::solve_partitioned(&p.equation, &PartitionedOptions::paper());
-    let sol = sol.expect_solved();
+    let sol = SolveRequest::partitioned()
+        .run(&p.equation)
+        .into_result()
+        .expect("bench circuit solves");
     assert!(sol.csf.initial().is_some());
     assert!(verify_latch_split(&p, &sol.csf).all_passed());
 }
@@ -43,8 +45,10 @@ fn blif_text_to_csf() {
 ";
     let net = blif::parse(text).expect("parses");
     let p = LatchSplitProblem::new(&net, &[0]).expect("split");
-    let sol = langeq::core::solve_partitioned(&p.equation, &PartitionedOptions::paper());
-    let sol = sol.expect_solved();
+    let sol = SolveRequest::partitioned()
+        .run(&p.equation)
+        .into_result()
+        .expect("blif circuit solves");
     assert!(verify_latch_split(&p, &sol.csf).all_passed());
 }
 
@@ -61,8 +65,10 @@ fn table1_smallest_instance_solves_and_verifies() {
         },
         ..PartitionedOptions::paper()
     };
-    let sol = langeq::core::solve_partitioned(&p.equation, &opts);
-    let sol = sol.expect_solved();
+    let sol = Partitioned::new(opts)
+        .solve_unmonitored(&p.equation)
+        .into_result()
+        .expect("sim_s510 solves within the limits");
     assert!(sol.csf.initial().is_some(), "flexibility must be nonempty");
     assert!(verify_latch_split(&p, &sol.csf).all_passed());
 }
@@ -76,10 +82,14 @@ fn round_trip_through_blif_preserves_csf() {
     let net2 = blif::parse(&text).expect("round trip parses");
     let p1 = LatchSplitProblem::new(&net, &[1]).unwrap();
     let p2 = LatchSplitProblem::new(&net2, &[1]).unwrap();
-    let s1 = langeq::core::solve_partitioned(&p1.equation, &PartitionedOptions::paper());
-    let s2 = langeq::core::solve_partitioned(&p2.equation, &PartitionedOptions::paper());
-    let a = s1.expect_solved();
-    let b = s2.expect_solved();
+    let a = SolveRequest::partitioned()
+        .run(&p1.equation)
+        .into_result()
+        .expect("original solves");
+    let b = SolveRequest::partitioned()
+        .run(&p2.equation)
+        .into_result()
+        .expect("round-tripped network solves");
     // Different managers: compare structurally via state counts and via
     // acceptance on sampled words mapped through each universe.
     assert_eq!(a.csf.num_states(), b.csf.num_states());
@@ -99,7 +109,7 @@ fn timeout_limit_reports_cnc() {
         },
         ..PartitionedOptions::paper()
     };
-    match langeq::core::solve_partitioned(&p.equation, &opts) {
+    match Partitioned::new(opts).solve_unmonitored(&p.equation) {
         Outcome::Cnc(langeq::core::CncReason::Timeout(_)) => {}
         other => panic!("expected timeout CNC, got {other:?}"),
     }

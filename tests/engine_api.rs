@@ -1,0 +1,198 @@
+//! Integration tests for the unified `Solver` engine API: builder
+//! configuration, cooperative cancellation, deadline handling, progress
+//! observation, and `Outcome` conversions — including the contract that a
+//! cancelled solve leaves the `BddManager` immediately reusable.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use langeq::prelude::*;
+use langeq_logic::gen;
+
+fn midsize_problem() -> LatchSplitProblem {
+    // A 6-latch counter split in half: enough subset states that several
+    // checkpoints fire, small enough to stay fast.
+    let net = gen::counter("c6", 6);
+    LatchSplitProblem::new(&net, &[3, 4, 5]).expect("split")
+}
+
+#[test]
+fn cancellation_mid_solve_returns_cnc_and_manager_stays_usable() {
+    let p = midsize_problem();
+    let token = CancelToken::new();
+
+    // Cancel from *inside* the solve, after the second subset state — the
+    // deterministic single-threaded equivalent of a Ctrl-C arriving midway.
+    let trigger = token.clone();
+    let outcome = SolveRequest::partitioned()
+        .cancel_token(token)
+        .on_progress(move |event| {
+            if let SolveEvent::SubsetState { discovered, .. } = event {
+                if *discovered >= 2 {
+                    trigger.cancel();
+                }
+            }
+        })
+        .run(&p.equation);
+    assert!(
+        matches!(outcome, Outcome::Cnc(CncReason::Cancelled)),
+        "expected cancellation, got {outcome:?}"
+    );
+
+    // Same problem, same BddManager: a fresh request must run to completion
+    // (guards disarmed, no pending abort, no poisoned caches).
+    let mgr = p.equation.manager();
+    assert!(mgr.abort_reason().is_none());
+    assert_eq!(mgr.node_limit(), None);
+    let full = SolveRequest::partitioned().run(&p.equation);
+    let solution = full.into_result().expect("uncancelled rerun solves");
+    assert!(solution.csf.initial().is_some());
+
+    // And the result after a cancellation matches a never-cancelled solve
+    // on an independent problem instance.
+    let fresh = midsize_problem();
+    let reference = SolveRequest::partitioned()
+        .run(&fresh.equation)
+        .into_result()
+        .expect("reference solves");
+    assert_eq!(
+        solution.general.num_states(),
+        reference.general.num_states()
+    );
+    assert_eq!(solution.stats.subset_states, reference.stats.subset_states);
+}
+
+#[test]
+fn cancellation_works_for_every_flow() {
+    for kind in [
+        SolverKind::Partitioned,
+        SolverKind::Monolithic,
+        SolverKind::Algorithm1,
+    ] {
+        let p = midsize_problem();
+        let token = CancelToken::new();
+        token.cancel();
+        let outcome = SolveRequest::new(kind).cancel_token(token).run(&p.equation);
+        assert!(
+            matches!(outcome, Outcome::Cnc(CncReason::Cancelled)),
+            "{kind}: expected Cancelled, got {outcome:?}"
+        );
+        // Manager reusable afterwards, whatever the flow.
+        let again = SolveRequest::partitioned().run(&p.equation);
+        assert!(again.into_result().is_ok(), "{kind}: rerun failed");
+    }
+}
+
+#[test]
+fn progress_events_are_monotone_and_complete() {
+    let p = midsize_problem();
+    let events: Rc<RefCell<Vec<SolveEvent>>> = Rc::default();
+    let sink = Rc::clone(&events);
+    let outcome = SolveRequest::partitioned()
+        .on_progress(move |e| sink.borrow_mut().push(*e))
+        .run(&p.equation);
+    let solution = outcome.into_result().expect("solves");
+
+    let events = events.borrow();
+    assert!(
+        matches!(
+            events.first(),
+            Some(SolveEvent::Started {
+                kind: SolverKind::Partitioned
+            })
+        ),
+        "first event must be Started, got {:?}",
+        events.first()
+    );
+
+    let (mut last_states, mut last_images, mut last_peak) = (0usize, 0usize, 0usize);
+    let (mut n_states, mut n_images, mut n_peaks) = (0usize, 0usize, 0usize);
+    for e in events.iter() {
+        match e {
+            SolveEvent::SubsetState { discovered, .. } => {
+                assert!(*discovered >= last_states, "discovered went backwards");
+                last_states = *discovered;
+                n_states += 1;
+            }
+            SolveEvent::ImageComputed { total } => {
+                assert!(*total > last_images, "image counter must strictly increase");
+                last_images = *total;
+                n_images += 1;
+            }
+            SolveEvent::PeakNodes {
+                live_nodes,
+                peak_live_nodes,
+            } => {
+                assert!(*peak_live_nodes >= last_peak, "peak went backwards");
+                assert!(live_nodes <= peak_live_nodes, "live exceeds peak");
+                last_peak = *peak_live_nodes;
+                n_peaks += 1;
+            }
+            SolveEvent::GcPass { .. } | SolveEvent::Started { .. } => {}
+        }
+    }
+    // One SubsetState + one PeakNodes sample per explored state (the DCN /
+    // DCA trap states are synthesized, never explored, hence the slack of
+    // two); the image counter in the events matches the final statistics.
+    assert_eq!(n_states, n_peaks);
+    assert!(n_states + 2 >= solution.stats.subset_states);
+    assert_eq!(last_images, solution.stats.images);
+    assert_eq!(n_images, solution.stats.images);
+}
+
+#[test]
+fn into_result_round_trips_both_ways() {
+    let p = midsize_problem();
+    let solved = SolveRequest::partitioned().run(&p.equation);
+    let states = solved.solution().expect("solves").general.num_states();
+    let round = Outcome::from(solved.into_result());
+    assert_eq!(
+        round.solution().expect("round trip").general.num_states(),
+        states
+    );
+
+    let cnc = SolveRequest::partitioned().max_states(1).run(&p.equation);
+    assert!(matches!(cnc, Outcome::Cnc(CncReason::StateLimit(1))));
+    let err = cnc.into_result().expect_err("CNC converts to Err");
+    assert_eq!(err, CncReason::StateLimit(1));
+    assert!(matches!(
+        Outcome::from(Err::<Solution, _>(err)),
+        Outcome::Cnc(CncReason::StateLimit(1))
+    ));
+}
+
+#[test]
+fn node_limit_aborts_cooperatively_without_unwinding() {
+    let p = midsize_problem();
+    let baseline = p.equation.manager().stats().live_nodes;
+    let outcome = SolveRequest::partitioned()
+        .node_limit(baseline + 32)
+        .run(&p.equation);
+    assert!(matches!(outcome, Outcome::Cnc(CncReason::NodeLimit(_))));
+    // Same manager solves fine once the limit is gone.
+    let ok = SolveRequest::partitioned().run(&p.equation);
+    assert!(ok.into_result().is_ok());
+}
+
+#[test]
+fn control_deadline_reports_timeout() {
+    let p = midsize_problem();
+    let (solver, _) = SolveRequest::partitioned().build();
+    let ctrl = Control::new().with_timeout(Duration::ZERO);
+    let outcome = solver.solve(&p.equation, &ctrl);
+    assert!(matches!(outcome, Outcome::Cnc(CncReason::Timeout(_))));
+}
+
+#[test]
+fn deprecated_free_functions_still_work() {
+    #![allow(deprecated)]
+    let p = midsize_problem();
+    let part = langeq::core::solve_partitioned(&p.equation, &PartitionedOptions::paper());
+    let mono = langeq::core::solve_monolithic(&p.equation, &MonolithicOptions::default());
+    let (part, mono) = (
+        part.into_result().expect("partitioned shim solves"),
+        mono.into_result().expect("monolithic shim solves"),
+    );
+    assert!(part.csf.equivalent(&mono.csf));
+}

@@ -10,9 +10,10 @@ use langeq_logic::kiss;
 
 fn csf_for(net: &Network, unknown: &[usize]) -> (LatchSplitProblem, Solution) {
     let p = LatchSplitProblem::new(net, unknown).expect("split");
-    let sol = langeq::core::solve_partitioned(&p.equation, &PartitionedOptions::paper())
-        .expect_solved()
-        .clone();
+    let sol = SolveRequest::partitioned()
+        .run(&p.equation)
+        .into_result()
+        .expect("instance solves");
     (p, sol)
 }
 
@@ -58,8 +59,13 @@ fn extracted_machine_behaviour_matches_network_synthesis() {
     let net = gen::counter("c4", 4);
     let (p, sol) = csf_for(&net, &[0, 2]);
     let vars = &p.equation.vars;
-    let fsm = extract_submachine(&sol.csf, &vars.u, &vars.v, SelectionStrategy::FirstTransition)
-        .expect("extraction");
+    let fsm = extract_submachine(
+        &sol.csf,
+        &vars.u,
+        &vars.v,
+        SelectionStrategy::FirstTransition,
+    )
+    .expect("extraction");
     let impl_net = fsm.to_network().expect("synthesis");
     let mut state = fsm.reset();
     let mut cs = impl_net.initial_state();

@@ -14,10 +14,14 @@ use langeq_logic::gen;
 /// circuits).
 fn check(net: &Network, unknown: &[usize], with_generic: bool) {
     let p = LatchSplitProblem::new(net, unknown).expect("split");
-    let part = langeq::core::solve_partitioned(&p.equation, &PartitionedOptions::paper());
-    let mono = langeq::core::solve_monolithic(&p.equation, &MonolithicOptions::default());
-    let part = part.expect_solved();
-    let mono = mono.expect_solved();
+    let part = SolveRequest::partitioned()
+        .run(&p.equation)
+        .into_result()
+        .expect("partitioned solves");
+    let mono = SolveRequest::monolithic()
+        .run(&p.equation)
+        .into_result()
+        .expect("monolithic solves");
     let label = format!("{} / {:?}", net.name(), unknown);
     assert!(
         part.prefix_closed.equivalent(&mono.prefix_closed),

@@ -8,9 +8,10 @@ use langeq_logic::gen;
 
 fn solve(net: &Network, unknown: &[usize]) -> (LatchSplitProblem, Solution) {
     let p = LatchSplitProblem::new(net, unknown).expect("split");
-    let sol = langeq::core::solve_partitioned(&p.equation, &PartitionedOptions::paper())
-        .expect_solved()
-        .clone();
+    let sol = SolveRequest::partitioned()
+        .run(&p.equation)
+        .into_result()
+        .expect("instance solves");
     (p, sol)
 }
 
@@ -22,7 +23,10 @@ fn csf_verifies_across_circuit_family() {
         (gen::counter("c4", 4), vec![1, 2]),
         (gen::shift_register("sr4", 4), vec![0, 3]),
         (gen::gray_counter("gray3", 3), vec![2]),
-        (gen::sequence_detector("det", &[true, true, false]), vec![0, 1]),
+        (
+            gen::sequence_detector("det", &[true, true, false]),
+            vec![0, 1],
+        ),
     ];
     for (net, unknown) in circuits {
         let (p, sol) = solve(&net, &unknown);
@@ -41,7 +45,10 @@ fn prefix_closed_solution_satisfies_spec_too() {
     // Check (2) holds for the entire most-general prefix-closed solution,
     // not just the progressive CSF.
     let (p, sol) = solve(&gen::counter("c3", 3), &[0, 1]);
-    assert!(composition_contained_in_spec(&p.equation, &sol.prefix_closed));
+    assert!(composition_contained_in_spec(
+        &p.equation,
+        &sol.prefix_closed
+    ));
 }
 
 #[test]
