@@ -1,6 +1,25 @@
 //! The BDD engine proper: node store, unique table, computed cache, and the
 //! recursive algorithms, all operating on raw `Ref`s (`u32` with a complement
 //! bit). The safe, reference-counted surface lives in [`crate::manager`].
+//!
+//! # Kernel data structures
+//!
+//! * **Node store** — a flat `Vec<Node>` of 12-byte nodes (`var`, `hi`,
+//!   `lo`); freed slots are recycled through a free list, so a node's index
+//!   is stable for its whole lifetime (garbage collection never compacts).
+//! * **Unique table** — open-addressed, power-of-two sized, linear probing,
+//!   storing node *indices*. There are no tombstones: deletion only happens
+//!   wholesale during GC, which rebuilds the table from the marked nodes at
+//!   a right-sized capacity. Load is kept under 50% by doubling.
+//! * **Computed cache** — 2-way set-associative with round-robin
+//!   replacement. Sizing is adaptive in both directions: it grows while
+//!   the measured (windowed) hit rate stays high at saturation — capacity
+//!   is a reward for reuse — and shrinks after GC when the live-node count
+//!   drops far below capacity. Entries
+//!   **survive garbage collection**: the GC sweep keeps every entry whose
+//!   operands and result are all still live (indices never move, so no
+//!   remapping is needed) and evicts the rest, so fixed-point iterations
+//!   keep their memoised sub-results across collections.
 
 use std::collections::HashMap;
 
@@ -16,6 +35,8 @@ pub(crate) const ONE: Ref = 0;
 pub(crate) const ZERO: Ref = 1;
 
 const NIL: u32 = u32::MAX;
+/// Empty unique-table slot: `NIL` in the index half (no real node has it).
+const EMPTY_SLOT: u64 = u64::MAX;
 /// Pseudo-level of the terminal node; sorts after every real variable.
 const VAR_TERMINAL: u32 = u32::MAX;
 /// Marker for a slot on the free list.
@@ -27,11 +48,30 @@ const VAR_FREE: u32 = u32::MAX - 1;
 /// typical hook) stays off the allocation fast path.
 const HOOK_STRIDE: u32 = 1024;
 
+/// Smallest unique-table capacity (slots).
+const MIN_TABLE: usize = 1 << 14;
+/// Associativity of the computed cache.
+const CACHE_WAYS: usize = 2;
+/// Smallest computed-cache capacity (entries, all ways counted).
+const MIN_CACHE: usize = 1 << 14;
+/// Largest computed-cache capacity (entries).
+const MAX_CACHE: usize = 1 << 20;
+/// Cache lookups between two adaptive-sizing decisions.
+const CACHE_CHECK_STRIDE: u64 = 1 << 18;
+/// A quantifier recursion skips computed-cache traffic at a level that is
+/// not in the cube when the next quantified level is at most this far below
+/// (pass-through descent). Strictly interleaved current/next-state orders —
+/// the image computation's layout — have a gap of exactly 1; the window is
+/// held at 1 because it bounds recomputation on shared pass-through nodes
+/// to at most 2× per region, and wider windows measured no wall-clock gain.
+const PASS_THROUGH_WINDOW: u32 = 1;
+
 const OP_ITE: u32 = 1;
 const OP_EXISTS: u32 = 2;
 const OP_ANDEX: u32 = 3;
 const OP_CONSTRAIN: u32 = 4;
 const OP_RESTRICT: u32 = 5;
+const OP_AND: u32 = 6;
 
 #[derive(Debug, Clone, Copy)]
 struct Node {
@@ -41,26 +81,37 @@ struct Node {
     hi: Ref,
     /// Else-child; may carry a complement bit.
     lo: Ref,
-    /// Next node in the unique-table bucket chain.
-    next: u32,
 }
 
+/// A computed-cache entry: the whole `(op, f, g, h)` key packed into one
+/// `u128` (op in the top 32 bits) so a probe is a single wide compare, plus
+/// the result. 32 bytes with padding — a 2-way set is exactly one cache
+/// line.
 #[derive(Debug, Clone, Copy)]
 struct CacheEntry {
-    op: u32,
-    f: Ref,
-    g: Ref,
-    h: Ref,
+    /// `0` marks an empty way (a real key always has a nonzero op field).
+    key: u128,
     res: Ref,
 }
 
-const EMPTY_ENTRY: CacheEntry = CacheEntry {
-    op: 0,
-    f: NIL,
-    g: NIL,
-    h: NIL,
-    res: NIL,
-};
+const EMPTY_ENTRY: CacheEntry = CacheEntry { key: 0, res: NIL };
+
+#[inline]
+fn cache_key(op: u32, f: Ref, g: Ref, h: Ref) -> u128 {
+    ((op as u128) << 96) | ((f as u128) << 64) | ((g as u128) << 32) | h as u128
+}
+
+/// Decodes a packed key back into `(op, f, g, h)` (cold paths: GC sweep,
+/// rebuilds, verification).
+#[inline]
+fn cache_unkey(key: u128) -> (u32, Ref, Ref, Ref) {
+    (
+        (key >> 96) as u32,
+        (key >> 64) as u32,
+        (key >> 32) as u32,
+        key as u32,
+    )
+}
 
 /// Counters exposed through [`crate::BddStats`].
 #[derive(Debug, Default, Clone, Copy)]
@@ -70,6 +121,17 @@ pub(crate) struct Counters {
     pub cache_hits: u64,
     pub peak_live: usize,
     pub allocated: u64,
+    /// Unique-table lookups (one per `mk` that reaches the table).
+    pub table_lookups: u64,
+    /// Unique-table probe steps (slots inspected across all lookups).
+    pub table_probes: u64,
+    /// Computed-cache entries examined by GC sweeps.
+    pub cache_swept: u64,
+    /// Computed-cache entries kept by GC sweeps (operands and result all
+    /// still live).
+    pub cache_survived: u64,
+    /// Computed-cache capacity changes (grows and shrinks).
+    pub cache_resizes: u64,
 }
 
 pub(crate) struct Inner {
@@ -78,8 +140,31 @@ pub(crate) struct Inner {
     /// parallel to `nodes`.
     ext: Vec<u32>,
     free: Vec<u32>,
-    buckets: Vec<u32>,
+    /// Open-addressed unique table: each slot packs the hash's high 32 bits
+    /// (tag, rejecting collisions without a node load) above the node index
+    /// (`NIL` in the low half = empty slot).
+    table: Vec<u64>,
+    /// Set-associative computed cache: `CACHE_WAYS` consecutive entries per
+    /// set.
     cache: Vec<CacheEntry>,
+    /// Global round-robin replacement pointer (the low bits pick the victim
+    /// way on insert).
+    put_tick: u32,
+    /// Exact occupied cache entries as of the last sweep/resize (kept
+    /// up-to-date only at those points; the hot path never maintains it).
+    cache_entries: usize,
+    /// Cache writes since the last sweep/resize — a saturation signal for
+    /// the grow heuristic and an occupancy upper bound for stats.
+    cache_writes: u64,
+    /// `cache.len() - CACHE_WAYS`, kept in a field so the hot path derives
+    /// a set's base index with one shift and one mask (no division).
+    cache_base_mask: usize,
+    /// Next `counters.cache_lookups` value at which to revisit the cache
+    /// size.
+    cache_check_at: u64,
+    /// Lookup/hit marks delimiting the current measurement window.
+    window_lookups: u64,
+    window_hits: u64,
     nvars: u32,
     /// Regular refs of the projection functions, pinned for the manager's
     /// lifetime.
@@ -98,14 +183,14 @@ pub(crate) struct Inner {
 }
 
 #[inline]
-fn mix3(a: u32, b: u32, c: u32) -> usize {
+fn mix3(a: u32, b: u32, c: u32) -> u64 {
     let mut h = (a as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     h ^= (b as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
     h ^= (c as u64).wrapping_mul(0x1656_67B1_9E37_79F9);
     h ^= h >> 29;
     h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     h ^= h >> 32;
-    h as usize
+    h
 }
 
 impl Inner {
@@ -114,8 +199,15 @@ impl Inner {
             nodes: Vec::with_capacity(1 << 12),
             ext: Vec::with_capacity(1 << 12),
             free: Vec::new(),
-            buckets: vec![NIL; 1 << 12],
-            cache: vec![EMPTY_ENTRY; 1 << 14],
+            table: vec![EMPTY_SLOT; MIN_TABLE],
+            cache: vec![EMPTY_ENTRY; MIN_CACHE],
+            put_tick: 0,
+            cache_entries: 0,
+            cache_writes: 0,
+            cache_base_mask: MIN_CACHE - CACHE_WAYS,
+            cache_check_at: CACHE_CHECK_STRIDE,
+            window_lookups: 0,
+            window_hits: 0,
             nvars: 0,
             var_refs: Vec::new(),
             live: 1,
@@ -131,7 +223,6 @@ impl Inner {
             var: VAR_TERMINAL,
             hi: ONE,
             lo: ONE,
-            next: NIL,
         });
         inner.ext.push(1); // permanently pinned
         inner.counters.peak_live = 1;
@@ -179,6 +270,16 @@ impl Inner {
 
     pub(crate) fn live(&self) -> usize {
         self.live
+    }
+
+    /// Occupied-entry estimate: exact at the last sweep/resize, bounded by
+    /// writes since (the hot path does not track exact occupancy).
+    pub(crate) fn cache_entries(&self) -> usize {
+        (self.cache_entries as u64 + self.cache_writes).min(self.cache.len() as u64) as usize
+    }
+
+    pub(crate) fn cache_capacity(&self) -> usize {
+        self.cache.len()
     }
 
     pub(crate) fn node_limit(&self) -> Option<usize> {
@@ -268,16 +369,34 @@ impl Inner {
             (hi, lo, 0)
         };
         debug_assert!(self.level(hi) > var && self.level(lo) > var);
-        let mask = self.buckets.len() - 1;
-        let slot = mix3(var, hi, lo) & mask;
-        let mut p = self.buckets[slot];
-        while p != NIL {
-            let n = &self.nodes[p as usize];
-            if n.var == var && n.hi == hi && n.lo == lo {
-                return (p << 1) | flip;
+        // Open-addressed lookup: linear probe until the node or an empty
+        // slot. Each slot carries the hash's high 32 bits as a tag, so a
+        // colliding probe is rejected on the slot itself without touching
+        // the node array (the expensive random load). The first empty slot
+        // doubles as the insertion point (there are no tombstones).
+        let mask = self.table.len() - 1;
+        let hash = mix3(var, hi, lo);
+        let tag = (hash >> 32) as u32;
+        let mut slot = hash as usize & mask;
+        let mut probes = 1u64;
+        self.counters.table_lookups += 1;
+        loop {
+            let e = self.table[slot];
+            let p = e as u32;
+            if p == NIL {
+                break;
             }
-            p = n.next;
+            if (e >> 32) as u32 == tag {
+                let n = &self.nodes[p as usize];
+                if n.var == var && n.hi == hi && n.lo == lo {
+                    self.counters.table_probes += probes;
+                    return (p << 1) | flip;
+                }
+            }
+            probes += 1;
+            slot = (slot + 1) & mask;
         }
+        self.counters.table_probes += probes;
         // Allocate, checking the cooperative guards first.
         if guarded {
             if let Some(limit) = self.node_limit {
@@ -301,66 +420,86 @@ impl Inner {
             }
         }
         let idx = if let Some(i) = self.free.pop() {
-            self.nodes[i as usize] = Node {
-                var,
-                hi,
-                lo,
-                next: self.buckets[slot],
-            };
+            self.nodes[i as usize] = Node { var, hi, lo };
             self.ext[i as usize] = 0;
             i
         } else {
             let i = self.nodes.len() as u32;
-            self.nodes.push(Node {
-                var,
-                hi,
-                lo,
-                next: self.buckets[slot],
-            });
+            self.nodes.push(Node { var, hi, lo });
             self.ext.push(0);
             i
         };
-        self.buckets[slot] = idx;
+        self.table[slot] = ((tag as u64) << 32) | idx as u64;
         self.live += 1;
         self.counters.allocated += 1;
         if self.live > self.counters.peak_live {
             self.counters.peak_live = self.live;
         }
-        if self.live * 4 > self.buckets.len() * 3 {
-            self.grow_buckets();
+        // Keep the load factor under 50% so linear probes stay short.
+        // Growth quadruples: a full rehash is the expensive part of a
+        // resize, so taking capacity in big steps keeps the total rehash
+        // work across a run near one pass over the node store.
+        if self.live * 2 > self.table.len() {
+            self.rebuild_table(self.table.len() * 4);
         }
         (idx << 1) | flip
     }
 
-    fn grow_buckets(&mut self) {
-        let new_len = self.buckets.len() * 2;
+    /// Rebuilds the unique table at `new_len` slots (a power of two) from
+    /// the current node store, skipping freed slots and the terminal.
+    fn rebuild_table(&mut self, new_len: usize) {
+        debug_assert!(new_len.is_power_of_two());
         let mask = new_len - 1;
-        let mut buckets = vec![NIL; new_len];
-        for (idx, n) in self.nodes.iter_mut().enumerate().skip(1) {
+        let mut table = vec![EMPTY_SLOT; new_len];
+        for (idx, n) in self.nodes.iter().enumerate().skip(1) {
             if n.var >= VAR_FREE {
                 continue;
             }
-            let slot = mix3(n.var, n.hi, n.lo) & mask;
-            n.next = buckets[slot];
-            buckets[slot] = idx as u32;
+            let hash = mix3(n.var, n.hi, n.lo);
+            let mut slot = hash as usize & mask;
+            while table[slot] as u32 != NIL {
+                slot = (slot + 1) & mask;
+            }
+            table[slot] = (hash >> 32) << 32 | idx as u64;
         }
-        self.buckets = buckets;
+        self.table = table;
     }
 
     // ----- computed cache --------------------------------------------------
 
+    /// Base index (first way) of a packed key's set: one shift and one mask
+    /// against the precomputed `cache_base_mask`.
+    #[inline]
+    fn cache_base(&self, key: u128) -> usize {
+        let h = (key as u64) ^ (key >> 64) as u64;
+        let mut x = h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 32;
+        ((x as usize) << 1) & self.cache_base_mask
+    }
+
     #[inline]
     fn cache_get(&mut self, op: u32, f: Ref, g: Ref, h: Ref) -> Option<Ref> {
         self.counters.cache_lookups += 1;
-        let slot =
-            mix3(f, g, h.wrapping_add(op.wrapping_mul(0x517C_C1B7))) & (self.cache.len() - 1);
-        let e = &self.cache[slot];
-        if e.op == op && e.f == f && e.g == g && e.h == h {
-            self.counters.cache_hits += 1;
-            Some(e.res)
-        } else {
-            None
+        if self.counters.cache_lookups >= self.cache_check_at {
+            self.adapt_cache_size();
         }
+        let key = cache_key(op, f, g, h);
+        let base = self.cache_base(key);
+        // Unrolled 2-way probe; the set is one cache line, and each way is
+        // a single wide compare.
+        let e = &self.cache[base];
+        if e.key == key {
+            let res = e.res;
+            self.counters.cache_hits += 1;
+            return Some(res);
+        }
+        let e = &self.cache[base + 1];
+        if e.key == key {
+            let res = e.res;
+            self.counters.cache_hits += 1;
+            return Some(res);
+        }
+        None
     }
 
     #[inline]
@@ -370,21 +509,78 @@ impl Inner {
             // cache past `take_abort`.
             return;
         }
-        let slot =
-            mix3(f, g, h.wrapping_add(op.wrapping_mul(0x517C_C1B7))) & (self.cache.len() - 1);
-        self.cache[slot] = CacheEntry { op, f, g, h, res };
+        self.cache_insert(CacheEntry {
+            key: cache_key(op, f, g, h),
+            res,
+        });
     }
 
-    fn clear_cache(&mut self) {
-        self.cache.fill(EMPTY_ENTRY);
+    /// Inserts a (pre-validated) entry at the way picked by a global
+    /// round-robin counter (≈ random replacement — no per-set state to
+    /// load, no second dirty cache line). The write is unconditional — one
+    /// store, no set scan — so a miss's book-keeping stays as cheap as a
+    /// direct-mapped cache; the only extra read checks whether the victim
+    /// way was empty (occupancy tracking). A key can transiently occupy two
+    /// ways; both then hold the identical canonical result, so lookups stay
+    /// correct.
+    #[inline]
+    fn cache_insert(&mut self, entry: CacheEntry) {
+        let base = self.cache_base(entry.key);
+        let way = (self.put_tick as usize) & (CACHE_WAYS - 1);
+        self.put_tick = self.put_tick.wrapping_add(1);
+        self.cache_writes += 1;
+        self.cache[base + way] = entry;
     }
 
-    fn maybe_grow_cache(&mut self) {
-        const MAX_CACHE: usize = 1 << 22;
-        if self.live > self.cache.len() && self.cache.len() < MAX_CACHE {
-            let new_len = (self.cache.len() * 4).min(MAX_CACHE);
-            self.cache = vec![EMPTY_ENTRY; new_len];
+    /// Adaptive sizing, revisited every [`CACHE_CHECK_STRIDE`] lookups.
+    /// Capacity is a *reward for reuse* (the CUDD policy): the cache grows
+    /// only while the windowed hit rate stays high at saturation, because
+    /// extra capacity only pays when entries are re-found — a workload
+    /// dominated by compulsory misses gets no more hits from a bigger
+    /// cache, just DRAM latency on every probe. Growth is one doubling per
+    /// window, never past [`MAX_CACHE`] nor ~4 entries per live node.
+    fn adapt_cache_size(&mut self) {
+        self.cache_check_at = self.counters.cache_lookups + CACHE_CHECK_STRIDE;
+        let lookups = self.counters.cache_lookups - self.window_lookups;
+        let hits = self.counters.cache_hits - self.window_hits;
+        self.window_lookups = self.counters.cache_lookups;
+        self.window_hits = self.counters.cache_hits;
+        let saturated = self.cache_writes >= self.cache.len() as u64;
+        let rewarding = hits * 20 >= lookups * 7; // windowed hit rate ≥ 35%
+        let live_cap = (self.live * 4).next_power_of_two().max(MIN_CACHE);
+        if saturated && rewarding && self.cache.len() * 2 <= live_cap.min(MAX_CACHE) {
+            self.rebuild_cache(self.cache.len() * 2);
         }
+    }
+
+    /// Shrink decision after a collection: when the live-node count has
+    /// dropped far below the cache capacity, halve it (one step per GC, so
+    /// a busy spike decays gradually but idle memory stays bounded).
+    fn adapt_cache_after_gc(&mut self) {
+        if self.cache.len() > MIN_CACHE && self.cache.len() >= self.live * 16 {
+            self.rebuild_cache(self.cache.len() / 2);
+        }
+    }
+
+    /// Rebuilds the cache at `new_len` entries, rehashing every occupied
+    /// way into the new geometry.
+    fn rebuild_cache(&mut self, new_len: usize) {
+        let new_len = new_len.clamp(MIN_CACHE, MAX_CACHE);
+        if new_len == self.cache.len() {
+            return;
+        }
+        self.counters.cache_resizes += 1;
+        self.cache_base_mask = new_len - CACHE_WAYS;
+        let old = std::mem::replace(&mut self.cache, vec![EMPTY_ENTRY; new_len]);
+        for e in old {
+            if e.key != 0 {
+                self.cache_insert(e);
+            }
+        }
+        // Recount rather than trusting the insert count: round-robin
+        // placement may overwrite one reinserted entry with another.
+        self.cache_entries = self.cache.iter().filter(|e| e.key != 0).count();
+        self.cache_writes = 0;
     }
 
     // ----- garbage collection ---------------------------------------------
@@ -401,6 +597,10 @@ impl Inner {
     }
 
     /// Mark-and-sweep collection from externally referenced roots.
+    ///
+    /// The computed cache is *swept, not cleared*: entries whose operands
+    /// and result are all marked stay valid (node indices are stable), so
+    /// work memoised before the collection keeps paying off after it.
     #[allow(clippy::needless_range_loop)] // walks two parallel arrays by index
     pub(crate) fn gc(&mut self) {
         self.counters.gc_runs += 1;
@@ -425,17 +625,34 @@ impl Inner {
                 }
             }
         }
-        // Sweep: rebuild the unique table from marked nodes.
-        self.buckets.fill(NIL);
+        // Cache sweep: keep entries whose four refs are all still live.
+        let mut kept = 0usize;
+        for e in self.cache.iter_mut() {
+            if e.key == 0 {
+                continue;
+            }
+            let (_, f, g, h) = cache_unkey(e.key);
+            self.counters.cache_swept += 1;
+            let alive = mark[(f >> 1) as usize]
+                && mark[(g >> 1) as usize]
+                && mark[(h >> 1) as usize]
+                && mark[(e.res >> 1) as usize];
+            if alive {
+                kept += 1;
+                self.counters.cache_survived += 1;
+            } else {
+                *e = EMPTY_ENTRY;
+            }
+        }
+        self.cache_entries = kept;
+        self.cache_writes = 0;
+        // Node sweep: free unmarked slots, then rebuild the unique table at
+        // a right-sized capacity (this both grows under pressure and shrinks
+        // after a spike).
         self.free.clear();
-        let mask = self.buckets.len() - 1;
         let mut live = 1usize;
         for idx in 1..self.nodes.len() {
             if mark[idx] && self.nodes[idx].var < VAR_FREE {
-                let n = &mut self.nodes[idx];
-                let slot = mix3(n.var, n.hi, n.lo) & mask;
-                n.next = self.buckets[slot];
-                self.buckets[slot] = idx as u32;
                 live += 1;
             } else {
                 self.nodes[idx].var = VAR_FREE;
@@ -443,8 +660,19 @@ impl Inner {
             }
         }
         self.live = live;
-        self.clear_cache();
-        self.maybe_grow_cache();
+        // The rebuild is mandatory (dead entries leave no tombstones), but
+        // capacity changes are damped: grow to keep load ≤ 50%, and only
+        // shrink — one halving per GC — when ≥ 4× oversized. Shrinking
+        // eagerly to the live count would make every post-GC allocation
+        // burst re-double the table through a chain of full rehashes.
+        let want = (live * 2).next_power_of_two().max(MIN_TABLE);
+        let table_len = if want * 4 < self.table.len() {
+            self.table.len() / 2
+        } else {
+            self.table.len().max(want)
+        };
+        self.rebuild_table(table_len);
+        self.adapt_cache_after_gc();
         self.gc_threshold = (live * 2).max(1 << 16);
     }
 
@@ -545,14 +773,49 @@ impl Inner {
         r ^ flip
     }
 
-    #[inline]
+    /// Conjunction, as a dedicated recursion (the CUDD `bddAnd` shape)
+    /// rather than `ite(f, g, 0)`: the terminal tests are four compares,
+    /// operand normalisation is a plain integer swap (no level loads), and
+    /// the cache key is two words under its own op code. `or` rides on it
+    /// through complement edges at zero cost, which makes this the hot
+    /// recursion of every build-heavy workload.
     pub(crate) fn and(&mut self, f: Ref, g: Ref) -> Ref {
-        self.ite(f, g, ZERO)
+        if self.abort.is_some() {
+            return ZERO;
+        }
+        if f == ONE {
+            return g;
+        }
+        if g == ONE {
+            return f;
+        }
+        if f == ZERO || g == ZERO || f == (g ^ 1) {
+            return ZERO;
+        }
+        if f == g {
+            return f;
+        }
+        // Commutative: order by raw ref so both argument orders share one
+        // cache entry.
+        let (f, g) = if f < g { (f, g) } else { (g, f) };
+        if let Some(r) = self.cache_get(OP_AND, f, g, 0) {
+            return r;
+        }
+        let top = self.level(f).min(self.level(g));
+        let (f1, f0) = self.cof(f, top);
+        let (g1, g0) = self.cof(g, top);
+        let r1 = self.and(f1, g1);
+        let r0 = self.and(f0, g0);
+        let r = self.mk(top, r1, r0);
+        self.cache_put(OP_AND, f, g, 0, r);
+        r
     }
 
+    /// Disjunction via De Morgan on complement edges: two xors and the
+    /// [`and`](Self::and) recursion.
     #[inline]
     pub(crate) fn or(&mut self, f: Ref, g: Ref) -> Ref {
-        self.ite(f, ONE, g)
+        self.and(f ^ 1, g ^ 1) ^ 1
     }
 
     #[inline]
@@ -561,6 +824,12 @@ impl Inner {
     }
 
     /// Existential quantification of the positive-literal cube `cube`.
+    ///
+    /// The cube pointer is advanced past variables above `f`'s top level
+    /// *before* the cache is consulted, so calls that differ only in
+    /// already-passed cube variables share one entry. Levels of `f` that are
+    /// not in the cube are descended **without computed-cache traffic** when
+    /// the next quantified level is within [`PASS_THROUGH_WINDOW`].
     pub(crate) fn exists(&mut self, f: Ref, cube: Ref) -> Ref {
         if self.abort.is_some() {
             return ZERO;
@@ -578,26 +847,40 @@ impl Inner {
         if c == ONE {
             return f;
         }
-        if let Some(r) = self.cache_get(OP_EXISTS, f, c, 0) {
-            return r;
-        }
-        let (f1, f0) = self.cof(f, top);
-        let r = if self.level(c) == top {
+        let clevel = self.level(c);
+        if clevel == top {
+            if let Some(r) = self.cache_get(OP_EXISTS, f, c, 0) {
+                return r;
+            }
+            let (f1, f0) = self.cof(f, top);
             let nc = self.hi(c);
             let r1 = self.exists(f1, nc);
-            if r1 == ONE {
+            let r = if r1 == ONE {
                 ONE
             } else {
                 let r0 = self.exists(f0, nc);
                 self.or(r1, r0)
-            }
-        } else {
+            };
+            self.cache_put(OP_EXISTS, f, c, 0, r);
+            r
+        } else if clevel - top <= PASS_THROUGH_WINDOW {
+            // Pass-through descent: this level is not quantified and the
+            // next quantified one is close — skip the cache entirely.
+            let (f1, f0) = self.cof(f, top);
             let r1 = self.exists(f1, c);
             let r0 = self.exists(f0, c);
             self.mk(top, r1, r0)
-        };
-        self.cache_put(OP_EXISTS, f, c, 0, r);
-        r
+        } else {
+            if let Some(r) = self.cache_get(OP_EXISTS, f, c, 0) {
+                return r;
+            }
+            let (f1, f0) = self.cof(f, top);
+            let r1 = self.exists(f1, c);
+            let r0 = self.exists(f0, c);
+            let r = self.mk(top, r1, r0);
+            self.cache_put(OP_EXISTS, f, c, 0, r);
+            r
+        }
     }
 
     pub(crate) fn forall(&mut self, f: Ref, cube: Ref) -> Ref {
@@ -605,7 +888,10 @@ impl Inner {
     }
 
     /// The relational product `∃ cube . f ∧ g`, computed in one recursive
-    /// pass (the workhorse of image computation).
+    /// pass (the workhorse of image computation). Cube advancement and
+    /// pass-through descent follow [`exists`](Self::exists); the cache key
+    /// uses the *advanced* cube, so recursive calls reaching the same
+    /// `(f, g)` below different cube prefixes share entries.
     pub(crate) fn and_exists(&mut self, f: Ref, g: Ref, cube: Ref) -> Ref {
         if self.abort.is_some() {
             return ZERO;
@@ -633,36 +919,49 @@ impl Inner {
         } else {
             (f, g)
         };
-        if let Some(r) = self.cache_get(OP_ANDEX, f, g, cube) {
-            return r;
-        }
         let top = self.level(f).min(self.level(g));
         let mut c = cube;
         while self.level(c) < top {
             c = self.hi(c);
         }
-        let r = if c == ONE {
-            self.and(f, g)
-        } else {
+        if c == ONE {
+            return self.and(f, g);
+        }
+        let clevel = self.level(c);
+        if clevel == top {
+            if let Some(r) = self.cache_get(OP_ANDEX, f, g, c) {
+                return r;
+            }
             let (f1, f0) = self.cof(f, top);
             let (g1, g0) = self.cof(g, top);
-            if self.level(c) == top {
-                let nc = self.hi(c);
-                let r1 = self.and_exists(f1, g1, nc);
-                if r1 == ONE {
-                    ONE
-                } else {
-                    let r0 = self.and_exists(f0, g0, nc);
-                    self.or(r1, r0)
-                }
+            let nc = self.hi(c);
+            let r1 = self.and_exists(f1, g1, nc);
+            let r = if r1 == ONE {
+                ONE
             } else {
-                let r1 = self.and_exists(f1, g1, c);
-                let r0 = self.and_exists(f0, g0, c);
-                self.mk(top, r1, r0)
+                let r0 = self.and_exists(f0, g0, nc);
+                self.or(r1, r0)
+            };
+            self.cache_put(OP_ANDEX, f, g, c, r);
+            r
+        } else if clevel - top <= PASS_THROUGH_WINDOW {
+            let (f1, f0) = self.cof(f, top);
+            let (g1, g0) = self.cof(g, top);
+            let r1 = self.and_exists(f1, g1, c);
+            let r0 = self.and_exists(f0, g0, c);
+            self.mk(top, r1, r0)
+        } else {
+            if let Some(r) = self.cache_get(OP_ANDEX, f, g, c) {
+                return r;
             }
-        };
-        self.cache_put(OP_ANDEX, f, g, cube, r);
-        r
+            let (f1, f0) = self.cof(f, top);
+            let (g1, g0) = self.cof(g, top);
+            let r1 = self.and_exists(f1, g1, c);
+            let r0 = self.and_exists(f0, g0, c);
+            let r = self.mk(top, r1, r0);
+            self.cache_put(OP_ANDEX, f, g, c, r);
+            r
+        }
     }
 
     /// The Coudert–Madre generalized cofactor `f ⇓ c` ("constrain"): a
@@ -859,6 +1158,62 @@ impl Inner {
         };
         memo.insert(fr, r);
         r ^ flip
+    }
+
+    // ----- integrity checks ---------------------------------------------------
+
+    /// Test support: re-derives every occupied computed-cache entry from
+    /// scratch and compares it against the memoised result; canonicity makes
+    /// the comparison exact. The cache is emptied first so a re-derivation
+    /// cannot trivially hit the entry under scrutiny, then refills naturally.
+    /// Also fails on entries referencing freed node slots (dangling refs
+    /// after a GC would be a sweep bug). Returns the number of verified
+    /// entries.
+    pub(crate) fn verify_cache(&mut self) -> Result<usize, String> {
+        if let Some(reason) = self.abort {
+            return Err(format!("abort pending before verification: {reason}"));
+        }
+        let entries: Vec<(u32, Ref, Ref, Ref, Ref)> = self
+            .cache
+            .iter()
+            .filter(|e| e.key != 0)
+            .map(|e| {
+                let (op, f, g, h) = cache_unkey(e.key);
+                (op, f, g, h, e.res)
+            })
+            .collect();
+        self.cache.fill(EMPTY_ENTRY);
+        self.cache_entries = 0;
+        self.cache_writes = 0;
+        for (k, &(op, f, g, h, res)) in entries.iter().enumerate() {
+            for r in [f, g, h, res] {
+                let idx = (r >> 1) as usize;
+                if idx >= self.nodes.len() {
+                    return Err(format!("entry {k}: ref {r} out of bounds"));
+                }
+                if self.nodes[idx].var == VAR_FREE {
+                    return Err(format!("entry {k}: ref {r} points at a freed slot"));
+                }
+            }
+            let got = match op {
+                OP_ITE => self.ite(f, g, h),
+                OP_EXISTS => self.exists(f, g),
+                OP_ANDEX => self.and_exists(f, g, h),
+                OP_CONSTRAIN => self.constrain(f, g),
+                OP_AND => self.and(f, g),
+                OP_RESTRICT => self.restrict(f, g),
+                other => return Err(format!("entry {k}: unknown op {other}")),
+            };
+            if self.abort.is_some() {
+                return Err(format!("entry {k}: abort fired during re-derivation"));
+            }
+            if got != res {
+                return Err(format!(
+                    "entry {k}: op {op} ({f}, {g}, {h}) memoised {res} but re-derives to {got}"
+                ));
+            }
+        }
+        Ok(entries.len())
     }
 
     // ----- inspection --------------------------------------------------------
@@ -1243,5 +1598,171 @@ mod tests {
         m.take_abort();
         m.set_abort_hook(None);
         assert_eq!(m.and(a, b), good);
+    }
+
+    #[test]
+    fn cache_survives_gc_for_live_operands() {
+        let (mut m, a, b, c) = mgr3();
+        let f = m.and(a, b);
+        let g = m.or(f, c);
+        // Pin both results so the sweep finds every ref alive.
+        m.adjust_ext(f >> 1, 1);
+        m.adjust_ext(g >> 1, 1);
+        let hits_before = m.counters.cache_hits;
+        m.gc();
+        assert!(
+            m.counters.cache_survived > 0,
+            "no cache entry survived a GC with all operands pinned"
+        );
+        // Re-deriving the same ops must now be pure cache hits: no new
+        // allocation happens and the hit counter moves.
+        let allocated = m.counters.allocated;
+        let f2 = m.and(a, b);
+        let g2 = m.or(f2, c);
+        assert_eq!((f2, g2), (f, g));
+        assert_eq!(m.counters.allocated, allocated);
+        assert!(m.counters.cache_hits > hits_before);
+    }
+
+    #[test]
+    fn gc_evicts_cache_entries_with_dead_refs() {
+        let (mut m, a, b, c) = mgr3();
+        // Build garbage: nothing below gets an external ref.
+        let f = m.and(a, b);
+        let _g = m.xor(f, c);
+        m.gc();
+        // Entries touching the dead intermediate nodes are gone; whatever
+        // survived must verify against a fresh re-derivation.
+        let checked = m.verify_cache().expect("surviving entries are valid");
+        // The projection-only entries may survive; dead-ref ones must not.
+        assert!(m.counters.cache_swept >= m.counters.cache_survived);
+        let _ = checked;
+    }
+
+    #[test]
+    fn verify_cache_passes_after_heavy_churn_and_gc() {
+        let mut m = Inner::new();
+        let vars: Vec<Ref> = (0..10).map(|_| m.new_var()).collect();
+        let mut acc = ZERO;
+        for w in vars.windows(2) {
+            let t = m.and(w[0], w[1]);
+            acc = m.or(acc, t);
+        }
+        m.adjust_ext(acc >> 1, 1);
+        m.gc();
+        let n = m.verify_cache().expect("cache verifies after GC");
+        assert!(n > 0, "expected surviving entries to verify");
+    }
+
+    #[test]
+    fn abort_mid_op_then_gc_leaves_no_poisoned_entries() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+
+        let mut m = Inner::new();
+        let vars: Vec<Ref> = (0..28).map(|_| m.new_var()).collect();
+        let calls = Rc::new(Cell::new(0u32));
+        let calls2 = Rc::clone(&calls);
+        m.set_abort_hook(Some(Box::new(move || {
+            calls2.set(calls2.get() + 1);
+            calls2.get() >= 3
+        })));
+        let mut acc = ZERO;
+        for i in 0..14 {
+            let t = m.and(vars[i], vars[i + 14]);
+            acc = m.or(acc, t);
+        }
+        assert_eq!(m.abort(), Some(AbortReason::Hook));
+        m.take_abort();
+        m.set_abort_hook(None);
+        m.gc();
+        m.verify_cache()
+            .expect("no stale or poisoned entries after abort + GC");
+    }
+
+    #[test]
+    fn cache_shrinks_when_live_drops() {
+        let mut m = Inner::new();
+        let vars: Vec<Ref> = (0..20).map(|_| m.new_var()).collect();
+        // Blow the cache up via the occupancy/miss-driven growth path.
+        let mut acc = ZERO;
+        for i in 0..10 {
+            let t = m.and(vars[i], vars[i + 10]);
+            acc = m.or(acc, t);
+        }
+        while m.cache_capacity() <= MIN_CACHE && m.live() < 300_000 {
+            acc = m.xor(acc, vars[m.live() % 20]);
+            let t = m.and(acc, vars[(m.live() + 7) % 20]);
+            acc = m.or(acc, t);
+        }
+        let grown = m.cache_capacity();
+        assert!(grown > MIN_CACHE, "workload too small to grow the cache");
+        // Drop everything; repeated GCs must walk the capacity back down.
+        for _ in 0..40 {
+            m.gc();
+            if m.cache_capacity() == MIN_CACHE {
+                break;
+            }
+        }
+        assert!(
+            m.cache_capacity() <= grown,
+            "cache never shrank: {} -> {}",
+            grown,
+            m.cache_capacity()
+        );
+        assert_eq!(
+            m.cache_capacity(),
+            MIN_CACHE,
+            "idle cache should decay to the floor"
+        );
+    }
+
+    #[test]
+    fn unique_table_shrinks_after_gc() {
+        let mut m = Inner::new();
+        let vars: Vec<Ref> = (0..30).map(|_| m.new_var()).collect();
+        // ⋁ v_i ∧ v_{i+15} is exponential in this order: plenty of nodes to
+        // push the table through several growth steps.
+        let mut acc = ZERO;
+        for i in 0..15 {
+            let t = m.and(vars[i], vars[i + 15]);
+            acc = m.or(acc, t);
+        }
+        let grown = m.table_len();
+        assert!(grown > MIN_TABLE, "workload too small to grow the table");
+        // The shrink is damped (one halving per GC, and only when ≥ 4×
+        // oversized), so force several collections and check the capacity
+        // decays to within 4× of the right size for the remaining live set.
+        for _ in 0..10 {
+            m.gc();
+        }
+        let want = (m.live() * 2).next_power_of_two().max(MIN_TABLE);
+        assert!(
+            m.table_len() <= want * 4,
+            "table did not decay after dropping all roots: {} -> {} (want ≤ {})",
+            grown,
+            m.table_len(),
+            want * 4
+        );
+        assert!(m.table_len() < grown);
+        // Everything still canonical afterwards.
+        let x = m.and(vars[0], vars[1]);
+        let y = m.and(vars[1], vars[0]);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn probe_stats_are_recorded() {
+        let (mut m, a, b, _) = mgr3();
+        let before = m.counters.table_lookups;
+        let _ = m.and(a, b);
+        assert!(m.counters.table_lookups > before);
+        assert!(m.counters.table_probes >= m.counters.table_lookups);
+    }
+
+    impl Inner {
+        fn table_len(&self) -> usize {
+            self.table.len()
+        }
     }
 }

@@ -11,9 +11,13 @@
 //! * **Complemented edges** — negation is O(1) and node counts are roughly
 //!   halved. Canonicity is maintained with the classic rule that the *then*
 //!   child of every node is a regular (uncomplemented) edge.
-//! * A chained **unique table** with incremental growth, giving strong
-//!   canonicity: two [`Bdd`]s represent the same function iff they are equal.
-//! * A lossy, direct-mapped **computed cache** shared by all operations.
+//! * An open-addressed **unique table** (linear probing, load-factor-driven
+//!   resize in both directions), giving strong canonicity: two [`Bdd`]s
+//!   represent the same function iff they are equal.
+//! * A lossy, 2-way set-associative **computed cache** shared by all
+//!   operations, sized adaptively from the measured hit rate, whose entries
+//!   **survive garbage collection** while their operands and result stay
+//!   live — fixed-point loops keep their memoised work across collections.
 //! * **Reference-counted handles** ([`Bdd`]) and **mark-and-sweep garbage
 //!   collection** triggered between top-level operations, so long-running
 //!   fixpoints (such as the subset construction in `langeq-core`) do not

@@ -90,6 +90,70 @@ pub struct BddStats {
     pub cache_lookups: u64,
     /// Computed-cache hits.
     pub cache_hits: u64,
+    /// Occupied computed-cache entries: an **upper-bound estimate**. It is
+    /// exact immediately after a GC sweep or a cache resize; between those
+    /// points it grows with every write (overwrites included), saturating
+    /// at `cache_capacity` — the hot path deliberately does not track exact
+    /// occupancy.
+    pub cache_entries: usize,
+    /// Total computed-cache capacity (entries) right now; adaptive, so it
+    /// moves with the workload.
+    pub cache_capacity: usize,
+    /// Computed-cache capacity changes (grows and shrinks) so far.
+    pub cache_resizes: u64,
+    /// Cache entries examined by GC sweeps (cumulative).
+    pub cache_swept_entries: u64,
+    /// Cache entries kept by GC sweeps because their operands and result
+    /// were all still live (cumulative).
+    pub cache_surviving_entries: u64,
+    /// Unique-table lookups (cumulative).
+    pub unique_lookups: u64,
+    /// Unique-table probe steps across all lookups (cumulative); divide by
+    /// [`unique_lookups`](Self::unique_lookups) for the mean probe length.
+    pub unique_probes: u64,
+}
+
+impl BddStats {
+    /// Fraction of computed-cache lookups that hit, in `[0, 1]` (0 when no
+    /// lookups happened yet).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.cache_lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.cache_lookups as f64
+        }
+    }
+
+    /// Fraction of swept cache entries that survived garbage collection, in
+    /// `[0, 1]` (0 before the first sweep).
+    pub fn gc_survival_rate(&self) -> f64 {
+        if self.cache_swept_entries == 0 {
+            0.0
+        } else {
+            self.cache_surviving_entries as f64 / self.cache_swept_entries as f64
+        }
+    }
+
+    /// Mean number of unique-table slots inspected per lookup (1.0 is a
+    /// perfect hash; grows with table load).
+    pub fn avg_probe_length(&self) -> f64 {
+        if self.unique_lookups == 0 {
+            0.0
+        } else {
+            self.unique_probes as f64 / self.unique_lookups as f64
+        }
+    }
+
+    /// Occupied fraction of the computed cache, in `[0, 1]` — an upper
+    /// bound, exact right after a GC sweep or resize (see
+    /// [`cache_entries`](Self::cache_entries)).
+    pub fn cache_occupancy(&self) -> f64 {
+        if self.cache_capacity == 0 {
+            0.0
+        } else {
+            self.cache_entries as f64 / self.cache_capacity as f64
+        }
+    }
 }
 
 impl BddManager {
@@ -498,7 +562,26 @@ impl BddManager {
             gc_runs: i.counters.gc_runs,
             cache_lookups: i.counters.cache_lookups,
             cache_hits: i.counters.cache_hits,
+            cache_entries: i.cache_entries(),
+            cache_capacity: i.cache_capacity(),
+            cache_resizes: i.counters.cache_resizes,
+            cache_swept_entries: i.counters.cache_swept,
+            cache_surviving_entries: i.counters.cache_survived,
+            unique_lookups: i.counters.table_lookups,
+            unique_probes: i.counters.table_probes,
         })
+    }
+
+    /// Test support: re-derives every computed-cache entry from scratch and
+    /// checks it against the memoised result (see the kernel docs on the
+    /// GC-surviving cache). Returns the number of verified entries.
+    ///
+    /// This is `pub` for the crate's integration/property tests only; it is
+    /// not part of the stable API.
+    #[doc(hidden)]
+    pub fn verify_cache_integrity(&self) -> Result<usize, String> {
+        self.0.drain_pending();
+        self.0.inner.borrow_mut().verify_cache()
     }
 
     // ----- resource control ----------------------------------------------------

@@ -257,6 +257,56 @@ proptest! {
     }
 
     #[test]
+    fn cache_entries_verify_after_forced_gc(e in arb_expr(), junk in arb_expr(), qmask in 0u8..(1 << NVARS)) {
+        // GC-surviving cache soundness: after a forced collection, every
+        // retained computed-cache entry must re-derive to the memoised
+        // result (no stale or dangling refs).
+        let (mgr, vars) = setup();
+        let f = e.build(&mgr, &vars);
+        let qvars: Vec<VarId> = (0..NVARS)
+            .filter(|i| qmask >> i & 1 == 1)
+            .map(|i| VarId(i as u32))
+            .collect();
+        let quantified = f.exists(&qvars);
+        {
+            let _junk = junk.build(&mgr, &vars); // dies before the GC
+        }
+        mgr.collect_garbage();
+        let checked = mgr.verify_cache_integrity();
+        prop_assert!(checked.is_ok(), "cache verification failed: {:?}", checked);
+        // The functions computed before the GC are still intact.
+        for env in assignments() {
+            prop_assert_eq!(f.eval(&env), e.eval(&env));
+        }
+        let _ = quantified;
+    }
+
+    #[test]
+    fn aborted_ops_never_poison_the_surviving_cache(e in arb_expr(), f2 in arb_expr()) {
+        // Abort mid-computation, reclaim, and check that nothing the
+        // aborted pass touched is memoised wrongly.
+        let (mgr, vars) = setup();
+        let f = e.build(&mgr, &vars);
+        let hits = std::cell::Cell::new(0u32);
+        mgr.set_abort_hook(Some(Box::new(move || {
+            hits.set(hits.get() + 1);
+            true // fire at the first poll
+        })));
+        let dummy = f2.build(&mgr, &vars); // short-circuits to a constant
+        mgr.set_abort_hook(None);
+        mgr.take_abort();
+        mgr.collect_garbage();
+        let checked = mgr.verify_cache_integrity();
+        prop_assert!(checked.is_ok(), "poisoned entry after abort + GC: {:?}", checked);
+        // Recomputing now yields the real function.
+        let real = f2.build(&mgr, &vars);
+        for env in assignments() {
+            prop_assert_eq!(real.eval(&env), f2.eval(&env));
+        }
+        let _ = (f, dummy);
+    }
+
+    #[test]
     fn gc_preserves_functions(e in arb_expr(), f2 in arb_expr()) {
         let (mgr, vars) = setup();
         let f = e.build(&mgr, &vars);

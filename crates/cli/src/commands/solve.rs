@@ -59,6 +59,7 @@ fn progress_printer() -> impl FnMut(&SolveEvent) {
     let start = Instant::now();
     let mut last_draw: Option<Instant> = None;
     let (mut states, mut frontier, mut images, mut gc) = (0usize, 0usize, 0usize, 0u64);
+    let mut hit_rate = 0.0f64;
     move |event| match event {
         SolveEvent::Started { kind } => {
             eprintln!("[solve] {kind} flow started");
@@ -72,6 +73,15 @@ fn progress_printer() -> impl FnMut(&SolveEvent) {
         }
         SolveEvent::ImageComputed { total } => images = *total,
         SolveEvent::GcPass { gc_runs, .. } => gc = *gc_runs,
+        SolveEvent::CacheSample {
+            cache_lookups,
+            cache_hits,
+            ..
+        } => {
+            if *cache_lookups > 0 {
+                hit_rate = 100.0 * *cache_hits as f64 / *cache_lookups as f64;
+            }
+        }
         // Each checkpoint ends with a PeakNodes sample, so drawing here
         // prints one internally consistent line per checkpoint.
         SolveEvent::PeakNodes {
@@ -82,7 +92,8 @@ fn progress_printer() -> impl FnMut(&SolveEvent) {
                 last_draw = Some(Instant::now());
                 eprintln!(
                     "[solve] states {states}  frontier {frontier}  images {images}  \
-                     live nodes {live_nodes} (peak {peak_live_nodes})  gc {gc}  t {:.1}s",
+                     live nodes {live_nodes} (peak {peak_live_nodes})  gc {gc}  \
+                     cache {hit_rate:.0}%  t {:.1}s",
                     start.elapsed().as_secs_f64()
                 );
             }
@@ -145,6 +156,12 @@ pub fn solve(args: &[String]) -> Result<ExitCode, CliError> {
             sol.stats.images,
             sol.stats.peak_live_nodes,
             sol.stats.duration.as_secs_f64()
+        );
+        println!(
+            "bdd kernel: cache hit rate {:.1}%  gc survival {:.1}%  avg probe length {:.2}",
+            100.0 * sol.stats.cache_hit_rate,
+            100.0 * sol.stats.gc_survival_rate,
+            sol.stats.avg_probe_length
         );
     }
     let mut ok = true;

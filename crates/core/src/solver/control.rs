@@ -89,6 +89,22 @@ pub enum SolveEvent {
         /// High-water mark of live nodes.
         peak_live_nodes: usize,
     },
+    /// Periodic sample of the BDD kernel's cache/table health (cumulative
+    /// counters; all monotonically non-decreasing within one solve).
+    CacheSample {
+        /// Computed-cache lookups so far.
+        cache_lookups: u64,
+        /// Computed-cache hits so far.
+        cache_hits: u64,
+        /// Cache entries that survived GC sweeps so far.
+        cache_survived: u64,
+        /// Cache entries examined by GC sweeps so far.
+        cache_swept: u64,
+        /// Unique-table probe steps so far.
+        unique_probes: u64,
+        /// Unique-table lookups so far.
+        unique_lookups: u64,
+    },
 }
 
 /// A boxed progress callback (the form observers travel in between the

@@ -155,12 +155,16 @@ impl Solver for Algorithm1 {
         })
         .and_then(|generic| {
             sess.ensure_clean()?;
+            let bdd_stats = eq.manager().stats();
             let stats = crate::solver::SolverStats {
                 subset_states: generic.general.num_states(),
                 transitions: generic.general.num_transitions(),
                 images: 0,
                 duration: sess.elapsed(),
-                peak_live_nodes: eq.manager().stats().peak_live_nodes,
+                peak_live_nodes: bdd_stats.peak_live_nodes,
+                cache_hit_rate: bdd_stats.cache_hit_rate(),
+                gc_survival_rate: bdd_stats.gc_survival_rate(),
+                avg_probe_length: bdd_stats.avg_probe_length(),
             };
             Ok(crate::solver::Solution {
                 general: generic.general,

@@ -139,6 +139,14 @@ pub struct SolverStats {
     pub duration: Duration,
     /// Peak live BDD nodes observed by the manager during the run.
     pub peak_live_nodes: usize,
+    /// Computed-cache hit rate of the equation's manager at the end of the
+    /// run, in `[0, 1]` (cumulative over the manager's lifetime).
+    pub cache_hit_rate: f64,
+    /// Fraction of computed-cache entries that survived the manager's GC
+    /// sweeps, in `[0, 1]` (0.0 when no GC ran).
+    pub gc_survival_rate: f64,
+    /// Mean unique-table probe length of the manager (1.0 = perfect hash).
+    pub avg_probe_length: f64,
 }
 
 /// The result of a successful solve.

@@ -153,12 +153,16 @@ impl<'c> Session<'c> {
         let csf = prefix_closed.progressive(&eq.vars.u);
         // The post-processing itself runs under the engine guards too.
         self.ensure_clean()?;
+        let bdd_stats = self.mgr.stats();
         let stats = SolverStats {
             subset_states: general.num_states(),
             transitions: general.num_transitions(),
             images: self.images,
             duration: self.elapsed(),
-            peak_live_nodes: self.mgr.stats().peak_live_nodes,
+            peak_live_nodes: bdd_stats.peak_live_nodes,
+            cache_hit_rate: bdd_stats.cache_hit_rate(),
+            gc_survival_rate: bdd_stats.gc_survival_rate(),
+            avg_probe_length: bdd_stats.avg_probe_length(),
         };
         Ok(Solution {
             general,
@@ -175,10 +179,21 @@ impl<'c> Session<'c> {
         self.limits.time_limit.unwrap_or_else(|| self.elapsed())
     }
 
-    /// Emits [`SolveEvent::PeakNodes`] and, when the engine collected since
+    /// Emits [`SolveEvent::PeakNodes`], a [`SolveEvent::CacheSample`] of the
+    /// kernel's cache/table counters, and, when the engine collected since
     /// the last sample, [`SolveEvent::GcPass`].
     fn sample_engine(&mut self) {
         let stats = self.mgr.stats();
+        // CacheSample first: consumers that redraw on PeakNodes (the CLI
+        // progress line) then render one internally consistent snapshot.
+        self.ctrl.emit(SolveEvent::CacheSample {
+            cache_lookups: stats.cache_lookups,
+            cache_hits: stats.cache_hits,
+            cache_survived: stats.cache_surviving_entries,
+            cache_swept: stats.cache_swept_entries,
+            unique_probes: stats.unique_probes,
+            unique_lookups: stats.unique_lookups,
+        });
         self.ctrl.emit(SolveEvent::PeakNodes {
             live_nodes: stats.live_nodes,
             peak_live_nodes: stats.peak_live_nodes,

@@ -8,6 +8,14 @@
 //! [`criterion_group!`]/[`criterion_main!`] macros — with a simple
 //! median-of-samples timer instead of criterion's statistical machinery.
 //!
+//! Two environment variables tailor harness runs:
+//!
+//! * `LANGEQ_BENCH_QUICK=1` — clamp every benchmark to ≤ 2 measured samples
+//!   (CI smoke mode);
+//! * `LANGEQ_BENCH_JSON=<path>` — append one JSON object per benchmark
+//!   (name, samples, min/median/max in ns) to `<path>`, producing the
+//!   `BENCH_*.json` records the repo tracks across perf PRs.
+//!
 //! To switch to the real harness, replace the `criterion` path dependency in
 //! `crates/bench/Cargo.toml` with the registry version; no bench source
 //! changes are needed.
@@ -101,7 +109,19 @@ impl Bencher {
     }
 }
 
+/// Quick mode (`LANGEQ_BENCH_QUICK=1`): clamp every benchmark to at most
+/// this many measured samples — for CI smoke jobs where trend visibility
+/// matters more than variance.
+fn effective_samples(samples: usize) -> usize {
+    if std::env::var_os("LANGEQ_BENCH_QUICK").is_some() {
+        samples.min(2)
+    } else {
+        samples
+    }
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let samples = effective_samples(samples);
     let mut b = Bencher {
         samples,
         measurements: Vec::new(),
@@ -121,6 +141,33 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
         fmt_duration(median),
         fmt_duration(max)
     );
+    append_json_line(name, samples, min, median, max);
+}
+
+/// When `LANGEQ_BENCH_JSON` names a file, append one JSON object per
+/// benchmark (JSON Lines), so harness runs leave a machine-readable record
+/// (the `BENCH_*.json` artifacts uploaded by CI's bench smoke job).
+fn append_json_line(name: &str, samples: usize, min: Duration, median: Duration, max: Duration) {
+    use std::io::Write as _;
+    let Some(path) = std::env::var_os("LANGEQ_BENCH_JSON") else {
+        return;
+    };
+    let line = format!(
+        "{{\"name\":\"{}\",\"samples\":{},\"min_ns\":{},\"median_ns\":{},\"max_ns\":{}}}\n",
+        name.replace('"', "'"),
+        samples,
+        min.as_nanos(),
+        median.as_nanos(),
+        max.as_nanos()
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("criterion-shim: cannot append to {path:?}: {e}");
+    }
 }
 
 fn fmt_duration(d: Duration) -> String {

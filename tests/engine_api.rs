@@ -107,7 +107,8 @@ fn progress_events_are_monotone_and_complete() {
     );
 
     let (mut last_states, mut last_images, mut last_peak) = (0usize, 0usize, 0usize);
-    let (mut n_states, mut n_images, mut n_peaks) = (0usize, 0usize, 0usize);
+    let (mut n_states, mut n_images, mut n_peaks, mut n_cache) = (0usize, 0usize, 0usize, 0usize);
+    let mut last_lookups = 0u64;
     for e in events.iter() {
         match e {
             SolveEvent::SubsetState { discovered, .. } => {
@@ -129,16 +130,38 @@ fn progress_events_are_monotone_and_complete() {
                 last_peak = *peak_live_nodes;
                 n_peaks += 1;
             }
+            SolveEvent::CacheSample {
+                cache_lookups,
+                cache_hits,
+                cache_survived,
+                cache_swept,
+                unique_probes,
+                unique_lookups,
+            } => {
+                assert!(*cache_lookups >= last_lookups, "lookups went backwards");
+                assert!(cache_hits <= cache_lookups, "hits exceed lookups");
+                assert!(cache_survived <= cache_swept, "survivors exceed swept");
+                assert!(unique_probes >= unique_lookups, "probe count below lookups");
+                last_lookups = *cache_lookups;
+                n_cache += 1;
+            }
             SolveEvent::GcPass { .. } | SolveEvent::Started { .. } => {}
         }
     }
-    // One SubsetState + one PeakNodes sample per explored state (the DCN /
-    // DCA trap states are synthesized, never explored, hence the slack of
-    // two); the image counter in the events matches the final statistics.
+    // One SubsetState + one PeakNodes + one CacheSample per explored state
+    // (the DCN / DCA trap states are synthesized, never explored, hence the
+    // slack of two); the image counter in the events matches the final
+    // statistics.
     assert_eq!(n_states, n_peaks);
+    assert_eq!(n_states, n_cache);
     assert!(n_states + 2 >= solution.stats.subset_states);
     assert_eq!(last_images, solution.stats.images);
     assert_eq!(n_images, solution.stats.images);
+    // The kernel health rates thread through to the final statistics.
+    assert!(last_lookups > 0, "no cache traffic sampled");
+    assert!(solution.stats.cache_hit_rate > 0.0 && solution.stats.cache_hit_rate <= 1.0);
+    assert!((0.0..=1.0).contains(&solution.stats.gc_survival_rate));
+    assert!(solution.stats.avg_probe_length >= 1.0);
 }
 
 #[test]
