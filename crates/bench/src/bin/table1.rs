@@ -3,18 +3,27 @@
 //! circuits.
 //!
 //! ```text
-//! cargo run --release -p langeq-bench --bin table1 [-- --verify] [--timeout SECS]
+//! cargo run --release -p langeq-bench --bin table1 \
+//!     [-- --verify] [--timeout SECS] [--node-limit N] [--jobs N]
 //! ```
 //!
 //! Prints the measured table in the paper's layout, followed by a
 //! paper-vs-measured markdown comparison (pasteable into EXPERIMENTS.md).
+//!
+//! `--jobs N` (N > 1) drives the table through `langeq-core`'s batch
+//! engine, one solve per worker thread — faster wall clock for shape
+//! checks, but cells share the machine, so keep the sequential default for
+//! publication-grade timings (`--verify` is only available sequentially).
 
 use std::time::Duration;
 
-use langeq_bench::{format_comparison, format_table1, run_table1, HarnessOptions};
+use langeq_bench::{
+    format_comparison, format_table1, run_table1, run_table1_suite, HarnessOptions,
+};
 
 fn main() {
     let mut opts = HarnessOptions::default();
+    let mut jobs = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -32,12 +41,22 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .expect("--node-limit needs a count");
             }
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--jobs needs a count");
+            }
             other => {
                 eprintln!("unknown argument `{other}`");
-                eprintln!("usage: table1 [--verify] [--timeout SECS] [--node-limit N]");
+                eprintln!("usage: table1 [--verify] [--timeout SECS] [--node-limit N] [--jobs N]");
                 std::process::exit(2);
             }
         }
+    }
+    if jobs > 1 && opts.verify {
+        eprintln!("--verify needs the sequential harness; drop --jobs");
+        std::process::exit(2);
     }
 
     println!("Table 1 reproduction — partitioned vs monolithic CSF computation");
@@ -52,7 +71,11 @@ fn main() {
         }
     );
     println!();
-    let rows = run_table1(&opts);
+    let rows = if jobs > 1 {
+        run_table1_suite(&opts, jobs)
+    } else {
+        run_table1(&opts)
+    };
     println!("{}", format_table1(&rows));
     println!("Paper-reported vs measured (markdown):");
     println!();

@@ -4,10 +4,13 @@
 //!
 //! * [`run_table1`] — the Table-1 comparison (partitioned vs monolithic
 //!   runtimes, CSF sizes, CNC outcomes) on the six stand-in circuits,
+//! * [`run_table1_suite`] — the same comparison driven through
+//!   `langeq-core`'s batch engine, one solve per worker thread,
 //! * [`run_sweep`] — a scaling sweep (extension) backing the paper's claim
 //!   that the partitioned method's advantage grows with problem size,
 //! * formatting helpers producing the paper-style tables, and
-//! * criterion micro-benchmarks (see `benches/`).
+//! * criterion micro-benchmarks (see `benches/`; the measurement protocol
+//!   is documented in `BENCHMARKING.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -16,8 +19,9 @@ use std::time::{Duration, Instant};
 
 use langeq_core::verify::verify_latch_split;
 use langeq_core::{
-    CncReason, Control, LatchSplitProblem, Monolithic, MonolithicOptions, Outcome, Partitioned,
-    PartitionedOptions, Solver, SolverLimits,
+    CellOutcome, CncReason, ConfigSpec, Control, InstanceSpec, LatchSplitProblem, Monolithic,
+    MonolithicOptions, Outcome, Partitioned, PartitionedOptions, Solver, SolverKind, SolverLimits,
+    SuiteOptions, SuitePlan,
 };
 use langeq_logic::gen::{self, Table1Instance};
 
@@ -175,6 +179,75 @@ pub fn run_table1(opts: &HarnessOptions) -> Vec<Table1Row> {
     gen::table1()
         .iter()
         .map(|inst| run_instance(inst, opts))
+        .collect()
+}
+
+/// Builds the Table-1 sweep plan: the six stand-in instances crossed with
+/// the `part` / `mono` configurations under the harness limits.
+pub fn table1_plan(opts: &HarnessOptions) -> SuitePlan {
+    let mut plan = SuitePlan::new();
+    for inst in gen::table1() {
+        plan = plan.instance(InstanceSpec::new(
+            inst.name,
+            inst.network,
+            inst.unknown_latches,
+        ));
+    }
+    plan.config(ConfigSpec::new("part", SolverKind::Partitioned).limits(limits(opts)))
+        .config(ConfigSpec::new("mono", SolverKind::Monolithic).limits(limits(opts)))
+}
+
+fn cell_to_run_result(report: &langeq_core::CellReport) -> RunResult {
+    match &report.outcome {
+        CellOutcome::Solved(stats) => RunResult::Done {
+            time: report.duration,
+            csf_states: stats.csf_states,
+            subset_states: stats.subset_states,
+        },
+        CellOutcome::Cnc(reason) => RunResult::Cnc(*reason),
+        // The built-in Table-1 instances always split; a Failed cell means
+        // the generator and the plan disagree — a bug, not a measurement.
+        CellOutcome::Failed(msg) => panic!("table1 cell {} failed: {msg}", report.instance),
+    }
+}
+
+/// Runs the Table-1 reproduction through the batch engine with `jobs`
+/// worker threads (one solve per worker; managers stay thread-confined).
+///
+/// Measured times per cell are comparable with [`run_table1`]'s — each cell
+/// solves a fresh problem standalone, as in the paper — but a parallel run
+/// shares the machine, so use `jobs = 1` (or the sequential harness) for
+/// publication-grade timings and higher job counts for quick shape checks.
+/// Verification is not available here ([`Table1Row::verified`] is `None`):
+/// the sweep engine keeps counters, not solutions.
+pub fn run_table1_suite(opts: &HarnessOptions, jobs: usize) -> Vec<Table1Row> {
+    let plan = table1_plan(opts);
+    let report = plan
+        .execute(SuiteOptions::new().jobs(jobs))
+        .expect("table1 plan executes");
+    gen::table1()
+        .iter()
+        .map(|inst| {
+            let cell = |config: &str| {
+                report
+                    .get(inst.name, config)
+                    .unwrap_or_else(|| panic!("missing cell {}/{config}", inst.name))
+            };
+            let n = &inst.network;
+            Table1Row {
+                name: inst.name.to_string(),
+                io_cs: format!("{}/{}/{}", n.num_inputs(), n.num_outputs(), n.num_latches()),
+                fcs_xcs: format!(
+                    "{}/{}",
+                    n.num_latches() - inst.unknown_latches.len(),
+                    inst.unknown_latches.len()
+                ),
+                partitioned: cell_to_run_result(cell("part")),
+                monolithic: cell_to_run_result(cell("mono")),
+                verified: None,
+                paper: inst.paper,
+            }
+        })
         .collect()
 }
 
@@ -363,6 +436,63 @@ pub fn format_sweep(points: &[SweepPoint]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn table1_plan_enumerates_six_instances_by_two_configs() {
+        let plan = table1_plan(&HarnessOptions::default());
+        assert_eq!(plan.num_cells(), 12);
+        plan.validate().unwrap();
+        assert_eq!(plan.configs()[0].name, "part");
+        assert_eq!(plan.configs()[1].name, "mono");
+        assert_eq!(
+            plan.configs()[0].limits.time_limit,
+            Some(HarnessOptions::default().time_limit)
+        );
+    }
+
+    #[test]
+    fn suite_cells_agree_with_the_sequential_harness() {
+        // One instance through both paths: the batch engine must report the
+        // same deterministic counters as the sequential Table-1 harness.
+        let instances = gen::table1();
+        let inst = &instances[0]; // sim_s510
+        let opts = HarnessOptions {
+            time_limit: Duration::from_secs(60),
+            node_limit: 4_000_000,
+            verify: false,
+        };
+        let plan = SuitePlan::new()
+            .instance(InstanceSpec::new(
+                inst.name,
+                inst.network.clone(),
+                inst.unknown_latches.clone(),
+            ))
+            .config(ConfigSpec::new("part", SolverKind::Partitioned).limits(limits(&opts)))
+            .config(ConfigSpec::new("mono", SolverKind::Monolithic).limits(limits(&opts)));
+        let report = plan.execute(SuiteOptions::new().jobs(2)).unwrap();
+        let row = run_instance(inst, &opts);
+        for (config, sequential) in [("part", &row.partitioned), ("mono", &row.monolithic)] {
+            let suite = cell_to_run_result(report.get(inst.name, config).unwrap());
+            match (sequential, &suite) {
+                (
+                    RunResult::Done {
+                        csf_states: a,
+                        subset_states: sa,
+                        ..
+                    },
+                    RunResult::Done {
+                        csf_states: b,
+                        subset_states: sb,
+                        ..
+                    },
+                ) => {
+                    assert_eq!(a, b, "{config} CSF sizes differ");
+                    assert_eq!(sa, sb, "{config} subset counts differ");
+                }
+                other => panic!("{config}: outcomes diverge: {other:?}"),
+            }
+        }
+    }
 
     #[test]
     fn smallest_instance_runs_end_to_end() {

@@ -44,6 +44,11 @@ pub fn scan(args: &[String], value_keys: &[&str]) -> Result<Parsed, CliError> {
 }
 
 impl Parsed {
+    /// All positional arguments, in order.
+    pub fn positionals(&self) -> &[String] {
+        &self.positional
+    }
+
     /// Exactly `n` positionals, or a usage error.
     pub fn exactly(&self, n: usize, what: &str) -> Result<&[String], CliError> {
         if self.positional.len() == n {

@@ -3,6 +3,7 @@
 pub mod aut;
 pub mod net;
 pub mod solve;
+pub mod sweep;
 
 use std::time::Instant;
 

@@ -39,14 +39,9 @@ fn flow(p: &Parsed) -> Result<SolverKind, CliError> {
     match (p.value("flow"), p.flag("mono")) {
         (None, false) => Ok(SolverKind::Partitioned),
         (None, true) => Ok(SolverKind::Monolithic),
-        (Some(name), false) => match name {
-            "partitioned" | "part" => Ok(SolverKind::Partitioned),
-            "monolithic" | "mono" => Ok(SolverKind::Monolithic),
-            "algorithm1" | "alg1" => Ok(SolverKind::Algorithm1),
-            other => Err(CliError::Usage(format!(
-                "unknown flow `{other}` (partitioned|monolithic|algorithm1)"
-            ))),
-        },
+        (Some(name), false) => name
+            .parse()
+            .map_err(|e| CliError::Usage(format!("--flow: {e}"))),
         (Some(_), true) => Err(CliError::Usage(
             "--mono and --flow are mutually exclusive".into(),
         )),

@@ -54,6 +54,11 @@ Solver commands:
   extract --spec <net> --split K,...  CSF → deterministic Mealy sub-solution
         [--strategy lexmin|first|selfloop] [--minimize]
         [-o sub.kiss] [--verify]
+  sweep <manifest.sweep>              batch (instance × config) sweep with a
+  sweep <net...> --split K,K,...      work-stealing pool and a JSONL journal
+        [--flows part,mono,...] [--timeout SECS] [--node-limit N]
+        [--jobs N] [--budget SECS] [--journal PATH] [--resume]
+        [--json] [--progress]
 
   help                                this text
 
@@ -82,6 +87,7 @@ fn main() -> ExitCode {
         "contains" | "equivalent" => commands::aut::check(cmd, rest),
         "solve" => commands::solve::solve(rest),
         "extract" => commands::solve::extract(rest),
+        "sweep" => commands::sweep::sweep(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;

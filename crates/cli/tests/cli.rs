@@ -522,3 +522,131 @@ fn usage_errors_exit_2() {
     let out = langeq(&dir, &["info", "missing.bench"]);
     assert_eq!(out.status.code(), Some(3));
 }
+
+const MINI_SWEEP: &str = "\
+# tiny 2x2 sweep over the bundled generators
+instance fig3 gen:figure3
+instance c4   gen:counter4
+config part flow=partitioned
+config mono flow=monolithic timeout=60
+";
+
+/// Journal lines with the timing field blanked — the determinism contract
+/// is \"byte-identical modulo timing fields\".
+fn strip_timing(journal: &str) -> Vec<String> {
+    let mut lines: Vec<String> = journal
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| {
+            let cut = l.find("\"duration_ns\"").unwrap_or(l.len());
+            l[..cut].to_string()
+        })
+        .collect();
+    lines.sort();
+    lines
+}
+
+#[test]
+fn sweep_runs_a_manifest_and_resumes() {
+    let dir = scratch("sweep");
+    std::fs::write(dir.join("mini.sweep"), MINI_SWEEP).unwrap();
+
+    let out = langeq(&dir, &["sweep", "mini.sweep", "--jobs", "2"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let table = stdout(&out);
+    assert!(table.contains("4 solved"), "table:\n{table}");
+    let journal = std::fs::read_to_string(dir.join("mini.journal.jsonl")).unwrap();
+    assert_eq!(journal.lines().count(), 4, "journal:\n{journal}");
+
+    // Resume: nothing re-runs, the journal stays as it is, and --json
+    // replays all four cells in deterministic plan order.
+    let out = langeq(
+        &dir,
+        &["sweep", "mini.sweep", "--jobs", "2", "--resume", "--json"],
+    );
+    assert!(out.status.success(), "{}", stderr(&out));
+    let replay = stdout(&out);
+    let cells: Vec<&str> = replay.lines().collect();
+    assert_eq!(cells.len(), 4, "replay:\n{replay}");
+    assert!(cells[0].contains("\"cell\":0"), "replay:\n{replay}");
+    assert!(cells[3].contains("\"cell\":3"), "replay:\n{replay}");
+    let journal_after = std::fs::read_to_string(dir.join("mini.journal.jsonl")).unwrap();
+    assert_eq!(journal, journal_after, "resume must not re-journal");
+}
+
+#[test]
+fn sweep_journals_identically_for_one_and_four_workers() {
+    let dir = scratch("sweepdet");
+    std::fs::write(dir.join("mini.sweep"), MINI_SWEEP).unwrap();
+
+    let out = langeq(
+        &dir,
+        &[
+            "sweep",
+            "mini.sweep",
+            "--jobs",
+            "1",
+            "--journal",
+            "j1.jsonl",
+        ],
+    );
+    assert!(out.status.success(), "{}", stderr(&out));
+    let out = langeq(
+        &dir,
+        &[
+            "sweep",
+            "mini.sweep",
+            "--jobs",
+            "4",
+            "--journal",
+            "j4.jsonl",
+        ],
+    );
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    let j1 = std::fs::read_to_string(dir.join("j1.jsonl")).unwrap();
+    let j4 = std::fs::read_to_string(dir.join("j4.jsonl")).unwrap();
+    assert_eq!(strip_timing(&j1), strip_timing(&j4));
+}
+
+#[test]
+fn sweep_over_network_files_uses_flows_and_split() {
+    let dir = scratch("sweepfiles");
+    std::fs::write(dir.join("fig3.bench"), FIGURE3).unwrap();
+    let out = langeq(
+        &dir,
+        &[
+            "sweep",
+            "fig3.bench",
+            "--split",
+            "1",
+            "--flows",
+            "partitioned,monolithic,algorithm1",
+        ],
+    );
+    assert!(out.status.success(), "{}", stderr(&out));
+    let table = stdout(&out);
+    assert!(table.contains("3 solved"), "table:\n{table}");
+    assert!(dir.join("sweep.journal.jsonl").exists());
+}
+
+#[test]
+fn sweep_usage_errors() {
+    let dir = scratch("sweepusage");
+    std::fs::write(dir.join("mini.sweep"), MINI_SWEEP).unwrap();
+    std::fs::write(dir.join("fig3.bench"), FIGURE3).unwrap();
+    // No positionals.
+    let out = langeq(&dir, &["sweep"]);
+    assert_eq!(out.status.code(), Some(2));
+    // Network files without --split.
+    let out = langeq(&dir, &["sweep", "fig3.bench"]);
+    assert_eq!(out.status.code(), Some(2));
+    // Manifest options conflict with per-run flags.
+    let out = langeq(&dir, &["sweep", "mini.sweep", "--flows", "mono"]);
+    assert_eq!(out.status.code(), Some(2));
+    // Malformed manifest is a run error with a line number.
+    std::fs::write(dir.join("bad.sweep"), "widget x\n").unwrap();
+    let out = langeq(&dir, &["sweep", "bad.sweep"]);
+    assert_eq!(out.status.code(), Some(3));
+    assert!(stderr(&out).contains("line 1"), "{}", stderr(&out));
+}

@@ -1,0 +1,358 @@
+//! The sweep manifest: a small line-oriented text format declaring a
+//! [`SuitePlan`] — the on-disk face of `langeq sweep`.
+//!
+//! ## Format
+//!
+//! ```text
+//! # Comments and blank lines are ignored.
+//! #
+//! # instance <name> <source> [split=K,K,...]
+//! #   <source> is a .bench/.blif path (relative to the manifest), or a
+//! #   built-in generator:
+//! #     gen:figure3        the paper's Figure-3 circuit (default split: 1)
+//! #     gen:sim_s510 ...   a Table-1 stand-in (default split: the table's)
+//! #     gen:counterN       an N-bit counter (default split: upper half)
+//! instance fig3   gen:figure3
+//! instance s510   gen:sim_s510
+//! instance custom circuits/custom.bench split=2,3
+//!
+//! # config <name> [flow=partitioned|monolithic|algorithm1] [trim=on|off]
+//! #               [timeout=SECS] [node-limit=N] [max-states=N]
+//! config part flow=partitioned
+//! config mono flow=monolithic timeout=60
+//! ```
+//!
+//! Instance and config names key the sweep journal, so they must be unique
+//! ([`SuitePlan::validate`] enforces this at execution time).
+
+use std::path::Path;
+use std::time::Duration;
+
+use langeq_logic::gen;
+
+use crate::batch::{ConfigSpec, InstanceSpec, SuitePlan};
+use crate::solver::{SolverKind, SolverLimits};
+
+/// A manifest parse failure: 1-based line number and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestError {
+    /// 1-based line of the failure (0 for file-level errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ManifestError {
+    fn at(line: usize, message: impl Into<String>) -> Self {
+        ManifestError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "manifest line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+/// Loads and parses a manifest file; relative instance paths resolve
+/// against the manifest's directory.
+pub fn load_manifest(path: &Path) -> Result<SuitePlan, ManifestError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ManifestError::at(0, format!("reading {}: {e}", path.display())))?;
+    let base = path.parent().unwrap_or_else(|| Path::new("."));
+    parse_manifest(&text, base)
+}
+
+/// Parses manifest text; relative instance paths resolve against `base`.
+pub fn parse_manifest(text: &str, base: &Path) -> Result<SuitePlan, ManifestError> {
+    let mut plan = SuitePlan::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        match words.next() {
+            Some("instance") => {
+                plan = plan.instance(parse_instance(lineno, words, base)?);
+            }
+            Some("config") => {
+                plan = plan.config(parse_config(lineno, words)?);
+            }
+            Some(other) => {
+                return Err(ManifestError::at(
+                    lineno,
+                    format!("unknown directive `{other}` (expected `instance` or `config`)"),
+                ));
+            }
+            None => unreachable!("blank lines are skipped"),
+        }
+    }
+    Ok(plan)
+}
+
+fn parse_instance<'a>(
+    lineno: usize,
+    mut words: impl Iterator<Item = &'a str>,
+    base: &Path,
+) -> Result<InstanceSpec, ManifestError> {
+    let name = words
+        .next()
+        .ok_or_else(|| ManifestError::at(lineno, "instance needs a name"))?;
+    let source = words
+        .next()
+        .ok_or_else(|| ManifestError::at(lineno, "instance needs a source (path or gen:NAME)"))?;
+    let mut split: Option<Vec<usize>> = None;
+    for word in words {
+        match word.split_once('=') {
+            Some(("split", value)) => {
+                split = Some(parse_usize_list(lineno, "split", value)?);
+            }
+            _ => {
+                return Err(ManifestError::at(
+                    lineno,
+                    format!("unknown instance option `{word}` (expected split=K,K,...)"),
+                ));
+            }
+        }
+    }
+    let (network, default_split) = load_source(lineno, source, base)?;
+    let unknown_latches = match split.or(default_split) {
+        Some(s) => s,
+        None => {
+            return Err(ManifestError::at(
+                lineno,
+                format!("instance `{name}` needs an explicit split=K,K,..."),
+            ));
+        }
+    };
+    Ok(InstanceSpec::new(name, network, unknown_latches))
+}
+
+/// Resolves an instance source: a `gen:` built-in or a network file.
+/// Returns the network and, for built-ins, their canonical default split.
+fn load_source(
+    lineno: usize,
+    source: &str,
+    base: &Path,
+) -> Result<(langeq_logic::Network, Option<Vec<usize>>), ManifestError> {
+    if let Some(gen_name) = source.strip_prefix("gen:") {
+        if gen_name == "figure3" {
+            return Ok((gen::figure3(), Some(vec![1])));
+        }
+        if let Some(bits) = gen_name.strip_prefix("counter") {
+            let bits: usize = bits.parse().map_err(|_| {
+                ManifestError::at(lineno, format!("bad counter size in `{source}`"))
+            })?;
+            if bits == 0 || bits > 24 {
+                return Err(ManifestError::at(
+                    lineno,
+                    format!("counter size {bits} out of range (1..=24)"),
+                ));
+            }
+            let split = (bits / 2..bits).collect();
+            return Ok((gen::counter(gen_name, bits), Some(split)));
+        }
+        if let Some(inst) = gen::table1().into_iter().find(|i| i.name == gen_name) {
+            return Ok((inst.network, Some(inst.unknown_latches)));
+        }
+        return Err(ManifestError::at(
+            lineno,
+            format!("unknown generator `{source}` (gen:figure3, gen:counterN, or a Table-1 name)"),
+        ));
+    }
+    let path = base.join(source);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| ManifestError::at(lineno, format!("reading {}: {e}", path.display())))?;
+    let ext = path
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("")
+        .to_ascii_lowercase();
+    let network = match ext.as_str() {
+        "bench" => langeq_logic::bench_fmt::parse(&text)
+            .map_err(|e| ManifestError::at(lineno, format!("{source}: {e}")))?,
+        "blif" => langeq_logic::blif::parse(&text)
+            .map_err(|e| ManifestError::at(lineno, format!("{source}: {e}")))?,
+        other => {
+            return Err(ManifestError::at(
+                lineno,
+                format!("`{source}`: unknown network format `.{other}` (.bench/.blif)"),
+            ));
+        }
+    };
+    Ok((network, None))
+}
+
+fn parse_config<'a>(
+    lineno: usize,
+    mut words: impl Iterator<Item = &'a str>,
+) -> Result<ConfigSpec, ManifestError> {
+    let name = words
+        .next()
+        .ok_or_else(|| ManifestError::at(lineno, "config needs a name"))?;
+    let mut spec = ConfigSpec::new(name, SolverKind::Partitioned);
+    let mut limits = SolverLimits::default();
+    for word in words {
+        let Some((key, value)) = word.split_once('=') else {
+            return Err(ManifestError::at(
+                lineno,
+                format!("config option `{word}` is not key=value"),
+            ));
+        };
+        match key {
+            "flow" => {
+                spec.kind = value
+                    .parse()
+                    .map_err(|e| ManifestError::at(lineno, format!("{e}")))?;
+            }
+            "trim" => {
+                spec.trim_dcn = match value {
+                    "on" | "true" | "1" => true,
+                    "off" | "false" | "0" => false,
+                    _ => {
+                        return Err(ManifestError::at(
+                            lineno,
+                            format!("bad trim value `{value}` (on|off)"),
+                        ));
+                    }
+                };
+            }
+            "timeout" => {
+                limits.time_limit = Some(Duration::from_secs(parse_number(lineno, key, value)?));
+            }
+            "node-limit" => {
+                limits.node_limit = Some(parse_number::<usize>(lineno, key, value)?);
+            }
+            "max-states" => {
+                limits.max_states = Some(parse_number::<usize>(lineno, key, value)?);
+            }
+            other => {
+                return Err(ManifestError::at(
+                    lineno,
+                    format!("unknown config option `{other}`"),
+                ));
+            }
+        }
+    }
+    spec.limits = limits;
+    Ok(spec)
+}
+
+fn parse_number<T: std::str::FromStr>(
+    lineno: usize,
+    key: &str,
+    value: &str,
+) -> Result<T, ManifestError> {
+    value
+        .parse()
+        .map_err(|_| ManifestError::at(lineno, format!("bad number `{value}` for {key}=")))
+}
+
+fn parse_usize_list(lineno: usize, key: &str, value: &str) -> Result<Vec<usize>, ManifestError> {
+    value
+        .split(',')
+        .filter(|t| !t.is_empty())
+        .map(|t| {
+            t.trim()
+                .parse()
+                .map_err(|_| ManifestError::at(lineno, format!("bad index `{t}` in {key}=")))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_manifest_parses() {
+        let text = "\
+# Table-1 style mini sweep
+instance fig3 gen:figure3                 # default split
+instance c4   gen:counter4
+instance s510 gen:sim_s510 split=3,4,5
+
+config part flow=partitioned
+config mono flow=monolithic timeout=60 node-limit=1000000 max-states=500000
+config ablate flow=partitioned trim=off
+";
+        let plan = parse_manifest(text, Path::new(".")).unwrap();
+        assert_eq!(plan.instances().len(), 3);
+        assert_eq!(plan.configs().len(), 3);
+        assert_eq!(plan.num_cells(), 9);
+        assert_eq!(plan.instances()[0].unknown_latches, vec![1]);
+        assert_eq!(plan.instances()[1].unknown_latches, vec![2, 3]);
+        assert_eq!(plan.instances()[2].unknown_latches, vec![3, 4, 5]);
+        let mono = &plan.configs()[1];
+        assert_eq!(mono.kind, SolverKind::Monolithic);
+        assert_eq!(mono.limits.time_limit, Some(Duration::from_secs(60)));
+        assert_eq!(mono.limits.node_limit, Some(1_000_000));
+        assert_eq!(mono.limits.max_states, Some(500_000));
+        assert!(!plan.configs()[2].trim_dcn);
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    fn file_instances_resolve_relative_to_base() {
+        let dir = std::env::temp_dir().join(format!("langeq-manifest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("net.bench"),
+            "INPUT(i)\nOUTPUT(o)\ncs = DFF(ns)\nns = AND(i, cs)\no = NOT(cs)\n",
+        )
+        .unwrap();
+        let plan = parse_manifest(
+            "instance n net.bench split=0\nconfig p flow=partitioned\n",
+            &dir,
+        )
+        .unwrap();
+        assert_eq!(plan.instances()[0].network.num_latches(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let bad = [
+            ("widget x", "unknown directive"),
+            ("instance a", "needs a source"),
+            ("instance a gen:warp", "unknown generator"),
+            ("instance a gen:counter0", "out of range"),
+            ("instance a missing.bench split=0", "reading"),
+            (
+                "instance a gen:figure3 frobnicate",
+                "unknown instance option",
+            ),
+            ("config c flow=warp", "unknown flow"),
+            ("config c trim=sideways", "bad trim value"),
+            ("config c timeout=soon", "bad number"),
+            ("config c verbose", "not key=value"),
+        ];
+        for (text, needle) in bad {
+            let text = format!("\n{text}\n");
+            let err = parse_manifest(&text, Path::new(".")).unwrap_err();
+            assert_eq!(err.line, 2, "for `{text}`: {err}");
+            assert!(err.message.contains(needle), "for `{text}`: {err}");
+        }
+    }
+
+    #[test]
+    fn missing_split_for_file_instances_is_an_error() {
+        let dir = std::env::temp_dir().join(format!("langeq-manifest2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("net.bench"),
+            "INPUT(i)\nOUTPUT(o)\ncs = DFF(ns)\nns = AND(i, cs)\no = NOT(cs)\n",
+        )
+        .unwrap();
+        let err = parse_manifest("instance n net.bench\n", &dir).unwrap_err();
+        assert!(err.message.contains("split"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,409 @@
+//! Batch sweeps: the second-tier **`Suite`** API over the [`Solver`] trait.
+//!
+//! The paper's evaluation (Table 1) is not one solve but a *sweep*: many
+//! benchmark instances, each run under several solver configurations. This
+//! module makes that a first-class, declarative object:
+//!
+//! * a [`SuitePlan`] enumerates **cells** = (problem instance ×
+//!   configuration): [`InstanceSpec`] holds a network and its latch split,
+//!   [`ConfigSpec`] a [`SolverKind`] plus options and limits;
+//! * [`SuitePlan::execute`] runs the cells on a **work-stealing pool** of
+//!   worker threads — BDD managers are thread-confined, so each worker
+//!   builds a fresh [`LatchSplitProblem`](crate::LatchSplitProblem) per
+//!   cell, while the `Send + Sync` [`CancelToken`](crate::CancelToken) is
+//!   fanned out to every cell and a global wall-clock **budget** derives a
+//!   per-cell deadline;
+//! * progress streams as [`SuiteEvent`]s on the calling thread, and every
+//!   finished cell is appended as one JSON line to a **journal** (via
+//!   `langeq-report`), so a killed sweep resumed with
+//!   [`SuiteOptions::resume`] skips the completed cells;
+//! * the final [`SuiteReport`] lists cells in deterministic plan order, no
+//!   matter how the workers interleaved.
+//!
+//! ```
+//! use langeq_core::batch::{ConfigSpec, InstanceSpec, SuiteOptions, SuitePlan};
+//! use langeq_core::SolverKind;
+//! use langeq_logic::gen;
+//!
+//! let plan = SuitePlan::new()
+//!     .instance(InstanceSpec::new("fig3", gen::figure3(), vec![1]))
+//!     .config(ConfigSpec::new("part", SolverKind::Partitioned))
+//!     .config(ConfigSpec::new("mono", SolverKind::Monolithic));
+//! let report = plan.execute(SuiteOptions::new().jobs(2)).unwrap();
+//! assert_eq!(report.cells.len(), 2);
+//! assert!(report.cells.iter().all(|c| c.solved()));
+//! ```
+
+pub mod journal;
+pub mod manifest;
+
+mod exec;
+
+use std::time::Duration;
+
+use langeq_image::ImageOptions;
+use langeq_logic::Network;
+
+use crate::solver::{
+    Algorithm1, CncReason, Monolithic, MonolithicOptions, Partitioned, PartitionedOptions, Solver,
+    SolverKind, SolverLimits,
+};
+
+pub use exec::{BoxedSuiteObserver, SuiteEvent, SuiteOptions, SuiteReport};
+
+/// One problem instance of a sweep: a sequential network plus the latch
+/// split that defines the unknown component `X`.
+#[derive(Debug, Clone)]
+pub struct InstanceSpec {
+    /// Instance name — the journal key, unique within a plan.
+    pub name: String,
+    /// The network to split.
+    pub network: Network,
+    /// Latches assigned to the unknown component (the rest stay in `F`).
+    pub unknown_latches: Vec<usize>,
+}
+
+impl InstanceSpec {
+    /// A named instance.
+    pub fn new(name: impl Into<String>, network: Network, unknown_latches: Vec<usize>) -> Self {
+        InstanceSpec {
+            name: name.into(),
+            network,
+            unknown_latches,
+        }
+    }
+}
+
+/// One solver configuration of a sweep: a flow plus its options and limits.
+#[derive(Debug, Clone)]
+pub struct ConfigSpec {
+    /// Configuration name — the journal key, unique within a plan.
+    pub name: String,
+    /// Which flow to run.
+    pub kind: SolverKind,
+    /// §3.2 DCN trimming (partitioned flow only).
+    pub trim_dcn: bool,
+    /// Image-computation tuning (partitioned flow only).
+    pub image: ImageOptions,
+    /// Per-cell resource limits.
+    pub limits: SolverLimits,
+}
+
+impl ConfigSpec {
+    /// A configuration with default options for `kind`.
+    pub fn new(name: impl Into<String>, kind: SolverKind) -> Self {
+        ConfigSpec {
+            name: name.into(),
+            kind,
+            trim_dcn: true,
+            image: ImageOptions::default(),
+            limits: SolverLimits::default(),
+        }
+    }
+
+    /// Replaces the resource limits.
+    pub fn limits(mut self, limits: SolverLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Enables/disables DCN trimming (partitioned flow only).
+    pub fn trim_dcn(mut self, on: bool) -> Self {
+        self.trim_dcn = on;
+        self
+    }
+
+    /// The configured solver, type-erased (constructed per cell, inside the
+    /// worker that runs it).
+    pub fn solver(&self) -> Box<dyn Solver> {
+        match self.kind {
+            SolverKind::Partitioned => Box::new(Partitioned::new(PartitionedOptions {
+                image: self.image,
+                trim_dcn: self.trim_dcn,
+                limits: self.limits,
+            })),
+            SolverKind::Monolithic => Box::new(Monolithic::new(MonolithicOptions {
+                limits: self.limits,
+            })),
+            SolverKind::Algorithm1 => Box::new(Algorithm1::new(self.limits)),
+        }
+    }
+}
+
+/// A declarative sweep: every instance crossed with every configuration.
+///
+/// Cell ids are instance-major: cell `i * num_configs + j` runs instance
+/// `i` under configuration `j` — the order of a Table-1 row scan. The same
+/// order is the deterministic order of [`SuiteReport::cells`].
+#[derive(Debug, Clone, Default)]
+pub struct SuitePlan {
+    instances: Vec<InstanceSpec>,
+    configs: Vec<ConfigSpec>,
+}
+
+/// One cell of a plan: the (instance, configuration) pair behind a cell id.
+#[derive(Debug, Clone, Copy)]
+pub struct Cell<'a> {
+    /// The cell id (`instance index × num_configs + config index`).
+    pub id: usize,
+    /// The instance to solve.
+    pub instance: &'a InstanceSpec,
+    /// The configuration to solve it under.
+    pub config: &'a ConfigSpec,
+}
+
+impl Cell<'_> {
+    /// A deterministic signature of everything that defines this cell's
+    /// result: the network's shape, the latch split, and the full solver
+    /// configuration. Stored in every journal record and compared on
+    /// resume, so editing a manifest's `split=`/`timeout=`/`flow=` (or
+    /// swapping the network behind an instance name) between a kill and a
+    /// `--resume` re-runs the cell instead of replaying a stale result.
+    pub fn signature(&self) -> String {
+        let net = &self.instance.network;
+        let cfg = self.config;
+        format!(
+            "net={}/{}/{}/{};split={:?};flow={};trim={};nl={:?};tl={:?};ms={:?}",
+            net.name(),
+            net.num_inputs(),
+            net.num_outputs(),
+            net.num_latches(),
+            self.instance.unknown_latches,
+            cfg.kind,
+            cfg.trim_dcn,
+            cfg.limits.node_limit,
+            cfg.limits.time_limit,
+            cfg.limits.max_states,
+        )
+    }
+}
+
+impl SuitePlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        SuitePlan::default()
+    }
+
+    /// Adds a problem instance.
+    pub fn instance(mut self, spec: InstanceSpec) -> Self {
+        self.instances.push(spec);
+        self
+    }
+
+    /// Adds a solver configuration.
+    pub fn config(mut self, spec: ConfigSpec) -> Self {
+        self.configs.push(spec);
+        self
+    }
+
+    /// The plan's instances, in insertion order.
+    pub fn instances(&self) -> &[InstanceSpec] {
+        &self.instances
+    }
+
+    /// The plan's configurations, in insertion order.
+    pub fn configs(&self) -> &[ConfigSpec] {
+        &self.configs
+    }
+
+    /// Number of cells (`instances × configs`).
+    pub fn num_cells(&self) -> usize {
+        self.instances.len() * self.configs.len()
+    }
+
+    /// The cell behind an id, if in range.
+    pub fn cell(&self, id: usize) -> Option<Cell<'_>> {
+        let nc = self.configs.len();
+        if nc == 0 || id >= self.num_cells() {
+            return None;
+        }
+        Some(Cell {
+            id,
+            instance: &self.instances[id / nc],
+            config: &self.configs[id % nc],
+        })
+    }
+
+    /// All cells in deterministic (instance-major) order.
+    pub fn cells(&self) -> impl Iterator<Item = Cell<'_>> {
+        (0..self.num_cells()).map(|id| self.cell(id).expect("id in range"))
+    }
+
+    /// Checks the journal-key invariants: instance and configuration names
+    /// must be unique (they key the journal's resume matching).
+    pub fn validate(&self) -> Result<(), SuiteError> {
+        let instance_names: Vec<&String> = self.instances.iter().map(|i| &i.name).collect();
+        let config_names: Vec<&String> = self.configs.iter().map(|c| &c.name).collect();
+        for (what, names) in [("instance", instance_names), ("config", config_names)] {
+            let mut seen = std::collections::HashSet::new();
+            for name in names {
+                if !seen.insert(name) {
+                    return Err(SuiteError::Plan(format!("duplicate {what} name `{name}`")));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the sweep. See [`SuiteOptions`] for the execution knobs
+    /// (workers, budget, journal, resume, cancellation, events).
+    pub fn execute(&self, opts: SuiteOptions) -> Result<SuiteReport, SuiteError> {
+        exec::execute(self, opts)
+    }
+}
+
+/// Per-cell solver counters (the deterministic half of a report — every
+/// field is reproducible for a fresh manager, unlike the timing fields).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CellStats {
+    /// States of the computed CSF.
+    pub csf_states: usize,
+    /// Subset states discovered during determinization.
+    pub subset_states: usize,
+    /// Transitions of the most general solution.
+    pub transitions: usize,
+    /// Image computations performed.
+    pub images: usize,
+    /// Peak live BDD nodes of the cell's (fresh) manager.
+    pub peak_live_nodes: usize,
+}
+
+/// How one cell ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellOutcome {
+    /// Solved within the limits.
+    Solved(CellStats),
+    /// Could not complete (the paper's CNC), including cooperative
+    /// cancellation.
+    Cnc(CncReason),
+    /// The cell could not even start (e.g. the latch split is invalid for
+    /// the network) — a plan error, journaled so resume does not retry it.
+    Failed(String),
+}
+
+/// The record of one finished cell — the unit the journal stores and the
+/// [`SuiteReport`] aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellReport {
+    /// Cell id within the plan (instance-major).
+    pub cell: usize,
+    /// Instance name.
+    pub instance: String,
+    /// Configuration name.
+    pub config: String,
+    /// The flow that ran.
+    pub kind: SolverKind,
+    /// The cell's parameter signature ([`Cell::signature`]) — the resume
+    /// guard.
+    pub sig: String,
+    /// How the cell ended.
+    pub outcome: CellOutcome,
+    /// Wall-clock time of the cell (for resumed cells: the journaled
+    /// original solve time).
+    pub duration: Duration,
+    /// True when this report was loaded from a journal instead of solved in
+    /// this run.
+    pub resumed: bool,
+    /// True when the cell was denied its **fair chance** — cancelled, or
+    /// cut off by the global budget before consuming its own configured
+    /// time limit. Retryable cells are never journaled; a `--resume` run
+    /// solves them again. Always false for journaled/resumed cells.
+    pub retryable: bool,
+}
+
+impl CellReport {
+    /// True if the cell solved.
+    pub fn solved(&self) -> bool {
+        matches!(self.outcome, CellOutcome::Solved(_))
+    }
+
+    /// The solver counters, if solved.
+    pub fn stats(&self) -> Option<&CellStats> {
+        match &self.outcome {
+            CellOutcome::Solved(stats) => Some(stats),
+            _ => None,
+        }
+    }
+
+    /// One-word status for tables and logs.
+    pub fn status(&self) -> &'static str {
+        match &self.outcome {
+            CellOutcome::Solved(_) => "solved",
+            CellOutcome::Cnc(CncReason::Cancelled) => "cancelled",
+            CellOutcome::Cnc(_) => "cnc",
+            CellOutcome::Failed(_) => "failed",
+        }
+    }
+}
+
+/// Why a sweep could not run.
+#[derive(Debug)]
+pub enum SuiteError {
+    /// The plan is malformed (duplicate journal keys, …).
+    Plan(String),
+    /// Journal I/O failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for SuiteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SuiteError::Plan(msg) => write!(f, "invalid sweep plan: {msg}"),
+            SuiteError::Io(e) => write!(f, "sweep journal I/O: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SuiteError {}
+
+impl From<std::io::Error> for SuiteError {
+    fn from(e: std::io::Error) -> Self {
+        SuiteError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use langeq_logic::gen;
+
+    #[test]
+    fn plan_enumerates_cells_instance_major() {
+        let plan = SuitePlan::new()
+            .instance(InstanceSpec::new("a", gen::figure3(), vec![1]))
+            .instance(InstanceSpec::new("b", gen::figure3(), vec![0]))
+            .config(ConfigSpec::new("p", SolverKind::Partitioned))
+            .config(ConfigSpec::new("m", SolverKind::Monolithic));
+        assert_eq!(plan.num_cells(), 4);
+        let keys: Vec<(usize, &str, &str)> = plan
+            .cells()
+            .map(|c| (c.id, c.instance.name.as_str(), c.config.name.as_str()))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![(0, "a", "p"), (1, "a", "m"), (2, "b", "p"), (3, "b", "m")]
+        );
+        assert!(plan.cell(4).is_none());
+        assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_keys() {
+        let plan = SuitePlan::new()
+            .instance(InstanceSpec::new("a", gen::figure3(), vec![1]))
+            .instance(InstanceSpec::new("a", gen::figure3(), vec![0]))
+            .config(ConfigSpec::new("p", SolverKind::Partitioned));
+        assert!(matches!(plan.validate(), Err(SuiteError::Plan(_))));
+    }
+
+    #[test]
+    fn config_builds_the_right_solver() {
+        for kind in [
+            SolverKind::Partitioned,
+            SolverKind::Monolithic,
+            SolverKind::Algorithm1,
+        ] {
+            assert_eq!(ConfigSpec::new("c", kind).solver().kind(), kind);
+        }
+    }
+}

@@ -58,11 +58,20 @@
 //! to another thread (or a Ctrl-C handler), and `cancel()` makes the solve
 //! return [`Outcome::Cnc`]`(`[`CncReason::Cancelled`]`)` — nothing panics,
 //! and the BDD manager is immediately reusable.
+//!
+//! ## Sweeps
+//!
+//! Above the single-solve API sits the [`batch`] layer: a declarative
+//! [`SuitePlan`] crossing problem instances with solver configurations,
+//! executed on a work-stealing worker pool with a shared wall-clock budget,
+//! a JSONL journal, and resumability — the engine behind `langeq sweep` and
+//! the Table-1 harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod algorithm1;
+pub mod batch;
 mod equation;
 pub mod extract;
 mod fsm;
@@ -71,6 +80,10 @@ pub mod solver;
 mod universe;
 pub mod verify;
 
+pub use batch::{
+    CellOutcome, CellReport, CellStats, ConfigSpec, InstanceSpec, SuiteError, SuiteEvent,
+    SuiteOptions, SuitePlan, SuiteReport,
+};
 pub use equation::{LanguageEquation, LatchSplitProblem};
 pub use fsm::{FsmLatch, FsmOutput, PartitionedFsm, StateOrder};
 pub use solver::{
@@ -79,21 +92,3 @@ pub use solver::{
     SolverLimits, SolverStats, DEFAULT_MAX_STATES,
 };
 pub use universe::{UniverseSizes, VarUniverse};
-
-/// Solves with the paper's partitioned flow (see [`solver::partitioned`]).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `SolveRequest::partitioned()` or the `Partitioned` solver"
-)]
-pub fn solve_partitioned(eq: &LanguageEquation, opts: &PartitionedOptions) -> Outcome {
-    Partitioned::new(*opts).solve(eq, &Control::default())
-}
-
-/// Solves with the monolithic baseline (see [`solver::monolithic`]).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `SolveRequest::monolithic()` or the `Monolithic` solver"
-)]
-pub fn solve_monolithic(eq: &LanguageEquation, opts: &MonolithicOptions) -> Outcome {
-    Monolithic::new(*opts).solve(eq, &Control::default())
-}

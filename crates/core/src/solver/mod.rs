@@ -8,10 +8,7 @@
 //!   cancellation/progress, run;
 //! * [`Solver`] — the trait implemented by [`Partitioned`], [`Monolithic`],
 //!   and [`Algorithm1`]; drive it generically for harnesses that compare
-//!   flows;
-//! * the deprecated free functions
-//!   [`solve_partitioned`](crate::solve_partitioned) /
-//!   [`solve_monolithic`](crate::solve_monolithic), kept as thin shims.
+//!   flows (the [`batch`](crate::batch) sweep engine is one such harness).
 //!
 //! Exhausting any limit — node budget, wall clock, state budget — or a
 //! cancellation yields [`Outcome::Cnc`] **cooperatively**: nothing panics or
@@ -49,6 +46,37 @@ impl std::fmt::Display for SolverKind {
             SolverKind::Partitioned => write!(f, "partitioned"),
             SolverKind::Monolithic => write!(f, "monolithic"),
             SolverKind::Algorithm1 => write!(f, "algorithm1"),
+        }
+    }
+}
+
+/// Error of [`SolverKind::from_str`]: the unrecognized flow name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownFlow(pub String);
+
+impl std::fmt::Display for UnknownFlow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown flow `{}` (partitioned|monolithic|algorithm1)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for UnknownFlow {}
+
+impl std::str::FromStr for SolverKind {
+    type Err = UnknownFlow;
+
+    /// Parses the [`Display`](std::fmt::Display) names plus the CLI's short
+    /// aliases (`part`, `mono`, `alg1`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "partitioned" | "part" => Ok(SolverKind::Partitioned),
+            "monolithic" | "mono" => Ok(SolverKind::Monolithic),
+            "algorithm1" | "alg1" => Ok(SolverKind::Algorithm1),
+            other => Err(UnknownFlow(other.to_string())),
         }
     }
 }
@@ -225,22 +253,6 @@ impl Outcome {
         match self {
             Outcome::Solved(s) => Ok(*s),
             Outcome::Cnc(r) => Err(r),
-        }
-    }
-
-    /// Unwraps the solution.
-    ///
-    /// # Panics
-    ///
-    /// Panics with the CNC reason if the run did not complete.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `into_result()` (or `solution()`) and handle `CncReason` explicitly"
-    )]
-    pub fn expect_solved(&self) -> &Solution {
-        match self {
-            Outcome::Solved(s) => s,
-            Outcome::Cnc(r) => panic!("solver did not complete: {r}"),
         }
     }
 }

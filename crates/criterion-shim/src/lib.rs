@@ -8,13 +8,17 @@
 //! [`criterion_group!`]/[`criterion_main!`] macros — with a simple
 //! median-of-samples timer instead of criterion's statistical machinery.
 //!
-//! Two environment variables tailor harness runs:
+//! Three environment variables tailor harness runs:
 //!
 //! * `LANGEQ_BENCH_QUICK=1` — clamp every benchmark to ≤ 2 measured samples
-//!   (CI smoke mode);
+//!   (CI smoke mode; wins over everything else);
+//! * `LANGEQ_BENCH_SAMPLES=<n>` — override the sample count of every
+//!   benchmark (the low-variance protocol of `crates/bench/BENCHMARKING.md`
+//!   raises this for the machine-noise-bound solver workloads);
 //! * `LANGEQ_BENCH_JSON=<path>` — append one JSON object per benchmark
 //!   (name, samples, min/median/max in ns) to `<path>`, producing the
-//!   `BENCH_*.json` records the repo tracks across perf PRs.
+//!   `BENCH_*.json` records the repo tracks across perf PRs (written through
+//!   `langeq-report`, the workspace's hand-rolled JSONL writer).
 //!
 //! To switch to the real harness, replace the `criterion` path dependency in
 //! `crates/bench/Cargo.toml` with the registry version; no bench source
@@ -109,14 +113,23 @@ impl Bencher {
     }
 }
 
-/// Quick mode (`LANGEQ_BENCH_QUICK=1`): clamp every benchmark to at most
-/// this many measured samples — for CI smoke jobs where trend visibility
-/// matters more than variance.
+/// Resolves the measured sample count from the environment:
+///
+/// * `LANGEQ_BENCH_QUICK=1` clamps to ≤ 2 samples (CI smoke jobs, where
+///   trend visibility matters more than variance) and wins over everything;
+/// * otherwise `LANGEQ_BENCH_SAMPLES=<n>` overrides the configured count —
+///   the knob the low-variance protocol uses to push the machine-noise-bound
+///   solver workloads to more samples without editing the benches.
 fn effective_samples(samples: usize) -> usize {
     if std::env::var_os("LANGEQ_BENCH_QUICK").is_some() {
-        samples.min(2)
-    } else {
-        samples
+        return samples.min(2);
+    }
+    match std::env::var("LANGEQ_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) => n.max(1),
+        None => samples,
     }
 }
 
@@ -146,25 +159,21 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
 
 /// When `LANGEQ_BENCH_JSON` names a file, append one JSON object per
 /// benchmark (JSON Lines), so harness runs leave a machine-readable record
-/// (the `BENCH_*.json` artifacts uploaded by CI's bench smoke job).
+/// (the `BENCH_*.json` artifacts uploaded by CI's bench smoke job). The
+/// record goes through [`langeq_report`], the same hand-rolled JSONL writer
+/// the sweep journal uses.
 fn append_json_line(name: &str, samples: usize, min: Duration, median: Duration, max: Duration) {
-    use std::io::Write as _;
     let Some(path) = std::env::var_os("LANGEQ_BENCH_JSON") else {
         return;
     };
-    let line = format!(
-        "{{\"name\":\"{}\",\"samples\":{},\"min_ns\":{},\"median_ns\":{},\"max_ns\":{}}}\n",
-        name.replace('"', "'"),
-        samples,
-        min.as_nanos(),
-        median.as_nanos(),
-        max.as_nanos()
-    );
-    let written = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(&path)
-        .and_then(|mut f| f.write_all(line.as_bytes()));
+    let record = langeq_report::Json::obj()
+        .set("name", name)
+        .set("samples", samples)
+        .set("min_ns", min.as_nanos())
+        .set("median_ns", median.as_nanos())
+        .set("max_ns", max.as_nanos());
+    let written = langeq_report::JsonlWriter::append(std::path::Path::new(&path))
+        .and_then(|mut w| w.write(&record));
     if let Err(e) = written {
         eprintln!("criterion-shim: cannot append to {path:?}: {e}");
     }

@@ -34,10 +34,11 @@ pub mod prelude {
     pub use langeq_bdd::{Bdd, BddManager, VarId};
     pub use langeq_core::extract::SelectionStrategy;
     pub use langeq_core::{
-        Algorithm1, CancelToken, CncReason, Control, LanguageEquation, LatchSplitProblem,
-        Monolithic, MonolithicOptions, Outcome, Partitioned, PartitionedFsm, PartitionedOptions,
-        Solution, SolveEvent, SolveRequest, Solver, SolverKind, SolverLimits, StateOrder,
-        VarUniverse,
+        Algorithm1, CancelToken, CellOutcome, CellReport, CellStats, CncReason, ConfigSpec,
+        Control, InstanceSpec, LanguageEquation, LatchSplitProblem, Monolithic, MonolithicOptions,
+        Outcome, Partitioned, PartitionedFsm, PartitionedOptions, Solution, SolveEvent,
+        SolveRequest, Solver, SolverKind, SolverLimits, StateOrder, SuiteError, SuiteEvent,
+        SuiteOptions, SuitePlan, SuiteReport, VarUniverse,
     };
     pub use langeq_image::{ImageComputer, QuantSchedule};
     pub use langeq_logic::kiss::MealyFsm;

@@ -208,14 +208,36 @@ fn control_deadline_reports_timeout() {
 }
 
 #[test]
-fn deprecated_free_functions_still_work() {
-    #![allow(deprecated)]
+fn solver_kind_round_trips_through_its_names() {
+    // The PR-1 free-function shims are gone; flows are now named values
+    // that parse back from their display names (and the CLI aliases).
+    for kind in [
+        SolverKind::Partitioned,
+        SolverKind::Monolithic,
+        SolverKind::Algorithm1,
+    ] {
+        assert_eq!(kind.to_string().parse::<SolverKind>(), Ok(kind));
+    }
+    assert_eq!("part".parse(), Ok(SolverKind::Partitioned));
+    assert_eq!("mono".parse(), Ok(SolverKind::Monolithic));
+    assert_eq!("alg1".parse(), Ok(SolverKind::Algorithm1));
+    assert!("warp".parse::<SolverKind>().is_err());
+}
+
+#[test]
+fn flows_agree_when_driven_as_suite_configs() {
+    // The batch layer's ConfigSpec is the new way to hold "a flow plus its
+    // options"; the solvers it builds agree with each other.
     let p = midsize_problem();
-    let part = langeq::core::solve_partitioned(&p.equation, &PartitionedOptions::paper());
-    let mono = langeq::core::solve_monolithic(&p.equation, &MonolithicOptions::default());
-    let (part, mono) = (
-        part.into_result().expect("partitioned shim solves"),
-        mono.into_result().expect("monolithic shim solves"),
-    );
+    let part = langeq::core::ConfigSpec::new("p", SolverKind::Partitioned)
+        .solver()
+        .solve_unmonitored(&p.equation)
+        .into_result()
+        .expect("partitioned solves");
+    let mono = langeq::core::ConfigSpec::new("m", SolverKind::Monolithic)
+        .solver()
+        .solve_unmonitored(&p.equation)
+        .into_result()
+        .expect("monolithic solves");
     assert!(part.csf.equivalent(&mono.csf));
 }
