@@ -2,6 +2,7 @@
 
 pub mod aut;
 pub mod net;
+pub mod serve;
 pub mod solve;
 pub mod sweep;
 

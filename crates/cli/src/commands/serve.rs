@@ -1,0 +1,253 @@
+//! The service commands: `langeq serve` (the daemon) and `langeq submit`
+//! (the client).
+//!
+//! `serve` binds the `langeq-serve` HTTP/JSON job API, runs jobs on a
+//! bounded worker pool, and answers repeated identical requests from the
+//! content-addressed result cache — persistent across restarts via
+//! `--cache-journal`. Ctrl-C drains: in-flight solves cancel
+//! cooperatively, the bound socket closes, and the process exits cleanly.
+//!
+//! `submit` sends one solve (a network file or a `gen:` builtin) or one
+//! sweep (a manifest file) to a running daemon, polls the job to
+//! completion, and prints the result.
+
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use langeq_core::CellReport;
+use langeq_report::Json;
+use langeq_serve::{Client, ServeOptions, Server};
+
+use crate::cliargs::{scan, Parsed};
+use crate::commands::CliError;
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7878";
+
+/// `langeq serve [--addr HOST:PORT] [--jobs N] [--queue N]
+/// [--max-body BYTES] [--cache-journal PATH]`.
+pub fn serve(args: &[String]) -> Result<ExitCode, CliError> {
+    let p = scan(
+        args,
+        &["addr", "jobs", "queue", "max-body", "cache-journal"],
+    )?;
+    p.reject_unknown(&["addr", "jobs", "queue", "max-body", "cache-journal"])?;
+    if !p.positionals().is_empty() {
+        return Err(CliError::Usage(
+            "serve takes no positional arguments".into(),
+        ));
+    }
+
+    let mut opts = ServeOptions::new()
+        .addr(p.value("addr").unwrap_or(DEFAULT_ADDR))
+        .jobs(p.number::<usize>("jobs")?.unwrap_or(0))
+        .cancel_token(crate::sigint::install());
+    if let Some(cap) = p.number::<usize>("queue")? {
+        opts = opts.queue_cap(cap);
+    }
+    if let Some(bytes) = p.number::<usize>("max-body")? {
+        opts = opts.max_body(bytes);
+    }
+    if let Some(path) = p.value("cache-journal") {
+        opts = opts.cache_journal(path);
+    }
+
+    let server = Server::start(opts).map_err(|e| CliError::Run(format!("starting server: {e}")))?;
+    // The address line goes to stdout so scripts (and the CI smoke test)
+    // can bind port 0 and read the port back.
+    println!("listening on http://{}", server.addr());
+    eprintln!(
+        "[serve] {} cache entr{} warmed from the journal; Ctrl-C drains and exits",
+        server.warm_cache_entries(),
+        if server.warm_cache_entries() == 1 {
+            "y"
+        } else {
+            "ies"
+        },
+    );
+    server.wait();
+    eprintln!("[serve] drained, bye");
+    Ok(ExitCode::SUCCESS)
+}
+
+const SUBMIT_VALUE_KEYS: &[&str] = &[
+    "addr",
+    "split",
+    "flow",
+    "trim",
+    "timeout",
+    "node-limit",
+    "max-states",
+    "name",
+    "poll-ms",
+    "wait-secs",
+];
+
+/// `langeq submit <net.bench|net.blif|gen:NAME|manifest.sweep>
+/// [--addr HOST:PORT] [--split K,K,...] [--flow F] [--trim on|off]
+/// [--timeout S] [--node-limit N] [--max-states N] [--name NAME]
+/// [--no-wait] [--poll-ms N] [--wait-secs N] [--json]`.
+pub fn submit(args: &[String]) -> Result<ExitCode, CliError> {
+    let p = scan(args, SUBMIT_VALUE_KEYS)?;
+    let mut known: Vec<&str> = SUBMIT_VALUE_KEYS.to_vec();
+    known.extend(["no-wait", "json"]);
+    p.reject_unknown(&known)?;
+    let [source] = p.positionals() else {
+        return Err(CliError::Usage(
+            "submit needs one source: a network file, gen:NAME, or a manifest".into(),
+        ));
+    };
+
+    let client = Client::new(p.value("addr").unwrap_or(DEFAULT_ADDR));
+    let is_manifest = matches!(
+        Path::new(source.as_str())
+            .extension()
+            .and_then(|e| e.to_str())
+            .map(str::to_ascii_lowercase)
+            .as_deref(),
+        Some("sweep" | "manifest")
+    );
+
+    let ack = if is_manifest {
+        for opt in [
+            "split",
+            "flow",
+            "trim",
+            "timeout",
+            "node-limit",
+            "max-states",
+            "name",
+        ] {
+            if p.value(opt).is_some() {
+                return Err(CliError::Usage(format!(
+                    "--{opt} conflicts with a manifest; declare it in `{source}` instead"
+                )));
+            }
+        }
+        let manifest = std::fs::read_to_string(source)
+            .map_err(|e| CliError::Run(format!("reading {source}: {e}")))?;
+        client.submit_sweep(&manifest)
+    } else {
+        client.submit_solve(&solve_body(&p, source)?)
+    }
+    .map_err(|e| CliError::Run(format!("{}: {e}", client.addr())))?;
+
+    eprintln!(
+        "[submit] job {} is {}{}",
+        ack.job,
+        ack.state,
+        if ack.cached { " (cache hit)" } else { "" }
+    );
+    if p.flag("no-wait") {
+        println!(
+            "{}",
+            Json::obj()
+                .set("job", ack.job)
+                .set("state", ack.state.as_str())
+                .set("cached", ack.cached)
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let poll = Duration::from_millis(p.number::<u64>("poll-ms")?.unwrap_or(200));
+    let wait = Duration::from_secs(p.number::<u64>("wait-secs")?.unwrap_or(3600));
+    let result = client
+        .wait(ack.job, poll, wait)
+        .map_err(|e| CliError::Run(format!("{}: {e}", client.addr())))?;
+
+    let cells: Vec<CellReport> = result
+        .get("cells")
+        .and_then(Json::as_arr)
+        .map(|cells| cells.iter().filter_map(CellReport::from_json).collect())
+        .unwrap_or_default();
+    if p.flag("json") {
+        println!("{result}");
+    } else {
+        for cell in &cells {
+            let detail = match cell.stats() {
+                Some(stats) => format!("csf {} states", stats.csf_states),
+                None => "-".into(),
+            };
+            println!(
+                "{:<12} {:<12} {:<10} {} ({detail}, {:.2}s{})",
+                cell.instance,
+                cell.config,
+                cell.status(),
+                cell.kind,
+                cell.duration.as_secs_f64(),
+                if cell.resumed { ", cached" } else { "" }
+            );
+        }
+    }
+    Ok(
+        if !cells.is_empty() && cells.iter().all(CellReport::solved) {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        },
+    )
+}
+
+/// Builds the `POST /v1/solve` body from the CLI options.
+fn solve_body(p: &Parsed, source: &str) -> Result<Json, CliError> {
+    let mut body = Json::obj();
+    if source.starts_with("gen:") {
+        body = body.set("source", source);
+    } else {
+        let text = std::fs::read_to_string(source)
+            .map_err(|e| CliError::Run(format!("reading {source}: {e}")))?;
+        let ext = Path::new(source)
+            .extension()
+            .and_then(|e| e.to_str())
+            .unwrap_or("")
+            .to_ascii_lowercase();
+        if !matches!(ext.as_str(), "bench" | "blif") {
+            return Err(CliError::Usage(format!(
+                "`{source}`: submit solves .bench/.blif networks, gen:NAME builtins, \
+                 or .sweep manifests"
+            )));
+        }
+        let stem = Path::new(source)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or(source);
+        body = body
+            .set("network", text)
+            .set("format", ext.as_str())
+            .set("name", stem);
+    }
+    if let Some(split) = p.usize_list("split")? {
+        body = body.set(
+            "split",
+            split.iter().map(|&k| Json::from(k)).collect::<Vec<Json>>(),
+        );
+    }
+    if let Some(flow) = p.value("flow") {
+        body = body.set("flow", flow);
+    }
+    if let Some(trim) = p.value("trim") {
+        let trim = match trim {
+            "on" | "true" | "1" => true,
+            "off" | "false" | "0" => false,
+            other => {
+                return Err(CliError::Usage(format!(
+                    "bad --trim value `{other}` (on|off)"
+                )));
+            }
+        };
+        body = body.set("trim", trim);
+    }
+    if let Some(secs) = p.number::<u64>("timeout")? {
+        body = body.set("timeout", secs);
+    }
+    if let Some(n) = p.number::<u64>("node-limit")? {
+        body = body.set("node_limit", n);
+    }
+    if let Some(n) = p.number::<u64>("max-states")? {
+        body = body.set("max_states", n);
+    }
+    if let Some(name) = p.value("name") {
+        body = body.set("name", name);
+    }
+    Ok(body)
+}

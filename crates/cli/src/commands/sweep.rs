@@ -145,6 +145,9 @@ fn progress_printer() -> impl FnMut(&SuiteEvent) {
         } => {
             eprintln!("[sweep] {instance} × {config}: started on worker {worker}");
         }
+        // Live kernel snapshots are for long-lived consumers (the serve
+        // layer's job progress); the line-oriented printer stays quiet.
+        SuiteEvent::CellSample { .. } => {}
         SuiteEvent::CellFinished { report } => {
             let detail = match report.stats() {
                 Some(stats) => format!("csf {} states", stats.csf_states),

@@ -60,6 +60,17 @@ Solver commands:
         [--jobs N] [--budget SECS] [--journal PATH] [--resume]
         [--json] [--progress]
 
+Service commands (HTTP/JSON job API, content-addressed result cache):
+  serve [--addr HOST:PORT]            run the solve daemon; repeated identical
+        [--jobs N] [--queue N]        requests answer from the cache, which
+        [--cache-journal PATH]        persists across restarts via the journal
+        [--max-body BYTES]
+  submit <net|gen:NAME|m.sweep>       send one solve (or a manifest sweep) to
+        [--addr HOST:PORT]            a running daemon and poll the job to
+        [--split K,K,...] [--flow F]  completion
+        [--trim on|off] [--timeout S] [--node-limit N] [--max-states N]
+        [--name NAME] [--no-wait] [--poll-ms N] [--wait-secs N] [--json]
+
   help                                this text
 
 Long-running commands accept --progress (stage/engine statistics on stderr)
@@ -88,6 +99,8 @@ fn main() -> ExitCode {
         "solve" => commands::solve::solve(rest),
         "extract" => commands::solve::extract(rest),
         "sweep" => commands::sweep::sweep(rest),
+        "serve" => commands::serve::serve(rest),
+        "submit" => commands::serve::submit(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;

@@ -631,6 +631,93 @@ fn sweep_over_network_files_uses_flows_and_split() {
 }
 
 #[test]
+fn serve_and_submit_round_trip_with_cache() {
+    use std::io::{BufRead, BufReader};
+    use std::process::{Child, Stdio};
+
+    let dir = scratch("serve");
+    std::fs::write(dir.join("fig3.bench"), FIGURE3).unwrap();
+
+    // A guard so a failing assertion cannot leak the daemon.
+    struct KillOnDrop(Child);
+    impl Drop for KillOnDrop {
+        fn drop(&mut self) {
+            let _ = self.0.kill();
+            let _ = self.0.wait();
+        }
+    }
+
+    let mut daemon = KillOnDrop(
+        Command::new(env!("CARGO_BIN_EXE_langeq"))
+            .current_dir(&dir)
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--jobs",
+                "2",
+                "--cache-journal",
+                "cache.jsonl",
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("daemon starts"),
+    );
+    // The daemon prints `listening on http://ADDR` once bound.
+    let mut line = String::new();
+    BufReader::new(daemon.0.stdout.take().expect("piped stdout"))
+        .read_line(&mut line)
+        .expect("address line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on http://")
+        .unwrap()
+        .to_string();
+
+    // First submission solves; the repeat is answered from the cache.
+    let out = langeq(
+        &dir,
+        &["submit", "fig3.bench", "--split", "1", "--addr", &addr],
+    );
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("solved"), "{}", stdout(&out));
+    let out = langeq(
+        &dir,
+        &[
+            "submit",
+            "fig3.bench",
+            "--split",
+            "1",
+            "--addr",
+            &addr,
+            "--json",
+        ],
+    );
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stderr(&out).contains("cache hit"), "{}", stderr(&out));
+    assert!(stdout(&out).contains("\"cached\":true"), "{}", stdout(&out));
+
+    // A manifest submission runs as one sweep job.
+    std::fs::write(dir.join("mini.sweep"), MINI_SWEEP).unwrap();
+    let out = langeq(&dir, &["submit", "mini.sweep", "--addr", &addr]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert_eq!(stdout(&out).lines().count(), 4, "{}", stdout(&out));
+
+    // The cache journal persisted the fair results.
+    let journal = std::fs::read_to_string(dir.join("cache.jsonl")).unwrap();
+    assert!(journal.lines().count() >= 5, "journal:\n{journal}");
+    drop(daemon);
+
+    // Submitting against a dead daemon is a run error, not a hang.
+    let out = langeq(
+        &dir,
+        &["submit", "fig3.bench", "--split", "1", "--addr", &addr],
+    );
+    assert_eq!(out.status.code(), Some(3));
+}
+
+#[test]
 fn sweep_usage_errors() {
     let dir = scratch("sweepusage");
     std::fs::write(dir.join("mini.sweep"), MINI_SWEEP).unwrap();

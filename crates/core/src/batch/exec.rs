@@ -43,9 +43,9 @@ use std::time::{Duration, Instant};
 use langeq_report::JsonlWriter;
 
 use crate::batch::journal::load_journal;
-use crate::batch::{Cell, CellOutcome, CellReport, SuiteError, SuitePlan};
+use crate::batch::{Cell, CellOutcome, CellReport, KernelSample, SuiteError, SuitePlan};
 use crate::equation::LatchSplitProblem;
-use crate::solver::{CancelToken, CncReason, Control, Outcome};
+use crate::solver::{CancelToken, CncReason, Control, Outcome, SolveEvent};
 
 /// A boxed sweep-event callback (the form observers travel in between the
 /// builder and the engine).
@@ -166,6 +166,20 @@ pub enum SuiteEvent {
         /// Worker index running it.
         worker: usize,
     },
+    /// A periodic kernel-stats snapshot of a *running* cell (throttled; the
+    /// final snapshot is delivered in the finished cell's
+    /// [`CellReport::kernel`]). Long-lived consumers — the serve layer's
+    /// per-job progress endpoint — use this to show live solve health.
+    CellSample {
+        /// Cell id.
+        cell: usize,
+        /// Instance name.
+        instance: String,
+        /// Config name.
+        config: String,
+        /// The latest kernel cache/table counters.
+        sample: KernelSample,
+    },
     /// A cell finished (in completion, not plan, order).
     CellFinished {
         /// The finished cell's report.
@@ -241,19 +255,29 @@ impl SuiteReport {
         self.count(|c| c.retryable)
     }
 
-    /// A fixed-width text table in plan order (the Table-1 shape).
+    /// A fixed-width text table in plan order (the Table-1 shape), with
+    /// per-cell kernel columns: peak live BDD nodes and the computed-cache
+    /// hit rate of the cell's (fresh) manager.
     pub fn format_table(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<12} {:<12} {:<12} {:<10} {:>8} {:>8} {:>8}",
-            "Instance", "Config", "Flow", "Status", "CSF", "Subset", "Time,s"
+            "{:<12} {:<12} {:<12} {:<10} {:>8} {:>8} {:>10} {:>6} {:>8}",
+            "Instance", "Config", "Flow", "Status", "CSF", "Subset", "PeakNodes", "Hit%", "Time,s"
         );
         for c in &self.cells {
-            let (csf, subset) = match c.stats() {
-                Some(s) => (s.csf_states.to_string(), s.subset_states.to_string()),
-                None => ("-".into(), "-".into()),
+            let (csf, subset, peak) = match c.stats() {
+                Some(s) => (
+                    s.csf_states.to_string(),
+                    s.subset_states.to_string(),
+                    s.peak_live_nodes.to_string(),
+                ),
+                None => ("-".into(), "-".into(), "-".into()),
+            };
+            let hit = match &c.kernel {
+                Some(k) => format!("{:.1}", 100.0 * k.hit_rate()),
+                None => "-".into(),
             };
             let time = if c.resumed {
                 "journal".to_string()
@@ -262,13 +286,15 @@ impl SuiteReport {
             };
             let _ = writeln!(
                 out,
-                "{:<12} {:<12} {:<12} {:<10} {:>8} {:>8} {:>8}",
+                "{:<12} {:<12} {:<12} {:<10} {:>8} {:>8} {:>10} {:>6} {:>8}",
                 c.instance,
                 c.config,
                 c.kind.to_string(),
                 c.status(),
                 csf,
                 subset,
+                peak,
+                hit,
                 time
             );
         }
@@ -295,10 +321,20 @@ enum WorkerMsg {
         config: String,
         worker: usize,
     },
+    Sample {
+        cell: usize,
+        instance: String,
+        config: String,
+        sample: KernelSample,
+    },
     Finished {
         report: CellReport,
     },
 }
+
+/// Minimum interval between two [`SuiteEvent::CellSample`] deliveries of
+/// one cell (the per-subset-state sampling underneath is far denser).
+const SAMPLE_PERIOD: Duration = Duration::from_millis(100);
 
 /// Pops the next cell for worker `w`: front of its own deque, else steal
 /// from the back of the first non-empty neighbour.
@@ -323,11 +359,16 @@ fn next_cell(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
 /// them marks the whole suite as incomplete.
 fn run_cell(
     cell: &Cell<'_>,
+    sig: String,
     token: &CancelToken,
     deadline: Option<Instant>,
     budget: Option<Duration>,
+    mut on_sample: impl FnMut(KernelSample) + 'static,
 ) -> CellReport {
     let t0 = Instant::now();
+    // The last kernel snapshot the solve emitted — shared with the progress
+    // observer below, harvested into the report after the solve.
+    let last_sample: std::rc::Rc<std::cell::Cell<Option<KernelSample>>> = Default::default();
     let (outcome, fair) = if token.is_cancelled() {
         // Cancellation drain: hand back the cell without solving.
         (CellOutcome::Cnc(CncReason::Cancelled), false)
@@ -348,7 +389,36 @@ fn run_cell(
             ),
             Ok(problem) => {
                 let solver = cell.config.solver();
-                let mut ctrl = Control::new().with_token(token.clone());
+                let sink = std::rc::Rc::clone(&last_sample);
+                let mut last_sent: Option<Instant> = None;
+                let mut ctrl = Control::new().with_token(token.clone()).with_observer(
+                    move |event: &SolveEvent| {
+                        if let SolveEvent::CacheSample {
+                            cache_lookups,
+                            cache_hits,
+                            cache_survived,
+                            cache_swept,
+                            unique_probes,
+                            unique_lookups,
+                        } = *event
+                        {
+                            let sample = KernelSample {
+                                cache_lookups,
+                                cache_hits,
+                                cache_survived,
+                                cache_swept,
+                                unique_probes,
+                                unique_lookups,
+                            };
+                            sink.set(Some(sample));
+                            let now = Instant::now();
+                            if last_sent.is_none_or(|t| now.duration_since(t) >= SAMPLE_PERIOD) {
+                                last_sent = Some(now);
+                                on_sample(sample);
+                            }
+                        }
+                    },
+                );
                 if let Some(d) = deadline {
                     ctrl = ctrl.with_deadline(d);
                 }
@@ -393,8 +463,9 @@ fn run_cell(
         instance: cell.instance.name.clone(),
         config: cell.config.name.clone(),
         kind: cell.config.kind,
-        sig: cell.signature(),
+        sig,
         outcome,
+        kernel: last_sample.get(),
         duration: t0.elapsed(),
         resumed: false,
         retryable: !fair,
@@ -405,6 +476,23 @@ pub(crate) fn execute(plan: &SuitePlan, mut opts: SuiteOptions) -> Result<SuiteR
     plan.validate()?;
     let t0 = Instant::now();
     let ncells = plan.num_cells();
+
+    // Signatures, computed once up front: the network fingerprint (a
+    // clone + BLIF serialization) is per *instance*, then shared by all of
+    // that instance's cells; the resume match and the workers both read
+    // from this table instead of re-deriving per use.
+    let fingerprints: Vec<String> = plan
+        .instances()
+        .iter()
+        .map(|i| crate::sig::network_fingerprint(&i.network))
+        .collect();
+    let nconfigs = plan.configs().len().max(1);
+    let sigs: Vec<String> = plan
+        .cells()
+        .map(|c| {
+            crate::sig::cell_signature_with(&fingerprints[c.id / nconfigs], c.instance, c.config)
+        })
+        .collect();
 
     // Resume: collect journaled cells, keyed by (instance, config) name so
     // a reordered manifest still matches. For duplicate keys (a cell
@@ -437,7 +525,7 @@ pub(crate) fn execute(plan: &SuitePlan, mut opts: SuiteOptions) -> Result<SuiteR
             // signature matches: an edited split/flow/limit (or a swapped
             // network) behind the same names re-runs the cell rather than
             // replaying a stale result.
-            Some(journaled) if journaled.sig == cell.signature() => {
+            Some(journaled) if journaled.sig == sigs[cell.id] => {
                 let mut report = journaled.clone();
                 // The journal may stem from a differently-ordered manifest;
                 // trust the current plan's cell id and mark the provenance.
@@ -493,6 +581,7 @@ pub(crate) fn execute(plan: &SuitePlan, mut opts: SuiteOptions) -> Result<SuiteR
             let token = opts.token.clone();
             let queues = &queues;
             let budget = opts.budget;
+            let sigs = &sigs;
             scope.spawn(move || {
                 while let Some(id) = next_cell(queues, w) {
                     let cell = plan.cell(id).expect("queued id in range");
@@ -505,7 +594,21 @@ pub(crate) fn execute(plan: &SuitePlan, mut opts: SuiteOptions) -> Result<SuiteR
                     if started.is_err() {
                         return; // coordinator gone; nothing left to report to
                     }
-                    let report = run_cell(&cell, &token, deadline, budget);
+                    let on_sample = {
+                        let tx = tx.clone();
+                        let instance = cell.instance.name.clone();
+                        let config = cell.config.name.clone();
+                        move |sample| {
+                            let _ = tx.send(WorkerMsg::Sample {
+                                cell: id,
+                                instance: instance.clone(),
+                                config: config.clone(),
+                                sample,
+                            });
+                        }
+                    };
+                    let report =
+                        run_cell(&cell, sigs[id].clone(), &token, deadline, budget, on_sample);
                     if tx.send(WorkerMsg::Finished { report }).is_err() {
                         return;
                     }
@@ -528,6 +631,17 @@ pub(crate) fn execute(plan: &SuitePlan, mut opts: SuiteOptions) -> Result<SuiteR
                     instance,
                     config,
                     worker,
+                }),
+                WorkerMsg::Sample {
+                    cell,
+                    instance,
+                    config,
+                    sample,
+                } => emit(&SuiteEvent::CellSample {
+                    cell,
+                    instance,
+                    config,
+                    sample,
                 }),
                 WorkerMsg::Finished { report } => {
                     // Only fair results are journaled; retryable cells are

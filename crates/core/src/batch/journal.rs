@@ -5,10 +5,12 @@
 //!
 //! ```json
 //! {"v":1,"cell":3,"instance":"sim_s510","config":"mono","flow":"monolithic",
-//!  "sig":"net=sim_s510/19/7/6;split=[3, 4, 5];flow=monolithic;...",
+//!  "sig":"net=8f3a09c1d2e4b567/19/7/6;split=[3, 4, 5];flow=monolithic;...",
 //!  "status":"solved","csf_states":54,"subset_states":60,"transitions":212,
-//!  "images":44,"peak_live_nodes":9123,"resumed":false,"retryable":false,
-//!  "duration_ns":412345}
+//!  "images":44,"peak_live_nodes":9123,
+//!  "kernel":{"cache_lookups":120000,"cache_hits":45000,"cache_survived":900,
+//!            "cache_swept":4000,"unique_probes":300000,"unique_lookups":250000},
+//!  "resumed":false,"retryable":false,"duration_ns":412345}
 //! {"v":1,"cell":4,"instance":"sim_s444","config":"mono","flow":"monolithic",
 //!  "sig":"...","status":"cnc","reason":"timeout","arg":30000000000,
 //!  "resumed":false,"retryable":false,"duration_ns":30000112345}
@@ -39,7 +41,7 @@ use std::time::Duration;
 
 use langeq_report::{parse_lines_lossy, Json};
 
-use crate::batch::{CellOutcome, CellReport, CellStats};
+use crate::batch::{CellOutcome, CellReport, CellStats, KernelSample};
 use crate::solver::{CncReason, SolverKind};
 
 /// Journal record version (bump when the format changes incompatibly;
@@ -74,11 +76,28 @@ impl CellReport {
                 base.set("status", "failed").set("error", message.as_str())
             }
         };
+        // The final kernel counters ride along when the cell was actually
+        // attempted. Deterministic for a fresh manager, so they sit before
+        // `duration_ns` — inside the region the byte-determinism contract
+        // covers.
+        let with_kernel = match &self.kernel {
+            Some(k) => with_outcome.set(
+                "kernel",
+                Json::obj()
+                    .set("cache_lookups", k.cache_lookups)
+                    .set("cache_hits", k.cache_hits)
+                    .set("cache_survived", k.cache_survived)
+                    .set("cache_swept", k.cache_swept)
+                    .set("unique_probes", k.unique_probes)
+                    .set("unique_lookups", k.unique_lookups),
+            ),
+            None => with_outcome,
+        };
         // The provenance flags matter to `--json` consumers (a replayed or
         // retryable cell is not a fresh measurement). Journal records always
         // carry false for both — only fair, freshly-solved cells are
         // written, and `resumed` is re-derived on load.
-        with_outcome
+        with_kernel
             .set("resumed", self.resumed)
             .set("retryable", self.retryable)
             .set("duration_ns", self.duration.as_nanos())
@@ -118,6 +137,8 @@ impl CellReport {
             .and_then(Json::as_str)
             .unwrap_or_default()
             .to_string();
+        // Optional: absent in records journaled before the field existed.
+        let kernel = record.get("kernel").and_then(decode_kernel);
         Some(CellReport {
             cell,
             instance,
@@ -125,11 +146,24 @@ impl CellReport {
             kind,
             sig,
             outcome,
+            kernel,
             duration,
             resumed: false,
             retryable: false,
         })
     }
+}
+
+fn decode_kernel(obj: &Json) -> Option<KernelSample> {
+    let field = |name: &str| obj.get(name)?.as_u64();
+    Some(KernelSample {
+        cache_lookups: field("cache_lookups")?,
+        cache_hits: field("cache_hits")?,
+        cache_survived: field("cache_survived")?,
+        cache_swept: field("cache_swept")?,
+        unique_probes: field("unique_probes")?,
+        unique_lookups: field("unique_lookups")?,
+    })
 }
 
 fn encode_cnc(reason: &CncReason) -> (&'static str, u64) {
@@ -179,6 +213,14 @@ mod tests {
                 images: 44,
                 peak_live_nodes: 9123,
             }),
+            kernel: Some(KernelSample {
+                cache_lookups: 120_000,
+                cache_hits: 45_000,
+                cache_survived: 900,
+                cache_swept: 4000,
+                unique_probes: 300_000,
+                unique_lookups: 250_000,
+            }),
             duration: Duration::from_nanos(412_345),
             resumed: false,
             retryable: false,
@@ -207,6 +249,11 @@ mod tests {
             },
             CellReport {
                 outcome: CellOutcome::Failed("latch split failed: no latch 9".into()),
+                ..solved_report()
+            },
+            // Never-attempted cells (and pre-kernel-era records) carry none.
+            CellReport {
+                kernel: None,
                 ..solved_report()
             },
         ];

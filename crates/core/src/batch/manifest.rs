@@ -16,6 +16,12 @@
 //! instance s510   gen:sim_s510
 //! instance custom circuits/custom.bench split=2,3
 //!
+//! # A file source may be a glob (`*` and `?` wildcards, per path
+//! # component). The instance name must then be `*`: one instance per
+//! # matching file, named by its file stem, in deterministic sorted order.
+//! # Zero matches is an error.
+//! instance * circuits/*.bench split=0
+//!
 //! # config <name> [flow=partitioned|monolithic|algorithm1] [trim=on|off]
 //! #               [timeout=SECS] [node-limit=N] [max-states=N]
 //! config part flow=partitioned
@@ -23,9 +29,10 @@
 //! ```
 //!
 //! Instance and config names key the sweep journal, so they must be unique
-//! ([`SuitePlan::validate`] enforces this at execution time).
+//! ([`SuitePlan::validate`] enforces this at execution time — two globbed
+//! files with the same stem in different directories collide there).
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use langeq_logic::gen;
@@ -80,7 +87,9 @@ pub fn parse_manifest(text: &str, base: &Path) -> Result<SuitePlan, ManifestErro
         let mut words = line.split_whitespace();
         match words.next() {
             Some("instance") => {
-                plan = plan.instance(parse_instance(lineno, words, base)?);
+                for spec in parse_instance(lineno, words, base)? {
+                    plan = plan.instance(spec);
+                }
             }
             Some("config") => {
                 plan = plan.config(parse_config(lineno, words)?);
@@ -101,7 +110,7 @@ fn parse_instance<'a>(
     lineno: usize,
     mut words: impl Iterator<Item = &'a str>,
     base: &Path,
-) -> Result<InstanceSpec, ManifestError> {
+) -> Result<Vec<InstanceSpec>, ManifestError> {
     let name = words
         .next()
         .ok_or_else(|| ManifestError::at(lineno, "instance needs a name"))?;
@@ -122,7 +131,53 @@ fn parse_instance<'a>(
             }
         }
     }
-    let (network, default_split) = load_source(lineno, source, base)?;
+
+    // Glob expansion: `instance * circuits/*.bench split=0` becomes one
+    // instance per matching file, named by its stem, in sorted order.
+    if is_glob(source) {
+        if source.starts_with("gen:") {
+            return Err(ManifestError::at(
+                lineno,
+                format!("`{source}`: wildcards only apply to file sources"),
+            ));
+        }
+        if name != "*" {
+            return Err(ManifestError::at(
+                lineno,
+                format!(
+                    "a glob source needs instance name `*` \
+                     (instances are named by their file stems), got `{name}`"
+                ),
+            ));
+        }
+        let matches = expand_glob(base, source)
+            .map_err(|e| ManifestError::at(lineno, format!("expanding `{source}`: {e}")))?;
+        if matches.is_empty() {
+            return Err(ManifestError::at(
+                lineno,
+                format!("`{source}` matches no files under {}", base.display()),
+            ));
+        }
+        let split = split.ok_or_else(|| {
+            ManifestError::at(lineno, format!("glob `{source}` needs split=K,K,..."))
+        })?;
+        return matches
+            .iter()
+            .map(|path| {
+                let stem = path
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or("unnamed")
+                    .to_string();
+                let network = load_network_file(path)
+                    .map_err(|message| ManifestError::at(lineno, message))?;
+                Ok(InstanceSpec::new(stem, network, split.clone()))
+            })
+            .collect();
+    }
+
+    let (network, default_split) =
+        resolve_source(source, base).map_err(|message| ManifestError::at(lineno, message))?;
     let unknown_latches = match split.or(default_split) {
         Some(s) => s,
         None => {
@@ -132,29 +187,30 @@ fn parse_instance<'a>(
             ));
         }
     };
-    Ok(InstanceSpec::new(name, network, unknown_latches))
+    Ok(vec![InstanceSpec::new(name, network, unknown_latches)])
 }
 
-/// Resolves an instance source: a `gen:` built-in or a network file.
-/// Returns the network and, for built-ins, their canonical default split.
-fn load_source(
-    lineno: usize,
+/// Resolves an instance source — a `gen:` built-in or a `.bench`/`.blif`
+/// path (relative paths against `base`) — to the network and, for
+/// built-ins, their canonical default split.
+///
+/// Public because the serve layer resolves the same `source` strings from
+/// request bodies; a drift between the two would make a submitted `gen:`
+/// instance and its manifest twin hash to different cache keys.
+pub fn resolve_source(
     source: &str,
     base: &Path,
-) -> Result<(langeq_logic::Network, Option<Vec<usize>>), ManifestError> {
+) -> Result<(langeq_logic::Network, Option<Vec<usize>>), String> {
     if let Some(gen_name) = source.strip_prefix("gen:") {
         if gen_name == "figure3" {
             return Ok((gen::figure3(), Some(vec![1])));
         }
         if let Some(bits) = gen_name.strip_prefix("counter") {
-            let bits: usize = bits.parse().map_err(|_| {
-                ManifestError::at(lineno, format!("bad counter size in `{source}`"))
-            })?;
+            let bits: usize = bits
+                .parse()
+                .map_err(|_| format!("bad counter size in `{source}`"))?;
             if bits == 0 || bits > 24 {
-                return Err(ManifestError::at(
-                    lineno,
-                    format!("counter size {bits} out of range (1..=24)"),
-                ));
+                return Err(format!("counter size {bits} out of range (1..=24)"));
             }
             let split = (bits / 2..bits).collect();
             return Ok((gen::counter(gen_name, bits), Some(split)));
@@ -162,32 +218,112 @@ fn load_source(
         if let Some(inst) = gen::table1().into_iter().find(|i| i.name == gen_name) {
             return Ok((inst.network, Some(inst.unknown_latches)));
         }
-        return Err(ManifestError::at(
-            lineno,
-            format!("unknown generator `{source}` (gen:figure3, gen:counterN, or a Table-1 name)"),
+        return Err(format!(
+            "unknown generator `{source}` (gen:figure3, gen:counterN, or a Table-1 name)"
         ));
     }
     let path = base.join(source);
-    let text = std::fs::read_to_string(&path)
-        .map_err(|e| ManifestError::at(lineno, format!("reading {}: {e}", path.display())))?;
+    load_network_file(&path).map(|network| (network, None))
+}
+
+/// Loads one `.bench`/`.blif` network file (message-only errors). The
+/// extension gate runs *before* the read, so a path without a network
+/// extension is never even opened (it could name a pipe or an unbounded
+/// pseudo-file).
+fn load_network_file(path: &Path) -> Result<langeq_logic::Network, String> {
     let ext = path
         .extension()
         .and_then(|e| e.to_str())
         .unwrap_or("")
         .to_ascii_lowercase();
-    let network = match ext.as_str() {
-        "bench" => langeq_logic::bench_fmt::parse(&text)
-            .map_err(|e| ManifestError::at(lineno, format!("{source}: {e}")))?,
-        "blif" => langeq_logic::blif::parse(&text)
-            .map_err(|e| ManifestError::at(lineno, format!("{source}: {e}")))?,
-        other => {
-            return Err(ManifestError::at(
-                lineno,
-                format!("`{source}`: unknown network format `.{other}` (.bench/.blif)"),
-            ));
+    let source = path.display();
+    if !matches!(ext.as_str(), "bench" | "blif") {
+        return Err(format!(
+            "`{source}`: unknown network format `.{ext}` (.bench/.blif)"
+        ));
+    }
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    if ext == "bench" {
+        langeq_logic::bench_fmt::parse(&text).map_err(|e| format!("{source}: {e}"))
+    } else {
+        langeq_logic::blif::parse(&text).map_err(|e| format!("{source}: {e}"))
+    }
+}
+
+/// True when a source string contains glob wildcards.
+fn is_glob(source: &str) -> bool {
+    source.contains(['*', '?'])
+}
+
+/// Matches one path component against a `*`/`?` wildcard pattern
+/// (iterative star matcher, no separators inside a component).
+fn wildcard_match(pattern: &str, name: &str) -> bool {
+    let (p, n) = (pattern.as_bytes(), name.as_bytes());
+    let (mut pi, mut ni) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None;
+    while ni < n.len() {
+        if pi < p.len() && (p[pi] == b'?' || p[pi] == n[ni]) {
+            pi += 1;
+            ni += 1;
+        } else if pi < p.len() && p[pi] == b'*' {
+            star = Some((pi, ni));
+            pi += 1;
+        } else if let Some((sp, sn)) = star {
+            // Backtrack: let the last `*` swallow one more character.
+            pi = sp + 1;
+            ni = sn + 1;
+            star = Some((sp, sn + 1));
+        } else {
+            return false;
         }
-    };
-    Ok((network, None))
+    }
+    while pi < p.len() && p[pi] == b'*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+/// Expands a wildcard pattern against the filesystem, component by
+/// component (no `**`), returning the matching **files** sorted by path —
+/// the deterministic order the expanded instances appear in. Dotfiles only
+/// match patterns that spell out the leading dot.
+fn expand_glob(base: &Path, pattern: &str) -> std::io::Result<Vec<PathBuf>> {
+    let mut candidates: Vec<PathBuf> = vec![if Path::new(pattern).is_absolute() {
+        PathBuf::from("/")
+    } else {
+        base.to_path_buf()
+    }];
+    for comp in pattern.split('/').filter(|c| !c.is_empty() && *c != ".") {
+        let mut next = Vec::new();
+        if !is_glob(comp) {
+            for dir in candidates {
+                next.push(dir.join(comp));
+            }
+        } else {
+            for dir in candidates {
+                let entries = match std::fs::read_dir(&dir) {
+                    Ok(entries) => entries,
+                    Err(_) => continue, // a non-directory candidate matches nothing
+                };
+                for entry in entries {
+                    let entry = entry?;
+                    let name = entry.file_name();
+                    let Some(name) = name.to_str() else { continue };
+                    if name.starts_with('.') && !comp.starts_with('.') {
+                        continue;
+                    }
+                    if wildcard_match(comp, name) {
+                        next.push(dir.join(name));
+                    }
+                }
+            }
+        }
+        candidates = next;
+    }
+    let mut files: Vec<PathBuf> = candidates.into_iter().filter(|p| p.is_file()).collect();
+    files.sort();
+    Ok(files)
 }
 
 fn parse_config<'a>(
@@ -340,6 +476,67 @@ config ablate flow=partitioned trim=off
             assert_eq!(err.line, 2, "for `{text}`: {err}");
             assert!(err.message.contains(needle), "for `{text}`: {err}");
         }
+    }
+
+    #[test]
+    fn wildcard_match_covers_star_and_question() {
+        assert!(wildcard_match("*.bench", "s510.bench"));
+        assert!(wildcard_match("s?10.bench", "s510.bench"));
+        assert!(wildcard_match("*", "anything"));
+        assert!(wildcard_match("a*b*c", "a-x-b-y-c"));
+        assert!(!wildcard_match("*.bench", "s510.blif"));
+        assert!(!wildcard_match("s?10.bench", "s5100.bench"));
+        assert!(!wildcard_match("a*b", "a-x-c"));
+    }
+
+    #[test]
+    fn glob_instances_expand_sorted_with_stem_names() {
+        let dir = std::env::temp_dir().join(format!("langeq-manifest-glob-{}", std::process::id()));
+        let sub = dir.join("circuits");
+        std::fs::create_dir_all(&sub).unwrap();
+        let bench = "INPUT(i)\nOUTPUT(o)\ncs = DFF(ns)\nns = AND(i, cs)\no = NOT(cs)\n";
+        // Written out of sorted order on purpose; `.blif` must not match.
+        for name in ["zeta.bench", "alpha.bench", "mid.bench", "skip.blif"] {
+            std::fs::write(sub.join(name), bench).unwrap();
+        }
+        let plan = parse_manifest(
+            "instance * circuits/*.bench split=0\nconfig p flow=partitioned\n",
+            &dir,
+        )
+        .unwrap();
+        let names: Vec<&str> = plan.instances().iter().map(|i| i.name.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+        assert!(plan
+            .instances()
+            .iter()
+            .all(|i| i.unknown_latches == vec![0]));
+        plan.validate().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn glob_errors_are_clear() {
+        let dir =
+            std::env::temp_dir().join(format!("langeq-manifest-glob2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Zero matches.
+        let err = parse_manifest("instance * nowhere/*.bench split=0\n", &dir).unwrap_err();
+        assert!(err.message.contains("matches no files"), "{err}");
+        // A literal name with a glob source.
+        let err = parse_manifest("instance named *.bench split=0\n", &dir).unwrap_err();
+        assert!(err.message.contains("instance name `*`"), "{err}");
+        // A glob without a split.
+        std::fs::write(
+            dir.join("n.bench"),
+            "INPUT(i)\nOUTPUT(o)\ncs = DFF(ns)\nns = AND(i, cs)\no = NOT(cs)\n",
+        )
+        .unwrap();
+        let err = parse_manifest("instance * *.bench\n", &dir).unwrap_err();
+        assert!(err.message.contains("split"), "{err}");
+        // Wildcards in a generator source.
+        let err = parse_manifest("instance * gen:counter* split=0\n", &dir).unwrap_err();
+        assert!(err.message.contains("file sources"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -153,28 +153,16 @@ pub struct Cell<'a> {
 }
 
 impl Cell<'_> {
-    /// A deterministic signature of everything that defines this cell's
-    /// result: the network's shape, the latch split, and the full solver
-    /// configuration. Stored in every journal record and compared on
-    /// resume, so editing a manifest's `split=`/`timeout=`/`flow=` (or
+    /// The deterministic, content-addressed signature of everything that
+    /// defines this cell's result: the network's content fingerprint and
+    /// shape, the latch split, and the full solver configuration (see
+    /// [`crate::sig::cell_signature`] — the same derivation keys the serve
+    /// layer's result cache). Stored in every journal record and compared
+    /// on resume, so editing a manifest's `split=`/`timeout=`/`flow=` (or
     /// swapping the network behind an instance name) between a kill and a
     /// `--resume` re-runs the cell instead of replaying a stale result.
     pub fn signature(&self) -> String {
-        let net = &self.instance.network;
-        let cfg = self.config;
-        format!(
-            "net={}/{}/{}/{};split={:?};flow={};trim={};nl={:?};tl={:?};ms={:?}",
-            net.name(),
-            net.num_inputs(),
-            net.num_outputs(),
-            net.num_latches(),
-            self.instance.unknown_latches,
-            cfg.kind,
-            cfg.trim_dcn,
-            cfg.limits.node_limit,
-            cfg.limits.time_limit,
-            cfg.limits.max_states,
-        )
+        crate::sig::cell_signature(self.instance, self.config)
     }
 }
 
@@ -268,6 +256,42 @@ pub struct CellStats {
     pub peak_live_nodes: usize,
 }
 
+/// The final BDD-kernel cache/table counters of a cell's (fresh) manager —
+/// the last [`SolveEvent::CacheSample`](crate::SolveEvent) observed during
+/// the solve. Captured for *every* attempted cell, including CNC ones, so a
+/// sweep's journal records how hard the kernel worked even on the cells
+/// that did not finish.
+///
+/// All counters are cumulative over the cell's manager, and — because every
+/// cell runs on a fresh, thread-confined manager — deterministic for a
+/// given cell regardless of worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelSample {
+    /// Computed-cache lookups.
+    pub cache_lookups: u64,
+    /// Computed-cache hits.
+    pub cache_hits: u64,
+    /// Cache entries that survived GC sweeps.
+    pub cache_survived: u64,
+    /// Cache entries examined by GC sweeps.
+    pub cache_swept: u64,
+    /// Unique-table probe steps.
+    pub unique_probes: u64,
+    /// Unique-table lookups.
+    pub unique_lookups: u64,
+}
+
+impl KernelSample {
+    /// Computed-cache hit rate in `[0, 1]` (0.0 before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        if self.cache_lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.cache_lookups as f64
+        }
+    }
+}
+
 /// How one cell ended.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CellOutcome {
@@ -298,6 +322,10 @@ pub struct CellReport {
     pub sig: String,
     /// How the cell ended.
     pub outcome: CellOutcome,
+    /// The final kernel cache/table counters of the cell's manager (`None`
+    /// for cells that were never attempted — drained, budget-starved — and
+    /// for records journaled before this field existed).
+    pub kernel: Option<KernelSample>,
     /// Wall-clock time of the cell (for resumed cells: the journaled
     /// original solve time).
     pub duration: Duration,

@@ -76,13 +76,14 @@ mod equation;
 pub mod extract;
 mod fsm;
 pub mod reencode;
+pub mod sig;
 pub mod solver;
 mod universe;
 pub mod verify;
 
 pub use batch::{
-    CellOutcome, CellReport, CellStats, ConfigSpec, InstanceSpec, SuiteError, SuiteEvent,
-    SuiteOptions, SuitePlan, SuiteReport,
+    CellOutcome, CellReport, CellStats, ConfigSpec, InstanceSpec, KernelSample, SuiteError,
+    SuiteEvent, SuiteOptions, SuitePlan, SuiteReport,
 };
 pub use equation::{LanguageEquation, LatchSplitProblem};
 pub use fsm::{FsmLatch, FsmOutput, PartitionedFsm, StateOrder};

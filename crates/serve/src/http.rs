@@ -1,0 +1,344 @@
+//! A hand-rolled HTTP/1.1 subset over `std::net` — exactly what the
+//! workspace's offline-shim policy allows, and exactly as much HTTP as the
+//! job API needs.
+//!
+//! **Server side** ([`read_request`]): `GET`/`POST` with `Content-Length`
+//! bodies, one request per connection (the server always answers
+//! `Connection: close`). Chunked transfer encoding, keep-alive, and TLS are
+//! deliberately out of scope — a reverse proxy terminates those in any real
+//! deployment. The parser enforces two byte budgets *before* buffering
+//! anything: a fixed header cap and the caller's body cap, so an oversized
+//! or malformed client costs one small allocation, not memory.
+//!
+//! **Client side** ([`call`]): a blocking one-shot request over
+//! `TcpStream`, reading the response to EOF (the server closes). This is
+//! what `langeq submit` and the load-generator example speak.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use langeq_report::Json;
+
+/// Header-section byte budget (request line + headers).
+const MAX_HEAD: usize = 16 * 1024;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// The request target, e.g. `/v1/jobs/3`.
+    pub path: String,
+    /// Headers, names lower-cased, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with the given (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text.
+    pub fn body_text(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| HttpError::Malformed("body is not UTF-8".into()))
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Syntactically broken request (or one exceeding the header budget) —
+    /// answer 400.
+    Malformed(String),
+    /// The declared body exceeds the server's cap — answer 413. Carries the
+    /// declared length.
+    TooLarge(usize),
+    /// The socket failed mid-read; there is nobody left to answer.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::TooLarge(n) => write!(f, "body of {n} bytes exceeds the limit"),
+            HttpError::Io(e) => write!(f, "request I/O: {e}"),
+        }
+    }
+}
+
+/// Reads and parses one request. `max_body` caps the `Content-Length` this
+/// server is willing to buffer.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
+    let mut reader = BufReader::new(stream);
+
+    // Header section: bytes until CRLFCRLF, under a fixed budget.
+    let mut head: Vec<u8> = Vec::with_capacity(512);
+    loop {
+        let available = reader.fill_buf().map_err(HttpError::Io)?;
+        if available.is_empty() {
+            return Err(HttpError::Malformed("connection closed mid-header".into()));
+        }
+        let take = available
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|i| i + 1)
+            .unwrap_or(available.len());
+        head.extend_from_slice(&available[..take]);
+        reader.consume(take);
+        if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
+            break;
+        }
+        if head.len() > MAX_HEAD {
+            return Err(HttpError::Malformed("header section too large".into()));
+        }
+    }
+    let head = std::str::from_utf8(&head)
+        .map_err(|_| HttpError::Malformed("header is not UTF-8".into()))?;
+
+    let mut lines = head.lines();
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request".into()))?;
+    let mut parts = request_line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m, p, v),
+        _ => {
+            return Err(HttpError::Malformed(format!(
+                "bad request line `{request_line}`"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("bad version `{version}`")));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines.filter(|l| !l.is_empty()) {
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!("bad header `{line}`")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::Malformed(format!("bad content-length `{v}`")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > max_body {
+        // Drain (and discard) a bounded amount of the declared body before
+        // answering: closing with unread data on the socket would RST the
+        // connection and destroy the 413 response mid-flight. Truly huge
+        // declarations are not drained — the client eats the reset.
+        const DRAIN_CAP: usize = 8 << 20;
+        if content_length <= DRAIN_CAP {
+            let mut remaining = content_length;
+            let mut sink = [0u8; 8192];
+            while remaining > 0 {
+                let take = remaining.min(sink.len());
+                match reader.read(&mut sink[..take]) {
+                    Ok(0) | Err(_) => break,
+                    Ok(k) => remaining -= k,
+                }
+            }
+        }
+        return Err(HttpError::TooLarge(content_length));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(HttpError::Io)?;
+
+    // Query strings are not part of the API; drop them so routing sees a
+    // clean path.
+    let path = path.split('?').next().unwrap_or(path).to_string();
+    Ok(Request {
+        method: method.to_string(),
+        path,
+        headers,
+        body,
+    })
+}
+
+/// A response about to be written.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: &Json) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.to_string().into_bytes(),
+        }
+    }
+
+    /// A JSON error response: `{"error": message}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response::json(status, &Json::obj().set("error", message))
+    }
+
+    /// A plain-text response (the `/metrics` exposition).
+    pub fn text(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// Serializes the response (always `Connection: close`).
+    pub fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
+        write!(
+            stream,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len()
+        )?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// The canonical reason phrase of the status codes this service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+/// One blocking client request: connect, send, read the full response
+/// (the server closes the connection). Returns `(status, body)`.
+pub fn call(
+    addr: &str,
+    method: &str,
+    path: &str,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let sent = write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )
+    .and_then(|()| stream.write_all(body))
+    .and_then(|()| stream.flush());
+
+    // Read the response even after a send error: a server rejecting the
+    // body early (413) may answer and close before consuming everything.
+    let mut raw = Vec::new();
+    let received = stream.read_to_end(&mut raw);
+    if raw.is_empty() {
+        sent?;
+        received?;
+    }
+    let text = String::from_utf8_lossy(&raw);
+    let bad = || std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed HTTP response");
+    let (head, response_body) = text.split_once("\r\n\r\n").ok_or_else(bad)?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(bad)?;
+    Ok((status, response_body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Round-trips one request through a real socket pair.
+    fn roundtrip(raw: &[u8], max_body: usize) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let result = read_request(&mut conn, max_body);
+        writer.join().unwrap();
+        result
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = roundtrip(
+            b"POST /v1/solve?x=1 HTTP/1.1\r\nHost: h\r\nContent-Type: application/json\r\n\
+              Content-Length: 7\r\n\r\n{\"a\":1}",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/solve", "query is stripped");
+        assert_eq!(req.header("content-type"), Some("application/json"));
+        assert_eq!(req.body_text().unwrap(), "{\"a\":1}");
+    }
+
+    #[test]
+    fn rejects_garbage_and_oversize() {
+        assert!(matches!(
+            roundtrip(b"NOT-HTTP\r\n\r\n", 1024),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            roundtrip(b"GET / FTP/9\r\n\r\n", 1024),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            roundtrip(b"POST / HTTP/1.1\r\nContent-Length: 99999\r\n\r\n", 1024),
+            Err(HttpError::TooLarge(99999))
+        ));
+    }
+
+    #[test]
+    fn response_serializes_with_length_and_close() {
+        let mut out = Vec::new();
+        Response::json(429, &Json::obj().set("error", "queue full"))
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Connection: close"), "{text}");
+        assert!(text.ends_with("{\"error\":\"queue full\"}"), "{text}");
+    }
+}

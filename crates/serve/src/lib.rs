@@ -1,0 +1,81 @@
+//! # langeq-serve
+//!
+//! A persistent solve **service** over the workspace's `Suite` engine: a
+//! long-running daemon that accepts language-equation solves over a
+//! hand-rolled HTTP/1.1 + JSON API, executes them on a bounded worker
+//! pool, and answers repeated identical requests from a **content-addressed
+//! result cache** that persists across restarts.
+//!
+//! The layering mirrors the rest of the workspace: `langeq-core` solves one
+//! cell, `langeq-core::batch` sweeps many cells once, and this crate turns
+//! the same machinery into a shared, long-lived resource — the ROADMAP's
+//! "serves heavy traffic" north star. No new dependencies: HTTP is
+//! `std::net`, JSON is `langeq-report`, and the cache's on-disk form is a
+//! regular sweep journal.
+//!
+//! ## Endpoints
+//!
+//! | Endpoint | Semantics |
+//! |---|---|
+//! | `POST /v1/solve` | network + split + options → job id (202), or an instant cache answer (200) |
+//! | `POST /v1/sweep` | manifest body (gen: sources only — the daemon reads no client-named files) → suite job id (202) |
+//! | `GET /v1/jobs/{id}` | status: `queued`/`running`/`done`, cells done, live kernel sample |
+//! | `GET /v1/jobs/{id}/result` | the cell reports (200), or 202 while running |
+//! | `GET /healthz` | liveness |
+//! | `GET /metrics` | text exposition: queue/jobs/cache/kernel counters |
+//!
+//! A full queue answers **429** (backpressure), an oversized body **413**,
+//! a draining server **503**.
+//!
+//! ## `POST /v1/solve` body
+//!
+//! ```json
+//! {"network": "INPUT(i)\n...", "format": "bench", "name": "fig3",
+//!  "split": [1], "flow": "partitioned", "trim": true,
+//!  "timeout": 60, "node_limit": 1000000, "max_states": 500000}
+//! ```
+//!
+//! `network` is inline `.bench`/`.blif` text (`format` optional — sniffed);
+//! `"source": "gen:figure3"` submits a built-in generator instead. `split`
+//! may be omitted only for generators with a canonical default.
+//!
+//! An identical request arriving while its twin is still in flight is
+//! **coalesced**: the ack carries the existing job id and
+//! `"coalesced": true`, and the shared result keeps the first submitter's
+//! instance/config labels. Cache answers, by contrast, are re-labelled
+//! with the requester's names.
+//!
+//! ## Quickstart (in-process)
+//!
+//! ```
+//! use langeq_serve::{Client, ServeOptions, Server};
+//! use langeq_report::Json;
+//! use std::time::Duration;
+//!
+//! let server = Server::start(ServeOptions::new().addr("127.0.0.1:0").jobs(2)).unwrap();
+//! let client = Client::new(server.addr().to_string());
+//! let ack = client
+//!     .submit_solve(&Json::obj().set("source", "gen:figure3"))
+//!     .unwrap();
+//! let result = client
+//!     .wait(ack.job, Duration::from_millis(20), Duration::from_secs(30))
+//!     .unwrap();
+//! assert_eq!(result.get("cells").and_then(Json::as_arr).unwrap().len(), 1);
+//! // The identical request is now answered from the cache, instantly.
+//! let again = client
+//!     .submit_solve(&Json::obj().set("source", "gen:figure3"))
+//!     .unwrap();
+//! assert!(again.cached);
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+
+mod client;
+mod server;
+
+pub use client::{Client, ClientError, Submitted};
+pub use server::{ServeOptions, Server};

@@ -1,0 +1,986 @@
+//! The solve service: job table, bounded queue, worker pool, and the
+//! content-addressed result cache.
+//!
+//! ## Execution model
+//!
+//! Accepted jobs enter a **bounded FIFO queue** (full queue → 429, the
+//! backpressure contract) and are drained by a fixed pool of worker
+//! threads. A worker runs one job at a time; each *cell* of a job — one
+//! cell for `/v1/solve`, the whole (instance × config) cross product for
+//! `/v1/sweep` — executes on the PR-3 `Suite` engine with a fresh,
+//! thread-confined BDD manager, the server's shared
+//! [`CancelToken`] fanned in so one Ctrl-C drains every in-flight solve
+//! cooperatively.
+//!
+//! ## The cache
+//!
+//! Results are keyed by [`langeq_core::sig::cell_signature`] — the same
+//! content-addressed derivation the batch journal's resume guard uses, so
+//! the server can never replay a result the batch layer would re-solve.
+//! Before a cell runs, its signature is looked up; a hit is returned
+//! verbatim (marked `resumed`, like a journal replay). Fair results are
+//! inserted on completion and appended to the **cache journal** — a
+//! regular sweep journal (`CellReport` JSONL), loaded back on startup, so
+//! the cache survives restarts and even a `kill -9` loses at most the
+//! record being written. Identical requests racing *before* the first one
+//! finishes are coalesced onto the in-flight job instead of solving twice.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use langeq_core::batch::journal::load_journal;
+use langeq_core::batch::manifest::{parse_manifest, resolve_source};
+use langeq_core::sig::cell_signature;
+use langeq_core::{
+    CancelToken, CellReport, ConfigSpec, InstanceSpec, KernelSample, SolverKind, SolverLimits,
+    SuiteEvent, SuiteOptions, SuitePlan,
+};
+use langeq_report::{Json, JsonlWriter};
+
+use crate::http::{self, Request, Response};
+
+/// Configuration of one [`Server::start`] call.
+#[derive(Debug)]
+pub struct ServeOptions {
+    addr: String,
+    jobs: usize,
+    queue_cap: usize,
+    max_body: usize,
+    cache_journal: Option<PathBuf>,
+    token: CancelToken,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:7878".into(),
+            jobs: 0,
+            queue_cap: 64,
+            max_body: 1 << 20,
+            cache_journal: None,
+            token: CancelToken::new(),
+        }
+    }
+}
+
+impl ServeOptions {
+    /// Defaults: `127.0.0.1:7878`, all cores, queue of 64, 1 MiB bodies, no
+    /// cache journal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Listen address (`host:port`; port `0` picks an ephemeral port —
+    /// read it back from [`Server::addr`]).
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Worker threads (`0` = all available cores).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Queued-job ceiling; submissions beyond it are answered 429.
+    pub fn queue_cap(mut self, cap: usize) -> Self {
+        self.queue_cap = cap.max(1);
+        self
+    }
+
+    /// Request-body byte ceiling; larger bodies are answered 413.
+    pub fn max_body(mut self, bytes: usize) -> Self {
+        self.max_body = bytes.max(1);
+        self
+    }
+
+    /// Cache journal path: loaded on start, appended on every fresh fair
+    /// result. The format is a regular sweep journal (CellReport JSONL).
+    pub fn cache_journal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.cache_journal = Some(path.into());
+        self
+    }
+
+    /// The drain token: cancelling it stops the accept loop, cancels every
+    /// in-flight solve cooperatively, and lets [`Server::wait`] return.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.token = token;
+        self
+    }
+}
+
+/// Lifecycle of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobState {
+    Queued,
+    Running,
+    Done,
+}
+
+impl JobState {
+    fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+        }
+    }
+}
+
+/// What a queued job will execute (taken by the worker that starts it).
+/// Boxed: a job sits in the table for its whole lifetime, and the specs
+/// embed whole networks. The solve payload carries the signature computed
+/// at submission so the worker does not re-serialize the network.
+enum Payload {
+    Solve(Box<(InstanceSpec, ConfigSpec, String)>),
+    Sweep(Box<SuitePlan>),
+}
+
+/// One submitted job.
+struct Job {
+    kind: &'static str,
+    state: JobState,
+    /// Answered entirely from the cache at submission time.
+    cached: bool,
+    payload: Option<Payload>,
+    /// Solve jobs: the cache key, for in-flight coalescing bookkeeping.
+    sig: Option<String>,
+    cells: usize,
+    cells_done: usize,
+    /// Latest kernel snapshot of the currently running cell.
+    sample: Option<KernelSample>,
+    reports: Vec<CellReport>,
+}
+
+/// Done-job retention ceiling: once the table outgrows this, the oldest
+/// finished jobs are evicted (polling an evicted id answers 404). Queued
+/// and running jobs are never evicted.
+const MAX_RETAINED_JOBS: usize = 4096;
+
+/// Mutable server state under one lock (job table, queue, cache, journal).
+struct State {
+    next_id: u64,
+    jobs: HashMap<u64, Job>,
+    queue: VecDeque<u64>,
+    /// sig → job id of a queued/running solve with that signature.
+    inflight: HashMap<String, u64>,
+    cache: HashMap<String, CellReport>,
+    journal: Option<JsonlWriter>,
+}
+
+impl State {
+    /// Evicts the oldest done jobs once the table outgrows
+    /// [`MAX_RETAINED_JOBS`] — the memory bound of a long-running daemon.
+    fn prune_done_jobs(&mut self) {
+        if self.jobs.len() <= MAX_RETAINED_JOBS {
+            return;
+        }
+        let mut done: Vec<u64> = self
+            .jobs
+            .iter()
+            .filter(|(_, j)| j.state == JobState::Done)
+            .map(|(&id, _)| id)
+            .collect();
+        done.sort_unstable();
+        let excess = self.jobs.len() - MAX_RETAINED_JOBS * 3 / 4;
+        for id in done.into_iter().take(excess) {
+            self.jobs.remove(&id);
+        }
+    }
+}
+
+/// Monotonic service counters (the `/metrics` exposition and the test
+/// accounting surface).
+#[derive(Default)]
+struct Metrics {
+    requests: AtomicU64,
+    accepted: AtomicU64,
+    rejected_full: AtomicU64,
+    bad_requests: AtomicU64,
+    jobs_done: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    coalesced: AtomicU64,
+    kernel_cache_lookups: AtomicU64,
+    kernel_cache_hits: AtomicU64,
+}
+
+impl Metrics {
+    fn bump(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Concurrent-connection ceiling: each connection pins one short-lived
+/// handler thread (for at most the 10 s socket timeouts), so this bounds
+/// the daemon's thread count independently of the job queue.
+const MAX_CONNECTIONS: u64 = 256;
+
+struct Shared {
+    token: CancelToken,
+    queue_cap: usize,
+    max_body: usize,
+    workers: usize,
+    state: Mutex<State>,
+    work: Condvar,
+    metrics: Metrics,
+    /// Live connection-handler threads (bounded by [`MAX_CONNECTIONS`]).
+    connections: AtomicU64,
+}
+
+/// A running service instance. Dropping without [`Server::shutdown`] leaks
+/// the threads until the token is cancelled elsewhere; the CLI keeps the
+/// server alive for its whole lifetime, tests call `shutdown`.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    /// Cache entries loaded from the journal at startup (for banners).
+    warm_entries: usize,
+}
+
+impl Server {
+    /// Binds, warms the cache from the journal, and spawns the accept loop
+    /// plus the worker pool.
+    pub fn start(opts: ServeOptions) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let mut cache = HashMap::new();
+        if let Some(path) = &opts.cache_journal {
+            if path.exists() {
+                for report in load_journal(path)? {
+                    if !report.sig.is_empty() {
+                        // File-order-last wins, like batch resume.
+                        cache.insert(report.sig.clone(), report);
+                    }
+                }
+            }
+        }
+        let warm_entries = cache.len();
+        let journal = opts
+            .cache_journal
+            .as_deref()
+            .map(JsonlWriter::append)
+            .transpose()?;
+
+        let workers = match opts.jobs {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        };
+        let shared = Arc::new(Shared {
+            token: opts.token,
+            queue_cap: opts.queue_cap,
+            max_body: opts.max_body,
+            workers,
+            state: Mutex::new(State {
+                next_id: 1,
+                jobs: HashMap::new(),
+                queue: VecDeque::new(),
+                inflight: HashMap::new(),
+                cache,
+                journal,
+            }),
+            work: Condvar::new(),
+            metrics: Metrics::default(),
+            connections: AtomicU64::new(0),
+        });
+
+        let mut threads = Vec::new();
+        for _ in 0..workers {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || worker_loop(&shared)));
+        }
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || accept_loop(&shared, listener)));
+        }
+        Ok(Server {
+            shared,
+            addr,
+            threads,
+            warm_entries,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Cache entries loaded from the journal at startup.
+    pub fn warm_cache_entries(&self) -> usize {
+        self.warm_entries
+    }
+
+    /// A clone of the drain token.
+    pub fn token(&self) -> CancelToken {
+        self.shared.token.clone()
+    }
+
+    /// Blocks until the token is cancelled and every thread has drained.
+    pub fn wait(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+
+    /// Cancels the token and drains: in-flight solves return
+    /// `CNC: cancelled` cooperatively, queued jobs finish as cancelled
+    /// without being attempted, the accept loop stops.
+    pub fn shutdown(self) {
+        self.shared.token.cancel();
+        self.shared.work.notify_all();
+        self.wait();
+    }
+}
+
+/// The accept loop: non-blocking accepts polled against the drain token,
+/// one short-lived handler thread per connection.
+fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    while !shared.token.is_cancelled() {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                // Shed load once the handler-thread budget is spent — the
+                // job queue bounds accepted *work*, this bounds *threads*.
+                if shared.connections.load(Ordering::Relaxed) >= MAX_CONNECTIONS {
+                    let _ = Response::error(503, "too many connections").write_to(&mut stream);
+                    continue;
+                }
+                shared.connections.fetch_add(1, Ordering::Relaxed);
+                let shared = Arc::clone(shared);
+                std::thread::spawn(move || {
+                    /// Decrements on every exit path of the handler.
+                    struct Guard<'a>(&'a AtomicU64);
+                    impl Drop for Guard<'_> {
+                        fn drop(&mut self) {
+                            self.0.fetch_sub(1, Ordering::Relaxed);
+                        }
+                    }
+                    let _guard = Guard(&shared.connections);
+                    handle_connection(&shared, stream);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+    // Wake the workers so they notice the cancellation promptly.
+    shared.work.notify_all();
+}
+
+/// One connection = one request = one response.
+fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    shared.metrics.bump(&shared.metrics.requests);
+    let response = match http::read_request(&mut stream, shared.max_body) {
+        Ok(request) => route(shared, &request),
+        Err(http::HttpError::TooLarge(n)) => {
+            shared.metrics.bump(&shared.metrics.bad_requests);
+            Response::error(
+                413,
+                &format!(
+                    "body of {n} bytes exceeds the {} byte limit",
+                    shared.max_body
+                ),
+            )
+        }
+        Err(http::HttpError::Malformed(m)) => {
+            shared.metrics.bump(&shared.metrics.bad_requests);
+            Response::error(400, &m)
+        }
+        Err(http::HttpError::Io(_)) => return, // client gone; nobody to answer
+    };
+    let _ = response.write_to(&mut stream);
+}
+
+/// Routes one request to its handler.
+fn route(shared: &Arc<Shared>, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Response::json(
+            200,
+            &Json::obj()
+                .set("ok", true)
+                .set("workers", shared.workers)
+                .set("draining", shared.token.is_cancelled()),
+        ),
+        ("GET", "/metrics") => Response::text(200, metrics_text(shared)),
+        ("POST", "/v1/solve") => submit_solve(shared, request),
+        ("POST", "/v1/sweep") => submit_sweep(shared, request),
+        ("GET", path) if path.starts_with("/v1/jobs/") => job_endpoint(shared, path),
+        ("GET", _) | ("POST", _) => Response::error(404, "no such endpoint"),
+        _ => Response::error(405, "only GET and POST are served"),
+    }
+}
+
+/// `GET /v1/jobs/{id}` and `GET /v1/jobs/{id}/result`.
+fn job_endpoint(shared: &Arc<Shared>, path: &str) -> Response {
+    let rest = &path["/v1/jobs/".len()..];
+    let (id_text, want_result) = match rest.strip_suffix("/result") {
+        Some(id) => (id, true),
+        None => (rest, false),
+    };
+    let Ok(id) = id_text.parse::<u64>() else {
+        return Response::error(400, &format!("bad job id `{id_text}`"));
+    };
+    let state = shared.state.lock().expect("state lock");
+    let Some(job) = state.jobs.get(&id) else {
+        return Response::error(404, &format!("no job {id}"));
+    };
+    if !want_result {
+        return Response::json(200, &status_json(id, job));
+    }
+    if job.state != JobState::Done {
+        // Not ready: the status body tells the client what to poll.
+        return Response::json(202, &status_json(id, job));
+    }
+    let cells: Vec<Json> = job.reports.iter().map(CellReport::to_json).collect();
+    Response::json(
+        200,
+        &Json::obj()
+            .set("job", id)
+            .set("kind", job.kind)
+            .set("cached", job.cached)
+            .set("cells", cells),
+    )
+}
+
+/// The status body of one job.
+fn status_json(id: u64, job: &Job) -> Json {
+    let mut body = Json::obj()
+        .set("job", id)
+        .set("kind", job.kind)
+        .set("state", job.state.as_str())
+        .set("cached", job.cached)
+        .set("cells", job.cells)
+        .set("cells_done", job.cells_done);
+    if let Some(k) = &job.sample {
+        body = body.set(
+            "kernel",
+            Json::obj()
+                .set("cache_lookups", k.cache_lookups)
+                .set("cache_hits", k.cache_hits)
+                .set("unique_probes", k.unique_probes)
+                .set("unique_lookups", k.unique_lookups),
+        );
+    }
+    body
+}
+
+/// `POST /v1/solve`: answer from cache, coalesce onto an identical
+/// in-flight job, or enqueue — 429 when the queue is full.
+fn submit_solve(shared: &Arc<Shared>, request: &Request) -> Response {
+    if shared.token.is_cancelled() {
+        return Response::error(503, "draining");
+    }
+    let body = match request.body_text() {
+        Ok(text) => text,
+        Err(e) => {
+            shared.metrics.bump(&shared.metrics.bad_requests);
+            return Response::error(400, &e.to_string());
+        }
+    };
+    let (instance, config) = match parse_solve_request(body) {
+        Ok(parts) => parts,
+        Err(message) => {
+            shared.metrics.bump(&shared.metrics.bad_requests);
+            return Response::error(400, &message);
+        }
+    };
+    let sig = cell_signature(&instance, &config);
+
+    let mut state = shared.state.lock().expect("state lock");
+    // Content-addressed hit: a done job materializes instantly.
+    if let Some(hit) = state.cache.get(&sig) {
+        let mut report = hit.clone();
+        report.cell = 0;
+        report.resumed = true;
+        report.instance = instance.name.clone();
+        report.config = config.name.clone();
+        shared.metrics.bump(&shared.metrics.cache_hits);
+        state.prune_done_jobs();
+        let id = state.next_id;
+        state.next_id += 1;
+        state.jobs.insert(
+            id,
+            Job {
+                kind: "solve",
+                state: JobState::Done,
+                cached: true,
+                payload: None,
+                sig: Some(sig),
+                cells: 1,
+                cells_done: 1,
+                sample: None,
+                reports: vec![report],
+            },
+        );
+        shared.metrics.bump(&shared.metrics.jobs_done);
+        return Response::json(
+            200,
+            &Json::obj()
+                .set("job", id)
+                .set("state", "done")
+                .set("cached", true),
+        );
+    }
+    // The same work is already queued or running: coalesce, don't
+    // re-solve. The shared job (and so its result) keeps the *first*
+    // submitter's instance/config labels — one job cannot carry a name per
+    // requester; the `coalesced` flag in the ack marks the provenance.
+    if let Some(&existing) = state.inflight.get(&sig) {
+        shared.metrics.bump(&shared.metrics.coalesced);
+        let job_state = state.jobs[&existing].state.as_str();
+        return Response::json(
+            200,
+            &Json::obj()
+                .set("job", existing)
+                .set("state", job_state)
+                .set("cached", false)
+                .set("coalesced", true),
+        );
+    }
+    if state.queue.len() >= shared.queue_cap {
+        shared.metrics.bump(&shared.metrics.rejected_full);
+        return Response::error(429, "job queue is full, retry later");
+    }
+    let id = state.next_id;
+    state.next_id += 1;
+    state.inflight.insert(sig.clone(), id);
+    state.jobs.insert(
+        id,
+        Job {
+            kind: "solve",
+            state: JobState::Queued,
+            cached: false,
+            payload: Some(Payload::Solve(Box::new((instance, config, sig.clone())))),
+            sig: Some(sig),
+            cells: 1,
+            cells_done: 0,
+            sample: None,
+            reports: Vec::new(),
+        },
+    );
+    state.queue.push_back(id);
+    drop(state);
+    shared.metrics.bump(&shared.metrics.accepted);
+    shared.work.notify_one();
+    Response::json(
+        202,
+        &Json::obj()
+            .set("job", id)
+            .set("state", "queued")
+            .set("cached", false),
+    )
+}
+
+/// `POST /v1/sweep`: the body is a sweep manifest (raw text, or wrapped as
+/// `{"manifest": "..."}`), becoming one suite job.
+fn submit_sweep(shared: &Arc<Shared>, request: &Request) -> Response {
+    if shared.token.is_cancelled() {
+        return Response::error(503, "draining");
+    }
+    let body = match request.body_text() {
+        Ok(text) => text,
+        Err(e) => {
+            shared.metrics.bump(&shared.metrics.bad_requests);
+            return Response::error(400, &e.to_string());
+        }
+    };
+    let manifest = if body.trim_start().starts_with('{') {
+        match Json::parse(body)
+            .ok()
+            .as_ref()
+            .and_then(|j| j.get("manifest"))
+            .and_then(Json::as_str)
+        {
+            Some(text) => text.to_string(),
+            None => {
+                shared.metrics.bump(&shared.metrics.bad_requests);
+                return Response::error(400, "JSON body needs a `manifest` string field");
+            }
+        }
+    } else {
+        body.to_string()
+    };
+    // Same filesystem policy as /v1/solve: a remote client must not make
+    // the daemon read (or probe for) files it names. Submitted manifests
+    // are therefore restricted to gen: builtin sources — reject *before*
+    // parsing, which is what would touch the filesystem.
+    if let Some(offending) = manifest.lines().find_map(|raw| {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        let mut words = line.split_whitespace();
+        match (words.next(), words.next(), words.next()) {
+            (Some("instance"), _, Some(source)) if !source.starts_with("gen:") => {
+                Some(source.to_string())
+            }
+            _ => None,
+        }
+    }) {
+        shared.metrics.bump(&shared.metrics.bad_requests);
+        return Response::error(
+            400,
+            &format!(
+                "submitted manifests may only use gen:NAME sources (got `{offending}`); \
+                 inline networks one at a time via /v1/solve"
+            ),
+        );
+    }
+    let plan = match parse_manifest(&manifest, std::path::Path::new(".")) {
+        Ok(plan) => plan,
+        Err(e) => {
+            shared.metrics.bump(&shared.metrics.bad_requests);
+            return Response::error(400, &e.to_string());
+        }
+    };
+    if plan.num_cells() == 0 {
+        shared.metrics.bump(&shared.metrics.bad_requests);
+        return Response::error(400, "the manifest has no cells");
+    }
+    if let Err(e) = plan.validate() {
+        shared.metrics.bump(&shared.metrics.bad_requests);
+        return Response::error(400, &e.to_string());
+    }
+
+    let cells = plan.num_cells();
+    let mut state = shared.state.lock().expect("state lock");
+    if state.queue.len() >= shared.queue_cap {
+        shared.metrics.bump(&shared.metrics.rejected_full);
+        return Response::error(429, "job queue is full, retry later");
+    }
+    let id = state.next_id;
+    state.next_id += 1;
+    state.jobs.insert(
+        id,
+        Job {
+            kind: "sweep",
+            state: JobState::Queued,
+            cached: false,
+            payload: Some(Payload::Sweep(Box::new(plan))),
+            sig: None,
+            cells,
+            cells_done: 0,
+            sample: None,
+            reports: Vec::new(),
+        },
+    );
+    state.queue.push_back(id);
+    drop(state);
+    shared.metrics.bump(&shared.metrics.accepted);
+    shared.work.notify_one();
+    Response::json(
+        202,
+        &Json::obj()
+            .set("job", id)
+            .set("state", "queued")
+            .set("cached", false)
+            .set("cells", cells),
+    )
+}
+
+/// The `/metrics` text exposition.
+fn metrics_text(shared: &Arc<Shared>) -> String {
+    let (queued, running, done, cache_entries) = {
+        let state = shared.state.lock().expect("state lock");
+        let running = state
+            .jobs
+            .values()
+            .filter(|j| j.state == JobState::Running)
+            .count();
+        let done = state
+            .jobs
+            .values()
+            .filter(|j| j.state == JobState::Done)
+            .count();
+        (state.queue.len(), running, done, state.cache.len())
+    };
+    let m = &shared.metrics;
+    let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+    format!(
+        "langeq_workers {}\n\
+         langeq_jobs_queued {queued}\n\
+         langeq_jobs_running {running}\n\
+         langeq_jobs_done {done}\n\
+         langeq_requests_total {}\n\
+         langeq_jobs_accepted_total {}\n\
+         langeq_rejected_full_total {}\n\
+         langeq_bad_requests_total {}\n\
+         langeq_jobs_done_total {}\n\
+         langeq_cache_entries {cache_entries}\n\
+         langeq_cache_hits_total {}\n\
+         langeq_cache_misses_total {}\n\
+         langeq_coalesced_total {}\n\
+         langeq_kernel_cache_lookups_total {}\n\
+         langeq_kernel_cache_hits_total {}\n",
+        shared.workers,
+        get(&m.requests),
+        get(&m.accepted),
+        get(&m.rejected_full),
+        get(&m.bad_requests),
+        get(&m.jobs_done),
+        get(&m.cache_hits),
+        get(&m.cache_misses),
+        get(&m.coalesced),
+        get(&m.kernel_cache_lookups),
+        get(&m.kernel_cache_hits),
+    )
+}
+
+/// Parses a `POST /v1/solve` body into the instance and configuration it
+/// describes. See the crate docs for the request schema.
+fn parse_solve_request(body: &str) -> Result<(InstanceSpec, ConfigSpec), String> {
+    let json = Json::parse(body).map_err(|e| format!("request body: {e}"))?;
+
+    let (network, default_split) = match (
+        json.get("network").and_then(Json::as_str),
+        json.get("source").and_then(Json::as_str),
+    ) {
+        (Some(_), Some(_)) => {
+            return Err(
+                "give either `network` (inline text) or `source` (gen:NAME), not both".into(),
+            )
+        }
+        (Some(text), None) => {
+            let format = json
+                .get("format")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                // Sniff: every BLIF construct starts with a dot directive.
+                .unwrap_or_else(|| {
+                    if text.trim_start().starts_with('.') {
+                        "blif".into()
+                    } else {
+                        "bench".into()
+                    }
+                });
+            let network = match format.as_str() {
+                "bench" => {
+                    langeq_logic::bench_fmt::parse(text).map_err(|e| format!("network: {e}"))?
+                }
+                "blif" => langeq_logic::blif::parse(text).map_err(|e| format!("network: {e}"))?,
+                other => return Err(format!("unknown network format `{other}` (bench|blif)")),
+            };
+            (network, None)
+        }
+        (None, Some(source)) => {
+            // Only generator sources: the daemon does not read client-named
+            // files off its filesystem.
+            if !source.starts_with("gen:") {
+                return Err(format!(
+                    "`source` must be a gen:NAME builtin (got `{source}`); \
+                     inline file contents via `network` instead"
+                ));
+            }
+            resolve_source(source, std::path::Path::new("."))?
+        }
+        (None, None) => return Err("request needs `network` text or a gen:NAME `source`".into()),
+    };
+
+    let split = match json.get("split").and_then(Json::as_arr) {
+        Some(items) => Some(
+            items
+                .iter()
+                .map(|v| v.as_u64().map(|n| n as usize))
+                .collect::<Option<Vec<usize>>>()
+                .ok_or("`split` must be an array of non-negative integers")?,
+        ),
+        None => None,
+    };
+    let unknown_latches = split
+        .or(default_split)
+        .ok_or("request needs `split`: the latch indices of the unknown component")?;
+
+    let mut name = json
+        .get("name")
+        .and_then(Json::as_str)
+        .unwrap_or("")
+        .to_string();
+    if name.is_empty() {
+        name = if network.name().is_empty() {
+            "net".into()
+        } else {
+            network.name().to_string()
+        };
+    }
+    let instance = InstanceSpec::new(name, network, unknown_latches);
+
+    let kind: SolverKind = match json.get("flow").and_then(Json::as_str) {
+        Some(flow) => flow.parse().map_err(|e| format!("{e}"))?,
+        None => SolverKind::Partitioned,
+    };
+    let mut config = ConfigSpec::new(kind.to_string(), kind);
+    if let Some(trim) = json.get("trim").and_then(Json::as_bool) {
+        config = config.trim_dcn(trim);
+    }
+    let mut limits = SolverLimits::default();
+    if let Some(secs) = json.get("timeout").and_then(Json::as_u64) {
+        limits.time_limit = Some(Duration::from_secs(secs));
+    }
+    if let Some(n) = json.get("node_limit").and_then(Json::as_u64) {
+        limits.node_limit = Some(n as usize);
+    }
+    if let Some(n) = json.get("max_states").and_then(Json::as_u64) {
+        limits.max_states = Some(n as usize);
+    }
+    Ok((instance, config.limits(limits)))
+}
+
+/// The worker loop: pop a job, run it, publish the result. Exits when the
+/// drain token fired *and* the queue is empty — queued jobs still drain
+/// through the (pre-cancelled) engine, producing honest `cancelled`
+/// reports instead of vanishing.
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let (id, payload) = {
+            let mut state = shared.state.lock().expect("state lock");
+            loop {
+                if let Some(id) = state.queue.pop_front() {
+                    let job = state.jobs.get_mut(&id).expect("queued job exists");
+                    job.state = JobState::Running;
+                    let payload = job.payload.take().expect("queued job has a payload");
+                    break (id, payload);
+                }
+                if shared.token.is_cancelled() {
+                    return;
+                }
+                state = shared
+                    .work
+                    .wait_timeout(state, Duration::from_millis(100))
+                    .expect("state lock")
+                    .0;
+            }
+        };
+        match payload {
+            Payload::Solve(parts) => {
+                let (instance, config, sig) = *parts;
+                let report = run_cell_cached(shared, id, &instance, &config, 0, sig);
+                finish_job(shared, id, vec![report]);
+            }
+            Payload::Sweep(plan) => {
+                let cells: Vec<(usize, InstanceSpec, ConfigSpec)> = plan
+                    .cells()
+                    .map(|c| (c.id, c.instance.clone(), c.config.clone()))
+                    .collect();
+                let mut reports = Vec::with_capacity(cells.len());
+                for (cell_id, instance, config) in cells {
+                    let sig = cell_signature(&instance, &config);
+                    let report = run_cell_cached(shared, id, &instance, &config, cell_id, sig);
+                    let mut state = shared.state.lock().expect("state lock");
+                    if let Some(job) = state.jobs.get_mut(&id) {
+                        job.cells_done += 1;
+                        job.reports.push(report.clone());
+                    }
+                    reports.push(report);
+                }
+                finish_job(shared, id, reports);
+            }
+        }
+    }
+}
+
+/// Runs one cell through the cache: a signature hit is returned verbatim
+/// (marked `resumed`), a miss solves on the Suite engine and — when the
+/// result is fair — inserts and journals it.
+fn run_cell_cached(
+    shared: &Arc<Shared>,
+    job_id: u64,
+    instance: &InstanceSpec,
+    config: &ConfigSpec,
+    cell_id: usize,
+    sig: String,
+) -> CellReport {
+    let hit = {
+        let state = shared.state.lock().expect("state lock");
+        state.cache.get(&sig).cloned()
+    };
+    if let Some(mut report) = hit {
+        shared.metrics.bump(&shared.metrics.cache_hits);
+        report.cell = cell_id;
+        report.resumed = true;
+        // The cache key is content-addressed; the names belong to whoever
+        // is asking now, not to the request that populated the entry.
+        report.instance = instance.name.clone();
+        report.config = config.name.clone();
+        return report;
+    }
+    shared.metrics.bump(&shared.metrics.cache_misses);
+
+    let plan = SuitePlan::new()
+        .instance(instance.clone())
+        .config(config.clone());
+    let observer_shared = Arc::clone(shared);
+    let suite = plan
+        .execute(
+            SuiteOptions::new()
+                .jobs(1)
+                .cancel_token(shared.token.clone())
+                .on_event(move |event| {
+                    if let SuiteEvent::CellSample { sample, .. } = event {
+                        let mut state = observer_shared.state.lock().expect("state lock");
+                        if let Some(job) = state.jobs.get_mut(&job_id) {
+                            job.sample = Some(*sample);
+                        }
+                    }
+                }),
+        )
+        .expect("journal-less suite execution cannot fail");
+    let mut report = suite
+        .cells
+        .into_iter()
+        .next()
+        .expect("a 1-cell plan yields a report");
+    report.cell = cell_id;
+
+    if let Some(k) = &report.kernel {
+        shared
+            .metrics
+            .kernel_cache_lookups
+            .fetch_add(k.cache_lookups, Ordering::Relaxed);
+        shared
+            .metrics
+            .kernel_cache_hits
+            .fetch_add(k.cache_hits, Ordering::Relaxed);
+    }
+    if !report.retryable {
+        let mut state = shared.state.lock().expect("state lock");
+        if !state.cache.contains_key(&sig) {
+            if let Some(journal) = state.journal.as_mut() {
+                if let Err(e) = journal.write(&report.to_json()) {
+                    eprintln!("[serve] cache journal write failed: {e}");
+                }
+            }
+            state.cache.insert(sig, report.clone());
+        }
+    }
+    report
+}
+
+/// Publishes a finished job and releases its coalescing slot.
+fn finish_job(shared: &Arc<Shared>, id: u64, reports: Vec<CellReport>) {
+    {
+        let mut guard = shared.state.lock().expect("state lock");
+        let state = &mut *guard;
+        state.prune_done_jobs();
+        if let Some(job) = state.jobs.get_mut(&id) {
+            job.cells_done = reports.len();
+            job.reports = reports;
+            job.state = JobState::Done;
+            job.sample = None;
+            if let Some(sig) = job.sig.take() {
+                state.inflight.remove(&sig);
+            }
+        }
+    }
+    shared.metrics.bump(&shared.metrics.jobs_done);
+}

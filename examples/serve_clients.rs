@@ -1,0 +1,85 @@
+//! Multi-client throughput demo of the solve service.
+//!
+//! Starts an in-process `langeq-serve` daemon on an ephemeral port, then
+//! hammers it with concurrent HTTP clients submitting a mix of repeated
+//! and distinct solve requests — the "serves heavy traffic" shape from the
+//! ROADMAP. The point to watch: the number of *actual* solves stays at the
+//! number of distinct problems, everything else is answered by the
+//! content-addressed cache (or coalesced onto an in-flight twin), and the
+//! second round is pure cache traffic.
+//!
+//! Run with: `cargo run --release --example serve_clients`
+
+use std::time::{Duration, Instant};
+
+use langeq::report::Json;
+use langeq::serve::{Client, ServeOptions, Server};
+
+const CLIENTS: usize = 8;
+const ROUNDS: usize = 2;
+const SOURCES: [&str; 4] = [
+    "gen:figure3",
+    "gen:counter3",
+    "gen:counter4",
+    "gen:counter5",
+];
+
+fn main() {
+    let server = Server::start(
+        ServeOptions::new()
+            .addr("127.0.0.1:0")
+            .jobs(4)
+            .queue_cap(256),
+    )
+    .expect("server starts");
+    let addr = server.addr().to_string();
+    println!("daemon listening on http://{addr} with 4 workers\n");
+
+    for round in 1..=ROUNDS {
+        let t0 = Instant::now();
+        let answered: usize = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|c| {
+                    let client = Client::new(addr.clone());
+                    scope.spawn(move || {
+                        let mut done = 0;
+                        for k in 0..SOURCES.len() {
+                            // Stagger the access pattern per client so the
+                            // first submitters race for the solve and the
+                            // rest coalesce or hit the cache.
+                            let source = SOURCES[(k + c) % SOURCES.len()];
+                            let ack = client
+                                .submit_solve(&Json::obj().set("source", source))
+                                .expect("submit");
+                            client
+                                .wait(ack.job, Duration::from_millis(10), Duration::from_secs(60))
+                                .expect("job finishes");
+                            done += 1;
+                        }
+                        done
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        println!(
+            "round {round}: {answered} requests answered by {CLIENTS} clients in {:.3}s",
+            t0.elapsed().as_secs_f64()
+        );
+    }
+
+    let client = Client::new(addr);
+    println!(
+        "\n/metrics after {} requests:",
+        CLIENTS * SOURCES.len() * ROUNDS
+    );
+    print!("{}", client.metrics_text().expect("metrics"));
+    println!(
+        "\n→ {} distinct problems were solved once each; the remaining {} answers\n\
+         came from the content-addressed cache or coalesced onto in-flight jobs.",
+        client.metric("langeq_cache_misses_total").unwrap(),
+        CLIENTS * SOURCES.len() * ROUNDS
+            - client.metric("langeq_cache_misses_total").unwrap() as usize,
+    );
+    server.shutdown();
+}

@@ -14,7 +14,11 @@
 //!   prefix-close, progressive),
 //! * [`core`] — the paper's contribution: the partitioned and monolithic
 //!   language-equation solvers computing the Complete Sequential Flexibility,
-//!   plus sub-solution extraction and the §2 re-encoding experiment.
+//!   plus sub-solution extraction and the §2 re-encoding experiment,
+//! * [`report`] — dependency-free JSON/JSONL records (bench results, sweep
+//!   journals, the serve API),
+//! * [`serve`] — the persistent solve service: HTTP/JSON job API, bounded
+//!   worker pool, content-addressed result cache.
 //!
 //! A command-line front end (`langeq`, in `crates/cli`) exposes the
 //! BALM-style workflow over `.bench`/`.blif`/`.kiss`/`.aut` files.
@@ -27,6 +31,8 @@ pub use langeq_bdd as bdd;
 pub use langeq_core as core;
 pub use langeq_image as image;
 pub use langeq_logic as logic;
+pub use langeq_report as report;
+pub use langeq_serve as serve;
 
 /// Convenient glob-import surface: `use langeq::prelude::*;`.
 pub mod prelude {
@@ -35,10 +41,10 @@ pub mod prelude {
     pub use langeq_core::extract::SelectionStrategy;
     pub use langeq_core::{
         Algorithm1, CancelToken, CellOutcome, CellReport, CellStats, CncReason, ConfigSpec,
-        Control, InstanceSpec, LanguageEquation, LatchSplitProblem, Monolithic, MonolithicOptions,
-        Outcome, Partitioned, PartitionedFsm, PartitionedOptions, Solution, SolveEvent,
-        SolveRequest, Solver, SolverKind, SolverLimits, StateOrder, SuiteError, SuiteEvent,
-        SuiteOptions, SuitePlan, SuiteReport, VarUniverse,
+        Control, InstanceSpec, KernelSample, LanguageEquation, LatchSplitProblem, Monolithic,
+        MonolithicOptions, Outcome, Partitioned, PartitionedFsm, PartitionedOptions, Solution,
+        SolveEvent, SolveRequest, Solver, SolverKind, SolverLimits, StateOrder, SuiteError,
+        SuiteEvent, SuiteOptions, SuitePlan, SuiteReport, VarUniverse,
     };
     pub use langeq_image::{ImageComputer, QuantSchedule};
     pub use langeq_logic::kiss::MealyFsm;

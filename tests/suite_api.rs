@@ -85,6 +85,7 @@ fn events_stream_in_a_sane_order() {
                 SuiteEvent::Started { .. } => "started",
                 SuiteEvent::CellSkipped { .. } => "skipped",
                 SuiteEvent::CellStarted { .. } => "cell-started",
+                SuiteEvent::CellSample { .. } => "cell-sample",
                 SuiteEvent::CellFinished { .. } => "cell-finished",
                 SuiteEvent::Finished { .. } => "finished",
             };
