@@ -31,20 +31,23 @@ impl BddManager {
     ///
     /// Panics if a variable of `f`'s support that is *not* in `split`
     /// appears above one that is — the split variables must form a prefix of
-    /// the variable order restricted to `f`'s support. (The solver crates
-    /// guarantee this by construction of their variable universes.)
+    /// the **live** variable order restricted to `f`'s support. (The solver
+    /// crates guarantee this by construction of their variable universes,
+    /// and preserve it under dynamic reordering with a reorder fence
+    /// between the alphabet block and the state block; see
+    /// [`BddManager::set_reorder_fences`].)
     pub fn cofactor_classes(&self, f: &Bdd, split: &[VarId]) -> Vec<(Bdd, Bdd)> {
-        // Verify the prefix property.
+        // Verify the prefix property, in live-level terms.
         let support = self.support(f);
         let max_split = support
             .iter()
             .filter(|v| split.contains(v))
-            .map(|v| v.0)
+            .map(|&v| self.level_of(v))
             .max();
         let min_rest = support
             .iter()
             .filter(|v| !split.contains(v))
-            .map(|v| v.0)
+            .map(|&v| self.level_of(v))
             .min();
         if let (Some(ms), Some(mr)) = (max_split, min_rest) {
             assert!(
@@ -67,10 +70,7 @@ impl BddManager {
                     if f == ZERO {
                         return Vec::new();
                     }
-                    let top_in_split = f != ONE && {
-                        let lvl = inner.level(f);
-                        split.contains(&lvl)
-                    };
+                    let top_in_split = f != ONE && split.contains(&inner.top_var(f));
                     if !top_in_split {
                         // Whole remaining function is one residual class.
                         return vec![(ONE, f)];

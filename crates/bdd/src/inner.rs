@@ -11,7 +11,15 @@
 //!   storing node *indices*. There are no tombstones: deletion only happens
 //!   wholesale during GC, which rebuilds the table from the marked nodes at
 //!   a right-sized capacity. Load is kept under 50% by doubling.
-//! * **Computed cache** — 2-way set-associative with round-robin
+//! * **Level indirection** — a node stores its *variable id* (stable for
+//!   the manager's lifetime), while the recursive algorithms compare
+//!   *levels* through the `var2level`/`level2var` permutation pair. The
+//!   [`reorder`] module mutates that permutation (adjacent-level swaps,
+//!   Rudell sifting) **in place**: a node index always keeps denoting the
+//!   same Boolean function across reorders, which is what keeps external
+//!   [`crate::Bdd`] handles — and the computed cache's packed refs — valid.
+//! * **Computed cache** — set-associative ([`CACHE_WAYS`] ways) with
+//!   round-robin
 //!   replacement. Sizing is adaptive in both directions: it grows while
 //!   the measured (windowed) hit rate stays high at saturation — capacity
 //!   is a reward for reuse — and shrinks after GC when the live-node count
@@ -24,6 +32,10 @@
 use std::collections::HashMap;
 
 use crate::error::AbortReason;
+
+pub(crate) mod reorder;
+
+pub use reorder::ReorderPolicy;
 
 /// A raw edge: node index shifted left by one, with bit 0 as the complement
 /// flag. Not exposed outside the crate.
@@ -50,7 +62,12 @@ const HOOK_STRIDE: u32 = 1024;
 
 /// Smallest unique-table capacity (slots).
 const MIN_TABLE: usize = 1 << 14;
-/// Associativity of the computed cache.
+/// Associativity of the computed cache (a power of two; the probe loop and
+/// set indexing are generic over it). 2 and 4 were benchmarked head-to-head
+/// on the PR-5 protocol (`BENCH_5.json`): 4 ways measured no reachability
+/// win and a table1 regression — a 2-way set is exactly one cache line, and
+/// the extra conflict tolerance did not pay for the second line touched per
+/// probe — so 2 stays.
 const CACHE_WAYS: usize = 2;
 /// Smallest computed-cache capacity (entries, all ways counted).
 const MIN_CACHE: usize = 1 << 14;
@@ -74,13 +91,14 @@ const OP_RESTRICT: u32 = 5;
 const OP_AND: u32 = 6;
 
 #[derive(Debug, Clone, Copy)]
-struct Node {
-    /// Variable index == level (static variable order).
-    var: u32,
+pub(crate) struct Node {
+    /// Variable *id* (stable across reorders); the node's level is
+    /// `var2level[var]`.
+    pub(crate) var: u32,
     /// Then-child; always a regular (uncomplemented) edge.
-    hi: Ref,
+    pub(crate) hi: Ref,
     /// Else-child; may carry a complement bit.
-    lo: Ref,
+    pub(crate) lo: Ref,
 }
 
 /// A computed-cache entry: the whole `(op, f, g, h)` key packed into one
@@ -132,14 +150,42 @@ pub(crate) struct Counters {
     pub cache_survived: u64,
     /// Computed-cache capacity changes (grows and shrinks).
     pub cache_resizes: u64,
+    /// Dynamic-reorder passes (manual [`Inner::reorder`] calls and
+    /// automatic sifting triggers).
+    pub reorders: u64,
+    /// Adjacent-level swaps performed across all reorder passes.
+    pub reorder_swaps: u64,
+    /// Wall-clock nanoseconds spent inside reorder passes.
+    pub reorder_nanos: u64,
+    /// Cumulative live-node change across reorder passes (negative =
+    /// reordering shrank the store).
+    pub reorder_node_delta: i64,
 }
 
 pub(crate) struct Inner {
-    nodes: Vec<Node>,
+    pub(crate) nodes: Vec<Node>,
     /// External reference counts (from `Bdd` handles and pinned variables),
     /// parallel to `nodes`.
     ext: Vec<u32>,
     free: Vec<u32>,
+    /// `var2level[var id] = level` — the live variable order. Recursions
+    /// compare levels; nodes store var ids.
+    pub(crate) var2level: Vec<u32>,
+    /// Inverse permutation: `level2var[level] = var id`.
+    pub(crate) level2var: Vec<u32>,
+    /// Reorder fences: sorted level positions a variable may never cross
+    /// while sifting. A fence at `k` separates levels `[0, k)` from
+    /// `[k, nvars)` — because no var ever crosses, the *set* of variables
+    /// on each side is an invariant, which is what lets the solver rely on
+    /// "the (u, v) block stays above the state block" under reordering.
+    pub(crate) fences: Vec<u32>,
+    /// The dynamic-reordering policy.
+    pub(crate) policy: ReorderPolicy,
+    /// Live-node count at which the next automatic reorder fires
+    /// (`usize::MAX` when the policy is `None`). Checked only at the
+    /// [`Inner::maybe_gc`] safe point — never mid-recursion, where the
+    /// level maps must stay frozen.
+    pub(crate) reorder_next: usize,
     /// Open-addressed unique table: each slot packs the hash's high 32 bits
     /// (tag, rejecting collisions without a node load) above the node index
     /// (`NIL` in the low half = empty slot).
@@ -199,6 +245,11 @@ impl Inner {
             nodes: Vec::with_capacity(1 << 12),
             ext: Vec::with_capacity(1 << 12),
             free: Vec::new(),
+            var2level: Vec::new(),
+            level2var: Vec::new(),
+            fences: Vec::new(),
+            policy: ReorderPolicy::None,
+            reorder_next: usize::MAX,
             table: vec![EMPTY_SLOT; MIN_TABLE],
             cache: vec![EMPTY_ENTRY; MIN_CACHE],
             put_tick: 0,
@@ -231,9 +282,35 @@ impl Inner {
 
     // ----- basic accessors -------------------------------------------------
 
+    /// The *level* (position in the live variable order) of `r`'s top
+    /// variable; the terminal sorts after every real level.
     #[inline]
     pub(crate) fn level(&self, r: Ref) -> u32 {
+        let v = self.nodes[(r >> 1) as usize].var;
+        if v >= VAR_FREE {
+            v
+        } else {
+            self.var2level[v as usize]
+        }
+    }
+
+    /// The *variable id* of `r`'s top node (`VAR_TERMINAL` for constants).
+    #[inline]
+    pub(crate) fn top_var(&self, r: Ref) -> u32 {
         self.nodes[(r >> 1) as usize].var
+    }
+
+    /// The level a variable id currently sits at.
+    #[inline]
+    pub(crate) fn level_of_var(&self, v: u32) -> u32 {
+        self.var2level[v as usize]
+    }
+
+    /// The variable id currently sitting at `lvl` — what the recursions
+    /// hand to [`Inner::mk`] after computing a top *level*.
+    #[inline]
+    fn var_at(&self, lvl: u32) -> u32 {
+        self.level2var[lvl as usize]
     }
 
     #[inline]
@@ -247,7 +324,7 @@ impl Inner {
     #[inline]
     fn cof(&self, r: Ref, lvl: u32) -> (Ref, Ref) {
         let n = &self.nodes[(r >> 1) as usize];
-        if n.var != lvl {
+        if n.var >= VAR_FREE || self.var2level[n.var as usize] != lvl {
             (r, r)
         } else {
             let c = r & 1;
@@ -330,6 +407,9 @@ impl Inner {
     pub(crate) fn new_var(&mut self) -> Ref {
         let v = self.nvars;
         self.nvars += 1;
+        // A fresh variable enters at the bottom of the current order.
+        self.var2level.push(v);
+        self.level2var.push(v);
         // Variable creation bypasses the abort/limit guards: a projection
         // node is O(1), and a `ZERO` stand-in here would corrupt `var_refs`
         // for the manager's whole lifetime.
@@ -368,7 +448,10 @@ impl Inner {
         } else {
             (hi, lo, 0)
         };
-        debug_assert!(self.level(hi) > var && self.level(lo) > var);
+        debug_assert!({
+            let lvl = self.var2level[var as usize];
+            self.level(hi) > lvl && self.level(lo) > lvl
+        });
         // Open-addressed lookup: linear probe until the node or an empty
         // slot. Each slot carries the hash's high 32 bits as a tag, so a
         // colliding probe is rejected on the slot itself without touching
@@ -474,7 +557,7 @@ impl Inner {
         let h = (key as u64) ^ (key >> 64) as u64;
         let mut x = h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         x ^= x >> 32;
-        ((x as usize) << 1) & self.cache_base_mask
+        ((x as usize) << CACHE_WAYS.trailing_zeros()) & self.cache_base_mask
     }
 
     #[inline]
@@ -485,19 +568,16 @@ impl Inner {
         }
         let key = cache_key(op, f, g, h);
         let base = self.cache_base(key);
-        // Unrolled 2-way probe; the set is one cache line, and each way is
-        // a single wide compare.
-        let e = &self.cache[base];
-        if e.key == key {
-            let res = e.res;
-            self.counters.cache_hits += 1;
-            return Some(res);
-        }
-        let e = &self.cache[base + 1];
-        if e.key == key {
-            let res = e.res;
-            self.counters.cache_hits += 1;
-            return Some(res);
+        // Probe every way of the set (the constant trip count unrolls);
+        // each way is a single wide compare, and a 2-way set is exactly
+        // one cache line.
+        for way in 0..CACHE_WAYS {
+            let e = &self.cache[base + way];
+            if e.key == key {
+                let res = e.res;
+                self.counters.cache_hits += 1;
+                return Some(res);
+            }
         }
         None
     }
@@ -588,11 +668,18 @@ impl Inner {
     /// Runs GC if the live-node count crossed the adaptive threshold. Called
     /// at the entry of every top-level operation (when all live functions are
     /// externally referenced), never mid-recursion. Doubles as the
-    /// between-operations poll point of the abort hook.
+    /// between-operations poll point of the abort hook — and as the **safe
+    /// point for automatic reordering**: a sifting pass mutates the level
+    /// maps, which must never happen while a recursion holds levels on its
+    /// stack, so a threshold crossed *during* an operation only takes
+    /// effect here, at the next operation boundary.
     pub(crate) fn maybe_gc(&mut self) {
         self.poll_hook();
         if self.live >= self.gc_threshold {
             self.gc();
+        }
+        if self.abort.is_none() && self.live >= self.reorder_next {
+            self.auto_reorder();
         }
     }
 
@@ -768,7 +855,7 @@ impl Inner {
         let (h1, h0) = self.cof(h, top);
         let r1 = self.ite(f1, g1, h1);
         let r0 = self.ite(f0, g0, h0);
-        let r = self.mk(top, r1, r0);
+        let r = self.mk(self.var_at(top), r1, r0);
         self.cache_put(OP_ITE, f, g, h, r);
         r ^ flip
     }
@@ -806,7 +893,7 @@ impl Inner {
         let (g1, g0) = self.cof(g, top);
         let r1 = self.and(f1, g1);
         let r0 = self.and(f0, g0);
-        let r = self.mk(top, r1, r0);
+        let r = self.mk(self.var_at(top), r1, r0);
         self.cache_put(OP_AND, f, g, 0, r);
         r
     }
@@ -869,7 +956,7 @@ impl Inner {
             let (f1, f0) = self.cof(f, top);
             let r1 = self.exists(f1, c);
             let r0 = self.exists(f0, c);
-            self.mk(top, r1, r0)
+            self.mk(self.var_at(top), r1, r0)
         } else {
             if let Some(r) = self.cache_get(OP_EXISTS, f, c, 0) {
                 return r;
@@ -877,7 +964,7 @@ impl Inner {
             let (f1, f0) = self.cof(f, top);
             let r1 = self.exists(f1, c);
             let r0 = self.exists(f0, c);
-            let r = self.mk(top, r1, r0);
+            let r = self.mk(self.var_at(top), r1, r0);
             self.cache_put(OP_EXISTS, f, c, 0, r);
             r
         }
@@ -949,7 +1036,7 @@ impl Inner {
             let (g1, g0) = self.cof(g, top);
             let r1 = self.and_exists(f1, g1, c);
             let r0 = self.and_exists(f0, g0, c);
-            self.mk(top, r1, r0)
+            self.mk(self.var_at(top), r1, r0)
         } else {
             if let Some(r) = self.cache_get(OP_ANDEX, f, g, c) {
                 return r;
@@ -958,7 +1045,7 @@ impl Inner {
             let (g1, g0) = self.cof(g, top);
             let r1 = self.and_exists(f1, g1, c);
             let r0 = self.and_exists(f0, g0, c);
-            let r = self.mk(top, r1, r0);
+            let r = self.mk(self.var_at(top), r1, r0);
             self.cache_put(OP_ANDEX, f, g, c, r);
             r
         }
@@ -998,7 +1085,7 @@ impl Inner {
         } else {
             let r1 = self.constrain(f1, c1);
             let r0 = self.constrain(f0, c0);
-            self.mk(top, r1, r0)
+            self.mk(self.var_at(top), r1, r0)
         };
         self.cache_put(OP_CONSTRAIN, f, c, 0, r);
         r
@@ -1027,7 +1114,7 @@ impl Inner {
         let top_f = self.level(f);
         let mut c = c;
         while self.level(c) < top_f {
-            let vref = self.var_ref(self.level(c));
+            let vref = self.var_ref(self.top_var(c));
             c = self.exists(c, vref);
             if c == ONE {
                 return f;
@@ -1052,12 +1139,12 @@ impl Inner {
             } else {
                 let r1 = self.restrict(f1, c1);
                 let r0 = self.restrict(f0, c0);
-                self.mk(top_f, r1, r0)
+                self.mk(self.var_at(top_f), r1, r0)
             }
         } else {
             let r1 = self.restrict(f1, c);
             let r0 = self.restrict(f0, c);
-            self.mk(top_f, r1, r0)
+            self.mk(self.var_at(top_f), r1, r0)
         };
         self.cache_put(OP_RESTRICT, f, c, 0, r);
         r
@@ -1136,7 +1223,7 @@ impl Inner {
         if self.abort.is_some() {
             return ZERO;
         }
-        if self.level(f) > var {
+        if self.level(f) > self.var2level[var as usize] {
             return f;
         }
         let flip = f & 1;
@@ -1173,6 +1260,7 @@ impl Inner {
         if let Some(reason) = self.abort {
             return Err(format!("abort pending before verification: {reason}"));
         }
+        self.verify_levels_and_table()?;
         let entries: Vec<(u32, Ref, Ref, Ref, Ref)> = self
             .cache
             .iter()
@@ -1214,6 +1302,67 @@ impl Inner {
             }
         }
         Ok(entries.len())
+    }
+
+    /// Structural invariants of the level-indexed kernel, checked together
+    /// with the cache by [`Inner::verify_cache`]:
+    ///
+    /// * `var2level` and `level2var` are inverse permutations of `0..nvars`;
+    /// * every allocated node's children sit at strictly greater levels;
+    /// * every allocated node is findable in the unique table under its
+    ///   `(var, hi, lo)` key, and no two allocated nodes share a key
+    ///   (canonicity) — the invariants an adjacent-level swap must restore.
+    pub(crate) fn verify_levels_and_table(&self) -> Result<(), String> {
+        let n = self.nvars as usize;
+        if self.var2level.len() != n || self.level2var.len() != n {
+            return Err(format!(
+                "level maps have {} / {} entries for {n} vars",
+                self.var2level.len(),
+                self.level2var.len()
+            ));
+        }
+        for v in 0..n {
+            let l = self.var2level[v] as usize;
+            if l >= n || self.level2var[l] as usize != v {
+                return Err(format!(
+                    "level maps are not inverse at v{v} (var2level={l})"
+                ));
+            }
+        }
+        let mask = self.table.len() - 1;
+        let mut keys: HashMap<(u32, Ref, Ref), u32> = HashMap::new();
+        for (idx, node) in self.nodes.iter().enumerate().skip(1) {
+            if node.var >= VAR_FREE {
+                continue;
+            }
+            let lvl = self.var2level[node.var as usize];
+            if self.level(node.hi) <= lvl || self.level(node.lo) <= lvl {
+                return Err(format!(
+                    "node {idx} (v{}) has a child at or above its level {lvl}",
+                    node.var
+                ));
+            }
+            if let Some(other) = keys.insert((node.var, node.hi, node.lo), idx as u32) {
+                return Err(format!(
+                    "nodes {other} and {idx} duplicate key (v{}, {}, {})",
+                    node.var, node.hi, node.lo
+                ));
+            }
+            // The node must be reachable by a plain table probe.
+            let hash = mix3(node.var, node.hi, node.lo);
+            let mut slot = hash as usize & mask;
+            loop {
+                let e = self.table[slot];
+                if e as u32 == idx as u32 {
+                    break;
+                }
+                if e == EMPTY_SLOT {
+                    return Err(format!("node {idx} is not findable in the unique table"));
+                }
+                slot = (slot + 1) & mask;
+            }
+        }
+        Ok(())
     }
 
     // ----- inspection --------------------------------------------------------

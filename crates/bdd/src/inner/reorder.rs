@@ -1,0 +1,788 @@
+//! Dynamic variable reordering: adjacent-level swap and Rudell-style
+//! sifting on the level-indexed kernel.
+//!
+//! ## Why in-place swaps keep every handle valid
+//!
+//! The kernel's nodes store *variable ids*; the order lives entirely in the
+//! `var2level`/`level2var` permutation. An adjacent-level swap rewrites the
+//! nodes of the upper level **in place**: a node `f = ite(u, T, E)` whose
+//! cofactors depend on the lower variable `w` is relabelled to
+//! `ite(w, (u ? T₁ : E₁), (u ? T₀ : E₀))` — the same Boolean function, now
+//! rooted at `w` — without its index ever changing. Parents above, external
+//! [`crate::Bdd`] handles, and the refs packed into computed-cache keys all
+//! keep denoting the same functions, so nothing outside the two swapped
+//! levels is touched.
+//!
+//! ## Why the op-cache is flushed anyway
+//!
+//! A reorder pass still **flushes the computed cache** before it returns:
+//! the entries stay *functionally* sound (refs denote functions, and every
+//! memoised operation is a function of its operands), but their keys were
+//! normalised under the old order — the commutative-operand rotation in
+//! `ite` and the cube-advance normalisation in the quantifiers both consult
+//! levels — so post-reorder lookups of the same logical operation hash to
+//! different keys and the old working set is dead weight that only delays
+//! eviction of useful entries. Dropping it once per reorder (not per swap)
+//! is cheap and also removes any doubt about interactions between the
+//! in-place mutation and packed keys.
+//!
+//! ## Sifting
+//!
+//! [`Inner::reorder`] runs the classic Rudell procedure: variables are
+//! visited in decreasing node-count order; each is swapped level by level
+//! to one end of its fence-bounded range, then to the other end, recording
+//! the live-node count at every position, and finally parked at the best
+//! position seen. A `max_growth` bound abandons a direction once the store
+//! grows past `start × max_growth`. Garbage collections between variables
+//! keep the size signal honest (swaps strand the old lower-level nodes,
+//! which mark-and-sweep reclaims; within one variable's sweep the strands
+//! are largely re-used when the variable sifts back across a level, because
+//! the unique table still holds them).
+//!
+//! **Fences** ([`Inner::set_fences`]) bound how far any variable may sift:
+//! a fence at level `k` makes the variable sets of `[0, k)` and
+//! `[k, nvars)` invariants of reordering. The solver layers fence the
+//! alphabet block above the state block so the cofactor-class decomposition
+//! ("split variables above residual variables") survives any reorder.
+
+use std::time::Instant;
+
+use super::{Inner, Node, Ref, EMPTY_ENTRY, EMPTY_SLOT, NIL, VAR_FREE};
+
+/// Default live-node count that triggers an automatic sifting pass.
+pub const DEFAULT_AUTO_THRESHOLD: usize = 20_000;
+
+/// Default growth bound: a sift direction is abandoned once the store
+/// exceeds `start × DEFAULT_MAX_GROWTH`.
+pub const DEFAULT_MAX_GROWTH: f64 = 1.2;
+
+/// Dynamic variable-reordering policy of a
+/// [`BddManager`](crate::BddManager).
+///
+/// With `Sifting`, a Rudell sifting pass runs automatically whenever the
+/// live-node count crosses `auto_threshold` at an operation boundary (the
+/// threshold then doubles, so passes stay geometrically spaced), and
+/// [`BddManager::reorder`](crate::BddManager::reorder) triggers one
+/// manually. `max_growth` bounds the transient growth a single variable's
+/// sift may cause before the direction is abandoned.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ReorderPolicy {
+    /// Static order: never reorder (the default — the behaviour every
+    /// prior PR assumed).
+    #[default]
+    None,
+    /// Rudell sifting.
+    Sifting {
+        /// Live-node count at which an automatic pass fires.
+        auto_threshold: usize,
+        /// Per-variable growth bound (≥ 1.0), e.g. `1.2` = 20% slack.
+        max_growth: f64,
+    },
+}
+
+impl ReorderPolicy {
+    /// Sifting with the default threshold and growth bound.
+    pub fn sifting() -> Self {
+        ReorderPolicy::Sifting {
+            auto_threshold: DEFAULT_AUTO_THRESHOLD,
+            max_growth: DEFAULT_MAX_GROWTH,
+        }
+    }
+
+    /// True unless the policy is [`ReorderPolicy::None`].
+    pub fn is_enabled(&self) -> bool {
+        !matches!(self, ReorderPolicy::None)
+    }
+
+    /// The growth bound, clamped to at least 1.0 (`None` ⇒ default).
+    pub(crate) fn growth(&self) -> f64 {
+        match self {
+            ReorderPolicy::None => DEFAULT_MAX_GROWTH,
+            ReorderPolicy::Sifting { max_growth, .. } => max_growth.max(1.0),
+        }
+    }
+}
+
+impl std::fmt::Display for ReorderPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReorderPolicy::None => write!(f, "none"),
+            ReorderPolicy::Sifting { auto_threshold, .. } => {
+                write!(f, "sifting:{auto_threshold}")
+            }
+        }
+    }
+}
+
+/// Error of [`ReorderPolicy::from_str`]: the unrecognized policy text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownReorderPolicy(pub String);
+
+impl std::fmt::Display for UnknownReorderPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown reorder policy `{}` (none | sifting | sifting:THRESHOLD)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for UnknownReorderPolicy {}
+
+impl std::str::FromStr for ReorderPolicy {
+    type Err = UnknownReorderPolicy;
+
+    /// Parses `none`/`off`, `sifting` (defaults), or `sifting:THRESHOLD`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "none" | "off" | "static" => Ok(ReorderPolicy::None),
+            "sifting" | "sift" => Ok(ReorderPolicy::sifting()),
+            other => match other.strip_prefix("sifting:").map(str::parse::<usize>) {
+                Some(Ok(auto_threshold)) => Ok(ReorderPolicy::Sifting {
+                    auto_threshold,
+                    max_growth: DEFAULT_MAX_GROWTH,
+                }),
+                _ => Err(UnknownReorderPolicy(other.to_string())),
+            },
+        }
+    }
+}
+
+/// Working state of one variable's sift: per-variable node lists, the
+/// reorder-scoped reference counts, and the reachable-node count (the size
+/// signal sifting optimises — the raw allocation count only ever grows
+/// while swaps strand old cofactor nodes).
+pub(crate) struct SiftCtx {
+    by_var: Vec<Vec<u32>>,
+    refs: Vec<u32>,
+    vsize: usize,
+}
+
+impl Inner {
+    // ----- policy plumbing --------------------------------------------------
+
+    pub(crate) fn set_policy(&mut self, policy: ReorderPolicy) -> ReorderPolicy {
+        let prev = self.policy;
+        self.policy = policy;
+        self.reorder_next = match policy {
+            ReorderPolicy::None => usize::MAX,
+            ReorderPolicy::Sifting { auto_threshold, .. } => auto_threshold.max(16),
+        };
+        prev
+    }
+
+    pub(crate) fn policy(&self) -> ReorderPolicy {
+        self.policy
+    }
+
+    /// Replaces the reorder fences (level positions; deduplicated, sorted).
+    pub(crate) fn set_fences(&mut self, mut fences: Vec<u32>) {
+        fences.retain(|&f| f > 0 && (f as usize) < self.nvars as usize);
+        fences.sort_unstable();
+        fences.dedup();
+        self.fences = fences;
+    }
+
+    /// The fence-bounded level range `[lo, hi)` containing `level`.
+    fn fence_range(&self, level: u32) -> (u32, u32) {
+        let mut lo = 0u32;
+        let mut hi = self.nvars;
+        for &f in &self.fences {
+            if f <= level {
+                lo = f;
+            } else {
+                hi = f;
+                break;
+            }
+        }
+        (lo, hi)
+    }
+
+    /// Automatic trigger, called from the [`Inner::maybe_gc`] safe point.
+    /// After the pass, the threshold moves to twice the surviving size (at
+    /// least double the old threshold) so passes stay geometrically spaced.
+    pub(crate) fn auto_reorder(&mut self) {
+        if !self.policy.is_enabled() {
+            return;
+        }
+        self.reorder();
+        self.reorder_next = (self.live * 2).max(self.reorder_next.saturating_mul(2));
+    }
+
+    // ----- the sifting pass -------------------------------------------------
+
+    /// One full sifting pass over all variables. Returns the live-node
+    /// delta (negative = the store shrank).
+    ///
+    /// Runs to completion on each variable even under a pending abort
+    /// request (a half-sifted order is still a valid order, but an
+    /// individual swap must never be torn); the hook is polled *between*
+    /// variables so cancellation still lands promptly.
+    pub(crate) fn reorder(&mut self) -> i64 {
+        let t0 = Instant::now();
+        self.counters.reorders += 1;
+        // Start from a clean store: reclaim garbage so the size signal
+        // measures reachable nodes, and drop the computed cache (see the
+        // module docs for why a flush, not a sweep).
+        self.gc();
+        self.flush_cache();
+        let before = self.live as i64;
+        let growth = self.policy.growth();
+
+        // Visit variables in decreasing node-count order — sifting the
+        // heaviest variables first frees the most room for the rest.
+        let mut counts = vec![0usize; self.nvars as usize];
+        for n in self.nodes.iter().skip(1) {
+            if n.var < VAR_FREE {
+                counts[n.var as usize] += 1;
+            }
+        }
+        let mut order: Vec<u32> = (0..self.nvars).collect();
+        order.sort_by_key(|&v| std::cmp::Reverse(counts[v as usize]));
+
+        for v in order {
+            if self.abort.is_some() {
+                break;
+            }
+            self.poll_hook();
+            if self.abort.is_some() {
+                break;
+            }
+            // Swaps strand dead cofactor nodes; collect after a variable
+            // whose sift actually perturbed the store, so the next
+            // [`Inner::sift_ctx`] starts from allocated = reachable (its
+            // precondition). A sift that moved no nodes (fence-pinned, or
+            // a variable with no nodes at its levels) left the store
+            // untouched — skip the O(live) mark-and-sweep + table rebuild.
+            if self.sift_one(v, growth) {
+                self.gc();
+            }
+        }
+        self.flush_cache();
+        let delta = self.live as i64 - before;
+        self.counters.reorder_node_delta += delta;
+        self.counters.reorder_nanos += t0.elapsed().as_nanos() as u64;
+        delta
+    }
+
+    /// Sifts one variable through its fence-bounded range: down to the
+    /// bottom, up to the top, then back to the best position seen. Returns
+    /// whether the node store was perturbed — nodes allocated, or
+    /// stranded/reclaimed (a sift over empty levels only flips the maps).
+    ///
+    /// The size signal is [`SiftCtx::vsize`] — reachable nodes tracked by
+    /// the reorder-scoped reference counts — not the raw allocation count,
+    /// which only ever grows while swaps strand old cofactor nodes.
+    fn sift_one(&mut self, v: u32, growth: f64) -> bool {
+        let start = self.var2level[v as usize];
+        let (lo, hi) = self.fence_range(start);
+        if hi - lo <= 1 {
+            return false;
+        }
+        let allocated_at_entry = self.counters.allocated;
+        let mut ctx = self.sift_ctx();
+        let limit = ((ctx.vsize as f64) * growth) as usize + 16;
+        let mut pos = start;
+        let mut best = (ctx.vsize, start);
+        // Head for the nearer end first — the return trip re-crosses the
+        // shorter side only once.
+        let down_first = hi - 1 - start <= start - lo;
+        for phase in 0..2 {
+            let down = (phase == 0) == down_first;
+            loop {
+                let can_move = if down { pos + 1 < hi } else { pos > lo };
+                if !can_move {
+                    break;
+                }
+                if down {
+                    self.swap_levels(pos, &mut ctx);
+                    pos += 1;
+                } else {
+                    self.swap_levels(pos - 1, &mut ctx);
+                    pos -= 1;
+                }
+                if ctx.vsize < best.0 {
+                    best = (ctx.vsize, pos);
+                }
+                if ctx.vsize > limit {
+                    break;
+                }
+            }
+        }
+        // Park at the best position seen.
+        while pos < best.1 {
+            self.swap_levels(pos, &mut ctx);
+            pos += 1;
+        }
+        while pos > best.1 {
+            self.swap_levels(pos - 1, &mut ctx);
+            pos -= 1;
+        }
+        self.counters.allocated != allocated_at_entry || self.live != ctx.vsize
+    }
+
+    /// Builds the swap working state from the current store: node indices
+    /// grouped by variable id, and reference counts (parent edges plus one
+    /// per externally pinned node). Call on a **freshly collected** store —
+    /// there allocated = reachable, so every allocated node carries at
+    /// least one reference and the refcount universe starts consistent.
+    fn sift_ctx(&self) -> SiftCtx {
+        let mut by_var: Vec<Vec<u32>> = vec![Vec::new(); self.nvars as usize];
+        let mut refs = vec![0u32; self.nodes.len()];
+        refs[0] = 1; // terminal, permanently pinned
+        for (idx, n) in self.nodes.iter().enumerate().skip(1) {
+            if n.var >= VAR_FREE {
+                continue;
+            }
+            by_var[n.var as usize].push(idx as u32);
+            refs[(n.hi >> 1) as usize] += 1;
+            refs[(n.lo >> 1) as usize] += 1;
+            if self.ext[idx] > 0 {
+                refs[idx] += 1;
+            }
+        }
+        let vsize = refs.iter().filter(|&&r| r > 0).count();
+        debug_assert_eq!(vsize, self.live, "sift_ctx needs a collected store");
+        SiftCtx {
+            by_var,
+            refs,
+            vsize,
+        }
+    }
+
+    // ----- adjacent-level swap ---------------------------------------------
+
+    /// Swaps levels `l` and `l + 1`, updating the level maps, the affected
+    /// nodes (in place), the unique table, and the `by_var` index.
+    ///
+    /// For every upper-level node `f = ite(u, T, E)` that depends on the
+    /// lower variable `w`:
+    ///
+    /// ```text
+    /// f  =  ite(u, ite(w, T₁, T₀), ite(w, E₁, E₀))      (old order)
+    ///    =  ite(w, ite(u, T₁, E₁), ite(u, T₀, E₀))      (new order)
+    /// ```
+    ///
+    /// The node is relabelled to the second form **in place** — its index,
+    /// and therefore every parent edge, external handle, and cache ref,
+    /// keeps denoting the same function. Upper-level nodes *independent* of
+    /// `w`, and all lower-level nodes, are untouched: their var ids stay
+    /// valid at the swapped levels.
+    ///
+    /// Bookkeeping: the context's reference counts track reachability
+    /// exactly. Old cofactor nodes that lose their last parent are
+    /// *released* (recursively, like a refcounting package) so
+    /// [`SiftCtx::vsize`] measures the real size at every position — and
+    /// dead **dependent upper** nodes are reclaimed eagerly, because
+    /// leaving them allocated would violate the order invariant their new
+    /// level imposes. Dead nodes elsewhere stay allocated (they are still
+    /// structurally valid and the unique table may resurrect them when a
+    /// later swap recreates the same key).
+    pub(crate) fn swap_levels(&mut self, l: u32, ctx: &mut SiftCtx) {
+        let vu = self.level2var[l as usize];
+        let vl = self.level2var[(l + 1) as usize];
+        self.counters.reorder_swaps += 1;
+
+        // Commit the new order first: every node built below must respect it.
+        self.var2level.swap(vu as usize, vl as usize);
+        self.level2var.swap(l as usize, (l + 1) as usize);
+
+        let upper = std::mem::take(&mut ctx.by_var[vu as usize]);
+        // Pre-size the unique table for the worst case (two fresh children
+        // per rewritten node) so no rehash can interleave with the
+        // remove/reinsert sequence below.
+        let worst = self.live + 2 * upper.len();
+        if worst * 2 > self.table.len() {
+            let want = (worst * 2).next_power_of_two();
+            self.rebuild_table(want.max(self.table.len() * 2));
+        }
+
+        let mut keep = Vec::with_capacity(upper.len());
+        for idx in upper {
+            let Node { var, hi: t, lo: e } = self.nodes[idx as usize];
+            debug_assert_eq!(var, vu);
+            let tn = self.nodes[(t >> 1) as usize];
+            let en = self.nodes[(e >> 1) as usize];
+            let t_dep = tn.var == vl;
+            let e_dep = en.var == vl;
+            if !t_dep && !e_dep {
+                // Independent of the lower variable: the node just rides
+                // its var id down one level.
+                keep.push(idx);
+                continue;
+            }
+            if ctx.refs[idx as usize] == 0 {
+                // Dead and dependent: rewriting it would only manufacture
+                // garbage, and leaving it would break the order invariant —
+                // drop it from the table instead. The slot is *not* pushed
+                // onto the free list here: dead parents may still hold the
+                // index in their stale fields, so it must stay unused until
+                // the next GC sweep reclaims both together.
+                self.table_remove(idx);
+                self.nodes[idx as usize].var = VAR_FREE;
+                self.live -= 1;
+                continue;
+            }
+            // Cofactors of the children with respect to the lower variable
+            // (T is regular by the canonical form, so T₁ is regular too —
+            // which is what guarantees the rewritten node's then-edge needs
+            // no complement flip).
+            let (t1, t0) = if t_dep { (tn.hi, tn.lo) } else { (t, t) };
+            let (e1, e0) = if e_dep {
+                let c = e & 1;
+                (en.hi ^ c, en.lo ^ c)
+            } else {
+                (e, e)
+            };
+            self.table_remove(idx);
+            let h = self.swap_mk(vu, t1, e1, ctx);
+            let l0 = self.swap_mk(vu, t0, e0, ctx);
+            debug_assert_ne!(h, l0, "a w-dependent node cannot lose w");
+            debug_assert_eq!(h & 1, 0, "then-edge must stay regular");
+            self.addref(h, ctx);
+            self.addref(l0, ctx);
+            self.nodes[idx as usize] = Node {
+                var: vl,
+                hi: h,
+                lo: l0,
+            };
+            self.table_insert(idx);
+            ctx.by_var[vl as usize].push(idx);
+            // The old children each lose their edge from this node.
+            self.deref(t, ctx);
+            self.deref(e, ctx);
+        }
+        ctx.by_var[vu as usize].extend(keep);
+    }
+
+    /// Adds one reference to `r`'s node; resurrecting a dead node re-claims
+    /// its children recursively (they were released when it died).
+    fn addref(&self, r: Ref, ctx: &mut SiftCtx) {
+        let idx = (r >> 1) as usize;
+        if idx == 0 {
+            return;
+        }
+        ctx.refs[idx] += 1;
+        if ctx.refs[idx] == 1 {
+            ctx.vsize += 1;
+            let n = self.nodes[idx];
+            self.addref(n.hi, ctx);
+            self.addref(n.lo, ctx);
+        }
+    }
+
+    /// Drops one reference from `r`'s node; a node dying releases its
+    /// children recursively. Dead nodes stay allocated (see
+    /// [`Inner::swap_levels`] for when they are reclaimed).
+    fn deref(&self, r: Ref, ctx: &mut SiftCtx) {
+        let idx = (r >> 1) as usize;
+        if idx == 0 {
+            return;
+        }
+        debug_assert!(ctx.refs[idx] > 0, "refcount underflow in swap");
+        ctx.refs[idx] -= 1;
+        if ctx.refs[idx] == 0 {
+            ctx.vsize -= 1;
+            let n = self.nodes[idx];
+            self.deref(n.hi, ctx);
+            self.deref(n.lo, ctx);
+        }
+    }
+
+    /// `mk` for the swap path: canonical reduction and unique-table
+    /// hash-consing, but **no guards, no growth, no GC** — a swap must run
+    /// atomically (the pre-sized table guarantees room), and a dummy
+    /// `ZERO` stand-in would corrupt the store. New nodes are recorded in
+    /// `by_var` so later swaps keep finding them; reference counting is the
+    /// caller's job (the node starts dead until its parent claims it).
+    fn swap_mk(&mut self, var: u32, hi: Ref, lo: Ref, ctx: &mut SiftCtx) -> Ref {
+        if hi == lo {
+            return hi;
+        }
+        let (hi, lo, flip) = if hi & 1 == 1 {
+            (hi ^ 1, lo ^ 1, 1)
+        } else {
+            (hi, lo, 0)
+        };
+        let mask = self.table.len() - 1;
+        let hash = super::mix3(var, hi, lo);
+        let tag = (hash >> 32) as u32;
+        let mut slot = hash as usize & mask;
+        loop {
+            let e = self.table[slot];
+            let p = e as u32;
+            if p == NIL {
+                break;
+            }
+            if (e >> 32) as u32 == tag {
+                let n = &self.nodes[p as usize];
+                if n.var == var && n.hi == hi && n.lo == lo {
+                    return (p << 1) | flip;
+                }
+            }
+            slot = (slot + 1) & mask;
+        }
+        // Always allocate a *fresh* slot — never recycle the free list
+        // mid-pass. An eagerly reclaimed index may still appear in the
+        // stale fields of a dead ("zombie") node; recycling it would make
+        // that zombie's unique-table key collide with live structure. A
+        // freed index that stays free until the next GC can never be
+        // queried (lookup keys are built from live refs only), so zombies
+        // stay inert and the sweep removes them.
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(Node { var, hi, lo });
+        self.ext.push(0);
+        ctx.refs.push(0);
+        self.table[slot] = ((tag as u64) << 32) | idx as u64;
+        self.live += 1;
+        self.counters.allocated += 1;
+        if self.live > self.counters.peak_live {
+            self.counters.peak_live = self.live;
+        }
+        ctx.by_var[var as usize].push(idx);
+        (idx << 1) | flip
+    }
+
+    // ----- unique-table point operations ------------------------------------
+
+    /// Inserts node `idx` under its current `(var, hi, lo)` key. The caller
+    /// guarantees room (swaps pre-size the table).
+    fn table_insert(&mut self, idx: u32) {
+        let n = self.nodes[idx as usize];
+        let mask = self.table.len() - 1;
+        let hash = super::mix3(n.var, n.hi, n.lo);
+        let mut slot = hash as usize & mask;
+        while self.table[slot] as u32 != NIL {
+            slot = (slot + 1) & mask;
+        }
+        self.table[slot] = (hash >> 32) << 32 | idx as u64;
+    }
+
+    /// Removes node `idx` (keyed by its current fields) with backward-shift
+    /// deletion, preserving the no-tombstone linear-probing invariant:
+    /// every entry between its home slot and its actual slot remains
+    /// reachable.
+    fn table_remove(&mut self, idx: u32) {
+        let n = self.nodes[idx as usize];
+        let mask = self.table.len() - 1;
+        let home = super::mix3(n.var, n.hi, n.lo) as usize & mask;
+        let mut slot = home;
+        loop {
+            let e = self.table[slot];
+            if e as u32 == idx {
+                break;
+            }
+            if e == EMPTY_SLOT {
+                debug_assert!(false, "node to remove not in the table");
+                return;
+            }
+            slot = (slot + 1) & mask;
+        }
+        // Backward shift: pull every displaced follower into the gap until
+        // an empty slot or an entry already at its home.
+        let mut gap = slot;
+        let mut probe = slot;
+        loop {
+            probe = (probe + 1) & mask;
+            let e = self.table[probe];
+            if e as u32 == NIL {
+                break;
+            }
+            let fn_ = self.nodes[e as u32 as usize];
+            let ehome = super::mix3(fn_.var, fn_.hi, fn_.lo) as usize & mask;
+            // Cyclic distance from the entry's home to its slot vs to the
+            // gap: move it back only if the gap still lies on its probe
+            // path.
+            if (probe.wrapping_sub(ehome) & mask) >= (probe.wrapping_sub(gap) & mask) {
+                self.table[gap] = e;
+                gap = probe;
+            }
+        }
+        self.table[gap] = EMPTY_SLOT;
+    }
+
+    /// Drops every computed-cache entry (see the module docs).
+    pub(crate) fn flush_cache(&mut self) {
+        self.cache.fill(EMPTY_ENTRY);
+        self.cache_entries = 0;
+        self.cache_writes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inner::ZERO;
+
+    /// A 4-variable manager with a function exercising sharing and
+    /// complement edges.
+    fn setup() -> (Inner, Vec<Ref>, Ref) {
+        let mut m = Inner::new();
+        let vars: Vec<Ref> = (0..4).map(|_| m.new_var()).collect();
+        // f = (v0 & v2) | (v1 ^ v3) — depends on every variable.
+        let a = m.and(vars[0], vars[2]);
+        let x = m.ite(vars[1], vars[3] ^ 1, vars[3]);
+        let f = m.or(a, x ^ 1);
+        m.adjust_ext(f >> 1, 1);
+        (m, vars, f)
+    }
+
+    fn eval_all(m: &Inner, f: Ref, nvars: usize) -> Vec<bool> {
+        (0..1usize << nvars)
+            .map(|bits| {
+                let assignment: Vec<bool> = (0..nvars).map(|k| bits >> k & 1 == 1).collect();
+                m.eval(f, &assignment)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn adjacent_swap_preserves_functions_and_invariants() {
+        let (mut m, _vars, f) = setup();
+        let truth = eval_all(&m, f, 4);
+        // Raw swaps follow the reorder() discipline: collected store,
+        // flushed cache (eager reclamation may recycle node indices, which
+        // would dangle cached refs).
+        m.gc();
+        m.flush_cache();
+        let mut ctx = m.sift_ctx();
+        for l in [0u32, 1, 2, 1, 0, 2] {
+            m.swap_levels(l, &mut ctx);
+            assert_eq!(eval_all(&m, f, 4), truth, "after swapping level {l}");
+            m.verify_cache()
+                .expect("table/level invariants hold after a swap");
+        }
+        // level2var went through an odd permutation count per position but
+        // must still be a permutation.
+        let mut seen = [false; 4];
+        for l in 0..4usize {
+            let v = m.level2var[l] as usize;
+            assert!(!seen[v]);
+            seen[v] = true;
+            assert_eq!(m.var2level[v], l as u32);
+        }
+    }
+
+    #[test]
+    fn swap_round_trip_restores_the_reachable_size() {
+        let (mut m, _vars, f) = setup();
+        m.gc();
+        m.flush_cache();
+        let mut ctx = m.sift_ctx();
+        let vsize_before = ctx.vsize;
+        m.swap_levels(1, &mut ctx);
+        m.swap_levels(1, &mut ctx);
+        // Swapping back rebuilds the original cofactor structure; the
+        // reachable-node signal must return to its starting point, and a
+        // real GC must agree with it.
+        assert_eq!(ctx.vsize, vsize_before);
+        m.gc();
+        assert_eq!(m.live(), vsize_before);
+        m.verify_cache().expect("clean after a round trip");
+        let _ = f;
+    }
+
+    #[test]
+    fn reorder_shrinks_a_bad_order() {
+        // ⋁ v_i ∧ v_{i+n} under the blocked order is exponential; the
+        // interleaved order is linear. Sifting must find (close to) it.
+        let mut m = Inner::new();
+        let n = 7;
+        let vars: Vec<Ref> = (0..2 * n).map(|_| m.new_var()).collect();
+        let mut acc = ZERO;
+        for i in 0..n {
+            let t = m.and(vars[i], vars[i + n]);
+            acc = m.or(acc, t);
+        }
+        m.adjust_ext(acc >> 1, 1);
+        m.gc();
+        let before = m.live();
+        let truth = eval_all(&m, acc, 2 * n);
+        let delta = m.reorder();
+        assert!(delta < 0, "sifting should shrink the blocked order");
+        assert!(m.live() < before);
+        // Close to the linear optimum (3n + 2 nodes + terminal + vars).
+        assert!(
+            m.live() < before / 4,
+            "expected a big win, got {} -> {}",
+            before,
+            m.live()
+        );
+        assert_eq!(eval_all(&m, acc, 2 * n), truth);
+        m.verify_cache().expect("invariants hold after sifting");
+        assert_eq!(m.counters.reorders, 1);
+        assert!(m.counters.reorder_swaps > 0);
+        assert!(m.counters.reorder_node_delta < 0);
+    }
+
+    #[test]
+    fn fences_confine_sifting() {
+        let mut m = Inner::new();
+        let n = 4;
+        let _vars: Vec<Ref> = (0..2 * n).map(|_| m.new_var()).collect();
+        m.set_fences(vec![n as u32]);
+        // Build the cross-group function that sifting would love to
+        // interleave; the fence must keep the groups intact.
+        let vars: Vec<Ref> = (0..2 * n).map(|v| m.var_ref(v as u32)).collect();
+        let mut acc = ZERO;
+        for i in 0..n {
+            let t = m.and(vars[i], vars[i + n]);
+            acc = m.or(acc, t);
+        }
+        m.adjust_ext(acc >> 1, 1);
+        m.reorder();
+        for v in 0..n as u32 {
+            assert!(
+                m.level_of_var(v) < n as u32,
+                "v{v} crossed the fence to level {}",
+                m.level_of_var(v)
+            );
+        }
+        for v in n as u32..2 * n as u32 {
+            assert!(m.level_of_var(v) >= n as u32);
+        }
+        m.verify_cache().expect("invariants hold under fences");
+    }
+
+    #[test]
+    fn policy_parses_and_displays() {
+        assert_eq!("none".parse::<ReorderPolicy>(), Ok(ReorderPolicy::None));
+        assert_eq!(
+            "sifting".parse::<ReorderPolicy>(),
+            Ok(ReorderPolicy::sifting())
+        );
+        assert_eq!(
+            "sifting:5000".parse::<ReorderPolicy>(),
+            Ok(ReorderPolicy::Sifting {
+                auto_threshold: 5000,
+                max_growth: DEFAULT_MAX_GROWTH
+            })
+        );
+        assert!("warp".parse::<ReorderPolicy>().is_err());
+        assert!("sifting:x".parse::<ReorderPolicy>().is_err());
+        assert_eq!(ReorderPolicy::sifting().to_string(), "sifting:20000");
+        assert_eq!(ReorderPolicy::None.to_string(), "none");
+    }
+
+    #[test]
+    fn auto_reorder_fires_at_the_safe_point() {
+        let mut m = Inner::new();
+        m.set_policy(ReorderPolicy::Sifting {
+            auto_threshold: 64,
+            max_growth: 1.5,
+        });
+        let n = 6;
+        let vars: Vec<Ref> = (0..2 * n).map(|_| m.new_var()).collect();
+        let mut acc = ZERO;
+        for i in 0..n {
+            let t = m.and(vars[i], vars[i + n]);
+            acc = m.or(acc, t);
+            m.adjust_ext(acc >> 1, 1);
+            m.maybe_gc(); // the operation-boundary safe point
+            m.adjust_ext(acc >> 1, -1);
+        }
+        assert!(m.counters.reorders > 0, "threshold never fired");
+        m.verify_cache().expect("clean after auto reorder");
+    }
+}

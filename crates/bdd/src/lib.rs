@@ -29,6 +29,14 @@
 //!   variable [`rename`](BddManager::rename)/[`compose`](BddManager::compose),
 //!   [`support`](BddManager::support), satisfy-count, cube enumeration and
 //!   DOT export.
+//! * **Dynamic variable reordering**: the kernel is level-indexed (nodes
+//!   store stable variable ids; the recursions compare levels through a
+//!   `var2level`/`level2var` permutation), with in-place adjacent-level
+//!   swaps and Rudell **sifting** — manual via [`BddManager::reorder`] or
+//!   automatic via [`ReorderPolicy::Sifting`] at operation boundaries.
+//!   Every [`Bdd`] handle stays valid across reorders; **fences**
+//!   ([`BddManager::set_reorder_fences`]) let layered callers pin block
+//!   structure the rest of their stack depends on.
 //! * **Cooperative abort**: a configurable live-node limit and an
 //!   [`set_abort_hook`](BddManager::set_abort_hook) predicate (cancellation
 //!   flags, deadlines) checked during operations. On abort nothing unwinds —
@@ -70,14 +78,18 @@ mod manager;
 
 pub use cube::{Cube, CubeIter, Literal};
 pub use error::AbortReason;
+pub use inner::reorder::{
+    ReorderPolicy, UnknownReorderPolicy, DEFAULT_AUTO_THRESHOLD, DEFAULT_MAX_GROWTH,
+};
 pub use manager::{Bdd, BddManager, BddStats};
 
 /// Identifier of a BDD variable.
 ///
-/// Variables are created through [`BddManager::new_var`] and are totally
-/// ordered by creation index; the engine uses a static variable order (the
-/// creation order), which callers in this workspace choose deliberately
-/// (e.g. interleaving current- and next-state variables).
+/// Variables are created through [`BddManager::new_var`] and identified by
+/// their creation index **for the manager's whole lifetime**. The *order*
+/// (the level each variable sits at) starts as the creation order and may
+/// change under dynamic reordering ([`BddManager::reorder`],
+/// [`ReorderPolicy::Sifting`]); query it with [`BddManager::level_of`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VarId(pub u32);
 

@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use crate::cube::CubeIter;
-use crate::inner::{Inner, Ref, ONE, ZERO};
+use crate::inner::{Inner, Ref, ReorderPolicy, ONE, ZERO};
 use crate::VarId;
 
 pub(crate) struct Shared {
@@ -111,6 +111,16 @@ pub struct BddStats {
     /// Unique-table probe steps across all lookups (cumulative); divide by
     /// [`unique_lookups`](Self::unique_lookups) for the mean probe length.
     pub unique_probes: u64,
+    /// Dynamic-reorder passes run so far (manual
+    /// [`BddManager::reorder`] calls and automatic sifting triggers).
+    pub reorders: u64,
+    /// Adjacent-level swaps performed across all reorder passes.
+    pub reorder_swaps: u64,
+    /// Wall-clock time spent inside reorder passes.
+    pub reorder_time: std::time::Duration,
+    /// Cumulative live-node change across reorder passes (negative =
+    /// reordering shrank the store).
+    pub reorder_node_delta: i64,
 }
 
 impl BddStats {
@@ -330,14 +340,21 @@ impl BddManager {
     // ----- quantification ----------------------------------------------------
 
     /// Builds the positive cube over `vars` used by the quantifiers.
+    ///
+    /// The cube is assembled bottom-up along the **live level order** (not
+    /// the variable-id order), so it stays well-formed after dynamic
+    /// reordering has permuted the levels.
     pub fn positive_cube(&self, vars: &[VarId]) -> Bdd {
         let mut sorted: Vec<u32> = vars.iter().map(|v| v.0).collect();
         sorted.sort_unstable();
         sorted.dedup();
         let raw = self.with_inner(|i| {
+            sorted.iter().for_each(|&v| {
+                assert!(v < i.nvars(), "unknown variable v{v}");
+            });
+            sorted.sort_unstable_by_key(|&v| i.level_of_var(v));
             let mut acc = ONE;
             for &v in sorted.iter().rev() {
-                assert!(v < i.nvars(), "unknown variable v{v}");
                 acc = i.mk(v, acc, ZERO);
             }
             acc
@@ -346,14 +363,18 @@ impl BddManager {
     }
 
     /// Builds the cube (conjunction of literals) described by
-    /// `(variable, phase)` pairs.
+    /// `(variable, phase)` pairs. Like [`positive_cube`](Self::positive_cube),
+    /// assembled along the live level order.
     pub fn cube(&self, lits: &[(VarId, bool)]) -> Bdd {
         let mut sorted: Vec<(u32, bool)> = lits.iter().map(|&(v, s)| (v.0, s)).collect();
         sorted.sort_unstable();
         let raw = self.with_inner(|i| {
+            sorted.iter().for_each(|&(v, _)| {
+                assert!(v < i.nvars(), "unknown variable v{v}");
+            });
+            sorted.sort_by_key(|&(v, _)| i.level_of_var(v));
             let mut acc = ONE;
             for &(v, s) in sorted.iter().rev() {
-                assert!(v < i.nvars(), "unknown variable v{v}");
                 acc = if s {
                     i.mk(v, acc, ZERO)
                 } else {
@@ -475,16 +496,22 @@ impl BddManager {
     ///
     /// Uses a fast structural pass when the mapping preserves the level order
     /// of `f`'s support (the common case for interleaved current/next-state
-    /// renaming) and falls back to general composition otherwise.
+    /// renaming) and falls back to general composition otherwise. The check
+    /// compares **live levels**, not variable ids, so it stays sound after
+    /// dynamic reordering (a reorder that breaks the interleaving simply
+    /// routes renames through the general path).
     pub fn rename(&self, f: &Bdd, map: &[(VarId, VarId)]) -> Bdd {
         self.check(f);
         let var_map: HashMap<u32, u32> = map.iter().map(|&(a, b)| (a.0, b.0)).collect();
         let raw = self.with_inner(|i| {
-            // Monotonicity check on the support.
-            let support = i.support(f.raw);
+            // Monotonicity check on the support, in level terms: walking
+            // the support by ascending live level, the mapped variables'
+            // levels must ascend too.
+            let mut support = i.support(f.raw);
+            support.sort_unstable_by_key(|&v| i.level_of_var(v));
             let mapped: Vec<u32> = support
                 .iter()
-                .map(|v| var_map.get(v).copied().unwrap_or(*v))
+                .map(|v| i.level_of_var(var_map.get(v).copied().unwrap_or(*v)))
                 .collect();
             let monotone = mapped.windows(2).all(|w| w[0] < w[1]);
             if monotone {
@@ -569,6 +596,10 @@ impl BddManager {
             cache_surviving_entries: i.counters.cache_survived,
             unique_lookups: i.counters.table_lookups,
             unique_probes: i.counters.table_probes,
+            reorders: i.counters.reorders,
+            reorder_swaps: i.counters.reorder_swaps,
+            reorder_time: std::time::Duration::from_nanos(i.counters.reorder_nanos),
+            reorder_node_delta: i.counters.reorder_node_delta,
         })
     }
 
@@ -644,6 +675,62 @@ impl BddManager {
     pub fn collect_garbage(&self) {
         self.0.drain_pending();
         self.0.inner.borrow_mut().gc();
+    }
+
+    // ----- dynamic variable reordering ------------------------------------------
+
+    /// Sets the dynamic-reordering policy, returning the previous one (so
+    /// scoped installers — the solver session — can restore it).
+    ///
+    /// With [`ReorderPolicy::Sifting`] a sifting pass runs automatically
+    /// whenever the live-node count crosses the threshold **at an operation
+    /// boundary** — never mid-operation, so a threshold crossed inside a
+    /// long `apply` takes effect when the next operation starts. All
+    /// existing [`Bdd`] handles remain valid across reorders and keep
+    /// denoting the same functions (reordering rewrites nodes in place).
+    pub fn set_reorder_policy(&self, policy: ReorderPolicy) -> ReorderPolicy {
+        self.0.drain_pending();
+        self.0.inner.borrow_mut().set_policy(policy)
+    }
+
+    /// The current dynamic-reordering policy.
+    pub fn reorder_policy(&self) -> ReorderPolicy {
+        self.with_inner_ref(|i| i.policy())
+    }
+
+    /// Runs one Rudell sifting pass now, regardless of the policy, and
+    /// returns the live-node delta (negative = the store shrank). The
+    /// computed cache is flushed; every [`Bdd`] handle stays valid.
+    pub fn reorder(&self) -> i64 {
+        self.0.drain_pending();
+        self.0.inner.borrow_mut().reorder()
+    }
+
+    /// Installs reorder **fences**: level positions no variable may cross
+    /// while sifting. A fence at `k` makes the variable sets of levels
+    /// `[0, k)` and `[k, num_vars)` invariants of reordering — the solver
+    /// layers fence their alphabet block above the state block so the
+    /// cofactor-class decomposition's "split above residual" precondition
+    /// survives any reorder. Out-of-range positions are ignored.
+    pub fn set_reorder_fences(&self, fences: &[usize]) {
+        self.0.drain_pending();
+        self.0
+            .inner
+            .borrow_mut()
+            .set_fences(fences.iter().map(|&f| f as u32).collect());
+    }
+
+    /// The current level (position in the live variable order) of `v`.
+    pub fn level_of(&self, v: VarId) -> usize {
+        self.with_inner_ref(|i| {
+            assert!(v.0 < i.nvars(), "unknown variable {v:?}");
+            i.level_of_var(v.0) as usize
+        })
+    }
+
+    /// The live variable order: variable ids from the top level down.
+    pub fn current_order(&self) -> Vec<VarId> {
+        self.with_inner_ref(|i| i.level2var.iter().map(|&v| VarId(v)).collect())
     }
 
     // ----- internal plumbing for sibling modules --------------------------------

@@ -319,4 +319,62 @@ proptest! {
             prop_assert_eq!(f.eval(&env), e.eval(&env));
         }
     }
+
+    #[test]
+    fn reorder_preserves_functions(e in arb_expr(), f2 in arb_expr()) {
+        // The core reorder-soundness property: every handle evaluates
+        // identically before and after a sifting pass, the level maps and
+        // unique table stay canonical, and rebuilding a function after the
+        // reorder hash-conses onto the same handle.
+        let (mgr, vars) = setup();
+        let f = e.build(&mgr, &vars);
+        let g = f2.build(&mgr, &vars);
+        mgr.reorder();
+        let checked = mgr.verify_cache_integrity();
+        prop_assert!(checked.is_ok(), "invariants after reorder: {:?}", checked);
+        for env in assignments() {
+            prop_assert_eq!(f.eval(&env), e.eval(&env));
+            prop_assert_eq!(g.eval(&env), f2.eval(&env));
+        }
+        let rebuilt = e.build(&mgr, &vars);
+        prop_assert_eq!(&rebuilt, &f, "canonicity across a reorder");
+        // The order is a permutation the manager can report.
+        let order = mgr.current_order();
+        prop_assert_eq!(order.len(), NVARS);
+        for v in 0..NVARS {
+            prop_assert_eq!(order[mgr.level_of(VarId(v as u32))], VarId(v as u32));
+        }
+    }
+
+    #[test]
+    fn auto_reorder_mid_workload_preserves_functions(e in arb_expr(), f2 in arb_expr()) {
+        // Sifting armed with a tiny threshold so it fires *during* the
+        // build (at operation boundaries, forced by the apply traffic);
+        // results must match the untouched-order oracle.
+        let (mgr, vars) = setup();
+        mgr.set_reorder_policy(langeq_bdd::ReorderPolicy::Sifting {
+            auto_threshold: 24,
+            max_growth: 1.5,
+        });
+        let f = e.build(&mgr, &vars);
+        let g = f.xor(&f2.build(&mgr, &vars));
+        // Capture the size *before* the final op: a crossing inside the
+        // very last operation has no later boundary to fire at, so the
+        // assertion below keys on the size the final op's entry saw.
+        let peak_before_final = mgr.stats().peak_live_nodes;
+        let _ = f.and(&g);
+        mgr.set_reorder_policy(langeq_bdd::ReorderPolicy::None);
+        // Tiny expressions may legitimately stay under the (clamped)
+        // threshold; whenever the store crossed it before the last
+        // boundary, the safe point must have fired.
+        if peak_before_final > 24 {
+            prop_assert!(mgr.stats().reorders > 0, "threshold never fired");
+        }
+        let checked = mgr.verify_cache_integrity();
+        prop_assert!(checked.is_ok(), "invariants after auto reorder: {:?}", checked);
+        for env in assignments() {
+            prop_assert_eq!(f.eval(&env), e.eval(&env));
+            prop_assert_eq!(g.eval(&env), e.eval(&env) != f2.eval(&env));
+        }
+    }
 }

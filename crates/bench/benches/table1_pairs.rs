@@ -39,7 +39,10 @@ fn bench_pairs(c: &mut Criterion) {
         ),
         (
             "monolithic",
-            Box::new(Monolithic::new(MonolithicOptions { limits: limits() })),
+            Box::new(Monolithic::new(MonolithicOptions {
+                limits: limits(),
+                ..MonolithicOptions::default()
+            })),
         ),
     ];
     for inst in gen::table1() {

@@ -1,11 +1,14 @@
-//! Ablation: **static variable order** — interleaved `cs/ns` pairs (the
-//! order the solvers rely on; see `langeq_core::VarUniverse`) vs the naive
-//! blocked layout (all `cs`, then all `ns`). Measures monolithic relation
-//! construction and a reachability fixpoint on Table-1 specification
-//! circuits; the interleaved order is what keeps the `ns → cs` renaming a
-//! cheap structural pass and the relation BDDs small.
+//! Ablation: **variable order** — interleaved `cs/ns` pairs (the order the
+//! solvers rely on; see `langeq_core::VarUniverse`) vs the naive blocked
+//! layout (all `cs`, then all `ns`), each also run with **dynamic sifting**
+//! ([`BddManager::reorder`]) so the bench doubles as the reorder regression
+//! gate: sifting must recover (most of) the interleaved order's advantage
+//! from the blocked start, and must not wreck the already-good order.
+//! Measures monolithic relation construction and a reachability fixpoint on
+//! Table-1 specification circuits.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use langeq_bdd::ReorderPolicy;
 use langeq_core::{PartitionedFsm, StateOrder};
 use langeq_image::{reachable, ImageComputer, ImageOptions};
 use langeq_logic::gen;
@@ -19,9 +22,18 @@ fn instance(name: &str) -> Network {
         .network
 }
 
+/// The four bench variants: each static order, with and without a sifting
+/// pass after the relation is built.
+const VARIANTS: [(&str, StateOrder, bool); 4] = [
+    ("interleaved", StateOrder::Interleaved, false),
+    ("blocked", StateOrder::Blocked, false),
+    ("interleaved+sift", StateOrder::Interleaved, true),
+    ("blocked+sift", StateOrder::Blocked, true),
+];
+
 /// Builds the monolithic transition-output relation under the given order
-/// and returns its node count.
-fn build_to(net: &Network, order: StateOrder) -> usize {
+/// (optionally sifting afterwards) and returns its node count.
+fn build_to(net: &Network, order: StateOrder, sift: bool) -> usize {
     let (mgr, fsm) = PartitionedFsm::standalone(net, order).expect("valid network");
     let mut to = mgr.one();
     for p in fsm.output_parts(&mgr) {
@@ -29,6 +41,9 @@ fn build_to(net: &Network, order: StateOrder) -> usize {
     }
     for p in fsm.transition_parts(&mgr) {
         to = to.and(&p);
+    }
+    if sift {
+        mgr.reorder();
     }
     to.node_count()
 }
@@ -38,12 +53,9 @@ fn bench_to_build(c: &mut Criterion) {
     group.sample_size(10);
     for inst in ["sim_s208", "sim_s298"] {
         let net = instance(inst);
-        for (label, order) in [
-            ("interleaved", StateOrder::Interleaved),
-            ("blocked", StateOrder::Blocked),
-        ] {
+        for (label, order, sift) in VARIANTS {
             group.bench_function(format!("{inst}/{label}"), |b| {
-                b.iter(|| std::hint::black_box(build_to(&net, order)))
+                b.iter(|| std::hint::black_box(build_to(&net, order, sift)))
             });
         }
     }
@@ -55,15 +67,20 @@ fn bench_reachability(c: &mut Criterion) {
     group.sample_size(10);
     for inst in ["sim_s208", "sim_s298"] {
         let net = instance(inst);
-        for (label, order) in [
-            ("interleaved", StateOrder::Interleaved),
-            ("blocked", StateOrder::Blocked),
-        ] {
+        for (label, order, sift) in VARIANTS {
             group.bench_function(format!("{inst}/{label}"), |b| {
                 b.iter(|| {
                     let (mgr, fsm) =
                         PartitionedFsm::standalone(&net, order).expect("valid network");
                     let parts = fsm.transition_parts(&mgr);
+                    if sift {
+                        // Auto-sifting during the fixpoint: the threshold is
+                        // low enough to fire on the blocked order's blowup.
+                        mgr.set_reorder_policy(ReorderPolicy::Sifting {
+                            auto_threshold: 5_000,
+                            max_growth: 1.2,
+                        });
+                    }
                     let mut quantify = fsm.inputs.clone();
                     quantify.extend(fsm.cs_vars());
                     let img = ImageComputer::new(&mgr, &parts, &quantify, ImageOptions::default());
@@ -77,14 +94,53 @@ fn bench_reachability(c: &mut Criterion) {
 }
 
 /// One-shot size report printed alongside the timing numbers (criterion
-/// does not capture sizes): interleaved vs blocked TO node counts.
+/// does not capture sizes): interleaved vs blocked TO node counts, static
+/// vs after one sifting pass, plus the peak-live comparison the BENCH_5
+/// acceptance gate reads.
 fn report_sizes() {
-    println!("monolithic TO node counts (interleaved vs blocked):");
+    println!("monolithic TO node counts (static vs +sift):");
     for inst in ["sim_s510", "sim_s208", "sim_s298"] {
         let net = instance(inst);
-        let a = build_to(&net, StateOrder::Interleaved);
-        let b = build_to(&net, StateOrder::Blocked);
-        println!("  {inst}: {a} vs {b} ({:.2}x)", b as f64 / a.max(1) as f64);
+        let a = build_to(&net, StateOrder::Interleaved, false);
+        let b = build_to(&net, StateOrder::Blocked, false);
+        let a_s = build_to(&net, StateOrder::Interleaved, true);
+        let b_s = build_to(&net, StateOrder::Blocked, true);
+        println!(
+            "  {inst}: interleaved {a} -> {a_s} | blocked {b} -> {b_s} \
+             (blocked/interleaved {:.2}x, sift recovers {:.2}x)",
+            b as f64 / a.max(1) as f64,
+            b as f64 / b_s.max(1) as f64
+        );
+    }
+    println!("reachability peak live nodes (blocked order, static vs auto-sift):");
+    for inst in ["sim_s208", "sim_s298"] {
+        let net = instance(inst);
+        let peak = |sift: bool| {
+            let (mgr, fsm) =
+                PartitionedFsm::standalone(&net, StateOrder::Blocked).expect("valid network");
+            let parts = fsm.transition_parts(&mgr);
+            if sift {
+                mgr.set_reorder_policy(ReorderPolicy::Sifting {
+                    auto_threshold: 5_000,
+                    max_growth: 1.2,
+                });
+            }
+            let mut quantify = fsm.inputs.clone();
+            quantify.extend(fsm.cs_vars());
+            let img = ImageComputer::new(&mgr, &parts, &quantify, ImageOptions::default());
+            let init = fsm.initial_cube(&mgr);
+            let r = reachable(&img, &init, &fsm.ns_to_cs());
+            std::hint::black_box(&r);
+            let stats = mgr.stats();
+            (stats.peak_live_nodes, stats.reorders)
+        };
+        let (static_peak, _) = peak(false);
+        let (sift_peak, reorders) = peak(true);
+        println!(
+            "  {inst}: static {static_peak} vs sifting {sift_peak} \
+             ({reorders} reorder pass(es), {:.2}x)",
+            static_peak as f64 / sift_peak.max(1) as f64
+        );
     }
 }
 

@@ -144,6 +144,7 @@ pub fn run_instance(inst: &Table1Instance, opts: &HarnessOptions) -> Table1Row {
     });
     let mono_solver = Monolithic::new(MonolithicOptions {
         limits: limits(opts),
+        ..MonolithicOptions::default()
     });
 
     let (problem, part_outcome, part_time) = run_solver(inst, &part_solver);

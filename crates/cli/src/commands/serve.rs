@@ -75,23 +75,56 @@ const SUBMIT_VALUE_KEYS: &[&str] = &[
     "split",
     "flow",
     "trim",
+    "reorder",
     "timeout",
     "node-limit",
     "max-states",
     "name",
     "poll-ms",
     "wait-secs",
+    "cancel",
 ];
 
 /// `langeq submit <net.bench|net.blif|gen:NAME|manifest.sweep>
 /// [--addr HOST:PORT] [--split K,K,...] [--flow F] [--trim on|off]
-/// [--timeout S] [--node-limit N] [--max-states N] [--name NAME]
-/// [--no-wait] [--poll-ms N] [--wait-secs N] [--json]`.
+/// [--reorder none|sifting|sifting:N] [--timeout S] [--node-limit N]
+/// [--max-states N] [--name NAME] [--no-wait] [--poll-ms N] [--wait-secs N]
+/// [--json]` — or `langeq submit --cancel <job> [--addr HOST:PORT]` to fire
+/// a queued/running job's cancel token.
 pub fn submit(args: &[String]) -> Result<ExitCode, CliError> {
     let p = scan(args, SUBMIT_VALUE_KEYS)?;
     let mut known: Vec<&str> = SUBMIT_VALUE_KEYS.to_vec();
     known.extend(["no-wait", "json"]);
     p.reject_unknown(&known)?;
+
+    if let Some(id_text) = p.value("cancel") {
+        if !p.positionals().is_empty() {
+            return Err(CliError::Usage(
+                "--cancel takes a job id and no source positional".into(),
+            ));
+        }
+        let job: u64 = id_text
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad job id `{id_text}` for --cancel")))?;
+        let client = Client::new(p.value("addr").unwrap_or(DEFAULT_ADDR));
+        let cancelled = client
+            .cancel(job)
+            .map_err(|e| CliError::Run(format!("{}: {e}", client.addr())))?;
+        println!(
+            "{}",
+            Json::obj().set("job", job).set("cancelled", cancelled)
+        );
+        eprintln!(
+            "[submit] job {job} {}",
+            if cancelled {
+                "cancel requested"
+            } else {
+                "already done; nothing to cancel"
+            }
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
     let [source] = p.positionals() else {
         return Err(CliError::Usage(
             "submit needs one source: a network file, gen:NAME, or a manifest".into(),
@@ -113,6 +146,7 @@ pub fn submit(args: &[String]) -> Result<ExitCode, CliError> {
             "split",
             "flow",
             "trim",
+            "reorder",
             "timeout",
             "node-limit",
             "max-states",
@@ -224,6 +258,9 @@ fn solve_body(p: &Parsed, source: &str) -> Result<Json, CliError> {
     }
     if let Some(flow) = p.value("flow") {
         body = body.set("flow", flow);
+    }
+    if let Some(policy) = p.value("reorder") {
+        body = body.set("reorder", policy);
     }
     if let Some(trim) = p.value("trim") {
         let trim = match trim {

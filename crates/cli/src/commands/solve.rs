@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 use langeq_core::extract::{extract_submachine, submachine_to_automaton, SelectionStrategy};
 use langeq_core::verify::verify_latch_split;
 use langeq_core::{
-    LatchSplitProblem, Solution, SolveEvent, SolveRequest, SolverKind, SolverLimits,
+    LatchSplitProblem, ReorderPolicy, Solution, SolveEvent, SolveRequest, SolverKind, SolverLimits,
 };
 
 use crate::cliargs::{scan, Parsed};
@@ -33,6 +33,15 @@ fn limits(p: &Parsed) -> Result<SolverLimits, CliError> {
         time_limit: p.number::<u64>("timeout")?.map(Duration::from_secs),
         max_states: p.number::<usize>("max-states")?.or(defaults.max_states),
     })
+}
+
+fn reorder(p: &Parsed) -> Result<ReorderPolicy, CliError> {
+    match p.value("reorder") {
+        None => Ok(ReorderPolicy::None),
+        Some(text) => text
+            .parse()
+            .map_err(|e| CliError::Usage(format!("--reorder: {e}"))),
+    }
 }
 
 fn flow(p: &Parsed) -> Result<SolverKind, CliError> {
@@ -99,6 +108,7 @@ fn progress_printer() -> impl FnMut(&SolveEvent) {
 fn run_solver(problem: &LatchSplitProblem, p: &Parsed) -> Result<Solution, CliError> {
     let mut request = SolveRequest::new(flow(p)?)
         .limits(limits(p)?)
+        .reorder(reorder(p)?)
         .cancel_token(crate::sigint::install());
     if p.flag("progress") {
         request = request.on_progress(progress_printer());
@@ -110,8 +120,8 @@ fn run_solver(problem: &LatchSplitProblem, p: &Parsed) -> Result<Solution, CliEr
 }
 
 /// `langeq solve --spec <net> --split K,... [--flow partitioned|monolithic|algorithm1]
-/// [--mono] [--timeout S] [--node-limit N] [--max-states N] [--progress]
-/// [--verify] [--stats] [-o csf.aut]`.
+/// [--mono] [--reorder none|sifting|sifting:N] [--timeout S] [--node-limit N]
+/// [--max-states N] [--progress] [--verify] [--stats] [-o csf.aut]`.
 pub fn solve(args: &[String]) -> Result<ExitCode, CliError> {
     let p = scan(
         args,
@@ -122,6 +132,7 @@ pub fn solve(args: &[String]) -> Result<ExitCode, CliError> {
             "node-limit",
             "max-states",
             "flow",
+            "reorder",
         ],
     )?;
     p.reject_unknown(&[
@@ -131,6 +142,7 @@ pub fn solve(args: &[String]) -> Result<ExitCode, CliError> {
         "node-limit",
         "max-states",
         "flow",
+        "reorder",
         "mono",
         "progress",
         "verify",
@@ -153,10 +165,13 @@ pub fn solve(args: &[String]) -> Result<ExitCode, CliError> {
             sol.stats.duration.as_secs_f64()
         );
         println!(
-            "bdd kernel: cache hit rate {:.1}%  gc survival {:.1}%  avg probe length {:.2}",
+            "bdd kernel: cache hit rate {:.1}%  gc survival {:.1}%  avg probe length {:.2}  \
+             reorders {} (node delta {})",
             100.0 * sol.stats.cache_hit_rate,
             100.0 * sol.stats.gc_survival_rate,
-            sol.stats.avg_probe_length
+            sol.stats.avg_probe_length,
+            sol.stats.reorders,
+            sol.stats.reorder_node_delta
         );
     }
     let mut ok = true;
@@ -193,6 +208,7 @@ pub fn extract(args: &[String]) -> Result<ExitCode, CliError> {
             "node-limit",
             "max-states",
             "strategy",
+            "reorder",
         ],
     )?;
     p.reject_unknown(&[
@@ -202,6 +218,7 @@ pub fn extract(args: &[String]) -> Result<ExitCode, CliError> {
         "node-limit",
         "max-states",
         "strategy",
+        "reorder",
         "progress",
         "verify",
         "minimize",

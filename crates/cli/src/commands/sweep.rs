@@ -19,7 +19,8 @@ use std::time::Duration;
 
 use langeq_core::batch::manifest::load_manifest;
 use langeq_core::{
-    ConfigSpec, InstanceSpec, SolverKind, SolverLimits, SuiteEvent, SuiteOptions, SuitePlan,
+    ConfigSpec, InstanceSpec, ReorderPolicy, SolverKind, SolverLimits, SuiteEvent, SuiteOptions,
+    SuitePlan,
 };
 
 use crate::cliargs::{scan, Parsed};
@@ -32,6 +33,7 @@ const VALUE_KEYS: &[&str] = &[
     "timeout",
     "node-limit",
     "max-states",
+    "reorder",
     "jobs",
     "budget",
     "journal",
@@ -43,6 +45,7 @@ const KNOWN: &[&str] = &[
     "timeout",
     "node-limit",
     "max-states",
+    "reorder",
     "jobs",
     "budget",
     "journal",
@@ -65,7 +68,14 @@ fn is_manifest(path: &str) -> bool {
 
 /// Builds the plan from a manifest positional.
 fn plan_from_manifest(p: &Parsed, path: &str) -> Result<SuitePlan, CliError> {
-    for opt in ["split", "flows", "timeout", "node-limit", "max-states"] {
+    for opt in [
+        "split",
+        "flows",
+        "timeout",
+        "node-limit",
+        "max-states",
+        "reorder",
+    ] {
         if p.value(opt).is_some() {
             return Err(CliError::Usage(format!(
                 "--{opt} conflicts with a manifest; declare it in `{path}` instead"
@@ -87,6 +97,12 @@ fn plan_from_files(p: &Parsed, files: &[String]) -> Result<SuitePlan, CliError> 
         max_states: p.number::<usize>("max-states")?.or(defaults.max_states),
     };
     let flows = p.value("flows").unwrap_or("partitioned,monolithic");
+    let reorder: ReorderPolicy = match p.value("reorder") {
+        None => ReorderPolicy::None,
+        Some(text) => text
+            .parse()
+            .map_err(|e| CliError::Usage(format!("--reorder: {e}")))?,
+    };
 
     let mut plan = SuitePlan::new();
     for file in files {
@@ -103,7 +119,11 @@ fn plan_from_files(p: &Parsed, files: &[String]) -> Result<SuitePlan, CliError> 
             .trim()
             .parse()
             .map_err(|e| CliError::Usage(format!("--flows: {e}")))?;
-        plan = plan.config(ConfigSpec::new(kind.to_string(), kind).limits(limits));
+        plan = plan.config(
+            ConfigSpec::new(kind.to_string(), kind)
+                .limits(limits)
+                .reorder(reorder),
+        );
     }
     Ok(plan)
 }
@@ -177,7 +197,8 @@ fn progress_printer() -> impl FnMut(&SuiteEvent) {
 }
 
 /// `langeq sweep <manifest.sweep | net...> [--split K,...] [--flows f,f]
-/// [--timeout S] [--node-limit N] [--max-states N] [--jobs N] [--budget S]
+/// [--timeout S] [--node-limit N] [--max-states N]
+/// [--reorder none|sifting|sifting:N] [--jobs N] [--budget S]
 /// [--journal PATH] [--resume] [--json] [--progress]`.
 pub fn sweep(args: &[String]) -> Result<ExitCode, CliError> {
     let p = scan(args, VALUE_KEYS)?;

@@ -49,6 +49,7 @@ Check commands (exit 0 = holds, 1 = fails):
 Solver commands:
   solve --spec <net> --split K,K,...  compute the CSF of a latch split
         [--flow partitioned|monolithic|algorithm1] [--mono]
+        [--reorder none|sifting|sifting:N] (dynamic BDD variable reordering)
         [--timeout SECS] [--node-limit N] [--max-states N]
         [--progress] [--verify] [-o csf.aut] [--stats]
   extract --spec <net> --split K,...  CSF → deterministic Mealy sub-solution
@@ -57,6 +58,7 @@ Solver commands:
   sweep <manifest.sweep>              batch (instance × config) sweep with a
   sweep <net...> --split K,K,...      work-stealing pool and a JSONL journal
         [--flows part,mono,...] [--timeout SECS] [--node-limit N]
+        [--reorder none|sifting|sifting:N] (or per-config reorder= in the manifest)
         [--jobs N] [--budget SECS] [--journal PATH] [--resume]
         [--json] [--progress]
 
@@ -68,8 +70,10 @@ Service commands (HTTP/JSON job API, content-addressed result cache):
   submit <net|gen:NAME|m.sweep>       send one solve (or a manifest sweep) to
         [--addr HOST:PORT]            a running daemon and poll the job to
         [--split K,K,...] [--flow F]  completion
-        [--trim on|off] [--timeout S] [--node-limit N] [--max-states N]
-        [--name NAME] [--no-wait] [--poll-ms N] [--wait-secs N] [--json]
+        [--trim on|off] [--reorder P] [--timeout S] [--node-limit N]
+        [--max-states N] [--name NAME] [--no-wait] [--poll-ms N]
+        [--wait-secs N] [--json]
+  submit --cancel <job> [--addr ...]  fire a queued/running job's cancel token
 
   help                                this text
 

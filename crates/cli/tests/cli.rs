@@ -274,6 +274,51 @@ fn solve_computes_and_verifies_the_csf() {
 }
 
 #[test]
+fn solve_reorder_flag_arms_sifting_and_rejects_garbage() {
+    let dir = scratch("solvereorder");
+    std::fs::write(dir.join("fig3.bench"), FIGURE3).unwrap();
+    // A sifting solve succeeds and reports the reorder counters via
+    // --stats (figure 3 is tiny, so 0 passes is a legitimate count — the
+    // line must be there either way).
+    let out = langeq(
+        &dir,
+        &[
+            "solve",
+            "--spec",
+            "fig3.bench",
+            "--split",
+            "1",
+            "--reorder",
+            "sifting:64",
+            "--stats",
+        ],
+    );
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("CSF:"), "{text}");
+    assert!(text.contains("reorders"), "{text}");
+    // An unknown policy is a usage error, not a solve.
+    let bad = langeq(
+        &dir,
+        &[
+            "solve",
+            "--spec",
+            "fig3.bench",
+            "--split",
+            "1",
+            "--reorder",
+            "warp",
+        ],
+    );
+    assert!(!bad.status.success());
+    assert!(
+        stderr(&bad).contains("unknown reorder policy"),
+        "{}",
+        stderr(&bad)
+    );
+}
+
+#[test]
 fn solve_mono_agrees_with_partitioned() {
     let dir = scratch("solvemono");
     std::fs::write(dir.join("fig3.bench"), FIGURE3).unwrap();
@@ -707,6 +752,22 @@ fn serve_and_submit_round_trip_with_cache() {
     // The cache journal persisted the fair results.
     let journal = std::fs::read_to_string(dir.join("cache.jsonl")).unwrap();
     assert!(journal.lines().count() >= 5, "journal:\n{journal}");
+    // `--cancel` on a finished job answers idempotently (job 1 is the
+    // first submission, long done by now); `--cancel` + a source is a
+    // usage error.
+    let out = langeq(&dir, &["submit", "--cancel", "1", "--addr", &addr]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("\"cancelled\":false"),
+        "{}",
+        stdout(&out)
+    );
+    let out = langeq(
+        &dir,
+        &["submit", "fig3.bench", "--cancel", "1", "--addr", &addr],
+    );
+    assert_eq!(out.status.code(), Some(2));
+
     drop(daemon);
 
     // Submitting against a dead daemon is a run error, not a hang.

@@ -23,9 +23,11 @@
 //! instance * circuits/*.bench split=0
 //!
 //! # config <name> [flow=partitioned|monolithic|algorithm1] [trim=on|off]
+//! #               [reorder=none|sifting|sifting:THRESHOLD]
 //! #               [timeout=SECS] [node-limit=N] [max-states=N]
 //! config part flow=partitioned
 //! config mono flow=monolithic timeout=60
+//! config sift flow=partitioned reorder=sifting
 //! ```
 //!
 //! Instance and config names key the sweep journal, so they must be unique
@@ -360,6 +362,11 @@ fn parse_config<'a>(
                     }
                 };
             }
+            "reorder" => {
+                spec.reorder = value
+                    .parse()
+                    .map_err(|e| ManifestError::at(lineno, format!("{e}")))?;
+            }
             "timeout" => {
                 limits.time_limit = Some(Duration::from_secs(parse_number(lineno, key, value)?));
             }
@@ -418,11 +425,24 @@ instance s510 gen:sim_s510 split=3,4,5
 config part flow=partitioned
 config mono flow=monolithic timeout=60 node-limit=1000000 max-states=500000
 config ablate flow=partitioned trim=off
+config sift flow=partitioned reorder=sifting:5000
 ";
         let plan = parse_manifest(text, Path::new(".")).unwrap();
         assert_eq!(plan.instances().len(), 3);
-        assert_eq!(plan.configs().len(), 3);
-        assert_eq!(plan.num_cells(), 9);
+        assert_eq!(plan.configs().len(), 4);
+        assert_eq!(plan.num_cells(), 12);
+        assert_eq!(
+            plan.configs()[3].reorder,
+            langeq_bdd::ReorderPolicy::Sifting {
+                auto_threshold: 5000,
+                max_growth: langeq_bdd::DEFAULT_MAX_GROWTH,
+            }
+        );
+        assert_eq!(
+            plan.configs()[0].reorder,
+            langeq_bdd::ReorderPolicy::None,
+            "reorder defaults to off"
+        );
         assert_eq!(plan.instances()[0].unknown_latches, vec![1]);
         assert_eq!(plan.instances()[1].unknown_latches, vec![2, 3]);
         assert_eq!(plan.instances()[2].unknown_latches, vec![3, 4, 5]);
@@ -467,6 +487,7 @@ config ablate flow=partitioned trim=off
             ),
             ("config c flow=warp", "unknown flow"),
             ("config c trim=sideways", "bad trim value"),
+            ("config c reorder=warp", "unknown reorder policy"),
             ("config c timeout=soon", "bad number"),
             ("config c verbose", "not key=value"),
         ];

@@ -41,6 +41,7 @@ mod exec;
 
 use std::time::Duration;
 
+use langeq_bdd::ReorderPolicy;
 use langeq_image::ImageOptions;
 use langeq_logic::Network;
 
@@ -83,6 +84,11 @@ pub struct ConfigSpec {
     pub kind: SolverKind,
     /// §3.2 DCN trimming (partitioned flow only).
     pub trim_dcn: bool,
+    /// Dynamic variable reordering armed for each of this configuration's
+    /// cells (partitioned and monolithic flows). Part of the cell
+    /// signature: reorder-on and reorder-off results are never conflated
+    /// by batch resume or the serve cache.
+    pub reorder: ReorderPolicy,
     /// Image-computation tuning (partitioned flow only).
     pub image: ImageOptions,
     /// Per-cell resource limits.
@@ -96,6 +102,7 @@ impl ConfigSpec {
             name: name.into(),
             kind,
             trim_dcn: true,
+            reorder: ReorderPolicy::None,
             image: ImageOptions::default(),
             limits: SolverLimits::default(),
         }
@@ -113,6 +120,12 @@ impl ConfigSpec {
         self
     }
 
+    /// Sets the dynamic-reordering policy.
+    pub fn reorder(mut self, policy: ReorderPolicy) -> Self {
+        self.reorder = policy;
+        self
+    }
+
     /// The configured solver, type-erased (constructed per cell, inside the
     /// worker that runs it).
     pub fn solver(&self) -> Box<dyn Solver> {
@@ -120,9 +133,11 @@ impl ConfigSpec {
             SolverKind::Partitioned => Box::new(Partitioned::new(PartitionedOptions {
                 image: self.image,
                 trim_dcn: self.trim_dcn,
+                reorder: self.reorder,
                 limits: self.limits,
             })),
             SolverKind::Monolithic => Box::new(Monolithic::new(MonolithicOptions {
+                reorder: self.reorder,
                 limits: self.limits,
             })),
             SolverKind::Algorithm1 => Box::new(Algorithm1::new(self.limits)),

@@ -87,6 +87,7 @@ pub use batch::{
 };
 pub use equation::{LanguageEquation, LatchSplitProblem};
 pub use fsm::{FsmLatch, FsmOutput, PartitionedFsm, StateOrder};
+pub use langeq_bdd::ReorderPolicy;
 pub use solver::{
     Algorithm1, CancelToken, CncReason, Control, Monolithic, MonolithicOptions, Outcome,
     Partitioned, PartitionedOptions, Solution, SolveEvent, SolveRequest, Solver, SolverKind,

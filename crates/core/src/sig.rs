@@ -75,8 +75,12 @@ pub fn cell_signature_with(
     config: &ConfigSpec,
 ) -> String {
     let net = &instance.network;
+    // `reorder=` uses the Debug form so every policy parameter
+    // (threshold, growth bound) lands in the signature: a sweep rerun with
+    // a different sifting threshold is a different experiment, and the
+    // serve cache / batch resume must treat it as one.
     format!(
-        "net={}/{}/{}/{};split={:?};flow={};trim={};nl={:?};tl={:?};ms={:?}",
+        "net={}/{}/{}/{};split={:?};flow={};trim={};reorder={:?};nl={:?};tl={:?};ms={:?}",
         fingerprint,
         net.num_inputs(),
         net.num_outputs(),
@@ -84,6 +88,7 @@ pub fn cell_signature_with(
         instance.unknown_latches,
         config.kind,
         config.trim_dcn,
+        config.reorder,
         config.limits.node_limit,
         config.limits.time_limit,
         config.limits.max_states,
@@ -150,6 +155,20 @@ mod tests {
             ..SolverLimits::default()
         });
         assert_ne!(cell_signature(&i5, &c5), sig0);
+
+        // Reorder-on and reorder-off must never share a signature (the
+        // serve cache and `--resume` would otherwise conflate them), and
+        // different sifting thresholds are distinct experiments too.
+        let (i7, c7) = base();
+        let c7 = c7.reorder(langeq_bdd::ReorderPolicy::sifting());
+        let sig7 = cell_signature(&i7, &c7);
+        assert_ne!(sig7, sig0);
+        let (i8, c8) = base();
+        let c8 = c8.reorder(langeq_bdd::ReorderPolicy::Sifting {
+            auto_threshold: 1234,
+            max_growth: 1.2,
+        });
+        assert_ne!(cell_signature(&i8, &c8), sig7);
 
         // And the network content, independent of its name.
         let (mut i6, c6) = base();

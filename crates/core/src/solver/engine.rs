@@ -18,6 +18,7 @@
 
 use std::time::{Duration, Instant};
 
+use langeq_bdd::ReorderPolicy;
 use langeq_image::ImageOptions;
 
 use crate::algorithm1;
@@ -75,7 +76,13 @@ impl Solver for Partitioned {
     }
 
     fn solve(&self, eq: &LanguageEquation, ctrl: &Control) -> Outcome {
-        let mut sess = Session::begin(eq.manager(), self.options.limits, ctrl, self.kind());
+        let mut sess = Session::begin(
+            eq.manager(),
+            self.options.limits,
+            self.options.reorder,
+            ctrl,
+            self.kind(),
+        );
         let result = if self.options.trim_dcn {
             partitioned::run_trimmed(eq, &self.options, &mut sess)
         } else {
@@ -105,7 +112,13 @@ impl Solver for Monolithic {
     }
 
     fn solve(&self, eq: &LanguageEquation, ctrl: &Control) -> Outcome {
-        let mut sess = Session::begin(eq.manager(), self.options.limits, ctrl, self.kind());
+        let mut sess = Session::begin(
+            eq.manager(),
+            self.options.limits,
+            self.options.reorder,
+            ctrl,
+            self.kind(),
+        );
         let result = monolithic::run(eq, &self.options, &mut sess);
         Outcome::from(result)
     }
@@ -144,7 +157,18 @@ impl Solver for Algorithm1 {
             // honest report is the explicit-state budget.
             return Outcome::Cnc(CncReason::StateLimit(1usize << cap));
         }
-        let mut sess = Session::begin(eq.manager(), self.limits, ctrl, self.kind());
+        // The explicit pipeline keeps the static order: its per-state BDD
+        // work is tiny and a mid-pipeline reorder would only add noise to
+        // the cross-validation baseline.
+        let reorders_at_begin = eq.manager().stats().reorders;
+        let reorder_delta_at_begin = eq.manager().stats().reorder_node_delta;
+        let mut sess = Session::begin(
+            eq.manager(),
+            self.limits,
+            langeq_bdd::ReorderPolicy::None,
+            ctrl,
+            self.kind(),
+        );
         // Report the largest automaton materialised so far: intermediate
         // pipeline steps (hide, determinize) may shrink, and the event
         // contract promises a non-decreasing `discovered`.
@@ -165,6 +189,11 @@ impl Solver for Algorithm1 {
                 cache_hit_rate: bdd_stats.cache_hit_rate(),
                 gc_survival_rate: bdd_stats.gc_survival_rate(),
                 avg_probe_length: bdd_stats.avg_probe_length(),
+                // This run's share (always 0 with the pinned static order,
+                // but deltaed like Session::finish so a reorder-heavy run
+                // on the same manager is never misattributed here).
+                reorders: bdd_stats.reorders - reorders_at_begin,
+                reorder_node_delta: bdd_stats.reorder_node_delta - reorder_delta_at_begin,
             };
             Ok(crate::solver::Solution {
                 general: generic.general,
@@ -199,6 +228,7 @@ pub struct SolveRequest {
     limits: SolverLimits,
     image: ImageOptions,
     trim_dcn: bool,
+    reorder: ReorderPolicy,
     token: CancelToken,
     deadline: Option<Instant>,
     observer: Option<BoxedObserver>,
@@ -211,6 +241,7 @@ impl std::fmt::Debug for SolveRequest {
             .field("limits", &self.limits)
             .field("image", &self.image)
             .field("trim_dcn", &self.trim_dcn)
+            .field("reorder", &self.reorder)
             .field("deadline", &self.deadline)
             .field("observer", &self.observer.is_some())
             .finish()
@@ -225,6 +256,7 @@ impl SolveRequest {
             limits: SolverLimits::default(),
             image: ImageOptions::default(),
             trim_dcn: true,
+            reorder: ReorderPolicy::None,
             token: CancelToken::new(),
             deadline: None,
             observer: None,
@@ -263,6 +295,15 @@ impl SolveRequest {
     /// Image-computation tuning (partitioned flow only).
     pub fn image_options(mut self, options: ImageOptions) -> Self {
         self.image = options;
+        self
+    }
+
+    /// Dynamic variable reordering for the run (partitioned and monolithic
+    /// flows; the explicit Algorithm-1 pipeline stays static). The policy
+    /// is armed on the equation's manager for the duration of the solve
+    /// and restored afterwards.
+    pub fn reorder(mut self, policy: ReorderPolicy) -> Self {
+        self.reorder = policy;
         self
     }
 
@@ -321,9 +362,11 @@ impl SolveRequest {
             SolverKind::Partitioned => Box::new(Partitioned::new(PartitionedOptions {
                 image: self.image,
                 trim_dcn: self.trim_dcn,
+                reorder: self.reorder,
                 limits: self.limits,
             })),
             SolverKind::Monolithic => Box::new(Monolithic::new(MonolithicOptions {
+                reorder: self.reorder,
                 limits: self.limits,
             })),
             SolverKind::Algorithm1 => Box::new(Algorithm1::new(self.limits)),

@@ -27,6 +27,7 @@ use langeq_automata::Automaton;
 pub use control::{CancelToken, Control, SolveEvent};
 pub use engine::{Algorithm1, Monolithic, Partitioned, SolveRequest, Solver};
 
+use langeq_bdd::ReorderPolicy;
 use langeq_image::ImageOptions;
 
 /// Which solver produced a result (for reporting).
@@ -132,16 +133,24 @@ pub struct PartitionedOptions {
     /// instead of exploring subsets containing it. Disabling this models
     /// the untrimmed subset construction (ablation).
     pub trim_dcn: bool,
+    /// Dynamic variable reordering, armed on the equation's manager for the
+    /// duration of the run (the previous policy is restored afterwards).
+    /// The universe's reorder fence keeps the alphabet block above the
+    /// state block, so sifting can never break the subset construction's
+    /// cofactor-class precondition.
+    pub reorder: ReorderPolicy,
     /// Resource limits.
     pub limits: SolverLimits,
 }
 
 impl PartitionedOptions {
-    /// The paper's configuration: early quantification + DCN trimming.
+    /// The paper's configuration: early quantification + DCN trimming
+    /// (static order, as in the paper).
     pub fn paper() -> Self {
         PartitionedOptions {
             image: ImageOptions::default(),
             trim_dcn: true,
+            reorder: ReorderPolicy::None,
             limits: SolverLimits::default(),
         }
     }
@@ -150,6 +159,10 @@ impl PartitionedOptions {
 /// Options for the monolithic baseline solver.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MonolithicOptions {
+    /// Dynamic variable reordering (see
+    /// [`PartitionedOptions::reorder`]) — the monolithic `TO` relation is
+    /// the workload that benefits most from sifting.
+    pub reorder: ReorderPolicy,
     /// Resource limits.
     pub limits: SolverLimits,
 }
@@ -175,6 +188,10 @@ pub struct SolverStats {
     pub gc_survival_rate: f64,
     /// Mean unique-table probe length of the manager (1.0 = perfect hash).
     pub avg_probe_length: f64,
+    /// Dynamic-reorder passes the manager ran during the solve.
+    pub reorders: u64,
+    /// Cumulative live-node delta of those passes (negative = shrank).
+    pub reorder_node_delta: i64,
 }
 
 /// The result of a successful solve.

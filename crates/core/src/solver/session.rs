@@ -14,7 +14,7 @@
 use std::time::{Duration, Instant};
 
 use langeq_automata::Automaton;
-use langeq_bdd::{AbortReason, BddManager};
+use langeq_bdd::{AbortReason, BddManager, ReorderPolicy};
 
 use crate::equation::LanguageEquation;
 use crate::solver::control::{Control, SolveEvent};
@@ -33,15 +33,23 @@ pub(crate) struct Session<'c> {
     /// The abort hook that was installed before this session armed its own;
     /// restored on drop.
     prev_hook: Option<Box<dyn Fn() -> bool>>,
+    /// The reorder policy that was active before this session armed the
+    /// run's own; restored on drop.
+    prev_reorder: ReorderPolicy,
+    /// Reorder counters at `begin`, so the stats report this run's share.
+    reorders_at_begin: u64,
+    reorder_delta_at_begin: i64,
     images: usize,
     last_gc_runs: u64,
 }
 
 impl<'c> Session<'c> {
-    /// Arms the engine guards and emits [`SolveEvent::Started`].
+    /// Arms the engine guards — node limit, abort hook, and the run's
+    /// dynamic-reorder policy — and emits [`SolveEvent::Started`].
     pub(crate) fn begin(
         mgr: &BddManager,
         limits: SolverLimits,
+        reorder: ReorderPolicy,
         ctrl: &'c Control,
         kind: SolverKind,
     ) -> Self {
@@ -57,7 +65,9 @@ impl<'c> Session<'c> {
         let prev_hook = mgr.set_abort_hook(Some(Box::new(move || {
             token.is_cancelled() || deadline.is_some_and(|d| Instant::now() >= d)
         })));
-        let last_gc_runs = mgr.stats().gc_runs;
+        let prev_reorder = mgr.set_reorder_policy(reorder);
+        let begin_stats = mgr.stats();
+        let last_gc_runs = begin_stats.gc_runs;
         ctrl.emit(SolveEvent::Started { kind });
         Session {
             ctrl,
@@ -67,6 +77,9 @@ impl<'c> Session<'c> {
             deadline,
             prev_node_limit,
             prev_hook,
+            prev_reorder,
+            reorders_at_begin: begin_stats.reorders,
+            reorder_delta_at_begin: begin_stats.reorder_node_delta,
             images: 0,
             last_gc_runs,
         }
@@ -163,6 +176,8 @@ impl<'c> Session<'c> {
             cache_hit_rate: bdd_stats.cache_hit_rate(),
             gc_survival_rate: bdd_stats.gc_survival_rate(),
             avg_probe_length: bdd_stats.avg_probe_length(),
+            reorders: bdd_stats.reorders - self.reorders_at_begin,
+            reorder_node_delta: bdd_stats.reorder_node_delta - self.reorder_delta_at_begin,
         };
         Ok(Solution {
             general,
@@ -212,6 +227,7 @@ impl Drop for Session<'_> {
     fn drop(&mut self) {
         self.mgr.set_abort_hook(self.prev_hook.take());
         self.mgr.set_node_limit(self.prev_node_limit);
+        self.mgr.set_reorder_policy(self.prev_reorder);
         if self.mgr.take_abort().is_some() {
             // An abort fired after the last `ensure_clean`; reclaim its
             // garbage so the manager hands back clean.

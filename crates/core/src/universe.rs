@@ -73,6 +73,13 @@ pub struct VarUniverse {
 
 impl VarUniverse {
     /// Allocates all variables on `mgr` in the canonical order.
+    ///
+    /// Also installs a **reorder fence** between the alphabet block
+    /// (`i, u, v, o`) and the state block: dynamic reordering
+    /// ([`langeq_bdd::ReorderPolicy`]) may permute variables freely inside
+    /// each block, but never across — which is exactly the invariant
+    /// [`BddManager::cofactor_classes`] needs (split `(u, v)` variables
+    /// must stay above the `ns` residual variables).
     pub fn new(mgr: &BddManager, sizes: UniverseSizes) -> Self {
         let mut names = HashMap::new();
         let mut alloc = |prefix: &str, k: usize| {
@@ -99,6 +106,8 @@ impl VarUniverse {
         }
         let csd = alloc("csDC", 0);
         let nsd = alloc("nsDC", 0);
+        let alphabet_block = sizes.num_i + sizes.num_u + sizes.num_v + sizes.num_o;
+        mgr.set_reorder_fences(&[alphabet_block]);
         VarUniverse {
             mgr: mgr.clone(),
             i,

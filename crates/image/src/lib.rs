@@ -101,7 +101,15 @@ struct Cluster {
 pub struct ImageComputer {
     mgr: BddManager,
     clusters: Vec<Cluster>,
-    /// Positive cube to quantify together with cluster `k`.
+    /// Positive cube to quantify together with cluster `k` (step 0 also
+    /// absorbs the from-only variables).
+    ///
+    /// The compiled schedule needs no refresh under **dynamic variable
+    /// reordering**: cluster membership and ordering derive from supports
+    /// (order-independent), and a reorder rewrites nodes in place — the
+    /// manager stays canonical, so these handles *are* the current
+    /// structural form of their cube functions at every instant, already
+    /// ordered by the live levels the quantifier recursions walk.
     step_cubes: Vec<Bdd>,
     quantify: Vec<VarId>,
     schedule: QuantSchedule,
@@ -496,6 +504,37 @@ mod tests {
         // Only the target itself (self-loop) reaches it.
         assert_eq!(can_reach, all_ones);
         let _ = init;
+    }
+
+    #[test]
+    fn image_stays_correct_after_manager_reorder() {
+        let mgr = BddManager::new();
+        let (parts, quantify, map, init) = counter(&mgr);
+        let img = ImageComputer::new(&mgr, &parts, &quantify, ImageOptions::default());
+        let want = naive_image(&mgr, &parts, &quantify, &init);
+        // A sifting pass between compile and use: the in-place reorder
+        // keeps every compiled handle (clusters, step cubes) valid and
+        // structurally current, so the schedule needs no recompilation.
+        mgr.reorder();
+        let got = img.image(&init);
+        assert_eq!(got, want);
+        let r = reachable(&img, &init, &map);
+        assert!(r.is_one(), "counter reaches all states after a reorder");
+    }
+
+    #[test]
+    fn reachability_with_auto_sifting_matches_static_order() {
+        let mgr = BddManager::new();
+        let (parts, quantify, map, init) = counter(&mgr);
+        let img = ImageComputer::new(&mgr, &parts, &quantify, ImageOptions::default());
+        let want = reachable(&img, &init, &map);
+        mgr.set_reorder_policy(langeq_bdd::ReorderPolicy::Sifting {
+            auto_threshold: 32,
+            max_growth: 1.5,
+        });
+        let got = reachable(&img, &init, &map);
+        mgr.set_reorder_policy(langeq_bdd::ReorderPolicy::None);
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -158,6 +158,17 @@ impl Client {
         self.expect_json("GET", &format!("/v1/jobs/{job}"), None)
     }
 
+    /// `POST /v1/jobs/{id}/cancel` — fires the job's cancel token. Returns
+    /// `true` when the job was still queued/running (a done job is left
+    /// untouched and reports `false`); unknown ids error with 404.
+    pub fn cancel(&self, job: u64) -> Result<bool, ClientError> {
+        let body = self.expect_json("POST", &format!("/v1/jobs/{job}/cancel"), None)?;
+        Ok(body
+            .get("cancelled")
+            .and_then(Json::as_bool)
+            .unwrap_or(false))
+    }
+
     /// `GET /v1/jobs/{id}/result` — `Some(result)` once done, `None` while
     /// the job is still queued or running.
     pub fn job_result(&self, job: u64) -> Result<Option<Json>, ClientError> {

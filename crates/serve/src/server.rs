@@ -8,9 +8,9 @@
 //! threads. A worker runs one job at a time; each *cell* of a job — one
 //! cell for `/v1/solve`, the whole (instance × config) cross product for
 //! `/v1/sweep` — executes on the PR-3 `Suite` engine with a fresh,
-//! thread-confined BDD manager, the server's shared
-//! [`CancelToken`] fanned in so one Ctrl-C drains every in-flight solve
-//! cooperatively.
+//! thread-confined BDD manager, under the job's **own** [`CancelToken`]:
+//! `POST /v1/jobs/{id}/cancel` aborts exactly one job cooperatively, and a
+//! server drain (Ctrl-C) fires every job token at once.
 //!
 //! ## The cache
 //!
@@ -147,6 +147,12 @@ struct Job {
     state: JobState,
     /// Answered entirely from the cache at submission time.
     cached: bool,
+    /// Per-job cancellation: `POST /v1/jobs/{id}/cancel` fires it, and a
+    /// server drain fires every job's token. The cell executes under this
+    /// token, so one job can be cancelled without touching its neighbours.
+    token: CancelToken,
+    /// True once the cancel endpoint hit this job (for status bodies).
+    cancel_requested: bool,
     payload: Option<Payload>,
     /// Solve jobs: the cache key, for in-flight coalescing bookkeeping.
     sig: Option<String>,
@@ -206,6 +212,7 @@ struct Metrics {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     coalesced: AtomicU64,
+    jobs_cancelled: AtomicU64,
     kernel_cache_lookups: AtomicU64,
     kernel_cache_hits: AtomicU64,
 }
@@ -338,6 +345,14 @@ impl Server {
     /// without being attempted, the accept loop stops.
     pub fn shutdown(self) {
         self.shared.token.cancel();
+        // Fan the drain out to every per-job token: in-flight solves abort
+        // cooperatively, queued jobs start pre-cancelled.
+        {
+            let state = self.shared.state.lock().expect("state lock");
+            for job in state.jobs.values() {
+                job.token.cancel();
+            }
+        }
         self.shared.work.notify_all();
         self.wait();
     }
@@ -418,6 +433,9 @@ fn route(shared: &Arc<Shared>, request: &Request) -> Response {
         ("GET", "/metrics") => Response::text(200, metrics_text(shared)),
         ("POST", "/v1/solve") => submit_solve(shared, request),
         ("POST", "/v1/sweep") => submit_sweep(shared, request),
+        ("POST", path) if path.starts_with("/v1/jobs/") && path.ends_with("/cancel") => {
+            cancel_endpoint(shared, path)
+        }
         ("GET", path) if path.starts_with("/v1/jobs/") => job_endpoint(shared, path),
         ("GET", _) | ("POST", _) => Response::error(404, "no such endpoint"),
         _ => Response::error(405, "only GET and POST are served"),
@@ -456,6 +474,35 @@ fn job_endpoint(shared: &Arc<Shared>, path: &str) -> Response {
     )
 }
 
+/// `POST /v1/jobs/{id}/cancel`: fires the job's own [`CancelToken`]. A
+/// queued job drains as `cancelled` without being attempted; a running job
+/// aborts cooperatively (the engine returns `CNC: cancelled`); a done job
+/// is left untouched (the call is idempotent and reports the state).
+fn cancel_endpoint(shared: &Arc<Shared>, path: &str) -> Response {
+    let rest = &path["/v1/jobs/".len()..];
+    let id_text = rest.strip_suffix("/cancel").unwrap_or(rest);
+    let Ok(id) = id_text.parse::<u64>() else {
+        return Response::error(400, &format!("bad job id `{id_text}`"));
+    };
+    let mut state = shared.state.lock().expect("state lock");
+    let Some(job) = state.jobs.get_mut(&id) else {
+        return Response::error(404, &format!("no job {id}"));
+    };
+    let cancelled = job.state != JobState::Done;
+    if cancelled {
+        job.token.cancel();
+        job.cancel_requested = true;
+        shared.metrics.bump(&shared.metrics.jobs_cancelled);
+    }
+    Response::json(
+        200,
+        &Json::obj()
+            .set("job", id)
+            .set("state", job.state.as_str())
+            .set("cancelled", cancelled),
+    )
+}
+
 /// The status body of one job.
 fn status_json(id: u64, job: &Job) -> Json {
     let mut body = Json::obj()
@@ -463,6 +510,7 @@ fn status_json(id: u64, job: &Job) -> Json {
         .set("kind", job.kind)
         .set("state", job.state.as_str())
         .set("cached", job.cached)
+        .set("cancel_requested", job.cancel_requested)
         .set("cells", job.cells)
         .set("cells_done", job.cells_done);
     if let Some(k) = &job.sample {
@@ -518,6 +566,8 @@ fn submit_solve(shared: &Arc<Shared>, request: &Request) -> Response {
                 kind: "solve",
                 state: JobState::Done,
                 cached: true,
+                token: CancelToken::new(),
+                cancel_requested: false,
                 payload: None,
                 sig: Some(sig),
                 cells: 1,
@@ -564,6 +614,8 @@ fn submit_solve(shared: &Arc<Shared>, request: &Request) -> Response {
             kind: "solve",
             state: JobState::Queued,
             cached: false,
+            token: CancelToken::new(),
+            cancel_requested: false,
             payload: Some(Payload::Solve(Box::new((instance, config, sig.clone())))),
             sig: Some(sig),
             cells: 1,
@@ -667,6 +719,8 @@ fn submit_sweep(shared: &Arc<Shared>, request: &Request) -> Response {
             kind: "sweep",
             state: JobState::Queued,
             cached: false,
+            token: CancelToken::new(),
+            cancel_requested: false,
             payload: Some(Payload::Sweep(Box::new(plan))),
             sig: None,
             cells,
@@ -721,6 +775,7 @@ fn metrics_text(shared: &Arc<Shared>) -> String {
          langeq_cache_hits_total {}\n\
          langeq_cache_misses_total {}\n\
          langeq_coalesced_total {}\n\
+         langeq_jobs_cancelled_total {}\n\
          langeq_kernel_cache_lookups_total {}\n\
          langeq_kernel_cache_hits_total {}\n",
         shared.workers,
@@ -732,6 +787,7 @@ fn metrics_text(shared: &Arc<Shared>) -> String {
         get(&m.cache_hits),
         get(&m.cache_misses),
         get(&m.coalesced),
+        get(&m.jobs_cancelled),
         get(&m.kernel_cache_lookups),
         get(&m.kernel_cache_hits),
     )
@@ -823,6 +879,9 @@ fn parse_solve_request(body: &str) -> Result<(InstanceSpec, ConfigSpec), String>
     if let Some(trim) = json.get("trim").and_then(Json::as_bool) {
         config = config.trim_dcn(trim);
     }
+    if let Some(policy) = json.get("reorder").and_then(Json::as_str) {
+        config = config.reorder(policy.parse().map_err(|e| format!("reorder: {e}"))?);
+    }
     let mut limits = SolverLimits::default();
     if let Some(secs) = json.get("timeout").and_then(Json::as_u64) {
         limits.time_limit = Some(Duration::from_secs(secs));
@@ -842,14 +901,15 @@ fn parse_solve_request(body: &str) -> Result<(InstanceSpec, ConfigSpec), String>
 /// reports instead of vanishing.
 fn worker_loop(shared: &Arc<Shared>) {
     loop {
-        let (id, payload) = {
+        let (id, payload, token) = {
             let mut state = shared.state.lock().expect("state lock");
             loop {
                 if let Some(id) = state.queue.pop_front() {
                     let job = state.jobs.get_mut(&id).expect("queued job exists");
                     job.state = JobState::Running;
                     let payload = job.payload.take().expect("queued job has a payload");
-                    break (id, payload);
+                    let token = job.token.clone();
+                    break (id, payload, token);
                 }
                 if shared.token.is_cancelled() {
                     return;
@@ -861,10 +921,16 @@ fn worker_loop(shared: &Arc<Shared>) {
                     .0;
             }
         };
+        // A drain that raced the submission may have missed this job's
+        // token; re-derive it from the server token so queued jobs always
+        // drain as cancelled instead of running to completion.
+        if shared.token.is_cancelled() {
+            token.cancel();
+        }
         match payload {
             Payload::Solve(parts) => {
                 let (instance, config, sig) = *parts;
-                let report = run_cell_cached(shared, id, &instance, &config, 0, sig);
+                let report = run_cell_cached(shared, id, &instance, &config, 0, sig, &token);
                 finish_job(shared, id, vec![report]);
             }
             Payload::Sweep(plan) => {
@@ -875,7 +941,8 @@ fn worker_loop(shared: &Arc<Shared>) {
                 let mut reports = Vec::with_capacity(cells.len());
                 for (cell_id, instance, config) in cells {
                     let sig = cell_signature(&instance, &config);
-                    let report = run_cell_cached(shared, id, &instance, &config, cell_id, sig);
+                    let report =
+                        run_cell_cached(shared, id, &instance, &config, cell_id, sig, &token);
                     let mut state = shared.state.lock().expect("state lock");
                     if let Some(job) = state.jobs.get_mut(&id) {
                         job.cells_done += 1;
@@ -899,6 +966,7 @@ fn run_cell_cached(
     config: &ConfigSpec,
     cell_id: usize,
     sig: String,
+    token: &CancelToken,
 ) -> CellReport {
     let hit = {
         let state = shared.state.lock().expect("state lock");
@@ -924,7 +992,7 @@ fn run_cell_cached(
         .execute(
             SuiteOptions::new()
                 .jobs(1)
-                .cancel_token(shared.token.clone())
+                .cancel_token(token.clone())
                 .on_event(move |event| {
                     if let SuiteEvent::CellSample { sample, .. } = event {
                         let mut state = observer_shared.state.lock().expect("state lock");

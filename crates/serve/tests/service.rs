@@ -252,6 +252,106 @@ fn full_queue_answers_429_and_shutdown_drains() {
 }
 
 #[test]
+fn cancel_endpoint_aborts_one_job_and_leaves_the_rest_alone() {
+    let (server, client) = start(ServeOptions::new().jobs(1).queue_cap(8));
+
+    // Occupy the single worker with a solve too large to finish here.
+    let slow = client
+        .submit_solve(&gen_request("gen:counter20"))
+        .expect("slow job accepted");
+    while client
+        .job_status(slow.job)
+        .unwrap()
+        .get("state")
+        .and_then(Json::as_str)
+        != Some("running")
+    {
+        std::thread::sleep(POLL);
+    }
+    // A second, small job queues behind it.
+    let small = client.submit_solve(&gen_request("gen:counter4")).unwrap();
+    assert_eq!(small.state, "queued");
+
+    // Cancel the running job: its own token fires, the engine returns
+    // CNC-cancelled cooperatively, and the worker moves on to the queued
+    // job — which must be untouched by the neighbour's cancellation.
+    assert!(client.cancel(slow.job).expect("cancel accepted"));
+    let result = client
+        .wait(slow.job, POLL, WAIT)
+        .expect("cancelled job finishes");
+    let cells = result.get("cells").and_then(Json::as_arr).unwrap();
+    let report = CellReport::from_json(&cells[0]).expect("cell parses");
+    assert_eq!(report.status(), "cancelled");
+
+    let result = client
+        .wait(small.job, POLL, WAIT)
+        .expect("neighbour finishes");
+    let cells = result.get("cells").and_then(Json::as_arr).unwrap();
+    let report = CellReport::from_json(&cells[0]).expect("cell parses");
+    assert!(report.solved(), "queued neighbour still solves: {report:?}");
+
+    // Cancelled results are retryable and must never enter the cache: the
+    // same submission solves (or at least runs) again rather than
+    // replaying the aborted result.
+    assert_eq!(client.metric("langeq_jobs_cancelled_total").unwrap(), 1);
+    let again = client.submit_solve(&gen_request("gen:counter20")).unwrap();
+    assert!(!again.cached, "a cancelled result leaked into the cache");
+    assert!(client.cancel(again.job).expect("cancel accepted"));
+    let _ = client.wait(again.job, POLL, WAIT).expect("drains");
+
+    // Cancelling a done job is an idempotent no-op…
+    assert!(!client.cancel(small.job).expect("done-job cancel answers"));
+    // …and an unknown id is a 404.
+    let err = client.cancel(9_999_999).expect_err("unknown id");
+    assert!(err.to_string().contains("404"), "{err}");
+
+    assert_eq!(client.metric("langeq_jobs_cancelled_total").unwrap(), 2);
+    server.shutdown();
+}
+
+#[test]
+fn reorder_policy_is_part_of_the_cache_key() {
+    let (server, client) = start(ServeOptions::new().jobs(2));
+
+    // The same instance under reorder=none and reorder=sifting are
+    // different experiments: the second submission must miss the cache.
+    let plain = client
+        .submit_solve(&gen_request("gen:counter4"))
+        .expect("plain accepted");
+    let plain = client.wait(plain.job, POLL, WAIT).expect("plain finishes");
+
+    let sifted_req = gen_request("gen:counter4").set("reorder", "sifting:64");
+    let sifted = client.submit_solve(&sifted_req).expect("sifted accepted");
+    assert!(!sifted.cached, "reorder-on conflated with reorder-off");
+    let sifted = client
+        .wait(sifted.job, POLL, WAIT)
+        .expect("sifted finishes");
+
+    // Both solve, and solve to the same CSF.
+    let cell = |result: &Json| {
+        let cells = result.get("cells").and_then(Json::as_arr).unwrap();
+        CellReport::from_json(&cells[0]).expect("cell parses")
+    };
+    let (p, s) = (cell(&plain), cell(&sifted));
+    assert!(p.solved() && s.solved());
+    assert_eq!(p.stats().unwrap().csf_states, s.stats().unwrap().csf_states);
+    assert_ne!(p.sig, s.sig, "signatures must differ");
+    assert!(s.sig.contains("reorder=Sifting"), "{}", s.sig);
+
+    // Resubmitting the sifted config now hits its own cache entry.
+    let again = client.submit_solve(&sifted_req).expect("resubmit");
+    assert!(again.cached);
+
+    // A bad policy string is a 400, not a solve.
+    let err = client
+        .submit_solve(&gen_request("gen:counter4").set("reorder", "warp"))
+        .expect_err("bad policy");
+    assert!(err.to_string().contains("400"), "{err}");
+
+    server.shutdown();
+}
+
+#[test]
 fn restart_reloads_the_cache_journal() {
     let journal = scratch_journal("restart");
 

@@ -57,7 +57,10 @@ fn main() {
             limits,
             ..PartitionedOptions::paper()
         })),
-        Box::new(Monolithic::new(MonolithicOptions { limits })),
+        Box::new(Monolithic::new(MonolithicOptions {
+            limits,
+            ..MonolithicOptions::default()
+        })),
     ];
     let problem = LatchSplitProblem::new(&inst.network, &inst.unknown_latches).unwrap();
     let mut outcomes = Vec::new();

@@ -241,3 +241,45 @@ fn flows_agree_when_driven_as_suite_configs() {
         .expect("monolithic solves");
     assert!(part.csf.equivalent(&mono.csf));
 }
+
+#[test]
+fn sifting_solve_matches_static_order_and_restores_the_policy() {
+    let p = midsize_problem();
+    let mgr = p.equation.manager().clone();
+    let baseline = SolveRequest::partitioned()
+        .run(&p.equation)
+        .into_result()
+        .expect("static-order solve");
+    // Aggressive auto-sifting: a tiny threshold so passes actually fire
+    // during the subset construction.
+    let sifted = SolveRequest::partitioned()
+        .reorder(langeq::core::ReorderPolicy::Sifting {
+            auto_threshold: 256,
+            max_growth: 1.3,
+        })
+        .run(&p.equation)
+        .into_result()
+        .expect("sifting solve");
+    assert!(sifted.stats.reorders > 0, "sifting never fired");
+    assert!(
+        baseline.csf.equivalent(&sifted.csf),
+        "reordering changed the answer"
+    );
+    // The session restored the manager's policy on the way out.
+    assert_eq!(
+        mgr.reorder_policy(),
+        langeq::core::ReorderPolicy::None,
+        "run-scoped policy leaked past the session"
+    );
+    // And the manager's invariants survived the reorders.
+    mgr.verify_cache_integrity()
+        .expect("kernel invariants after a sifting solve");
+
+    // The monolithic flow takes the same option.
+    let mono = SolveRequest::monolithic()
+        .reorder(langeq::core::ReorderPolicy::sifting())
+        .run(&p.equation)
+        .into_result()
+        .expect("monolithic sifting solve");
+    assert!(baseline.csf.equivalent(&mono.csf));
+}

@@ -253,3 +253,44 @@ fn resumed_sweep_matches_an_uninterrupted_one_modulo_timing() {
     }
     let _ = std::fs::remove_file(&path);
 }
+
+#[test]
+fn reorder_configs_solve_and_resume_on_their_own_signature() {
+    let path = scratch_journal("reorder");
+    // One instance, two configs differing only in the reorder policy: both
+    // must solve to the same answer, journal under *different* signatures,
+    // and resume onto exactly their own records.
+    let plan = SuitePlan::new()
+        .instance(InstanceSpec::new(
+            "c6",
+            gen::counter("c6", 6),
+            vec![3, 4, 5],
+        ))
+        .config(ConfigSpec::new("static", SolverKind::Partitioned))
+        .config(ConfigSpec::new("sift", SolverKind::Partitioned).reorder(
+            langeq::core::ReorderPolicy::Sifting {
+                auto_threshold: 256,
+                max_growth: 1.3,
+            },
+        ));
+    let report = plan
+        .execute(SuiteOptions::new().jobs(2).journal(&path))
+        .unwrap();
+    assert_eq!(report.cells.len(), 2);
+    assert!(report.cells.iter().all(CellReport::solved));
+    let (a, b) = (&report.cells[0], &report.cells[1]);
+    assert_eq!(
+        a.stats().unwrap().csf_states,
+        b.stats().unwrap().csf_states,
+        "reordering changed the answer"
+    );
+    assert_ne!(a.sig, b.sig, "reorder must be part of the signature");
+    assert!(b.sig.contains("reorder=Sifting"), "{}", b.sig);
+
+    // Resume replays both — each matched by its own signature.
+    let resumed = plan
+        .execute(SuiteOptions::new().journal(&path).resume(true))
+        .unwrap();
+    assert_eq!(resumed.resumed(), 2);
+    let _ = std::fs::remove_file(&path);
+}
