@@ -39,6 +39,7 @@ pub mod format;
 mod minimize;
 mod ops;
 pub mod random;
+pub mod snapshot;
 
 use langeq_bdd::{Bdd, BddManager, VarId};
 

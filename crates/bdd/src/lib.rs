@@ -37,6 +37,11 @@
 //!   Every [`Bdd`] handle stays valid across reorders; **fences**
 //!   ([`BddManager::set_reorder_fences`]) let layered callers pin block
 //!   structure the rest of their stack depends on.
+//! * A compact binary **snapshot format** ([`snapshot`]): multi-rooted
+//!   dense node arrays with a level map, versioned header, and checksum —
+//!   how solved results ship between fleet daemons. Loading re-interns
+//!   bottom-up through `ite`, so a snapshot is valid under any target
+//!   variable order.
 //! * **Cooperative abort**: a configurable live-node limit and an
 //!   [`set_abort_hook`](BddManager::set_abort_hook) predicate (cancellation
 //!   flags, deadlines) checked during operations. On abort nothing unwinds —
@@ -75,6 +80,7 @@ mod dot;
 mod error;
 mod inner;
 mod manager;
+pub mod snapshot;
 
 pub use cube::{Cube, CubeIter, Literal};
 pub use error::AbortReason;

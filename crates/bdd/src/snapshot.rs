@@ -1,0 +1,397 @@
+//! A compact binary **snapshot format** for multi-rooted BDDs — the wire
+//! form in which solved results travel between fleet daemons (and can be
+//! parked on disk next to a result store).
+//!
+//! ## Wire format (version 1, all integers little-endian)
+//!
+//! ```text
+//! magic     4 bytes  b"LQBS"
+//! version   u32      1
+//! nvars     u32      variables the snapshot's functions range over
+//! nnodes    u32      interned decision nodes (terminal excluded)
+//! nroots    u32      serialized function roots
+//! level2var nvars × u32   the manager's live order at save time (level i
+//!                         held variable level2var[i]) — advisory: loading
+//!                         re-interns under the target manager's own order
+//! nodes     nnodes × (var u32, hi u32, lo u32)
+//! roots     nroots × u32
+//! checksum  u64      FNV-1a over every preceding byte
+//! ```
+//!
+//! Node children and roots are **dense refs**: `dense_index << 1 | c`, with
+//! the complement bit `c` in bit 0 exactly as in the kernel's edge encoding.
+//! Dense index 0 is the terminal (`0` = constant true, `1` = constant
+//! false); node `k` of the array has dense index `k + 1`. Nodes are written
+//! children-before-parents, so a single forward pass re-interns them —
+//! [`load`] rebuilds each node with [`BddManager::ite`], which canonicalizes
+//! under the *target* manager's variable order. A snapshot therefore loads
+//! correctly into any manager, whatever reorders either side has performed.
+//!
+//! Loading validates everything before touching the manager: magic, version,
+//! exact length, checksum, the level map being a permutation, variable ids
+//! in range, and the children-first topology (a child's dense index must
+//! precede its parent's). A truncated or bit-flipped snapshot is an error,
+//! never a wrong function.
+
+use std::collections::HashMap;
+
+use crate::manager::{Bdd, BddManager};
+use crate::VarId;
+
+/// Magic prefix of a BDD snapshot.
+pub const MAGIC: [u8; 4] = *b"LQBS";
+
+/// Snapshot format version written by [`save`] (other versions are
+/// rejected on load).
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Why a snapshot could not be loaded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The byte string does not start with [`MAGIC`].
+    BadMagic,
+    /// The snapshot was written by an incompatible format version.
+    BadVersion(u32),
+    /// The byte string is shorter than its header promises (or than the
+    /// fixed header itself).
+    Truncated,
+    /// The trailing FNV-1a checksum does not match the content.
+    Checksum,
+    /// Structurally invalid content (with a human-readable reason).
+    Malformed(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a BDD snapshot (bad magic)"),
+            SnapshotError::BadVersion(v) => write!(
+                f,
+                "snapshot version {v} is not supported (expected {SNAPSHOT_VERSION})"
+            ),
+            SnapshotError::Truncated => write!(f, "snapshot is truncated"),
+            SnapshotError::Checksum => write!(f, "snapshot checksum mismatch"),
+            SnapshotError::Malformed(m) => write!(f, "malformed snapshot: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// The header of a snapshot, readable without loading it ([`peek`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotInfo {
+    /// Format version.
+    pub version: u32,
+    /// Variables the snapshot's functions range over.
+    pub nvars: usize,
+    /// Decision nodes in the snapshot (terminal excluded).
+    pub nnodes: usize,
+    /// Serialized roots.
+    pub nroots: usize,
+}
+
+/// 64-bit FNV-1a (the workspace's standard content hash; `langeq-core`
+/// carries the same function, but this crate sits below it).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Serializes `roots` (functions of `mgr`) into a snapshot byte string.
+///
+/// Shared subgraphs are written once: the node array is the union of the
+/// roots' cones in children-first order. An empty `roots` is a valid,
+/// header-only snapshot.
+///
+/// # Panics
+///
+/// Panics if any root belongs to a different manager (the same contract as
+/// every cross-handle [`BddManager`] operation).
+pub fn save(mgr: &BddManager, roots: &[Bdd]) -> Vec<u8> {
+    let raw_roots: Vec<u32> = roots.iter().map(|r| mgr.raw_of(r)).collect();
+    // The whole traversal runs under one engine borrow: no GC, reorder, or
+    // resize can move node indices mid-walk.
+    let (level2var, nodes, dense_roots) = mgr.with_inner_pub(|inner| {
+        let level2var: Vec<u32> = inner.level2var.clone();
+        // node index -> dense index (0 = terminal).
+        let mut dense: HashMap<u32, u32> = HashMap::new();
+        dense.insert(0, 0);
+        let mut nodes: Vec<(u32, u32, u32)> = Vec::new();
+        let mut stack: Vec<u32> = raw_roots.iter().map(|r| r >> 1).collect();
+        while let Some(&idx) = stack.last() {
+            if dense.contains_key(&idx) {
+                stack.pop();
+                continue;
+            }
+            // Expanding the regular edge (complement bit 0) yields the
+            // stored children verbatim.
+            let (var, hi, lo) = inner.expand(idx << 1).expect("non-terminal index");
+            let (hi_idx, lo_idx) = (hi >> 1, lo >> 1);
+            let mut blocked = false;
+            if !dense.contains_key(&hi_idx) {
+                stack.push(hi_idx);
+                blocked = true;
+            }
+            if !dense.contains_key(&lo_idx) {
+                stack.push(lo_idx);
+                blocked = true;
+            }
+            if blocked {
+                continue;
+            }
+            stack.pop();
+            let hi_dense = dense[&hi_idx] << 1 | (hi & 1);
+            let lo_dense = dense[&lo_idx] << 1 | (lo & 1);
+            dense.insert(idx, nodes.len() as u32 + 1);
+            nodes.push((var, hi_dense, lo_dense));
+        }
+        let dense_roots: Vec<u32> = raw_roots
+            .iter()
+            .map(|r| dense[&(r >> 1)] << 1 | (r & 1))
+            .collect();
+        (level2var, nodes, dense_roots)
+    });
+
+    let mut out = Vec::with_capacity(24 + 4 * level2var.len() + 12 * nodes.len());
+    out.extend_from_slice(&MAGIC);
+    push_u32(&mut out, SNAPSHOT_VERSION);
+    push_u32(&mut out, level2var.len() as u32);
+    push_u32(&mut out, nodes.len() as u32);
+    push_u32(&mut out, dense_roots.len() as u32);
+    for v in &level2var {
+        push_u32(&mut out, *v);
+    }
+    for (var, hi, lo) in &nodes {
+        push_u32(&mut out, *var);
+        push_u32(&mut out, *hi);
+        push_u32(&mut out, *lo);
+    }
+    for r in &dense_roots {
+        push_u32(&mut out, *r);
+    }
+    let checksum = fnv1a64(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// A little-endian u32 cursor over the snapshot bytes.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let v = u32::from_le_bytes(self.bytes[self.pos..end].try_into().unwrap());
+        self.pos = end;
+        Ok(v)
+    }
+}
+
+/// Reads and validates the fixed header (magic + counts) without loading.
+pub fn peek(bytes: &[u8]) -> Result<SnapshotInfo, SnapshotError> {
+    if bytes.len() < 8 {
+        return Err(SnapshotError::Truncated);
+    }
+    if bytes[..4] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let mut c = Cursor { bytes, pos: 4 };
+    let version = c.u32()?;
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::BadVersion(version));
+    }
+    let nvars = c.u32()? as usize;
+    let nnodes = c.u32()? as usize;
+    let nroots = c.u32()? as usize;
+    Ok(SnapshotInfo {
+        version,
+        nvars,
+        nnodes,
+        nroots,
+    })
+}
+
+/// Loads a snapshot into `mgr`, returning the reconstructed roots in the
+/// order they were saved.
+///
+/// Variables are matched **by id**: snapshot variable `i` becomes `mgr`'s
+/// variable `i`, and missing variables are created (so a fresh manager
+/// works out of the box). Functions are re-interned bottom-up through
+/// [`BddManager::ite`], which canonicalizes under the target manager's own
+/// live order — the saved level map does not constrain the target.
+pub fn load(mgr: &BddManager, bytes: &[u8]) -> Result<Vec<Bdd>, SnapshotError> {
+    let info = peek(bytes)?;
+    let expected_len = 20 + 4 * info.nvars + 12 * info.nnodes + 4 * info.nroots + 8;
+    if bytes.len() < expected_len {
+        return Err(SnapshotError::Truncated);
+    }
+    if bytes.len() != expected_len {
+        return Err(SnapshotError::Malformed(format!(
+            "{} trailing bytes",
+            bytes.len() - expected_len
+        )));
+    }
+    let stored = u64::from_le_bytes(bytes[expected_len - 8..].try_into().unwrap());
+    if fnv1a64(&bytes[..expected_len - 8]) != stored {
+        return Err(SnapshotError::Checksum);
+    }
+
+    let mut c = Cursor { bytes, pos: 20 };
+    let mut seen = vec![false; info.nvars];
+    for _ in 0..info.nvars {
+        let v = c.u32()? as usize;
+        if v >= info.nvars || seen[v] {
+            return Err(SnapshotError::Malformed(format!(
+                "level map is not a permutation (variable {v})"
+            )));
+        }
+        seen[v] = true;
+    }
+
+    while mgr.num_vars() < info.nvars {
+        mgr.new_var();
+    }
+
+    // funcs[d] = the function of dense index d (0 = constant true); an
+    // edge's complement bit is applied at resolution time.
+    let mut funcs: Vec<Bdd> = Vec::with_capacity(info.nnodes + 1);
+    funcs.push(mgr.one());
+    let resolve = |funcs: &[Bdd], dense: u32, what: &str| -> Result<Bdd, SnapshotError> {
+        let (idx, complement) = ((dense >> 1) as usize, dense & 1 == 1);
+        let f = funcs.get(idx).ok_or_else(|| {
+            SnapshotError::Malformed(format!("{what} references unbuilt node {idx}"))
+        })?;
+        Ok(if complement { f.not() } else { f.clone() })
+    };
+    for k in 0..info.nnodes {
+        let var = c.u32()?;
+        if var as usize >= info.nvars {
+            return Err(SnapshotError::Malformed(format!(
+                "node {k} has out-of-range variable {var}"
+            )));
+        }
+        let hi = resolve(&funcs, c.u32()?, "hi edge")?;
+        let lo = resolve(&funcs, c.u32()?, "lo edge")?;
+        funcs.push(mgr.ite(&mgr.var(VarId(var)), &hi, &lo));
+    }
+    let mut roots = Vec::with_capacity(info.nroots);
+    for _ in 0..info.nroots {
+        roots.push(resolve(&funcs, c.u32()?, "root")?);
+    }
+    Ok(roots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(mgr: &BddManager) -> Vec<Bdd> {
+        let v = mgr.new_vars(4);
+        let f = v[0].and(&v[1]).or(&v[2].xor(&v[3]));
+        let g = f.not().and(&v[1]);
+        vec![f, g, mgr.one(), mgr.zero(), v[3].not()]
+    }
+
+    #[test]
+    fn round_trips_through_a_fresh_manager() {
+        let a = BddManager::new();
+        let roots = sample(&a);
+        let bytes = save(&a, &roots);
+
+        let info = peek(&bytes).unwrap();
+        assert_eq!(info.nvars, 4);
+        assert_eq!(info.nroots, 5);
+
+        let b = BddManager::new();
+        let loaded = load(&b, &bytes).unwrap();
+        assert_eq!(loaded.len(), roots.len());
+        for env in 0..16u32 {
+            let bits: Vec<bool> = (0..4).map(|i| env >> i & 1 == 1).collect();
+            for (orig, back) in roots.iter().zip(&loaded) {
+                assert_eq!(orig.eval(&bits), back.eval(&bits), "env {bits:?}");
+            }
+        }
+        b.verify_cache_integrity().unwrap();
+    }
+
+    #[test]
+    fn loading_into_the_saving_manager_returns_identical_handles() {
+        let mgr = BddManager::new();
+        let roots = sample(&mgr);
+        let bytes = save(&mgr, &roots);
+        let loaded = load(&mgr, &bytes).unwrap();
+        // Hash-consing: same function => same handle.
+        assert_eq!(loaded, roots);
+    }
+
+    #[test]
+    fn survives_a_reorder_between_save_and_load() {
+        let a = BddManager::new();
+        let roots = sample(&a);
+        let bytes = save(&a, &roots);
+
+        let b = BddManager::new();
+        // Scramble b's order before loading: ite re-interns correctly
+        // under whatever order the target happens to have.
+        let extra = b.new_vars(4);
+        let _clutter = extra[3].and(&extra[0]).or(&extra[2]);
+        b.reorder();
+        let loaded = load(&b, &bytes).unwrap();
+        for env in 0..16u32 {
+            let bits: Vec<bool> = (0..4).map(|i| env >> i & 1 == 1).collect();
+            assert_eq!(roots[0].eval(&bits), loaded[0].eval(&bits));
+        }
+        b.verify_cache_integrity().unwrap();
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid() {
+        let a = BddManager::new();
+        let bytes = save(&a, &[]);
+        let b = BddManager::new();
+        assert_eq!(load(&b, &bytes).unwrap(), Vec::<Bdd>::new());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let a = BddManager::new();
+        let roots = sample(&a);
+        let bytes = save(&a, &roots);
+        let b = BddManager::new();
+
+        assert_eq!(load(&b, b"nope").unwrap_err(), SnapshotError::Truncated);
+        assert_eq!(
+            load(&b, b"XXXXXXXXXXXX").unwrap_err(),
+            SnapshotError::BadMagic
+        );
+
+        let mut wrong_version = bytes.clone();
+        wrong_version[4] = 9;
+        assert_eq!(
+            load(&b, &wrong_version).unwrap_err(),
+            SnapshotError::BadVersion(9)
+        );
+
+        let truncated = &bytes[..bytes.len() - 3];
+        assert_eq!(load(&b, truncated).unwrap_err(), SnapshotError::Truncated);
+
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        assert_eq!(load(&b, &flipped).unwrap_err(), SnapshotError::Checksum);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property test for the binary snapshot format: any set of functions
+//! serializes and loads back as the same functions — into a fresh manager,
+//! into a manager with a scrambled variable order, and into the saving
+//! manager itself (where hash-consing makes the round trip exact handle
+//! equality) — and the target manager stays internally consistent under
+//! `verify_cache_integrity`.
+
+use langeq_bdd::{snapshot, Bdd, BddManager};
+use proptest::prelude::*;
+
+const NVARS: usize = 5;
+
+/// A random Boolean expression over `NVARS` variables (the same oracle
+/// shape as the kernel proptests).
+#[derive(Debug, Clone)]
+enum Expr {
+    Var(usize),
+    Const(bool),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    fn build(&self, mgr: &BddManager, vars: &[Bdd]) -> Bdd {
+        match self {
+            Expr::Var(i) => vars[*i].clone(),
+            Expr::Const(true) => mgr.one(),
+            Expr::Const(false) => mgr.zero(),
+            Expr::Not(e) => e.build(mgr, vars).not(),
+            Expr::And(a, b) => a.build(mgr, vars).and(&b.build(mgr, vars)),
+            Expr::Or(a, b) => a.build(mgr, vars).or(&b.build(mgr, vars)),
+            Expr::Xor(a, b) => a.build(mgr, vars).xor(&b.build(mgr, vars)),
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0..NVARS).prop_map(Expr::Var),
+        any::<bool>().prop_map(Expr::Const),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn assignments() -> impl Iterator<Item = Vec<bool>> {
+    (0..(1usize << NVARS)).map(|m| (0..NVARS).map(|i| m >> i & 1 == 1).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn snapshot_round_trips_any_root_set(
+        exprs in (arb_expr(), arb_expr(), arb_expr(), 1usize..=3)
+            .prop_map(|(a, b, c, n)| [a, b, c].into_iter().take(n).collect::<Vec<Expr>>()),
+    ) {
+        let src = BddManager::new();
+        let vars = src.new_vars(NVARS);
+        let roots: Vec<Bdd> = exprs.iter().map(|e| e.build(&src, &vars)).collect();
+        let bytes = snapshot::save(&src, &roots);
+
+        let info = snapshot::peek(&bytes).unwrap();
+        prop_assert_eq!(info.nroots, roots.len());
+        prop_assert_eq!(info.nvars, NVARS);
+
+        // Fresh manager: same functions under every assignment.
+        let dst = BddManager::new();
+        let loaded = snapshot::load(&dst, &bytes).unwrap();
+        for env in assignments() {
+            for (orig, back) in roots.iter().zip(&loaded) {
+                prop_assert_eq!(orig.eval(&env), back.eval(&env), "env {:?}", env);
+            }
+        }
+        prop_assert!(dst.verify_cache_integrity().is_ok());
+
+        // Scrambled-order manager: loading re-interns under the live order.
+        let scrambled = BddManager::new();
+        let svars = scrambled.new_vars(NVARS);
+        let _clutter = svars[NVARS - 1].and(&svars[0]).xor(&svars[1]);
+        scrambled.reorder();
+        let reloaded = snapshot::load(&scrambled, &bytes).unwrap();
+        for env in assignments() {
+            for (orig, back) in roots.iter().zip(&reloaded) {
+                prop_assert_eq!(orig.eval(&env), back.eval(&env), "env {:?}", env);
+            }
+        }
+        prop_assert!(scrambled.verify_cache_integrity().is_ok());
+
+        // The saving manager: hash-consing makes it exact handle equality.
+        let same = snapshot::load(&src, &bytes).unwrap();
+        prop_assert_eq!(same, roots);
+        prop_assert!(src.verify_cache_integrity().is_ok());
+    }
+
+    #[test]
+    fn any_single_byte_flip_is_rejected_or_exact(e in arb_expr(), flip in 0usize..4096) {
+        let src = BddManager::new();
+        let vars = src.new_vars(NVARS);
+        let root = e.build(&src, &vars);
+        let bytes = snapshot::save(&src, &[root]);
+        let mut corrupt = bytes.clone();
+        let at = flip % corrupt.len();
+        corrupt[at] ^= 0x01;
+        // A flipped byte must never load as a *different* function set: the
+        // checksum (or a structural check) catches it.
+        prop_assert!(snapshot::load(&BddManager::new(), &corrupt).is_err());
+    }
+}

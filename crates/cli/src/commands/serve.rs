@@ -24,17 +24,36 @@ use crate::commands::CliError;
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7878";
 
+const SERVE_VALUE_KEYS: &[&str] = &[
+    "addr",
+    "jobs",
+    "queue",
+    "max-body",
+    "cache-journal",
+    "store",
+    "peers",
+    "advertise",
+    "auth-token",
+    "rate-limit",
+];
+
 /// `langeq serve [--addr HOST:PORT] [--jobs N] [--queue N]
-/// [--max-body BYTES] [--cache-journal PATH]`.
+/// [--max-body BYTES] [--cache-journal PATH | --store DIR]
+/// [--peers A:P,B:P,...] [--advertise HOST:PORT] [--auth-token TOKEN]
+/// [--rate-limit PER_SEC]`.
 pub fn serve(args: &[String]) -> Result<ExitCode, CliError> {
-    let p = scan(
-        args,
-        &["addr", "jobs", "queue", "max-body", "cache-journal"],
-    )?;
-    p.reject_unknown(&["addr", "jobs", "queue", "max-body", "cache-journal"])?;
+    let p = scan(args, SERVE_VALUE_KEYS)?;
+    p.reject_unknown(SERVE_VALUE_KEYS)?;
     if !p.positionals().is_empty() {
         return Err(CliError::Usage(
             "serve takes no positional arguments".into(),
+        ));
+    }
+    if p.value("store").is_some() && p.value("cache-journal").is_some() {
+        return Err(CliError::Usage(
+            "--store (shared directory) and --cache-journal (private file) conflict; \
+             pick one cache backend"
+                .into(),
         ));
     }
 
@@ -51,13 +70,28 @@ pub fn serve(args: &[String]) -> Result<ExitCode, CliError> {
     if let Some(path) = p.value("cache-journal") {
         opts = opts.cache_journal(path);
     }
+    if let Some(dir) = p.value("store") {
+        opts = opts.store_dir(dir);
+    }
+    if let Some(peers) = p.value("peers") {
+        opts = opts.peers(peers.split(',').map(str::trim).filter(|s| !s.is_empty()));
+    }
+    if let Some(addr) = p.value("advertise") {
+        opts = opts.advertise(addr);
+    }
+    if let Some(token) = p.value("auth-token") {
+        opts = opts.auth_token(token);
+    }
+    if let Some(rate) = p.number::<f64>("rate-limit")? {
+        opts = opts.rate_limit(rate);
+    }
 
     let server = Server::start(opts).map_err(|e| CliError::Run(format!("starting server: {e}")))?;
     // The address line goes to stdout so scripts (and the CI smoke test)
     // can bind port 0 and read the port back.
     println!("listening on http://{}", server.addr());
     eprintln!(
-        "[serve] {} cache entr{} warmed from the journal; Ctrl-C drains and exits",
+        "[serve] {} cache entr{} warmed from the store; Ctrl-C drains and exits",
         server.warm_cache_entries(),
         if server.warm_cache_entries() == 1 {
             "y"
@@ -83,14 +117,19 @@ const SUBMIT_VALUE_KEYS: &[&str] = &[
     "poll-ms",
     "wait-secs",
     "cancel",
+    "token",
+    "snapshot-out",
 ];
 
 /// `langeq submit <net.bench|net.blif|gen:NAME|manifest.sweep>
-/// [--addr HOST:PORT] [--split K,K,...] [--flow F] [--trim on|off]
-/// [--reorder none|sifting|sifting:N] [--timeout S] [--node-limit N]
-/// [--max-states N] [--name NAME] [--no-wait] [--poll-ms N] [--wait-secs N]
-/// [--json]` — or `langeq submit --cancel <job> [--addr HOST:PORT]` to fire
-/// a queued/running job's cancel token.
+/// [--addr HOST:PORT] [--token TOKEN] [--split K,K,...] [--flow F]
+/// [--trim on|off] [--reorder none|sifting|sifting:N] [--timeout S]
+/// [--node-limit N] [--max-states N] [--name NAME] [--no-wait]
+/// [--poll-ms N] [--wait-secs N] [--snapshot-out PATH] [--json]` — or
+/// `langeq submit --cancel <job> [--addr HOST:PORT]` to fire a
+/// queued/running job's cancel token. A fleet daemon may forward the solve
+/// to its ring owner: the ack then carries the owner's address, and submit
+/// polls (and fetches the snapshot from) the owner automatically.
 pub fn submit(args: &[String]) -> Result<ExitCode, CliError> {
     let p = scan(args, SUBMIT_VALUE_KEYS)?;
     let mut known: Vec<&str> = SUBMIT_VALUE_KEYS.to_vec();
@@ -106,7 +145,10 @@ pub fn submit(args: &[String]) -> Result<ExitCode, CliError> {
         let job: u64 = id_text
             .parse()
             .map_err(|_| CliError::Usage(format!("bad job id `{id_text}` for --cancel")))?;
-        let client = Client::new(p.value("addr").unwrap_or(DEFAULT_ADDR));
+        let mut client = Client::new(p.value("addr").unwrap_or(DEFAULT_ADDR));
+        if let Some(token) = p.value("token") {
+            client = client.with_token(token);
+        }
         let cancelled = client
             .cancel(job)
             .map_err(|e| CliError::Run(format!("{}: {e}", client.addr())))?;
@@ -131,7 +173,10 @@ pub fn submit(args: &[String]) -> Result<ExitCode, CliError> {
         ));
     };
 
-    let client = Client::new(p.value("addr").unwrap_or(DEFAULT_ADDR));
+    let mut client = Client::new(p.value("addr").unwrap_or(DEFAULT_ADDR));
+    if let Some(token) = p.value("token") {
+        client = client.with_token(token);
+    }
     let is_manifest = matches!(
         Path::new(source.as_str())
             .extension()
@@ -167,19 +212,36 @@ pub fn submit(args: &[String]) -> Result<ExitCode, CliError> {
     .map_err(|e| CliError::Run(format!("{}: {e}", client.addr())))?;
 
     eprintln!(
-        "[submit] job {} is {}{}",
+        "[submit] job {} is {}{}{}",
         ack.job,
         ack.state,
-        if ack.cached { " (cache hit)" } else { "" }
+        if ack.cached { " (cache hit)" } else { "" },
+        match &ack.owner {
+            Some(owner) => format!(" (forwarded to {owner})"),
+            None => String::new(),
+        }
     );
+    // A forwarded solve lives on the ring owner: the job id in the ack is
+    // the owner's, so all further calls must go there.
+    let client = match &ack.owner {
+        Some(owner) if owner != client.addr() => {
+            let mut retargeted = Client::new(owner.clone());
+            if let Some(token) = p.value("token") {
+                retargeted = retargeted.with_token(token);
+            }
+            retargeted
+        }
+        _ => client,
+    };
     if p.flag("no-wait") {
-        println!(
-            "{}",
-            Json::obj()
-                .set("job", ack.job)
-                .set("state", ack.state.as_str())
-                .set("cached", ack.cached)
-        );
+        let mut body = Json::obj()
+            .set("job", ack.job)
+            .set("state", ack.state.as_str())
+            .set("cached", ack.cached);
+        if let Some(owner) = &ack.owner {
+            body = body.set("owner", owner.as_str());
+        }
+        println!("{body}");
         return Ok(ExitCode::SUCCESS);
     }
 
@@ -188,6 +250,20 @@ pub fn submit(args: &[String]) -> Result<ExitCode, CliError> {
     let result = client
         .wait(ack.job, poll, wait)
         .map_err(|e| CliError::Run(format!("{}: {e}", client.addr())))?;
+
+    if let Some(out) = p.value("snapshot-out") {
+        match client
+            .snapshot(ack.job)
+            .map_err(|e| CliError::Run(format!("{}: {e}", client.addr())))?
+        {
+            Some(bytes) => {
+                std::fs::write(out, &bytes)
+                    .map_err(|e| CliError::Run(format!("writing {out}: {e}")))?;
+                eprintln!("[submit] snapshot: {} bytes -> {out}", bytes.len());
+            }
+            None => eprintln!("[submit] no snapshot available for job {}", ack.job),
+        }
+    }
 
     let cells: Vec<CellReport> = result
         .get("cells")

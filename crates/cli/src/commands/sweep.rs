@@ -19,8 +19,8 @@ use std::time::Duration;
 
 use langeq_core::batch::manifest::load_manifest;
 use langeq_core::{
-    ConfigSpec, InstanceSpec, ReorderPolicy, SolverKind, SolverLimits, SuiteEvent, SuiteOptions,
-    SuitePlan,
+    ConfigSpec, InstanceSpec, JournalStore, ReorderPolicy, SharedDirStore, SolverKind,
+    SolverLimits, SuiteEvent, SuiteOptions, SuitePlan,
 };
 
 use crate::cliargs::{scan, Parsed};
@@ -37,6 +37,7 @@ const VALUE_KEYS: &[&str] = &[
     "jobs",
     "budget",
     "journal",
+    "store",
 ];
 
 const KNOWN: &[&str] = &[
@@ -49,6 +50,7 @@ const KNOWN: &[&str] = &[
     "jobs",
     "budget",
     "journal",
+    "store",
     "resume",
     "json",
     "progress",
@@ -199,7 +201,12 @@ fn progress_printer() -> impl FnMut(&SuiteEvent) {
 /// `langeq sweep <manifest.sweep | net...> [--split K,...] [--flows f,f]
 /// [--timeout S] [--node-limit N] [--max-states N]
 /// [--reorder none|sifting|sifting:N] [--jobs N] [--budget S]
-/// [--journal PATH] [--resume] [--json] [--progress]`.
+/// [--journal PATH | --store DIR] [--resume] [--json] [--progress]`.
+///
+/// `--store DIR` journals into a shared multi-writer directory (the same
+/// backend `langeq serve --store` uses), so several sweeps — or a sweep
+/// and a daemon fleet — pool one content-addressed result set; `--resume`
+/// then skips cells *any* writer already finished.
 pub fn sweep(args: &[String]) -> Result<ExitCode, CliError> {
     let p = scan(args, VALUE_KEYS)?;
     p.reject_unknown(KNOWN)?;
@@ -226,17 +233,29 @@ pub fn sweep(args: &[String]) -> Result<ExitCode, CliError> {
         ));
     }
 
-    let journal = journal_path(&p, first);
+    if p.value("store").is_some() && p.value("journal").is_some() {
+        return Err(CliError::Usage(
+            "--store (shared directory) and --journal (private file) conflict; pick one".into(),
+        ));
+    }
     let mut opts = SuiteOptions::new()
         .jobs(p.number::<usize>("jobs")?.unwrap_or(1))
         .budget(p.number::<u64>("budget")?.map(Duration::from_secs))
-        .journal(&journal)
         .resume(p.flag("resume"))
         .cancel_token(crate::sigint::install());
+    if let Some(dir) = p.value("store") {
+        let store = SharedDirStore::open(Path::new(dir))
+            .map_err(|e| CliError::Run(format!("opening store {dir}: {e}")))?;
+        eprintln!("[sweep] store: {}", store.describe());
+        opts = opts.store(store);
+    } else {
+        let journal = journal_path(&p, first);
+        eprintln!("[sweep] journal: {}", journal.display());
+        opts = opts.journal(&journal);
+    }
     if p.flag("progress") {
         opts = opts.on_event(progress_printer());
     }
-    eprintln!("[sweep] journal: {}", journal.display());
 
     let report = plan
         .execute(opts)

@@ -59,20 +59,24 @@ Solver commands:
   sweep <net...> --split K,K,...      work-stealing pool and a JSONL journal
         [--flows part,mono,...] [--timeout SECS] [--node-limit N]
         [--reorder none|sifting|sifting:N] (or per-config reorder= in the manifest)
-        [--jobs N] [--budget SECS] [--journal PATH] [--resume]
+        [--jobs N] [--budget SECS] [--journal PATH | --store DIR] [--resume]
         [--json] [--progress]
 
 Service commands (HTTP/JSON job API, content-addressed result cache):
   serve [--addr HOST:PORT]            run the solve daemon; repeated identical
         [--jobs N] [--queue N]        requests answer from the cache, which
         [--cache-journal PATH]        persists across restarts via the journal
+        [--store DIR]                 (or a shared multi-daemon store directory)
+        [--peers A:P,B:P,...]         fleet: consistent-hash solve routing
+        [--advertise HOST:PORT] [--auth-token TOK] [--rate-limit PER_SEC]
         [--max-body BYTES]
   submit <net|gen:NAME|m.sweep>       send one solve (or a manifest sweep) to
         [--addr HOST:PORT]            a running daemon and poll the job to
-        [--split K,K,...] [--flow F]  completion
-        [--trim on|off] [--reorder P] [--timeout S] [--node-limit N]
+        [--split K,K,...] [--flow F]  completion (following a fleet forward
+        [--trim on|off] [--reorder P] to its ring owner automatically)
+        [--timeout S] [--node-limit N]
         [--max-states N] [--name NAME] [--no-wait] [--poll-ms N]
-        [--wait-secs N] [--json]
+        [--wait-secs N] [--token TOK] [--snapshot-out PATH] [--json]
   submit --cancel <job> [--addr ...]  fire a queued/running job's cancel token
 
   help                                this text

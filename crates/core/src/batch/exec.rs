@@ -37,28 +37,33 @@ use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use langeq_report::JsonlWriter;
-
-use crate::batch::journal::load_journal;
+use crate::batch::store::{JournalStore, LocalFileStore};
 use crate::batch::{Cell, CellOutcome, CellReport, KernelSample, SuiteError, SuitePlan};
 use crate::equation::LatchSplitProblem;
-use crate::solver::{CancelToken, CncReason, Control, Outcome, SolveEvent};
+use crate::solver::{CancelToken, CncReason, Control, Outcome, Solution, SolveEvent};
 
 /// A boxed sweep-event callback (the form observers travel in between the
 /// builder and the engine).
 pub type BoxedSuiteObserver = Box<dyn FnMut(&SuiteEvent)>;
 
+/// A shared solved-cell callback: `(cell id, signature, solution)`, invoked
+/// **on the worker thread that solved the cell**, while the solution (and
+/// its thread-confined BDD manager) is still alive — the only moment the
+/// full solution exists; the report keeps only its counters.
+pub type SolutionHook = Arc<dyn Fn(usize, &str, &Solution) + Send + Sync>;
+
 /// Execution knobs of one [`SuitePlan::execute`] call.
 pub struct SuiteOptions {
     jobs: usize,
     budget: Option<Duration>,
-    journal: Option<PathBuf>,
+    store: Option<Box<dyn JournalStore>>,
     resume: bool,
     token: CancelToken,
     observer: Option<BoxedSuiteObserver>,
+    on_solution: Option<SolutionHook>,
 }
 
 impl Default for SuiteOptions {
@@ -66,10 +71,11 @@ impl Default for SuiteOptions {
         SuiteOptions {
             jobs: 1,
             budget: None,
-            journal: None,
+            store: None,
             resume: false,
             token: CancelToken::new(),
             observer: None,
+            on_solution: None,
         }
     }
 }
@@ -79,9 +85,10 @@ impl std::fmt::Debug for SuiteOptions {
         f.debug_struct("SuiteOptions")
             .field("jobs", &self.jobs)
             .field("budget", &self.budget)
-            .field("journal", &self.journal)
+            .field("store", &self.store.as_ref().map(|s| s.describe()))
             .field("resume", &self.resume)
             .field("observer", &self.observer.is_some())
+            .field("on_solution", &self.on_solution.is_some())
             .finish()
     }
 }
@@ -105,9 +112,18 @@ impl SuiteOptions {
         self
     }
 
-    /// Journal file to append finished cells to (JSONL).
+    /// Journal file to append finished cells to (JSONL) — shorthand for
+    /// [`store`](Self::store) with a [`LocalFileStore`].
     pub fn journal(mut self, path: impl Into<PathBuf>) -> Self {
-        self.journal = Some(path.into());
+        self.store = Some(Box::new(LocalFileStore::new(path.into())));
+        self
+    }
+
+    /// Journal store to load resumed cells from and append finished cells
+    /// to — any [`JournalStore`], e.g. a fleet-shared
+    /// [`SharedDirStore`](crate::batch::store::SharedDirStore).
+    pub fn store(mut self, store: impl JournalStore + 'static) -> Self {
+        self.store = Some(Box::new(store));
         self
     }
 
@@ -115,6 +131,19 @@ impl SuiteOptions {
     /// instance and config name) are skipped, not re-solved.
     pub fn resume(mut self, on: bool) -> Self {
         self.resume = on;
+        self
+    }
+
+    /// Registers a solved-cell hook, called with `(cell id, signature,
+    /// solution)` on the worker thread that solved the cell — the only
+    /// moment the full [`Solution`] (automata and all) is alive; the
+    /// journaled report keeps only its counters. The serve layer uses this
+    /// to snapshot strategies for the fleet cache.
+    pub fn on_solution(
+        mut self,
+        hook: impl Fn(usize, &str, &Solution) + Send + Sync + 'static,
+    ) -> Self {
+        self.on_solution = Some(Arc::new(hook));
         self
     }
 
@@ -363,6 +392,7 @@ fn run_cell(
     token: &CancelToken,
     deadline: Option<Instant>,
     budget: Option<Duration>,
+    on_solution: Option<&SolutionHook>,
     mut on_sample: impl FnMut(KernelSample) + 'static,
 ) -> CellReport {
     let t0 = Instant::now();
@@ -427,16 +457,23 @@ fn run_cell(
                 // time the *solve* got, not the whole cell.
                 let solve_t0 = Instant::now();
                 match solver.solve(&problem.equation, &ctrl) {
-                    Outcome::Solved(sol) => (
-                        CellOutcome::Solved(crate::batch::CellStats {
-                            csf_states: sol.csf.num_states(),
-                            subset_states: sol.stats.subset_states,
-                            transitions: sol.stats.transitions,
-                            images: sol.stats.images,
-                            peak_live_nodes: sol.stats.peak_live_nodes,
-                        }),
-                        true,
-                    ),
+                    Outcome::Solved(sol) => {
+                        // The solution's BDD manager dies with this scope;
+                        // hand it to the hook while it is still alive.
+                        if let Some(hook) = on_solution {
+                            hook(cell.id, &sig, &sol);
+                        }
+                        (
+                            CellOutcome::Solved(crate::batch::CellStats {
+                                csf_states: sol.csf.num_states(),
+                                subset_states: sol.stats.subset_states,
+                                transitions: sol.stats.transitions,
+                                images: sol.stats.images,
+                                peak_live_nodes: sol.stats.peak_live_nodes,
+                            }),
+                            true,
+                        )
+                    }
                     Outcome::Cnc(CncReason::Cancelled) => {
                         // The token fired mid-solve.
                         (CellOutcome::Cnc(CncReason::Cancelled), false)
@@ -494,26 +531,24 @@ pub(crate) fn execute(plan: &SuitePlan, mut opts: SuiteOptions) -> Result<SuiteR
         })
         .collect();
 
+    // The store lives on the coordinator thread for the whole execution:
+    // resumed cells are loaded from it up front, finished cells are
+    // appended to it in completion order.
+    let mut store = opts.store.take();
+
     // Resume: collect journaled cells, keyed by (instance, config) name so
     // a reordered manifest still matches. For duplicate keys (a cell
     // journaled more than once) the file-order-last, i.e. most recent,
-    // record wins.
+    // record wins — and for a shared store, records other writers appended
+    // count exactly like our own.
     let mut done: HashMap<(String, String), CellReport> = HashMap::new();
     if opts.resume {
-        if let Some(path) = &opts.journal {
-            if path.exists() {
-                for report in load_journal(path)? {
-                    done.insert((report.instance.clone(), report.config.clone()), report);
-                }
+        if let Some(store) = &mut store {
+            for report in store.load()? {
+                done.insert((report.instance.clone(), report.config.clone()), report);
             }
         }
     }
-
-    let mut journal = opts
-        .journal
-        .as_deref()
-        .map(JsonlWriter::append)
-        .transpose()?;
 
     let mut reports: Vec<Option<CellReport>> = vec![None; ncells];
     let mut skipped: Vec<(usize, String, String)> = Vec::new();
@@ -582,6 +617,7 @@ pub(crate) fn execute(plan: &SuitePlan, mut opts: SuiteOptions) -> Result<SuiteR
             let queues = &queues;
             let budget = opts.budget;
             let sigs = &sigs;
+            let on_solution = opts.on_solution.clone();
             scope.spawn(move || {
                 while let Some(id) = next_cell(queues, w) {
                     let cell = plan.cell(id).expect("queued id in range");
@@ -607,8 +643,15 @@ pub(crate) fn execute(plan: &SuitePlan, mut opts: SuiteOptions) -> Result<SuiteR
                             });
                         }
                     };
-                    let report =
-                        run_cell(&cell, sigs[id].clone(), &token, deadline, budget, on_sample);
+                    let report = run_cell(
+                        &cell,
+                        sigs[id].clone(),
+                        &token,
+                        deadline,
+                        budget,
+                        on_solution.as_ref(),
+                        on_sample,
+                    );
                     if tx.send(WorkerMsg::Finished { report }).is_err() {
                         return;
                     }
@@ -647,8 +690,8 @@ pub(crate) fn execute(plan: &SuitePlan, mut opts: SuiteOptions) -> Result<SuiteR
                     // Only fair results are journaled; retryable cells are
                     // left out so `--resume` solves them again.
                     if !report.retryable {
-                        if let Some(journal) = &mut journal {
-                            journal.write(&report.to_json())?;
+                        if let Some(store) = &mut store {
+                            store.append(&report)?;
                         }
                     }
                     emit(&SuiteEvent::CellFinished {
@@ -737,8 +780,8 @@ mod tests {
             .iter()
             .all(|c| matches!(c.outcome, CellOutcome::Cnc(CncReason::Timeout(_)))));
         // Budget-starved cells must not be journaled: resume retries them.
-        let journaled = crate::batch::journal::load_journal(&path).unwrap();
-        assert!(journaled.is_empty(), "journaled: {journaled:?}");
+        // (The store creates the file lazily, so it may not even exist.)
+        assert!(!path.exists(), "journal written: {path:?}");
         // …and budget exhaustion marks the suite incomplete.
         assert!(report.cancelled);
         let _ = std::fs::remove_file(&path);
@@ -777,9 +820,7 @@ mod tests {
             CellOutcome::Cnc(CncReason::Timeout(_))
         ));
         assert!(report.cancelled, "budget cut marks the suite incomplete");
-        assert!(crate::batch::journal::load_journal(&path)
-            .unwrap()
-            .is_empty());
+        assert!(!path.exists(), "journal written: {path:?}");
         let _ = std::fs::remove_file(&path);
     }
 

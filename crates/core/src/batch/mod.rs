@@ -36,6 +36,7 @@
 
 pub mod journal;
 pub mod manifest;
+pub mod store;
 
 mod exec;
 

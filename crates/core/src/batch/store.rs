@@ -1,0 +1,470 @@
+//! Pluggable **journal stores**: where finished-cell records (and their
+//! binary result blobs) live.
+//!
+//! PR 3 made the JSONL journal the sole synchronization point of a sweep;
+//! PR 4 reused the same file format as the serve cache. This module
+//! promotes that file into a trait so the *consumer* — sweep resume, the
+//! serve result cache — no longer cares whether the store is a single
+//! local file or a directory shared by a whole fleet of daemons:
+//!
+//! * [`LocalFileStore`] — exactly today's behavior, extracted: one JSONL
+//!   file, one writer, loaded once at startup. [`refresh`] is a no-op
+//!   (nobody else writes it).
+//! * [`SharedDirStore`] — a directory N concurrent writers share. Each
+//!   writer **claims its own segment file** atomically (`O_EXCL`), appends
+//!   one flushed line per record, and reads everybody's segments back:
+//!   [`load`] scans all segments, [`refresh`] incrementally picks up what
+//!   *other* writers appended since. No locks, no server: rename/`O_EXCL`
+//!   atomicity is the whole protocol, which makes the store `kill -9` safe
+//!   (a torn final line is skipped by the lenient JSONL parser and
+//!   re-read once complete) and safe under concurrent writers (each
+//!   segment has exactly one).
+//!
+//! Blobs (binary result snapshots, keyed by cell signature) are published
+//! write-tmp-then-rename, so concurrent publishers of the same
+//! content-addressed key converge and readers never observe a torn file.
+//!
+//! [`load`]: JournalStore::load
+//! [`refresh`]: JournalStore::refresh
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use langeq_report::{parse_lines_lossy, JsonlWriter};
+
+use crate::batch::CellReport;
+
+/// A durable, append-only store of finished-cell records plus a small
+/// content-addressed blob side-store.
+///
+/// Implementations must be safe to drive from one thread at a time
+/// (`Send`, not `Sync`); callers that share a store across threads wrap it
+/// in a mutex, exactly like the serve daemon's state lock.
+pub trait JournalStore: Send {
+    /// Every record currently in the store, in append order per writer.
+    /// Establishes the baseline [`refresh`](Self::refresh) reports against.
+    fn load(&mut self) -> std::io::Result<Vec<CellReport>>;
+
+    /// Appends one record durably (flushed before returning).
+    fn append(&mut self, report: &CellReport) -> std::io::Result<()>;
+
+    /// Records appended by **other** writers since the last
+    /// [`load`](Self::load)/`refresh`. A single-writer store returns
+    /// nothing.
+    fn refresh(&mut self) -> std::io::Result<Vec<CellReport>>;
+
+    /// Publishes a binary blob under a content-addressed key (idempotent:
+    /// racing publishers of the same key converge on a complete copy).
+    fn put_blob(&mut self, key: &str, bytes: &[u8]) -> std::io::Result<()>;
+
+    /// Reads a blob back; `Ok(None)` when the key has never been published.
+    fn get_blob(&mut self, key: &str) -> std::io::Result<Option<Vec<u8>>>;
+
+    /// A short human-readable description for banners and `Debug` output.
+    fn describe(&self) -> String;
+}
+
+/// Blob keys are arbitrary signature strings; on disk they become their
+/// 64-bit FNV-1a hash (16 hex digits) — the same accidental-collision
+/// guard the signature scheme itself relies on.
+fn blob_file_name(key: &str) -> String {
+    format!("{:016x}.blob", crate::sig::fnv1a64(key.as_bytes()))
+}
+
+/// Writes `bytes` to `path` atomically: a unique temporary in the same
+/// directory, flushed, then renamed over the target.
+fn publish_atomically(dir: &Path, file_name: &str, bytes: &[u8]) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let tmp = dir.join(format!(".tmp-{}-{file_name}", std::process::id()));
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.flush()?;
+    }
+    std::fs::rename(&tmp, dir.join(file_name))
+}
+
+fn read_blob(dir: &Path, key: &str) -> std::io::Result<Option<Vec<u8>>> {
+    match std::fs::read(dir.join(blob_file_name(key))) {
+        Ok(bytes) => Ok(Some(bytes)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// The classic single-file journal (PR 3/4 behavior, extracted): one JSONL
+/// file with one writer, blobs in a `<file>.blobs/` sibling directory.
+pub struct LocalFileStore {
+    path: PathBuf,
+    writer: Option<JsonlWriter>,
+}
+
+impl LocalFileStore {
+    /// A store over `path` (created on first append; loading a missing
+    /// file yields no records).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        LocalFileStore {
+            path: path.into(),
+            writer: None,
+        }
+    }
+
+    fn blob_dir(&self) -> PathBuf {
+        let mut name = self.path.file_name().unwrap_or_default().to_os_string();
+        name.push(".blobs");
+        self.path.with_file_name(name)
+    }
+}
+
+impl JournalStore for LocalFileStore {
+    fn load(&mut self) -> std::io::Result<Vec<CellReport>> {
+        if !self.path.exists() {
+            return Ok(Vec::new());
+        }
+        crate::batch::journal::load_journal(&self.path)
+    }
+
+    fn append(&mut self, report: &CellReport) -> std::io::Result<()> {
+        if self.writer.is_none() {
+            self.writer = Some(JsonlWriter::append(&self.path)?);
+        }
+        self.writer
+            .as_mut()
+            .expect("writer just created")
+            .write(&report.to_json())
+    }
+
+    fn refresh(&mut self) -> std::io::Result<Vec<CellReport>> {
+        Ok(Vec::new()) // single writer: nothing new can appear
+    }
+
+    fn put_blob(&mut self, key: &str, bytes: &[u8]) -> std::io::Result<()> {
+        publish_atomically(&self.blob_dir(), &blob_file_name(key), bytes)
+    }
+
+    fn get_blob(&mut self, key: &str) -> std::io::Result<Option<Vec<u8>>> {
+        read_blob(&self.blob_dir(), key)
+    }
+
+    fn describe(&self) -> String {
+        format!("file:{}", self.path.display())
+    }
+}
+
+/// Cap on segment-claim attempts — generous enough for any real fleet,
+/// finite so a wedged directory errors instead of spinning.
+const MAX_SEGMENTS: u32 = 10_000;
+
+/// A fleet-shared store: a directory of per-writer JSONL segments plus a
+/// `blobs/` sub-directory, safe under concurrent writers and `kill -9`.
+pub struct SharedDirStore {
+    dir: PathBuf,
+    /// This writer's claimed segment (lazily claimed on first append).
+    own: Option<(PathBuf, JsonlWriter)>,
+    /// Bytes of each *foreign* segment already consumed, advanced only
+    /// past complete lines so a torn tail is re-read once its writer
+    /// finishes (or never, if the writer died mid-line).
+    offsets: HashMap<PathBuf, u64>,
+}
+
+impl SharedDirStore {
+    /// Opens (creating if needed) a shared store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(SharedDirStore {
+            dir,
+            own: None,
+            offsets: HashMap::new(),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Claims an unowned segment file atomically (`create_new` = `O_EXCL`:
+    /// exactly one claimant wins each name). Dead writers' segments stay
+    /// behind as ordinary data — their records remain readable forever —
+    /// and a restarted daemon simply claims the next free number.
+    fn claim_segment(&mut self) -> std::io::Result<&mut JsonlWriter> {
+        if self.own.is_none() {
+            let mut claimed = None;
+            for k in 0..MAX_SEGMENTS {
+                let path = self.dir.join(format!("seg-{k:05}.jsonl"));
+                match std::fs::OpenOptions::new()
+                    .create_new(true)
+                    .append(true)
+                    .open(&path)
+                {
+                    Ok(_) => {
+                        claimed = Some(path);
+                        break;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+            let path = claimed.ok_or_else(|| {
+                std::io::Error::other(format!(
+                    "no free segment in {} after {MAX_SEGMENTS} attempts",
+                    self.dir.display()
+                ))
+            })?;
+            let writer = JsonlWriter::append(&path)?;
+            // Our own appends are known to the caller already; never
+            // re-surface them through refresh.
+            self.offsets.insert(path.clone(), u64::MAX);
+            self.own = Some((path, writer));
+        }
+        Ok(&mut self.own.as_mut().expect("segment just claimed").1)
+    }
+
+    /// All segment files currently in the directory, sorted by name so
+    /// load order is deterministic.
+    fn segments(&self) -> std::io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.starts_with("seg-") && name.ends_with(".jsonl") {
+                out.push(path);
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Reads the unconsumed complete lines of one segment, advancing its
+    /// offset past exactly what parsed.
+    fn drain_segment(&mut self, path: &Path) -> std::io::Result<Vec<CellReport>> {
+        let offset = *self.offsets.get(path).unwrap_or(&0);
+        if offset == u64::MAX {
+            return Ok(Vec::new()); // our own segment
+        }
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            // A segment listed a moment ago may vanish if an operator
+            // compacts the directory; treat it as empty, not fatal.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        if (bytes.len() as u64) <= offset {
+            return Ok(Vec::new());
+        }
+        let fresh = &bytes[offset as usize..];
+        // Only complete lines are consumed: a concurrent writer's torn
+        // tail stays pending until its newline lands.
+        let Some(complete) = fresh.iter().rposition(|&b| b == b'\n').map(|i| i + 1) else {
+            return Ok(Vec::new());
+        };
+        let text = String::from_utf8_lossy(&fresh[..complete]);
+        let reports = parse_lines_lossy(&text)
+            .iter()
+            .filter_map(CellReport::from_json)
+            .collect();
+        self.offsets
+            .insert(path.to_path_buf(), offset + complete as u64);
+        Ok(reports)
+    }
+
+    fn drain_all(&mut self) -> std::io::Result<Vec<CellReport>> {
+        let mut out = Vec::new();
+        for path in self.segments()? {
+            out.extend(self.drain_segment(&path)?);
+        }
+        Ok(out)
+    }
+}
+
+impl JournalStore for SharedDirStore {
+    fn load(&mut self) -> std::io::Result<Vec<CellReport>> {
+        self.offsets.retain(|_, &mut v| v == u64::MAX);
+        self.drain_all()
+    }
+
+    fn append(&mut self, report: &CellReport) -> std::io::Result<()> {
+        let json = report.to_json();
+        self.claim_segment()?.write(&json)
+    }
+
+    fn refresh(&mut self) -> std::io::Result<Vec<CellReport>> {
+        self.drain_all()
+    }
+
+    fn put_blob(&mut self, key: &str, bytes: &[u8]) -> std::io::Result<()> {
+        publish_atomically(&self.dir.join("blobs"), &blob_file_name(key), bytes)
+    }
+
+    fn get_blob(&mut self, key: &str) -> std::io::Result<Option<Vec<u8>>> {
+        read_blob(&self.dir.join("blobs"), key)
+    }
+
+    fn describe(&self) -> String {
+        format!("shared-dir:{}", self.dir.display())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::{CellOutcome, CellStats};
+    use crate::solver::SolverKind;
+    use std::time::Duration;
+
+    fn report(cell: usize, sig: &str) -> CellReport {
+        CellReport {
+            cell,
+            instance: format!("inst{cell}"),
+            config: "part".into(),
+            kind: SolverKind::Partitioned,
+            sig: sig.into(),
+            outcome: CellOutcome::Solved(CellStats {
+                csf_states: 4,
+                subset_states: 5,
+                transitions: 9,
+                images: 2,
+                peak_live_nodes: 17,
+            }),
+            kernel: None,
+            duration: Duration::from_millis(3),
+            resumed: false,
+            retryable: false,
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "langeq-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn local_file_store_round_trips_records_and_blobs() {
+        let dir = temp_dir("local");
+        let mut store = LocalFileStore::new(dir.join("cache.jsonl"));
+        assert!(store.load().unwrap().is_empty());
+        store.append(&report(0, "sig-a")).unwrap();
+        store.append(&report(1, "sig-b")).unwrap();
+        assert_eq!(store.refresh().unwrap(), vec![]);
+
+        let mut reopened = LocalFileStore::new(dir.join("cache.jsonl"));
+        let loaded = reopened.load().unwrap();
+        assert_eq!(loaded, vec![report(0, "sig-a"), report(1, "sig-b")]);
+
+        store.put_blob("sig-a", b"snapshot-bytes").unwrap();
+        assert_eq!(
+            reopened.get_blob("sig-a").unwrap().as_deref(),
+            Some(b"snapshot-bytes".as_slice())
+        );
+        assert_eq!(reopened.get_blob("sig-c").unwrap(), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shared_dir_concurrent_writers_all_land() {
+        let dir = temp_dir("concurrent");
+        const WRITERS: usize = 8;
+        const EACH: usize = 25;
+        std::thread::scope(|scope| {
+            for w in 0..WRITERS {
+                let dir = &dir;
+                scope.spawn(move || {
+                    let mut store = SharedDirStore::open(dir).unwrap();
+                    for k in 0..EACH {
+                        store
+                            .append(&report(w * EACH + k, &format!("sig-{w}-{k}")))
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        let mut reader = SharedDirStore::open(&dir).unwrap();
+        let mut sigs: Vec<String> = reader.load().unwrap().into_iter().map(|r| r.sig).collect();
+        sigs.sort();
+        sigs.dedup();
+        assert_eq!(sigs.len(), WRITERS * EACH, "every record from every writer");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn refresh_sees_other_writers_but_not_self() {
+        let dir = temp_dir("refresh");
+        let mut a = SharedDirStore::open(&dir).unwrap();
+        let mut b = SharedDirStore::open(&dir).unwrap();
+        assert!(a.load().unwrap().is_empty());
+        a.append(&report(0, "sig-a")).unwrap();
+        b.append(&report(1, "sig-b")).unwrap();
+
+        // A's refresh surfaces B's record only; its own append is not
+        // echoed back.
+        let fresh = a.refresh().unwrap();
+        assert_eq!(fresh, vec![report(1, "sig-b")]);
+        assert!(a.refresh().unwrap().is_empty(), "refresh is incremental");
+
+        b.append(&report(2, "sig-c")).unwrap();
+        assert_eq!(a.refresh().unwrap(), vec![report(2, "sig-c")]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_segment_tail_is_skipped_then_recovered() {
+        let dir = temp_dir("torn");
+        let mut writer = SharedDirStore::open(&dir).unwrap();
+        writer.append(&report(0, "sig-a")).unwrap();
+
+        // Simulate a kill -9 mid-append in a *foreign* segment: a segment
+        // file with one complete record and a torn tail.
+        let torn = dir.join("seg-00999.jsonl");
+        let mut line = report(1, "sig-b").to_json().to_string();
+        line.push('\n');
+        line.push_str("{\"v\":1,\"cell\":7,\"instance\":\"half");
+        std::fs::write(&torn, &line).unwrap();
+
+        let mut reader = SharedDirStore::open(&dir).unwrap();
+        let loaded = reader.load().unwrap();
+        assert_eq!(
+            loaded,
+            vec![report(0, "sig-a"), report(1, "sig-b")],
+            "the torn tail is invisible"
+        );
+
+        // The tail completes later (the writer survived after all): the
+        // finished line surfaces on refresh, nothing is double-read.
+        let mut completing = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&torn)
+            .unwrap();
+        // Finish the half-open record invalidly, then append a good one:
+        // only the good one parses.
+        completing.write_all(b"\"}\n").unwrap();
+        let mut good = report(2, "sig-c").to_json().to_string();
+        good.push('\n');
+        completing.write_all(good.as_bytes()).unwrap();
+        drop(completing);
+        assert_eq!(reader.refresh().unwrap(), vec![report(2, "sig-c")]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn blob_publication_is_atomic_and_idempotent() {
+        let dir = temp_dir("blobs");
+        let mut a = SharedDirStore::open(&dir).unwrap();
+        let mut b = SharedDirStore::open(&dir).unwrap();
+        a.put_blob("sig-x", b"payload").unwrap();
+        b.put_blob("sig-x", b"payload").unwrap(); // racing duplicate
+        assert_eq!(
+            a.get_blob("sig-x").unwrap().as_deref(),
+            Some(b"payload".as_slice())
+        );
+        assert_eq!(b.get_blob("sig-y").unwrap(), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -81,6 +81,7 @@ pub mod solver;
 mod universe;
 pub mod verify;
 
+pub use batch::store::{JournalStore, LocalFileStore, SharedDirStore};
 pub use batch::{
     CellOutcome, CellReport, CellStats, ConfigSpec, InstanceSpec, KernelSample, SuiteError,
     SuiteEvent, SuiteOptions, SuitePlan, SuiteReport,

@@ -65,23 +65,59 @@ pub struct Submitted {
     pub state: String,
     /// True when the cache answered without queuing a solve.
     pub cached: bool,
+    /// Set when a fleet daemon forwarded the solve: the address that
+    /// actually runs the job — poll *that* daemon for the result.
+    pub owner: Option<String>,
 }
 
 /// A handle on one server address.
 #[derive(Debug, Clone)]
 pub struct Client {
     addr: String,
+    token: Option<String>,
 }
 
 impl Client {
     /// A client for `host:port`.
     pub fn new(addr: impl Into<String>) -> Self {
-        Client { addr: addr.into() }
+        Client {
+            addr: addr.into(),
+            token: None,
+        }
+    }
+
+    /// Sends `Authorization: Bearer <token>` on every request — required
+    /// against a daemon started with an auth token.
+    pub fn with_token(mut self, token: impl Into<String>) -> Self {
+        self.token = Some(token.into());
+        self
     }
 
     /// The server address this client talks to.
     pub fn addr(&self) -> &str {
         &self.addr
+    }
+
+    fn request_raw(
+        &self,
+        method: &str,
+        path: &str,
+        content_type: &str,
+        body: &[u8],
+    ) -> Result<(u16, Vec<u8>), ClientError> {
+        let auth = self.token.as_ref().map(|t| format!("Bearer {t}"));
+        let headers: Vec<(&str, &str)> = auth
+            .as_deref()
+            .map(|value| vec![("authorization", value)])
+            .unwrap_or_default();
+        Ok(http::call_with_headers(
+            &self.addr,
+            method,
+            path,
+            content_type,
+            body,
+            &headers,
+        )?)
     }
 
     fn request(
@@ -91,7 +127,8 @@ impl Client {
         content_type: &str,
         body: &[u8],
     ) -> Result<(u16, String), ClientError> {
-        Ok(http::call(&self.addr, method, path, content_type, body)?)
+        let (status, raw) = self.request_raw(method, path, content_type, body)?;
+        Ok((status, String::from_utf8_lossy(&raw).into_owned()))
     }
 
     fn expect_json(
@@ -183,6 +220,37 @@ impl Client {
         }
     }
 
+    /// `POST /v1/lookup` — the cached report for a cell signature, `None`
+    /// on a cache miss.
+    pub fn lookup(&self, sig: &str) -> Result<Option<Json>, ClientError> {
+        let body = Json::obj().set("sig", sig).to_string();
+        let (status, text) =
+            self.request("POST", "/v1/lookup", "application/json", body.as_bytes())?;
+        match status {
+            200 => Json::parse(&text)
+                .map(Some)
+                .map_err(|e| ClientError::Protocol(format!("/v1/lookup: {e}"))),
+            404 => Ok(None),
+            _ => Err(ClientError::Http { status, body: text }),
+        }
+    }
+
+    /// `GET /v1/jobs/{id}/snapshot` — the solved CSF as a binary LQAS
+    /// blob, `None` when the job has no snapshot (sweeps, unfair results).
+    /// Errors with 202 semantics (job not done) surface as `Http`.
+    pub fn snapshot(&self, job: u64) -> Result<Option<Vec<u8>>, ClientError> {
+        let path = format!("/v1/jobs/{job}/snapshot");
+        let (status, raw) = self.request_raw("GET", &path, "application/json", b"")?;
+        match status {
+            200 => Ok(Some(raw)),
+            404 => Ok(None),
+            _ => Err(ClientError::Http {
+                status,
+                body: String::from_utf8_lossy(&raw).into_owned(),
+            }),
+        }
+    }
+
     /// Polls until the job finishes, then returns its result. `poll` is
     /// the interval between status probes; `timeout` bounds the total wait.
     pub fn wait(&self, job: u64, poll: Duration, timeout: Duration) -> Result<Json, ClientError> {
@@ -213,5 +281,6 @@ fn decode_submitted(body: &Json) -> Result<Submitted, ClientError> {
             .unwrap_or("queued")
             .to_string(),
         cached: body.get("cached").and_then(Json::as_bool).unwrap_or(false),
+        owner: body.get("owner").and_then(Json::as_str).map(str::to_string),
     })
 }

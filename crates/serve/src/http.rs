@@ -178,6 +178,9 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` value.
     pub content_type: &'static str,
+    /// Extra headers beyond the always-present trio (`Content-Type`,
+    /// `Content-Length`, `Connection`) — e.g. `Retry-After` on a 429.
+    pub headers: Vec<(&'static str, String)>,
     /// The body bytes.
     pub body: Vec<u8>,
 }
@@ -188,6 +191,7 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body: body.to_string().into_bytes(),
         }
     }
@@ -202,20 +206,41 @@ impl Response {
         Response {
             status,
             content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
             body: body.into_bytes(),
         }
+    }
+
+    /// A binary response (the snapshot endpoint).
+    pub fn octets(status: u16, body: Vec<u8>) -> Response {
+        Response {
+            status,
+            content_type: "application/octet-stream",
+            headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// Adds an extra header.
+    pub fn header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.headers.push((name, value.into()));
+        self
     }
 
     /// Serializes the response (always `Connection: close`).
     pub fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
         write!(
             stream,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
             reason(self.status),
             self.content_type,
             self.body.len()
         )?;
+        for (name, value) in &self.headers {
+            write!(stream, "{name}: {value}\r\n")?;
+        }
+        stream.write_all(b"\r\n")?;
         stream.write_all(&self.body)?;
         stream.flush()
     }
@@ -227,6 +252,7 @@ pub fn reason(status: u16) -> &'static str {
         200 => "OK",
         202 => "Accepted",
         400 => "Bad Request",
+        401 => "Unauthorized",
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
@@ -246,17 +272,40 @@ pub fn call(
     content_type: &str,
     body: &[u8],
 ) -> std::io::Result<(u16, String)> {
+    let (status, raw) = call_with_headers(addr, method, path, content_type, body, &[])?;
+    Ok((status, String::from_utf8_lossy(&raw).into_owned()))
+}
+
+/// [`call`] with extra request headers and a raw byte body in the response
+/// — what forwarding (bearer tokens, loop markers) and the binary snapshot
+/// endpoint need. Returns `(status, body bytes)`.
+pub fn call_with_headers(
+    addr: &str,
+    method: &str,
+    path: &str,
+    content_type: &str,
+    body: &[u8],
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<(u16, Vec<u8>)> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(30)))?;
     stream.set_write_timeout(Some(Duration::from_secs(30)))?;
-    let sent = write!(
-        stream,
+    let mut head = format!(
         "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
+         Content-Length: {}\r\nConnection: close\r\n",
         body.len()
-    )
-    .and_then(|()| stream.write_all(body))
-    .and_then(|()| stream.flush());
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    let sent = stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body))
+        .and_then(|()| stream.flush());
 
     // Read the response even after a send error: a server rejecting the
     // body early (413) may answer and close before consuming everything.
@@ -266,15 +315,19 @@ pub fn call(
         sent?;
         received?;
     }
-    let text = String::from_utf8_lossy(&raw);
     let bad = || std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed HTTP response");
-    let (head, response_body) = text.split_once("\r\n\r\n").ok_or_else(bad)?;
-    let status = head
-        .split_whitespace()
-        .nth(1)
+    // The header section is ASCII; find its end on bytes so a binary body
+    // survives untouched.
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(bad)?;
+    let status = std::str::from_utf8(&raw[..split])
+        .ok()
+        .and_then(|h| h.split_whitespace().nth(1))
         .and_then(|s| s.parse::<u16>().ok())
         .ok_or_else(bad)?;
-    Ok((status, response_body.to_string()))
+    Ok((status, raw[split + 4..].to_vec()))
 }
 
 #[cfg(test)]

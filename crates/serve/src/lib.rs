@@ -11,21 +11,43 @@
 //! the same machinery into a shared, long-lived resource — the ROADMAP's
 //! "serves heavy traffic" north star. No new dependencies: HTTP is
 //! `std::net`, JSON is `langeq-report`, and the cache's on-disk form is a
-//! regular sweep journal.
+//! regular sweep journal behind a pluggable
+//! [`langeq_core::JournalStore`].
 //!
 //! ## Endpoints
 //!
 //! | Endpoint | Semantics |
 //! |---|---|
 //! | `POST /v1/solve` | network + split + options → job id (202), or an instant cache answer (200) |
-//! | `POST /v1/sweep` | manifest body (gen: sources only — the daemon reads no client-named files) → suite job id (202) |
+//! | `POST /v1/sweep` | manifest body (gen: sources only — the daemon reads no client-named files) → suite job id (202); cells queue individually across the pool |
+//! | `POST /v1/lookup` | `{"sig": ...}` → the cached report for a cell signature (200), or 404 — the peer cache probe |
 //! | `GET /v1/jobs/{id}` | status: `queued`/`running`/`done`, cells done, live kernel sample |
 //! | `GET /v1/jobs/{id}/result` | the cell reports (200), or 202 while running |
-//! | `GET /healthz` | liveness |
-//! | `GET /metrics` | text exposition: queue/jobs/cache/kernel counters |
+//! | `GET /v1/jobs/{id}/snapshot` | the solved CSF as a binary LQAS blob (200), 404 when none exists |
+//! | `GET /healthz` | liveness, advertised address, ring size |
+//! | `GET /metrics` | text exposition: queue/jobs/cache/kernel/fleet counters |
 //!
 //! A full queue answers **429** (backpressure), an oversized body **413**,
-//! a draining server **503**.
+//! a draining server **503**. With an auth token configured, every POST
+//! without the matching `Authorization: Bearer` header answers **401**;
+//! with a rate limit configured, over-limit clients get **429** plus a
+//! `Retry-After` header.
+//!
+//! ## Fleet mode
+//!
+//! N daemons become one cache two ways, composable:
+//!
+//! * **Shared store** ([`ServeOptions::store_dir`]): every daemon opens the
+//!   same directory through a crash-safe multi-writer
+//!   [`langeq_core::SharedDirStore`]. On a local miss a daemon refreshes
+//!   from the store before solving, so any member's result answers every
+//!   member's clients (`langeq_remote_cache_hits_total` counts these).
+//! * **Ownership ring** ([`ServeOptions::peers`]): all daemons derive the
+//!   same consistent-hash [`ring::Ring`] over cell signatures; a non-owner
+//!   forwards `POST /v1/solve` to the owner (one hop, marked by a header)
+//!   and relays the ack with an `owner` field — clients poll the owner.
+//!   Sweep cells are not forwarded, but probe the owner's cache via
+//!   `/v1/lookup` before solving. Peer failures fall back to local solves.
 //!
 //! ## `POST /v1/solve` body
 //!
@@ -73,6 +95,7 @@
 #![warn(missing_docs)]
 
 pub mod http;
+pub mod ring;
 
 mod client;
 mod server;

@@ -1,0 +1,177 @@
+//! Consistent-hash **ownership ring** over cell signatures: which fleet
+//! daemon *owns* a given solve.
+//!
+//! Every daemon of a fleet is configured with the same `--peers` list, so
+//! every daemon builds the same ring and agrees on ownership without any
+//! coordination. Each member contributes [`VNODES`] virtual points (the
+//! FNV-1a hashes of `"{addr}#{i}"`); a signature is owned by the member
+//! whose point follows the signature's hash clockwise. Virtual points
+//! smooth the load split; consistency means adding or removing one member
+//! only moves the keys adjacent to its points, not the whole key space.
+//!
+//! Ownership is *advisory*: a daemon that cannot reach the owner solves
+//! locally (the shared store still deduplicates results), so a ring is a
+//! routing optimisation, never a correctness requirement.
+
+use langeq_core::sig::fnv1a64;
+
+/// Virtual points each member contributes to the ring.
+const VNODES: usize = 64;
+
+/// FNV-1a mixes its low bits well but leaves the high bits weak on short
+/// inputs — and the ring orders points by the *full* word. A splitmix64
+/// finalizer spreads the entropy over all 64 bits so nearby member
+/// addresses do not cluster on the circle.
+fn point(bytes: &[u8]) -> u64 {
+    let mut z = fnv1a64(bytes).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A consistent-hash ring over fleet member addresses.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// `(point, member index)`, sorted by point.
+    points: Vec<(u64, usize)>,
+    members: Vec<String>,
+    /// Index of this daemon in `members`, when it is one.
+    own: Option<usize>,
+}
+
+impl Ring {
+    /// Builds the ring from the full member list (duplicates collapsed,
+    /// order irrelevant — every daemon derives the identical ring from the
+    /// identical list). `own` is this daemon's advertised address.
+    pub fn new(members: &[String], own: &str) -> Ring {
+        let mut members: Vec<String> = members.to_vec();
+        members.sort();
+        members.dedup();
+        let own = members.iter().position(|m| m == own);
+        let mut points = Vec::with_capacity(members.len() * VNODES);
+        for (k, member) in members.iter().enumerate() {
+            for i in 0..VNODES {
+                points.push((point(format!("{member}#{i}").as_bytes()), k));
+            }
+        }
+        points.sort_unstable();
+        Ring {
+            points,
+            members,
+            own,
+        }
+    }
+
+    /// Number of distinct members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the ring has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The member addresses, sorted.
+    pub fn members(&self) -> &[String] {
+        &self.members
+    }
+
+    /// The address owning `sig`: the member whose virtual point is first
+    /// clockwise from the signature's hash.
+    pub fn owner(&self, sig: &str) -> Option<&str> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let h = point(sig.as_bytes());
+        let at = self.points.partition_point(|&(p, _)| p < h) % self.points.len();
+        Some(self.members[self.points[at].1].as_str())
+    }
+
+    /// True when this daemon owns `sig` — also when the daemon is not a
+    /// ring member at all (then *everything* is handled locally).
+    pub fn owns(&self, sig: &str) -> bool {
+        match (self.own, self.owner(sig)) {
+            (Some(own), Some(owner)) => self.members[own] == owner,
+            _ => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: usize) -> Vec<String> {
+        (0..n).map(|k| format!("10.0.0.{k}:7878")).collect()
+    }
+
+    #[test]
+    fn every_member_agrees_on_ownership() {
+        let members = addrs(3);
+        let rings: Vec<Ring> = members.iter().map(|m| Ring::new(&members, m)).collect();
+        for k in 0..200 {
+            let sig = format!("sig-{k}");
+            let owners: Vec<&str> = rings.iter().map(|r| r.owner(&sig).unwrap()).collect();
+            assert!(owners.windows(2).all(|w| w[0] == w[1]), "sig {sig}");
+            // Exactly one member believes it owns the signature.
+            assert_eq!(rings.iter().filter(|r| r.owns(&sig)).count(), 1, "{sig}");
+        }
+    }
+
+    #[test]
+    fn load_splits_across_members() {
+        let ring = Ring::new(&addrs(4), "10.0.0.0:7878");
+        let mut counts = std::collections::HashMap::new();
+        for k in 0..1000 {
+            *counts
+                .entry(ring.owner(&format!("sig-{k}")).unwrap().to_string())
+                .or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 4, "all members receive keys: {counts:?}");
+        assert!(
+            counts.values().all(|&c| c > 100),
+            "no member is starved: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn removing_a_member_only_moves_its_keys() {
+        let full = Ring::new(&addrs(4), "10.0.0.0:7878");
+        let minus: Vec<String> = addrs(4).into_iter().skip(1).collect();
+        let shrunk = Ring::new(&minus, "10.0.0.1:7878");
+        let mut moved = 0;
+        for k in 0..1000 {
+            let sig = format!("sig-{k}");
+            let before = full.owner(&sig).unwrap();
+            let after = shrunk.owner(&sig).unwrap();
+            if before != "10.0.0.0:7878" && before != after {
+                moved += 1;
+            }
+        }
+        assert_eq!(moved, 0, "keys of surviving members must not move");
+    }
+
+    #[test]
+    fn non_member_and_singleton_own_everything() {
+        let outsider = Ring::new(&addrs(2), "192.168.1.1:9999");
+        assert!(outsider.owns("anything"));
+        let solo = Ring::new(&addrs(1), "10.0.0.0:7878");
+        assert!(solo.owns("anything"));
+        let empty = Ring::new(&[], "x");
+        assert!(empty.is_empty());
+        assert_eq!(empty.owner("sig"), None);
+        assert!(empty.owns("sig"));
+    }
+
+    #[test]
+    fn duplicate_and_reordered_member_lists_build_the_same_ring() {
+        let a = Ring::new(&["b:1".into(), "a:1".into(), "b:1".into()], "a:1");
+        let b = Ring::new(&["a:1".into(), "b:1".into()], "a:1");
+        assert_eq!(a.members(), b.members());
+        for k in 0..50 {
+            let sig = format!("sig-{k}");
+            assert_eq!(a.owner(&sig), b.owner(&sig));
+        }
+    }
+}

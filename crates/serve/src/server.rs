@@ -1,57 +1,98 @@
-//! The solve service: job table, bounded queue, worker pool, and the
-//! content-addressed result cache.
+//! The solve service: job table, bounded queue, worker pool, the
+//! content-addressed result cache, and the fleet plumbing that lets N
+//! daemons behave as one cache.
 //!
 //! ## Execution model
 //!
 //! Accepted jobs enter a **bounded FIFO queue** (full queue → 429, the
 //! backpressure contract) and are drained by a fixed pool of worker
-//! threads. A worker runs one job at a time; each *cell* of a job — one
-//! cell for `/v1/solve`, the whole (instance × config) cross product for
-//! `/v1/sweep` — executes on the PR-3 `Suite` engine with a fresh,
+//! threads. The queue holds *(job, cell)* pairs — one entry for
+//! `/v1/solve`, one entry **per cell** of a `/v1/sweep` — so a wide sweep
+//! fans out across the whole pool instead of serialising on one worker.
+//! Each cell executes on the PR-3 `Suite` engine with a fresh,
 //! thread-confined BDD manager, under the job's **own** [`CancelToken`]:
 //! `POST /v1/jobs/{id}/cancel` aborts exactly one job cooperatively, and a
 //! server drain (Ctrl-C) fires every job token at once.
 //!
-//! ## The cache
+//! ## The cache, and the fleet
 //!
 //! Results are keyed by [`langeq_core::sig::cell_signature`] — the same
 //! content-addressed derivation the batch journal's resume guard uses, so
 //! the server can never replay a result the batch layer would re-solve.
-//! Before a cell runs, its signature is looked up; a hit is returned
-//! verbatim (marked `resumed`, like a journal replay). Fair results are
-//! inserted on completion and appended to the **cache journal** — a
-//! regular sweep journal (`CellReport` JSONL), loaded back on startup, so
-//! the cache survives restarts and even a `kill -9` loses at most the
-//! record being written. Identical requests racing *before* the first one
-//! finishes are coalesced onto the in-flight job instead of solving twice.
+//! The persistent tier behind the in-memory map is a pluggable
+//! [`JournalStore`]: a [`LocalFileStore`] gives the single-daemon journal
+//! of PR 4, a [`SharedDirStore`] lets **many daemons share one cache
+//! directory** — on a local miss the daemon calls `refresh()` and picks up
+//! whatever its peers published since, before it burns CPU re-solving.
+//! Fresh fair results are appended to the store together with a binary
+//! LQAS **snapshot** of the solved CSF (served back via
+//! `GET /v1/jobs/{id}/snapshot`).
+//!
+//! With `--peers`, daemons additionally build a consistent-hash [`Ring`]
+//! over cell signatures: a daemon that does not own an incoming solve
+//! forwards it to the owner (one hop, marked by a header so forwards are
+//! never re-forwarded), concentrating each signature's solves — and cache
+//! entries — on one node. Ownership is advisory: any peer error falls back
+//! to solving locally.
+//!
+//! Identical requests racing *before* the first one finishes are coalesced
+//! onto the in-flight job instead of solving twice.
 
 use std::collections::{HashMap, VecDeque};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use langeq_core::batch::journal::load_journal;
 use langeq_core::batch::manifest::{parse_manifest, resolve_source};
 use langeq_core::sig::cell_signature;
 use langeq_core::{
-    CancelToken, CellReport, ConfigSpec, InstanceSpec, KernelSample, SolverKind, SolverLimits,
-    SuiteEvent, SuiteOptions, SuitePlan,
+    CancelToken, CellReport, ConfigSpec, InstanceSpec, JournalStore, KernelSample, LocalFileStore,
+    SharedDirStore, SolverKind, SolverLimits, SuiteEvent, SuiteOptions, SuitePlan,
 };
-use langeq_report::{Json, JsonlWriter};
+use langeq_report::Json;
 
 use crate::http::{self, Request, Response};
+use crate::ring::Ring;
+
+/// Header marking a request as already forwarded once: the receiving
+/// daemon must answer it locally, never re-forward (single-hop routing,
+/// no loops even under ring disagreement).
+const FORWARD_HEADER: &str = "x-langeq-forward";
 
 /// Configuration of one [`Server::start`] call.
-#[derive(Debug)]
 pub struct ServeOptions {
     addr: String,
     jobs: usize,
     queue_cap: usize,
     max_body: usize,
+    store: Option<Box<dyn JournalStore>>,
+    store_dir: Option<PathBuf>,
     cache_journal: Option<PathBuf>,
+    peers: Vec<String>,
+    advertise: Option<String>,
+    auth_token: Option<String>,
+    rate_limit: Option<f64>,
     token: CancelToken,
+}
+
+impl std::fmt::Debug for ServeOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeOptions")
+            .field("addr", &self.addr)
+            .field("jobs", &self.jobs)
+            .field("queue_cap", &self.queue_cap)
+            .field("max_body", &self.max_body)
+            .field("store", &self.store.as_ref().map(|s| s.describe()))
+            .field("store_dir", &self.store_dir)
+            .field("cache_journal", &self.cache_journal)
+            .field("peers", &self.peers)
+            .field("advertise", &self.advertise)
+            .field("auth_token", &self.auth_token.as_ref().map(|_| "<set>"))
+            .field("rate_limit", &self.rate_limit)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for ServeOptions {
@@ -61,7 +102,13 @@ impl Default for ServeOptions {
             jobs: 0,
             queue_cap: 64,
             max_body: 1 << 20,
+            store: None,
+            store_dir: None,
             cache_journal: None,
+            peers: Vec::new(),
+            advertise: None,
+            auth_token: None,
+            rate_limit: None,
             token: CancelToken::new(),
         }
     }
@@ -69,7 +116,7 @@ impl Default for ServeOptions {
 
 impl ServeOptions {
     /// Defaults: `127.0.0.1:7878`, all cores, queue of 64, 1 MiB bodies, no
-    /// cache journal.
+    /// persistent store, no peers, no auth, no rate limit.
     pub fn new() -> Self {
         Self::default()
     }
@@ -87,7 +134,7 @@ impl ServeOptions {
         self
     }
 
-    /// Queued-job ceiling; submissions beyond it are answered 429.
+    /// Queued-cell ceiling; submissions beyond it are answered 429.
     pub fn queue_cap(mut self, cap: usize) -> Self {
         self.queue_cap = cap.max(1);
         self
@@ -99,10 +146,58 @@ impl ServeOptions {
         self
     }
 
-    /// Cache journal path: loaded on start, appended on every fresh fair
-    /// result. The format is a regular sweep journal (CellReport JSONL).
+    /// An explicit [`JournalStore`] backing the result cache. Wins over
+    /// [`Self::store_dir`] and [`Self::cache_journal`].
+    pub fn store(mut self, store: impl JournalStore + 'static) -> Self {
+        self.store = Some(Box::new(store));
+        self
+    }
+
+    /// Backs the cache with a [`SharedDirStore`] on this directory — the
+    /// fleet mode: every daemon pointed at the same directory shares one
+    /// content-addressed cache.
+    pub fn store_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.store_dir = Some(dir.into());
+        self
+    }
+
+    /// Backs the cache with a single-writer [`LocalFileStore`] on this
+    /// journal file — the PR-4 behaviour, format-compatible with sweep
+    /// journals.
     pub fn cache_journal(mut self, path: impl Into<PathBuf>) -> Self {
         self.cache_journal = Some(path.into());
+        self
+    }
+
+    /// The full fleet member list (every daemon gets the same list). Two or
+    /// more members build a consistent-hash ring; non-owning daemons
+    /// forward solves to the owner.
+    pub fn peers(mut self, peers: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        self.peers = peers.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// The address this daemon appears as in the peer list (defaults to the
+    /// bound address — set it when binding `0.0.0.0` or port 0).
+    pub fn advertise(mut self, addr: impl Into<String>) -> Self {
+        self.advertise = Some(addr.into());
+        self
+    }
+
+    /// Requires `Authorization: Bearer <token>` on every POST (401
+    /// otherwise). Forwarded peer calls carry the same token, so one shared
+    /// secret covers the whole fleet.
+    pub fn auth_token(mut self, token: impl Into<String>) -> Self {
+        self.auth_token = Some(token.into());
+        self
+    }
+
+    /// Per-client (per source IP) submission rate limit in requests per
+    /// second, enforced with a token bucket on `/v1/solve` and `/v1/sweep`;
+    /// over-limit clients get 429 with a `Retry-After` header. Forwarded
+    /// peer traffic is exempt.
+    pub fn rate_limit(mut self, per_second: f64) -> Self {
+        self.rate_limit = Some(per_second.max(0.01));
         self
     }
 
@@ -132,13 +227,14 @@ impl JobState {
     }
 }
 
-/// What a queued job will execute (taken by the worker that starts it).
-/// Boxed: a job sits in the table for its whole lifetime, and the specs
-/// embed whole networks. The solve payload carries the signature computed
-/// at submission so the worker does not re-serialize the network.
-enum Payload {
-    Solve(Box<(InstanceSpec, ConfigSpec, String)>),
-    Sweep(Box<SuitePlan>),
+/// One queued cell's work, taken by the worker that runs it. Boxed: a job
+/// sits in the table for its whole lifetime, and the specs embed whole
+/// networks. The signature is computed at submission so workers never
+/// re-serialize the network.
+struct CellWork {
+    instance: InstanceSpec,
+    config: ConfigSpec,
+    sig: String,
 }
 
 /// One submitted job.
@@ -148,19 +244,24 @@ struct Job {
     /// Answered entirely from the cache at submission time.
     cached: bool,
     /// Per-job cancellation: `POST /v1/jobs/{id}/cancel` fires it, and a
-    /// server drain fires every job's token. The cell executes under this
+    /// server drain fires every job's token. The cells execute under this
     /// token, so one job can be cancelled without touching its neighbours.
     token: CancelToken,
     /// True once the cancel endpoint hit this job (for status bodies).
     cancel_requested: bool,
-    payload: Option<Payload>,
-    /// Solve jobs: the cache key, for in-flight coalescing bookkeeping.
+    /// Per-cell work, indexed like `reports`; `None` once a worker took it.
+    pending: Vec<Option<Box<CellWork>>>,
+    /// Solve jobs: the cache key, for coalescing and snapshot lookup.
     sig: Option<String>,
     cells: usize,
     cells_done: usize,
-    /// Latest kernel snapshot of the currently running cell.
+    /// Latest kernel snapshot of a currently running cell.
     sample: Option<KernelSample>,
-    reports: Vec<CellReport>,
+    /// Finished cells, in cell order (workers may finish out of order).
+    reports: Vec<Option<CellReport>>,
+    /// Solve jobs: LQAS snapshot of the freshly solved CSF, for
+    /// `GET /v1/jobs/{id}/snapshot`.
+    snapshot: Option<Arc<Vec<u8>>>,
 }
 
 /// Done-job retention ceiling: once the table outgrows this, the oldest
@@ -168,15 +269,15 @@ struct Job {
 /// and running jobs are never evicted.
 const MAX_RETAINED_JOBS: usize = 4096;
 
-/// Mutable server state under one lock (job table, queue, cache, journal).
+/// Mutable server state under one lock (job table, queue, cache, store).
 struct State {
     next_id: u64,
     jobs: HashMap<u64, Job>,
-    queue: VecDeque<u64>,
+    queue: VecDeque<(u64, usize)>,
     /// sig → job id of a queued/running solve with that signature.
     inflight: HashMap<String, u64>,
     cache: HashMap<String, CellReport>,
-    journal: Option<JsonlWriter>,
+    store: Option<Box<dyn JournalStore>>,
 }
 
 impl State {
@@ -198,6 +299,32 @@ impl State {
             self.jobs.remove(&id);
         }
     }
+
+    /// Pulls records other writers appended to the shared store since the
+    /// last look into the in-memory cache. Returns how many arrived — the
+    /// "did a peer already solve this?" probe on a local miss. A
+    /// [`LocalFileStore`] (single writer) always returns 0.
+    fn refresh_cache(&mut self) -> usize {
+        let Some(store) = self.store.as_mut() else {
+            return 0;
+        };
+        match store.refresh() {
+            Ok(records) => {
+                let mut fresh = 0;
+                for report in records {
+                    if !report.sig.is_empty() {
+                        self.cache.insert(report.sig.clone(), report);
+                        fresh += 1;
+                    }
+                }
+                fresh
+            }
+            Err(e) => {
+                eprintln!("[serve] store refresh failed: {e}");
+                0
+            }
+        }
+    }
 }
 
 /// Monotonic service counters (the `/metrics` exposition and the test
@@ -215,12 +342,31 @@ struct Metrics {
     jobs_cancelled: AtomicU64,
     kernel_cache_lookups: AtomicU64,
     kernel_cache_hits: AtomicU64,
+    /// Solves this daemon routed to their ring owner.
+    forwards: AtomicU64,
+    /// Local misses answered by the fleet: a store refresh or a peer
+    /// lookup supplied the result another daemon solved.
+    remote_cache_hits: AtomicU64,
+    /// Bytes served by the snapshot endpoint.
+    snapshot_bytes: AtomicU64,
+    /// Peer calls that failed (transport error or 5xx) and fell back.
+    peer_errors: AtomicU64,
+    /// POSTs rejected 401.
+    auth_failures: AtomicU64,
+    /// Submissions rejected 429 by the per-client rate limit.
+    rate_limited: AtomicU64,
 }
 
 impl Metrics {
     fn bump(&self, counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
     }
+}
+
+/// Per-client token bucket (keyed by source IP).
+struct Bucket {
+    tokens: f64,
+    last: Instant,
 }
 
 /// Concurrent-connection ceiling: each connection pins one short-lived
@@ -238,6 +384,13 @@ struct Shared {
     metrics: Metrics,
     /// Live connection-handler threads (bounded by [`MAX_CONNECTIONS`]).
     connections: AtomicU64,
+    /// Ownership ring, when `--peers` configured a fleet.
+    ring: Option<Ring>,
+    /// This daemon's address in the peer list.
+    advertise: String,
+    auth_token: Option<String>,
+    rate_limit: Option<f64>,
+    buckets: Mutex<HashMap<IpAddr, Bucket>>,
 }
 
 /// A running service instance. Dropping without [`Server::shutdown`] leaks
@@ -247,46 +400,66 @@ pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
     threads: Vec<std::thread::JoinHandle<()>>,
-    /// Cache entries loaded from the journal at startup (for banners).
+    /// Cache entries loaded from the store at startup (for banners).
     warm_entries: usize,
 }
 
 impl Server {
-    /// Binds, warms the cache from the journal, and spawns the accept loop
-    /// plus the worker pool.
+    /// Binds, opens the store and warms the cache from it, builds the peer
+    /// ring, and spawns the accept loop plus the worker pool.
     pub fn start(opts: ServeOptions) -> std::io::Result<Server> {
-        let listener = TcpListener::bind(&opts.addr)?;
+        let ServeOptions {
+            addr,
+            jobs,
+            queue_cap,
+            max_body,
+            store,
+            store_dir,
+            cache_journal,
+            peers,
+            advertise,
+            auth_token,
+            rate_limit,
+            token,
+        } = opts;
+        let listener = TcpListener::bind(&addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
 
+        let mut store: Option<Box<dyn JournalStore>> = match (store, store_dir, cache_journal) {
+            (Some(store), _, _) => Some(store),
+            (None, Some(dir), _) => Some(Box::new(SharedDirStore::open(dir)?)),
+            (None, None, Some(path)) => Some(Box::new(LocalFileStore::new(path))),
+            (None, None, None) => None,
+        };
         let mut cache = HashMap::new();
-        if let Some(path) = &opts.cache_journal {
-            if path.exists() {
-                for report in load_journal(path)? {
-                    if !report.sig.is_empty() {
-                        // File-order-last wins, like batch resume.
-                        cache.insert(report.sig.clone(), report);
-                    }
+        if let Some(store) = store.as_mut() {
+            for report in store.load()? {
+                if !report.sig.is_empty() {
+                    // File-order-last wins, like batch resume.
+                    cache.insert(report.sig.clone(), report);
                 }
             }
         }
         let warm_entries = cache.len();
-        let journal = opts
-            .cache_journal
-            .as_deref()
-            .map(JsonlWriter::append)
-            .transpose()?;
 
-        let workers = match opts.jobs {
+        let advertise = advertise.unwrap_or_else(|| addr.to_string());
+        let ring = if peers.is_empty() {
+            None
+        } else {
+            Some(Ring::new(&peers, &advertise))
+        };
+
+        let workers = match jobs {
             0 => std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
             n => n,
         };
         let shared = Arc::new(Shared {
-            token: opts.token,
-            queue_cap: opts.queue_cap,
-            max_body: opts.max_body,
+            token,
+            queue_cap,
+            max_body,
             workers,
             state: Mutex::new(State {
                 next_id: 1,
@@ -294,11 +467,16 @@ impl Server {
                 queue: VecDeque::new(),
                 inflight: HashMap::new(),
                 cache,
-                journal,
+                store,
             }),
             work: Condvar::new(),
             metrics: Metrics::default(),
             connections: AtomicU64::new(0),
+            ring,
+            advertise,
+            auth_token,
+            rate_limit,
+            buckets: Mutex::new(HashMap::new()),
         });
 
         let mut threads = Vec::new();
@@ -323,7 +501,7 @@ impl Server {
         self.addr
     }
 
-    /// Cache entries loaded from the journal at startup.
+    /// Cache entries loaded from the store at startup.
     pub fn warm_cache_entries(&self) -> usize {
         self.warm_entries
     }
@@ -398,9 +576,10 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
 fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let peer = stream.peer_addr().ok().map(|a| a.ip());
     shared.metrics.bump(&shared.metrics.requests);
     let response = match http::read_request(&mut stream, shared.max_body) {
-        Ok(request) => route(shared, &request),
+        Ok(request) => route(shared, &request, peer),
         Err(http::HttpError::TooLarge(n)) => {
             shared.metrics.bump(&shared.metrics.bad_requests);
             Response::error(
@@ -421,25 +600,90 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
 }
 
 /// Routes one request to its handler.
-fn route(shared: &Arc<Shared>, request: &Request) -> Response {
+fn route(shared: &Arc<Shared>, request: &Request, peer: Option<IpAddr>) -> Response {
+    // Every mutating endpoint sits behind the bearer check; reads stay
+    // open (metrics scrapers, load balancer probes).
+    if request.method == "POST" {
+        if let Some(denied) = check_auth(shared, request) {
+            return denied;
+        }
+    }
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => Response::json(
             200,
             &Json::obj()
                 .set("ok", true)
                 .set("workers", shared.workers)
-                .set("draining", shared.token.is_cancelled()),
+                .set("draining", shared.token.is_cancelled())
+                .set("advertise", shared.advertise.as_str())
+                .set(
+                    "peers",
+                    shared.ring.as_ref().map(Ring::len).unwrap_or_default(),
+                ),
         ),
         ("GET", "/metrics") => Response::text(200, metrics_text(shared)),
-        ("POST", "/v1/solve") => submit_solve(shared, request),
-        ("POST", "/v1/sweep") => submit_sweep(shared, request),
+        ("POST", "/v1/solve") => submit_solve(shared, request, peer),
+        ("POST", "/v1/lookup") => lookup_endpoint(shared, request),
+        ("POST", "/v1/sweep") => submit_sweep(shared, request, peer),
         ("POST", path) if path.starts_with("/v1/jobs/") && path.ends_with("/cancel") => {
             cancel_endpoint(shared, path)
+        }
+        ("GET", path) if path.starts_with("/v1/jobs/") && path.ends_with("/snapshot") => {
+            snapshot_endpoint(shared, path)
         }
         ("GET", path) if path.starts_with("/v1/jobs/") => job_endpoint(shared, path),
         ("GET", _) | ("POST", _) => Response::error(404, "no such endpoint"),
         _ => Response::error(405, "only GET and POST are served"),
     }
+}
+
+/// 401 unless the request carries the configured bearer token (no token
+/// configured → open server, no check).
+fn check_auth(shared: &Arc<Shared>, request: &Request) -> Option<Response> {
+    let token = shared.auth_token.as_deref()?;
+    let expect = format!("Bearer {token}");
+    if request.header("authorization") == Some(expect.as_str()) {
+        return None;
+    }
+    shared.metrics.bump(&shared.metrics.auth_failures);
+    Some(Response::error(
+        401,
+        "missing or bad bearer token (Authorization: Bearer ...)",
+    ))
+}
+
+/// Token-bucket admission for one client IP: `Some(429)` when the client
+/// is over its submission rate. Refill is continuous; the burst allowance
+/// is one second's worth of tokens (at least one).
+fn check_rate(shared: &Arc<Shared>, peer: Option<IpAddr>) -> Option<Response> {
+    let rate = shared.rate_limit?;
+    let ip = peer?;
+    let cap = rate.max(1.0);
+    let mut buckets = shared.buckets.lock().expect("buckets lock");
+    let now = Instant::now();
+    if buckets.len() >= 4096 {
+        // A full bucket is indistinguishable from a fresh one — drop any
+        // bucket old enough to have refilled completely.
+        buckets.retain(|_, b| now.duration_since(b.last).as_secs_f64() * rate < cap);
+    }
+    let bucket = buckets.entry(ip).or_insert(Bucket {
+        tokens: cap,
+        last: now,
+    });
+    let dt = now.duration_since(bucket.last).as_secs_f64();
+    bucket.last = now;
+    bucket.tokens = (bucket.tokens + dt * rate).min(cap);
+    if bucket.tokens >= 1.0 {
+        bucket.tokens -= 1.0;
+        return None;
+    }
+    let wait = ((1.0 - bucket.tokens) / rate).ceil().max(1.0) as u64;
+    drop(buckets);
+    shared.metrics.bump(&shared.metrics.rate_limited);
+    Some(
+        Response::error(429, "client submission rate limit exceeded")
+            .header("Retry-After", wait.to_string()),
+    )
 }
 
 /// `GET /v1/jobs/{id}` and `GET /v1/jobs/{id}/result`.
@@ -463,7 +707,12 @@ fn job_endpoint(shared: &Arc<Shared>, path: &str) -> Response {
         // Not ready: the status body tells the client what to poll.
         return Response::json(202, &status_json(id, job));
     }
-    let cells: Vec<Json> = job.reports.iter().map(CellReport::to_json).collect();
+    let cells: Vec<Json> = job
+        .reports
+        .iter()
+        .flatten()
+        .map(CellReport::to_json)
+        .collect();
     Response::json(
         200,
         &Json::obj()
@@ -471,6 +720,55 @@ fn job_endpoint(shared: &Arc<Shared>, path: &str) -> Response {
             .set("kind", job.kind)
             .set("cached", job.cached)
             .set("cells", cells),
+    )
+}
+
+/// `GET /v1/jobs/{id}/snapshot`: the solved CSF as a binary LQAS blob —
+/// from the job (fresh solve) or the store's blob tier (cached answer).
+fn snapshot_endpoint(shared: &Arc<Shared>, path: &str) -> Response {
+    let rest = &path["/v1/jobs/".len()..];
+    let id_text = rest.strip_suffix("/snapshot").unwrap_or(rest);
+    let Ok(id) = id_text.parse::<u64>() else {
+        return Response::error(400, &format!("bad job id `{id_text}`"));
+    };
+    let mut state = shared.state.lock().expect("state lock");
+    let (job_state, snapshot, sig) = match state.jobs.get(&id) {
+        None => return Response::error(404, &format!("no job {id}")),
+        Some(job) => (job.state, job.snapshot.clone(), job.sig.clone()),
+    };
+    if job_state != JobState::Done {
+        return Response::json(
+            202,
+            &Json::obj().set("job", id).set("state", job_state.as_str()),
+        );
+    }
+    if let Some(bytes) = snapshot {
+        shared
+            .metrics
+            .snapshot_bytes
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        return Response::octets(200, bytes.as_ref().clone());
+    }
+    // Cache answers carry no in-memory snapshot; the blob tier has one if
+    // any fleet member solved this signature freshly and fairly.
+    if let Some(sig) = sig {
+        if let Some(store) = state.store.as_mut() {
+            match store.get_blob(&sig) {
+                Ok(Some(bytes)) => {
+                    shared
+                        .metrics
+                        .snapshot_bytes
+                        .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                    return Response::octets(200, bytes);
+                }
+                Ok(None) => {}
+                Err(e) => eprintln!("[serve] snapshot blob read failed: {e}"),
+            }
+        }
+    }
+    Response::error(
+        404,
+        "no snapshot for this job (sweeps and unfair results have none)",
     )
 }
 
@@ -503,6 +801,41 @@ fn cancel_endpoint(shared: &Arc<Shared>, path: &str) -> Response {
     )
 }
 
+/// `POST /v1/lookup`: `{"sig": "..."}` → the cached [`CellReport`] for a
+/// signature, 404 on a miss (after consulting the shared store). This is
+/// the peer-to-peer cache probe — cheap, never solves.
+fn lookup_endpoint(shared: &Arc<Shared>, request: &Request) -> Response {
+    let body = match request.body_text() {
+        Ok(text) => text,
+        Err(e) => {
+            shared.metrics.bump(&shared.metrics.bad_requests);
+            return Response::error(400, &e.to_string());
+        }
+    };
+    let Some(sig) = Json::parse(body)
+        .ok()
+        .as_ref()
+        .and_then(|j| j.get("sig"))
+        .and_then(Json::as_str)
+        .map(str::to_string)
+    else {
+        shared.metrics.bump(&shared.metrics.bad_requests);
+        return Response::error(400, "body needs a `sig` string field");
+    };
+    let mut state = shared.state.lock().expect("state lock");
+    let mut hit = state.cache.get(&sig).cloned();
+    if hit.is_none() && state.refresh_cache() > 0 {
+        hit = state.cache.get(&sig).cloned();
+    }
+    match hit {
+        Some(report) => Response::json(
+            200,
+            &Json::obj().set("sig", sig).set("report", report.to_json()),
+        ),
+        None => Response::error(404, "no cached result for that signature"),
+    }
+}
+
 /// The status body of one job.
 fn status_json(id: u64, job: &Job) -> Json {
     let mut body = Json::obj()
@@ -526,11 +859,18 @@ fn status_json(id: u64, job: &Job) -> Json {
     body
 }
 
-/// `POST /v1/solve`: answer from cache, coalesce onto an identical
-/// in-flight job, or enqueue — 429 when the queue is full.
-fn submit_solve(shared: &Arc<Shared>, request: &Request) -> Response {
+/// `POST /v1/solve`: answer from cache (local, then shared-store refresh),
+/// coalesce onto an identical in-flight job, forward to the ring owner, or
+/// enqueue locally — 429 when the queue is full.
+fn submit_solve(shared: &Arc<Shared>, request: &Request, peer: Option<IpAddr>) -> Response {
     if shared.token.is_cancelled() {
         return Response::error(503, "draining");
+    }
+    let forwarded = request.header(FORWARD_HEADER).is_some();
+    if !forwarded {
+        if let Some(denied) = check_rate(shared, peer) {
+            return denied;
+        }
     }
     let body = match request.body_text() {
         Ok(text) => text,
@@ -548,47 +888,114 @@ fn submit_solve(shared: &Arc<Shared>, request: &Request) -> Response {
     };
     let sig = cell_signature(&instance, &config);
 
-    let mut state = shared.state.lock().expect("state lock");
-    // Content-addressed hit: a done job materializes instantly.
-    if let Some(hit) = state.cache.get(&sig) {
-        let mut report = hit.clone();
-        report.cell = 0;
-        report.resumed = true;
-        report.instance = instance.name.clone();
-        report.config = config.name.clone();
-        shared.metrics.bump(&shared.metrics.cache_hits);
-        state.prune_done_jobs();
-        let id = state.next_id;
-        state.next_id += 1;
-        state.jobs.insert(
-            id,
-            Job {
-                kind: "solve",
-                state: JobState::Done,
-                cached: true,
-                token: CancelToken::new(),
-                cancel_requested: false,
-                payload: None,
-                sig: Some(sig),
-                cells: 1,
-                cells_done: 1,
-                sample: None,
-                reports: vec![report],
-            },
-        );
-        shared.metrics.bump(&shared.metrics.jobs_done);
-        return Response::json(
-            200,
-            &Json::obj()
-                .set("job", id)
-                .set("state", "done")
-                .set("cached", true),
-        );
+    {
+        let mut state = shared.state.lock().expect("state lock");
+        // Content-addressed hit: a done job materializes instantly. On a
+        // local miss, one store refresh picks up what fleet peers
+        // published since the last look — a hit there is a solve some
+        // other daemon paid for.
+        let mut hit = state.cache.get(&sig).cloned();
+        if hit.is_none() && state.refresh_cache() > 0 {
+            hit = state.cache.get(&sig).cloned();
+            if hit.is_some() {
+                shared.metrics.bump(&shared.metrics.remote_cache_hits);
+            }
+        }
+        if let Some(report) = hit {
+            return answer_from_cache(shared, &mut state, report, &instance, &config, sig);
+        }
+        // The same work is already queued or running: coalesce, don't
+        // re-solve. The shared job (and so its result) keeps the *first*
+        // submitter's instance/config labels — one job cannot carry a name
+        // per requester; the `coalesced` flag in the ack marks the
+        // provenance.
+        if let Some(&existing) = state.inflight.get(&sig) {
+            shared.metrics.bump(&shared.metrics.coalesced);
+            let job_state = state.jobs[&existing].state.as_str();
+            return Response::json(
+                200,
+                &Json::obj()
+                    .set("job", existing)
+                    .set("state", job_state)
+                    .set("cached", false)
+                    .set("coalesced", true),
+            );
+        }
     }
-    // The same work is already queued or running: coalesce, don't
-    // re-solve. The shared job (and so its result) keeps the *first*
-    // submitter's instance/config labels — one job cannot carry a name per
-    // requester; the `coalesced` flag in the ack marks the provenance.
+    // Fleet routing: a daemon that does not own this signature relays the
+    // request to the owner (exactly one hop — the forward marker stops
+    // re-forwarding). Errors fall back to a local solve: the ring is a
+    // routing optimisation, never a correctness requirement.
+    if !forwarded {
+        if let Some(ring) = &shared.ring {
+            if !ring.owns(&sig) {
+                if let Some(owner) = ring.owner(&sig).map(str::to_string) {
+                    match forward_solve(shared, &owner, body) {
+                        Ok(relayed) => return relayed,
+                        Err(()) => shared.metrics.bump(&shared.metrics.peer_errors),
+                    }
+                }
+            }
+        }
+    }
+    enqueue_solve(shared, instance, config, sig)
+}
+
+/// Builds the instant done job of a cache hit (the caller holds the lock).
+fn answer_from_cache(
+    shared: &Arc<Shared>,
+    state: &mut State,
+    mut report: CellReport,
+    instance: &InstanceSpec,
+    config: &ConfigSpec,
+    sig: String,
+) -> Response {
+    report.cell = 0;
+    report.resumed = true;
+    // The cache key is content-addressed; the names belong to whoever is
+    // asking now, not to the request that populated the entry.
+    report.instance = instance.name.clone();
+    report.config = config.name.clone();
+    shared.metrics.bump(&shared.metrics.cache_hits);
+    state.prune_done_jobs();
+    let id = state.next_id;
+    state.next_id += 1;
+    state.jobs.insert(
+        id,
+        Job {
+            kind: "solve",
+            state: JobState::Done,
+            cached: true,
+            token: CancelToken::new(),
+            cancel_requested: false,
+            pending: Vec::new(),
+            sig: Some(sig),
+            cells: 1,
+            cells_done: 1,
+            sample: None,
+            reports: vec![Some(report)],
+            snapshot: None,
+        },
+    );
+    shared.metrics.bump(&shared.metrics.jobs_done);
+    Response::json(
+        200,
+        &Json::obj()
+            .set("job", id)
+            .set("state", "done")
+            .set("cached", true),
+    )
+}
+
+/// Admits one local solve job (re-checking coalescing and the queue cap
+/// under the lock — the forwarding attempt ran without it).
+fn enqueue_solve(
+    shared: &Arc<Shared>,
+    instance: InstanceSpec,
+    config: ConfigSpec,
+    sig: String,
+) -> Response {
+    let mut state = shared.state.lock().expect("state lock");
     if let Some(&existing) = state.inflight.get(&sig) {
         shared.metrics.bump(&shared.metrics.coalesced);
         let job_state = state.jobs[&existing].state.as_str();
@@ -616,15 +1023,20 @@ fn submit_solve(shared: &Arc<Shared>, request: &Request) -> Response {
             cached: false,
             token: CancelToken::new(),
             cancel_requested: false,
-            payload: Some(Payload::Solve(Box::new((instance, config, sig.clone())))),
+            pending: vec![Some(Box::new(CellWork {
+                instance,
+                config,
+                sig: sig.clone(),
+            }))],
             sig: Some(sig),
             cells: 1,
             cells_done: 0,
             sample: None,
-            reports: Vec::new(),
+            reports: vec![None],
+            snapshot: None,
         },
     );
-    state.queue.push_back(id);
+    state.queue.push_back((id, 0));
     drop(state);
     shared.metrics.bump(&shared.metrics.accepted);
     shared.work.notify_one();
@@ -637,11 +1049,80 @@ fn submit_solve(shared: &Arc<Shared>, request: &Request) -> Response {
     )
 }
 
+/// Peer-call headers: the single-hop forward marker, plus the fleet's
+/// bearer token when auth is on.
+fn peer_headers(auth: &Option<String>) -> Vec<(&str, &str)> {
+    let mut headers: Vec<(&str, &str)> = vec![(FORWARD_HEADER, "1")];
+    if let Some(value) = auth {
+        headers.push(("authorization", value.as_str()));
+    }
+    headers
+}
+
+/// Relays a solve body to its ring owner and returns the owner's ack with
+/// an `owner` field added (clients poll the owner for the result).
+/// `Err(())` — transport failure or a 5xx — tells the caller to solve
+/// locally instead.
+fn forward_solve(shared: &Arc<Shared>, owner: &str, body: &str) -> Result<Response, ()> {
+    let auth = shared.auth_token.as_ref().map(|t| format!("Bearer {t}"));
+    let (status, raw) = http::call_with_headers(
+        owner,
+        "POST",
+        "/v1/solve",
+        "application/json",
+        body.as_bytes(),
+        &peer_headers(&auth),
+    )
+    .map_err(|_| ())?;
+    if status >= 500 {
+        return Err(());
+    }
+    let text = String::from_utf8(raw).map_err(|_| ())?;
+    let json = Json::parse(&text).map_err(|_| ())?;
+    shared.metrics.bump(&shared.metrics.forwards);
+    if json.get("cached").and_then(Json::as_bool) == Some(true) {
+        shared.metrics.bump(&shared.metrics.remote_cache_hits);
+    }
+    Ok(Response::json(status, &json.set("owner", owner)))
+}
+
+/// Probes the ring owner's cache for a signature (used by sweep cells,
+/// which are never forwarded whole). `Ok(None)` is an honest miss;
+/// `Err(())` is a peer failure.
+fn peer_lookup(shared: &Arc<Shared>, owner: &str, sig: &str) -> Result<Option<CellReport>, ()> {
+    let auth = shared.auth_token.as_ref().map(|t| format!("Bearer {t}"));
+    let body = Json::obj().set("sig", sig).to_string();
+    let (status, raw) = http::call_with_headers(
+        owner,
+        "POST",
+        "/v1/lookup",
+        "application/json",
+        body.as_bytes(),
+        &peer_headers(&auth),
+    )
+    .map_err(|_| ())?;
+    if status != 200 {
+        return Ok(None);
+    }
+    Ok(String::from_utf8(raw)
+        .ok()
+        .and_then(|text| Json::parse(&text).ok())
+        .as_ref()
+        .and_then(|j| j.get("report"))
+        .and_then(CellReport::from_json))
+}
+
 /// `POST /v1/sweep`: the body is a sweep manifest (raw text, or wrapped as
-/// `{"manifest": "..."}`), becoming one suite job.
-fn submit_sweep(shared: &Arc<Shared>, request: &Request) -> Response {
+/// `{"manifest": "..."}`), becoming one suite job whose cells are queued
+/// individually (the whole pool works a wide sweep).
+fn submit_sweep(shared: &Arc<Shared>, request: &Request, peer: Option<IpAddr>) -> Response {
     if shared.token.is_cancelled() {
         return Response::error(503, "draining");
+    }
+    if request.header(FORWARD_HEADER).is_none() {
+        if let Some(denied) = check_rate(shared, peer) {
+            return denied;
+        }
     }
     let body = match request.body_text() {
         Ok(text) => text,
@@ -705,8 +1186,22 @@ fn submit_sweep(shared: &Arc<Shared>, request: &Request) -> Response {
         return Response::error(400, &e.to_string());
     }
 
-    let cells = plan.num_cells();
+    let work: Vec<Box<CellWork>> = plan
+        .cells()
+        .map(|c| {
+            let sig = cell_signature(c.instance, c.config);
+            Box::new(CellWork {
+                instance: c.instance.clone(),
+                config: c.config.clone(),
+                sig,
+            })
+        })
+        .collect();
+    let cells = work.len();
     let mut state = shared.state.lock().expect("state lock");
+    // Admission is checked at entry only: a wide sweep may push past the
+    // cap once admitted (same semantics as the single-entry queue of
+    // PR 4, where one sweep occupied one slot regardless of width).
     if state.queue.len() >= shared.queue_cap {
         shared.metrics.bump(&shared.metrics.rejected_full);
         return Response::error(429, "job queue is full, retry later");
@@ -721,18 +1216,21 @@ fn submit_sweep(shared: &Arc<Shared>, request: &Request) -> Response {
             cached: false,
             token: CancelToken::new(),
             cancel_requested: false,
-            payload: Some(Payload::Sweep(Box::new(plan))),
+            pending: work.into_iter().map(Some).collect(),
             sig: None,
             cells,
             cells_done: 0,
             sample: None,
-            reports: Vec::new(),
+            reports: (0..cells).map(|_| None).collect(),
+            snapshot: None,
         },
     );
-    state.queue.push_back(id);
+    for cell in 0..cells {
+        state.queue.push_back((id, cell));
+    }
     drop(state);
     shared.metrics.bump(&shared.metrics.accepted);
-    shared.work.notify_one();
+    shared.work.notify_all();
     Response::json(
         202,
         &Json::obj()
@@ -763,6 +1261,7 @@ fn metrics_text(shared: &Arc<Shared>) -> String {
     let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
     format!(
         "langeq_workers {}\n\
+         langeq_fleet_peers {}\n\
          langeq_jobs_queued {queued}\n\
          langeq_jobs_running {running}\n\
          langeq_jobs_done {done}\n\
@@ -777,8 +1276,15 @@ fn metrics_text(shared: &Arc<Shared>) -> String {
          langeq_coalesced_total {}\n\
          langeq_jobs_cancelled_total {}\n\
          langeq_kernel_cache_lookups_total {}\n\
-         langeq_kernel_cache_hits_total {}\n",
+         langeq_kernel_cache_hits_total {}\n\
+         langeq_forwards_total {}\n\
+         langeq_remote_cache_hits_total {}\n\
+         langeq_snapshot_bytes_total {}\n\
+         langeq_peer_errors_total {}\n\
+         langeq_auth_failures_total {}\n\
+         langeq_rate_limited_total {}\n",
         shared.workers,
+        shared.ring.as_ref().map(Ring::len).unwrap_or_default(),
         get(&m.requests),
         get(&m.accepted),
         get(&m.rejected_full),
@@ -790,6 +1296,12 @@ fn metrics_text(shared: &Arc<Shared>) -> String {
         get(&m.jobs_cancelled),
         get(&m.kernel_cache_lookups),
         get(&m.kernel_cache_hits),
+        get(&m.forwards),
+        get(&m.remote_cache_hits),
+        get(&m.snapshot_bytes),
+        get(&m.peer_errors),
+        get(&m.auth_failures),
+        get(&m.rate_limited),
     )
 }
 
@@ -895,21 +1407,21 @@ fn parse_solve_request(body: &str) -> Result<(InstanceSpec, ConfigSpec), String>
     Ok((instance, config.limits(limits)))
 }
 
-/// The worker loop: pop a job, run it, publish the result. Exits when the
-/// drain token fired *and* the queue is empty — queued jobs still drain
-/// through the (pre-cancelled) engine, producing honest `cancelled`
-/// reports instead of vanishing.
+/// The worker loop: pop a *(job, cell)* entry, run it, publish the report
+/// into its slot. Exits when the drain token fired *and* the queue is
+/// empty — queued cells still drain through the (pre-cancelled) engine,
+/// producing honest `cancelled` reports instead of vanishing.
 fn worker_loop(shared: &Arc<Shared>) {
     loop {
-        let (id, payload, token) = {
+        let (id, cell, work, token) = {
             let mut state = shared.state.lock().expect("state lock");
             loop {
-                if let Some(id) = state.queue.pop_front() {
+                if let Some((id, cell)) = state.queue.pop_front() {
                     let job = state.jobs.get_mut(&id).expect("queued job exists");
                     job.state = JobState::Running;
-                    let payload = job.payload.take().expect("queued job has a payload");
+                    let work = job.pending[cell].take().expect("queued cell has work");
                     let token = job.token.clone();
-                    break (id, payload, token);
+                    break (id, cell, work, token);
                 }
                 if shared.token.is_cancelled() {
                     return;
@@ -922,43 +1434,55 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
         };
         // A drain that raced the submission may have missed this job's
-        // token; re-derive it from the server token so queued jobs always
+        // token; re-derive it from the server token so queued cells always
         // drain as cancelled instead of running to completion.
         if shared.token.is_cancelled() {
             token.cancel();
         }
-        match payload {
-            Payload::Solve(parts) => {
-                let (instance, config, sig) = *parts;
-                let report = run_cell_cached(shared, id, &instance, &config, 0, sig, &token);
-                finish_job(shared, id, vec![report]);
-            }
-            Payload::Sweep(plan) => {
-                let cells: Vec<(usize, InstanceSpec, ConfigSpec)> = plan
-                    .cells()
-                    .map(|c| (c.id, c.instance.clone(), c.config.clone()))
-                    .collect();
-                let mut reports = Vec::with_capacity(cells.len());
-                for (cell_id, instance, config) in cells {
-                    let sig = cell_signature(&instance, &config);
-                    let report =
-                        run_cell_cached(shared, id, &instance, &config, cell_id, sig, &token);
-                    let mut state = shared.state.lock().expect("state lock");
-                    if let Some(job) = state.jobs.get_mut(&id) {
-                        job.cells_done += 1;
-                        job.reports.push(report.clone());
-                    }
-                    reports.push(report);
+        let (report, snapshot) = run_cell_cached(
+            shared,
+            id,
+            &work.instance,
+            &work.config,
+            cell,
+            work.sig,
+            &token,
+        );
+        let finished = {
+            let mut guard = shared.state.lock().expect("state lock");
+            let state = &mut *guard;
+            state.prune_done_jobs();
+            let mut finished = false;
+            if let Some(job) = state.jobs.get_mut(&id) {
+                job.reports[cell] = Some(report);
+                job.cells_done += 1;
+                if job.kind == "solve" {
+                    job.snapshot = snapshot;
                 }
-                finish_job(shared, id, reports);
+                if job.cells_done == job.cells {
+                    job.state = JobState::Done;
+                    job.sample = None;
+                    // Keep `sig` on the job: the snapshot endpoint uses it
+                    // to reach the blob tier for cache-answered jobs.
+                    if let Some(sig) = &job.sig {
+                        let sig = sig.clone();
+                        state.inflight.remove(&sig);
+                    }
+                    finished = true;
+                }
             }
+            finished
+        };
+        if finished {
+            shared.metrics.bump(&shared.metrics.jobs_done);
         }
     }
 }
 
-/// Runs one cell through the cache: a signature hit is returned verbatim
-/// (marked `resumed`), a miss solves on the Suite engine and — when the
-/// result is fair — inserts and journals it.
+/// Runs one cell through the cache tiers: the in-memory map, a shared-store
+/// refresh, the ring owner's cache — and only then the Suite engine. A
+/// fresh fair result is inserted, appended to the store, and its CSF
+/// snapshot published to the blob tier.
 fn run_cell_cached(
     shared: &Arc<Shared>,
     job_id: u64,
@@ -967,20 +1491,54 @@ fn run_cell_cached(
     cell_id: usize,
     sig: String,
     token: &CancelToken,
-) -> CellReport {
-    let hit = {
-        let state = shared.state.lock().expect("state lock");
-        state.cache.get(&sig).cloned()
-    };
-    if let Some(mut report) = hit {
-        shared.metrics.bump(&shared.metrics.cache_hits);
+) -> (CellReport, Option<Arc<Vec<u8>>>) {
+    let relabel = |mut report: CellReport| {
         report.cell = cell_id;
         report.resumed = true;
         // The cache key is content-addressed; the names belong to whoever
         // is asking now, not to the request that populated the entry.
         report.instance = instance.name.clone();
         report.config = config.name.clone();
-        return report;
+        report
+    };
+    let hit = {
+        let mut state = shared.state.lock().expect("state lock");
+        let mut hit = state.cache.get(&sig).cloned();
+        if hit.is_none() && state.refresh_cache() > 0 {
+            hit = state.cache.get(&sig).cloned();
+            if hit.is_some() {
+                shared.metrics.bump(&shared.metrics.remote_cache_hits);
+            }
+        }
+        hit
+    };
+    if let Some(report) = hit {
+        shared.metrics.bump(&shared.metrics.cache_hits);
+        return (relabel(report), None);
+    }
+    // Sweep cells are never forwarded whole, but the ring owner of each
+    // signature concentrates its results — one cheap probe there beats
+    // re-solving. Only when the owner honestly misses (or fails) does this
+    // daemon burn CPU.
+    if let Some(ring) = &shared.ring {
+        if !ring.owns(&sig) {
+            if let Some(owner) = ring.owner(&sig).map(str::to_string) {
+                match peer_lookup(shared, &owner, &sig) {
+                    Ok(Some(report)) => {
+                        shared.metrics.bump(&shared.metrics.remote_cache_hits);
+                        shared.metrics.bump(&shared.metrics.cache_hits);
+                        let mut state = shared.state.lock().expect("state lock");
+                        // Memory-only insert: the owner's store already
+                        // persists this result; duplicating the record
+                        // here would bloat a shared store.
+                        state.cache.insert(sig.clone(), report.clone());
+                        return (relabel(report), None);
+                    }
+                    Ok(None) => {}
+                    Err(()) => shared.metrics.bump(&shared.metrics.peer_errors),
+                }
+            }
+        }
     }
     shared.metrics.bump(&shared.metrics.cache_misses);
 
@@ -988,11 +1546,20 @@ fn run_cell_cached(
         .instance(instance.clone())
         .config(config.clone());
     let observer_shared = Arc::clone(shared);
+    // The engine solves on this thread (Solution is thread-confined), so
+    // the hook below runs here too; the slot just carries the serialized
+    // CSF across the `execute` boundary.
+    let snap_slot: Arc<Mutex<Option<Vec<u8>>>> = Arc::new(Mutex::new(None));
+    let hook_slot = Arc::clone(&snap_slot);
     let suite = plan
         .execute(
             SuiteOptions::new()
                 .jobs(1)
                 .cancel_token(token.clone())
+                .on_solution(move |_, _, solution| {
+                    *hook_slot.lock().expect("snapshot slot") =
+                        Some(langeq_automata::snapshot::save(&solution.csf));
+                })
                 .on_event(move |event| {
                     if let SuiteEvent::CellSample { sample, .. } = event {
                         let mut state = observer_shared.state.lock().expect("state lock");
@@ -1020,35 +1587,26 @@ fn run_cell_cached(
             .kernel_cache_hits
             .fetch_add(k.cache_hits, Ordering::Relaxed);
     }
+    let snapshot = snap_slot
+        .lock()
+        .expect("snapshot slot")
+        .take()
+        .map(Arc::new);
     if !report.retryable {
         let mut state = shared.state.lock().expect("state lock");
         if !state.cache.contains_key(&sig) {
-            if let Some(journal) = state.journal.as_mut() {
-                if let Err(e) = journal.write(&report.to_json()) {
-                    eprintln!("[serve] cache journal write failed: {e}");
+            if let Some(store) = state.store.as_mut() {
+                if let Err(e) = store.append(&report) {
+                    eprintln!("[serve] cache store append failed: {e}");
+                }
+                if let Some(bytes) = &snapshot {
+                    if let Err(e) = store.put_blob(&sig, bytes) {
+                        eprintln!("[serve] snapshot blob publish failed: {e}");
+                    }
                 }
             }
             state.cache.insert(sig, report.clone());
         }
     }
-    report
-}
-
-/// Publishes a finished job and releases its coalescing slot.
-fn finish_job(shared: &Arc<Shared>, id: u64, reports: Vec<CellReport>) {
-    {
-        let mut guard = shared.state.lock().expect("state lock");
-        let state = &mut *guard;
-        state.prune_done_jobs();
-        if let Some(job) = state.jobs.get_mut(&id) {
-            job.cells_done = reports.len();
-            job.reports = reports;
-            job.state = JobState::Done;
-            job.sample = None;
-            if let Some(sig) = job.sig.take() {
-                state.inflight.remove(&sig);
-            }
-        }
-    }
-    shared.metrics.bump(&shared.metrics.jobs_done);
+    (report, snapshot)
 }

@@ -1,0 +1,255 @@
+//! Fleet integration tests: two daemons pooling one shared-directory
+//! cache, consistent-hash forwarding between ring members, binary CSF
+//! snapshots, bearer auth, and the per-client rate limit.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use langeq_core::CellReport;
+use langeq_report::Json;
+use langeq_serve::{Client, ClientError, ServeOptions, Server};
+
+const POLL: Duration = Duration::from_millis(20);
+const WAIT: Duration = Duration::from_secs(60);
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("langeq-fleet-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Reserves an ephemeral port so daemons can be started with a peer list
+/// that is known *before* any of them binds. (The listener is dropped
+/// before the daemon starts; the OS keeps the port out of rotation long
+/// enough for a test.)
+fn reserve_port() -> String {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+    listener.local_addr().expect("local addr").to_string()
+}
+
+/// Re-serializes every cell of a result through the journal codec, which
+/// normalizes the `resumed` provenance flag — a cached answer and the
+/// original solve then compare byte-identical.
+fn normalized_cells(result: &Json) -> Vec<String> {
+    result
+        .get("cells")
+        .and_then(Json::as_arr)
+        .expect("result has cells")
+        .iter()
+        .map(|cell| {
+            CellReport::from_json(cell)
+                .expect("cell parses as a journal record")
+                .to_json()
+                .to_string()
+        })
+        .collect()
+}
+
+/// The acceptance scenario of the fleet PR: daemon A solves, daemon B —
+/// sharing only the store directory, no peer config — answers the same
+/// request from the fleet-wide cache without solving anything itself.
+#[test]
+fn two_daemons_share_one_store() {
+    let dir = scratch_dir("shared-store");
+    let a = Server::start(
+        ServeOptions::new()
+            .addr("127.0.0.1:0")
+            .jobs(2)
+            .store_dir(&dir),
+    )
+    .expect("daemon A starts");
+    let b = Server::start(
+        ServeOptions::new()
+            .addr("127.0.0.1:0")
+            .jobs(2)
+            .store_dir(&dir),
+    )
+    .expect("daemon B starts");
+    let ca = Client::new(a.addr().to_string());
+    let cb = Client::new(b.addr().to_string());
+    let request = Json::obj().set("source", "gen:figure3");
+
+    let ack_a = ca.submit_solve(&request).expect("A accepts");
+    assert!(!ack_a.cached);
+    let result_a = ca.wait(ack_a.job, POLL, WAIT).expect("A finishes");
+
+    // B has solved nothing and was started before A's result existed, so
+    // its warm cache is empty; the shared store must supply the answer.
+    assert_eq!(cb.metric("langeq_cache_misses_total").unwrap(), 0);
+    let ack_b = cb.submit_solve(&request).expect("B accepts");
+    assert!(ack_b.cached, "B answers from the fleet-wide cache");
+    let result_b = cb.wait(ack_b.job, POLL, WAIT).expect("B returns instantly");
+    assert_eq!(
+        normalized_cells(&result_a),
+        normalized_cells(&result_b),
+        "the fleet serves byte-identical results"
+    );
+    assert_eq!(
+        cb.metric("langeq_cache_misses_total").unwrap(),
+        0,
+        "B never solved"
+    );
+    assert_eq!(cb.metric("langeq_remote_cache_hits_total").unwrap(), 1);
+    assert_eq!(cb.metric("langeq_cache_hits_total").unwrap(), 1);
+
+    a.shutdown();
+    b.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Two ring members with a shared bearer token: the non-owner forwards a
+/// solve to the owner (single hop, marked ack), the owner runs it, and a
+/// repeat through the non-owner relays the owner's cache hit.
+#[test]
+fn ring_members_forward_solves_to_the_owner() {
+    let (addr_a, addr_b) = (reserve_port(), reserve_port());
+    let peers = [addr_a.clone(), addr_b.clone()];
+    let start = |addr: &str| {
+        Server::start(
+            ServeOptions::new()
+                .addr(addr)
+                .jobs(1)
+                .peers(peers.clone())
+                .advertise(addr)
+                .auth_token("fleet-secret"),
+        )
+        .expect("ring daemon starts")
+    };
+    let a = start(&addr_a);
+    let b = start(&addr_b);
+    let client = |addr: &str| Client::new(addr.to_string()).with_token("fleet-secret");
+    let request = Json::obj().set("source", "gen:figure3");
+
+    // Without the token, the door is closed.
+    let denied = Client::new(addr_a.clone()).submit_solve(&request);
+    assert!(
+        matches!(denied, Err(ClientError::Http { status: 401, .. })),
+        "unauthenticated POST must be rejected: {denied:?}"
+    );
+
+    // Whichever daemon does not own the signature must forward; try A
+    // first and fall back to B, so the test is independent of where the
+    // ring places this signature.
+    let ack = client(&addr_a).submit_solve(&request).expect("A accepts");
+    let (hop, ack) = if ack.owner.is_some() {
+        (addr_a.clone(), ack)
+    } else {
+        let ack = client(&addr_b).submit_solve(&request).expect("B accepts");
+        (addr_b.clone(), ack)
+    };
+    let owner = ack.owner.clone().expect("the non-owner relays ownership");
+    assert_ne!(owner, hop, "the forward crossed the ring");
+    let result = client(&owner)
+        .wait(ack.job, POLL, WAIT)
+        .expect("the owner runs the forwarded job");
+    assert_eq!(normalized_cells(&result).len(), 1);
+    assert_eq!(client(&hop).metric("langeq_forwards_total").unwrap(), 1);
+    assert_eq!(
+        client(&owner).metric("langeq_forwards_total").unwrap(),
+        0,
+        "forwards are single-hop"
+    );
+
+    // The repeat through the non-owner relays the owner's cache hit.
+    let again = client(&hop)
+        .submit_solve(&request)
+        .expect("repeat accepted");
+    assert!(again.cached, "the owner's cache answers the fleet");
+    assert_eq!(
+        client(&hop)
+            .metric("langeq_remote_cache_hits_total")
+            .unwrap(),
+        1
+    );
+    assert_eq!(client(&hop).metric("langeq_cache_misses_total").unwrap(), 0);
+    assert_eq!(
+        client(&hop).metric("langeq_auth_failures_total").unwrap(),
+        1
+    );
+
+    a.shutdown();
+    b.shutdown();
+}
+
+/// A fresh solve publishes a binary LQAS snapshot of the CSF; the job
+/// endpoint serves it, it decodes into the same automaton the report
+/// describes, and a cache-answered twin job serves the identical bytes
+/// from the store's blob tier.
+#[test]
+fn snapshots_round_trip_through_the_blob_tier() {
+    let dir = scratch_dir("snapshots");
+    let server = Server::start(
+        ServeOptions::new()
+            .addr("127.0.0.1:0")
+            .jobs(2)
+            .store_dir(&dir),
+    )
+    .expect("daemon starts");
+    let client = Client::new(server.addr().to_string());
+    let request = Json::obj().set("source", "gen:figure3");
+
+    let ack = client.submit_solve(&request).expect("accepted");
+    let result = client.wait(ack.job, POLL, WAIT).expect("finishes");
+    let report = result
+        .get("cells")
+        .and_then(Json::as_arr)
+        .and_then(|cells| cells.first())
+        .and_then(CellReport::from_json)
+        .expect("one solved cell");
+    let stats = report.stats().expect("a fair solve has stats");
+
+    let fresh = client
+        .snapshot(ack.job)
+        .expect("snapshot endpoint answers")
+        .expect("a fresh fair solve has a snapshot");
+    let automaton = langeq_automata::snapshot::load(&fresh).expect("LQAS decodes");
+    assert_eq!(
+        automaton.num_states(),
+        stats.csf_states,
+        "the snapshot is the CSF the report describes"
+    );
+
+    // The cached twin has no in-memory snapshot; the store's blob tier
+    // serves the identical bytes.
+    let twin = client.submit_solve(&request).expect("cache answers");
+    assert!(twin.cached);
+    let from_blob = client
+        .snapshot(twin.job)
+        .expect("snapshot endpoint answers")
+        .expect("the blob tier backs cached jobs");
+    assert_eq!(fresh, from_blob, "snapshot bytes are content-addressed");
+    assert!(
+        client.metric("langeq_snapshot_bytes_total").unwrap() >= 2 * fresh.len() as u64,
+        "served bytes are accounted"
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The per-client token bucket: burst capacity of one request per second
+/// means the second immediate submission is answered 429 with Retry-After.
+#[test]
+fn rate_limit_rejects_bursts_with_retry_after() {
+    let server = Server::start(
+        ServeOptions::new()
+            .addr("127.0.0.1:0")
+            .jobs(1)
+            .rate_limit(1.0),
+    )
+    .expect("daemon starts");
+    let client = Client::new(server.addr().to_string());
+    let request = Json::obj().set("source", "gen:figure3");
+
+    let first = client.submit_solve(&request).expect("first is admitted");
+    let second = client.submit_solve(&request);
+    assert!(
+        matches!(second, Err(ClientError::Http { status: 429, .. })),
+        "burst beyond the bucket must be limited: {second:?}"
+    );
+    assert_eq!(client.metric("langeq_rate_limited_total").unwrap(), 1);
+
+    // Reads are never limited; the admitted job still finishes.
+    client.wait(first.job, POLL, WAIT).expect("job finishes");
+    server.shutdown();
+}
