@@ -35,12 +35,14 @@ const SERVE_VALUE_KEYS: &[&str] = &[
     "advertise",
     "auth-token",
     "rate-limit",
+    "probe-ms",
+    "fail-threshold",
 ];
 
 /// `langeq serve [--addr HOST:PORT] [--jobs N] [--queue N]
 /// [--max-body BYTES] [--cache-journal PATH | --store DIR]
 /// [--peers A:P,B:P,...] [--advertise HOST:PORT] [--auth-token TOKEN]
-/// [--rate-limit PER_SEC]`.
+/// [--rate-limit PER_SEC] [--probe-ms N] [--fail-threshold N]`.
 pub fn serve(args: &[String]) -> Result<ExitCode, CliError> {
     let p = scan(args, SERVE_VALUE_KEYS)?;
     p.reject_unknown(SERVE_VALUE_KEYS)?;
@@ -85,6 +87,12 @@ pub fn serve(args: &[String]) -> Result<ExitCode, CliError> {
     if let Some(rate) = p.number::<f64>("rate-limit")? {
         opts = opts.rate_limit(rate);
     }
+    if let Some(ms) = p.number::<u64>("probe-ms")? {
+        opts = opts.probe_interval(Duration::from_millis(ms));
+    }
+    if let Some(probes) = p.number::<u32>("fail-threshold")? {
+        opts = opts.fail_threshold(probes);
+    }
 
     let server = Server::start(opts).map_err(|e| CliError::Run(format!("starting server: {e}")))?;
     // The address line goes to stdout so scripts (and the CI smoke test)
@@ -125,16 +133,32 @@ const SUBMIT_VALUE_KEYS: &[&str] = &[
 /// [--addr HOST:PORT] [--token TOKEN] [--split K,K,...] [--flow F]
 /// [--trim on|off] [--reorder none|sifting|sifting:N] [--timeout S]
 /// [--node-limit N] [--max-states N] [--name NAME] [--no-wait]
-/// [--poll-ms N] [--wait-secs N] [--snapshot-out PATH] [--json]` — or
-/// `langeq submit --cancel <job> [--addr HOST:PORT]` to fire a
-/// queued/running job's cancel token. A fleet daemon may forward the solve
-/// to its ring owner: the ack then carries the owner's address, and submit
-/// polls (and fetches the snapshot from) the owner automatically.
+/// [--poll-ms N] [--wait-secs N] [--snapshot-out PATH] [--json]
+/// [--no-retry]` — or `langeq submit --cancel <job> [--addr HOST:PORT]` to
+/// fire a queued/running job's cancel token. A fleet daemon may forward
+/// the solve to its ring owner: the ack then carries the owner's address,
+/// and submit polls (and fetches the snapshot from) the owner
+/// automatically. Transport failures are retried (3 attempts, 250 ms
+/// backoff) unless `--no-retry` is given.
 pub fn submit(args: &[String]) -> Result<ExitCode, CliError> {
     let p = scan(args, SUBMIT_VALUE_KEYS)?;
     let mut known: Vec<&str> = SUBMIT_VALUE_KEYS.to_vec();
-    known.extend(["no-wait", "json"]);
+    known.extend(["no-wait", "json", "no-retry"]);
     p.reject_unknown(&known)?;
+
+    // One constructor for every daemon this invocation talks to (the
+    // submission address and a possible ring owner): same bearer token,
+    // same transport-retry policy.
+    let make_client = |addr: &str| {
+        let mut client = Client::new(addr.to_string());
+        if let Some(token) = p.value("token") {
+            client = client.with_token(token);
+        }
+        if !p.flag("no-retry") {
+            client = client.with_retry(Client::default_retry());
+        }
+        client
+    };
 
     if let Some(id_text) = p.value("cancel") {
         if !p.positionals().is_empty() {
@@ -145,10 +169,7 @@ pub fn submit(args: &[String]) -> Result<ExitCode, CliError> {
         let job: u64 = id_text
             .parse()
             .map_err(|_| CliError::Usage(format!("bad job id `{id_text}` for --cancel")))?;
-        let mut client = Client::new(p.value("addr").unwrap_or(DEFAULT_ADDR));
-        if let Some(token) = p.value("token") {
-            client = client.with_token(token);
-        }
+        let client = make_client(p.value("addr").unwrap_or(DEFAULT_ADDR));
         let cancelled = client
             .cancel(job)
             .map_err(|e| CliError::Run(format!("{}: {e}", client.addr())))?;
@@ -173,10 +194,7 @@ pub fn submit(args: &[String]) -> Result<ExitCode, CliError> {
         ));
     };
 
-    let mut client = Client::new(p.value("addr").unwrap_or(DEFAULT_ADDR));
-    if let Some(token) = p.value("token") {
-        client = client.with_token(token);
-    }
+    let client = make_client(p.value("addr").unwrap_or(DEFAULT_ADDR));
     let is_manifest = matches!(
         Path::new(source.as_str())
             .extension()
@@ -224,13 +242,7 @@ pub fn submit(args: &[String]) -> Result<ExitCode, CliError> {
     // A forwarded solve lives on the ring owner: the job id in the ack is
     // the owner's, so all further calls must go there.
     let client = match &ack.owner {
-        Some(owner) if owner != client.addr() => {
-            let mut retargeted = Client::new(owner.clone());
-            if let Some(token) = p.value("token") {
-                retargeted = retargeted.with_token(token);
-            }
-            retargeted
-        }
+        Some(owner) if owner != client.addr() => make_client(owner),
         _ => client,
     };
     if p.flag("no-wait") {

@@ -23,6 +23,18 @@
 //! Blobs (binary result snapshots, keyed by cell signature) are published
 //! write-tmp-then-rename, so concurrent publishers of the same
 //! content-addressed key converge and readers never observe a torn file.
+//! Every blob additionally carries a trailing FNV-1a checksum written by
+//! [`put_blob`] and verified by [`get_blob`]: a corrupt or truncated blob
+//! reads back as `Ok(None)` — a cache miss the caller re-solves and
+//! re-publishes through — never as poisoned bytes.
+//!
+//! With the `fault-inject` feature (tests only; release builds never
+//! compile it) the shared store exposes deterministic fault hooks — torn
+//! segment tails, corrupted blobs — so crash-recovery paths are exercised
+//! by scripted tests instead of hand-built fixtures.
+//!
+//! [`put_blob`]: JournalStore::put_blob
+//! [`get_blob`]: JournalStore::get_blob
 //!
 //! [`load`]: JournalStore::load
 //! [`refresh`]: JournalStore::refresh
@@ -55,10 +67,13 @@ pub trait JournalStore: Send {
     fn refresh(&mut self) -> std::io::Result<Vec<CellReport>>;
 
     /// Publishes a binary blob under a content-addressed key (idempotent:
-    /// racing publishers of the same key converge on a complete copy).
+    /// racing publishers of the same key converge on a complete copy). The
+    /// stored file carries a trailing FNV-1a checksum of the payload.
     fn put_blob(&mut self, key: &str, bytes: &[u8]) -> std::io::Result<()>;
 
-    /// Reads a blob back; `Ok(None)` when the key has never been published.
+    /// Reads a blob back; `Ok(None)` when the key has never been
+    /// published, **or** when the stored file fails its checksum (bit rot,
+    /// truncation): integrity failures are cache misses, not errors.
     fn get_blob(&mut self, key: &str) -> std::io::Result<Option<Vec<u8>>>;
 
     /// A short human-readable description for banners and `Debug` output.
@@ -72,25 +87,41 @@ fn blob_file_name(key: &str) -> String {
     format!("{:016x}.blob", crate::sig::fnv1a64(key.as_bytes()))
 }
 
-/// Writes `bytes` to `path` atomically: a unique temporary in the same
-/// directory, flushed, then renamed over the target.
-fn publish_atomically(dir: &Path, file_name: &str, bytes: &[u8]) -> std::io::Result<()> {
+/// Writes `payload` + its 8-byte FNV-1a trailer to `path` atomically: a
+/// unique temporary in the same directory, flushed, then renamed over the
+/// target. Rename makes racing publishers converge; the trailer lets the
+/// read path detect bit rot and truncation that rename cannot prevent.
+fn publish_atomically(dir: &Path, file_name: &str, payload: &[u8]) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     let tmp = dir.join(format!(".tmp-{}-{file_name}", std::process::id()));
     {
         let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(bytes)?;
+        f.write_all(payload)?;
+        f.write_all(&crate::sig::fnv1a64(payload).to_le_bytes())?;
         f.flush()?;
     }
     std::fs::rename(&tmp, dir.join(file_name))
 }
 
+/// Reads a blob back, verifying and stripping the checksum trailer. A
+/// missing file, a file too short to carry a trailer, or a checksum
+/// mismatch all answer `Ok(None)`: the blob tier is a cache, and a blob
+/// that cannot be trusted is a miss.
 fn read_blob(dir: &Path, key: &str) -> std::io::Result<Option<Vec<u8>>> {
-    match std::fs::read(dir.join(blob_file_name(key))) {
-        Ok(bytes) => Ok(Some(bytes)),
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
-        Err(e) => Err(e),
+    let mut bytes = match std::fs::read(dir.join(blob_file_name(key))) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let Some(payload_len) = bytes.len().checked_sub(8) else {
+        return Ok(None);
+    };
+    let stored = u64::from_le_bytes(bytes[payload_len..].try_into().expect("8-byte trailer"));
+    if crate::sig::fnv1a64(&bytes[..payload_len]) != stored {
+        return Ok(None);
     }
+    bytes.truncate(payload_len);
+    Ok(Some(bytes))
 }
 
 /// The classic single-file journal (PR 3/4 behavior, extracted): one JSONL
@@ -156,6 +187,19 @@ impl JournalStore for LocalFileStore {
 /// finite so a wedged directory errors instead of spinning.
 const MAX_SEGMENTS: u32 = 10_000;
 
+/// Scripted faults for [`SharedDirStore`], armed by tests through the
+/// `fault_*` methods. Compiled only with the `fault-inject` feature.
+#[cfg(feature = "fault-inject")]
+#[derive(Debug, Default)]
+struct StoreFaults {
+    /// The next `append` writes only this many bytes of its line.
+    torn_after: Option<usize>,
+    /// The unwritten remainder of a torn line, until healed.
+    torn_tail: Option<Vec<u8>>,
+    /// The next `put_blob` lands with one bit flipped.
+    corrupt_next_blob: bool,
+}
+
 /// A fleet-shared store: a directory of per-writer JSONL segments plus a
 /// `blobs/` sub-directory, safe under concurrent writers and `kill -9`.
 pub struct SharedDirStore {
@@ -166,6 +210,8 @@ pub struct SharedDirStore {
     /// past complete lines so a torn tail is re-read once its writer
     /// finishes (or never, if the writer died mid-line).
     offsets: HashMap<PathBuf, u64>,
+    #[cfg(feature = "fault-inject")]
+    faults: StoreFaults,
 }
 
 impl SharedDirStore {
@@ -177,6 +223,8 @@ impl SharedDirStore {
             dir,
             own: None,
             offsets: HashMap::new(),
+            #[cfg(feature = "fault-inject")]
+            faults: StoreFaults::default(),
         })
     }
 
@@ -279,6 +327,37 @@ impl SharedDirStore {
     }
 }
 
+/// Deterministic fault hooks — the store half of the workspace's
+/// fault-injection harness. Only compiled for tests (`fault-inject`).
+#[cfg(feature = "fault-inject")]
+impl SharedDirStore {
+    /// Arms a torn append: the next [`JournalStore::append`] writes only
+    /// the first `bytes` bytes of its line (simulating a writer killed
+    /// mid-`write`), stashing the remainder until
+    /// [`fault_heal_torn`](Self::fault_heal_torn).
+    pub fn fault_torn_append(&mut self, bytes: usize) {
+        self.faults.torn_after = Some(bytes);
+    }
+
+    /// Completes the line a torn append left behind — the "writer survived
+    /// after all" script. A no-op when nothing is torn.
+    pub fn fault_heal_torn(&mut self) -> std::io::Result<()> {
+        let Some(tail) = self.faults.torn_tail.take() else {
+            return Ok(());
+        };
+        let (path, _) = self.own.as_ref().expect("a torn append claimed a segment");
+        let mut f = std::fs::OpenOptions::new().append(true).open(path)?;
+        f.write_all(&tail)?;
+        f.flush()
+    }
+
+    /// Arms blob corruption: the next [`JournalStore::put_blob`] lands on
+    /// disk with one bit flipped, so its checksum cannot verify.
+    pub fn fault_corrupt_next_blob(&mut self) {
+        self.faults.corrupt_next_blob = true;
+    }
+}
+
 impl JournalStore for SharedDirStore {
     fn load(&mut self) -> std::io::Result<Vec<CellReport>> {
         self.offsets.retain(|_, &mut v| v == u64::MAX);
@@ -287,6 +366,23 @@ impl JournalStore for SharedDirStore {
 
     fn append(&mut self, report: &CellReport) -> std::io::Result<()> {
         let json = report.to_json();
+        #[cfg(feature = "fault-inject")]
+        if let Some(cut) = self.faults.torn_after.take() {
+            // Write the head of the line through a separate append handle
+            // (both handles are O_APPEND, so ordering is safe) and stash
+            // the tail — the on-disk state of a writer killed mid-write.
+            self.claim_segment()?;
+            let (path, _) = self.own.as_ref().expect("segment just claimed");
+            let mut line = json.to_string();
+            line.push('\n');
+            let bytes = line.into_bytes();
+            let cut = cut.min(bytes.len());
+            let mut f = std::fs::OpenOptions::new().append(true).open(path)?;
+            f.write_all(&bytes[..cut])?;
+            f.flush()?;
+            self.faults.torn_tail = Some(bytes[cut..].to_vec());
+            return Ok(());
+        }
         self.claim_segment()?.write(&json)
     }
 
@@ -295,7 +391,16 @@ impl JournalStore for SharedDirStore {
     }
 
     fn put_blob(&mut self, key: &str, bytes: &[u8]) -> std::io::Result<()> {
-        publish_atomically(&self.dir.join("blobs"), &blob_file_name(key), bytes)
+        publish_atomically(&self.dir.join("blobs"), &blob_file_name(key), bytes)?;
+        #[cfg(feature = "fault-inject")]
+        if std::mem::take(&mut self.faults.corrupt_next_blob) {
+            let path = self.dir.join("blobs").join(blob_file_name(key));
+            let mut stored = std::fs::read(&path)?;
+            let at = stored.len() / 2;
+            stored[at] ^= 0x40;
+            std::fs::write(&path, stored)?;
+        }
+        Ok(())
     }
 
     fn get_blob(&mut self, key: &str) -> std::io::Result<Option<Vec<u8>>> {
@@ -465,6 +570,90 @@ mod tests {
             Some(b"payload".as_slice())
         );
         assert_eq!(b.get_blob("sig-y").unwrap(), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_or_truncated_blobs_read_as_misses() {
+        let dir = temp_dir("blob-integrity");
+        let mut store = SharedDirStore::open(&dir).unwrap();
+        store.put_blob("sig-ok", b"snapshot-bytes").unwrap();
+        let on_disk = dir.join("blobs").join(blob_file_name("sig-ok"));
+
+        // Bit rot: flip one payload byte under the checksum.
+        let good = std::fs::read(&on_disk).unwrap();
+        let mut rotten = good.clone();
+        rotten[2] ^= 0x01;
+        std::fs::write(&on_disk, &rotten).unwrap();
+        assert_eq!(store.get_blob("sig-ok").unwrap(), None, "bit rot is a miss");
+
+        // Truncation below the trailer: also a miss, never an error.
+        std::fs::write(&on_disk, &good[..3]).unwrap();
+        assert_eq!(
+            store.get_blob("sig-ok").unwrap(),
+            None,
+            "truncation is a miss"
+        );
+
+        // Re-publishing heals the entry — the re-solve + re-publish path.
+        store.put_blob("sig-ok", b"snapshot-bytes").unwrap();
+        assert_eq!(
+            store.get_blob("sig-ok").unwrap().as_deref(),
+            Some(b"snapshot-bytes".as_slice())
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Satellite of the robustness PR: the torn-tail crash script, driven
+    /// by the fault-injection hooks instead of a hand-built fixture.
+    #[test]
+    #[cfg(feature = "fault-inject")]
+    fn injected_torn_append_is_skipped_then_reread_after_heal() {
+        let dir = temp_dir("fault-torn");
+        let mut writer = SharedDirStore::open(&dir).unwrap();
+        writer.append(&report(0, "sig-a")).unwrap();
+
+        // Cut the next line mid-record: the victim writer "dies" with 17
+        // bytes of the line on disk and no newline.
+        writer.fault_torn_append(17);
+        writer.append(&report(1, "sig-b")).unwrap();
+
+        let mut reader = SharedDirStore::open(&dir).unwrap();
+        assert_eq!(
+            reader.load().unwrap(),
+            vec![report(0, "sig-a")],
+            "the torn tail is invisible to readers"
+        );
+        assert!(
+            reader.refresh().unwrap().is_empty(),
+            "still torn, still skipped"
+        );
+
+        // The writer survives after all and finishes its line: exactly the
+        // completed record surfaces, nothing is double-read.
+        writer.fault_heal_torn().unwrap();
+        assert_eq!(reader.refresh().unwrap(), vec![report(1, "sig-b")]);
+        assert!(reader.refresh().unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[cfg(feature = "fault-inject")]
+    fn injected_blob_corruption_fails_the_checksum() {
+        let dir = temp_dir("fault-blob");
+        let mut store = SharedDirStore::open(&dir).unwrap();
+        store.fault_corrupt_next_blob();
+        store.put_blob("sig-x", b"snapshot-bytes").unwrap();
+        assert_eq!(
+            store.get_blob("sig-x").unwrap(),
+            None,
+            "corrupt blob is a miss"
+        );
+        store.put_blob("sig-x", b"snapshot-bytes").unwrap();
+        assert_eq!(
+            store.get_blob("sig-x").unwrap().as_deref(),
+            Some(b"snapshot-bytes".as_slice())
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

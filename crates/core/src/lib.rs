@@ -76,6 +76,7 @@ mod equation;
 pub mod extract;
 mod fsm;
 pub mod reencode;
+pub mod retry;
 pub mod sig;
 pub mod solver;
 mod universe;
@@ -89,6 +90,7 @@ pub use batch::{
 pub use equation::{LanguageEquation, LatchSplitProblem};
 pub use fsm::{FsmLatch, FsmOutput, PartitionedFsm, StateOrder};
 pub use langeq_bdd::ReorderPolicy;
+pub use retry::{Disposition, RetryPolicy};
 pub use solver::{
     Algorithm1, CancelToken, CncReason, Control, Monolithic, MonolithicOptions, Outcome,
     Partitioned, PartitionedOptions, Solution, SolveEvent, SolveRequest, Solver, SolverKind,

@@ -1,0 +1,272 @@
+//! A shared **retry policy** for every unreliable edge of the system: peer
+//! forwards, cache lookups, store refreshes, and the submit client all
+//! retry through this one type, so backoff behaviour is uniform and
+//! testable in one place.
+//!
+//! The policy is deliberately boring: bounded attempts, exponential
+//! backoff with deterministic jitter, and an optional wall-clock budget
+//! capping the *total* time spent (attempts plus sleeps). What *is*
+//! retried is the caller's decision — [`RetryPolicy::run`] takes a
+//! classifier mapping each failure to a [`Disposition`], because only the
+//! call site knows whether a 429 carries a `Retry-After` or a connection
+//! refused means "peer mid-restart" versus "wrong address".
+//!
+//! Jitter is derived from a seed (splitmix64 over `seed ^ attempt`), never
+//! from the clock or a global RNG: two runs with the same seed sleep the
+//! same schedule, which keeps the fault-injection tests reproducible.
+
+use std::time::{Duration, Instant};
+
+/// What to do with one classified failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Give up immediately and surface the error (4xx-class failures:
+    /// retrying cannot change the answer).
+    Terminal,
+    /// Transient (connect refused, timeout, torn response, 5xx): retry
+    /// after the policy's backoff.
+    Retry,
+    /// Transient, and the failure named its own delay (429 with
+    /// `Retry-After`): retry after exactly this long.
+    RetryAfter(Duration),
+}
+
+/// Bounded attempts + exponential backoff + jitter + total-time budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    attempts: u32,
+    base_backoff: Duration,
+    max_backoff: Duration,
+    budget: Option<Duration>,
+    jitter_seed: u64,
+}
+
+impl RetryPolicy {
+    /// A policy of `attempts` total tries (so `attempts - 1` retries) with
+    /// exponential backoff starting at `base_backoff`. The backoff ceiling
+    /// defaults to `16 × base_backoff`; no budget; seed 0.
+    pub fn new(attempts: u32, base_backoff: Duration) -> RetryPolicy {
+        RetryPolicy {
+            attempts: attempts.max(1),
+            base_backoff,
+            max_backoff: base_backoff.saturating_mul(16),
+            budget: None,
+            jitter_seed: 0,
+        }
+    }
+
+    /// The no-retry policy: one attempt, errors surface untouched.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy::new(1, Duration::ZERO)
+    }
+
+    /// Caps any single backoff sleep.
+    pub fn max_backoff(mut self, cap: Duration) -> RetryPolicy {
+        self.max_backoff = cap;
+        self
+    }
+
+    /// Caps the *total* wall-clock spent inside [`run`](Self::run): when
+    /// elapsed time plus the next sleep would exceed the budget, the last
+    /// error surfaces instead of sleeping.
+    pub fn budget(mut self, budget: Duration) -> RetryPolicy {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Seeds the deterministic jitter (same seed → same sleep schedule).
+    pub fn jitter_seed(mut self, seed: u64) -> RetryPolicy {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// Total attempts this policy makes.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// The backoff before the retry *following* attempt `attempt`
+    /// (1-based): `base × 2^(attempt-1)`, jittered into `[75%, 100%]`,
+    /// capped at the policy's ceiling.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = attempt.saturating_sub(1).min(20);
+        let raw = self
+            .base_backoff
+            .saturating_mul(1u32 << exp)
+            .min(self.max_backoff);
+        // Jitter scales the sleep by 0.75..=1.0 — enough to de-synchronize
+        // a fleet retrying in lockstep, small enough to keep budgets
+        // predictable.
+        let frac =
+            (splitmix64(self.jitter_seed ^ u64::from(attempt)) >> 40) as f64 / (1u64 << 24) as f64;
+        raw.mul_f64(0.75 + 0.25 * frac)
+    }
+
+    /// Runs `op` under this policy. `op` receives the 1-based attempt
+    /// number; `classify` is consulted only when another attempt remains,
+    /// and maps the failure to a [`Disposition`] (it may also count or log
+    /// — it is `FnMut`). The final error is returned unchanged.
+    pub fn run<T, E>(
+        &self,
+        mut classify: impl FnMut(&E) -> Disposition,
+        mut op: impl FnMut(u32) -> Result<T, E>,
+    ) -> Result<T, E> {
+        let started = Instant::now();
+        let mut attempt = 1;
+        loop {
+            match op(attempt) {
+                Ok(value) => return Ok(value),
+                Err(e) => {
+                    if attempt >= self.attempts {
+                        return Err(e);
+                    }
+                    let delay = match classify(&e) {
+                        Disposition::Terminal => return Err(e),
+                        Disposition::Retry => self.backoff(attempt),
+                        Disposition::RetryAfter(d) => d,
+                    };
+                    if let Some(budget) = self.budget {
+                        if started.elapsed() + delay > budget {
+                            return Err(e);
+                        }
+                    }
+                    std::thread::sleep(delay);
+                    attempt += 1;
+                }
+            }
+        }
+    }
+}
+
+/// splitmix64: a full-period 64-bit mixer — the same finalizer the ring
+/// uses, here spreading the seed/attempt pair into jitter bits.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn succeeds_without_retrying() {
+        let policy = RetryPolicy::new(3, Duration::from_millis(1));
+        let mut calls = 0;
+        let out: Result<u32, ()> = policy.run(
+            |_| Disposition::Retry,
+            |_| {
+                calls += 1;
+                Ok(7)
+            },
+        );
+        assert_eq!(out, Ok(7));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn retries_until_attempts_are_spent() {
+        let policy = RetryPolicy::new(3, Duration::from_millis(1));
+        let mut calls = 0;
+        let out: Result<(), &str> = policy.run(
+            |_| Disposition::Retry,
+            |attempt| {
+                calls += 1;
+                assert_eq!(attempt, calls);
+                Err("nope")
+            },
+        );
+        assert_eq!(out, Err("nope"));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn recovers_after_transient_failures() {
+        let policy = RetryPolicy::new(4, Duration::from_millis(1));
+        let out: Result<u32, &str> = policy.run(
+            |_| Disposition::Retry,
+            |attempt| {
+                if attempt < 3 {
+                    Err("flaky")
+                } else {
+                    Ok(attempt)
+                }
+            },
+        );
+        assert_eq!(out, Ok(3));
+    }
+
+    #[test]
+    fn terminal_failures_stop_immediately() {
+        let policy = RetryPolicy::new(5, Duration::from_millis(1));
+        let mut calls = 0;
+        let out: Result<(), &str> = policy.run(
+            |_| Disposition::Terminal,
+            |_| {
+                calls += 1;
+                Err("bad request")
+            },
+        );
+        assert_eq!(out, Err("bad request"));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn budget_caps_total_time() {
+        // A tight budget forbids the (long) sleep the second attempt would
+        // need, so only one attempt runs.
+        let policy = RetryPolicy::new(10, Duration::from_secs(5)).budget(Duration::from_millis(1));
+        let mut calls = 0;
+        let out: Result<(), &str> = policy.run(
+            |_| Disposition::Retry,
+            |_| {
+                calls += 1;
+                Err("slow")
+            },
+        );
+        assert_eq!(out, Err("slow"));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn retry_after_overrides_backoff() {
+        let policy = RetryPolicy::new(2, Duration::from_secs(60));
+        let started = Instant::now();
+        let out: Result<u32, &str> = policy.run(
+            |_| Disposition::RetryAfter(Duration::from_millis(5)),
+            |attempt| {
+                if attempt == 1 {
+                    Err("throttled")
+                } else {
+                    Ok(2)
+                }
+            },
+        );
+        assert_eq!(out, Ok(2));
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "the 60 s exponential base must not apply"
+        );
+    }
+
+    #[test]
+    fn backoff_is_exponential_jittered_and_capped() {
+        let policy = RetryPolicy::new(8, Duration::from_millis(100))
+            .max_backoff(Duration::from_millis(400))
+            .jitter_seed(42);
+        for attempt in 1..8 {
+            let d = policy.backoff(attempt);
+            let nominal =
+                Duration::from_millis(100u64 << (attempt - 1)).min(Duration::from_millis(400));
+            assert!(d <= nominal, "attempt {attempt}: {d:?} > {nominal:?}");
+            assert!(
+                d >= nominal.mul_f64(0.75),
+                "attempt {attempt}: {d:?} under the jitter floor"
+            );
+            // Determinism: same seed, same schedule.
+            assert_eq!(d, policy.backoff(attempt));
+        }
+    }
+}

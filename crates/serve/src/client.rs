@@ -4,6 +4,7 @@
 
 use std::time::{Duration, Instant};
 
+use langeq_core::retry::RetryPolicy;
 use langeq_report::Json;
 
 use crate::http;
@@ -75,14 +76,18 @@ pub struct Submitted {
 pub struct Client {
     addr: String,
     token: Option<String>,
+    retry: RetryPolicy,
 }
 
 impl Client {
-    /// A client for `host:port`.
+    /// A client for `host:port`. No transport retries by default — tests
+    /// and scripts that want a flaky network absorbed opt in with
+    /// [`Self::with_retry`] (the CLI uses [`Self::default_retry`]).
     pub fn new(addr: impl Into<String>) -> Self {
         Client {
             addr: addr.into(),
             token: None,
+            retry: RetryPolicy::none(),
         }
     }
 
@@ -91,6 +96,19 @@ impl Client {
     pub fn with_token(mut self, token: impl Into<String>) -> Self {
         self.token = Some(token.into());
         self
+    }
+
+    /// Retries *transport* failures (refused connects, timeouts, torn
+    /// responses) under `policy`. HTTP error statuses are never retried
+    /// here — the server answered; the caller decides what a 429 means.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// The CLI's submission policy: 3 attempts, 250 ms base backoff.
+    pub fn default_retry() -> RetryPolicy {
+        RetryPolicy::new(3, Duration::from_millis(250))
     }
 
     /// The server address this client talks to.
@@ -110,14 +128,9 @@ impl Client {
             .as_deref()
             .map(|value| vec![("authorization", value)])
             .unwrap_or_default();
-        Ok(http::call_with_headers(
-            &self.addr,
-            method,
-            path,
-            content_type,
-            body,
-            &headers,
-        )?)
+        Ok(self.retry.run(http::io_disposition, |_| {
+            http::call_with_headers(&self.addr, method, path, content_type, body, &headers)
+        })?)
     }
 
     fn request(

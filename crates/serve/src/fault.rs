@@ -1,0 +1,151 @@
+//! The serve half of the **deterministic fault-injection harness**
+//! (compiled only with the `fault-inject` feature — release builds never
+//! see this module).
+//!
+//! A [`FaultPlan`] is a small bundle of armed, countable faults a test
+//! scripts against a daemon or a client:
+//!
+//! * **client transport faults** — installed per thread with
+//!   [`install_client`], consumed by [`crate::http::call_full`] on that
+//!   thread: refuse the next K connects, delay connects, cut the next
+//!   response after N bytes (a torn reply);
+//! * **server solve faults** — attached to a daemon via
+//!   `ServeOptions::fault_plan`, consumed by the worker loop: panic the
+//!   next K solves (exercising the `catch_unwind` containment).
+//!
+//! Everything is counter-based and seeded — no clocks, no global RNG — so
+//! a failing chaos test replays identically.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicI64, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A scripted set of faults. All arming methods take `&self` (state is
+/// atomic), so a test can hold one `Arc<FaultPlan>` and re-arm mid-run.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    refuse_connects: AtomicU32,
+    delay_connects: AtomicU32,
+    delay: Mutex<Duration>,
+    drop_response_after: AtomicI64,
+    panic_solves: AtomicU32,
+}
+
+impl FaultPlan {
+    /// An empty plan with a jitter seed (reproducible delay schedules).
+    pub fn new(seed: u64) -> Arc<FaultPlan> {
+        Arc::new(FaultPlan {
+            seed,
+            drop_response_after: AtomicI64::new(-1),
+            ..FaultPlan::default()
+        })
+    }
+
+    /// The next `k` connect attempts on a faulted thread fail with
+    /// `ConnectionRefused` — the observable shape of a dead-but-bound peer.
+    pub fn refuse_next_connects(&self, k: u32) {
+        self.refuse_connects.store(k, Ordering::SeqCst);
+    }
+
+    /// The next `k` connects sleep ~`delay` first (jittered ±25% by the
+    /// seed) — a slow network, without real packet loss.
+    pub fn delay_next_connects(&self, k: u32, delay: Duration) {
+        *self.delay.lock().expect("fault delay lock") = delay;
+        self.delay_connects.store(k, Ordering::SeqCst);
+    }
+
+    /// The next response read on a faulted thread is cut to `bytes` bytes
+    /// — a torn reply, as if the server died mid-answer.
+    pub fn drop_next_response_after(&self, bytes: usize) {
+        self.drop_response_after
+            .store(bytes as i64, Ordering::SeqCst);
+    }
+
+    /// The next `k` solves on a daemon carrying this plan panic inside the
+    /// engine call — exercising worker panic containment.
+    pub fn panic_next_solves(&self, k: u32) {
+        self.panic_solves.store(k, Ordering::SeqCst);
+    }
+
+    /// Consumes one armed solve panic, if any.
+    pub(crate) fn take_solve_panic(&self) -> bool {
+        take(&self.panic_solves)
+    }
+
+    fn jittered_delay(&self, nonce: u64) -> Duration {
+        let base = *self.delay.lock().expect("fault delay lock");
+        let frac = (splitmix64(self.seed ^ nonce) >> 40) as f64 / (1u64 << 24) as f64;
+        base.mul_f64(0.75 + 0.5 * frac)
+    }
+}
+
+/// Decrements a fault counter, reporting whether a charge was consumed.
+fn take(counter: &AtomicU32) -> bool {
+    counter
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+        .is_ok()
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+thread_local! {
+    static CLIENT_PLAN: RefCell<Option<Arc<FaultPlan>>> = const { RefCell::new(None) };
+}
+
+/// Installs `plan` as this thread's client-transport fault source: every
+/// [`crate::http::call_full`] made *from this thread* consults it. Returns
+/// a guard; faults stop when it drops.
+pub fn install_client(plan: Arc<FaultPlan>) -> ClientFaultGuard {
+    CLIENT_PLAN.with(|slot| *slot.borrow_mut() = Some(plan));
+    ClientFaultGuard(())
+}
+
+/// Uninstalls the thread's client fault plan on drop.
+#[derive(Debug)]
+pub struct ClientFaultGuard(());
+
+impl Drop for ClientFaultGuard {
+    fn drop(&mut self) {
+        CLIENT_PLAN.with(|slot| *slot.borrow_mut() = None);
+    }
+}
+
+/// The connect-time hook: sleeps through an armed delay, then fails an
+/// armed refusal. Called by `call_full` before connecting.
+pub(crate) fn client_connect_fault() -> std::io::Result<()> {
+    let plan = CLIENT_PLAN.with(|slot| slot.borrow().clone());
+    let Some(plan) = plan else {
+        return Ok(());
+    };
+    if take(&plan.delay_connects) {
+        let left = plan.delay_connects.load(Ordering::SeqCst);
+        std::thread::sleep(plan.jittered_delay(u64::from(left)));
+    }
+    if take(&plan.refuse_connects) {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::ConnectionRefused,
+            "fault-inject: connection refused",
+        ));
+    }
+    Ok(())
+}
+
+/// The response-read hook: cuts the raw response to the armed byte count
+/// (once). Called by `call_full` after reading.
+pub(crate) fn client_truncate_response(raw: &mut Vec<u8>) {
+    let plan = CLIENT_PLAN.with(|slot| slot.borrow().clone());
+    let Some(plan) = plan else {
+        return;
+    };
+    let armed = plan.drop_response_after.swap(-1, Ordering::SeqCst);
+    if armed >= 0 {
+        raw.truncate(armed as usize);
+    }
+}

@@ -1,0 +1,182 @@
+//! Health-checked fleet membership: a gossip-free **prober** that keeps a
+//! per-member up/down view next to the ownership ring.
+//!
+//! Every ring daemon probes every *other* member's `GET /healthz` on a
+//! jittered interval (deterministically seeded, so a fleet never probes in
+//! lockstep) under tight per-attempt deadlines. A member is marked *down*
+//! after a configurable run of consecutive failures — one lost probe is
+//! noise, N in a row is a dead peer — and marked *up* again on the first
+//! success. The view feeds [`crate::ring::Ring::owner_where`]: down
+//! members stop receiving forwards (their keys fail over to the next live
+//! member clockwise) and resume ownership the moment they probe healthy.
+//!
+//! There is no gossip and no quorum: each daemon trusts its own probes.
+//! Views may briefly disagree during a transition; that is safe because
+//! ownership is advisory — at worst two daemons solve the same signature
+//! once each, and the shared store deduplicates the results.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use langeq_core::CancelToken;
+
+use crate::http::{self, CallOpts};
+
+/// The liveness view over the ring's member list (indices align with
+/// [`crate::ring::Ring::members`]). Shared between the prober thread
+/// (writer) and request handlers (readers); plain atomics, no lock.
+pub(crate) struct PeerHealth {
+    members: Vec<String>,
+    /// This daemon's index, never probed and always up.
+    own: Option<usize>,
+    up: Vec<AtomicBool>,
+}
+
+impl PeerHealth {
+    /// A fully-up view over `members` (optimistic start: a daemon that
+    /// just booted forwards normally until probes prove otherwise).
+    pub fn new(members: &[String], own: Option<usize>) -> PeerHealth {
+        PeerHealth {
+            members: members.to_vec(),
+            own,
+            up: members.iter().map(|_| AtomicBool::new(true)).collect(),
+        }
+    }
+
+    /// Is member `index` currently believed up? Self is always up.
+    pub fn is_up(&self, index: usize) -> bool {
+        self.own == Some(index)
+            || self
+                .up
+                .get(index)
+                .is_some_and(|b| b.load(Ordering::Relaxed))
+    }
+
+    /// Members currently believed up (the `langeq_fleet_peers_up` gauge).
+    pub fn up_count(&self) -> usize {
+        (0..self.members.len()).filter(|&k| self.is_up(k)).count()
+    }
+
+    /// `(address, up, is_self)` per member — the `/v1/ring` debug view.
+    pub fn snapshot(&self) -> Vec<(&str, bool, bool)> {
+        self.members
+            .iter()
+            .enumerate()
+            .map(|(k, m)| (m.as_str(), self.is_up(k), self.own == Some(k)))
+            .collect()
+    }
+}
+
+/// Probe cadence and thresholds ([`crate::ServeOptions`] carries one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeOptions {
+    /// Nominal interval between probe rounds (jittered ±25%).
+    pub interval: Duration,
+    /// Consecutive failed probes before a member is marked down.
+    pub fail_threshold: u32,
+}
+
+impl Default for ProbeOptions {
+    fn default() -> Self {
+        ProbeOptions {
+            interval: Duration::from_secs(1),
+            fail_threshold: 3,
+        }
+    }
+}
+
+/// The prober thread body: rounds of `GET /healthz` against every foreign
+/// member until the drain token fires. `seed` decorrelates the fleet's
+/// probe schedules (derive it from the advertised address).
+pub(crate) fn probe_loop(
+    health: Arc<PeerHealth>,
+    token: CancelToken,
+    opts: ProbeOptions,
+    seed: u64,
+) {
+    // One probe must never outlive a round, or a dead network would back
+    // the schedule up behind 2×30 s socket deadlines.
+    let probe_deadline = CallOpts {
+        connect_timeout: Duration::from_millis(250).min(opts.interval),
+        read_timeout: opts.interval.max(Duration::from_millis(250)),
+        write_timeout: opts.interval.max(Duration::from_millis(250)),
+    };
+    let mut failures: Vec<u32> = health.members.iter().map(|_| 0).collect();
+    let mut round: u64 = 0;
+    while !token.is_cancelled() {
+        for (k, member) in health.members.iter().enumerate() {
+            if health.own == Some(k) || token.is_cancelled() {
+                continue;
+            }
+            let ok = matches!(
+                http::call_full(
+                    member,
+                    "GET",
+                    "/healthz",
+                    "text/plain",
+                    b"",
+                    &[],
+                    probe_deadline
+                ),
+                Ok((200, _, _))
+            );
+            let was_up = health.up[k].load(Ordering::Relaxed);
+            if ok {
+                if !was_up {
+                    eprintln!("[serve] peer {member} is back up");
+                }
+                failures[k] = 0;
+                health.up[k].store(true, Ordering::Relaxed);
+            } else {
+                failures[k] = failures[k].saturating_add(1);
+                if was_up && failures[k] >= opts.fail_threshold {
+                    eprintln!(
+                        "[serve] peer {member} marked down after {} failed probes",
+                        failures[k]
+                    );
+                    health.up[k].store(false, Ordering::Relaxed);
+                }
+            }
+        }
+        round += 1;
+        // Jitter the round interval ±25%, deterministically per daemon.
+        let frac = (splitmix64(seed ^ round) >> 40) as f64 / (1u64 << 24) as f64;
+        let mut remaining = opts.interval.mul_f64(0.75 + 0.5 * frac);
+        while !remaining.is_zero() && !token.is_cancelled() {
+            let slice = remaining.min(Duration::from_millis(25));
+            std::thread::sleep(slice);
+            remaining = remaining.saturating_sub(slice);
+        }
+    }
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_is_always_up_and_counts() {
+        let members: Vec<String> = vec!["a:1".into(), "b:1".into(), "c:1".into()];
+        let health = PeerHealth::new(&members, Some(1));
+        assert_eq!(health.up_count(), 3);
+        health.up[0].store(false, Ordering::Relaxed);
+        assert_eq!(health.up_count(), 2);
+        assert!(!health.is_up(0));
+        // Marking self down is ignored: a daemon answering requests is up.
+        health.up[1].store(false, Ordering::Relaxed);
+        assert!(health.is_up(1));
+        assert_eq!(health.up_count(), 2);
+        let snap = health.snapshot();
+        assert_eq!(snap[0], ("a:1", false, false));
+        assert_eq!(snap[1], ("b:1", true, true));
+        assert_eq!(snap[2], ("c:1", true, false));
+    }
+}

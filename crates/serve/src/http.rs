@@ -12,12 +12,19 @@
 //!
 //! **Client side** ([`call`]): a blocking one-shot request over
 //! `TcpStream`, reading the response to EOF (the server closes). This is
-//! what `langeq submit` and the load-generator example speak.
+//! what `langeq submit` and the load-generator example speak. Every call
+//! runs under per-attempt deadlines ([`CallOpts`]: connect, read, write) —
+//! a dead-but-routed peer costs the connect timeout, never an OS-default
+//! SYN stall — and [`io_disposition`] classifies failures for the shared
+//! [`RetryPolicy`](langeq_core::RetryPolicy): transient transport faults
+//! (refused, reset, timeout, torn response) retry, everything else is
+//! terminal.
 
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use langeq_core::retry::Disposition;
 use langeq_report::Json;
 
 /// Header-section byte budget (request line + headers).
@@ -263,6 +270,64 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
+/// Per-attempt deadlines of one client call. Defaults suit an interactive
+/// client (10 s connect, 30 s read/write); peer-to-peer calls inside the
+/// fleet use much tighter budgets so a dead member costs milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallOpts {
+    /// TCP connect deadline (never the OS default SYN timeout).
+    pub connect_timeout: Duration,
+    /// Socket read deadline.
+    pub read_timeout: Duration,
+    /// Socket write deadline.
+    pub write_timeout: Duration,
+}
+
+impl Default for CallOpts {
+    fn default() -> Self {
+        CallOpts {
+            connect_timeout: Duration::from_secs(10),
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+impl CallOpts {
+    /// The fleet-internal budget: 250 ms to connect (a live peer on the
+    /// same network answers in microseconds), `read` to finish answering.
+    pub fn peer(read: Duration) -> CallOpts {
+        CallOpts {
+            connect_timeout: Duration::from_millis(250),
+            read_timeout: read,
+            write_timeout: read,
+        }
+    }
+}
+
+/// Classifies one transport failure for the shared
+/// [`RetryPolicy`](langeq_core::RetryPolicy): faults a healthy retry can
+/// plausibly outrun — connection refused/reset (peer mid-restart),
+/// timeouts, a torn or malformed response (connection cut mid-reply) —
+/// are [`Disposition::Retry`]; anything else (no such host, permission)
+/// is terminal.
+pub fn io_disposition(e: &std::io::Error) -> Disposition {
+    use std::io::ErrorKind as K;
+    match e.kind() {
+        K::ConnectionRefused
+        | K::ConnectionReset
+        | K::ConnectionAborted
+        | K::NotConnected
+        | K::BrokenPipe
+        | K::TimedOut
+        | K::WouldBlock // POSIX read timeouts surface as EWOULDBLOCK
+        | K::UnexpectedEof
+        | K::InvalidData // torn/malformed response
+        | K::Interrupted => Disposition::Retry,
+        _ => Disposition::Terminal,
+    }
+}
+
 /// One blocking client request: connect, send, read the full response
 /// (the server closes the connection). Returns `(status, body)`.
 pub fn call(
@@ -287,9 +352,56 @@ pub fn call_with_headers(
     body: &[u8],
     extra_headers: &[(&str, &str)],
 ) -> std::io::Result<(u16, Vec<u8>)> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let (status, _, body) = call_full(
+        addr,
+        method,
+        path,
+        content_type,
+        body,
+        extra_headers,
+        CallOpts::default(),
+    )?;
+    Ok((status, body))
+}
+
+/// Connects under an explicit deadline, trying every resolved address.
+fn connect_with_timeout(addr: &str, timeout: Duration) -> std::io::Result<TcpStream> {
+    let mut last = None;
+    for resolved in addr.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&resolved, timeout) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("`{addr}` resolved to no addresses"),
+        )
+    }))
+}
+
+/// A parsed client-side response: status, headers (names lower-cased),
+/// body bytes.
+pub type FullResponse = (u16, Vec<(String, String)>, Vec<u8>);
+
+/// The full-control client call: explicit deadlines, and the parsed
+/// response headers alongside status and body — what retry classification
+/// needs to honour `Retry-After`.
+pub fn call_full(
+    addr: &str,
+    method: &str,
+    path: &str,
+    content_type: &str,
+    body: &[u8],
+    extra_headers: &[(&str, &str)],
+    opts: CallOpts,
+) -> std::io::Result<FullResponse> {
+    #[cfg(feature = "fault-inject")]
+    crate::fault::client_connect_fault()?;
+    let mut stream = connect_with_timeout(addr, opts.connect_timeout)?;
+    stream.set_read_timeout(Some(opts.read_timeout))?;
+    stream.set_write_timeout(Some(opts.write_timeout))?;
     let mut head = format!(
         "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: {content_type}\r\n\
          Content-Length: {}\r\nConnection: close\r\n",
@@ -311,6 +423,8 @@ pub fn call_with_headers(
     // body early (413) may answer and close before consuming everything.
     let mut raw = Vec::new();
     let received = stream.read_to_end(&mut raw);
+    #[cfg(feature = "fault-inject")]
+    crate::fault::client_truncate_response(&mut raw);
     if raw.is_empty() {
         sent?;
         received?;
@@ -322,12 +436,20 @@ pub fn call_with_headers(
         .windows(4)
         .position(|w| w == b"\r\n\r\n")
         .ok_or_else(bad)?;
-    let status = std::str::from_utf8(&raw[..split])
-        .ok()
-        .and_then(|h| h.split_whitespace().nth(1))
+    let head = std::str::from_utf8(&raw[..split]).map_err(|_| bad())?;
+    let mut lines = head.lines();
+    let status = lines
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
         .and_then(|s| s.parse::<u16>().ok())
         .ok_or_else(bad)?;
-    Ok((status, raw[split + 4..].to_vec()))
+    let headers = lines
+        .filter_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            Some((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+        })
+        .collect();
+    Ok((status, headers, raw[split + 4..].to_vec()))
 }
 
 #[cfg(test)]

@@ -24,7 +24,9 @@
 //! | `GET /v1/jobs/{id}` | status: `queued`/`running`/`done`, cells done, live kernel sample |
 //! | `GET /v1/jobs/{id}/result` | the cell reports (200), or 202 while running |
 //! | `GET /v1/jobs/{id}/snapshot` | the solved CSF as a binary LQAS blob (200), 404 when none exists |
-//! | `GET /healthz` | liveness, advertised address, ring size |
+//! | `GET /healthz` | liveness, advertised address, ring size, live peer count |
+//! | `GET /readyz` | readiness: 200 when accepting work, 503 when draining, the queue is full, the store errors, or no worker is alive |
+//! | `GET /v1/ring` | fleet debug view: every ring member with its live up/down state |
 //! | `GET /metrics` | text exposition: queue/jobs/cache/kernel/fleet counters |
 //!
 //! A full queue answers **429** (backpressure), an oversized body **413**,
@@ -48,6 +50,16 @@
 //!   and relays the ack with an `owner` field — clients poll the owner.
 //!   Sweep cells are not forwarded, but probe the owner's cache via
 //!   `/v1/lookup` before solving. Peer failures fall back to local solves.
+//!
+//! Ring membership is **health-checked**: each daemon probes its peers'
+//! `/healthz` on a jittered interval and marks members down after a run of
+//! consecutive failures. Down members are skipped by ownership routing
+//! (their keys fail over to the next live member clockwise and return on
+//! recovery), every peer call runs under the shared
+//! [`langeq_core::RetryPolicy`] with tight connect deadlines, and a
+//! forwarder whose owner is unreachable solves locally and journals to the
+//! shared store — so the recovered owner warm-loads the result instead of
+//! re-solving it.
 //!
 //! ## `POST /v1/solve` body
 //!
@@ -97,8 +109,13 @@
 pub mod http;
 pub mod ring;
 
+#[cfg(feature = "fault-inject")]
+pub mod fault;
+
 mod client;
+mod health;
 mod server;
 
 pub use client::{Client, ClientError, Submitted};
+pub use health::ProbeOptions;
 pub use server::{ServeOptions, Server};

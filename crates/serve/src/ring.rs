@@ -12,6 +12,13 @@
 //! Ownership is *advisory*: a daemon that cannot reach the owner solves
 //! locally (the shared store still deduplicates results), so a ring is a
 //! routing optimisation, never a correctness requirement.
+//!
+//! With health-checked membership (PR 7) the ring *rebalances*:
+//! [`Ring::owner_where`] takes a liveness view and skips down members, so
+//! a dead member's keys deterministically fail over to the next live
+//! member clockwise — and return the moment the member is probed back up.
+//! Every daemon holding the same up/down view computes the same owner, so
+//! failover needs no coordination either.
 
 use langeq_core::sig::fnv1a64;
 
@@ -96,6 +103,47 @@ impl Ring {
             _ => true,
         }
     }
+
+    /// This daemon's index in [`Self::members`], when it is a member.
+    pub fn own_index(&self) -> Option<usize> {
+        self.own
+    }
+
+    /// The address owning `sig` under a liveness view: the first virtual
+    /// point clockwise from the signature's hash whose member `alive`
+    /// accepts. Down members are skipped, so their keys fail over to the
+    /// next live member clockwise — and move back when the member
+    /// recovers, because the walk always starts from the true owner.
+    /// `None` when the ring is empty or every member is down.
+    pub fn owner_where(&self, sig: &str, mut alive: impl FnMut(usize) -> bool) -> Option<&str> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let h = point(sig.as_bytes());
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        let n = self.points.len();
+        // Consecutive points often belong to few members; memoize the
+        // verdicts so `alive` is asked once per member, not per point.
+        let mut verdicts: Vec<Option<bool>> = vec![None; self.members.len()];
+        for k in 0..n {
+            let member = self.points[(start + k) % n].1;
+            let live = *verdicts[member].get_or_insert_with(|| alive(member));
+            if live {
+                return Some(self.members[member].as_str());
+            }
+        }
+        None
+    }
+
+    /// [`Self::owns`] under a liveness view: true when the live walk lands
+    /// on this daemon (or it is not a member / nobody is live — then the
+    /// only useful answer is a local solve).
+    pub fn owns_where(&self, sig: &str, alive: impl FnMut(usize) -> bool) -> bool {
+        match (self.own, self.owner_where(sig, alive)) {
+            (Some(own), Some(owner)) => self.members[own] == owner,
+            _ => true,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +210,56 @@ mod tests {
         assert!(empty.is_empty());
         assert_eq!(empty.owner("sig"), None);
         assert!(empty.owns("sig"));
+    }
+
+    #[test]
+    fn down_members_fail_over_deterministically_and_recover() {
+        let members = addrs(3);
+        let rings: Vec<Ring> = members.iter().map(|m| Ring::new(&members, m)).collect();
+        let ring = &rings[0];
+        for k in 0..200 {
+            let sig = format!("sig-{k}");
+            let owner = ring.owner(&sig).unwrap().to_string();
+            let down = ring.members().iter().position(|m| *m == owner).unwrap();
+
+            // With the true owner down, every member's live walk agrees on
+            // one surviving owner, and it is not the dead member.
+            let failover: Vec<&str> = rings
+                .iter()
+                .map(|r| r.owner_where(&sig, |m| m != down).unwrap())
+                .collect();
+            assert!(failover.windows(2).all(|w| w[0] == w[1]), "{sig}");
+            assert_ne!(failover[0], owner, "{sig}: a down member cannot own");
+            assert_eq!(
+                rings
+                    .iter()
+                    .filter(|r| r.owns_where(&sig, |m| m != down))
+                    .count(),
+                1,
+                "{sig}: exactly one survivor claims the key"
+            );
+
+            // Full health restores the original routing.
+            assert_eq!(ring.owner_where(&sig, |_| true).unwrap(), owner, "{sig}");
+        }
+        // All members down: no owner; a non-member still handles locally.
+        assert_eq!(ring.owner_where("sig-0", |_| false), None);
+        let outsider = Ring::new(&members, "192.168.1.1:9999");
+        assert!(outsider.owns_where("sig-0", |_| false));
+    }
+
+    #[test]
+    fn failover_only_moves_the_dead_members_keys() {
+        let ring = Ring::new(&addrs(4), "10.0.0.0:7878");
+        let down = 2;
+        for k in 0..500 {
+            let sig = format!("sig-{k}");
+            let before = ring.owner(&sig).unwrap();
+            let after = ring.owner_where(&sig, |m| m != down).unwrap();
+            if before != ring.members()[down] {
+                assert_eq!(before, after, "{sig}: live members keep their keys");
+            }
+        }
     }
 
     #[test]

@@ -46,14 +46,17 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use langeq_core::batch::manifest::{parse_manifest, resolve_source};
-use langeq_core::sig::cell_signature;
+use langeq_core::batch::CellOutcome;
+use langeq_core::retry::{Disposition, RetryPolicy};
+use langeq_core::sig::{cell_signature, fnv1a64};
 use langeq_core::{
     CancelToken, CellReport, ConfigSpec, InstanceSpec, JournalStore, KernelSample, LocalFileStore,
     SharedDirStore, SolverKind, SolverLimits, SuiteEvent, SuiteOptions, SuitePlan,
 };
 use langeq_report::Json;
 
-use crate::http::{self, Request, Response};
+use crate::health::{probe_loop, PeerHealth, ProbeOptions};
+use crate::http::{self, CallOpts, Request, Response};
 use crate::ring::Ring;
 
 /// Header marking a request as already forwarded once: the receiving
@@ -74,6 +77,9 @@ pub struct ServeOptions {
     advertise: Option<String>,
     auth_token: Option<String>,
     rate_limit: Option<f64>,
+    probe: ProbeOptions,
+    #[cfg(feature = "fault-inject")]
+    faults: Option<Arc<crate::fault::FaultPlan>>,
     token: CancelToken,
 }
 
@@ -91,6 +97,7 @@ impl std::fmt::Debug for ServeOptions {
             .field("advertise", &self.advertise)
             .field("auth_token", &self.auth_token.as_ref().map(|_| "<set>"))
             .field("rate_limit", &self.rate_limit)
+            .field("probe", &self.probe)
             .finish_non_exhaustive()
     }
 }
@@ -109,6 +116,9 @@ impl Default for ServeOptions {
             advertise: None,
             auth_token: None,
             rate_limit: None,
+            probe: ProbeOptions::default(),
+            #[cfg(feature = "fault-inject")]
+            faults: None,
             token: CancelToken::new(),
         }
     }
@@ -198,6 +208,28 @@ impl ServeOptions {
     /// peer traffic is exempt.
     pub fn rate_limit(mut self, per_second: f64) -> Self {
         self.rate_limit = Some(per_second.max(0.01));
+        self
+    }
+
+    /// Interval between peer health-probe rounds in fleet mode (jittered
+    /// ±25% so a fleet never probes in lockstep). Default 1 s.
+    pub fn probe_interval(mut self, interval: Duration) -> Self {
+        self.probe.interval = interval.max(Duration::from_millis(10));
+        self
+    }
+
+    /// Consecutive failed probes before a peer is marked down (and its
+    /// keys fail over). Default 3.
+    pub fn fail_threshold(mut self, probes: u32) -> Self {
+        self.probe.fail_threshold = probes.max(1);
+        self
+    }
+
+    /// Attaches a scripted [`crate::fault::FaultPlan`] to the daemon: its
+    /// armed solve faults fire inside the worker loop (test-only).
+    #[cfg(feature = "fault-inject")]
+    pub fn fault_plan(mut self, plan: Arc<crate::fault::FaultPlan>) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -300,25 +332,34 @@ impl State {
         }
     }
 
-    /// Pulls records other writers appended to the shared store since the
-    /// last look into the in-memory cache. Returns how many arrived — the
-    /// "did a peer already solve this?" probe on a local miss. A
-    /// [`LocalFileStore`] (single writer) always returns 0.
-    fn refresh_cache(&mut self) -> usize {
+    /// Fallible core of [`Self::refresh_cache`]: pulls records other
+    /// writers appended to the shared store since the last look into the
+    /// in-memory cache, retrying transient I/O briefly (a racing writer
+    /// mid-append is gone within milliseconds). Returns how many records
+    /// arrived; the readiness probe uses the error to report the store
+    /// unreachable. A [`LocalFileStore`] (single writer) always returns 0.
+    fn try_refresh_cache(&mut self) -> std::io::Result<usize> {
         let Some(store) = self.store.as_mut() else {
-            return 0;
+            return Ok(0);
         };
-        match store.refresh() {
-            Ok(records) => {
-                let mut fresh = 0;
-                for report in records {
-                    if !report.sig.is_empty() {
-                        self.cache.insert(report.sig.clone(), report);
-                        fresh += 1;
-                    }
-                }
-                fresh
+        let records = RetryPolicy::new(3, Duration::from_millis(20))
+            .run(|_| Disposition::Retry, |_| store.refresh())?;
+        let mut fresh = 0;
+        for report in records {
+            if !report.sig.is_empty() {
+                self.cache.insert(report.sig.clone(), report);
+                fresh += 1;
             }
+        }
+        Ok(fresh)
+    }
+
+    /// [`Self::try_refresh_cache`], with errors logged and swallowed — the
+    /// "did a peer already solve this?" probe on a local miss; an
+    /// unreachable store degrades to a miss, never an outage.
+    fn refresh_cache(&mut self) -> usize {
+        match self.try_refresh_cache() {
+            Ok(fresh) => fresh,
             Err(e) => {
                 eprintln!("[serve] store refresh failed: {e}");
                 0
@@ -351,6 +392,11 @@ struct Metrics {
     snapshot_bytes: AtomicU64,
     /// Peer calls that failed (transport error or 5xx) and fell back.
     peer_errors: AtomicU64,
+    /// Extra peer-call attempts after a retryable failure.
+    peer_retries: AtomicU64,
+    /// Solver panics contained by the worker loop (the job is marked
+    /// failed; the worker survives).
+    worker_panics: AtomicU64,
     /// POSTs rejected 401.
     auth_failures: AtomicU64,
     /// Submissions rejected 429 by the per-client rate limit.
@@ -386,6 +432,13 @@ struct Shared {
     connections: AtomicU64,
     /// Ownership ring, when `--peers` configured a fleet.
     ring: Option<Ring>,
+    /// The prober's live up/down view over the ring members (fleet only).
+    health: Option<Arc<PeerHealth>>,
+    /// Worker threads currently alive: 0 means the pool is wedged and the
+    /// daemon must answer `/readyz` with 503.
+    live_workers: AtomicU64,
+    #[cfg(feature = "fault-inject")]
+    faults: Option<Arc<crate::fault::FaultPlan>>,
     /// This daemon's address in the peer list.
     advertise: String,
     auth_token: Option<String>,
@@ -408,6 +461,8 @@ impl Server {
     /// Binds, opens the store and warms the cache from it, builds the peer
     /// ring, and spawns the accept loop plus the worker pool.
     pub fn start(opts: ServeOptions) -> std::io::Result<Server> {
+        #[cfg(feature = "fault-inject")]
+        let faults = opts.faults.clone();
         let ServeOptions {
             addr,
             jobs,
@@ -420,7 +475,9 @@ impl Server {
             advertise,
             auth_token,
             rate_limit,
+            probe,
             token,
+            ..
         } = opts;
         let listener = TcpListener::bind(&addr)?;
         listener.set_nonblocking(true)?;
@@ -449,6 +506,11 @@ impl Server {
         } else {
             Some(Ring::new(&peers, &advertise))
         };
+        // The liveness view indexes the ring's (sorted, deduped) member
+        // list; the prober thread below keeps it current.
+        let health = ring
+            .as_ref()
+            .map(|r| Arc::new(PeerHealth::new(r.members(), r.own_index())));
 
         let workers = match jobs {
             0 => std::thread::available_parallelism()
@@ -473,6 +535,10 @@ impl Server {
             metrics: Metrics::default(),
             connections: AtomicU64::new(0),
             ring,
+            health: health.clone(),
+            live_workers: AtomicU64::new(0),
+            #[cfg(feature = "fault-inject")]
+            faults,
             advertise,
             auth_token,
             rate_limit,
@@ -487,6 +553,15 @@ impl Server {
         {
             let shared = Arc::clone(&shared);
             threads.push(std::thread::spawn(move || accept_loop(&shared, listener)));
+        }
+        if let Some(health) = health {
+            // Seed the probe jitter from the advertised address so every
+            // fleet member walks a different (but reproducible) schedule.
+            let token = shared.token.clone();
+            let seed = fnv1a64(shared.advertise.as_bytes());
+            threads.push(std::thread::spawn(move || {
+                probe_loop(health, token, probe, seed);
+            }));
         }
         Ok(Server {
             shared,
@@ -619,8 +694,11 @@ fn route(shared: &Arc<Shared>, request: &Request, peer: Option<IpAddr>) -> Respo
                 .set(
                     "peers",
                     shared.ring.as_ref().map(Ring::len).unwrap_or_default(),
-                ),
+                )
+                .set("peers_up", fleet_peers_up(shared)),
         ),
+        ("GET", "/readyz") => readyz(shared),
+        ("GET", "/v1/ring") => ring_endpoint(shared),
         ("GET", "/metrics") => Response::text(200, metrics_text(shared)),
         ("POST", "/v1/solve") => submit_solve(shared, request, peer),
         ("POST", "/v1/lookup") => lookup_endpoint(shared, request),
@@ -635,6 +713,72 @@ fn route(shared: &Arc<Shared>, request: &Request, peer: Option<IpAddr>) -> Respo
         ("GET", _) | ("POST", _) => Response::error(404, "no such endpoint"),
         _ => Response::error(405, "only GET and POST are served"),
     }
+}
+
+/// Ring members this daemon currently believes up (self included); the
+/// full ring size when no fleet is configured or the prober has no view.
+fn fleet_peers_up(shared: &Arc<Shared>) -> usize {
+    shared
+        .health
+        .as_ref()
+        .map(|h| h.up_count())
+        .or_else(|| shared.ring.as_ref().map(Ring::len))
+        .unwrap_or_default()
+}
+
+/// Is ring member `index` currently believed up? Everyone is, without a
+/// prober view — the liveness predicate ownership routing runs under.
+fn member_is_up(shared: &Shared, index: usize) -> bool {
+    match shared.health.as_ref() {
+        Some(health) => health.is_up(index),
+        None => true,
+    }
+}
+
+/// `GET /readyz`: can this daemon *accept* work right now? 503 while
+/// draining, when the queue is full, when the store errors, or when no
+/// worker thread is alive — a load balancer steers around a not-ready
+/// member while `/healthz` (pure liveness) stays green.
+fn readyz(shared: &Arc<Shared>) -> Response {
+    let draining = shared.token.is_cancelled();
+    let live_workers = shared.live_workers.load(Ordering::Relaxed) as usize;
+    let (queue_depth, store_ok) = {
+        let mut state = shared.state.lock().expect("state lock");
+        let store_ok = state.try_refresh_cache().is_ok();
+        (state.queue.len(), store_ok)
+    };
+    let ready = !draining && store_ok && live_workers > 0 && queue_depth < shared.queue_cap;
+    Response::json(
+        if ready { 200 } else { 503 },
+        &Json::obj()
+            .set("ready", ready)
+            .set("draining", draining)
+            .set("queue_depth", queue_depth)
+            .set("queue_cap", shared.queue_cap)
+            .set("store_ok", store_ok)
+            .set("live_workers", live_workers),
+    )
+}
+
+/// `GET /v1/ring`: the fleet debug view — every ring member with this
+/// daemon's current up/down verdict on it.
+fn ring_endpoint(shared: &Arc<Shared>) -> Response {
+    let Some(health) = shared.health.as_ref() else {
+        return Response::error(404, "no ring configured (start with --peers)");
+    };
+    let members: Vec<Json> = health
+        .snapshot()
+        .into_iter()
+        .map(|(addr, up, own)| Json::obj().set("addr", addr).set("up", up).set("self", own))
+        .collect();
+    Response::json(
+        200,
+        &Json::obj()
+            .set("advertise", shared.advertise.as_str())
+            .set("peers", members.len())
+            .set("peers_up", health.up_count())
+            .set("members", members),
+    )
 }
 
 /// 401 unless the request carries the configured bearer token (no token
@@ -923,13 +1067,17 @@ fn submit_solve(shared: &Arc<Shared>, request: &Request, peer: Option<IpAddr>) -
         }
     }
     // Fleet routing: a daemon that does not own this signature relays the
-    // request to the owner (exactly one hop — the forward marker stops
-    // re-forwarding). Errors fall back to a local solve: the ring is a
-    // routing optimisation, never a correctness requirement.
+    // request to the *live* owner (exactly one hop — the forward marker
+    // stops re-forwarding); down members are skipped, so a dead owner's
+    // keys fail over to the next live member clockwise. Errors fall back
+    // to a local solve that still journals to the shared store (the
+    // recovered owner warm-loads it): the ring is a routing optimisation,
+    // never a correctness requirement.
     if !forwarded {
         if let Some(ring) = &shared.ring {
-            if !ring.owns(&sig) {
-                if let Some(owner) = ring.owner(&sig).map(str::to_string) {
+            let alive = |m: usize| member_is_up(shared, m);
+            if !ring.owns_where(&sig, alive) {
+                if let Some(owner) = ring.owner_where(&sig, alive).map(str::to_string) {
                     match forward_solve(shared, &owner, body) {
                         Ok(relayed) => return relayed,
                         Err(()) => shared.metrics.bump(&shared.metrics.peer_errors),
@@ -1059,24 +1207,87 @@ fn peer_headers(auth: &Option<String>) -> Vec<(&str, &str)> {
     headers
 }
 
+/// One peer call's failure, classified for the retry engine: transport
+/// errors keep their [`std::io::Error`] kind, retry-worthy statuses (5xx,
+/// 429) carry the status and any `Retry-After` hint.
+enum PeerError {
+    Io(std::io::Error),
+    Status {
+        status: u16,
+        retry_after: Option<u64>,
+        body: Vec<u8>,
+    },
+}
+
+/// The shared classifier of every peer path: connect refusals, timeouts
+/// and torn responses retry; 429 honours (a capped) `Retry-After`; other
+/// statuses here are 5xx, which retry too. Counts each true retry.
+fn peer_disposition(shared: &Arc<Shared>, error: &PeerError) -> Disposition {
+    let disposition = match error {
+        PeerError::Io(e) => http::io_disposition(e),
+        PeerError::Status {
+            status: 429,
+            retry_after: Some(secs),
+            ..
+        } => Disposition::RetryAfter(Duration::from_secs(*secs).min(Duration::from_secs(2))),
+        PeerError::Status { .. } => Disposition::Retry,
+    };
+    if !matches!(disposition, Disposition::Terminal) {
+        shared.metrics.bump(&shared.metrics.peer_retries);
+    }
+    disposition
+}
+
+/// The policy peer forwards run under: a few quick attempts with tight
+/// per-attempt deadlines, bounded overall — a dead peer must cost this
+/// daemon milliseconds, never a full socket timeout per hop.
+fn peer_policy(shared: &Arc<Shared>) -> RetryPolicy {
+    RetryPolicy::new(3, Duration::from_millis(50))
+        .budget(Duration::from_secs(2))
+        .jitter_seed(fnv1a64(shared.advertise.as_bytes()))
+}
+
 /// Relays a solve body to its ring owner and returns the owner's ack with
-/// an `owner` field added (clients poll the owner for the result).
-/// `Err(())` — transport failure or a 5xx — tells the caller to solve
-/// locally instead.
+/// an `owner` field added (clients poll the owner for the result). Runs
+/// under [`peer_policy`]; an exhausted 429 is relayed (the owner's
+/// backpressure is honest), `Err(())` — transport failure or a 5xx —
+/// tells the caller to solve locally instead.
 fn forward_solve(shared: &Arc<Shared>, owner: &str, body: &str) -> Result<Response, ()> {
     let auth = shared.auth_token.as_ref().map(|t| format!("Bearer {t}"));
-    let (status, raw) = http::call_with_headers(
-        owner,
-        "POST",
-        "/v1/solve",
-        "application/json",
-        body.as_bytes(),
-        &peer_headers(&auth),
-    )
-    .map_err(|_| ())?;
-    if status >= 500 {
-        return Err(());
-    }
+    let result = peer_policy(shared).run(
+        |e| peer_disposition(shared, e),
+        |_| {
+            let (status, headers, raw) = http::call_full(
+                owner,
+                "POST",
+                "/v1/solve",
+                "application/json",
+                body.as_bytes(),
+                &peer_headers(&auth),
+                CallOpts::peer(Duration::from_secs(10)),
+            )
+            .map_err(PeerError::Io)?;
+            if status >= 500 || status == 429 {
+                let retry_after = headers
+                    .iter()
+                    .find(|(name, _)| name == "retry-after")
+                    .and_then(|(_, value)| value.trim().parse().ok());
+                return Err(PeerError::Status {
+                    status,
+                    retry_after,
+                    body: raw,
+                });
+            }
+            Ok((status, raw))
+        },
+    );
+    let (status, raw) = match result {
+        Ok(answer) => answer,
+        Err(PeerError::Status {
+            status: 429, body, ..
+        }) => (429, body),
+        Err(_) => return Err(()),
+    };
     let text = String::from_utf8(raw).map_err(|_| ())?;
     let json = Json::parse(&text).map_err(|_| ())?;
     shared.metrics.bump(&shared.metrics.forwards);
@@ -1087,20 +1298,33 @@ fn forward_solve(shared: &Arc<Shared>, owner: &str, body: &str) -> Result<Respon
 }
 
 /// Probes the ring owner's cache for a signature (used by sweep cells,
-/// which are never forwarded whole). `Ok(None)` is an honest miss;
-/// `Err(())` is a peer failure.
+/// which are never forwarded whole). Transport errors get one quick retry
+/// — this probe is an optimisation, so the budget is small. `Ok(None)` is
+/// an honest miss; `Err(())` is a peer failure.
 fn peer_lookup(shared: &Arc<Shared>, owner: &str, sig: &str) -> Result<Option<CellReport>, ()> {
     let auth = shared.auth_token.as_ref().map(|t| format!("Bearer {t}"));
     let body = Json::obj().set("sig", sig).to_string();
-    let (status, raw) = http::call_with_headers(
-        owner,
-        "POST",
-        "/v1/lookup",
-        "application/json",
-        body.as_bytes(),
-        &peer_headers(&auth),
-    )
-    .map_err(|_| ())?;
+    let policy = RetryPolicy::new(2, Duration::from_millis(50))
+        .budget(Duration::from_millis(500))
+        .jitter_seed(fnv1a64(shared.advertise.as_bytes()));
+    let (status, raw) = policy
+        .run(
+            |e| peer_disposition(shared, e),
+            |_| {
+                let (status, _, raw) = http::call_full(
+                    owner,
+                    "POST",
+                    "/v1/lookup",
+                    "application/json",
+                    body.as_bytes(),
+                    &peer_headers(&auth),
+                    CallOpts::peer(Duration::from_secs(2)),
+                )
+                .map_err(PeerError::Io)?;
+                Ok((status, raw))
+            },
+        )
+        .map_err(|_| ())?;
     if status != 200 {
         return Ok(None);
     }
@@ -1261,7 +1485,9 @@ fn metrics_text(shared: &Arc<Shared>) -> String {
     let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
     format!(
         "langeq_workers {}\n\
+         langeq_live_workers {}\n\
          langeq_fleet_peers {}\n\
+         langeq_fleet_peers_up {}\n\
          langeq_jobs_queued {queued}\n\
          langeq_jobs_running {running}\n\
          langeq_jobs_done {done}\n\
@@ -1281,10 +1507,14 @@ fn metrics_text(shared: &Arc<Shared>) -> String {
          langeq_remote_cache_hits_total {}\n\
          langeq_snapshot_bytes_total {}\n\
          langeq_peer_errors_total {}\n\
+         langeq_peer_retries_total {}\n\
+         langeq_worker_panics_total {}\n\
          langeq_auth_failures_total {}\n\
          langeq_rate_limited_total {}\n",
         shared.workers,
+        shared.live_workers.load(Ordering::Relaxed),
         shared.ring.as_ref().map(Ring::len).unwrap_or_default(),
+        fleet_peers_up(shared),
         get(&m.requests),
         get(&m.accepted),
         get(&m.rejected_full),
@@ -1300,6 +1530,8 @@ fn metrics_text(shared: &Arc<Shared>) -> String {
         get(&m.remote_cache_hits),
         get(&m.snapshot_bytes),
         get(&m.peer_errors),
+        get(&m.peer_retries),
+        get(&m.worker_panics),
         get(&m.auth_failures),
         get(&m.rate_limited),
     )
@@ -1412,6 +1644,17 @@ fn parse_solve_request(body: &str) -> Result<(InstanceSpec, ConfigSpec), String>
 /// empty — queued cells still drain through the (pre-cancelled) engine,
 /// producing honest `cancelled` reports instead of vanishing.
 fn worker_loop(shared: &Arc<Shared>) {
+    /// Keeps the live-worker gauge honest on *every* exit path — if a
+    /// worker ever dies (contained panics never kill one, but readiness
+    /// must not trust that), `/readyz` sees the count drop.
+    struct Alive<'a>(&'a AtomicU64);
+    impl Drop for Alive<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    shared.live_workers.fetch_add(1, Ordering::Relaxed);
+    let _alive = Alive(&shared.live_workers);
     loop {
         let (id, cell, work, token) = {
             let mut state = shared.state.lock().expect("state lock");
@@ -1479,6 +1722,16 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
+/// Best-effort text of a caught panic payload (`panic!` carries `&str` or
+/// `String`; anything else is reported generically).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
+}
+
 /// Runs one cell through the cache tiers: the in-memory map, a shared-store
 /// refresh, the ring owner's cache — and only then the Suite engine. A
 /// fresh fair result is inserted, appended to the store, and its CSF
@@ -1516,13 +1769,14 @@ fn run_cell_cached(
         shared.metrics.bump(&shared.metrics.cache_hits);
         return (relabel(report), None);
     }
-    // Sweep cells are never forwarded whole, but the ring owner of each
-    // signature concentrates its results — one cheap probe there beats
-    // re-solving. Only when the owner honestly misses (or fails) does this
-    // daemon burn CPU.
+    // Sweep cells are never forwarded whole, but the live ring owner of
+    // each signature concentrates its results — one cheap probe there
+    // beats re-solving. Only when the owner honestly misses (or fails)
+    // does this daemon burn CPU.
     if let Some(ring) = &shared.ring {
-        if !ring.owns(&sig) {
-            if let Some(owner) = ring.owner(&sig).map(str::to_string) {
+        let alive = |m: usize| member_is_up(shared, m);
+        if !ring.owns_where(&sig, alive) {
+            if let Some(owner) = ring.owner_where(&sig, alive).map(str::to_string) {
                 match peer_lookup(shared, &owner, &sig) {
                     Ok(Some(report)) => {
                         shared.metrics.bump(&shared.metrics.remote_cache_hits);
@@ -1551,8 +1805,20 @@ fn run_cell_cached(
     // CSF across the `execute` boundary.
     let snap_slot: Arc<Mutex<Option<Vec<u8>>>> = Arc::new(Mutex::new(None));
     let hook_slot = Arc::clone(&snap_slot);
-    let suite = plan
-        .execute(
+    #[cfg(feature = "fault-inject")]
+    let inject_panic = shared.faults.as_ref().is_some_and(|f| f.take_solve_panic());
+    #[cfg(not(feature = "fault-inject"))]
+    let inject_panic = false;
+    // Panic containment: a solver bug (or an injected fault) must cost one
+    // job, not one worker — the pool's size is the service's capacity.
+    // AssertUnwindSafe is fine here: on unwind every captured value is
+    // dropped without being observed again (the snapshot slot is recreated
+    // per call, the job sample is overwritten or cleared at job end).
+    let executed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if inject_panic {
+            panic!("injected solver panic");
+        }
+        plan.execute(
             SuiteOptions::new()
                 .jobs(1)
                 .cancel_token(token.clone())
@@ -1569,7 +1835,33 @@ fn run_cell_cached(
                     }
                 }),
         )
-        .expect("journal-less suite execution cannot fail");
+        .expect("journal-less suite execution cannot fail")
+    }));
+    let suite = match executed {
+        Ok(suite) => suite,
+        Err(payload) => {
+            let message = panic_message(payload.as_ref());
+            shared.metrics.bump(&shared.metrics.worker_panics);
+            eprintln!("[serve] solver panicked on job {job_id} cell {cell_id}: {message}");
+            // Marked retryable so the report is never cached or journaled:
+            // a panic says nothing about the cell, only about this run.
+            return (
+                CellReport {
+                    cell: cell_id,
+                    instance: instance.name.clone(),
+                    config: config.name.clone(),
+                    kind: config.kind,
+                    sig,
+                    outcome: CellOutcome::Failed(format!("solver panicked: {message}")),
+                    kernel: None,
+                    duration: Duration::ZERO,
+                    resumed: false,
+                    retryable: true,
+                },
+                None,
+            );
+        }
+    };
     let mut report = suite
         .cells
         .into_iter()

@@ -150,20 +150,26 @@ fn ring_members_forward_solves_to_the_owner() {
         "forwards are single-hop"
     );
 
-    // The repeat through the non-owner relays the owner's cache hit.
+    // The repeat through the non-owner relays the owner's cache hit. (The
+    // count can be 2: if the owner finished before the *first* forward
+    // arrived, that forward already relayed a cached answer.)
     let again = client(&hop)
         .submit_solve(&request)
         .expect("repeat accepted");
     assert!(again.cached, "the owner's cache answers the fleet");
-    assert_eq!(
+    assert!(
         client(&hop)
             .metric("langeq_remote_cache_hits_total")
-            .unwrap(),
-        1
+            .unwrap()
+            >= 1
     );
     assert_eq!(client(&hop).metric("langeq_cache_misses_total").unwrap(), 0);
+    // The unauthenticated probe above went to A (who may or may not be
+    // `hop`), so the rejection is counted there.
     assert_eq!(
-        client(&hop).metric("langeq_auth_failures_total").unwrap(),
+        client(&addr_a)
+            .metric("langeq_auth_failures_total")
+            .unwrap(),
         1
     );
 
