@@ -90,12 +90,21 @@ impl Automaton {
         }
         let mut keys: Vec<_> = edges.keys().copied().collect();
         keys.sort_unstable();
+        // Every inhabited block received a representative in the loop
+        // above, and trim() leaves an initial state whenever any state
+        // survives, so the lookups below always hit; the guards keep the
+        // impossible branch a no-op instead of a process abort.
         for (bs, bt) in keys {
             let l = edges[&(bs, bt)].clone();
-            out.add_transition(rep[bs].expect("populated"), l, rep[bt].expect("populated"));
+            if let (Some(s), Some(t)) = (rep[bs], rep[bt]) {
+                out.add_transition(s, l, t);
+            }
         }
-        let init = trimmed.initial.expect("nonempty");
-        out.set_initial(rep[block[init.index()]].expect("populated"));
+        if let Some(init) = trimmed.initial {
+            if let Some(s) = rep[block[init.index()]] {
+                out.set_initial(s);
+            }
+        }
         out
     }
 }

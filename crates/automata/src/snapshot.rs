@@ -111,11 +111,19 @@ impl<'a> Cursor<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, SnapshotError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let b = self
+            .take(4)?
+            .try_into()
+            .map_err(|_| SnapshotError::Truncated)?;
+        Ok(u32::from_le_bytes(b))
     }
 
     fn u64(&mut self) -> Result<u64, SnapshotError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let b = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| SnapshotError::Truncated)?;
+        Ok(u64::from_le_bytes(b))
     }
 }
 
@@ -134,7 +142,11 @@ pub fn load_into(mgr: &BddManager, bytes: &[u8]) -> Result<Automaton, SnapshotEr
     if bytes[..4] != MAGIC {
         return Err(SnapshotError::BadMagic);
     }
-    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+    let stored = u64::from_le_bytes(
+        bytes[bytes.len() - 8..]
+            .try_into()
+            .map_err(|_| SnapshotError::Truncated)?,
+    );
     if fnv1a64(&bytes[..bytes.len() - 8]) != stored {
         return Err(SnapshotError::Checksum);
     }

@@ -140,9 +140,11 @@ impl Iterator for CubeIter {
             if r == ZERO {
                 continue;
             }
-            let (var, hi, lo) = mgr
-                .raw_expand(&mgr.wrap_raw(r))
-                .expect("non-terminal edge expands");
+            // `raw_expand` is `None` only for terminals, and both terminal
+            // edges were handled above — this edge still has a top node.
+            let Some((var, hi, lo)) = mgr.raw_expand(&mgr.wrap_raw(r)) else {
+                continue;
+            };
             let depth = self.path.len();
             // Push `lo` first so the `hi` branch is explored first.
             if lo != ZERO {

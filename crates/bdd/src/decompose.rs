@@ -78,7 +78,11 @@ impl BddManager {
                     if let Some(cached) = memo.get(&f) {
                         return cached.clone();
                     }
-                    let (var, hi, lo) = inner.expand(f).expect("non-terminal");
+                    // `expand` is `None` only for terminals, and both were
+                    // handled above — `f` still has a top variable here.
+                    let Some((var, hi, lo)) = inner.expand(f) else {
+                        return vec![(ONE, f)];
+                    };
                     let var_ref = inner.var_ref(var);
                     let hi_classes = walk(inner, hi, split, memo);
                     let lo_classes = walk(inner, lo, split, memo);

@@ -225,6 +225,10 @@ pub(crate) struct Inner {
     /// at every top-level operation entry; `true` means "abort now".
     hook: Option<Box<dyn Fn() -> bool>>,
     hook_countdown: u32,
+    /// Rotating offset of the sampled cache revalidation: advances every
+    /// GC so successive collections audit different entries.
+    #[cfg(feature = "sanitize")]
+    sanitize_tick: u64,
     pub(crate) counters: Counters,
 }
 
@@ -267,6 +271,8 @@ impl Inner {
             abort: None,
             hook: None,
             hook_countdown: HOOK_STRIDE,
+            #[cfg(feature = "sanitize")]
+            sanitize_tick: 0,
             counters: Counters::default(),
         };
         // Terminal node at index 0; never hashed, never freed.
@@ -690,6 +696,11 @@ impl Inner {
     /// work memoised before the collection keeps paying off after it.
     #[allow(clippy::needless_range_loop)] // walks two parallel arrays by index
     pub(crate) fn gc(&mut self) {
+        // Sampled cache revalidation runs *before* marking: the
+        // re-derivations may allocate nodes and cache entries, and placing
+        // them first keeps the mark vector sized after the dust settles.
+        #[cfg(feature = "sanitize")]
+        self.sanitize_cache_sample();
         self.counters.gc_runs += 1;
         let mut mark = vec![false; self.nodes.len()];
         mark[0] = true;
@@ -761,6 +772,8 @@ impl Inner {
         self.rebuild_table(table_len);
         self.adapt_cache_after_gc();
         self.gc_threshold = (live * 2).max(1 << 16);
+        #[cfg(feature = "sanitize")]
+        self.sanitize_structure("gc");
     }
 
     // ----- core algorithms ---------------------------------------------------
@@ -1365,6 +1378,121 @@ impl Inner {
         Ok(())
     }
 
+    // ----- sanitize hooks (the `sanitize` cargo feature) ---------------------
+
+    /// Full structural audit at a GC/reorder safe point: level maps are
+    /// inverse permutations, every allocated node's children sit strictly
+    /// below it, canonicity (no duplicate unique-table keys) and table
+    /// findability hold ([`Inner::verify_levels_and_table`]), and the
+    /// complement-edge normal form — every then-edge regular — is intact.
+    #[cfg(feature = "sanitize")]
+    pub(crate) fn sanitize_structure(&self, site: &str) {
+        if !crate::sanitize::enabled() {
+            return;
+        }
+        // The normal-form scan runs first: a complemented then-edge also
+        // changes the node's unique-table key, and the more specific
+        // diagnostic should win over a generic findability failure.
+        for (idx, n) in self.nodes.iter().enumerate().skip(1) {
+            if n.var < VAR_FREE && n.hi & 1 == 1 {
+                crate::sanitize::fail(
+                    "complement-normal-form",
+                    format_args!(
+                        "at {site}: node {idx} (v{}) has a complemented then-edge",
+                        n.var
+                    ),
+                );
+            }
+        }
+        if let Err(e) = self.verify_levels_and_table() {
+            crate::sanitize::fail("kernel-structure", format_args!("at {site}: {e}"));
+        }
+    }
+
+    /// Sampled computed-cache revalidation at GC entry: a deterministic
+    /// rotating window of occupied entries (advanced by
+    /// [`Inner::sanitize_tick`] so successive GCs audit different entries)
+    /// is bounds-checked, evicted, and re-derived from scratch; canonicity
+    /// makes the comparison exact. Skipped under a pending abort — the
+    /// re-derivations would short-circuit to `ZERO` and report a false
+    /// mismatch.
+    #[cfg(feature = "sanitize")]
+    fn sanitize_cache_sample(&mut self) {
+        const SAMPLE: usize = 4;
+        if !crate::sanitize::enabled() || self.abort.is_some() {
+            return;
+        }
+        let occupied: Vec<usize> = self
+            .cache
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.key != 0)
+            .map(|(slot, _)| slot)
+            .collect();
+        if occupied.is_empty() {
+            return;
+        }
+        let start = (self.sanitize_tick as usize) % occupied.len();
+        self.sanitize_tick = self.sanitize_tick.wrapping_add(SAMPLE as u64);
+        // Snapshot the whole sample before evicting or re-deriving
+        // anything: a re-derivation refills the cache and could overwrite
+        // a later sampled slot.
+        let picks: Vec<(usize, CacheEntry)> = (0..SAMPLE.min(occupied.len()))
+            .map(|k| {
+                let slot = occupied[(start + k) % occupied.len()];
+                (slot, self.cache[slot])
+            })
+            .collect();
+        for &(slot, e) in &picks {
+            // Evict so a re-derivation cannot trivially hit the entry
+            // under scrutiny — and bounds-check every sampled ref *before*
+            // any re-derivation runs (an allocation could recycle a freed
+            // slot and mask a dangling entry).
+            self.cache[slot] = EMPTY_ENTRY;
+            let (op, f, g, h) = cache_unkey(e.key);
+            for r in [f, g, h, e.res] {
+                let idx = (r >> 1) as usize;
+                if idx >= self.nodes.len() || self.nodes[idx].var == VAR_FREE {
+                    crate::sanitize::fail(
+                        "cache-liveness",
+                        format_args!(
+                            "slot {slot}: op {op} references a freed/out-of-range ref {r}"
+                        ),
+                    );
+                }
+            }
+        }
+        for (slot, e) in picks {
+            let (op, f, g, h) = cache_unkey(e.key);
+            let got = match op {
+                OP_ITE => self.ite(f, g, h),
+                OP_EXISTS => self.exists(f, g),
+                OP_ANDEX => self.and_exists(f, g, h),
+                OP_CONSTRAIN => self.constrain(f, g),
+                OP_AND => self.and(f, g),
+                OP_RESTRICT => self.restrict(f, g),
+                other => crate::sanitize::fail(
+                    "cache-liveness",
+                    format_args!("slot {slot}: unknown op {other}"),
+                ),
+            };
+            if self.abort.is_some() {
+                // The re-derivation was cut short; its result is
+                // meaningless, and so would every later one be.
+                return;
+            }
+            if got != e.res {
+                crate::sanitize::fail(
+                    "cache-coherence",
+                    format_args!(
+                        "slot {slot}: op {op} ({f}, {g}, {h}) memoised {} but re-derives to {got}",
+                        e.res
+                    ),
+                );
+            }
+        }
+    }
+
     // ----- inspection --------------------------------------------------------
 
     /// Collects the support of `f` as a sorted list of variable indices.
@@ -1913,5 +2041,92 @@ mod tests {
         fn table_len(&self) -> usize {
             self.table.len()
         }
+    }
+}
+
+/// Corruption drills for the sanitize hooks: each test plants one
+/// specific inconsistency and asserts the audit aborts naming exactly
+/// that invariant. The toggle is left alone (default on) — flipping the
+/// process-global switch here would race the rest of the test binary.
+#[cfg(all(test, feature = "sanitize"))]
+mod sanitize_tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Runs `f` and asserts the sanitizer aborts naming `invariant`.
+    fn panics_with(invariant: &str, f: impl FnOnce()) {
+        let err = catch_unwind(AssertUnwindSafe(f)).expect_err("sanitizer must abort");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("[langeq-sanitize]") && msg.contains(invariant),
+            "expected a sanitize abort naming `{invariant}`, got {msg:?}"
+        );
+    }
+
+    /// A store holding `a AND b` pinned the way a `Bdd` handle would.
+    fn with_conjunction() -> (Inner, Ref, Ref, Ref) {
+        let mut m = Inner::new();
+        let a = m.new_var();
+        let b = m.new_var();
+        let f = m.and(a, b);
+        m.adjust_ext(f >> 1, 1);
+        (m, a, b, f)
+    }
+
+    #[test]
+    fn clean_store_passes_the_audits() {
+        let (mut m, _, _, _) = with_conjunction();
+        m.sanitize_structure("test");
+        // gc() runs the sampled cache revalidation over the real entries
+        // the `and` left behind, then the structural audit again.
+        m.gc();
+    }
+
+    #[test]
+    fn corrupted_level_map_aborts() {
+        let (mut m, _, _, _) = with_conjunction();
+        m.var2level[0] = 7;
+        panics_with("kernel-structure", || m.sanitize_structure("test"));
+    }
+
+    #[test]
+    fn complemented_then_edge_aborts() {
+        let (mut m, _, _, f) = with_conjunction();
+        m.nodes[(f >> 1) as usize].hi |= 1;
+        panics_with("complement-normal-form", || m.sanitize_structure("test"));
+    }
+
+    #[test]
+    fn stale_cache_result_aborts() {
+        let (mut m, a, b, f) = with_conjunction();
+        assert_ne!(f, ONE, "the conjunction is not the one-terminal");
+        for e in m.cache.iter_mut() {
+            *e = EMPTY_ENTRY;
+        }
+        // One doctored entry memoising the wrong result: the sample must
+        // pick it (it is the only occupied slot) and re-derive the truth.
+        m.cache[0] = CacheEntry {
+            key: cache_key(OP_AND, a, b, 0),
+            res: ONE,
+        };
+        panics_with("cache-coherence", || m.gc());
+    }
+
+    #[test]
+    fn dangling_cache_operand_aborts() {
+        let (mut m, _, b, f) = with_conjunction();
+        let bogus = (m.nodes.len() as Ref) << 1;
+        for e in m.cache.iter_mut() {
+            *e = EMPTY_ENTRY;
+        }
+        m.cache[0] = CacheEntry {
+            key: cache_key(OP_AND, bogus, b, 0),
+            res: f,
+        };
+        panics_with("cache-liveness", || m.gc());
     }
 }

@@ -260,6 +260,10 @@ impl Inner {
             }
         }
         self.flush_cache();
+        // The intra-pass GCs audited intermediate states; this covers the
+        // final parked order (the last sift's park swaps run after its GC).
+        #[cfg(feature = "sanitize")]
+        self.sanitize_structure("reorder");
         let delta = self.live as i64 - before;
         self.counters.reorder_node_delta += delta;
         self.counters.reorder_nanos += t0.elapsed().as_nanos() as u64;
@@ -319,6 +323,8 @@ impl Inner {
             self.swap_levels(pos - 1, &mut ctx);
             pos -= 1;
         }
+        #[cfg(feature = "sanitize")]
+        self.sanitize_sift_refs(v, &ctx);
         self.counters.allocated != allocated_at_entry || self.live != ctx.vsize
     }
 
@@ -454,6 +460,8 @@ impl Inner {
             self.deref(e, ctx);
         }
         ctx.by_var[vu as usize].extend(keep);
+        #[cfg(feature = "sanitize")]
+        self.sanitize_swap(l, ctx);
     }
 
     /// Adds one reference to `r`'s node; resurrecting a dead node re-claims
@@ -607,6 +615,137 @@ impl Inner {
         self.cache.fill(EMPTY_ENTRY);
         self.cache_entries = 0;
         self.cache_writes = 0;
+    }
+
+    // ----- sanitize hooks (the `sanitize` cargo feature) --------------------
+
+    /// Scoped per-swap audit: the level maps stay inverse permutations
+    /// (O(nvars)), and every *live* node at the two swapped levels keeps a
+    /// regular then-edge with both children strictly below it. Dead nodes
+    /// are skipped — their stale fields may name eagerly reclaimed slots —
+    /// and table findability is left to the full safe-point audit
+    /// ([`Inner::sanitize_structure`]): probing the table per swap would
+    /// turn sifting quadratic.
+    #[cfg(feature = "sanitize")]
+    fn sanitize_swap(&self, l: u32, ctx: &SiftCtx) {
+        if !crate::sanitize::enabled() {
+            return;
+        }
+        for v in 0..self.nvars as usize {
+            let lvl = self.var2level[v] as usize;
+            if lvl >= self.nvars as usize || self.level2var[lvl] as usize != v {
+                crate::sanitize::fail(
+                    "swap-level-maps",
+                    format_args!(
+                        "after swapping levels {l}/{}: maps not inverse at v{v} (var2level={lvl})",
+                        l + 1
+                    ),
+                );
+            }
+        }
+        for lvl in [l, l + 1] {
+            let v = self.level2var[lvl as usize];
+            for &idx in &ctx.by_var[v as usize] {
+                let n = self.nodes[idx as usize];
+                if n.var >= VAR_FREE || ctx.refs[idx as usize] == 0 {
+                    continue;
+                }
+                if n.var != v {
+                    crate::sanitize::fail(
+                        "swap-var-index",
+                        format_args!(
+                            "after swapping levels {l}/{}: node {idx} (v{}) filed under v{v}",
+                            l + 1,
+                            n.var
+                        ),
+                    );
+                }
+                if n.hi & 1 == 1 {
+                    crate::sanitize::fail(
+                        "complement-normal-form",
+                        format_args!("after swapping levels {l}/{}: node {idx} (v{v}) has a complemented then-edge", l + 1),
+                    );
+                }
+                if self.level(n.hi) <= lvl || self.level(n.lo) <= lvl {
+                    crate::sanitize::fail(
+                        "swap-children-below",
+                        format_args!("after swapping levels {l}/{}: node {idx} (v{v}) has a child at or above level {lvl}", l + 1),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Reorder-scoped refcount audit at the end of one variable's sift:
+    /// re-marks reachability from the externally pinned roots, recomputes
+    /// every reference count from the marked parents (edges plus external
+    /// pins — the same universe [`Inner::sift_ctx`] builds), and compares
+    /// against the incrementally maintained [`SiftCtx`] state, including
+    /// its `vsize` size signal.
+    #[cfg(feature = "sanitize")]
+    fn sanitize_sift_refs(&self, v: u32, ctx: &SiftCtx) {
+        if !crate::sanitize::enabled() {
+            return;
+        }
+        let mut mark = vec![false; self.nodes.len()];
+        mark[0] = true;
+        let mut stack: Vec<u32> = Vec::new();
+        for (idx, &e) in self.ext.iter().enumerate().skip(1) {
+            if e > 0 && !mark[idx] {
+                mark[idx] = true;
+                stack.push(idx as u32);
+            }
+        }
+        while let Some(i) = stack.pop() {
+            let n = self.nodes[i as usize];
+            if n.var >= VAR_FREE {
+                continue;
+            }
+            for ch in [n.hi >> 1, n.lo >> 1] {
+                if !mark[ch as usize] {
+                    mark[ch as usize] = true;
+                    stack.push(ch);
+                }
+            }
+        }
+        // Reference counts only ever count edges from *reachable* parents
+        // (a dying node releases its children), so the recount walks the
+        // marked set, not the allocated set.
+        let mut refs = vec![0u32; self.nodes.len()];
+        refs[0] = 1;
+        for (idx, n) in self.nodes.iter().enumerate().skip(1) {
+            if !mark[idx] || n.var >= VAR_FREE {
+                continue;
+            }
+            refs[(n.hi >> 1) as usize] += 1;
+            refs[(n.lo >> 1) as usize] += 1;
+            if self.ext[idx] > 0 {
+                refs[idx] += 1;
+            }
+        }
+        // Index 0 is skipped: [`Inner::addref`]/[`Inner::deref`] never
+        // track terminal edges (the terminal is permanently pinned, so
+        // only positivity matters and its count goes stale by design).
+        for (idx, (&got, &want)) in ctx.refs.iter().zip(refs.iter()).enumerate().skip(1) {
+            if got != want {
+                crate::sanitize::fail(
+                    "sift-refcounts",
+                    format_args!(
+                        "after sifting v{v}: node {idx} carries {got} refs, recount says {want}"
+                    ),
+                );
+            }
+        }
+        let reachable = mark.iter().filter(|&&m| m).count();
+        if ctx.vsize != reachable {
+            crate::sanitize::fail(
+                "sift-size-signal",
+                format_args!(
+                    "after sifting v{v}: vsize {} but {reachable} nodes are reachable",
+                    ctx.vsize
+                ),
+            );
+        }
     }
 }
 
@@ -784,5 +923,79 @@ mod tests {
         }
         assert!(m.counters.reorders > 0, "threshold never fired");
         m.verify_cache().expect("clean after auto reorder");
+    }
+}
+
+/// Corruption drills for the reorder-scoped sanitize hooks (see the
+/// matching module in `inner.rs` for the GC-scoped ones).
+#[cfg(all(test, feature = "sanitize"))]
+mod sanitize_tests {
+    use super::*;
+
+    /// Runs `f` and asserts the sanitizer aborts naming `invariant`.
+    fn panics_with(invariant: &str, f: impl FnOnce()) {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let err = catch_unwind(AssertUnwindSafe(f)).expect_err("sanitizer must abort");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("[langeq-sanitize]") && msg.contains(invariant),
+            "expected a sanitize abort naming `{invariant}`, got {msg:?}"
+        );
+    }
+
+    /// A freshly collected store holding a pinned `a AND b`, plus the
+    /// conjunction node's index.
+    fn pinned_pair() -> (Inner, usize) {
+        let mut m = Inner::new();
+        let a = m.new_var();
+        let b = m.new_var();
+        let f = m.and(a, b);
+        m.adjust_ext(f >> 1, 1);
+        (m, (f >> 1) as usize)
+    }
+
+    #[test]
+    fn clean_sift_state_passes_both_audits() {
+        let (m, _) = pinned_pair();
+        let ctx = m.sift_ctx();
+        m.sanitize_sift_refs(0, &ctx);
+        m.sanitize_swap(0, &ctx);
+    }
+
+    #[test]
+    fn inflated_refcount_aborts() {
+        let (m, fidx) = pinned_pair();
+        let mut ctx = m.sift_ctx();
+        ctx.refs[fidx] += 1;
+        panics_with("sift-refcounts", || m.sanitize_sift_refs(0, &ctx));
+    }
+
+    #[test]
+    fn drifted_size_signal_aborts() {
+        let (m, _) = pinned_pair();
+        let mut ctx = m.sift_ctx();
+        ctx.vsize += 1;
+        panics_with("sift-size-signal", || m.sanitize_sift_refs(0, &ctx));
+    }
+
+    #[test]
+    fn non_inverse_level_maps_abort_the_swap_audit() {
+        let (mut m, _) = pinned_pair();
+        let ctx = m.sift_ctx();
+        // Swap one map but not its inverse.
+        m.var2level.swap(0, 1);
+        panics_with("swap-level-maps", || m.sanitize_swap(0, &ctx));
+    }
+
+    #[test]
+    fn relabeled_node_aborts_the_swap_audit() {
+        let (mut m, fidx) = pinned_pair();
+        let ctx = m.sift_ctx();
+        m.nodes[fidx].var = 1;
+        panics_with("swap-var-index", || m.sanitize_swap(0, &ctx));
     }
 }

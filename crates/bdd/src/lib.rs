@@ -80,6 +80,8 @@ mod dot;
 mod error;
 mod inner;
 mod manager;
+#[cfg(feature = "sanitize")]
+pub mod sanitize;
 pub mod snapshot;
 
 pub use cube::{Cube, CubeIter, Literal};

@@ -1,0 +1,45 @@
+//! Compile-in invariant sanitizer (the `sanitize` cargo feature).
+//!
+//! When the feature is enabled, the kernel audits its own invariants at
+//! every GC/reorder safe point and around every adjacent-level swap; a
+//! violation aborts the process with a structured diagnostic naming the
+//! invariant (`[langeq-sanitize] invariant violated: <name>: <detail>`).
+//! When the feature is off, every check — and this module — is removed at
+//! compile time; release binaries carry zero overhead.
+//!
+//! The checks themselves live next to the structures they audit
+//! ([`crate::inner`] and its `reorder` module); this module holds the two
+//! pieces they share:
+//!
+//! * a **runtime toggle** ([`set_enabled`]) — process-wide, default on —
+//!   so a test built *with* the feature can compare sanitized and
+//!   unsanitized runs of the same binary for byte-identical results;
+//! * the **failure funnel** ([`fail`]) — the single `panic!` through which
+//!   every violation reports, keeping the diagnostic format uniform and
+//!   the lint-suppression surface to one site.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Turns the sanitizer on or off process-wide; returns the previous state.
+///
+/// Only meaningful when the crate is built with the `sanitize` feature
+/// (without it this module does not exist). The toggle exists for
+/// differential tests — production users who want the checks off should
+/// build without the feature instead, which removes them entirely.
+pub fn set_enabled(on: bool) -> bool {
+    ENABLED.swap(on, Ordering::Relaxed)
+}
+
+/// Whether sanitize checks currently run (see [`set_enabled`]).
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The single failure funnel: every sanitize check reports through here.
+#[cold]
+#[inline(never)]
+pub(crate) fn fail(invariant: &str, detail: std::fmt::Arguments<'_>) -> ! {
+    panic!("[langeq-sanitize] invariant violated: {invariant}: {detail}");
+}

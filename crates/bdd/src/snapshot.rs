@@ -133,8 +133,12 @@ pub fn save(mgr: &BddManager, roots: &[Bdd]) -> Vec<u8> {
                 continue;
             }
             // Expanding the regular edge (complement bit 0) yields the
-            // stored children verbatim.
-            let (var, hi, lo) = inner.expand(idx << 1).expect("non-terminal index");
+            // stored children verbatim; `None` means the terminal, which
+            // was pre-seeded into `dense` so it never reaches the stack.
+            let Some((var, hi, lo)) = inner.expand(idx << 1) else {
+                stack.pop();
+                continue;
+            };
             let (hi_idx, lo_idx) = (hi >> 1, lo >> 1);
             let mut blocked = false;
             if !dense.contains_key(&hi_idx) {
@@ -195,7 +199,11 @@ impl Cursor<'_> {
         if end > self.bytes.len() {
             return Err(SnapshotError::Truncated);
         }
-        let v = u32::from_le_bytes(self.bytes[self.pos..end].try_into().unwrap());
+        let v = u32::from_le_bytes(
+            self.bytes[self.pos..end]
+                .try_into()
+                .map_err(|_| SnapshotError::Truncated)?,
+        );
         self.pos = end;
         Ok(v)
     }
@@ -245,7 +253,11 @@ pub fn load(mgr: &BddManager, bytes: &[u8]) -> Result<Vec<Bdd>, SnapshotError> {
             bytes.len() - expected_len
         )));
     }
-    let stored = u64::from_le_bytes(bytes[expected_len - 8..].try_into().unwrap());
+    let stored = u64::from_le_bytes(
+        bytes[expected_len - 8..]
+            .try_into()
+            .map_err(|_| SnapshotError::Truncated)?,
+    );
     if fnv1a64(&bytes[..expected_len - 8]) != stored {
         return Err(SnapshotError::Checksum);
     }

@@ -1,0 +1,70 @@
+//! Differential test for the `sanitize` feature: the audits must be pure
+//! observers. The same deterministic workload — builds, quantifications,
+//! GCs, and a full sifting reorder — runs once with the runtime toggle on
+//! and once with it off, and the resulting snapshots must be
+//! byte-identical.
+//!
+//! The toggle is process-global, so this lives in its own integration
+//! binary: nothing else in this process depends on the sanitizer being
+//! on, and the toggle is restored before the test ends.
+
+#![cfg(feature = "sanitize")]
+
+use langeq_bdd::{sanitize, snapshot, Bdd, BddManager, VarId};
+
+const NVARS: usize = 12;
+
+/// A deterministic reorder-heavy workload; returns the snapshot bytes of
+/// its surviving functions.
+fn workload() -> Vec<u8> {
+    let mgr = BddManager::new();
+    let vars: Vec<Bdd> = (0..NVARS).map(|_| mgr.new_var()).collect();
+
+    // A few structured functions: adjacent conjunctions, a parity chain,
+    // and a "comparator" that sifting likes to interleave.
+    let mut roots: Vec<Bdd> = Vec::new();
+    let mut parity = mgr.zero();
+    for v in &vars {
+        parity = parity.xor(v);
+    }
+    roots.push(parity);
+    let half = NVARS / 2;
+    let mut eq = mgr.one();
+    for i in 0..half {
+        eq = eq.and(&vars[i].xnor(&vars[i + half]));
+    }
+    roots.push(eq.clone());
+    for w in vars.windows(3) {
+        roots.push(w[0].and(&w[1]).or(&w[2]));
+    }
+
+    // Quantify and recombine so the computed cache and the GC see work.
+    let cube: Vec<_> = (0..NVARS).step_by(2).map(|i| VarId(i as u32)).collect();
+    let mut acc = mgr.zero();
+    for r in &roots {
+        acc = acc.or(&mgr.exists(r, &cube));
+    }
+    roots.push(acc);
+
+    // A full sifting pass over the grown store, then drop half the roots
+    // and let GC collect.
+    mgr.reorder();
+    roots.truncate(4);
+    mgr.collect_garbage();
+
+    snapshot::save(&mgr, &roots)
+}
+
+#[test]
+fn sanitize_on_and_off_are_byte_identical() {
+    let with_audits = workload();
+    let was_on = sanitize::set_enabled(false);
+    assert!(was_on, "the toggle defaults to on");
+    let without_audits = workload();
+    sanitize::set_enabled(true);
+    assert_eq!(
+        with_audits, without_audits,
+        "sanitize audits must not change kernel behaviour"
+    );
+    assert!(!with_audits.is_empty());
+}

@@ -23,6 +23,10 @@ pub fn install() -> CancelToken {
     #[cfg(unix)]
     {
         static INSTALL: std::sync::Once = std::sync::Once::new();
+        // SAFETY: `signal` is async-signal-safe to install; the handler
+        // only performs a relaxed atomic store (no allocation, locking, or
+        // unwinding), and `Once` guarantees a single installation, so no
+        // data race on the handler slot is possible.
         INSTALL.call_once(|| unsafe {
             signal(SIGINT, handle_sigint as *const () as usize);
         });

@@ -75,8 +75,11 @@ pub fn component_to_automaton(mgr: &BddManager, fsm: &PartitionedFsm) -> Automat
             rel = rel.and(&mgr.var(l.ns).xnor(&restrict(&l.func)));
         }
         for (guard, succ) in mgr.cofactor_classes(&rel, &alphabet) {
-            // The residual is a complete minterm over the ns variables.
-            let cube = succ.pick_cube().expect("deterministic successor");
+            // The residual is a complete minterm over the ns variables;
+            // an empty class has no successor and contributes nothing.
+            let Some(cube) = succ.pick_cube() else {
+                continue;
+            };
             let mut bits = vec![false; fsm.latches.len()];
             for (v, b) in cube {
                 if let Some(k) = fsm.latches.iter().position(|l| l.ns == v) {

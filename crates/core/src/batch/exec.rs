@@ -43,7 +43,7 @@ use std::time::{Duration, Instant};
 use crate::batch::store::{JournalStore, LocalFileStore};
 use crate::batch::{Cell, CellOutcome, CellReport, KernelSample, SuiteError, SuitePlan};
 use crate::equation::LatchSplitProblem;
-use crate::solver::{CancelToken, CncReason, Control, Outcome, Solution, SolveEvent};
+use crate::solver::{CancelToken, CncReason, Control, Outcome, Solution, SolveEvent, SolverKind};
 
 /// A boxed sweep-event callback (the form observers travel in between the
 /// builder and the engine).
@@ -365,15 +365,22 @@ enum WorkerMsg {
 /// one cell (the per-subset-state sampling underneath is far denser).
 const SAMPLE_PERIOD: Duration = Duration::from_millis(100);
 
+/// Locks a work queue tolerating poison: a worker that panicked between
+/// `pop` and release leaves the deque structurally sound, and the other
+/// workers must keep draining.
+fn lock_queue(q: &Mutex<VecDeque<usize>>) -> std::sync::MutexGuard<'_, VecDeque<usize>> {
+    q.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Pops the next cell for worker `w`: front of its own deque, else steal
 /// from the back of the first non-empty neighbour.
 fn next_cell(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
-    if let Some(id) = queues[w].lock().expect("queue lock").pop_front() {
+    if let Some(id) = lock_queue(&queues[w]).pop_front() {
         return Some(id);
     }
     for k in 1..queues.len() {
         let victim = (w + k) % queues.len();
-        if let Some(id) = queues[victim].lock().expect("queue lock").pop_back() {
+        if let Some(id) = lock_queue(&queues[victim]).pop_back() {
             return Some(id);
         }
     }
@@ -605,7 +612,7 @@ pub(crate) fn execute(plan: &SuitePlan, mut opts: SuiteOptions) -> Result<SuiteR
     let queues: Vec<Mutex<VecDeque<usize>>> =
         (0..jobs).map(|_| Mutex::new(VecDeque::new())).collect();
     for (i, id) in pending.iter().enumerate() {
-        queues[i % jobs].lock().expect("queue lock").push_back(*id);
+        lock_queue(&queues[i % jobs]).push_back(*id);
     }
 
     let deadline = opts.budget.map(|b| t0 + b);
@@ -620,7 +627,11 @@ pub(crate) fn execute(plan: &SuitePlan, mut opts: SuiteOptions) -> Result<SuiteR
             let on_solution = opts.on_solution.clone();
             scope.spawn(move || {
                 while let Some(id) = next_cell(queues, w) {
-                    let cell = plan.cell(id).expect("queued id in range");
+                    // Queues are seeded from plan indices; a vanished id
+                    // can only mean a stale entry — skip it, don't die.
+                    let Some(cell) = plan.cell(id) else {
+                        continue;
+                    };
                     let started = tx.send(WorkerMsg::Started {
                         cell: id,
                         instance: cell.instance.name.clone(),
@@ -708,7 +719,32 @@ pub(crate) fn execute(plan: &SuitePlan, mut opts: SuiteOptions) -> Result<SuiteR
     let cells: Vec<CellReport> = reports
         .into_iter()
         .enumerate()
-        .map(|(id, r)| r.unwrap_or_else(|| panic!("cell {id} produced no report")))
+        .map(|(id, r)| {
+            // An empty slot means a worker died before publishing — it
+            // should be impossible, but one lost cell must cost a
+            // retryable failure, not the whole suite.
+            r.unwrap_or_else(|| CellReport {
+                cell: id,
+                instance: plan
+                    .cell(id)
+                    .map(|c| c.instance.name.clone())
+                    .unwrap_or_default(),
+                config: plan
+                    .cell(id)
+                    .map(|c| c.config.name.clone())
+                    .unwrap_or_default(),
+                kind: plan
+                    .cell(id)
+                    .map(|c| c.config.kind)
+                    .unwrap_or(SolverKind::Partitioned),
+                sig: sigs.get(id).cloned().unwrap_or_default(),
+                outcome: CellOutcome::Failed("worker produced no report".to_string()),
+                kernel: None,
+                duration: Duration::ZERO,
+                resumed: false,
+                retryable: true,
+            })
+        })
         .collect();
     let report = SuiteReport {
         duration: t0.elapsed(),

@@ -139,7 +139,7 @@ impl CellReport {
             .to_string();
         // Optional: absent in records journaled before the field existed.
         let kernel = record.get("kernel").and_then(decode_kernel);
-        Some(CellReport {
+        let report = CellReport {
             cell,
             instance,
             config,
@@ -150,7 +150,46 @@ impl CellReport {
             duration,
             resumed: false,
             retryable: false,
-        })
+        };
+        #[cfg(feature = "sanitize")]
+        sanitize_record(&report);
+        Some(report)
+    }
+}
+
+/// Record schema audit beyond what lenient parsing rejects: a record that
+/// *parsed* as version-1 but carries an impossible shape was written by our
+/// own journal writer (foreign garbage never gets this far), so the store
+/// is corrupt in a way retrying cannot fix — abort with the invariant.
+#[cfg(feature = "sanitize")]
+fn sanitize_record(r: &CellReport) {
+    if !crate::sanitize::enabled() {
+        return;
+    }
+    if r.instance.is_empty() {
+        crate::sanitize::fail(
+            "journal-record",
+            format_args!("cell {}: empty instance name", r.cell),
+        );
+    }
+    if r.config.is_empty() {
+        crate::sanitize::fail(
+            "journal-record",
+            format_args!("cell {} ({}): empty config name", r.cell, r.instance),
+        );
+    }
+    // Signatures are either absent (pre-signature-era records) or built by
+    // `Cell::signature`, which always leads with the network digest.
+    if !r.sig.is_empty() && !r.sig.starts_with("net=") {
+        crate::sanitize::fail(
+            "journal-record",
+            format_args!(
+                "cell {} ({}): signature does not lead with a network digest: {:?}",
+                r.cell,
+                r.instance,
+                &r.sig[..r.sig.len().min(40)]
+            ),
+        );
     }
 }
 
@@ -302,5 +341,24 @@ mod tests {
         let loaded = load_journal(&path).unwrap();
         assert_eq!(loaded, vec![solved_report(), rerun]);
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// A record that parses as version-1 but has an impossible shape (our
+    /// own writer never emits an empty instance) must abort under the
+    /// `sanitize` feature instead of flowing into resume decisions.
+    #[cfg(feature = "sanitize")]
+    #[test]
+    fn corrupt_record_aborts_under_sanitize() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let mut r = solved_report();
+        r.instance = String::new();
+        let json = r.to_json();
+        let err = catch_unwind(AssertUnwindSafe(|| CellReport::from_json(&json)))
+            .expect_err("schema audit must abort");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("[langeq-sanitize]") && msg.contains("journal-record"),
+            "got {msg:?}"
+        );
     }
 }

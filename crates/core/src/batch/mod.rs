@@ -230,7 +230,7 @@ impl SuitePlan {
 
     /// All cells in deterministic (instance-major) order.
     pub fn cells(&self) -> impl Iterator<Item = Cell<'_>> {
-        (0..self.num_cells()).map(|id| self.cell(id).expect("id in range"))
+        (0..self.num_cells()).filter_map(|id| self.cell(id))
     }
 
     /// Checks the journal-key invariants: instance and configuration names

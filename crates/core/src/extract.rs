@@ -60,6 +60,9 @@ pub enum ExtractError {
         /// The offending `u` assignment (bit per `u` variable, in order).
         minterm: Vec<bool>,
     },
+    /// An FSM-construction step rejected its input — an extractor bug,
+    /// surfaced as an error instead of a crash.
+    Fsm(langeq_logic::kiss::KissError),
 }
 
 impl std::fmt::Display for ExtractError {
@@ -79,6 +82,7 @@ impl std::fmt::Display for ExtractError {
                     minterm
                 )
             }
+            ExtractError::Fsm(e) => write!(f, "submachine construction failed: {e}"),
         }
     }
 }
@@ -143,7 +147,7 @@ pub fn extract_submachine(
     let mut work = vec![init];
     let init_idx = fsm.add_state(csf.state_name(init));
     map.insert(init, init_idx);
-    fsm.set_reset(init_idx).expect("reset state just added");
+    fsm.set_reset(init_idx).map_err(ExtractError::Fsm)?;
 
     while let Some(s) = work.pop() {
         let from_idx = map[&s];
@@ -206,7 +210,7 @@ pub fn extract_submachine(
                 to_idx,
                 v_bits.iter().map(|&b| Some(b)).collect(),
             )
-            .expect("widths match by construction");
+            .map_err(ExtractError::Fsm)?;
         }
     }
     Ok(fsm)

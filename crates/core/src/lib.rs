@@ -77,6 +77,8 @@ pub mod extract;
 mod fsm;
 pub mod reencode;
 pub mod retry;
+#[cfg(feature = "sanitize")]
+pub mod sanitize;
 pub mod sig;
 pub mod solver;
 mod universe;

@@ -1,0 +1,16 @@
+//! This crate's corner of the workspace-wide invariant sanitizer (the
+//! `sanitize` cargo feature; see `langeq_bdd::sanitize` for the design).
+//!
+//! The kernel-level toggle is re-exported so upper layers — including
+//! `langeq-serve`, which does not depend on `langeq-bdd` directly — share
+//! one process-wide switch for differential tests.
+
+pub use langeq_bdd::sanitize::{enabled, set_enabled};
+
+/// This crate's sanitize failure funnel (same diagnostic shape as
+/// `langeq_bdd::sanitize::fail`).
+#[cold]
+#[inline(never)]
+pub(crate) fn fail(invariant: &str, detail: std::fmt::Arguments<'_>) -> ! {
+    panic!("[langeq-sanitize] invariant violated: {invariant}: {detail}");
+}

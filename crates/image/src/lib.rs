@@ -111,8 +111,23 @@ pub struct ImageComputer {
     /// structural form of their cube functions at every instant, already
     /// ordered by the live levels the quantifier recursions walk.
     step_cubes: Vec<Bdd>,
+    /// The variable sets the step cubes were compiled from, retained so the
+    /// sanitizer can re-derive and compare the cubes on every call — the
+    /// executable form of the "no refresh needed under reordering" claim
+    /// above.
+    #[cfg(feature = "sanitize")]
+    step_vars: Vec<Vec<VarId>>,
     quantify: Vec<VarId>,
     schedule: QuantSchedule,
+}
+
+/// This crate's sanitize failure funnel (same diagnostic shape as
+/// [`langeq_bdd::sanitize`]).
+#[cfg(feature = "sanitize")]
+#[cold]
+#[inline(never)]
+fn sanitize_fail(invariant: &str, detail: std::fmt::Arguments<'_>) -> ! {
+    panic!("[langeq-sanitize] invariant violated: {invariant}: {detail}");
 }
 
 impl ImageComputer {
@@ -179,11 +194,9 @@ impl ImageComputer {
         // ---- clustering: merge adjacent conjuncts up to the threshold ----
         let mut clusters: Vec<Cluster> = Vec::new();
         for c in ordered {
-            let mergeable = clusters.last().is_some_and(|last| {
+            if let Some(last) = clusters.last_mut().filter(|last| {
                 last.func.node_count() + c.func.node_count() <= opts.cluster_threshold
-            });
-            if mergeable {
-                let last = clusters.last_mut().expect("nonempty");
+            }) {
                 let merged = last.func.and(&c.func);
                 if merged.node_count() <= opts.cluster_threshold {
                     last.support = merged.support().into_iter().collect();
@@ -216,8 +229,37 @@ impl ImageComputer {
             mgr: mgr.clone(),
             clusters,
             step_cubes,
+            #[cfg(feature = "sanitize")]
+            step_vars,
             quantify,
             schedule: opts.schedule,
+        }
+    }
+
+    /// Step-cube currency audit: every compiled step cube must still be
+    /// *the* canonical positive cube of its variable set — under dynamic
+    /// reordering this is exactly the in-place-rewrite guarantee the
+    /// schedule relies on. Skipped under a pending abort (cube
+    /// construction would short-circuit and report a false mismatch).
+    #[cfg(feature = "sanitize")]
+    fn sanitize_step_cubes(&self) {
+        if !langeq_bdd::sanitize::enabled() || self.mgr.abort_reason().is_some() {
+            return;
+        }
+        for (k, (cube, vars)) in self.step_cubes.iter().zip(&self.step_vars).enumerate() {
+            let want = self.mgr.positive_cube(vars);
+            if self.mgr.abort_reason().is_some() {
+                return;
+            }
+            if *cube != want {
+                sanitize_fail(
+                    "image-step-cube",
+                    format_args!(
+                        "step {k}: compiled cube diverged from positive_cube of its {} variables",
+                        vars.len()
+                    ),
+                );
+            }
         }
     }
 
@@ -243,6 +285,8 @@ impl ImageComputer {
     /// [`BddManager::abort_reason`] discard it, exactly as for a plain
     /// aborted operation.
     pub fn image(&self, from: &Bdd) -> Bdd {
+        #[cfg(feature = "sanitize")]
+        self.sanitize_step_cubes();
         match self.schedule {
             QuantSchedule::Early => {
                 if self.clusters.is_empty() {
@@ -546,5 +590,26 @@ mod tests {
         let quantify = [cs.support()[0]];
         let img = ImageComputer::new(&mgr, &parts, &quantify, ImageOptions::default());
         assert!(img.image(&mgr.one()).is_zero());
+    }
+
+    /// A step cube that drifted from its variable set (the corruption the
+    /// currency audit guards against) must abort the next image call.
+    #[cfg(feature = "sanitize")]
+    #[test]
+    fn stale_step_cube_aborts_under_sanitize() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let mgr = BddManager::new();
+        let (parts, quantify, _, init) = counter(&mgr);
+        let mut img = ImageComputer::new(&mgr, &parts, &quantify, ImageOptions::default());
+        assert!(!img.step_cubes.is_empty());
+        // A positive cube is never the zero function.
+        img.step_cubes[0] = mgr.zero();
+        let err = catch_unwind(AssertUnwindSafe(|| img.image(&init)))
+            .expect_err("step-cube audit must abort");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("[langeq-sanitize]") && msg.contains("image-step-cube"),
+            "got {msg:?}"
+        );
     }
 }

@@ -116,17 +116,14 @@ pub fn parse(text: &str) -> Result<Network, NetworkError> {
                     latches.push((*lineno, args[0].to_string(), args[1].to_string(), init));
                 }
                 "names" => {
-                    if args.is_empty() {
+                    let Some((out, ins)) = args.split_last() else {
                         return Err(NetworkError::Parse {
                             line: *lineno,
                             msg: ".names needs an output".into(),
                         });
-                    }
-                    let out = args.last().unwrap().to_string();
-                    let ins: Vec<String> = args[..args.len() - 1]
-                        .iter()
-                        .map(|s| s.to_string())
-                        .collect();
+                    };
+                    let out = out.to_string();
+                    let ins: Vec<String> = ins.iter().map(|s| s.to_string()).collect();
                     covers.push((*lineno, ins, out, Vec::new()));
                     current_cover = Some(covers.len() - 1);
                 }

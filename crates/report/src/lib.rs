@@ -422,7 +422,9 @@ impl Parser<'_> {
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest)
                         .map_err(|_| JsonError::at(self.pos, "invalid UTF-8"))?;
-                    let c = s.chars().next().unwrap();
+                    let Some(c) = s.chars().next() else {
+                        return Err(JsonError::at(self.pos, "unterminated string"));
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

@@ -25,6 +25,16 @@ use langeq_core::sig::fnv1a64;
 /// Virtual points each member contributes to the ring.
 const VNODES: usize = 64;
 
+/// This crate's sanitize failure funnel (same diagnostic shape as
+/// `langeq_bdd::sanitize`; the toggle is shared through
+/// [`langeq_core::sanitize`]).
+#[cfg(feature = "sanitize")]
+#[cold]
+#[inline(never)]
+fn sanitize_fail(invariant: &str, detail: std::fmt::Arguments<'_>) -> ! {
+    panic!("[langeq-sanitize] invariant violated: {invariant}: {detail}");
+}
+
 /// FNV-1a mixes its low bits well but leaves the high bits weak on short
 /// inputs — and the ring orders points by the *full* word. A splitmix64
 /// finalizer spreads the entropy over all 64 bits so nearby member
@@ -125,14 +135,61 @@ impl Ring {
         // Consecutive points often belong to few members; memoize the
         // verdicts so `alive` is asked once per member, not per point.
         let mut verdicts: Vec<Option<bool>> = vec![None; self.members.len()];
+        let mut found = None;
         for k in 0..n {
             let member = self.points[(start + k) % n].1;
             let live = *verdicts[member].get_or_insert_with(|| alive(member));
             if live {
-                return Some(self.members[member].as_str());
+                found = Some(member);
+                break;
             }
         }
-        None
+        #[cfg(feature = "sanitize")]
+        self.sanitize_owner_walk(sig, start, &verdicts, found);
+        found.map(|m| self.members[m].as_str())
+    }
+
+    /// Ring-determinism audit (the `sanitize` cargo feature): re-walks the
+    /// ring over the *memoized* verdicts — the liveness view is now fixed,
+    /// so the walk must be idempotent and land on the member the first walk
+    /// chose. Factored off `owner_where` so corruption tests can hand it a
+    /// doctored verdict table or claim directly.
+    #[cfg(feature = "sanitize")]
+    fn sanitize_owner_walk(
+        &self,
+        sig: &str,
+        start: usize,
+        verdicts: &[Option<bool>],
+        claimed: Option<usize>,
+    ) {
+        if !langeq_core::sanitize::enabled() {
+            return;
+        }
+        let n = self.points.len();
+        let mut again = None;
+        for k in 0..n {
+            let member = self.points[(start + k) % n].1;
+            match verdicts[member] {
+                Some(true) => {
+                    again = Some(member);
+                    break;
+                }
+                Some(false) => continue,
+                // An unprobed member before any live one means the first
+                // walk stopped early without an answer.
+                None => break,
+            }
+        }
+        if again != claimed {
+            sanitize_fail(
+                "ring-ownership",
+                format_args!(
+                    "sig {sig:?}: first walk chose {:?}, re-walk over fixed liveness chose {:?}",
+                    claimed.map(|m| self.members[m].as_str()),
+                    again.map(|m| self.members[m].as_str()),
+                ),
+            );
+        }
     }
 
     /// [`Self::owns`] under a liveness view: true when the live walk lands
@@ -262,6 +319,29 @@ mod tests {
         }
     }
 
+    /// Feeding the idempotence audit a claim the fixed liveness view
+    /// cannot reproduce must abort naming the invariant (the audit is
+    /// factored off `owner_where` exactly so this can be drilled).
+    #[cfg(feature = "sanitize")]
+    #[test]
+    fn nondeterministic_ownership_claim_aborts_under_sanitize() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let ring = Ring::new(&addrs(3), "10.0.0.0:7878");
+        // Every member is live, yet the walk allegedly found no owner.
+        let verdicts = vec![Some(true); ring.len()];
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            ring.sanitize_owner_walk("sig-x", 0, &verdicts, None)
+        }))
+        .expect_err("ownership audit must abort");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("[langeq-sanitize]") && msg.contains("ring-ownership"),
+            "got {msg:?}"
+        );
+    }
+
+    /// The audit accepts every real walk: exercised implicitly by all the
+    /// `owner_where` tests above running under `--features sanitize`.
     #[test]
     fn duplicate_and_reordered_member_lists_build_the_same_ring() {
         let a = Ring::new(&["b:1".into(), "a:1".into(), "b:1".into()], "a:1");

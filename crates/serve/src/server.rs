@@ -601,7 +601,7 @@ impl Server {
         // Fan the drain out to every per-job token: in-flight solves abort
         // cooperatively, queued jobs start pre-cancelled.
         {
-            let state = self.shared.state.lock().expect("state lock");
+            let state = lock_ok(&self.shared.state);
             for job in state.jobs.values() {
                 job.token.cancel();
             }
@@ -609,6 +609,14 @@ impl Server {
         self.shared.work.notify_all();
         self.wait();
     }
+}
+
+/// Locks a mutex tolerating poison. With the worker panic firewall, a
+/// poisoned lock only means a contained panic released it mid-update of
+/// its *own* job entry — the shared maps stay structurally sound, and
+/// refusing to serve would turn one contained panic into a daemon outage.
+fn lock_ok<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// The accept loop: non-blocking accepts polled against the drain token,
@@ -743,7 +751,7 @@ fn readyz(shared: &Arc<Shared>) -> Response {
     let draining = shared.token.is_cancelled();
     let live_workers = shared.live_workers.load(Ordering::Relaxed) as usize;
     let (queue_depth, store_ok) = {
-        let mut state = shared.state.lock().expect("state lock");
+        let mut state = lock_ok(&shared.state);
         let store_ok = state.try_refresh_cache().is_ok();
         (state.queue.len(), store_ok)
     };
@@ -803,7 +811,7 @@ fn check_rate(shared: &Arc<Shared>, peer: Option<IpAddr>) -> Option<Response> {
     let rate = shared.rate_limit?;
     let ip = peer?;
     let cap = rate.max(1.0);
-    let mut buckets = shared.buckets.lock().expect("buckets lock");
+    let mut buckets = lock_ok(&shared.buckets);
     let now = Instant::now();
     if buckets.len() >= 4096 {
         // A full bucket is indistinguishable from a fresh one — drop any
@@ -840,7 +848,7 @@ fn job_endpoint(shared: &Arc<Shared>, path: &str) -> Response {
     let Ok(id) = id_text.parse::<u64>() else {
         return Response::error(400, &format!("bad job id `{id_text}`"));
     };
-    let state = shared.state.lock().expect("state lock");
+    let state = lock_ok(&shared.state);
     let Some(job) = state.jobs.get(&id) else {
         return Response::error(404, &format!("no job {id}"));
     };
@@ -875,7 +883,7 @@ fn snapshot_endpoint(shared: &Arc<Shared>, path: &str) -> Response {
     let Ok(id) = id_text.parse::<u64>() else {
         return Response::error(400, &format!("bad job id `{id_text}`"));
     };
-    let mut state = shared.state.lock().expect("state lock");
+    let mut state = lock_ok(&shared.state);
     let (job_state, snapshot, sig) = match state.jobs.get(&id) {
         None => return Response::error(404, &format!("no job {id}")),
         Some(job) => (job.state, job.snapshot.clone(), job.sig.clone()),
@@ -926,7 +934,7 @@ fn cancel_endpoint(shared: &Arc<Shared>, path: &str) -> Response {
     let Ok(id) = id_text.parse::<u64>() else {
         return Response::error(400, &format!("bad job id `{id_text}`"));
     };
-    let mut state = shared.state.lock().expect("state lock");
+    let mut state = lock_ok(&shared.state);
     let Some(job) = state.jobs.get_mut(&id) else {
         return Response::error(404, &format!("no job {id}"));
     };
@@ -966,7 +974,7 @@ fn lookup_endpoint(shared: &Arc<Shared>, request: &Request) -> Response {
         shared.metrics.bump(&shared.metrics.bad_requests);
         return Response::error(400, "body needs a `sig` string field");
     };
-    let mut state = shared.state.lock().expect("state lock");
+    let mut state = lock_ok(&shared.state);
     let mut hit = state.cache.get(&sig).cloned();
     if hit.is_none() && state.refresh_cache() > 0 {
         hit = state.cache.get(&sig).cloned();
@@ -1033,7 +1041,7 @@ fn submit_solve(shared: &Arc<Shared>, request: &Request, peer: Option<IpAddr>) -
     let sig = cell_signature(&instance, &config);
 
     {
-        let mut state = shared.state.lock().expect("state lock");
+        let mut state = lock_ok(&shared.state);
         // Content-addressed hit: a done job materializes instantly. On a
         // local miss, one store refresh picks up what fleet peers
         // published since the last look — a hit there is a solve some
@@ -1143,7 +1151,7 @@ fn enqueue_solve(
     config: ConfigSpec,
     sig: String,
 ) -> Response {
-    let mut state = shared.state.lock().expect("state lock");
+    let mut state = lock_ok(&shared.state);
     if let Some(&existing) = state.inflight.get(&sig) {
         shared.metrics.bump(&shared.metrics.coalesced);
         let job_state = state.jobs[&existing].state.as_str();
@@ -1422,7 +1430,7 @@ fn submit_sweep(shared: &Arc<Shared>, request: &Request, peer: Option<IpAddr>) -
         })
         .collect();
     let cells = work.len();
-    let mut state = shared.state.lock().expect("state lock");
+    let mut state = lock_ok(&shared.state);
     // Admission is checked at entry only: a wide sweep may push past the
     // cap once admitted (same semantics as the single-entry queue of
     // PR 4, where one sweep occupied one slot regardless of width).
@@ -1468,7 +1476,7 @@ fn submit_sweep(shared: &Arc<Shared>, request: &Request, peer: Option<IpAddr>) -
 /// The `/metrics` text exposition.
 fn metrics_text(shared: &Arc<Shared>) -> String {
     let (queued, running, done, cache_entries) = {
-        let state = shared.state.lock().expect("state lock");
+        let state = lock_ok(&shared.state);
         let running = state
             .jobs
             .values()
@@ -1657,12 +1665,18 @@ fn worker_loop(shared: &Arc<Shared>) {
     let _alive = Alive(&shared.live_workers);
     loop {
         let (id, cell, work, token) = {
-            let mut state = shared.state.lock().expect("state lock");
+            let mut state = lock_ok(&shared.state);
             loop {
                 if let Some((id, cell)) = state.queue.pop_front() {
-                    let job = state.jobs.get_mut(&id).expect("queued job exists");
+                    // A queue entry can outlive its job (pruned after a
+                    // contained panic) — drop the stale entry, don't die.
+                    let Some(job) = state.jobs.get_mut(&id) else {
+                        continue;
+                    };
                     job.state = JobState::Running;
-                    let work = job.pending[cell].take().expect("queued cell has work");
+                    let Some(work) = job.pending[cell].take() else {
+                        continue;
+                    };
                     let token = job.token.clone();
                     break (id, cell, work, token);
                 }
@@ -1672,7 +1686,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                 state = shared
                     .work
                     .wait_timeout(state, Duration::from_millis(100))
-                    .expect("state lock")
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .0;
             }
         };
@@ -1692,7 +1706,7 @@ fn worker_loop(shared: &Arc<Shared>) {
             &token,
         );
         let finished = {
-            let mut guard = shared.state.lock().expect("state lock");
+            let mut guard = lock_ok(&shared.state);
             let state = &mut *guard;
             state.prune_done_jobs();
             let mut finished = false;
@@ -1755,7 +1769,7 @@ fn run_cell_cached(
         report
     };
     let hit = {
-        let mut state = shared.state.lock().expect("state lock");
+        let mut state = lock_ok(&shared.state);
         let mut hit = state.cache.get(&sig).cloned();
         if hit.is_none() && state.refresh_cache() > 0 {
             hit = state.cache.get(&sig).cloned();
@@ -1781,7 +1795,7 @@ fn run_cell_cached(
                     Ok(Some(report)) => {
                         shared.metrics.bump(&shared.metrics.remote_cache_hits);
                         shared.metrics.bump(&shared.metrics.cache_hits);
-                        let mut state = shared.state.lock().expect("state lock");
+                        let mut state = lock_ok(&shared.state);
                         // Memory-only insert: the owner's store already
                         // persists this result; duplicating the record
                         // here would bloat a shared store.
@@ -1823,50 +1837,54 @@ fn run_cell_cached(
                 .jobs(1)
                 .cancel_token(token.clone())
                 .on_solution(move |_, _, solution| {
-                    *hook_slot.lock().expect("snapshot slot") =
-                        Some(langeq_automata::snapshot::save(&solution.csf));
+                    *lock_ok(&hook_slot) = Some(langeq_automata::snapshot::save(&solution.csf));
                 })
                 .on_event(move |event| {
                     if let SuiteEvent::CellSample { sample, .. } = event {
-                        let mut state = observer_shared.state.lock().expect("state lock");
+                        let mut state = lock_ok(&observer_shared.state);
                         if let Some(job) = state.jobs.get_mut(&job_id) {
                             job.sample = Some(*sample);
                         }
                     }
                 }),
         )
-        .expect("journal-less suite execution cannot fail")
     }));
+    // Every failure shape — a contained panic, an engine error, a plan
+    // that yields no report — becomes one retryable `Failed` report,
+    // never cached or journaled: each describes this run, not the cell.
+    let fail = |message: String| {
+        (
+            CellReport {
+                cell: cell_id,
+                instance: instance.name.clone(),
+                config: config.name.clone(),
+                kind: config.kind,
+                sig: sig.clone(),
+                outcome: CellOutcome::Failed(message),
+                kernel: None,
+                duration: Duration::ZERO,
+                resumed: false,
+                retryable: true,
+            },
+            None,
+        )
+    };
     let suite = match executed {
-        Ok(suite) => suite,
+        Ok(Ok(suite)) => suite,
+        Ok(Err(e)) => {
+            eprintln!("[serve] suite execution failed on job {job_id} cell {cell_id}: {e}");
+            return fail(format!("suite execution failed: {e}"));
+        }
         Err(payload) => {
             let message = panic_message(payload.as_ref());
             shared.metrics.bump(&shared.metrics.worker_panics);
             eprintln!("[serve] solver panicked on job {job_id} cell {cell_id}: {message}");
-            // Marked retryable so the report is never cached or journaled:
-            // a panic says nothing about the cell, only about this run.
-            return (
-                CellReport {
-                    cell: cell_id,
-                    instance: instance.name.clone(),
-                    config: config.name.clone(),
-                    kind: config.kind,
-                    sig,
-                    outcome: CellOutcome::Failed(format!("solver panicked: {message}")),
-                    kernel: None,
-                    duration: Duration::ZERO,
-                    resumed: false,
-                    retryable: true,
-                },
-                None,
-            );
+            return fail(format!("solver panicked: {message}"));
         }
     };
-    let mut report = suite
-        .cells
-        .into_iter()
-        .next()
-        .expect("a 1-cell plan yields a report");
+    let Some(mut report) = suite.cells.into_iter().next() else {
+        return fail("engine returned no cell report".to_string());
+    };
     report.cell = cell_id;
 
     if let Some(k) = &report.kernel {
@@ -1879,13 +1897,9 @@ fn run_cell_cached(
             .kernel_cache_hits
             .fetch_add(k.cache_hits, Ordering::Relaxed);
     }
-    let snapshot = snap_slot
-        .lock()
-        .expect("snapshot slot")
-        .take()
-        .map(Arc::new);
+    let snapshot = lock_ok(&snap_slot).take().map(Arc::new);
     if !report.retryable {
-        let mut state = shared.state.lock().expect("state lock");
+        let mut state = lock_ok(&shared.state);
         if !state.cache.contains_key(&sig) {
             if let Some(store) = state.store.as_mut() {
                 if let Err(e) = store.append(&report) {

@@ -1,0 +1,159 @@
+//! The checked-in lint allowlist: `lint.allow` at the workspace root.
+//!
+//! Every suppression carries a justification — an entry without one is a
+//! configuration error, and an entry that no longer suppresses anything is
+//! itself reported (`allow-stale`), so the allowlist can only shrink as the
+//! code improves.
+//!
+//! Grammar (one entry per line, `#` comments and blank lines ignored):
+//!
+//! ```text
+//! allow <rule> <path> count=<N> -- <justification>
+//! exempt-crate <crates/dir> -- <justification>
+//! ```
+//!
+//! `allow` suppresses up to `N` violations of `<rule>` in the file
+//! `<path>`; more than `N` real violations reports the excess.
+//! `exempt-crate` exempts a whole crate directory from the per-file
+//! hygiene rules (banned calls and SAFETY comments) — meant for test
+//! infrastructure such as the dependency shims, never for product crates.
+
+use std::path::Path;
+
+/// One `allow` entry.
+#[derive(Debug)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub path: String,
+    pub max: usize,
+    pub why: String,
+    /// 1-based line in lint.allow, for stale-entry diagnostics.
+    pub line: usize,
+}
+
+/// One `exempt-crate` entry.
+#[derive(Debug)]
+pub struct ExemptCrate {
+    /// The `crates/<dir>` path prefix.
+    pub dir: String,
+    pub why: String,
+}
+
+/// The parsed allowlist.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    pub entries: Vec<AllowEntry>,
+    pub exempt: Vec<ExemptCrate>,
+}
+
+impl Allowlist {
+    /// Loads `<root>/lint.allow`; a missing file is an empty allowlist.
+    pub fn load(root: &Path) -> Result<Allowlist, String> {
+        match std::fs::read_to_string(root.join("lint.allow")) {
+            Ok(text) => Allowlist::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Allowlist::default()),
+            Err(e) => Err(format!("read lint.allow: {e}")),
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut list = Allowlist::default();
+        for (k, raw) in text.lines().enumerate() {
+            let line_no = k + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (head, why) = match line.split_once("--") {
+                Some((h, w)) if !w.trim().is_empty() => (h.trim(), w.trim().to_string()),
+                _ => {
+                    return Err(format!(
+                        "lint.allow:{line_no}: every entry needs a `-- <justification>`"
+                    ))
+                }
+            };
+            let fields: Vec<&str> = head.split_whitespace().collect();
+            match fields.as_slice() {
+                ["allow", rule, path, count] => {
+                    let max = count
+                        .strip_prefix("count=")
+                        .and_then(|c| c.parse::<usize>().ok())
+                        .filter(|&c| c > 0)
+                        .ok_or_else(|| {
+                            format!("lint.allow:{line_no}: expected count=<positive integer>")
+                        })?;
+                    list.entries.push(AllowEntry {
+                        rule: rule.to_string(),
+                        path: path.to_string(),
+                        max,
+                        why,
+                        line: line_no,
+                    });
+                }
+                ["exempt-crate", dir] => {
+                    if !dir.starts_with("crates/") {
+                        return Err(format!(
+                            "lint.allow:{line_no}: exempt-crate takes a crates/<dir> path"
+                        ));
+                    }
+                    list.exempt.push(ExemptCrate {
+                        dir: dir.to_string(),
+                        why,
+                    });
+                }
+                _ => {
+                    return Err(format!(
+                        "lint.allow:{line_no}: unrecognized entry `{line}` \
+                         (want `allow <rule> <path> count=<N> -- why` or \
+                         `exempt-crate <crates/dir> -- why`)"
+                    ))
+                }
+            }
+        }
+        Ok(list)
+    }
+
+    /// True when `rel` lives in an exempted crate.
+    pub fn crate_exempt(&self, rel: &str) -> bool {
+        self.exempt
+            .iter()
+            .any(|e| rel.strip_prefix(&e.dir).is_some_and(|r| r.starts_with('/')))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_exemptions() {
+        let list = Allowlist::parse(
+            "# header\n\
+             allow no-unwrap crates/a/src/lib.rs count=2 -- recovery path, checked above\n\
+             exempt-crate crates/proptest-shim -- test infrastructure\n",
+        )
+        .unwrap();
+        assert_eq!(list.entries.len(), 1);
+        assert_eq!(list.entries[0].rule, "no-unwrap");
+        assert_eq!(list.entries[0].max, 2);
+        assert!(list.crate_exempt("crates/proptest-shim/src/lib.rs"));
+        assert!(!list.crate_exempt("crates/proptest-shimmer/src/lib.rs"));
+        assert!(!list.crate_exempt("crates/a/src/lib.rs"));
+    }
+
+    #[test]
+    fn justification_is_mandatory() {
+        let err = Allowlist::parse("allow no-panic crates/a/src/lib.rs count=1\n").unwrap_err();
+        assert!(err.contains("justification"), "{err}");
+        let err = Allowlist::parse("allow no-panic a count=1 -- \n").unwrap_err();
+        assert!(err.contains("justification"), "{err}");
+    }
+
+    #[test]
+    fn malformed_counts_are_rejected() {
+        for bad in ["count=0", "count=x", "2"] {
+            let text = format!("allow no-unwrap crates/a/src/lib.rs {bad} -- why\n");
+            assert!(Allowlist::parse(&text).is_err(), "{bad}");
+        }
+    }
+}

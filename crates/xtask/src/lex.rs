@@ -1,0 +1,307 @@
+//! A small lexical pass over Rust source: splits a file into three aligned
+//! *views* — code, string-literal contents, and comment text — each a byte
+//! string of exactly the input's length with the other two categories
+//! blanked to spaces (newlines are preserved everywhere, so byte offsets
+//! and line numbers agree across views).
+//!
+//! This is deliberately **not** a parser. The lint rules only need to know
+//! whether a byte sits in code, in a string, or in a comment; a full
+//! grammar (and therefore an external parser dependency, which the offline
+//! build cannot have) buys nothing. The lexer handles the token shapes
+//! that matter for that classification: line and (nested) block comments,
+//! plain/byte/raw string literals with escapes, and the char-literal vs
+//! lifetime ambiguity.
+
+/// The three aligned views of one source file.
+pub struct Views {
+    /// Code with comments and literal contents blanked.
+    pub code: String,
+    /// String-literal contents (quotes and escape sequences excluded),
+    /// everything else blanked.
+    pub strings: String,
+    /// Comment text (markers included), everything else blanked.
+    pub comments: String,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// True for bytes that may continue a Rust identifier.
+pub fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lexes `src` into the three views. The input is treated as bytes; any
+/// non-ASCII bytes inside literals or comments are carried through
+/// unchanged in their own view and blanked in the others.
+pub fn lex(src: &str) -> Views {
+    let bytes = src.as_bytes();
+    let n = bytes.len();
+    let mut code = vec![b' '; n];
+    let mut strings = vec![b' '; n];
+    let mut comments = vec![b' '; n];
+    let mut mode = Mode::Code;
+    // Trailing `#` count a raw string opened with (for the closing match).
+    let mut i = 0usize;
+    while i < n {
+        let b = bytes[i];
+        if b == b'\n' {
+            code[i] = b'\n';
+            strings[i] = b'\n';
+            comments[i] = b'\n';
+            if mode == Mode::LineComment {
+                mode = Mode::Code;
+            }
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                if b == b'/' && i + 1 < n && bytes[i + 1] == b'/' {
+                    mode = Mode::LineComment;
+                    comments[i] = b'/';
+                    comments[i + 1] = b'/';
+                    i += 2;
+                } else if b == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
+                    mode = Mode::BlockComment(1);
+                    comments[i] = b'/';
+                    comments[i + 1] = b'*';
+                    i += 2;
+                } else if b == b'"' {
+                    mode = Mode::Str;
+                    code[i] = b'"';
+                    i += 1;
+                } else if b == b'r' || b == b'b' {
+                    // Possible raw/byte string prefixes: r", r#", br", b".
+                    // Only treat as a prefix when not inside an identifier
+                    // (`for` / `attr` must not eat a following quote —
+                    // identifiers cannot be split across a quote anyway, so
+                    // checking the previous byte is sufficient).
+                    let prev_ident = i > 0 && is_ident(bytes[i - 1]);
+                    let mut j = i + 1;
+                    if b == b'b' && j < n && bytes[j] == b'r' {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while j < n && bytes[j] == b'#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    let is_raw = b == b'r' || (b == b'b' && j > i + 1);
+                    if !prev_ident && j < n && bytes[j] == b'"' && (is_raw || hashes == 0) {
+                        if is_raw {
+                            code[i..=j].copy_from_slice(&bytes[i..=j]);
+                            mode = Mode::RawStr(hashes);
+                            i = j + 1;
+                        } else {
+                            // b"..." — an ordinary (escaped) byte string.
+                            code[i] = b;
+                            code[i + 1] = b'"';
+                            mode = Mode::Str;
+                            i += 2;
+                        }
+                    } else {
+                        code[i] = b;
+                        i += 1;
+                    }
+                } else if b == b'\'' {
+                    // Char literal vs lifetime. A char literal is 'x' or an
+                    // escape '\..'; a lifetime is '<ident> with no closing
+                    // quote right after one character.
+                    if i + 1 < n && bytes[i + 1] == b'\\' {
+                        code[i] = b'\'';
+                        mode = Mode::Char;
+                        i += 1;
+                    } else if i + 2 < n && bytes[i + 2] == b'\'' && bytes[i + 1] != b'\'' {
+                        // 'x' — blank the payload like any literal.
+                        code[i] = b'\'';
+                        code[i + 2] = b'\'';
+                        i += 3;
+                    } else {
+                        // Lifetime (or stray quote): leave in code.
+                        code[i] = b'\'';
+                        i += 1;
+                    }
+                } else {
+                    code[i] = b;
+                    i += 1;
+                }
+            }
+            Mode::LineComment => {
+                comments[i] = b;
+                i += 1;
+            }
+            Mode::BlockComment(depth) => {
+                if b == b'*' && i + 1 < n && bytes[i + 1] == b'/' {
+                    comments[i] = b'*';
+                    comments[i + 1] = b'/';
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if b == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
+                    comments[i] = b'/';
+                    comments[i + 1] = b'*';
+                    mode = Mode::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    comments[i] = b;
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if b == b'\\' && i + 1 < n {
+                    // Escape sequences are blanked in the strings view:
+                    // the `n` of a `\n` separator would otherwise glue
+                    // onto a following token (`"a\nlangeq_x"`) and defeat
+                    // the ident-boundary checks of the token scanners.
+                    if bytes[i + 1] == b'\n' {
+                        strings[i + 1] = b'\n';
+                    }
+                    i += 2;
+                } else if b == b'"' {
+                    code[i] = b'"';
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    strings[i] = b;
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if b == b'"' {
+                    // Close only on `"` followed by the right number of #.
+                    let mut k = 0u32;
+                    while (k as usize) < n - i - 1
+                        && bytes[i + 1 + k as usize] == b'#'
+                        && k < hashes
+                    {
+                        k += 1;
+                    }
+                    if k == hashes {
+                        let end = i + hashes as usize;
+                        code[i..=end].copy_from_slice(&bytes[i..=end]);
+                        mode = Mode::Code;
+                        i += 1 + hashes as usize;
+                    } else {
+                        strings[i] = b;
+                        i += 1;
+                    }
+                } else {
+                    strings[i] = b;
+                    i += 1;
+                }
+            }
+            Mode::Char => {
+                // Inside an escaped char literal: consume until the quote.
+                if b == b'\\' && i + 1 < n {
+                    i += 2;
+                } else if b == b'\'' {
+                    code[i] = b'\'';
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    // The views were built byte-wise from valid UTF-8 with non-ASCII bytes
+    // either copied verbatim or replaced as whole bytes by spaces only when
+    // they are literal/comment payload in a *different* view — replacing a
+    // multi-byte sequence partially can produce invalid UTF-8, so views are
+    // handed out as lossy strings.
+    Views {
+        code: String::from_utf8_lossy(&code).into_owned(),
+        strings: String::from_utf8_lossy(&strings).into_owned(),
+        comments: String::from_utf8_lossy(&comments).into_owned(),
+    }
+}
+
+/// 1-based line number of a byte offset.
+pub fn line_of(src: &str, offset: usize) -> usize {
+    src.as_bytes()[..offset.min(src.len())]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+        + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_separated() {
+        let src = "let x = \"a // not comment\"; // real\n/* block */ code";
+        let v = lex(src);
+        assert!(v.code.contains("let x ="));
+        assert!(!v.code.contains("not comment"));
+        assert!(v.strings.contains("a // not comment"));
+        assert!(v.comments.contains("// real"));
+        assert!(v.comments.contains("/* block */"));
+        assert!(v.code.contains("code"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* a /* b */ c */ after";
+        let v = lex(src);
+        assert!(v.code.contains("after"));
+        assert!(!v.code.contains('c'));
+        assert!(v.comments.contains("b"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = "let s = r#\"quote \" inside\"#; done";
+        let v = lex(src);
+        assert!(v.strings.contains("quote \" inside"));
+        assert!(v.code.contains("done"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'y'; let e = '\\n'; }";
+        let v = lex(src);
+        assert!(v.code.contains("'a"));
+        assert!(!v.code.contains('y'));
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_strings() {
+        let src = "let s = \"a\\\"b\"; let t = 1;";
+        let v = lex(src);
+        // The escape itself is blanked, but it must not end the literal.
+        assert!(v.strings.contains("a  b"));
+        assert!(v.code.contains("let t = 1"));
+    }
+
+    #[test]
+    fn escape_sequences_do_not_glue_tokens() {
+        let src = "let s = \"total 1\\nlangeq_x 2\";";
+        let v = lex(src);
+        // The `n` of the `\n` escape is blanked: `langeq_x` starts on a
+        // clean identifier boundary in the strings view.
+        assert!(v.strings.contains(" langeq_x"));
+    }
+
+    #[test]
+    fn views_align_byte_for_byte() {
+        let src = "let a = \"x\"; // hi\nlet b = 2;";
+        let v = lex(src);
+        assert_eq!(v.code.len(), src.len());
+        assert_eq!(v.strings.len(), src.len());
+        assert_eq!(v.comments.len(), src.len());
+        assert_eq!(line_of(src, src.find("let b").unwrap()), 2);
+    }
+}

@@ -1,0 +1,166 @@
+//! **langeq-audit**: the workspace lint engine.
+//!
+//! `cargo run -p langeq-xtask -- lint` scans every Rust source of the
+//! workspace with a hand-rolled lexer (no external parser — the build is
+//! offline) and enforces:
+//!
+//! - **Hygiene**: no `unwrap()` / `expect(` / `panic!` / `todo!` /
+//!   `unimplemented!` / `dbg!` in non-test library code (`no-unwrap`,
+//!   `no-expect`, `no-panic`, `no-todo`, `no-dbg`), and a `// SAFETY:`
+//!   comment immediately above every `unsafe` (`safety-comment`).
+//! - **Cross-artifact consistency**: every `langeq_*` metric emitted ↔
+//!   documented in DESIGN.md (`metrics-docs`), every `/v1/*` endpoint ↔
+//!   documented (`endpoints-docs`), every CLI `--flag` documented
+//!   (`flags-docs`), and every `fault-inject`-gated item never referenced
+//!   unguarded (`fault-gate`).
+//!
+//! Suppressions live in `lint.allow` at the workspace root (see
+//! [`allow`]); each needs a justification, and stale entries are
+//! themselves violations (`allow-stale`), so the list only shrinks.
+
+pub mod allow;
+pub mod lex;
+pub mod model;
+pub mod rules;
+
+use std::path::Path;
+
+use allow::Allowlist;
+use model::Workspace;
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub rule: &'static str,
+    /// Path relative to the workspace root.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    pub msg: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// The per-file hygiene rules a crate-level exemption covers.
+const CRATE_EXEMPTABLE: &[&str] = &[
+    "no-unwrap",
+    "no-expect",
+    "no-panic",
+    "no-todo",
+    "no-dbg",
+    "safety-comment",
+];
+
+/// Runs every rule over the workspace at `root` and applies the
+/// allowlist. `Err` is a configuration/IO problem (unreadable tree,
+/// malformed `lint.allow`); `Ok(vec![])` is a clean bill.
+pub fn run_lint(root: &Path) -> Result<Vec<Violation>, String> {
+    let ws = Workspace::load(root)?;
+    let list = Allowlist::load(root)?;
+    let mut raw = Vec::new();
+    raw.extend(rules::banned_calls(&ws));
+    raw.extend(rules::safety_comments(&ws));
+    raw.extend(rules::metrics_docs(&ws));
+    raw.extend(rules::endpoints_docs(&ws));
+    raw.extend(rules::flags_docs(&ws));
+    raw.extend(rules::fault_gate(&ws));
+    let mut out = apply_allowlist(raw, &list);
+    out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(out)
+}
+
+/// Applies suppressions: crate exemptions drop hygiene findings wholesale;
+/// `allow` entries absorb up to their count per (rule, file); an entry
+/// that absorbed nothing is reported as `allow-stale`.
+fn apply_allowlist(raw: Vec<Violation>, list: &Allowlist) -> Vec<Violation> {
+    let mut used = vec![0usize; list.entries.len()];
+    let mut out = Vec::new();
+    for v in raw {
+        if CRATE_EXEMPTABLE.contains(&v.rule) && list.crate_exempt(&v.path) {
+            continue;
+        }
+        let entry = list
+            .entries
+            .iter()
+            .position(|e| e.rule == v.rule && e.path == v.path);
+        match entry {
+            Some(k) if used[k] < list.entries[k].max => used[k] += 1,
+            _ => out.push(v),
+        }
+    }
+    for (k, e) in list.entries.iter().enumerate() {
+        if used[k] == 0 {
+            out.push(Violation {
+                rule: "allow-stale",
+                path: "lint.allow".to_string(),
+                line: e.line,
+                msg: format!(
+                    "entry `allow {} {}` no longer suppresses anything — delete it",
+                    e.rule, e.path
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use allow::Allowlist;
+
+    fn v(rule: &'static str, path: &str) -> Violation {
+        Violation {
+            rule,
+            path: path.to_string(),
+            line: 1,
+            msg: String::new(),
+        }
+    }
+
+    #[test]
+    fn allow_entries_absorb_exactly_their_count() {
+        let list =
+            Allowlist::parse("allow no-unwrap crates/a/src/lib.rs count=2 -- justified\n").unwrap();
+        let raw = vec![
+            v("no-unwrap", "crates/a/src/lib.rs"),
+            v("no-unwrap", "crates/a/src/lib.rs"),
+            v("no-unwrap", "crates/a/src/lib.rs"),
+            v("no-panic", "crates/a/src/lib.rs"),
+        ];
+        let out = apply_allowlist(raw, &list);
+        // Two absorbed; the third unwrap and the panic still report.
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().any(|x| x.rule == "no-unwrap"));
+        assert!(out.iter().any(|x| x.rule == "no-panic"));
+    }
+
+    #[test]
+    fn stale_entries_are_violations() {
+        let list = Allowlist::parse("allow no-dbg crates/a/src/lib.rs count=1 -- gone\n").unwrap();
+        let out = apply_allowlist(vec![], &list);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "allow-stale");
+        assert_eq!(out[0].path, "lint.allow");
+    }
+
+    #[test]
+    fn crate_exemption_covers_hygiene_but_not_consistency() {
+        let list = Allowlist::parse("exempt-crate crates/shim -- test infra\n").unwrap();
+        let raw = vec![
+            v("no-unwrap", "crates/shim/src/lib.rs"),
+            v("fault-gate", "crates/shim/src/lib.rs"),
+        ];
+        let out = apply_allowlist(raw, &list);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "fault-gate");
+    }
+}

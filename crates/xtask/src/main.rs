@@ -1,0 +1,77 @@
+//! `langeq-xtask` — workspace developer tooling.
+//!
+//! ```text
+//! cargo run -p langeq-xtask -- lint [--root <dir>]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+langeq-xtask — workspace audit tooling
+
+USAGE:
+    cargo run -p langeq-xtask -- lint [--root <dir>]
+
+COMMANDS:
+    lint    run the langeq-audit lint over the workspace
+            (exit 0 clean, 1 violations, 2 usage/config error)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        _ => {
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(d) => root = Some(PathBuf::from(d)),
+                None => {
+                    eprintln!("lint: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Default root: the workspace the binary was built from (cargo sets
+    // the manifest dir at compile time; the tool is not meant to escape
+    // its own repo), overridable for the self-tests.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."))
+    });
+    match langeq_xtask::run_lint(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("langeq-audit: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("langeq-audit: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("langeq-audit: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! The source model the lint rules run against: every Rust file of the
+//! workspace with its lexed [`Views`](crate::lex::Views), its `#[cfg(test)]`
+//! regions, and its `fault-inject`-gated regions, plus the raw text of the
+//! documentation artifacts the cross-consistency rules compare against.
+
+use std::path::{Path, PathBuf};
+
+use crate::lex::{is_ident, lex, Views};
+
+/// One scanned Rust source file.
+pub struct SourceFile {
+    /// Path relative to the workspace root (unix separators).
+    pub rel: String,
+    pub text: String,
+    pub views: Views,
+    /// Byte ranges that are test code (`#[cfg(test)]` / `#[test]` items).
+    pub test_spans: Vec<(usize, usize)>,
+    /// Byte ranges gated behind `#[cfg(feature = "fault-inject")]` (plus
+    /// attribute-level `cfg(any(test, ...))` unions mentioning it).
+    pub gated_spans: Vec<(usize, usize)>,
+    /// True when the whole file is a module declared behind the gate.
+    pub fully_gated: bool,
+    /// True for files under a `tests/`, `examples/`, or `benches/`
+    /// directory (integration-test tier: panics are fine, feature gates are
+    /// satisfied by dev-dependencies).
+    pub test_tier: bool,
+}
+
+impl SourceFile {
+    /// True when byte `offset` is inside test code.
+    pub fn in_test(&self, offset: usize) -> bool {
+        self.test_tier || span_contains(&self.test_spans, offset)
+    }
+
+    /// True when byte `offset` is inside a fault-inject-gated region.
+    pub fn in_gate(&self, offset: usize) -> bool {
+        self.fully_gated || span_contains(&self.gated_spans, offset)
+    }
+}
+
+fn span_contains(spans: &[(usize, usize)], offset: usize) -> bool {
+    spans.iter().any(|&(a, b)| offset >= a && offset < b)
+}
+
+/// The whole workspace as the lint sees it.
+pub struct Workspace {
+    pub root: PathBuf,
+    pub files: Vec<SourceFile>,
+    /// `crates/<dir>` names, for crate-level exemptions and for excluding
+    /// crate idents from the metric-name extraction.
+    pub crate_dirs: Vec<String>,
+    pub design_md: String,
+    pub readme_md: String,
+}
+
+/// Directories never scanned.
+const SKIP_DIRS: &[&str] = &[".git", "target", ".github"];
+
+impl Workspace {
+    /// Loads every `.rs` file under `crates/` and the facade's `src/`,
+    /// `tests/`, and `examples/`, plus the documentation artifacts.
+    pub fn load(root: &Path) -> Result<Workspace, String> {
+        let mut paths: Vec<PathBuf> = Vec::new();
+        for top in ["crates", "src", "tests", "examples"] {
+            let dir = root.join(top);
+            if dir.is_dir() {
+                collect_rs(&dir, &mut paths)?;
+            }
+        }
+        paths.sort();
+        let mut files = Vec::with_capacity(paths.len());
+        for path in &paths {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("read {}: {e}", path.display()))?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            files.push(analyze(rel, text));
+        }
+        // A module file declared behind the gate is gated in full.
+        mark_fully_gated(&mut files);
+        let mut crate_dirs = Vec::new();
+        if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+            for e in entries.flatten() {
+                if e.path().is_dir() {
+                    crate_dirs.push(e.file_name().to_string_lossy().into_owned());
+                }
+            }
+        }
+        crate_dirs.sort();
+        let design_md = std::fs::read_to_string(root.join("DESIGN.md")).unwrap_or_default();
+        let readme_md = std::fs::read_to_string(root.join("README.md")).unwrap_or_default();
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            files,
+            crate_dirs,
+            design_md,
+            readme_md,
+        })
+    }
+
+    /// The crate directory (`crates/<name>`) a file belongs to, if any.
+    pub fn crate_of(rel: &str) -> Option<&str> {
+        let rest = rel.strip_prefix("crates/")?;
+        Some(&rest[..rest.find('/')?])
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read dir {}: {e}", dir.display()))?;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_str()) {
+                collect_rs(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn analyze(rel: String, text: String) -> SourceFile {
+    let views = lex(&text);
+    let attrs = attr_spans(&views.code, &text);
+    let mut test_spans = Vec::new();
+    let mut gated_spans = Vec::new();
+    for a in &attrs {
+        if a.is_test {
+            test_spans.push((a.start, a.item_end));
+        }
+        if a.is_fault_gate {
+            gated_spans.push((a.start, a.item_end));
+        }
+    }
+    let test_tier = {
+        let segs: Vec<&str> = rel.split('/').collect();
+        segs.contains(&"tests") || segs.contains(&"examples") || segs.contains(&"benches")
+    };
+    SourceFile {
+        rel,
+        text,
+        views,
+        test_spans,
+        gated_spans,
+        fully_gated: false,
+        test_tier,
+    }
+}
+
+/// Resolves gated `mod X;` declarations to whole-file gates.
+fn mark_fully_gated(files: &mut [SourceFile]) {
+    let mut gated_files: Vec<String> = Vec::new();
+    for f in files.iter() {
+        for &(a, b) in &f.gated_spans {
+            let span = &f.views.code[a..b.min(f.views.code.len())];
+            // `pub mod name;` (no body) inside the gated span.
+            if let Some(m) = find_token(span, "mod") {
+                let after = &span[m + 3..];
+                let name: String = after
+                    .trim_start()
+                    .chars()
+                    .take_while(|c| is_ident(*c as u8))
+                    .collect();
+                if !name.is_empty() && !span.contains('{') {
+                    let dir = match f.rel.rfind('/') {
+                        Some(k) => &f.rel[..k],
+                        None => "",
+                    };
+                    gated_files.push(format!("{dir}/{name}.rs"));
+                    gated_files.push(format!("{dir}/{name}/mod.rs"));
+                }
+            }
+        }
+    }
+    for f in files.iter_mut() {
+        if gated_files.iter().any(|g| g == &f.rel) {
+            f.fully_gated = true;
+        }
+    }
+}
+
+/// Finds `needle` as a whole identifier token in `hay`; returns its offset.
+pub fn find_token(hay: &str, needle: &str) -> Option<usize> {
+    let bytes = hay.as_bytes();
+    let mut from = 0;
+    while let Some(k) = hay[from..].find(needle) {
+        let at = from + k;
+        let before_ok = at == 0 || !is_ident(bytes[at - 1]);
+        let end = at + needle.len();
+        let after_ok = end >= bytes.len() || !is_ident(bytes[end]);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + needle.len();
+    }
+    None
+}
+
+/// One attribute and the span of the item it decorates.
+pub struct AttrSpan {
+    /// Byte offset of the `#[`.
+    pub start: usize,
+    /// End of the decorated item (exclusive).
+    pub item_end: usize,
+    /// The attribute classifies its item as test code.
+    pub is_test: bool,
+    /// The attribute gates its item behind the `fault-inject` feature.
+    pub is_fault_gate: bool,
+}
+
+/// Finds every `#[...]` attribute in the code view and computes the span of
+/// the item it decorates: subsequent attributes and comments are skipped,
+/// then the item extends either to a `;` or `,` at bracket depth 0 (a
+/// declaration, statement, or struct field) or over the first brace-matched
+/// `{...}` body. This is a heuristic, not a grammar — generic parameter
+/// lists with commas at depth 0 would end a span early — but it is exact
+/// for the attribute shapes this workspace uses.
+fn attr_spans(code: &str, raw: &str) -> Vec<AttrSpan> {
+    let bytes = code.as_bytes();
+    let n = bytes.len();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < n {
+        if !(bytes[i] == b'#' && bytes[i + 1] == b'[') {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        let Some(attr_end) = match_bracket(bytes, i + 1, b'[', b']') else {
+            break;
+        };
+        // Attribute text read from the *raw* source: cfg feature names are
+        // string literals, which the code view blanks.
+        let attr_text = &raw[attr_start..attr_end.min(raw.len())];
+        let is_cfg = attr_text.contains("cfg");
+        let is_test = attr_text == "#[test]" || (is_cfg && find_token(attr_text, "test").is_some());
+        let is_fault_gate = is_cfg && attr_text.contains("fault-inject");
+        // Skip whitespace, comments (blank in code view), and any further
+        // attributes to the item start.
+        let mut j = attr_end;
+        loop {
+            while j < n && (bytes[j] as char).is_whitespace() {
+                j += 1;
+            }
+            if j < n && bytes[j] == b' ' {
+                j += 1;
+                continue;
+            }
+            if j + 1 < n && bytes[j] == b'#' && bytes[j + 1] == b'[' {
+                match match_bracket(bytes, j + 1, b'[', b']') {
+                    Some(e) => j = e,
+                    None => break,
+                }
+            } else {
+                break;
+            }
+        }
+        // Item span: to `;`/`,` at depth 0, or over the first depth-0 body.
+        let mut depth = 0i32;
+        let mut k = j;
+        let mut item_end = n;
+        while k < n {
+            match bytes[k] {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth -= 1,
+                b';' | b',' if depth == 0 => {
+                    item_end = k + 1;
+                    break;
+                }
+                b'{' if depth == 0 => {
+                    item_end = match_bracket(bytes, k, b'{', b'}').unwrap_or(n);
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        if is_test || is_fault_gate {
+            out.push(AttrSpan {
+                start: attr_start,
+                item_end,
+                is_test,
+                is_fault_gate,
+            });
+        }
+        i = attr_end;
+    }
+    out
+}
+
+/// Returns the offset just past the bracket matching `bytes[open_at]`.
+fn match_bracket(bytes: &[u8], open_at: usize, open: u8, close: u8) -> Option<usize> {
+    debug_assert_eq!(bytes[open_at], open);
+    let mut depth = 0i32;
+    for (k, &b) in bytes.iter().enumerate().skip(open_at) {
+        if b == open {
+            depth += 1;
+        } else if b == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k + 1);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        analyze("crates/demo/src/lib.rs".into(), src.to_string())
+    }
+
+    #[test]
+    fn cfg_test_modules_are_test_spans() {
+        let src = "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n  fn b() { y.unwrap(); }\n}\nfn c() {}\n";
+        let f = file(src);
+        let in_tests = src.find("y.unwrap").unwrap();
+        let outside = src.find("x.unwrap").unwrap();
+        assert!(f.in_test(in_tests));
+        assert!(!f.in_test(outside));
+        assert!(!f.in_test(src.find("fn c").unwrap()));
+    }
+
+    #[test]
+    fn test_attribute_covers_one_fn() {
+        let src = "#[test]\nfn t() { a(); }\nfn real() { b(); }\n";
+        let f = file(src);
+        assert!(f.in_test(src.find("a()").unwrap()));
+        assert!(!f.in_test(src.find("b()").unwrap()));
+    }
+
+    #[test]
+    fn fault_gate_spans_cover_items_and_fields() {
+        let src = concat!(
+            "#[cfg(feature = \"fault-inject\")]\npub fn fault_x() { body(); }\n",
+            "struct S {\n  #[cfg(feature = \"fault-inject\")]\n  pub plan: u32,\n  pub other: u32,\n}\n",
+            "fn free() { call(); }\n"
+        );
+        let f = file(src);
+        assert!(f.in_gate(src.find("body()").unwrap()));
+        assert!(f.in_gate(src.find("pub plan").unwrap()));
+        assert!(!f.in_gate(src.find("pub other").unwrap()));
+        assert!(!f.in_gate(src.find("call()").unwrap()));
+    }
+
+    #[test]
+    fn cfg_any_test_counts_as_test() {
+        let src = "#[cfg(any(test, feature = \"x\"))]\nfn helper() { h(); }\nfn real() {}\n";
+        let f = file(src);
+        assert!(f.in_test(src.find("h()").unwrap()));
+    }
+
+    #[test]
+    fn latest_wins_token_finding() {
+        assert_eq!(find_token("xtest test", "test"), Some(6));
+        assert!(find_token("attest", "test").is_none());
+    }
+}
