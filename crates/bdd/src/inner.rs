@@ -696,6 +696,8 @@ impl Inner {
     /// work memoised before the collection keeps paying off after it.
     #[allow(clippy::needless_range_loop)] // walks two parallel arrays by index
     pub(crate) fn gc(&mut self) {
+        let mut span = langeq_obs::span!("gc");
+        span.field("live_before", self.live);
         // Sampled cache revalidation runs *before* marking: the
         // re-derivations may allocate nodes and cache entries, and placing
         // them first keeps the mark vector sized after the dust settles.

@@ -220,6 +220,8 @@ impl Inner {
     /// individual swap must never be torn); the hook is polled *between*
     /// variables so cancellation still lands promptly.
     pub(crate) fn reorder(&mut self) -> i64 {
+        let mut span = langeq_obs::span!("reorder");
+        span.field("live_before", self.live);
         let t0 = Instant::now();
         self.counters.reorders += 1;
         // Start from a clean store: reclaim garbage so the size signal

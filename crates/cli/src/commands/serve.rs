@@ -37,12 +37,15 @@ const SERVE_VALUE_KEYS: &[&str] = &[
     "rate-limit",
     "probe-ms",
     "fail-threshold",
+    "slow-ms",
+    "slow-log",
 ];
 
 /// `langeq serve [--addr HOST:PORT] [--jobs N] [--queue N]
 /// [--max-body BYTES] [--cache-journal PATH | --store DIR]
 /// [--peers A:P,B:P,...] [--advertise HOST:PORT] [--auth-token TOKEN]
-/// [--rate-limit PER_SEC] [--probe-ms N] [--fail-threshold N]`.
+/// [--rate-limit PER_SEC] [--probe-ms N] [--fail-threshold N]
+/// [--slow-ms MS [--slow-log PATH]]`.
 pub fn serve(args: &[String]) -> Result<ExitCode, CliError> {
     let p = scan(args, SERVE_VALUE_KEYS)?;
     p.reject_unknown(SERVE_VALUE_KEYS)?;
@@ -92,6 +95,17 @@ pub fn serve(args: &[String]) -> Result<ExitCode, CliError> {
     }
     if let Some(probes) = p.number::<u32>("fail-threshold")? {
         opts = opts.fail_threshold(probes);
+    }
+    if let Some(ms) = p.number::<u64>("slow-ms")? {
+        opts = opts.slow_ms(ms);
+    }
+    if let Some(path) = p.value("slow-log") {
+        if p.value("slow-ms").is_none() {
+            return Err(CliError::Usage(
+                "--slow-log needs --slow-ms to set the threshold".into(),
+            ));
+        }
+        opts = opts.slow_log(path);
     }
 
     let server = Server::start(opts).map_err(|e| CliError::Run(format!("starting server: {e}")))?;
@@ -230,12 +244,16 @@ pub fn submit(args: &[String]) -> Result<ExitCode, CliError> {
     .map_err(|e| CliError::Run(format!("{}: {e}", client.addr())))?;
 
     eprintln!(
-        "[submit] job {} is {}{}{}",
+        "[submit] job {} is {}{}{}{}",
         ack.job,
         ack.state,
         if ack.cached { " (cache hit)" } else { "" },
         match &ack.owner {
             Some(owner) => format!(" (forwarded to {owner})"),
+            None => String::new(),
+        },
+        match &ack.trace {
+            Some(trace) => format!(" [trace {trace}]"),
             None => String::new(),
         }
     );
@@ -252,6 +270,9 @@ pub fn submit(args: &[String]) -> Result<ExitCode, CliError> {
             .set("cached", ack.cached);
         if let Some(owner) = &ack.owner {
             body = body.set("owner", owner.as_str());
+        }
+        if let Some(trace) = &ack.trace {
+            body = body.set("trace", trace.as_str());
         }
         println!("{body}");
         return Ok(ExitCode::SUCCESS);
@@ -308,6 +329,80 @@ pub fn submit(args: &[String]) -> Result<ExitCode, CliError> {
             ExitCode::from(1)
         },
     )
+}
+
+const TRACE_VALUE_KEYS: &[&str] = &["addr", "token"];
+
+/// `langeq trace <id> [--addr HOST:PORT] [--token TOKEN] [--json]` —
+/// fetches `GET /v1/trace/{id}` from a running daemon and renders the
+/// merged span tree: one indented line per span with its duration and
+/// `key=value` fields. The daemon fans the query out to its live ring
+/// peers, so any fleet member shows the whole cross-daemon trace. `--json`
+/// prints the raw merged view instead.
+pub fn trace(args: &[String]) -> Result<ExitCode, CliError> {
+    let p = scan(args, TRACE_VALUE_KEYS)?;
+    let mut known: Vec<&str> = TRACE_VALUE_KEYS.to_vec();
+    known.push("json");
+    p.reject_unknown(&known)?;
+    let [id] = p.positionals() else {
+        return Err(CliError::Usage(
+            "trace needs one trace id (the 16-hex id a submit ack prints)".into(),
+        ));
+    };
+
+    let mut client = Client::new(p.value("addr").unwrap_or(DEFAULT_ADDR).to_string());
+    if let Some(token) = p.value("token") {
+        client = client.with_token(token);
+    }
+    let view = client
+        .trace(id)
+        .map_err(|e| CliError::Run(format!("{}: {e}", client.addr())))?;
+    if p.flag("json") {
+        println!("{view}");
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let members = view.get("members").and_then(Json::as_arr).unwrap_or(&[]);
+    let contributing = members
+        .iter()
+        .filter(|m| m.get("spans").and_then(Json::as_u64).unwrap_or(0) > 0)
+        .count();
+    eprintln!(
+        "[trace] {id}: {} member{} answered, {} with spans",
+        members.len(),
+        if members.len() == 1 { "" } else { "s" },
+        contributing,
+    );
+    let tree = view.get("tree").and_then(Json::as_arr).unwrap_or(&[]);
+    if tree.is_empty() {
+        println!("no spans recorded for trace {id} (expired from the ring buffers, or never seen)");
+        return Ok(ExitCode::from(1));
+    }
+    print_spans(tree, 0);
+    Ok(ExitCode::SUCCESS)
+}
+
+/// One line per span, depth-first: `name  <dur> ms  k=v ...`, children
+/// indented under their parent.
+fn print_spans(nodes: &[Json], depth: usize) {
+    for node in nodes {
+        let name = node.get("name").and_then(Json::as_str).unwrap_or("?");
+        let dur_ms = node.get("dur_ns").and_then(Json::as_u64).unwrap_or(0) as f64 / 1e6;
+        let mut line = format!("{:indent$}{name}  {dur_ms:.3} ms", "", indent = depth * 2);
+        if let Some(Json::Obj(fields)) = node.get("fields") {
+            for (key, value) in fields {
+                let value = match value.as_str() {
+                    Some(text) => text.to_string(),
+                    None => value.to_string(),
+                };
+                line.push_str(&format!("  {key}={value}"));
+            }
+        }
+        println!("{line}");
+        if let Some(children) = node.get("children").and_then(Json::as_arr) {
+            print_spans(children, depth + 1);
+        }
+    }
 }
 
 /// Builds the `POST /v1/solve` body from the CLI options.

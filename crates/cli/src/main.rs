@@ -69,7 +69,7 @@ Service commands (HTTP/JSON job API, content-addressed result cache):
         [--store DIR]                 (or a shared multi-daemon store directory)
         [--peers A:P,B:P,...]         fleet: consistent-hash solve routing
         [--advertise HOST:PORT] [--auth-token TOK] [--rate-limit PER_SEC]
-        [--max-body BYTES]
+        [--max-body BYTES] [--slow-ms MS [--slow-log PATH]] (JSONL slow-solve log)
   submit <net|gen:NAME|m.sweep>       send one solve (or a manifest sweep) to
         [--addr HOST:PORT]            a running daemon and poll the job to
         [--split K,K,...] [--flow F]  completion (following a fleet forward
@@ -78,6 +78,8 @@ Service commands (HTTP/JSON job API, content-addressed result cache):
         [--max-states N] [--name NAME] [--no-wait] [--poll-ms N]
         [--wait-secs N] [--token TOK] [--snapshot-out PATH] [--json]
   submit --cancel <job> [--addr ...]  fire a queued/running job's cancel token
+  trace <id> [--addr HOST:PORT]       render the span tree of one request:
+        [--token TOK] [--json]        per-phase timings, merged across the fleet
 
   help                                this text
 
@@ -109,6 +111,7 @@ fn main() -> ExitCode {
         "sweep" => commands::sweep::sweep(rest),
         "serve" => commands::serve::serve(rest),
         "submit" => commands::serve::submit(rest),
+        "trace" => commands::serve::trace(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;

@@ -64,6 +64,7 @@ pub struct SuiteOptions {
     token: CancelToken,
     observer: Option<BoxedSuiteObserver>,
     on_solution: Option<SolutionHook>,
+    trace: Option<(u64, u64)>,
 }
 
 impl Default for SuiteOptions {
@@ -76,6 +77,7 @@ impl Default for SuiteOptions {
             token: CancelToken::new(),
             observer: None,
             on_solution: None,
+            trace: None,
         }
     }
 }
@@ -89,6 +91,7 @@ impl std::fmt::Debug for SuiteOptions {
             .field("resume", &self.resume)
             .field("observer", &self.observer.is_some())
             .field("on_solution", &self.on_solution.is_some())
+            .field("trace", &self.trace.map(|(t, _)| langeq_obs::fmt_id(t)))
             .finish()
     }
 }
@@ -151,6 +154,16 @@ impl SuiteOptions {
     /// one `cancel()` (e.g. from a Ctrl-C handler) drains all workers.
     pub fn cancel_token(mut self, token: CancelToken) -> Self {
         self.token = token;
+        self
+    }
+
+    /// Attaches an observability trace context `(trace id, parent span id)`.
+    /// Every worker thread installs it before running cells, so the solver
+    /// phase spans (`compile`, `fixpoint`, `extract`, …) land in the trace's
+    /// ring buffers and each [`CellReport`] is stamped with the trace id.
+    /// Without it (the default) span creation stays a no-op.
+    pub fn trace(mut self, trace: u64, parent: u64) -> Self {
+        self.trace = Some((trace, parent));
         self
     }
 
@@ -403,6 +416,13 @@ fn run_cell(
     mut on_sample: impl FnMut(KernelSample) + 'static,
 ) -> CellReport {
     let t0 = Instant::now();
+    // No-ops (and cost one TLS read) unless the worker installed a trace
+    // context; under one, the cell span groups the solver's phase spans and
+    // the report records the trace id for journal correlation.
+    let mut cell_span = langeq_obs::span!("cell");
+    cell_span.field("instance", &cell.instance.name);
+    cell_span.field("config", &cell.config.name);
+    let trace = langeq_obs::current().map(|(t, _)| langeq_obs::fmt_id(t));
     // The last kernel snapshot the solve emitted — shared with the progress
     // observer below, harvested into the report after the solve.
     let last_sample: std::rc::Rc<std::cell::Cell<Option<KernelSample>>> = Default::default();
@@ -502,6 +522,7 @@ fn run_cell(
             }
         }
     };
+    drop(cell_span);
     CellReport {
         cell: cell.id,
         instance: cell.instance.name.clone(),
@@ -513,6 +534,7 @@ fn run_cell(
         duration: t0.elapsed(),
         resumed: false,
         retryable: !fair,
+        trace,
     }
 }
 
@@ -625,7 +647,12 @@ pub(crate) fn execute(plan: &SuitePlan, mut opts: SuiteOptions) -> Result<SuiteR
             let budget = opts.budget;
             let sigs = &sigs;
             let on_solution = opts.on_solution.clone();
+            let trace = opts.trace;
             scope.spawn(move || {
+                // Worker threads are fresh per execution, so the suite's
+                // trace context (if any) is installed for the thread's whole
+                // life; the guard retires the thread's spans on exit.
+                let _trace_guard = trace.map(|(t, p)| langeq_obs::install(t, p));
                 while let Some(id) = next_cell(queues, w) {
                     // Queues are seeded from plan indices; a vanished id
                     // can only mean a stale entry — skip it, don't die.
@@ -743,6 +770,7 @@ pub(crate) fn execute(plan: &SuitePlan, mut opts: SuiteOptions) -> Result<SuiteR
                 duration: Duration::ZERO,
                 resumed: false,
                 retryable: true,
+                trace: None,
             })
         })
         .collect();

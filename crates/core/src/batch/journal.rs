@@ -97,10 +97,17 @@ impl CellReport {
         // retryable cell is not a fresh measurement). Journal records always
         // carry false for both — only fair, freshly-solved cells are
         // written, and `resumed` is re-derived on load.
-        with_kernel
+        let with_flags = with_kernel
             .set("resumed", self.resumed)
             .set("retryable", self.retryable)
-            .set("duration_ns", self.duration.as_nanos())
+            .set("duration_ns", self.duration.as_nanos());
+        // The trace id is correlation metadata, not a result: it lives
+        // after `duration_ns`, outside the byte-determinism region, and is
+        // simply absent for untraced runs.
+        match &self.trace {
+            Some(trace) => with_flags.set("trace", trace.as_str()),
+            None => with_flags,
+        }
     }
 
     /// Parses one journal record; `None` for records of another version or
@@ -139,6 +146,10 @@ impl CellReport {
             .to_string();
         // Optional: absent in records journaled before the field existed.
         let kernel = record.get("kernel").and_then(decode_kernel);
+        let trace = record
+            .get("trace")
+            .and_then(Json::as_str)
+            .map(str::to_string);
         let report = CellReport {
             cell,
             instance,
@@ -150,6 +161,7 @@ impl CellReport {
             duration,
             resumed: false,
             retryable: false,
+            trace,
         };
         #[cfg(feature = "sanitize")]
         sanitize_record(&report);
@@ -263,6 +275,7 @@ mod tests {
             duration: Duration::from_nanos(412_345),
             resumed: false,
             retryable: false,
+            trace: None,
         }
     }
 
@@ -293,6 +306,11 @@ mod tests {
             // Never-attempted cells (and pre-kernel-era records) carry none.
             CellReport {
                 kernel: None,
+                ..solved_report()
+            },
+            // Cells solved under a trace context carry the trace id.
+            CellReport {
+                trace: Some("4a7bd21f90e3c8a5".into()),
                 ..solved_report()
             },
         ];

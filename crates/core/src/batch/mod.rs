@@ -353,6 +353,11 @@ pub struct CellReport {
     /// time limit. Retryable cells are never journaled; a `--resume` run
     /// solves them again. Always false for journaled/resumed cells.
     pub retryable: bool,
+    /// The trace id (16 hex digits) of the request that ran this cell, when
+    /// the suite executed under an observability trace context
+    /// ([`SuiteOptions::trace`]). Journaled for correlation only — it sits
+    /// outside the byte-determinism contract, next to `duration_ns`.
+    pub trace: Option<String>,
 }
 
 impl CellReport {

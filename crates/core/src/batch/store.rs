@@ -445,6 +445,7 @@ mod tests {
             duration: Duration::from_millis(3),
             resumed: false,
             retryable: false,
+            trace: None,
         }
     }
 

@@ -45,6 +45,7 @@ pub(crate) fn run(
 
     // ---- monolithic relations --------------------------------------------
     // TO_F(i,v,u,o,cs_f,ns_f) = ∧[ns≡T] ∧ ∧[u≡U] ∧ ∧[o≡OF]
+    let compile_span = langeq_obs::span!("compile");
     let mut to_f = mgr.one();
     for part in eq.f.transition_parts(&mgr) {
         to_f = to_f.and(&part);
@@ -97,6 +98,7 @@ pub(crate) fn run(
     let mut io: Vec<VarId> = vars.i.clone();
     io.extend(&vars.o);
     let tr = product.exists(&io);
+    drop(compile_span);
     // Relation construction is the monolithic flow's classic blow-up point;
     // surface an abort before entering the subset construction.
     sess.poll()?;
@@ -127,6 +129,7 @@ pub(crate) fn run(
     work.push_back(xi0);
     let mut dca: Option<StateId> = None;
 
+    let mut fixpoint_span = langeq_obs::span!("fixpoint");
     while let Some(xi) = work.pop_front() {
         sess.checkpoint(aut.num_states(), work.len() + 1)?;
         let from = index[&xi];
@@ -160,6 +163,8 @@ pub(crate) fn run(
             aut.add_transition(from, rest, t);
         }
     }
+    fixpoint_span.field("subset_states", aut.num_states());
+    drop(fixpoint_span);
     if let Some(t) = dca {
         aut.add_transition(t, mgr.one(), t);
     }

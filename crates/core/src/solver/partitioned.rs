@@ -75,6 +75,7 @@ pub(crate) fn run_trimmed(
     let ns_to_cs = vars.ns_to_cs();
 
     // The partitioned relations, built once and reused for every ξ.
+    let mut compile_span = langeq_obs::span!("compile");
     let u_parts = eq.u_parts();
     let mut pt_parts = u_parts.clone();
     pt_parts.extend(eq.product_transition_parts());
@@ -89,6 +90,8 @@ pub(crate) fn run_trimmed(
             ImageComputer::new(&mgr, &parts, &quantify, opts.image)
         })
         .collect();
+    compile_span.field("partitions", pt_parts.len());
+    drop(compile_span);
 
     let mut aut = Automaton::new(&mgr, &uv);
     let mut index: HashMap<Bdd, StateId> = HashMap::new();
@@ -103,6 +106,7 @@ pub(crate) fn run_trimmed(
     let mut dcn: Option<StateId> = None;
     let mut dca: Option<StateId> = None;
 
+    let mut fixpoint_span = langeq_obs::span!("fixpoint");
     while let Some(xi) = work.pop_front() {
         sess.checkpoint(aut.num_states(), work.len() + 1)?;
         let from = index[&xi];
@@ -149,6 +153,8 @@ pub(crate) fn run_trimmed(
             aut.add_transition(from, rest, t);
         }
     }
+    fixpoint_span.field("subset_states", aut.num_states());
+    drop(fixpoint_span);
     // Universal self-loops on the traps.
     if let Some(t) = dcn {
         aut.add_transition(t, mgr.one(), t);
@@ -178,6 +184,7 @@ pub(crate) fn run_untrimmed(
     // Completed-specification partition: while conforming and not in DC the
     // S latches follow T_k; entering or staying in DC forces the all-zero
     // code. The DC successor bit is `nsd ≡ csd ∨ ¬C`.
+    let mut compile_span = langeq_obs::span!("compile");
     let conf_all = mgr.and_all(&eq.conformance_parts());
     let alive = csd.not().and(&conf_all);
     let mut parts = eq.u_parts();
@@ -191,6 +198,8 @@ pub(crate) fn run_untrimmed(
     quantify.push(vars.csd);
     let p_image = ImageComputer::new(&mgr, &parts, &quantify, opts.image);
     let ns_to_cs = vars.ns_to_cs_with_dc();
+    compile_span.field("partitions", parts.len());
+    drop(compile_span);
 
     let mut aut = Automaton::new(&mgr, &uv);
     let mut index: HashMap<Bdd, StateId> = HashMap::new();
@@ -203,6 +212,7 @@ pub(crate) fn run_untrimmed(
     work.push_back(xi0);
     let mut dca: Option<StateId> = None;
 
+    let mut fixpoint_span = langeq_obs::span!("fixpoint");
     while let Some(xi) = work.pop_front() {
         sess.checkpoint(aut.num_states(), work.len() + 1)?;
         let from = index[&xi];
@@ -235,6 +245,8 @@ pub(crate) fn run_untrimmed(
             aut.add_transition(from, rest, t);
         }
     }
+    fixpoint_span.field("subset_states", aut.num_states());
+    drop(fixpoint_span);
     if let Some(t) = dca {
         aut.add_transition(t, mgr.one(), t);
     }

@@ -162,8 +162,11 @@ impl<'c> Session<'c> {
         general: Automaton,
     ) -> Result<Solution, CncReason> {
         self.ensure_clean()?;
+        let mut span = langeq_obs::span!("extract");
         let prefix_closed = general.prefix_close();
         let csf = prefix_closed.progressive(&eq.vars.u);
+        span.field("csf_states", csf.num_states());
+        drop(span);
         // The post-processing itself runs under the engine guards too.
         self.ensure_clean()?;
         let bdd_stats = self.mgr.stats();

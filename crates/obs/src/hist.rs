@@ -1,0 +1,193 @@
+//! Log-bucketed latency histograms on one fixed, global bucket layout.
+//!
+//! Bounds start at 1µs and grow by a factor of 1.2 (integer arithmetic:
+//! `next = max(cur+1, cur·6/5)`) up to 1000s, ~115 buckets plus a +Inf
+//! overflow slot. Because the layout is a process-wide constant, two
+//! histograms merge index-wise ([`Histogram::merge_from`]) and quantile
+//! estimates ([`Histogram::quantile_ns`]) are off by at most one bucket —
+//! a ≤20% relative error above the first bound.
+//!
+//! All cells are relaxed atomics: `observe` is two `fetch_add`s and a
+//! binary search over a static table, safe to call from any thread.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Lowest bucket bound: 1µs. Everything faster lands in bucket 0.
+const FIRST_BOUND_NS: u64 = 1_000;
+/// Bounds stop once they exceed 1000 seconds.
+const LAST_BOUND_NS: u64 = 1_000_000_000_000;
+
+/// The global bucket upper bounds in nanoseconds, ascending. Shared by
+/// every [`Histogram`]; index `i` counts observations in
+/// `(bounds[i-1], bounds[i]]`, with one extra +Inf bucket past the end.
+pub fn bucket_bounds() -> &'static [u64] {
+    static BOUNDS: OnceLock<Vec<u64>> = OnceLock::new();
+    BOUNDS.get_or_init(|| {
+        let mut bounds = Vec::new();
+        let mut cur = FIRST_BOUND_NS;
+        while cur <= LAST_BOUND_NS {
+            bounds.push(cur);
+            cur = (cur + 1).max(cur / 5 * 6);
+        }
+        bounds
+    })
+}
+
+/// A mergeable log-bucketed histogram over the global layout.
+pub struct Histogram {
+    /// One count per bound plus the +Inf overflow bucket.
+    buckets: Vec<AtomicU64>,
+    sum_ns: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        let n = bucket_bounds().len() + 1;
+        Histogram {
+            buckets: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            sum_ns: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation of `ns` nanoseconds.
+    pub fn observe_ns(&self, ns: u64) {
+        let bounds = bucket_bounds();
+        let idx = bounds.partition_point(|&b| b < ns);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one observation of a [`Duration`].
+    pub fn observe(&self, d: Duration) {
+        self.observe_ns(d.as_nanos() as u64);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts (bounds order, +Inf last) — the mergeable state.
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Adds `other`'s counts into `self` (index-wise: both histograms share
+    /// the global layout). Merging is commutative and associative.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.sum_ns
+            .fetch_add(other.sum_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Estimates the `q`-quantile (`0 < q <= 1`) as the upper bound of the
+    /// bucket holding the `⌈q·count⌉`-th smallest observation — an upper
+    /// bound within one bucket ratio (≤20%) of the true value. `None` when
+    /// empty; `u64::MAX` marks the +Inf bucket.
+    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let bounds = bucket_bounds();
+        let mut cum = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= target {
+                return Some(bounds.get(idx).copied().unwrap_or(u64::MAX));
+            }
+        }
+        Some(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_grow_by_about_one_point_two() {
+        let bounds = bucket_bounds();
+        assert_eq!(bounds[0], FIRST_BOUND_NS);
+        assert!(bounds.len() > 100 && bounds.len() < 140, "{}", bounds.len());
+        for w in bounds.windows(2) {
+            assert!(w[1] > w[0]);
+            let ratio = w[1] as f64 / w[0] as f64;
+            assert!(ratio <= 1.2 + 1e-9, "{} -> {}", w[0], w[1]);
+        }
+        // The last bound is within one growth step of the 1000s ceiling.
+        let last = *bounds.last().unwrap();
+        assert!(
+            (LAST_BOUND_NS / 6 * 5..=LAST_BOUND_NS).contains(&last),
+            "{last}"
+        );
+    }
+
+    #[test]
+    fn observe_counts_sum_and_buckets() {
+        let h = Histogram::new();
+        h.observe_ns(500); // below first bound -> bucket 0
+        h.observe_ns(1_000_000);
+        h.observe(Duration::from_secs(2000)); // past last bound -> +Inf
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum_ns(), 500 + 1_000_000 + 2_000_000_000_000);
+        let snap = h.snapshot();
+        assert_eq!(snap[0], 1);
+        assert_eq!(*snap.last().unwrap(), 1);
+        assert_eq!(snap.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn quantile_brackets_the_true_value() {
+        let h = Histogram::new();
+        for ns in [1_000u64, 5_000, 10_000, 50_000, 100_000] {
+            h.observe_ns(ns);
+        }
+        // Median of the five values is 10_000; the estimate is its bucket's
+        // upper bound.
+        let est = h.quantile_ns(0.5).unwrap();
+        assert!(est >= 10_000 && est as f64 <= 10_000.0 * 1.2 + 1.0, "{est}");
+        assert!(h.quantile_ns(1.0).unwrap() >= 100_000);
+        assert!(Histogram::new().quantile_ns(0.5).is_none());
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.observe_ns(2_000);
+        b.observe_ns(2_000);
+        b.observe_ns(3_000_000);
+        a.merge_from(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum_ns(), 2_000 + 2_000 + 3_000_000);
+    }
+}

@@ -1,0 +1,60 @@
+//! Hand-rolled observability for the langeq workspace (DESIGN.md §15).
+//!
+//! Like `langeq-report`, this crate is deliberately dependency-free so the
+//! workspace builds offline. It provides the four pieces the serve layer
+//! and the solver stack share:
+//!
+//! * **Structured spans** ([`trace`]): RAII guard objects created with
+//!   [`span!`] record a name, monotonic start/duration, parent link, and
+//!   `key=value` fields into a lock-cheap per-thread ring buffer. When no
+//!   trace context is installed on the thread, opening a span is one
+//!   thread-local read and a branch — the solver hot path pays nothing
+//!   unless a request asked to be traced.
+//! * **Log-bucketed histograms** ([`hist`]): a fixed, global power-of-~1.2
+//!   bucket layout shared by every [`hist::Histogram`], so histograms merge
+//!   index-wise and quantile estimates carry a bounded (≤ one bucket ratio)
+//!   relative error.
+//! * **A typed metric registry** ([`registry`]): counters, gauges, and
+//!   (optionally labelled) histogram families rendered in the Prometheus
+//!   text exposition format (`# HELP`/`# TYPE`, cumulative `_bucket{le=..}`
+//!   lines, `_sum`/`_count`).
+//! * **A rotating JSONL slow log** ([`slowlog`]): bounded, size-rotated
+//!   structured records for solves that exceed a threshold.
+//!
+//! Trace ids are minted with [`trace::fresh_id`] and travel between fleet
+//! members on the `x-langeq-trace` header; [`trace::collect`] gathers every
+//! span of a trace recorded by this process, and [`trace::span_tree`]
+//! renders them as a parent-linked JSON tree.
+
+pub mod hist;
+pub mod registry;
+pub mod slowlog;
+pub mod trace;
+
+pub use hist::{bucket_bounds, Histogram};
+pub use registry::{Counter, Gauge, HistogramVec, Registry};
+pub use slowlog::SlowLog;
+pub use trace::{
+    collect, current, fmt_header, fmt_id, fresh_id, install, parse_header, parse_id, span,
+    span_tree, span_tree_json, Span, SpanRecord,
+};
+
+/// Opens a [`Span`] guard named `$name`; optional `key = value` pairs are
+/// recorded as span fields. A no-op (one thread-local read) when the
+/// current thread has no trace context installed.
+///
+/// ```
+/// let _t = langeq_obs::install(langeq_obs::fresh_id(), 0);
+/// let _s = langeq_obs::span!("fixpoint", iter = 3);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::trace::span($name)
+    };
+    ($name:expr, $($k:ident = $v:expr),+ $(,)?) => {{
+        let mut s = $crate::trace::span($name);
+        $(s.field(stringify!($k), $v);)+
+        s
+    }};
+}

@@ -1,0 +1,307 @@
+//! A typed metric registry rendering the Prometheus text exposition
+//! format (version 0.0.4).
+//!
+//! Families are registered once (name + help) and rendered in
+//! registration order. Three kinds:
+//!
+//! * [`Counter`] — monotone `fetch_add` cell, rendered `name value`;
+//! * [`Gauge`] — a settable cell for scrape-time values (the serve layer
+//!   sets queue depths and peer counts right before rendering);
+//! * [`HistogramVec`] — a family of [`Histogram`]s keyed by one optional
+//!   label, rendered as cumulative `name_bucket{le="…"}` lines (empty
+//!   buckets are elided; `+Inf` always present) plus `name_sum` /
+//!   `name_count`.
+//!
+//! Unlabelled counters and gauges render exactly one `name value` line,
+//! which keeps `grep '^name '`-style scrapes and the serve client's
+//! line parser working unchanged.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::hist::{bucket_bounds, Histogram};
+
+/// Locks a mutex, tolerating poisoning (registry state is plain data).
+fn lock_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A monotonically increasing counter.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: set to the current value at scrape time (or whenever).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram family: one [`Histogram`] per value of a single label, or
+/// exactly one unlabelled histogram.
+pub struct HistogramVec {
+    label: Option<&'static str>,
+    children: Mutex<Vec<(String, Arc<Histogram>)>>,
+}
+
+impl HistogramVec {
+    /// The child histogram for `value` (created on first use; insertion
+    /// order is render order).
+    pub fn with(&self, value: &str) -> Arc<Histogram> {
+        let mut children = lock_ok(&self.children);
+        if let Some((_, h)) = children.iter().find(|(v, _)| v == value) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::new());
+        children.push((value.to_string(), Arc::clone(&h)));
+        h
+    }
+
+    /// The single child of an unlabelled family.
+    pub fn unlabelled(&self) -> Arc<Histogram> {
+        self.with("")
+    }
+}
+
+enum FamilyData {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Arc<HistogramVec>),
+}
+
+struct Family {
+    name: String,
+    help: String,
+    data: FamilyData,
+}
+
+/// The metric registry: register handles up front, render on scrape.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn push(&self, name: &str, help: &str, data: FamilyData) {
+        lock_ok(&self.families).push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            data,
+        });
+    }
+
+    /// Registers a counter family and returns its handle.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        let c = Counter(Arc::new(AtomicU64::new(0)));
+        self.push(name, help, FamilyData::Counter(c.clone()));
+        c
+    }
+
+    /// Registers a gauge family and returns its handle.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        let g = Gauge(Arc::new(AtomicU64::new(0)));
+        self.push(name, help, FamilyData::Gauge(g.clone()));
+        g
+    }
+
+    /// Registers an unlabelled histogram family.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.histogram_vec(name, help, None).unlabelled()
+    }
+
+    /// Registers a histogram family keyed by `label` (or unlabelled).
+    pub fn histogram_vec(
+        &self,
+        name: &str,
+        help: &str,
+        label: Option<&'static str>,
+    ) -> Arc<HistogramVec> {
+        let vec = Arc::new(HistogramVec {
+            label,
+            children: Mutex::new(Vec::new()),
+        });
+        self.push(name, help, FamilyData::Histogram(Arc::clone(&vec)));
+        vec
+    }
+
+    /// Renders every family in registration order as Prometheus text
+    /// exposition (format version 0.0.4).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for fam in lock_ok(&self.families).iter() {
+            out.push_str(&format!("# HELP {} {}\n", fam.name, fam.help));
+            match &fam.data {
+                FamilyData::Counter(c) => {
+                    out.push_str(&format!("# TYPE {} counter\n", fam.name));
+                    out.push_str(&format!("{} {}\n", fam.name, c.get()));
+                }
+                FamilyData::Gauge(g) => {
+                    out.push_str(&format!("# TYPE {} gauge\n", fam.name));
+                    out.push_str(&format!("{} {}\n", fam.name, g.get()));
+                }
+                FamilyData::Histogram(vec) => {
+                    out.push_str(&format!("# TYPE {} histogram\n", fam.name));
+                    for (value, h) in lock_ok(&vec.children).iter() {
+                        render_histogram(&mut out, &fam.name, vec.label, value, h);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `{label="value",le="bound"}` (label part elided for unlabelled
+/// families). Values are escaped per the exposition format.
+fn label_pair(label: Option<&'static str>, value: &str) -> String {
+    match label {
+        Some(key) => format!("{key}=\"{}\",", escape_label(value)),
+        None => String::new(),
+    }
+}
+
+fn escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Formats a nanosecond bound as seconds (Rust's `f64` Display never uses
+/// exponent notation, so the result is a valid exposition float).
+fn fmt_seconds(ns: u64) -> String {
+    format!("{}", ns as f64 / 1e9)
+}
+
+fn render_histogram(
+    out: &mut String,
+    name: &str,
+    label: Option<&'static str>,
+    value: &str,
+    h: &Histogram,
+) {
+    let pair = label_pair(label, value);
+    let bounds = bucket_bounds();
+    let mut cum = 0u64;
+    for (idx, n) in h.snapshot().into_iter().enumerate() {
+        cum += n;
+        // Elide empty buckets: cumulative lines stay non-decreasing and
+        // +Inf below always closes the family, so the exposition remains
+        // valid while ~115 mostly-zero lines collapse away.
+        if n == 0 {
+            continue;
+        }
+        if let Some(&bound) = bounds.get(idx) {
+            out.push_str(&format!(
+                "{name}_bucket{{{pair}le=\"{}\"}} {cum}\n",
+                fmt_seconds(bound)
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "{name}_bucket{{{pair}le=\"+Inf\"}} {}\n",
+        h.count()
+    ));
+    let sum = format!("{}", h.sum_ns() as f64 / 1e9);
+    if pair.is_empty() {
+        out.push_str(&format!("{name}_sum {sum}\n"));
+        out.push_str(&format!("{name}_count {}\n", h.count()));
+    } else {
+        let solo = pair.trim_end_matches(',');
+        out.push_str(&format!("{name}_sum{{{solo}}} {sum}\n"));
+        out.push_str(&format!("{name}_count{{{solo}}} {}\n", h.count()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_render_plain_lines() {
+        let reg = Registry::new();
+        let c = reg.counter("langeq_test_total", "Test counter.");
+        let g = reg.gauge("langeq_test_depth", "Test gauge.");
+        c.add(3);
+        g.set(7);
+        let text = reg.render();
+        assert!(text.contains("# HELP langeq_test_total Test counter.\n"));
+        assert!(text.contains("# TYPE langeq_test_total counter\n"));
+        assert!(text.contains("\nlangeq_test_total 3\n"));
+        assert!(text.contains("# TYPE langeq_test_depth gauge\n"));
+        assert!(text.contains("\nlangeq_test_depth 7\n"));
+    }
+
+    #[test]
+    fn histograms_render_cumulative_buckets() {
+        let reg = Registry::new();
+        let h = reg.histogram("langeq_test_seconds", "Test histogram.");
+        h.observe_ns(1_000); // exactly the first bound: le="0.000001"
+        h.observe_ns(1_000);
+        let text = reg.render();
+        assert!(text.contains("# TYPE langeq_test_seconds histogram\n"));
+        assert!(text.contains("langeq_test_seconds_bucket{le=\"0.000001\"} 2\n"));
+        assert!(text.contains("langeq_test_seconds_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("langeq_test_seconds_sum 0.000002\n"));
+        assert!(text.contains("langeq_test_seconds_count 2\n"));
+    }
+
+    #[test]
+    fn labelled_histograms_render_label_pairs() {
+        let reg = Registry::new();
+        let vec = reg.histogram_vec("langeq_req_seconds", "Req.", Some("endpoint"));
+        vec.with("/v1/solve").observe_ns(2_000_000);
+        let text = reg.render();
+        assert!(
+            text.contains("langeq_req_seconds_bucket{endpoint=\"/v1/solve\",le=\"+Inf\"} 1\n"),
+            "{text}"
+        );
+        assert!(text.contains("langeq_req_seconds_sum{endpoint=\"/v1/solve\"} 0.002\n"));
+        assert!(text.contains("langeq_req_seconds_count{endpoint=\"/v1/solve\"} 1\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn seconds_format_avoids_exponents() {
+        assert_eq!(fmt_seconds(1_000), "0.000001");
+        assert_eq!(fmt_seconds(1_500_000_000), "1.5");
+    }
+}

@@ -1,0 +1,153 @@
+//! The slow-solve log: one structured JSONL line per record, growth
+//! bounded by size-based rotation.
+//!
+//! When appending a line would push the file past `max_bytes`, the file is
+//! rotated to `<path>.1` (replacing the previous rotated generation) and a
+//! fresh file is started — at most two generations ever exist, so the log
+//! occupies at most ~`2·max_bytes` on disk. A single record larger than
+//! the limit is still written (alone, after a rotation) rather than lost.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard};
+
+use langeq_report::Json;
+
+/// Locks a mutex, tolerating poisoning (the writer state is re-derived
+/// from the filesystem on the next append).
+fn lock_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+struct Open {
+    file: File,
+    len: u64,
+}
+
+/// A rotating JSONL writer shared across threads.
+pub struct SlowLog {
+    path: PathBuf,
+    max_bytes: u64,
+    state: Mutex<Option<Open>>,
+}
+
+impl SlowLog {
+    /// A writer appending to `path`, rotating when the file would exceed
+    /// `max_bytes` (clamped to at least 4 KiB).
+    pub fn new(path: impl Into<PathBuf>, max_bytes: u64) -> SlowLog {
+        SlowLog {
+            path: path.into(),
+            max_bytes: max_bytes.max(4096),
+            state: Mutex::new(None),
+        }
+    }
+
+    /// The rotated generation's path: `<path>.1`.
+    pub fn rotated_path(&self) -> PathBuf {
+        let mut name = self.path.as_os_str().to_os_string();
+        name.push(".1");
+        PathBuf::from(name)
+    }
+
+    /// Appends `record` as one JSON line, rotating first if the line would
+    /// push the file past the size limit.
+    pub fn append(&self, record: &Json) -> std::io::Result<()> {
+        let mut line = record.to_string();
+        line.push('\n');
+        let mut state = lock_ok(&self.state);
+        let mut open = match state.take() {
+            Some(open) => open,
+            None => self.open()?,
+        };
+        if open.len > 0 && open.len + line.len() as u64 > self.max_bytes {
+            drop(open.file);
+            std::fs::rename(&self.path, self.rotated_path())?;
+            open = self.open()?;
+        }
+        open.file.write_all(line.as_bytes())?;
+        open.len += line.len() as u64;
+        *state = Some(open);
+        Ok(())
+    }
+
+    fn open(&self) -> std::io::Result<Open> {
+        if let Some(parent) = self.path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        let len = file.metadata()?.len();
+        Ok(Open { file, len })
+    }
+}
+
+/// Loads every parseable JSONL record of `path` (lenient: unparseable or
+/// torn lines are skipped), for tests and the CLI.
+pub fn load(path: &Path) -> Vec<Json> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => langeq_report::parse_lines_lossy(&text),
+        Err(_) => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("langeq-slowlog-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn appends_one_line_per_record() {
+        let path = scratch("append");
+        let _ = std::fs::remove_file(&path);
+        let log = SlowLog::new(&path, 1 << 20);
+        for k in 0u32..3 {
+            log.append(&Json::obj().set("k", k)).unwrap();
+        }
+        let records = load(&path);
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[2].get("k").and_then(Json::as_u64), Some(2));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rotation_bounds_growth() {
+        let path = scratch("rotate");
+        let log = SlowLog::new(&path, 4096);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(log.rotated_path());
+        let big = "x".repeat(1000);
+        for k in 0u32..20 {
+            log.append(&Json::obj().set("k", k).set("pad", big.as_str()))
+                .unwrap();
+        }
+        let len = std::fs::metadata(&path).unwrap().len();
+        assert!(len <= 4096, "live file stays under the cap: {len}");
+        let rotated = std::fs::metadata(log.rotated_path()).unwrap().len();
+        assert!(
+            rotated <= 4096,
+            "rotated file stays under the cap: {rotated}"
+        );
+        // The newest records are in the live file.
+        let records = load(&path);
+        assert_eq!(
+            records
+                .last()
+                .and_then(|r| r.get("k"))
+                .and_then(Json::as_u64),
+            Some(19)
+        );
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(log.rotated_path());
+    }
+}

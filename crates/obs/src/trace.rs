@@ -1,0 +1,502 @@
+//! Structured spans: RAII guards recording into per-thread ring buffers.
+//!
+//! A thread participates in tracing only while a context is [`install`]ed
+//! (trace id + parent span id). [`span`] then mints a span id, re-parents
+//! the thread's context to itself, and on drop records one [`SpanRecord`]
+//! into the thread's ring. Without an installed context, `span` is one
+//! thread-local read and a branch — callers instrument unconditionally and
+//! untraced work pays (almost) nothing.
+//!
+//! Rings are fixed-capacity and overwrite oldest-first, so tracing memory
+//! is bounded no matter how many spans a runaway solve opens. When a
+//! thread exits, its ring is retired into a bounded global *spill* buffer
+//! so short-lived worker threads (the suite engine spawns one per sweep)
+//! do not lose their spans. [`collect`] scans live rings plus the spill.
+//!
+//! Timestamps are nanoseconds on a process-local monotonic epoch; spans
+//! from different processes are never compared by absolute time — the
+//! merged fleet view keys on trace/parent ids only.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+use langeq_report::Json;
+
+/// Spans each thread ring retains (oldest overwritten first).
+const RING_CAP: usize = 4096;
+/// Spans the global spill buffer (rings of exited threads) retains.
+const SPILL_CAP: usize = 16384;
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// The trace this span belongs to (non-zero).
+    pub trace: u64,
+    /// This span's id (non-zero, unique within the process).
+    pub id: u64,
+    /// Parent span id (possibly minted by another process; 0 = no parent).
+    pub parent: u64,
+    /// Phase/stage name.
+    pub name: &'static str,
+    /// Start, in nanoseconds on the process-local monotonic epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+    /// `key=value` annotations, in insertion order.
+    pub fields: Vec<(&'static str, String)>,
+}
+
+/// Locks a mutex, tolerating poisoning: a panicking recorder thread must
+/// not take tracing down with it (records are plain data, never torn).
+fn lock_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// splitmix64 — the same generator the rand shim uses; good dispersion
+/// from sequential inputs.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Mints a fresh non-zero id (trace or span): splitmix64 over a
+/// process-unique seed (pid + wall clock at first use) and a counter, so
+/// two fleet members racing on the same request never collide.
+pub fn fresh_id() -> u64 {
+    static SEED: OnceLock<u64> = OnceLock::new();
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let seed = *SEED.get_or_init(|| {
+        let pid = std::process::id() as u64;
+        let clock = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        splitmix64(pid.rotate_left(32) ^ clock)
+    });
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let id = splitmix64(seed ^ n);
+    if id == 0 {
+        1
+    } else {
+        id
+    }
+}
+
+/// Renders an id as the 16-hex-digit wire/JSON form.
+pub fn fmt_id(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+/// Parses the 16-hex-digit (or shorter) id form; zero is not a valid id.
+pub fn parse_id(text: &str) -> Option<u64> {
+    if text.is_empty() || text.len() > 16 {
+        return None;
+    }
+    u64::from_str_radix(text, 16).ok().filter(|&id| id != 0)
+}
+
+/// Renders an `x-langeq-trace` header value: `trace[:parent]`.
+pub fn fmt_header(trace: u64, parent: u64) -> String {
+    if parent == 0 {
+        fmt_id(trace)
+    } else {
+        format!("{}:{}", fmt_id(trace), fmt_id(parent))
+    }
+}
+
+/// Parses an `x-langeq-trace` header value (`trace[:parent]`).
+pub fn parse_header(value: &str) -> Option<(u64, u64)> {
+    match value.split_once(':') {
+        None => parse_id(value.trim()).map(|t| (t, 0)),
+        Some((t, p)) => {
+            let trace = parse_id(t.trim())?;
+            let parent = parse_id(p.trim()).unwrap_or(0);
+            Some((trace, parent))
+        }
+    }
+}
+
+// ---- per-thread context ----------------------------------------------------
+
+thread_local! {
+    /// `(trace, parent span)` of the installed context; trace 0 = none.
+    static CURRENT: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+    static LOCAL_RING: RingHandle = RingHandle::register();
+}
+
+/// A per-thread ring of finished spans, shared with [`collect`] via the
+/// global registry. The owning thread takes the lock uncontended except
+/// while a trace snapshot is being read.
+struct ThreadRing {
+    buf: Mutex<VecDeque<SpanRecord>>,
+}
+
+struct RingHandle(Arc<ThreadRing>);
+
+fn rings() -> &'static Mutex<Vec<Arc<ThreadRing>>> {
+    static RINGS: OnceLock<Mutex<Vec<Arc<ThreadRing>>>> = OnceLock::new();
+    RINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn spill() -> &'static Mutex<VecDeque<SpanRecord>> {
+    static SPILL: OnceLock<Mutex<VecDeque<SpanRecord>>> = OnceLock::new();
+    SPILL.get_or_init(|| Mutex::new(VecDeque::new()))
+}
+
+impl RingHandle {
+    fn register() -> RingHandle {
+        let ring = Arc::new(ThreadRing {
+            buf: Mutex::new(VecDeque::new()),
+        });
+        lock_ok(rings()).push(Arc::clone(&ring));
+        RingHandle(ring)
+    }
+}
+
+impl Drop for RingHandle {
+    fn drop(&mut self) {
+        // Retire the exiting thread's spans into the bounded spill buffer
+        // so short-lived worker threads don't lose their trace slice.
+        let mut records = std::mem::take(&mut *lock_ok(&self.0.buf));
+        let mut spilled = lock_ok(spill());
+        spilled.append(&mut records);
+        while spilled.len() > SPILL_CAP {
+            spilled.pop_front();
+        }
+        drop(spilled);
+        lock_ok(rings()).retain(|r| !Arc::ptr_eq(r, &self.0));
+    }
+}
+
+fn push_record(rec: SpanRecord) {
+    // `try_with`: a span dropped during thread teardown (after the ring
+    // handle's destructor ran) is silently discarded rather than panicking.
+    let _ = LOCAL_RING.try_with(|h| {
+        let mut buf = lock_ok(&h.0.buf);
+        if buf.len() >= RING_CAP {
+            buf.pop_front();
+        }
+        buf.push_back(rec);
+    });
+}
+
+/// Restores the previous thread context when dropped.
+pub struct TraceGuard {
+    prev: (u64, u64),
+}
+
+/// Installs `(trace, parent)` as the thread's trace context and returns a
+/// guard restoring the previous context on drop. Spans opened while the
+/// guard lives belong to `trace` and hang off `parent` (0 = roots).
+pub fn install(trace: u64, parent: u64) -> TraceGuard {
+    TraceGuard {
+        prev: CURRENT.replace((trace, parent)),
+    }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        CURRENT.set(self.prev);
+    }
+}
+
+/// The thread's installed `(trace, current parent span)` context, if any.
+/// Inside an open span the parent is that span's id, so propagating
+/// `current()` to another thread (or fleet member) parents its spans
+/// correctly.
+pub fn current() -> Option<(u64, u64)> {
+    let (trace, parent) = CURRENT.with(Cell::get);
+    if trace == 0 {
+        None
+    } else {
+        Some((trace, parent))
+    }
+}
+
+// ---- spans -----------------------------------------------------------------
+
+struct SpanInner {
+    trace: u64,
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    start_ns: u64,
+    started: Instant,
+    fields: Vec<(&'static str, String)>,
+}
+
+/// An open span: created by [`span`] (or the [`span!`](crate::span) macro),
+/// recorded into the thread ring when dropped. `None` inside = the thread
+/// had no trace context and the whole guard is a no-op.
+pub struct Span(Option<SpanInner>);
+
+/// Opens a span named `name` under the thread's trace context; a no-op
+/// guard when no context is installed.
+pub fn span(name: &'static str) -> Span {
+    let (trace, parent) = CURRENT.with(Cell::get);
+    if trace == 0 {
+        return Span(None);
+    }
+    let id = fresh_id();
+    CURRENT.set((trace, id));
+    Span(Some(SpanInner {
+        trace,
+        id,
+        parent,
+        name,
+        start_ns: now_ns(),
+        started: Instant::now(),
+        fields: Vec::new(),
+    }))
+}
+
+impl Span {
+    /// Attaches a `key=value` field (no-op on an untraced guard).
+    pub fn field(&mut self, key: &'static str, value: impl std::fmt::Display) {
+        if let Some(inner) = &mut self.0 {
+            inner.fields.push((key, value.to_string()));
+        }
+    }
+
+    /// This span's id (0 on an untraced guard) — the parent to propagate
+    /// when handing work to another thread or fleet member.
+    pub fn id(&self) -> u64 {
+        self.0.as_ref().map_or(0, |s| s.id)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.0.take() else {
+            return;
+        };
+        CURRENT.set((inner.trace, inner.parent));
+        push_record(SpanRecord {
+            trace: inner.trace,
+            id: inner.id,
+            parent: inner.parent,
+            name: inner.name,
+            start_ns: inner.start_ns,
+            dur_ns: inner.started.elapsed().as_nanos() as u64,
+            fields: inner.fields,
+        });
+    }
+}
+
+// ---- collection ------------------------------------------------------------
+
+/// Every span of `trace` recorded by this process (live thread rings plus
+/// the spill buffer of exited threads), ordered by start time.
+pub fn collect(trace: u64) -> Vec<SpanRecord> {
+    let mut out: Vec<SpanRecord> = Vec::new();
+    for rec in lock_ok(spill()).iter() {
+        if rec.trace == trace {
+            out.push(rec.clone());
+        }
+    }
+    let rings: Vec<Arc<ThreadRing>> = lock_ok(rings()).clone();
+    for ring in rings {
+        for rec in lock_ok(&ring.buf).iter() {
+            if rec.trace == trace {
+                out.push(rec.clone());
+            }
+        }
+    }
+    out.sort_by_key(|r| (r.start_ns, r.id));
+    out
+}
+
+impl SpanRecord {
+    /// The flat JSON form (ids in hex; no children).
+    pub fn to_json(&self) -> Json {
+        let mut fields = Json::obj();
+        for (k, v) in &self.fields {
+            fields = fields.set(k, v.as_str());
+        }
+        Json::obj()
+            .set("id", fmt_id(self.id))
+            .set("parent", fmt_id(self.parent))
+            .set("name", self.name)
+            .set("start_ns", self.start_ns)
+            .set("dur_ns", self.dur_ns)
+            .set("fields", fields)
+    }
+}
+
+/// Renders `records` as a JSON array of root span objects, each with a
+/// `children` array (recursively). A span whose parent is absent from
+/// `records` (e.g. minted by another fleet member) is a root here — the
+/// fleet-merged view re-joins the pieces by parent id.
+pub fn span_tree(records: &[SpanRecord]) -> Json {
+    let flat: Vec<Json> = records.iter().map(SpanRecord::to_json).collect();
+    span_tree_json(&flat)
+}
+
+/// [`span_tree`] over flat JSON records (the [`SpanRecord::to_json`]
+/// shape) — what the fleet trace endpoint uses to merge its own spans with
+/// the ones peers answered, re-joining child spans one member recorded to
+/// parent spans another member minted.
+pub fn span_tree_json(records: &[Json]) -> Json {
+    fn id_of(r: &Json) -> &str {
+        r.get("id").and_then(Json::as_str).unwrap_or("")
+    }
+    let none = fmt_id(0);
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); records.len()];
+    let mut roots: Vec<usize> = Vec::new();
+    for (k, rec) in records.iter().enumerate() {
+        let parent = rec.get("parent").and_then(Json::as_str).unwrap_or("");
+        let parent_at = if parent.is_empty() || parent == none {
+            None
+        } else {
+            records.iter().position(|p| id_of(p) == parent)
+        };
+        match parent_at {
+            Some(p) if p != k => children[p].push(k),
+            _ => roots.push(k),
+        }
+    }
+    fn node(records: &[Json], children: &[Vec<usize>], k: usize) -> Json {
+        let kids: Vec<Json> = children[k]
+            .iter()
+            .map(|&c| node(records, children, c))
+            .collect();
+        records[k].clone().set("children", kids)
+    }
+    Json::Arr(roots.iter().map(|&r| node(records, &children, r)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_nonzero_and_distinct() {
+        let a = fresh_id();
+        let b = fresh_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+        assert_eq!(parse_id(&fmt_id(a)), Some(a));
+    }
+
+    #[test]
+    fn header_round_trips() {
+        assert_eq!(parse_header(&fmt_header(7, 0)), Some((7, 0)));
+        assert_eq!(parse_header(&fmt_header(7, 9)), Some((7, 9)));
+        assert_eq!(parse_header(""), None);
+        assert_eq!(parse_header("zz"), None);
+    }
+
+    #[test]
+    fn spans_are_noops_without_context() {
+        let trace = fresh_id();
+        {
+            let s = span("idle");
+            assert_eq!(s.id(), 0);
+        }
+        assert!(collect(trace).is_empty());
+        assert_eq!(current(), None);
+    }
+
+    #[test]
+    fn spans_nest_and_record_parent_links() {
+        let trace = fresh_id();
+        let outer_id;
+        let inner_id;
+        {
+            let _g = install(trace, 0);
+            let mut outer = span("outer");
+            outer.field("k", 1);
+            outer_id = outer.id();
+            assert_eq!(current(), Some((trace, outer_id)));
+            {
+                let inner = span("inner");
+                inner_id = inner.id();
+            }
+            assert_eq!(current(), Some((trace, outer_id)));
+        }
+        assert_eq!(current(), None);
+        let records = collect(trace);
+        assert_eq!(records.len(), 2);
+        let outer = records.iter().find(|r| r.name == "outer").unwrap();
+        let inner = records.iter().find(|r| r.name == "inner").unwrap();
+        assert_eq!(outer.id, outer_id);
+        assert_eq!(outer.parent, 0);
+        assert_eq!(inner.parent, outer_id);
+        assert_eq!(inner.id, inner_id);
+        assert_eq!(outer.fields, vec![("k", "1".to_string())]);
+    }
+
+    #[test]
+    fn exited_threads_spill_their_spans() {
+        let trace = fresh_id();
+        std::thread::spawn(move || {
+            let _g = install(trace, 0);
+            let _s = span("worker");
+        })
+        .join()
+        .unwrap();
+        let records = collect(trace);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].name, "worker");
+    }
+
+    #[test]
+    fn tree_builds_children_and_foreign_roots() {
+        let trace = fresh_id();
+        let records = vec![
+            SpanRecord {
+                trace,
+                id: 10,
+                parent: 99, // minted elsewhere: becomes a root here
+                name: "request",
+                start_ns: 0,
+                dur_ns: 5,
+                fields: vec![],
+            },
+            SpanRecord {
+                trace,
+                id: 11,
+                parent: 10,
+                name: "solve",
+                start_ns: 1,
+                dur_ns: 3,
+                fields: vec![],
+            },
+        ];
+        let tree = span_tree(&records);
+        let roots = tree.as_arr().unwrap();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].get("name").and_then(Json::as_str), Some("request"));
+        let kids = roots[0].get("children").and_then(Json::as_arr).unwrap();
+        assert_eq!(kids.len(), 1);
+        assert_eq!(kids[0].get("name").and_then(Json::as_str), Some("solve"));
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let trace = fresh_id();
+        let _g = install(trace, 0);
+        for _ in 0..(RING_CAP + 10) {
+            let _s = span("tick");
+        }
+        assert!(collect(trace).len() <= RING_CAP);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for the log-bucketed histogram (DESIGN.md §15):
+//! quantile estimates stay within the bucket-bound error, and merging is
+//! associative (and commutative) on the shared global layout.
+
+use langeq_obs::hist::{bucket_bounds, Histogram};
+use proptest::prelude::*;
+use proptest::TestRng;
+
+/// Observation strategy: 1–200 nanosecond values spanning sub-bucket-0
+/// (1ns) up past the +Inf overflow boundary (~8.8e12ns), power-of-two
+/// spaced so every region of the layout is hit.
+struct ArbObs;
+
+impl Strategy for ArbObs {
+    type Value = Vec<u64>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<u64> {
+        let len = rng.below(199) + 1;
+        (0..len).map(|_| 1u64 << rng.below(44)).collect()
+    }
+}
+
+fn arb_obs() -> impl Strategy<Value = Vec<u64>> {
+    ArbObs
+}
+
+fn from_obs(values: &[u64]) -> Histogram {
+    let h = Histogram::new();
+    for &v in values {
+        h.observe_ns(v);
+    }
+    h
+}
+
+/// The bucket upper bound a single value lands under (`u64::MAX` for the
+/// overflow bucket) — the reference the quantile estimate must match.
+fn bound_of(ns: u64) -> u64 {
+    let bounds = bucket_bounds();
+    let idx = bounds.partition_point(|&b| b < ns);
+    bounds.get(idx).copied().unwrap_or(u64::MAX)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// The q-quantile estimate is exactly the bucket bound of the
+    /// ⌈q·n⌉-th smallest observation: an upper bound on the true value
+    /// with at most one bucket ratio (≤20%) of relative slack.
+    #[test]
+    fn quantile_matches_bucket_of_true_order_statistic(
+        values in arb_obs(),
+        qk in 1u32..=100,
+    ) {
+        let q = qk as f64 / 100.0;
+        let h = from_obs(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let truth = sorted[rank - 1];
+        let est = h.quantile_ns(q).unwrap();
+        prop_assert_eq!(est, bound_of(truth));
+        // The estimate is an upper bound, within one bucket ratio above.
+        prop_assert!(est >= truth);
+        if est != u64::MAX {
+            prop_assert!((est as f64) <= (truth as f64) * 1.2 + 1.0 || truth < 1_000);
+        }
+    }
+
+    /// Merging is associative: (a ⊕ b) ⊕ c and a ⊕ (b ⊕ c) agree on
+    /// every bucket, the sum, and the count.
+    #[test]
+    fn merge_is_associative(
+        a in arb_obs(),
+        b in arb_obs(),
+        c in arb_obs(),
+    ) {
+        let left = from_obs(&a);
+        left.merge_from(&from_obs(&b));
+        left.merge_from(&from_obs(&c));
+
+        let bc = from_obs(&b);
+        bc.merge_from(&from_obs(&c));
+        let right = from_obs(&a);
+        right.merge_from(&bc);
+
+        prop_assert_eq!(left.snapshot(), right.snapshot());
+        prop_assert_eq!(left.sum_ns(), right.sum_ns());
+        prop_assert_eq!(left.count(), right.count());
+
+        // ... and commutative, with the same quantiles as one histogram
+        // over the concatenated observations.
+        let mut all = a.clone();
+        all.extend(&b);
+        all.extend(&c);
+        let whole = from_obs(&all);
+        prop_assert_eq!(left.snapshot(), whole.snapshot());
+        prop_assert_eq!(left.quantile_ns(0.5), whole.quantile_ns(0.5));
+        prop_assert_eq!(left.quantile_ns(0.99), whole.quantile_ns(0.99));
+    }
+}

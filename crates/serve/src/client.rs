@@ -69,6 +69,9 @@ pub struct Submitted {
     /// Set when a fleet daemon forwarded the solve: the address that
     /// actually runs the job — poll *that* daemon for the result.
     pub owner: Option<String>,
+    /// The request's trace id (16 hex digits) — fetch the merged span
+    /// view from `GET /v1/trace/{id}` on any fleet member.
+    pub trace: Option<String>,
 }
 
 /// A handle on one server address.
@@ -208,6 +211,13 @@ impl Client {
         self.expect_json("GET", &format!("/v1/jobs/{job}"), None)
     }
 
+    /// `GET /v1/trace/{id}` — the merged span view of one trace: flat
+    /// `spans`, the parent-linked `tree`, and the fleet `members` that
+    /// contributed. `id` is the 16-hex trace id a submission ack carries.
+    pub fn trace(&self, id: &str) -> Result<Json, ClientError> {
+        self.expect_json("GET", &format!("/v1/trace/{id}"), None)
+    }
+
     /// `POST /v1/jobs/{id}/cancel` — fires the job's cancel token. Returns
     /// `true` when the job was still queued/running (a done job is left
     /// untouched and reports `false`); unknown ids error with 404.
@@ -295,5 +305,6 @@ fn decode_submitted(body: &Json) -> Result<Submitted, ClientError> {
             .to_string(),
         cached: body.get("cached").and_then(Json::as_bool).unwrap_or(false),
         owner: body.get("owner").and_then(Json::as_str).map(str::to_string),
+        trace: body.get("trace").and_then(Json::as_str).map(str::to_string),
     })
 }

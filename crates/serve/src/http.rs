@@ -208,11 +208,23 @@ impl Response {
         Response::json(status, &Json::obj().set("error", message))
     }
 
-    /// A plain-text response (the `/metrics` exposition).
+    /// A plain-text response.
     pub fn text(status: u16, body: String) -> Response {
         Response {
             status,
             content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A Prometheus text-exposition response (the `/metrics` endpoint):
+    /// same body shape as [`Response::text`], but the content type names
+    /// the exposition format version scrapers negotiate on.
+    pub fn prometheus(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4",
             headers: Vec::new(),
             body: body.into_bytes(),
         }

@@ -27,7 +27,8 @@
 //! | `GET /healthz` | liveness, advertised address, ring size, live peer count |
 //! | `GET /readyz` | readiness: 200 when accepting work, 503 when draining, the queue is full, the store errors, or no worker is alive |
 //! | `GET /v1/ring` | fleet debug view: every ring member with its live up/down state |
-//! | `GET /metrics` | text exposition: queue/jobs/cache/kernel/fleet counters |
+//! | `GET /v1/trace/{id}` | every span recorded for a trace id, merged across live ring members into one parent-linked tree |
+//! | `GET /metrics` | Prometheus text exposition: queue/jobs/cache/kernel/fleet counters plus latency histograms |
 //!
 //! A full queue answers **429** (backpressure), an oversized body **413**,
 //! a draining server **503**. With an auth token configured, every POST

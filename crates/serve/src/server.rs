@@ -53,6 +53,7 @@ use langeq_core::{
     CancelToken, CellReport, ConfigSpec, InstanceSpec, JournalStore, KernelSample, LocalFileStore,
     SharedDirStore, SolverKind, SolverLimits, SuiteEvent, SuiteOptions, SuitePlan,
 };
+use langeq_obs::{fmt_header, fmt_id, Counter, Gauge, Histogram, HistogramVec, Registry, SlowLog};
 use langeq_report::Json;
 
 use crate::health::{probe_loop, PeerHealth, ProbeOptions};
@@ -63,6 +64,13 @@ use crate::ring::Ring;
 /// daemon must answer it locally, never re-forward (single-hop routing,
 /// no loops even under ring disagreement).
 const FORWARD_HEADER: &str = "x-langeq-forward";
+
+/// Fleet-wide request-correlation header: `trace[:parent]`, 16-hex span
+/// ids. A daemon receiving it joins the sender's trace (its ingress span
+/// parents under the sender's forward span); without it, ingress mints a
+/// fresh trace id. Every peer call re-sends it, so one trace id covers
+/// the whole fleet's share of a request.
+const TRACE_HEADER: &str = "x-langeq-trace";
 
 /// Configuration of one [`Server::start`] call.
 pub struct ServeOptions {
@@ -78,6 +86,8 @@ pub struct ServeOptions {
     auth_token: Option<String>,
     rate_limit: Option<f64>,
     probe: ProbeOptions,
+    slow_ms: Option<u64>,
+    slow_log: Option<PathBuf>,
     #[cfg(feature = "fault-inject")]
     faults: Option<Arc<crate::fault::FaultPlan>>,
     token: CancelToken,
@@ -98,6 +108,8 @@ impl std::fmt::Debug for ServeOptions {
             .field("auth_token", &self.auth_token.as_ref().map(|_| "<set>"))
             .field("rate_limit", &self.rate_limit)
             .field("probe", &self.probe)
+            .field("slow_ms", &self.slow_ms)
+            .field("slow_log", &self.slow_log)
             .finish_non_exhaustive()
     }
 }
@@ -117,6 +129,8 @@ impl Default for ServeOptions {
             auth_token: None,
             rate_limit: None,
             probe: ProbeOptions::default(),
+            slow_ms: None,
+            slow_log: None,
             #[cfg(feature = "fault-inject")]
             faults: None,
             token: CancelToken::new(),
@@ -225,6 +239,22 @@ impl ServeOptions {
         self
     }
 
+    /// Arms the slow-solve log: every cell whose solve takes at least this
+    /// many milliseconds appends one structured JSONL record (trace id,
+    /// signature, duration, per-phase breakdown) to the slow log.
+    pub fn slow_ms(mut self, ms: u64) -> Self {
+        self.slow_ms = Some(ms);
+        self
+    }
+
+    /// The slow-log file path (default `langeq-slow.jsonl` in the working
+    /// directory). The log rotates to `<path>.1` once it outgrows 1 MiB,
+    /// so a long-lived daemon never grows it unboundedly.
+    pub fn slow_log(mut self, path: impl Into<PathBuf>) -> Self {
+        self.slow_log = Some(path.into());
+        self
+    }
+
     /// Attaches a scripted [`crate::fault::FaultPlan`] to the daemon: its
     /// armed solve faults fire inside the worker loop (test-only).
     #[cfg(feature = "fault-inject")]
@@ -267,6 +297,13 @@ struct CellWork {
     instance: InstanceSpec,
     config: ConfigSpec,
     sig: String,
+    /// The submitting request's trace id (0 = untraced) and the ingress
+    /// span to parent the worker's solve span under.
+    trace: u64,
+    parent: u64,
+    /// When the cell entered the queue — the queue-wait histogram measures
+    /// from here to the worker pop.
+    enqueued: Instant,
 }
 
 /// One submitted job.
@@ -294,6 +331,9 @@ struct Job {
     /// Solve jobs: LQAS snapshot of the freshly solved CSF, for
     /// `GET /v1/jobs/{id}/snapshot`.
     snapshot: Option<Arc<Vec<u8>>>,
+    /// The trace id minted (or adopted) at submission; 0 means untraced.
+    /// Status bodies echo it so clients can fetch `/v1/trace/{id}`.
+    trace: u64,
 }
 
 /// Done-job retention ceiling: once the table outgrows this, the oldest
@@ -368,44 +408,158 @@ impl State {
     }
 }
 
-/// Monotonic service counters (the `/metrics` exposition and the test
-/// accounting surface).
-#[derive(Default)]
+/// The service's metric surface: counters, scrape-time gauges, and latency
+/// histograms, registered in one [`Registry`] that `/metrics` renders as
+/// Prometheus text exposition. Counters are bumped at the event sites;
+/// gauges are set from live state at scrape time.
 struct Metrics {
-    requests: AtomicU64,
-    accepted: AtomicU64,
-    rejected_full: AtomicU64,
-    bad_requests: AtomicU64,
-    jobs_done: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    coalesced: AtomicU64,
-    jobs_cancelled: AtomicU64,
-    kernel_cache_lookups: AtomicU64,
-    kernel_cache_hits: AtomicU64,
+    registry: Registry,
+    requests: Counter,
+    accepted: Counter,
+    rejected_full: Counter,
+    bad_requests: Counter,
+    jobs_done: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    coalesced: Counter,
+    jobs_cancelled: Counter,
+    kernel_cache_lookups: Counter,
+    kernel_cache_hits: Counter,
     /// Solves this daemon routed to their ring owner.
-    forwards: AtomicU64,
+    forwards: Counter,
     /// Local misses answered by the fleet: a store refresh or a peer
     /// lookup supplied the result another daemon solved.
-    remote_cache_hits: AtomicU64,
+    remote_cache_hits: Counter,
     /// Bytes served by the snapshot endpoint.
-    snapshot_bytes: AtomicU64,
+    snapshot_bytes: Counter,
     /// Peer calls that failed (transport error or 5xx) and fell back.
-    peer_errors: AtomicU64,
+    peer_errors: Counter,
     /// Extra peer-call attempts after a retryable failure.
-    peer_retries: AtomicU64,
+    peer_retries: Counter,
     /// Solver panics contained by the worker loop (the job is marked
     /// failed; the worker survives).
-    worker_panics: AtomicU64,
+    worker_panics: Counter,
     /// POSTs rejected 401.
-    auth_failures: AtomicU64,
+    auth_failures: Counter,
     /// Submissions rejected 429 by the per-client rate limit.
-    rate_limited: AtomicU64,
+    rate_limited: Counter,
+    // Scrape-time gauges, set by `metrics_text` before rendering.
+    gauge_workers: Gauge,
+    gauge_live_workers: Gauge,
+    gauge_fleet_peers: Gauge,
+    gauge_fleet_peers_up: Gauge,
+    gauge_jobs_queued: Gauge,
+    gauge_jobs_running: Gauge,
+    gauge_jobs_done: Gauge,
+    gauge_cache_entries: Gauge,
+    /// End-to-end request latency by (bounded-cardinality) endpoint.
+    request_duration: Arc<HistogramVec>,
+    /// Solve latency by flow (`partitioned`/`monolithic`), fresh solves
+    /// only — cache answers are measured by `request_duration`.
+    solve_duration: Arc<HistogramVec>,
+    /// Per-phase solver time (`compile`, `fixpoint`, `extract`, …) from
+    /// the spans traced solves record.
+    solver_phase: Arc<HistogramVec>,
+    /// Time a cell spent queued before a worker picked it up.
+    queue_wait: Arc<Histogram>,
 }
 
 impl Metrics {
-    fn bump(&self, counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    /// Registers the whole surface; registration order is exposition order.
+    fn new() -> Metrics {
+        let r = Registry::new();
+        Metrics {
+            gauge_workers: r.gauge("langeq_workers", "Configured worker threads."),
+            gauge_live_workers: r.gauge("langeq_live_workers", "Worker threads currently alive."),
+            gauge_fleet_peers: r.gauge("langeq_fleet_peers", "Ring members configured."),
+            gauge_fleet_peers_up: r.gauge(
+                "langeq_fleet_peers_up",
+                "Ring members this daemon currently believes up (self included).",
+            ),
+            gauge_jobs_queued: r.gauge("langeq_jobs_queued", "Cells waiting in the queue."),
+            gauge_jobs_running: r.gauge("langeq_jobs_running", "Jobs currently executing."),
+            gauge_jobs_done: r.gauge("langeq_jobs_done", "Finished jobs retained in the table."),
+            requests: r.counter("langeq_requests_total", "HTTP requests received."),
+            accepted: r.counter("langeq_jobs_accepted_total", "Jobs admitted to the queue."),
+            rejected_full: r.counter(
+                "langeq_rejected_full_total",
+                "Submissions rejected 429 because the queue was full.",
+            ),
+            bad_requests: r.counter("langeq_bad_requests_total", "Requests rejected 4xx."),
+            jobs_done: r.counter("langeq_jobs_done_total", "Jobs finished."),
+            gauge_cache_entries: r.gauge("langeq_cache_entries", "In-memory result cache size."),
+            cache_hits: r.counter("langeq_cache_hits_total", "Solves answered from the cache."),
+            cache_misses: r.counter(
+                "langeq_cache_misses_total",
+                "Solves that missed every cache tier and ran the engine.",
+            ),
+            coalesced: r.counter(
+                "langeq_coalesced_total",
+                "Submissions coalesced onto an identical in-flight job.",
+            ),
+            jobs_cancelled: r.counter("langeq_jobs_cancelled_total", "Jobs cancelled by request."),
+            kernel_cache_lookups: r.counter(
+                "langeq_kernel_cache_lookups_total",
+                "BDD kernel computed-cache lookups across fresh solves.",
+            ),
+            kernel_cache_hits: r.counter(
+                "langeq_kernel_cache_hits_total",
+                "BDD kernel computed-cache hits across fresh solves.",
+            ),
+            forwards: r.counter(
+                "langeq_forwards_total",
+                "Solves this daemon routed to their ring owner.",
+            ),
+            remote_cache_hits: r.counter(
+                "langeq_remote_cache_hits_total",
+                "Local misses answered by another fleet member's result.",
+            ),
+            snapshot_bytes: r.counter(
+                "langeq_snapshot_bytes_total",
+                "Bytes served by the snapshot endpoint.",
+            ),
+            peer_errors: r.counter(
+                "langeq_peer_errors_total",
+                "Peer calls that failed and fell back.",
+            ),
+            peer_retries: r.counter(
+                "langeq_peer_retries_total",
+                "Extra peer-call attempts after a retryable failure.",
+            ),
+            worker_panics: r.counter(
+                "langeq_worker_panics_total",
+                "Solver panics contained by the worker loop.",
+            ),
+            auth_failures: r.counter("langeq_auth_failures_total", "POSTs rejected 401."),
+            rate_limited: r.counter(
+                "langeq_rate_limited_total",
+                "Submissions rejected 429 by the per-client rate limit.",
+            ),
+            request_duration: r.histogram_vec(
+                "langeq_request_duration_seconds",
+                "End-to-end request latency by endpoint.",
+                Some("endpoint"),
+            ),
+            solve_duration: r.histogram_vec(
+                "langeq_solve_duration_seconds",
+                "Fresh-solve latency by flow.",
+                Some("flow"),
+            ),
+            solver_phase: r.histogram_vec(
+                "langeq_solver_phase_seconds",
+                "Per-phase solver time from traced solves.",
+                Some("phase"),
+            ),
+            queue_wait: r.histogram(
+                "langeq_queue_wait_seconds",
+                "Time a cell waited in the queue before a worker took it.",
+            ),
+            registry: r,
+        }
+    }
+
+    fn bump(&self, counter: &Counter) {
+        counter.inc();
     }
 }
 
@@ -444,6 +598,9 @@ struct Shared {
     auth_token: Option<String>,
     rate_limit: Option<f64>,
     buckets: Mutex<HashMap<IpAddr, Bucket>>,
+    /// Slow-solve logging, when armed: threshold in milliseconds and the
+    /// rotating JSONL sink.
+    slow: Option<(u64, SlowLog)>,
 }
 
 /// A running service instance. Dropping without [`Server::shutdown`] leaks
@@ -476,6 +633,8 @@ impl Server {
             auth_token,
             rate_limit,
             probe,
+            slow_ms,
+            slow_log,
             token,
             ..
         } = opts;
@@ -532,7 +691,7 @@ impl Server {
                 store,
             }),
             work: Condvar::new(),
-            metrics: Metrics::default(),
+            metrics: Metrics::new(),
             connections: AtomicU64::new(0),
             ring,
             health: health.clone(),
@@ -543,6 +702,10 @@ impl Server {
             auth_token,
             rate_limit,
             buckets: Mutex::new(HashMap::new()),
+            slow: slow_ms.map(|ms| {
+                let path = slow_log.unwrap_or_else(|| PathBuf::from("langeq-slow.jsonl"));
+                (ms, SlowLog::new(path, 1 << 20))
+            }),
         });
 
         let mut threads = Vec::new();
@@ -662,7 +825,16 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
     let peer = stream.peer_addr().ok().map(|a| a.ip());
     shared.metrics.bump(&shared.metrics.requests);
     let response = match http::read_request(&mut stream, shared.max_body) {
-        Ok(request) => route(shared, &request, peer),
+        Ok(request) => {
+            let t0 = Instant::now();
+            let response = route(shared, &request, peer);
+            shared
+                .metrics
+                .request_duration
+                .with(endpoint_label(&request.path))
+                .observe(t0.elapsed());
+            response
+        }
         Err(http::HttpError::TooLarge(n)) => {
             shared.metrics.bump(&shared.metrics.bad_requests);
             Response::error(
@@ -707,7 +879,8 @@ fn route(shared: &Arc<Shared>, request: &Request, peer: Option<IpAddr>) -> Respo
         ),
         ("GET", "/readyz") => readyz(shared),
         ("GET", "/v1/ring") => ring_endpoint(shared),
-        ("GET", "/metrics") => Response::text(200, metrics_text(shared)),
+        ("GET", "/metrics") => Response::prometheus(200, metrics_text(shared)),
+        ("GET", path) if path.starts_with("/v1/trace/") => trace_endpoint(shared, request, path),
         ("POST", "/v1/solve") => submit_solve(shared, request, peer),
         ("POST", "/v1/lookup") => lookup_endpoint(shared, request),
         ("POST", "/v1/sweep") => submit_sweep(shared, request, peer),
@@ -787,6 +960,134 @@ fn ring_endpoint(shared: &Arc<Shared>) -> Response {
             .set("peers_up", health.up_count())
             .set("members", members),
     )
+}
+
+/// The bounded-cardinality `endpoint` label of a request path: job and
+/// trace ids collapse onto their endpoint prefix, unknown paths onto
+/// `other` — so the request-duration histogram family stays small no
+/// matter what clients ask for.
+fn endpoint_label(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "/healthz",
+        "/readyz" => "/readyz",
+        "/metrics" => "/metrics",
+        "/v1/ring" => "/v1/ring",
+        "/v1/solve" => "/v1/solve",
+        "/v1/lookup" => "/v1/lookup",
+        "/v1/sweep" => "/v1/sweep",
+        p if p.starts_with("/v1/trace/") => "/v1/trace",
+        p if p.starts_with("/v1/jobs/") => "/v1/jobs",
+        _ => "other",
+    }
+}
+
+/// `GET /v1/trace/{id}`: every span this daemon recorded for a trace,
+/// merged — unless the request is itself a peer relay — with the spans of
+/// every live ring member into one parent-linked tree. Span ids are unique
+/// per process and parent links cross daemons (the forward span id rides
+/// the trace header), so the merged tree shows one request flowing through
+/// the whole fleet.
+fn trace_endpoint(shared: &Arc<Shared>, request: &Request, path: &str) -> Response {
+    let id_text = &path["/v1/trace/".len()..];
+    let Some(trace) = langeq_obs::parse_id(id_text) else {
+        return Response::error(
+            400,
+            &format!("bad trace id `{id_text}` (want 16 hex digits)"),
+        );
+    };
+    let local: Vec<Json> = langeq_obs::collect(trace)
+        .iter()
+        .map(langeq_obs::SpanRecord::to_json)
+        .collect();
+    let mut members = vec![Json::obj()
+        .set("addr", shared.advertise.as_str())
+        .set("spans", local.len())];
+    let mut flat = local;
+    // The relay guard keeps the fan-out single-hop: a peer answering our
+    // trace read reports only its own spans, never re-asks the fleet.
+    if request.header(FORWARD_HEADER).is_none() {
+        if let Some(health) = shared.health.as_ref() {
+            for (addr, up, own) in health.snapshot() {
+                if own || !up {
+                    continue;
+                }
+                match peer_trace(shared, addr, trace) {
+                    Ok(spans) => {
+                        members.push(Json::obj().set("addr", addr).set("spans", spans.len()));
+                        flat.extend(spans);
+                    }
+                    Err(()) => shared.metrics.bump(&shared.metrics.peer_errors),
+                }
+            }
+        }
+    }
+    // Span ids are unique per process but a peer may answer spans this
+    // daemon also holds (e.g. co-located daemons in tests): first
+    // occurrence wins.
+    let mut seen = std::collections::HashSet::new();
+    flat.retain(|r| {
+        seen.insert(
+            r.get("id")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+        )
+    });
+    // Start timestamps are process-local monotonic values — comparable
+    // within one member, not across them. Sorting by them still gives a
+    // stable, locally-ordered listing; the *structure* comes from the
+    // parent links alone.
+    flat.sort_by_key(|r| r.get("start_ns").and_then(Json::as_u64).unwrap_or(0));
+    let tree = langeq_obs::span_tree_json(&flat);
+    Response::json(
+        200,
+        &Json::obj()
+            .set("trace", fmt_id(trace))
+            .set("members", members)
+            .set("spans", flat)
+            .set("tree", tree),
+    )
+}
+
+/// Fetches one peer's own span list for a trace (relay-guarded so the peer
+/// answers locally). Transport failures surface as `Err(())` — the merged
+/// view degrades to the members that answered.
+fn peer_trace(shared: &Arc<Shared>, peer: &str, trace: u64) -> Result<Vec<Json>, ()> {
+    let auth = shared.auth_token.as_ref().map(|t| format!("Bearer {t}"));
+    let path = format!("/v1/trace/{}", fmt_id(trace));
+    let policy = RetryPolicy::new(2, Duration::from_millis(50))
+        .budget(Duration::from_millis(500))
+        .jitter_seed(fnv1a64(shared.advertise.as_bytes()));
+    let (status, raw) = policy
+        .run(
+            |e| peer_disposition(shared, e),
+            |_| {
+                let (status, _, raw) = http::call_full(
+                    peer,
+                    "GET",
+                    &path,
+                    "application/json",
+                    b"",
+                    &peer_headers(&auth, &None),
+                    CallOpts::peer(Duration::from_secs(2)),
+                )
+                .map_err(PeerError::Io)?;
+                Ok((status, raw))
+            },
+        )
+        .map_err(|_| ())?;
+    if status != 200 {
+        return Err(());
+    }
+    let spans = String::from_utf8(raw)
+        .ok()
+        .and_then(|text| Json::parse(&text).ok())
+        .as_ref()
+        .and_then(|j| j.get("spans"))
+        .and_then(Json::as_arr)
+        .map(<[Json]>::to_vec)
+        .unwrap_or_default();
+    Ok(spans)
 }
 
 /// 401 unless the request carries the configured bearer token (no token
@@ -895,10 +1196,7 @@ fn snapshot_endpoint(shared: &Arc<Shared>, path: &str) -> Response {
         );
     }
     if let Some(bytes) = snapshot {
-        shared
-            .metrics
-            .snapshot_bytes
-            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        shared.metrics.snapshot_bytes.add(bytes.len() as u64);
         return Response::octets(200, bytes.as_ref().clone());
     }
     // Cache answers carry no in-memory snapshot; the blob tier has one if
@@ -907,10 +1205,7 @@ fn snapshot_endpoint(shared: &Arc<Shared>, path: &str) -> Response {
         if let Some(store) = state.store.as_mut() {
             match store.get_blob(&sig) {
                 Ok(Some(bytes)) => {
-                    shared
-                        .metrics
-                        .snapshot_bytes
-                        .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                    shared.metrics.snapshot_bytes.add(bytes.len() as u64);
                     return Response::octets(200, bytes);
                 }
                 Ok(None) => {}
@@ -998,6 +1293,9 @@ fn status_json(id: u64, job: &Job) -> Json {
         .set("cancel_requested", job.cancel_requested)
         .set("cells", job.cells)
         .set("cells_done", job.cells_done);
+    if job.trace != 0 {
+        body = body.set("trace", fmt_id(job.trace));
+    }
     if let Some(k) = &job.sample {
         body = body.set(
             "kernel",
@@ -1039,8 +1337,21 @@ fn submit_solve(shared: &Arc<Shared>, request: &Request, peer: Option<IpAddr>) -
         }
     };
     let sig = cell_signature(&instance, &config);
+    // Correlation: adopt the caller's trace (a forwarding peer, or any
+    // client that sends the header) or mint a fresh id. The guard scopes
+    // the context to this request thread; the ingress span is the local
+    // root every later span of this request parents under.
+    let (trace, trace_parent) = request
+        .header(TRACE_HEADER)
+        .and_then(langeq_obs::parse_header)
+        .unwrap_or_else(|| (langeq_obs::fresh_id(), 0));
+    let _trace_guard = langeq_obs::install(trace, trace_parent);
+    let mut ingress = langeq_obs::span!("ingress", endpoint = "/v1/solve");
+    ingress.field("instance", &instance.name);
+    ingress.field("forwarded", forwarded);
 
     {
+        let probe_span = langeq_obs::span!("cache_probe");
         let mut state = lock_ok(&shared.state);
         // Content-addressed hit: a done job materializes instantly. On a
         // local miss, one store refresh picks up what fleet peers
@@ -1053,8 +1364,9 @@ fn submit_solve(shared: &Arc<Shared>, request: &Request, peer: Option<IpAddr>) -
                 shared.metrics.bump(&shared.metrics.remote_cache_hits);
             }
         }
+        drop(probe_span);
         if let Some(report) = hit {
-            return answer_from_cache(shared, &mut state, report, &instance, &config, sig);
+            return answer_from_cache(shared, &mut state, report, &instance, &config, sig, trace);
         }
         // The same work is already queued or running: coalesce, don't
         // re-solve. The shared job (and so its result) keeps the *first*
@@ -1063,15 +1375,18 @@ fn submit_solve(shared: &Arc<Shared>, request: &Request, peer: Option<IpAddr>) -
         // provenance.
         if let Some(&existing) = state.inflight.get(&sig) {
             shared.metrics.bump(&shared.metrics.coalesced);
-            let job_state = state.jobs[&existing].state.as_str();
-            return Response::json(
-                200,
-                &Json::obj()
-                    .set("job", existing)
-                    .set("state", job_state)
-                    .set("cached", false)
-                    .set("coalesced", true),
-            );
+            let job = &state.jobs[&existing];
+            let mut ack = Json::obj()
+                .set("job", existing)
+                .set("state", job.state.as_str())
+                .set("cached", false)
+                .set("coalesced", true);
+            if job.trace != 0 {
+                // The coalesced-onto job runs under the first submitter's
+                // trace — that id is where this request's solve spans are.
+                ack = ack.set("trace", fmt_id(job.trace));
+            }
+            return Response::json(200, &ack);
         }
     }
     // Fleet routing: a daemon that does not own this signature relays the
@@ -1094,7 +1409,7 @@ fn submit_solve(shared: &Arc<Shared>, request: &Request, peer: Option<IpAddr>) -
             }
         }
     }
-    enqueue_solve(shared, instance, config, sig)
+    enqueue_solve(shared, instance, config, sig, trace, ingress.id())
 }
 
 /// Builds the instant done job of a cache hit (the caller holds the lock).
@@ -1105,6 +1420,7 @@ fn answer_from_cache(
     instance: &InstanceSpec,
     config: &ConfigSpec,
     sig: String,
+    trace: u64,
 ) -> Response {
     report.cell = 0;
     report.resumed = true;
@@ -1131,6 +1447,7 @@ fn answer_from_cache(
             sample: None,
             reports: vec![Some(report)],
             snapshot: None,
+            trace,
         },
     );
     shared.metrics.bump(&shared.metrics.jobs_done);
@@ -1139,7 +1456,8 @@ fn answer_from_cache(
         &Json::obj()
             .set("job", id)
             .set("state", "done")
-            .set("cached", true),
+            .set("cached", true)
+            .set("trace", fmt_id(trace)),
     )
 }
 
@@ -1150,19 +1468,22 @@ fn enqueue_solve(
     instance: InstanceSpec,
     config: ConfigSpec,
     sig: String,
+    trace: u64,
+    parent: u64,
 ) -> Response {
     let mut state = lock_ok(&shared.state);
     if let Some(&existing) = state.inflight.get(&sig) {
         shared.metrics.bump(&shared.metrics.coalesced);
-        let job_state = state.jobs[&existing].state.as_str();
-        return Response::json(
-            200,
-            &Json::obj()
-                .set("job", existing)
-                .set("state", job_state)
-                .set("cached", false)
-                .set("coalesced", true),
-        );
+        let job = &state.jobs[&existing];
+        let mut ack = Json::obj()
+            .set("job", existing)
+            .set("state", job.state.as_str())
+            .set("cached", false)
+            .set("coalesced", true);
+        if job.trace != 0 {
+            ack = ack.set("trace", fmt_id(job.trace));
+        }
+        return Response::json(200, &ack);
     }
     if state.queue.len() >= shared.queue_cap {
         shared.metrics.bump(&shared.metrics.rejected_full);
@@ -1183,6 +1504,9 @@ fn enqueue_solve(
                 instance,
                 config,
                 sig: sig.clone(),
+                trace,
+                parent,
+                enqueued: Instant::now(),
             }))],
             sig: Some(sig),
             cells: 1,
@@ -1190,6 +1514,7 @@ fn enqueue_solve(
             sample: None,
             reports: vec![None],
             snapshot: None,
+            trace,
         },
     );
     state.queue.push_back((id, 0));
@@ -1201,16 +1526,24 @@ fn enqueue_solve(
         &Json::obj()
             .set("job", id)
             .set("state", "queued")
-            .set("cached", false),
+            .set("cached", false)
+            .set("trace", fmt_id(trace)),
     )
 }
 
-/// Peer-call headers: the single-hop forward marker, plus the fleet's
-/// bearer token when auth is on.
-fn peer_headers(auth: &Option<String>) -> Vec<(&str, &str)> {
+/// Peer-call headers: the single-hop forward marker, the fleet's bearer
+/// token when auth is on, and the caller's trace context when one is
+/// installed — the receiving daemon joins the trace instead of minting.
+fn peer_headers<'h>(
+    auth: &'h Option<String>,
+    trace: &'h Option<String>,
+) -> Vec<(&'h str, &'h str)> {
     let mut headers: Vec<(&str, &str)> = vec![(FORWARD_HEADER, "1")];
     if let Some(value) = auth {
         headers.push(("authorization", value.as_str()));
+    }
+    if let Some(value) = trace {
+        headers.push((TRACE_HEADER, value.as_str()));
     }
     headers
 }
@@ -1262,6 +1595,11 @@ fn peer_policy(shared: &Arc<Shared>) -> RetryPolicy {
 /// tells the caller to solve locally instead.
 fn forward_solve(shared: &Arc<Shared>, owner: &str, body: &str) -> Result<Response, ()> {
     let auth = shared.auth_token.as_ref().map(|t| format!("Bearer {t}"));
+    // The forward span is the cross-daemon seam: its id rides the trace
+    // header, so the owner's ingress span parents under it and the merged
+    // tree shows the hop.
+    let span = langeq_obs::span!("forward", owner = owner);
+    let trace_header = langeq_obs::current().map(|(t, _)| fmt_header(t, span.id()));
     let result = peer_policy(shared).run(
         |e| peer_disposition(shared, e),
         |_| {
@@ -1271,7 +1609,7 @@ fn forward_solve(shared: &Arc<Shared>, owner: &str, body: &str) -> Result<Respon
                 "/v1/solve",
                 "application/json",
                 body.as_bytes(),
-                &peer_headers(&auth),
+                &peer_headers(&auth, &trace_header),
                 CallOpts::peer(Duration::from_secs(10)),
             )
             .map_err(PeerError::Io)?;
@@ -1312,6 +1650,8 @@ fn forward_solve(shared: &Arc<Shared>, owner: &str, body: &str) -> Result<Respon
 fn peer_lookup(shared: &Arc<Shared>, owner: &str, sig: &str) -> Result<Option<CellReport>, ()> {
     let auth = shared.auth_token.as_ref().map(|t| format!("Bearer {t}"));
     let body = Json::obj().set("sig", sig).to_string();
+    let span = langeq_obs::span!("peer_lookup", owner = owner);
+    let trace_header = langeq_obs::current().map(|(t, _)| fmt_header(t, span.id()));
     let policy = RetryPolicy::new(2, Duration::from_millis(50))
         .budget(Duration::from_millis(500))
         .jitter_seed(fnv1a64(shared.advertise.as_bytes()));
@@ -1325,7 +1665,7 @@ fn peer_lookup(shared: &Arc<Shared>, owner: &str, sig: &str) -> Result<Option<Ce
                     "/v1/lookup",
                     "application/json",
                     body.as_bytes(),
-                    &peer_headers(&auth),
+                    &peer_headers(&auth, &trace_header),
                     CallOpts::peer(Duration::from_secs(2)),
                 )
                 .map_err(PeerError::Io)?;
@@ -1418,6 +1758,14 @@ fn submit_sweep(shared: &Arc<Shared>, request: &Request, peer: Option<IpAddr>) -
         return Response::error(400, &e.to_string());
     }
 
+    // Correlation: one trace covers the whole sweep — every cell's solve
+    // span parents under this ingress span.
+    let (trace, trace_parent) = request
+        .header(TRACE_HEADER)
+        .and_then(langeq_obs::parse_header)
+        .unwrap_or_else(|| (langeq_obs::fresh_id(), 0));
+    let _trace_guard = langeq_obs::install(trace, trace_parent);
+    let ingress = langeq_obs::span!("ingress", endpoint = "/v1/sweep");
     let work: Vec<Box<CellWork>> = plan
         .cells()
         .map(|c| {
@@ -1426,6 +1774,9 @@ fn submit_sweep(shared: &Arc<Shared>, request: &Request, peer: Option<IpAddr>) -
                 instance: c.instance.clone(),
                 config: c.config.clone(),
                 sig,
+                trace,
+                parent: ingress.id(),
+                enqueued: Instant::now(),
             })
         })
         .collect();
@@ -1455,6 +1806,7 @@ fn submit_sweep(shared: &Arc<Shared>, request: &Request, peer: Option<IpAddr>) -
             sample: None,
             reports: (0..cells).map(|_| None).collect(),
             snapshot: None,
+            trace,
         },
     );
     for cell in 0..cells {
@@ -1469,13 +1821,17 @@ fn submit_sweep(shared: &Arc<Shared>, request: &Request, peer: Option<IpAddr>) -
             .set("job", id)
             .set("state", "queued")
             .set("cached", false)
-            .set("cells", cells),
+            .set("cells", cells)
+            .set("trace", fmt_id(trace)),
     )
 }
 
-/// The `/metrics` text exposition.
+/// The `/metrics` Prometheus text exposition: gauges are set from live
+/// state here, then the whole registry renders (counters and histograms
+/// carry their running values).
 fn metrics_text(shared: &Arc<Shared>) -> String {
-    let (queued, running, done, cache_entries) = {
+    let m = &shared.metrics;
+    {
         let state = lock_ok(&shared.state);
         let running = state
             .jobs
@@ -1487,62 +1843,18 @@ fn metrics_text(shared: &Arc<Shared>) -> String {
             .values()
             .filter(|j| j.state == JobState::Done)
             .count();
-        (state.queue.len(), running, done, state.cache.len())
-    };
-    let m = &shared.metrics;
-    let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
-    format!(
-        "langeq_workers {}\n\
-         langeq_live_workers {}\n\
-         langeq_fleet_peers {}\n\
-         langeq_fleet_peers_up {}\n\
-         langeq_jobs_queued {queued}\n\
-         langeq_jobs_running {running}\n\
-         langeq_jobs_done {done}\n\
-         langeq_requests_total {}\n\
-         langeq_jobs_accepted_total {}\n\
-         langeq_rejected_full_total {}\n\
-         langeq_bad_requests_total {}\n\
-         langeq_jobs_done_total {}\n\
-         langeq_cache_entries {cache_entries}\n\
-         langeq_cache_hits_total {}\n\
-         langeq_cache_misses_total {}\n\
-         langeq_coalesced_total {}\n\
-         langeq_jobs_cancelled_total {}\n\
-         langeq_kernel_cache_lookups_total {}\n\
-         langeq_kernel_cache_hits_total {}\n\
-         langeq_forwards_total {}\n\
-         langeq_remote_cache_hits_total {}\n\
-         langeq_snapshot_bytes_total {}\n\
-         langeq_peer_errors_total {}\n\
-         langeq_peer_retries_total {}\n\
-         langeq_worker_panics_total {}\n\
-         langeq_auth_failures_total {}\n\
-         langeq_rate_limited_total {}\n",
-        shared.workers,
-        shared.live_workers.load(Ordering::Relaxed),
-        shared.ring.as_ref().map(Ring::len).unwrap_or_default(),
-        fleet_peers_up(shared),
-        get(&m.requests),
-        get(&m.accepted),
-        get(&m.rejected_full),
-        get(&m.bad_requests),
-        get(&m.jobs_done),
-        get(&m.cache_hits),
-        get(&m.cache_misses),
-        get(&m.coalesced),
-        get(&m.jobs_cancelled),
-        get(&m.kernel_cache_lookups),
-        get(&m.kernel_cache_hits),
-        get(&m.forwards),
-        get(&m.remote_cache_hits),
-        get(&m.snapshot_bytes),
-        get(&m.peer_errors),
-        get(&m.peer_retries),
-        get(&m.worker_panics),
-        get(&m.auth_failures),
-        get(&m.rate_limited),
-    )
+        m.gauge_jobs_queued.set(state.queue.len() as u64);
+        m.gauge_jobs_running.set(running as u64);
+        m.gauge_jobs_done.set(done as u64);
+        m.gauge_cache_entries.set(state.cache.len() as u64);
+    }
+    m.gauge_workers.set(shared.workers as u64);
+    m.gauge_live_workers
+        .set(shared.live_workers.load(Ordering::Relaxed));
+    m.gauge_fleet_peers
+        .set(shared.ring.as_ref().map(Ring::len).unwrap_or_default() as u64);
+    m.gauge_fleet_peers_up.set(fleet_peers_up(shared) as u64);
+    m.registry.render()
 }
 
 /// Parses a `POST /v1/solve` body into the instance and configuration it
@@ -1696,6 +2008,11 @@ fn worker_loop(shared: &Arc<Shared>) {
         if shared.token.is_cancelled() {
             token.cancel();
         }
+        // Re-enter the submitting request's trace on this worker thread:
+        // the solve span (and the engine's phase spans under it) land in
+        // the same trace as the ingress span that queued the cell.
+        let _trace_guard = (work.trace != 0).then(|| langeq_obs::install(work.trace, work.parent));
+        shared.metrics.queue_wait.observe(work.enqueued.elapsed());
         let (report, snapshot) = run_cell_cached(
             shared,
             id,
@@ -1736,6 +2053,95 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
+/// Post-solve observability for one fresh engine run: feeds the solver
+/// phase spans recorded under this solve's span into the per-phase
+/// histogram, and appends a slow-log record when the solve crossed the
+/// armed threshold. A no-op for untraced solves except the slow log's
+/// (then phase-less) record.
+fn observe_phases(
+    shared: &Arc<Shared>,
+    solve_span: &langeq_obs::Span,
+    report: &CellReport,
+    instance: &InstanceSpec,
+    config: &ConfigSpec,
+    job_id: u64,
+) {
+    // Only spans *under this solve* count: a sweep shares one trace across
+    // many cells, so collecting the whole trace here would re-observe the
+    // phases of every already-finished sibling cell.
+    let mut phases: Vec<(&'static str, u64)> = Vec::new();
+    if let (Some((trace, _)), root) = (langeq_obs::current(), solve_span.id()) {
+        if root != 0 {
+            let records = langeq_obs::collect(trace);
+            let mut under: std::collections::HashSet<u64> = std::collections::HashSet::new();
+            under.insert(root);
+            // Parent links always point at already-opened spans, but the
+            // records are sorted by start time, so one forward pass per
+            // depth level suffices; loop until the closure stops growing.
+            loop {
+                let before = under.len();
+                for r in &records {
+                    if under.contains(&r.parent) {
+                        under.insert(r.id);
+                    }
+                }
+                if under.len() == before {
+                    break;
+                }
+            }
+            for r in &records {
+                // The `cell` wrapper duplicates the solve duration; the
+                // phase histogram wants the engine's phases proper.
+                if r.id != root && r.name != "cell" && under.contains(&r.id) {
+                    shared
+                        .metrics
+                        .solver_phase
+                        .with(r.name)
+                        .observe_ns(r.dur_ns);
+                    match phases.iter_mut().find(|(name, _)| *name == r.name) {
+                        Some((_, total)) => *total += r.dur_ns,
+                        None => phases.push((r.name, r.dur_ns)),
+                    }
+                }
+            }
+        }
+    }
+    let Some((threshold_ms, log)) = shared.slow.as_ref() else {
+        return;
+    };
+    if report.duration < Duration::from_millis(*threshold_ms) {
+        return;
+    }
+    let mut breakdown = Json::obj();
+    for (name, ns) in &phases {
+        breakdown = breakdown.set(name, *ns);
+    }
+    let mut record = Json::obj()
+        .set("job", job_id)
+        .set("instance", instance.name.as_str())
+        .set("config", config.name.as_str())
+        .set("sig", report.sig.as_str())
+        .set("status", report.status())
+        .set("duration_ms", report.duration.as_millis() as u64)
+        .set("phases_ns", breakdown);
+    if let Some(k) = &report.kernel {
+        record = record.set(
+            "kernel",
+            Json::obj()
+                .set("cache_lookups", k.cache_lookups)
+                .set("cache_hits", k.cache_hits)
+                .set("unique_probes", k.unique_probes)
+                .set("unique_lookups", k.unique_lookups),
+        );
+    }
+    if let Some((trace, _)) = langeq_obs::current() {
+        record = record.set("trace", fmt_id(trace));
+    }
+    if let Err(e) = log.append(&record) {
+        eprintln!("[serve] slow log append failed: {e}");
+    }
+}
+
 /// Best-effort text of a caught panic payload (`panic!` carries `&str` or
 /// `String`; anything else is reported generically).
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
@@ -1759,6 +2165,11 @@ fn run_cell_cached(
     sig: String,
     token: &CancelToken,
 ) -> (CellReport, Option<Arc<Vec<u8>>>) {
+    // The solve span wraps every tier — cache probe, peer lookup, engine —
+    // and is the parent the suite's per-cell phase spans attach under.
+    let mut solve_span = langeq_obs::span!("solve", flow = config.kind);
+    solve_span.field("instance", &instance.name);
+    let solve_t0 = Instant::now();
     let relabel = |mut report: CellReport| {
         report.cell = cell_id;
         report.resumed = true;
@@ -1769,6 +2180,7 @@ fn run_cell_cached(
         report
     };
     let hit = {
+        let probe_span = langeq_obs::span!("cache_probe");
         let mut state = lock_ok(&shared.state);
         let mut hit = state.cache.get(&sig).cloned();
         if hit.is_none() && state.refresh_cache() > 0 {
@@ -1777,6 +2189,7 @@ fn run_cell_cached(
                 shared.metrics.bump(&shared.metrics.remote_cache_hits);
             }
         }
+        drop(probe_span);
         hit
     };
     if let Some(report) = hit {
@@ -1828,12 +2241,19 @@ fn run_cell_cached(
     // AssertUnwindSafe is fine here: on unwind every captured value is
     // dropped without being observed again (the snapshot slot is recreated
     // per call, the job sample is overwritten or cleared at job end).
+    // Hand the request's trace context to the suite: its worker thread is
+    // not this one, so the context must travel explicitly. The phase spans
+    // the engine records parent under the solve span.
+    let mut suite_opts = SuiteOptions::new();
+    if let Some((trace, _)) = langeq_obs::current() {
+        suite_opts = suite_opts.trace(trace, solve_span.id());
+    }
     let executed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         if inject_panic {
             panic!("injected solver panic");
         }
         plan.execute(
-            SuiteOptions::new()
+            suite_opts
                 .jobs(1)
                 .cancel_token(token.clone())
                 .on_solution(move |_, _, solution| {
@@ -1865,6 +2285,7 @@ fn run_cell_cached(
                 duration: Duration::ZERO,
                 resumed: false,
                 retryable: true,
+                trace: langeq_obs::current().map(|(t, _)| fmt_id(t)),
             },
             None,
         )
@@ -1886,16 +2307,16 @@ fn run_cell_cached(
         return fail("engine returned no cell report".to_string());
     };
     report.cell = cell_id;
+    shared
+        .metrics
+        .solve_duration
+        .with(&config.kind.to_string())
+        .observe(solve_t0.elapsed());
+    observe_phases(shared, &solve_span, &report, instance, config, job_id);
 
     if let Some(k) = &report.kernel {
-        shared
-            .metrics
-            .kernel_cache_lookups
-            .fetch_add(k.cache_lookups, Ordering::Relaxed);
-        shared
-            .metrics
-            .kernel_cache_hits
-            .fetch_add(k.cache_hits, Ordering::Relaxed);
+        shared.metrics.kernel_cache_lookups.add(k.cache_lookups);
+        shared.metrics.kernel_cache_hits.add(k.cache_hits);
     }
     let snapshot = lock_ok(&snap_slot).take().map(Arc::new);
     if !report.retryable {

@@ -79,6 +79,7 @@ fn comparable_cells(result: &Json) -> Vec<String> {
             report.cell = 0;
             report.resumed = false;
             report.duration = Duration::ZERO;
+            report.trace = None;
             report.to_json().to_string()
         })
         .collect()

@@ -190,8 +190,27 @@ fn metric_tokens(hay: &str, crate_idents: &[String], path: &str, src: &str, seen
     }
 }
 
+/// The family a Prometheus sample name belongs to. A histogram named
+/// `foo` is exposed as the series `foo_bucket{le=…}`, `foo_sum`, and
+/// `foo_count`, so a suffixed token — in code or in DESIGN.md — documents
+/// the same metric as the bare family name (a `{label="…"}` set never
+/// reaches the token: `{` is not an identifier byte). Plain names map to
+/// themselves.
+fn metric_family(token: &str) -> &str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = token.strip_suffix(suffix) {
+            if base.len() > "langeq_".len() {
+                return base;
+            }
+        }
+    }
+    token
+}
+
 /// Every `langeq_*` metric emitted by the daemon must be documented in
 /// DESIGN.md, and every metric DESIGN.md documents must still be emitted.
+/// Names are compared per [`metric_family`], so `foo_bucket` on either
+/// side matches `foo` on the other.
 pub fn metrics_docs(ws: &Workspace) -> Vec<Violation> {
     let crate_idents: Vec<String> = ws
         .crate_dirs
@@ -218,28 +237,30 @@ pub fn metrics_docs(ws: &Workspace) -> Vec<Violation> {
         &mut docs,
     );
     let mut out = Vec::new();
+    let mut flagged: Vec<&str> = Vec::new();
     for s in &code {
-        if !docs.iter().any(|d| d.token == s.token) {
+        let family = metric_family(&s.token);
+        if !docs.iter().any(|d| metric_family(&d.token) == family) && !flagged.contains(&family) {
+            flagged.push(family);
             out.push(Violation {
                 rule: "metrics-docs",
                 path: s.path.clone(),
                 line: s.line,
-                msg: format!(
-                    "metric `{}` is emitted but not documented in DESIGN.md",
-                    s.token
-                ),
+                msg: format!("metric `{family}` is emitted but not documented in DESIGN.md"),
             });
         }
     }
+    flagged.clear();
     for d in &docs {
-        if !code.iter().any(|s| s.token == d.token) {
+        let family = metric_family(&d.token);
+        if !code.iter().any(|s| metric_family(&s.token) == family) && !flagged.contains(&family) {
+            flagged.push(family);
             out.push(Violation {
                 rule: "metrics-docs",
                 path: d.path.clone(),
                 line: d.line,
                 msg: format!(
-                    "DESIGN.md documents metric `{}` that the daemon no longer emits",
-                    d.token
+                    "DESIGN.md documents metric `{family}` that the daemon no longer emits"
                 ),
             });
         }

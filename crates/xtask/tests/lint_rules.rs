@@ -184,6 +184,64 @@ fn metric_drift_is_caught_in_both_directions() {
 }
 
 #[test]
+fn histogram_series_suffixes_normalize_to_one_family() {
+    // Code registers the bare family name; DESIGN.md quotes the
+    // exposition-level series (`_bucket`, labelled, `_sum`, `_count`).
+    // Both sides describe the one metric — no drift either way.
+    let fx = Fixture::new()
+        .file(
+            "crates/serve/src/lib.rs",
+            concat!(
+                "pub fn families() -> [&'static str; 2] {\n",
+                "    [\"langeq_lat_seconds\", \"langeq_wait_seconds_count\"]\n",
+                "}\n",
+            ),
+        )
+        .file(
+            "DESIGN.md",
+            concat!(
+                "Scrape `langeq_lat_seconds_bucket{le=\"+Inf\"}` for the cumulative\n",
+                "histogram, `langeq_lat_seconds_sum` for totals, and the family\n",
+                "`langeq_wait_seconds` for queue waits.\n",
+            ),
+        );
+    assert!(fx.lint().is_empty(), "{:?}", fx.lint());
+}
+
+#[test]
+fn histogram_family_drift_reports_the_family_once() {
+    // An undocumented histogram mentioned via two series suffixes is one
+    // finding (named by its family), not one per suffix — and a
+    // documented-but-gone family is caught through its suffixed doc form.
+    let fx = Fixture::new()
+        .file(
+            "crates/serve/src/lib.rs",
+            concat!(
+                "pub fn rogue() -> [&'static str; 2] {\n",
+                "    [\"langeq_rogue_seconds_bucket\", \"langeq_rogue_seconds_sum\"]\n",
+                "}\n",
+            ),
+        )
+        .file(
+            "DESIGN.md",
+            "The daemon exposes `langeq_ghost_seconds_count`.\n",
+        );
+    let out = fx.lint();
+    assert_eq!(rules(&out), ["metrics-docs", "metrics-docs"], "{out:?}");
+    assert!(
+        out.iter().any(|v| {
+            v.msg.contains("`langeq_rogue_seconds`") && v.path == "crates/serve/src/lib.rs"
+        }),
+        "{out:?}"
+    );
+    assert!(
+        out.iter()
+            .any(|v| v.msg.contains("`langeq_ghost_seconds`") && v.path == "DESIGN.md"),
+        "{out:?}"
+    );
+}
+
+#[test]
 fn crate_idents_are_not_metrics() {
     // `langeq_serve` is a workspace crate ident, reserved — mentioning it
     // in a serve string must not demand DESIGN.md documentation.

@@ -17,6 +17,9 @@
 //!   plus sub-solution extraction and the §2 re-encoding experiment,
 //! * [`report`] — dependency-free JSON/JSONL records (bench results, sweep
 //!   journals, the serve API),
+//! * [`obs`] — observability: structured spans, log-bucketed latency
+//!   histograms, the Prometheus text exposition registry, and the
+//!   slow-solve log,
 //! * [`serve`] — the persistent solve service: HTTP/JSON job API, bounded
 //!   worker pool, content-addressed result cache.
 //!
@@ -31,6 +34,7 @@ pub use langeq_bdd as bdd;
 pub use langeq_core as core;
 pub use langeq_image as image;
 pub use langeq_logic as logic;
+pub use langeq_obs as obs;
 pub use langeq_report as report;
 pub use langeq_serve as serve;
 
