@@ -67,8 +67,14 @@ const MIN_TABLE: usize = 1 << 14;
 /// on the PR-5 protocol (`BENCH_5.json`): 4 ways measured no reachability
 /// win and a table1 regression — a 2-way set is exactly one cache line, and
 /// the extra conflict tolerance did not pay for the second line touched per
-/// probe — so 2 stays.
+/// probe — so 2 stays as the default. The `leaky-cache` feature drops to a
+/// direct-mapped (1-way) overwrite-on-collision task cache — half the
+/// bytes touched per probe at the price of conflict evictions; the PR-10
+/// protocol (`BENCH_10.json`) decides which one a build ships with.
+#[cfg(not(feature = "leaky-cache"))]
 const CACHE_WAYS: usize = 2;
+#[cfg(feature = "leaky-cache")]
+const CACHE_WAYS: usize = 1;
 /// Smallest computed-cache capacity (entries, all ways counted).
 const MIN_CACHE: usize = 1 << 14;
 /// Largest computed-cache capacity (entries).
@@ -150,6 +156,13 @@ pub(crate) struct Counters {
     pub cache_survived: u64,
     /// Computed-cache capacity changes (grows and shrinks).
     pub cache_resizes: u64,
+    /// Computed-cache insertions (cumulative, unlike the windowed
+    /// `cache_writes`).
+    pub cache_puts: u64,
+    /// Computed-cache insertions that overwrote a live entry under a
+    /// *different* key (conflict evictions — the "leak" of the leaky task
+    /// cache).
+    pub cache_evictions: u64,
     /// Dynamic-reorder passes (manual [`Inner::reorder`] calls and
     /// automatic sifting triggers).
     pub reorders: u64,
@@ -181,6 +194,8 @@ pub(crate) struct Inner {
     pub(crate) fences: Vec<u32>,
     /// The dynamic-reordering policy.
     pub(crate) policy: ReorderPolicy,
+    /// Opt-in DFS relayout at GC/reorder safe points (see [`Inner::gc`]).
+    pub(crate) relayout: bool,
     /// Live-node count at which the next automatic reorder fires
     /// (`usize::MAX` when the policy is `None`). Checked only at the
     /// [`Inner::maybe_gc`] safe point — never mid-recursion, where the
@@ -243,6 +258,29 @@ fn mix3(a: u32, b: u32, c: u32) -> u64 {
     h
 }
 
+/// The unique-table hash of a node key, **locality-preserving** in its low
+/// half (DESIGN.md §16): the slot index is driven by the *larger child's
+/// node index*, so parents of neighbouring children land in neighbouring
+/// buckets — during a build the table is walked roughly in allocation
+/// order, which keeps probe traffic inside a few hot cache lines instead
+/// of spraying the whole table (the rs-binary-decision-diagrams
+/// `max(lo, hi)` scheme). The high half stays a full [`mix3`] avalanche
+/// and is stored as the slot *tag*, so collision rejection keeps its
+/// quality even though the slot distribution is deliberately regular.
+///
+/// Every probe site — `mk`, table rebuilds, the reorder module's point
+/// insert/remove, and the verifiers — must derive slots from this one
+/// function; a single divergent site silently breaks canonicity.
+#[inline]
+pub(crate) fn node_hash(var: u32, hi: Ref, lo: Ref) -> u64 {
+    let maxc = (hi.max(lo) >> 1) as u64;
+    // Stride 4 keeps neighbours distinct when both children are close;
+    // the variable id salts the low bits so projection-style nodes over a
+    // shared child spread instead of piling on one slot.
+    let locality = (maxc << 2).wrapping_add(var as u64) & 0xFFFF_FFFF;
+    (mix3(var, hi, lo) & !0xFFFF_FFFF) | locality
+}
+
 impl Inner {
     pub(crate) fn new() -> Self {
         let mut inner = Inner {
@@ -253,6 +291,7 @@ impl Inner {
             level2var: Vec::new(),
             fences: Vec::new(),
             policy: ReorderPolicy::None,
+            relayout: false,
             reorder_next: usize::MAX,
             table: vec![EMPTY_SLOT; MIN_TABLE],
             cache: vec![EMPTY_ENTRY; MIN_CACHE],
@@ -373,6 +412,14 @@ impl Inner {
         self.node_limit = limit;
     }
 
+    pub(crate) fn set_relayout(&mut self, on: bool) -> bool {
+        std::mem::replace(&mut self.relayout, on)
+    }
+
+    pub(crate) fn relayout_enabled(&self) -> bool {
+        self.relayout
+    }
+
     pub(crate) fn set_abort_hook(
         &mut self,
         hook: Option<Box<dyn Fn() -> bool>>,
@@ -464,7 +511,7 @@ impl Inner {
         // the node array (the expensive random load). The first empty slot
         // doubles as the insertion point (there are no tombstones).
         let mask = self.table.len() - 1;
-        let hash = mix3(var, hi, lo);
+        let hash = node_hash(var, hi, lo);
         let tag = (hash >> 32) as u32;
         let mut slot = hash as usize & mask;
         let mut probes = 1u64;
@@ -544,7 +591,28 @@ impl Inner {
             if n.var >= VAR_FREE {
                 continue;
             }
-            let hash = mix3(n.var, n.hi, n.lo);
+            let hash = node_hash(n.var, n.hi, n.lo);
+            let mut slot = hash as usize & mask;
+            while table[slot] as u32 != NIL {
+                slot = (slot + 1) & mask;
+            }
+            table[slot] = (hash >> 32) << 32 | idx as u64;
+        }
+        self.table = table;
+    }
+
+    /// [`Inner::rebuild_table`] but inserting in `order` (a DFS from the
+    /// external roots) instead of node-array order, so under open
+    /// addressing the earliest-visited — hottest — nodes claim their home
+    /// slots and later nodes absorb the probe displacement.
+    fn rebuild_table_ordered(&mut self, new_len: usize, order: &[u32]) {
+        debug_assert!(new_len.is_power_of_two());
+        let mask = new_len - 1;
+        let mut table = vec![EMPTY_SLOT; new_len];
+        for &idx in order {
+            let n = self.nodes[idx as usize];
+            debug_assert!(n.var < VAR_FREE);
+            let hash = node_hash(n.var, n.hi, n.lo);
             let mut slot = hash as usize & mask;
             while table[slot] as u32 != NIL {
                 slot = (slot + 1) & mask;
@@ -615,6 +683,13 @@ impl Inner {
         let way = (self.put_tick as usize) & (CACHE_WAYS - 1);
         self.put_tick = self.put_tick.wrapping_add(1);
         self.cache_writes += 1;
+        self.counters.cache_puts += 1;
+        // The victim line is about to be written anyway, so reading its key
+        // for the eviction counter costs no extra cache traffic.
+        let old = self.cache[base + way].key;
+        if old != 0 && old != entry.key {
+            self.counters.cache_evictions += 1;
+        }
         self.cache[base + way] = entry;
     }
 
@@ -713,10 +788,17 @@ impl Inner {
                 stack.push(idx as u32);
             }
         }
+        // With the relayout opt-in the mark pass doubles as the traversal
+        // that orders the post-GC unique-table rebuild: visiting order ≈
+        // DFS from the external roots.
+        let mut dfs_order: Vec<u32> = Vec::new();
         while let Some(i) = stack.pop() {
             let n = self.nodes[i as usize];
             if n.var >= VAR_FREE {
                 continue;
+            }
+            if self.relayout {
+                dfs_order.push(i);
             }
             for ch in [n.hi >> 1, n.lo >> 1] {
                 if !mark[ch as usize] {
@@ -771,7 +853,20 @@ impl Inner {
         } else {
             self.table.len().max(want)
         };
-        self.rebuild_table(table_len);
+        if self.relayout {
+            // DFS relayout (DESIGN.md §16). Node *indices* are handle
+            // identity and can never move while external `Bdd`s embed them,
+            // so the pass relocates what can move: unique-table slots are
+            // assigned in traversal order (first-come wins its home slot
+            // under the locality hash, so hot upper nodes probe shortest),
+            // and the free list is flipped so recycling fills the lowest
+            // slots first — allocation packs the node array front instead
+            // of scattering into the tail.
+            self.free.reverse();
+            self.rebuild_table_ordered(table_len, &dfs_order);
+        } else {
+            self.rebuild_table(table_len);
+        }
         self.adapt_cache_after_gc();
         self.gc_threshold = (live * 2).max(1 << 16);
         #[cfg(feature = "sanitize")]
@@ -1364,7 +1459,7 @@ impl Inner {
                 ));
             }
             // The node must be reachable by a plain table probe.
-            let hash = mix3(node.var, node.hi, node.lo);
+            let hash = node_hash(node.var, node.hi, node.lo);
             let mut slot = hash as usize & mask;
             loop {
                 let e = self.table[slot];

@@ -516,7 +516,7 @@ impl Inner {
             (hi, lo, 0)
         };
         let mask = self.table.len() - 1;
-        let hash = super::mix3(var, hi, lo);
+        let hash = super::node_hash(var, hi, lo);
         let tag = (hash >> 32) as u32;
         let mut slot = hash as usize & mask;
         loop {
@@ -561,7 +561,7 @@ impl Inner {
     fn table_insert(&mut self, idx: u32) {
         let n = self.nodes[idx as usize];
         let mask = self.table.len() - 1;
-        let hash = super::mix3(n.var, n.hi, n.lo);
+        let hash = super::node_hash(n.var, n.hi, n.lo);
         let mut slot = hash as usize & mask;
         while self.table[slot] as u32 != NIL {
             slot = (slot + 1) & mask;
@@ -576,7 +576,7 @@ impl Inner {
     fn table_remove(&mut self, idx: u32) {
         let n = self.nodes[idx as usize];
         let mask = self.table.len() - 1;
-        let home = super::mix3(n.var, n.hi, n.lo) as usize & mask;
+        let home = super::node_hash(n.var, n.hi, n.lo) as usize & mask;
         let mut slot = home;
         loop {
             let e = self.table[slot];
@@ -600,7 +600,7 @@ impl Inner {
                 break;
             }
             let fn_ = self.nodes[e as u32 as usize];
-            let ehome = super::mix3(fn_.var, fn_.hi, fn_.lo) as usize & mask;
+            let ehome = super::node_hash(fn_.var, fn_.hi, fn_.lo) as usize & mask;
             // Cyclic distance from the entry's home to its slot vs to the
             // gap: move it back only if the gap still lies on its probe
             // path.

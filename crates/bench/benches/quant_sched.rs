@@ -3,7 +3,7 @@
 //! paper credits for the partitioned flow's efficiency (§1, refs [4][5][8]).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use langeq_bdd::{BddManager, VarId};
+use langeq_bdd::{Bdd, BddManager, VarId};
 use langeq_core::{LatchSplitProblem, SolveRequest};
 use langeq_image::{reachable, ImageComputer, ImageOptions, QuantSchedule};
 use langeq_logic::gen;
@@ -58,6 +58,86 @@ fn bench_reachability(c: &mut Criterion) {
     group.finish();
 }
 
+/// A banked controller: `banks` independent `width`-bit ripple counters,
+/// each advanced by a bank-private input while a shared enable is up
+/// (`ns_j = cs_j XOR (i AND en AND cs_0..cs_{j-1})`). Bank-private inputs
+/// and per-bank clusters are exactly the structure the fused schedule
+/// exploits: the private `i` is quantified once at compile time and bank
+/// chunks are conjoined once, where the classic chain re-does both inside
+/// every image call of the `2^width`-step fixpoint.
+#[allow(clippy::type_complexity)] // (parts, quantify, ns→cs map, init)
+fn banked_counters(
+    mgr: &BddManager,
+    banks: usize,
+    width: usize,
+) -> (Vec<Bdd>, Vec<VarId>, Vec<(VarId, VarId)>, Bdd) {
+    let en = mgr.new_var();
+    let mut parts = Vec::new();
+    let mut quantify = vec![en.support()[0]];
+    let mut map = Vec::new();
+    let mut init = mgr.one();
+    for _ in 0..banks {
+        let i = mgr.new_var();
+        quantify.push(i.support()[0]);
+        let mut carry = i.and(&en);
+        for _ in 0..width {
+            let cs = mgr.new_var();
+            let ns = mgr.new_var();
+            parts.push(ns.xnor(&cs.xor(&carry)));
+            carry = carry.and(&cs);
+            quantify.push(cs.support()[0]);
+            map.push((ns.support()[0], cs.support()[0]));
+            init = init.and(&cs.not());
+        }
+    }
+    (parts, quantify, map, init)
+}
+
+/// Fused-schedule ablation: the multi-cluster reachability workload with
+/// the compile-time fused schedule (default), the classic per-call chain
+/// (`fusion: false` — the serial baseline), parallel fusion workers, and
+/// the restrict-based image cache.
+fn bench_fused(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quant_sched/fused");
+    group.sample_size(10);
+    let variants: [(&str, ImageOptions); 4] = [
+        (
+            "classic",
+            ImageOptions {
+                fusion: false,
+                ..Default::default()
+            },
+        ),
+        ("fused", ImageOptions::default()),
+        (
+            "fused-jobs4",
+            ImageOptions {
+                jobs: 4,
+                ..Default::default()
+            },
+        ),
+        (
+            "fused-restrict",
+            ImageOptions {
+                use_restrict: true,
+                ..Default::default()
+            },
+        ),
+    ];
+    for (label, opts) in variants {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mgr = BddManager::new();
+                let (parts, quantify, map, init) = banked_counters(&mgr, 16, 8);
+                let cs: Vec<VarId> = map.iter().map(|&(_, c)| c).collect();
+                let img = ImageComputer::with_protected(&mgr, &parts, &quantify, &cs, opts);
+                std::hint::black_box(reachable(&img, &init, &map))
+            })
+        });
+    }
+    group.finish();
+}
+
 /// The full partitioned solve with either schedule inside its images.
 fn bench_solver(c: &mut Criterion) {
     let mut group = c.benchmark_group("quant_sched/solver");
@@ -85,5 +165,5 @@ fn bench_solver(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_reachability, bench_solver);
+criterion_group!(benches, bench_reachability, bench_fused, bench_solver);
 criterion_main!(benches);

@@ -7,11 +7,13 @@
 //! With `--gc-each-step` a full garbage collection is forced after every
 //! fixed-point iteration — the stress case for a GC-surviving computed
 //! cache (a cache cleared on collection re-derives the whole previous
-//! frontier's work each iteration).
+//! frontier's work each iteration). `--relayout` additionally arms the
+//! post-GC DFS relayout pass (`BddManager::set_relayout`), the
+//! cache-locality ablation.
 //!
 //! ```text
 //! cargo run --release -p langeq-bench --bin cachestats -- \
-//!     [--latches N] [--seed S] [--gc-each-step]
+//!     [--latches N] [--seed S] [--gc-each-step] [--relayout]
 //! ```
 
 use langeq_bdd::{Bdd, BddManager, VarId};
@@ -68,6 +70,19 @@ fn print_stats(stats: &langeq_bdd::BddStats, dt: std::time::Duration) {
         stats.cache_swept_entries,
         100.0 * stats.gc_survival_rate()
     );
+    // The overwrite-on-collision rate: how much work the cache throws away
+    // to stay flat. High under `--features leaky-cache` (one way, every
+    // collision overwrites); the 2-way default only evicts when both ways
+    // of a set are taken.
+    let eviction_rate = if stats.cache_puts > 0 {
+        100.0 * stats.cache_evictions as f64 / stats.cache_puts as f64
+    } else {
+        0.0
+    };
+    println!(
+        "  cache puts/evicted  {} / {}  (overwrite rate {:.1}%)",
+        stats.cache_puts, stats.cache_evictions, eviction_rate
+    );
     println!(
         "  unique-table lookups {}  (avg probe length {:.2})",
         stats.unique_lookups,
@@ -100,18 +115,21 @@ fn main() {
     let mut latches = 14usize;
     let mut seed = 77u64;
     let mut gc_each_step = false;
+    let mut relayout = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--latches" => latches = args.next().unwrap().parse().unwrap(),
             "--seed" => seed = args.next().unwrap().parse().unwrap(),
             "--gc-each-step" => gc_each_step = true,
+            "--relayout" => relayout = true,
             "--solver" => return solver_mode(),
             other => panic!("unknown flag {other}"),
         }
     }
     let net = gen::random_controller(&gen::ControllerCfg::new("cs", seed, 4, 2, latches));
     let mgr = BddManager::new();
+    mgr.set_relayout(relayout);
     let pis: Vec<_> = (0..net.num_inputs()).map(|_| mgr.new_var()).collect();
     let mut cs = Vec::new();
     let mut ns = Vec::new();
@@ -127,7 +145,9 @@ fn main() {
         .collect();
     let mut quantify: Vec<VarId> = pis.iter().map(|p| p.support()[0]).collect();
     quantify.extend(cs.iter().map(|c| c.support()[0]));
-    let img = ImageComputer::new(&mgr, &parts, &quantify, ImageOptions::default());
+    let cs_vars: Vec<VarId> = cs.iter().map(|c| c.support()[0]).collect();
+    let img =
+        ImageComputer::with_protected(&mgr, &parts, &quantify, &cs_vars, ImageOptions::default());
     let init = cs.iter().fold(mgr.one(), |acc, c| acc.and(&c.not()));
     let map: Vec<_> = ns
         .iter()

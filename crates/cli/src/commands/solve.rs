@@ -110,6 +110,14 @@ fn run_solver(problem: &LatchSplitProblem, p: &Parsed) -> Result<Solution, CliEr
         .limits(limits(p)?)
         .reorder(reorder(p)?)
         .cancel_token(crate::sigint::install());
+    // Throughput-only knobs: neither changes the computed CSF (see the
+    // `signature_excludes_performance_knobs` contract in langeq-core).
+    if let Some(jobs) = p.number::<usize>("image-jobs")? {
+        request = request.image_jobs(jobs);
+    }
+    if p.flag("image-restrict") {
+        request = request.image_restrict(true);
+    }
     if p.flag("progress") {
         request = request.on_progress(progress_printer());
     }
@@ -121,7 +129,8 @@ fn run_solver(problem: &LatchSplitProblem, p: &Parsed) -> Result<Solution, CliEr
 
 /// `langeq solve --spec <net> --split K,... [--flow partitioned|monolithic|algorithm1]
 /// [--mono] [--reorder none|sifting|sifting:N] [--timeout S] [--node-limit N]
-/// [--max-states N] [--progress] [--verify] [--stats] [-o csf.aut]`.
+/// [--max-states N] [--image-jobs N] [--image-restrict] [--progress]
+/// [--verify] [--stats] [-o csf.aut]`.
 pub fn solve(args: &[String]) -> Result<ExitCode, CliError> {
     let p = scan(
         args,
@@ -133,6 +142,7 @@ pub fn solve(args: &[String]) -> Result<ExitCode, CliError> {
             "max-states",
             "flow",
             "reorder",
+            "image-jobs",
         ],
     )?;
     p.reject_unknown(&[
@@ -143,6 +153,8 @@ pub fn solve(args: &[String]) -> Result<ExitCode, CliError> {
         "max-states",
         "flow",
         "reorder",
+        "image-jobs",
+        "image-restrict",
         "mono",
         "progress",
         "verify",
@@ -209,6 +221,7 @@ pub fn extract(args: &[String]) -> Result<ExitCode, CliError> {
             "max-states",
             "strategy",
             "reorder",
+            "image-jobs",
         ],
     )?;
     p.reject_unknown(&[
@@ -219,6 +232,8 @@ pub fn extract(args: &[String]) -> Result<ExitCode, CliError> {
         "max-states",
         "strategy",
         "reorder",
+        "image-jobs",
+        "image-restrict",
         "progress",
         "verify",
         "minimize",

@@ -34,6 +34,7 @@ const VALUE_KEYS: &[&str] = &[
     "node-limit",
     "max-states",
     "reorder",
+    "image-jobs",
     "jobs",
     "budget",
     "journal",
@@ -47,6 +48,8 @@ const KNOWN: &[&str] = &[
     "node-limit",
     "max-states",
     "reorder",
+    "image-jobs",
+    "image-restrict",
     "jobs",
     "budget",
     "journal",
@@ -77,12 +80,18 @@ fn plan_from_manifest(p: &Parsed, path: &str) -> Result<SuitePlan, CliError> {
         "node-limit",
         "max-states",
         "reorder",
+        "image-jobs",
     ] {
         if p.value(opt).is_some() {
             return Err(CliError::Usage(format!(
                 "--{opt} conflicts with a manifest; declare it in `{path}` instead"
             )));
         }
+    }
+    if p.flag("image-restrict") {
+        return Err(CliError::Usage(format!(
+            "--image-restrict conflicts with a manifest; declare image-restrict=on in `{path}` instead"
+        )));
     }
     load_manifest(Path::new(path)).map_err(|e| CliError::Run(format!("{path}: {e}")))
 }
@@ -116,16 +125,22 @@ fn plan_from_files(p: &Parsed, files: &[String]) -> Result<SuitePlan, CliError> 
             .to_string();
         plan = plan.instance(InstanceSpec::new(name, network, split.clone()));
     }
+    let image_jobs = p.number::<usize>("image-jobs")?;
     for flow in flows.split(',').filter(|f| !f.is_empty()) {
         let kind: SolverKind = flow
             .trim()
             .parse()
             .map_err(|e| CliError::Usage(format!("--flows: {e}")))?;
-        plan = plan.config(
-            ConfigSpec::new(kind.to_string(), kind)
-                .limits(limits)
-                .reorder(reorder),
-        );
+        let mut config = ConfigSpec::new(kind.to_string(), kind)
+            .limits(limits)
+            .reorder(reorder);
+        if let Some(jobs) = image_jobs {
+            config = config.image_jobs(jobs);
+        }
+        if p.flag("image-restrict") {
+            config = config.image_restrict(true);
+        }
+        plan = plan.config(config);
     }
     Ok(plan)
 }
@@ -200,7 +215,8 @@ fn progress_printer() -> impl FnMut(&SuiteEvent) {
 
 /// `langeq sweep <manifest.sweep | net...> [--split K,...] [--flows f,f]
 /// [--timeout S] [--node-limit N] [--max-states N]
-/// [--reorder none|sifting|sifting:N] [--jobs N] [--budget S]
+/// [--reorder none|sifting|sifting:N] [--image-jobs N] [--image-restrict]
+/// [--jobs N] [--budget S]
 /// [--journal PATH | --store DIR] [--resume] [--json] [--progress]`.
 ///
 /// `--store DIR` journals into a shared multi-writer directory (the same

@@ -654,6 +654,54 @@ fn sweep_journals_identically_for_one_and_four_workers() {
     assert_eq!(strip_timing(&j1), strip_timing(&j4));
 }
 
+/// `--image-jobs` is a throughput knob, not an experiment parameter: the
+/// fused image schedule is derived from problem structure alone, so worker
+/// count must never change the journal (kernel counters included) or the
+/// computed CSF. This drives the contract end to end through the binary.
+#[test]
+fn image_jobs_never_changes_journal_bytes_or_the_csf() {
+    let dir = scratch("imagejobs");
+    for jobs in ["1", "4"] {
+        let manifest = format!(
+            "instance fig3 gen:figure3\n\
+             instance s510 gen:sim_s510 split=3,4,5\n\
+             config part flow=partitioned image-jobs={jobs}\n"
+        );
+        std::fs::write(dir.join("par.sweep"), manifest).unwrap();
+        let journal = format!("j{jobs}.jsonl");
+        let out = langeq(&dir, &["sweep", "par.sweep", "--journal", &journal]);
+        assert!(out.status.success(), "{}", stderr(&out));
+    }
+    let j1 = std::fs::read_to_string(dir.join("j1.jsonl")).unwrap();
+    let j4 = std::fs::read_to_string(dir.join("j4.jsonl")).unwrap();
+    assert_eq!(strip_timing(&j1), strip_timing(&j4));
+
+    // And the solve artifact itself: the CSF automaton written at four
+    // image workers is byte-identical to the serial one.
+    std::fs::write(dir.join("fig3.bench"), FIGURE3).unwrap();
+    let mut auts = Vec::new();
+    for jobs in ["1", "4"] {
+        let name = format!("csf{jobs}.aut");
+        let out = langeq(
+            &dir,
+            &[
+                "solve",
+                "--spec",
+                "fig3.bench",
+                "--split",
+                "1",
+                "--image-jobs",
+                jobs,
+                "-o",
+                &name,
+            ],
+        );
+        assert!(out.status.success(), "{}", stderr(&out));
+        auts.push(std::fs::read_to_string(dir.join(&name)).unwrap());
+    }
+    assert_eq!(auts[0], auts[1], "CSF must not depend on --image-jobs");
+}
+
 #[test]
 fn sweep_over_network_files_uses_flows_and_split() {
     let dir = scratch("sweepfiles");

@@ -455,6 +455,8 @@ fn run_cell(
                             cache_hits,
                             cache_survived,
                             cache_swept,
+                            cache_puts,
+                            cache_evictions,
                             unique_probes,
                             unique_lookups,
                         } = *event
@@ -464,6 +466,8 @@ fn run_cell(
                                 cache_hits,
                                 cache_survived,
                                 cache_swept,
+                                cache_puts,
+                                cache_evictions,
                                 unique_probes,
                                 unique_lookups,
                             };

@@ -9,7 +9,8 @@
 //!  "status":"solved","csf_states":54,"subset_states":60,"transitions":212,
 //!  "images":44,"peak_live_nodes":9123,
 //!  "kernel":{"cache_lookups":120000,"cache_hits":45000,"cache_survived":900,
-//!            "cache_swept":4000,"unique_probes":300000,"unique_lookups":250000},
+//!            "cache_swept":4000,"cache_puts":60000,"cache_evictions":1200,
+//!            "unique_probes":300000,"unique_lookups":250000},
 //!  "resumed":false,"retryable":false,"duration_ns":412345}
 //! {"v":1,"cell":4,"instance":"sim_s444","config":"mono","flow":"monolithic",
 //!  "sig":"...","status":"cnc","reason":"timeout","arg":30000000000,
@@ -88,6 +89,8 @@ impl CellReport {
                     .set("cache_hits", k.cache_hits)
                     .set("cache_survived", k.cache_survived)
                     .set("cache_swept", k.cache_swept)
+                    .set("cache_puts", k.cache_puts)
+                    .set("cache_evictions", k.cache_evictions)
                     .set("unique_probes", k.unique_probes)
                     .set("unique_lookups", k.unique_lookups),
             ),
@@ -212,6 +215,10 @@ fn decode_kernel(obj: &Json) -> Option<KernelSample> {
         cache_hits: field("cache_hits")?,
         cache_survived: field("cache_survived")?,
         cache_swept: field("cache_swept")?,
+        // Absent in journals written before the leaky-cache counters
+        // existed; zero keeps those records resumable.
+        cache_puts: field("cache_puts").unwrap_or(0),
+        cache_evictions: field("cache_evictions").unwrap_or(0),
         unique_probes: field("unique_probes")?,
         unique_lookups: field("unique_lookups")?,
     })
@@ -269,6 +276,8 @@ mod tests {
                 cache_hits: 45_000,
                 cache_survived: 900,
                 cache_swept: 4000,
+                cache_puts: 60_000,
+                cache_evictions: 1200,
                 unique_probes: 300_000,
                 unique_lookups: 250_000,
             }),

@@ -24,6 +24,7 @@
 //!
 //! # config <name> [flow=partitioned|monolithic|algorithm1] [trim=on|off]
 //! #               [reorder=none|sifting|sifting:THRESHOLD]
+//! #               [image-jobs=N] [image-restrict=on|off]
 //! #               [timeout=SECS] [node-limit=N] [max-states=N]
 //! config part flow=partitioned
 //! config mono flow=monolithic timeout=60
@@ -367,6 +368,21 @@ fn parse_config<'a>(
                     .parse()
                     .map_err(|e| ManifestError::at(lineno, format!("{e}")))?;
             }
+            "image-jobs" => {
+                spec.image.jobs = parse_number::<usize>(lineno, key, value)?;
+            }
+            "image-restrict" => {
+                spec.image.use_restrict = match value {
+                    "on" | "true" | "1" => true,
+                    "off" | "false" | "0" => false,
+                    _ => {
+                        return Err(ManifestError::at(
+                            lineno,
+                            format!("bad image-restrict value `{value}` (on|off)"),
+                        ));
+                    }
+                };
+            }
             "timeout" => {
                 limits.time_limit = Some(Duration::from_secs(parse_number(lineno, key, value)?));
             }
@@ -456,6 +472,29 @@ config sift flow=partitioned reorder=sifting:5000
     }
 
     #[test]
+    fn image_jobs_and_restrict_parse() {
+        let plan = parse_manifest(
+            "instance a gen:figure3\n\
+             config par flow=partitioned image-jobs=4 image-restrict=on\n\
+             config ser flow=partitioned image-jobs=1 image-restrict=off\n",
+            Path::new("."),
+        )
+        .unwrap();
+        assert_eq!(plan.configs()[0].image.jobs, 4);
+        assert!(plan.configs()[0].image.use_restrict);
+        assert_eq!(plan.configs()[1].image.jobs, 1);
+        assert!(!plan.configs()[1].image.use_restrict);
+        // Defaults: serial, no restrict cache.
+        let plain = parse_manifest(
+            "instance a gen:figure3\nconfig c flow=partitioned\n",
+            Path::new("."),
+        )
+        .unwrap();
+        assert_eq!(plain.configs()[0].image.jobs, 1);
+        assert!(!plain.configs()[0].image.use_restrict);
+    }
+
+    #[test]
     fn file_instances_resolve_relative_to_base() {
         let dir = std::env::temp_dir().join(format!("langeq-manifest-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -490,6 +529,11 @@ config sift flow=partitioned reorder=sifting:5000
             ("config c reorder=warp", "unknown reorder policy"),
             ("config c timeout=soon", "bad number"),
             ("config c verbose", "not key=value"),
+            ("config c image-jobs=many", "bad number"),
+            (
+                "config c image-restrict=sideways",
+                "bad image-restrict value",
+            ),
         ];
         for (text, needle) in bad {
             let text = format!("\n{text}\n");

@@ -127,6 +127,22 @@ impl ConfigSpec {
         self
     }
 
+    /// Sets the worker-thread count for compile-time image fusion
+    /// (`--image-jobs`). A pure throughput knob: results, journal bytes,
+    /// and the cell signature are identical for every value.
+    pub fn image_jobs(mut self, jobs: usize) -> Self {
+        self.image.jobs = jobs;
+        self
+    }
+
+    /// Enables the restrict-based image cache (cluster functions are
+    /// restricted against the accumulated from-set before each
+    /// conjoin/quantify step).
+    pub fn image_restrict(mut self, on: bool) -> Self {
+        self.image.use_restrict = on;
+        self
+    }
+
     /// The configured solver, type-erased (constructed per cell, inside the
     /// worker that runs it).
     pub fn solver(&self) -> Box<dyn Solver> {
@@ -291,6 +307,11 @@ pub struct KernelSample {
     pub cache_survived: u64,
     /// Cache entries examined by GC sweeps.
     pub cache_swept: u64,
+    /// Computed-cache insertions.
+    pub cache_puts: u64,
+    /// Computed-cache conflict evictions (insertions overwriting a live
+    /// entry under a different key — the task cache's "leak").
+    pub cache_evictions: u64,
     /// Unique-table probe steps.
     pub unique_probes: u64,
     /// Unique-table lookups.

@@ -200,7 +200,9 @@ impl PartitionedFsm {
         let parts = self.transition_parts(mgr);
         let mut quantify = self.inputs.clone();
         quantify.extend(self.cs_vars());
-        let img = ImageComputer::new(mgr, &parts, &quantify, opts);
+        // From-sets of the fixpoint are over cs: protect them so the fused
+        // schedule never hazard-falls-back mid-reachability.
+        let img = ImageComputer::with_protected(mgr, &parts, &quantify, &self.cs_vars(), opts);
         reachable(&img, &self.initial_cube(mgr), &self.ns_to_cs())
     }
 

@@ -175,4 +175,51 @@ mod tests {
         i6.network = gen::counter("fig3", 4);
         assert_ne!(cell_signature(&i6, &c6), sig0);
     }
+
+    /// Purely-performance knobs must NEVER enter the signature: a fleet
+    /// cache or journal keyed on `--image-jobs` (or any other
+    /// throughput-only setting) would miss on every machine whose core
+    /// count — not whose *experiment* — differs. This is the regression
+    /// guard for that contract: every [`ImageOptions`] perf field produces
+    /// byte-identical signatures.
+    #[test]
+    fn signature_excludes_performance_knobs() {
+        let base = || {
+            (
+                InstanceSpec::new("i", gen::figure3(), vec![1]),
+                ConfigSpec::new("c", SolverKind::Partitioned),
+            )
+        };
+        let (i0, c0) = base();
+        let sig0 = cell_signature(&i0, &c0);
+
+        // Image fusion worker count (`--image-jobs`).
+        for jobs in [0, 1, 4, 64] {
+            let (i, c) = base();
+            assert_eq!(
+                cell_signature(&i, &c.image_jobs(jobs)),
+                sig0,
+                "image_jobs={jobs} must not enter the signature"
+            );
+        }
+
+        // The restrict-based image cache: also a pure evaluation-strategy
+        // knob — the computed result is identical either way.
+        let (i, c) = base();
+        assert_eq!(cell_signature(&i, &c.image_restrict(true)), sig0);
+
+        // The fused-schedule ablation switch and every other ImageOptions
+        // field that leaves results untouched.
+        let (i, mut c) = base();
+        c.image.fusion = false;
+        assert_eq!(cell_signature(&i, &c), sig0);
+
+        // cluster_threshold and the quantification schedule change the
+        // *evaluation order*, never the computed result — the signature
+        // deliberately excludes ImageOptions wholesale.
+        let (i, mut c) = base();
+        c.image.cluster_threshold = 7;
+        c.image.schedule = langeq_image::QuantSchedule::Late;
+        assert_eq!(cell_signature(&i, &c), sig0);
+    }
 }

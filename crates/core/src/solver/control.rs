@@ -100,6 +100,11 @@ pub enum SolveEvent {
         cache_survived: u64,
         /// Cache entries examined by GC sweeps so far.
         cache_swept: u64,
+        /// Computed-cache insertions so far.
+        cache_puts: u64,
+        /// Computed-cache conflict evictions (insertions overwriting a live
+        /// entry under a different key) so far.
+        cache_evictions: u64,
         /// Unique-table probe steps so far.
         unique_probes: u64,
         /// Unique-table lookups so far.

@@ -73,13 +73,16 @@ pub(crate) fn run_trimmed(
     let uv = vars.uv();
     let quantify = vars.partitioned_quantify();
     let ns_to_cs = vars.ns_to_cs();
+    // ξ from-sets range over the product state vars; protect them from
+    // compile-time elimination so the fused schedule applies to every call.
+    let protect = vars.product_state_vars();
 
     // The partitioned relations, built once and reused for every ξ.
     let mut compile_span = langeq_obs::span!("compile");
     let u_parts = eq.u_parts();
     let mut pt_parts = u_parts.clone();
     pt_parts.extend(eq.product_transition_parts());
-    let p_image = ImageComputer::new(&mgr, &pt_parts, &quantify, opts.image);
+    let p_image = ImageComputer::with_protected(&mgr, &pt_parts, &quantify, &protect, opts.image);
     // One image per output: Qξ is accumulated "one output at a time".
     let q_images: Vec<ImageComputer> = eq
         .conformance_parts()
@@ -87,7 +90,7 @@ pub(crate) fn run_trimmed(
         .map(|c| {
             let mut parts = u_parts.clone();
             parts.push(c.not());
-            ImageComputer::new(&mgr, &parts, &quantify, opts.image)
+            ImageComputer::with_protected(&mgr, &parts, &quantify, &protect, opts.image)
         })
         .collect();
     compile_span.field("partitions", pt_parts.len());
@@ -196,7 +199,10 @@ pub(crate) fn run_untrimmed(
 
     let mut quantify = vars.partitioned_quantify();
     quantify.push(vars.csd);
-    let p_image = ImageComputer::new(&mgr, &parts, &quantify, opts.image);
+    // ξ mentions the product state vars and the DC bit: protect both.
+    let mut protect = vars.product_state_vars();
+    protect.push(vars.csd);
+    let p_image = ImageComputer::with_protected(&mgr, &parts, &quantify, &protect, opts.image);
     let ns_to_cs = vars.ns_to_cs_with_dc();
     compile_span.field("partitions", parts.len());
     drop(compile_span);

@@ -209,6 +209,8 @@ impl<'c> Session<'c> {
             cache_hits: stats.cache_hits,
             cache_survived: stats.cache_surviving_entries,
             cache_swept: stats.cache_swept_entries,
+            cache_puts: stats.cache_puts,
+            cache_evictions: stats.cache_evictions,
             unique_probes: stats.unique_probes,
             unique_lookups: stats.unique_lookups,
         });

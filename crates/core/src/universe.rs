@@ -161,6 +161,15 @@ impl VarUniverse {
             .collect()
     }
 
+    /// The current-state product variables `cs_f ∪ cs_s`: the support a
+    /// subset-construction from-set (ξ) can mention. This is the image
+    /// computation's protect-set — state variables must never be
+    /// compile-time-eliminated by the fused schedule
+    /// ([`ImageComputer::with_protected`](langeq_image::ImageComputer::with_protected)).
+    pub fn product_state_vars(&self) -> Vec<VarId> {
+        self.cs_f.iter().chain(self.cs_s.iter()).copied().collect()
+    }
+
     /// Next-state → current-state renaming for the product state space
     /// (`ns_f → cs_f`, `ns_s → cs_s`).
     pub fn ns_to_cs(&self) -> Vec<(VarId, VarId)> {

@@ -134,22 +134,26 @@ pub fn composition_contained_in_spec(eq: &LanguageEquation, x: &Automaton) -> bo
     let mismatch_img = {
         let mut parts = u_parts.clone();
         parts.push(conf_all.not());
-        ImageComputer::new(
+        ImageComputer::with_protected(
             mgr,
             &parts,
             &vars.partitioned_quantify(),
+            &vars.product_state_vars(),
             ImageOptions::default(),
         )
     };
     // Propagation image: next product states under conforming, x-enabled
-    // letters. `from` is R ∧ label.
+    // letters. `from` is R ∧ label — protect the state vars *and* the
+    // letter vars it mentions.
     let prop_img = {
         let mut parts = u_parts;
         parts.extend(eq.product_transition_parts());
         parts.push(conf_all);
         let mut quantify = vars.partitioned_quantify();
         quantify.extend(vars.uv());
-        ImageComputer::new(mgr, &parts, &quantify, ImageOptions::default())
+        let mut protect = vars.product_state_vars();
+        protect.extend(vars.uv());
+        ImageComputer::with_protected(mgr, &parts, &quantify, &protect, ImageOptions::default())
     };
     let ns_to_cs = vars.ns_to_cs();
 

@@ -26,8 +26,34 @@
 //!   [`and_exists`](langeq_bdd::BddManager::and_exists) operator performs
 //!   conjunction and quantification in one pass.
 //!
-//! The "quantify only at the end" mode ([`QuantSchedule::Late`]) is kept as
-//! the ablation baseline for the benchmark suite.
+//! ## The fused schedule
+//!
+//! On top of the classic per-call chain, [`ImageComputer::new`] compiles a
+//! second, *fused* schedule once per relation (see `DESIGN.md` §16):
+//!
+//! 1. **Pre-quantification** — a quantified variable whose support touches
+//!    exactly one cluster is eliminated from that cluster at compile time
+//!    (`H_i = ∃V_i . C_i`), sound whenever the *from* set does not mention
+//!    it (checked per call; a hit falls back to the classic chain).
+//! 2. **Chunk products** — consecutive pre-quantified clusters are grouped
+//!    into node-budgeted chunks, and each chunk's product (plus its
+//!    chunk-internal quantifications) is computed on a **thread-confined
+//!    sub-manager** seeded from an LQBS snapshot of the operands. Chunks
+//!    are distributed over [`ImageOptions::jobs`] workers by work stealing;
+//!    results are decoded back onto the coordinating manager **in chunk
+//!    order**, so the coordinator's operation sequence — and therefore
+//!    every result, journal byte, and kernel statistic — is independent of
+//!    the job count. A chunk whose product exceeds the blow-up cap passes
+//!    through unfused.
+//! 3. The per-call image then runs the ordinary early-quantification chain
+//!    over the (much shorter) fused cluster list.
+//!
+//! The fixpoint loops of [`reachable`]/[`backward_reachable`] amortise the
+//! one-time fusion over every iteration. The "quantify only at the end"
+//! mode ([`QuantSchedule::Late`]) is kept as the ablation baseline for the
+//! benchmark suite, and [`ImageOptions::fusion`] can switch the fused
+//! schedule off entirely (the serial-baseline ablation switch — not
+//! plumbed through configs, manifests, or signatures).
 //!
 //! ```
 //! use langeq_bdd::BddManager;
@@ -51,8 +77,12 @@
 #![warn(missing_docs)]
 
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
-use langeq_bdd::{Bdd, BddManager, VarId};
+use langeq_bdd::{snapshot, Bdd, BddManager, VarId};
+use langeq_obs::Histogram;
 
 /// Quantification scheduling policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -74,6 +104,21 @@ pub struct ImageOptions {
     /// Maximum BDD node count of a cluster; adjacent conjuncts are merged
     /// while below this size.
     pub cluster_threshold: usize,
+    /// Worker threads for compile-time chunk fusion (`--image-jobs`).
+    /// Purely a throughput knob: the compiled schedule, every image
+    /// result, and the coordinator's operation sequence are identical for
+    /// every value. `0` is treated as `1`.
+    pub jobs: usize,
+    /// Restrict each cluster against the accumulated from-set before the
+    /// conjoin/quantify step (`C|acc ∧ acc = C ∧ acc`, Coudert–Madre), so
+    /// the apply walks the generalised-cofactor form whose sub-results the
+    /// computed cache re-finds across fixpoint iterations.
+    pub use_restrict: bool,
+    /// Compile the fused schedule (pre-quantification + chunk products).
+    /// The `false` setting is the serial-baseline ablation switch for the
+    /// benchmark suite; it is deliberately not plumbed through configs,
+    /// manifests, the serve body, or signatures.
+    pub fusion: bool,
 }
 
 impl Default for ImageOptions {
@@ -81,8 +126,37 @@ impl Default for ImageOptions {
         ImageOptions {
             schedule: QuantSchedule::Early,
             cluster_threshold: 1000,
+            jobs: 1,
+            use_restrict: false,
+            fusion: true,
         }
     }
+}
+
+/// Chunk node budget as a multiple of the cluster threshold.
+const CHUNK_SPAN: usize = 4;
+/// Blow-up cap for a chunk product as a multiple of the chunk budget; a
+/// product that crosses it passes through unfused.
+const BLOWUP: usize = 4;
+
+/// The per-cluster step histogram, registered lazily in the process-wide
+/// registry so scrape endpoints pick it up without plumbing.
+fn cluster_seconds() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        langeq_obs::registry::global().histogram(
+            "langeq_image_cluster_seconds",
+            "Wall-clock seconds per cluster conjoin/quantify step of partitioned image computation.",
+        )
+    })
+}
+
+/// Forces this crate's process-wide metric families to exist (they
+/// otherwise first register when an image computation runs). Scrape
+/// endpoints call this at boot so the very first `/metrics` response
+/// already carries `langeq_image_cluster_seconds` with zero observations.
+pub fn register_metrics() {
+    let _ = cluster_seconds();
 }
 
 #[derive(Debug, Clone)]
@@ -91,15 +165,16 @@ struct Cluster {
     support: BTreeSet<VarId>,
 }
 
-/// A compiled image computation: a clustered, ordered partition with a
-/// per-cluster quantification schedule.
-///
-/// Build once per transition relation, then call [`image`](Self::image) for
-/// every *from* set — the schedule is reused across calls (this is the inner
-/// loop of the paper's subset construction).
+impl Cluster {
+    fn of(func: Bdd) -> Cluster {
+        let support = func.support().into_iter().collect();
+        Cluster { func, support }
+    }
+}
+
+/// An ordered cluster chain with its per-step quantification cubes.
 #[derive(Debug, Clone)]
-pub struct ImageComputer {
-    mgr: BddManager,
+struct Schedule {
     clusters: Vec<Cluster>,
     /// Positive cube to quantify together with cluster `k` (step 0 also
     /// absorbs the from-only variables).
@@ -117,8 +192,34 @@ pub struct ImageComputer {
     /// above.
     #[cfg(feature = "sanitize")]
     step_vars: Vec<Vec<VarId>>,
+}
+
+/// The compile-time-fused variant of the schedule (DESIGN.md §16).
+#[derive(Debug, Clone)]
+struct Fused {
+    sched: Schedule,
+    /// Variables eliminated at compile time (pre-quantified or folded into
+    /// a chunk product). A *from* set mentioning any of them would make the
+    /// elimination unsound, so [`ImageComputer::image`] checks the
+    /// intersection per call and falls back to the classic chain on a hit.
+    hazard: BTreeSet<VarId>,
+    /// `quantify` minus the eliminated variables — what the fused chain
+    /// still quantifies at run time.
+    residual: Vec<VarId>,
+}
+
+/// A compiled image computation: a clustered, ordered partition with a
+/// per-cluster quantification schedule (plus, by default, the fused
+/// variant compiled once and reused by every [`image`](ImageComputer::image)
+/// call — the inner loop of the paper's subset construction).
+#[derive(Debug, Clone)]
+pub struct ImageComputer {
+    mgr: BddManager,
+    classic: Schedule,
+    fused: Option<Fused>,
     quantify: Vec<VarId>,
     schedule: QuantSchedule,
+    use_restrict: bool,
 }
 
 /// This crate's sanitize failure funnel (same diagnostic shape as
@@ -130,14 +231,386 @@ fn sanitize_fail(invariant: &str, detail: std::fmt::Arguments<'_>) -> ! {
     panic!("[langeq-sanitize] invariant violated: {invariant}: {detail}");
 }
 
+/// Greedy benefit ordering (pick next the cluster that lets the most
+/// quantified variables die and introduces the fewest fresh ones) followed
+/// by adjacent merging up to `threshold`. Constant-true conjuncts are
+/// dropped; zero is kept (it annihilates images).
+fn order_and_cluster(
+    conjuncts: Vec<Cluster>,
+    qset: &BTreeSet<VarId>,
+    threshold: usize,
+) -> Vec<Cluster> {
+    let mut conjuncts: Vec<Cluster> = conjuncts.into_iter().filter(|c| !c.func.is_one()).collect();
+
+    // ---- ordering: greedy benefit heuristic -------------------------
+    // Pick next the cluster that (a) lets the most quantified variables
+    // die (no remaining cluster mentions them), (b) introduces the
+    // fewest new variables.
+    let mut ordered: Vec<Cluster> = Vec::with_capacity(conjuncts.len());
+    let mut seen_vars: BTreeSet<VarId> = BTreeSet::new();
+    while !conjuncts.is_empty() {
+        let mut best = 0usize;
+        let mut best_score = i64::MIN;
+        for (k, c) in conjuncts.iter().enumerate() {
+            let mut dying = 0i64;
+            let mut fresh = 0i64;
+            for v in &c.support {
+                let in_others = conjuncts
+                    .iter()
+                    .enumerate()
+                    .any(|(j, o)| j != k && o.support.contains(v));
+                if qset.contains(v) && !in_others {
+                    dying += 1;
+                }
+                if !seen_vars.contains(v) {
+                    fresh += 1;
+                }
+            }
+            let score = dying * 4 - fresh;
+            if score > best_score {
+                best_score = score;
+                best = k;
+            }
+        }
+        let c = conjuncts.swap_remove(best);
+        seen_vars.extend(c.support.iter().copied());
+        ordered.push(c);
+    }
+
+    // ---- clustering: merge adjacent conjuncts up to the threshold ----
+    let mut clusters: Vec<Cluster> = Vec::new();
+    for c in ordered {
+        if let Some(last) = clusters
+            .last_mut()
+            .filter(|last| last.func.node_count() + c.func.node_count() <= threshold)
+        {
+            let merged = last.func.and(&c.func);
+            if merged.node_count() <= threshold {
+                last.support = merged.support().into_iter().collect();
+                last.func = merged;
+                continue;
+            }
+        }
+        clusters.push(c);
+    }
+    clusters
+}
+
+/// Per-step quantification cubes: variable `v` dies after the last cluster
+/// that mentions it; variables mentioned by no cluster can only occur in
+/// the from-set and are quantified at step 0.
+fn finish_schedule(mgr: &BddManager, clusters: Vec<Cluster>, quantify: &[VarId]) -> Schedule {
+    let mut step_vars: Vec<Vec<VarId>> = vec![Vec::new(); clusters.len()];
+    let mut from_only: Vec<VarId> = Vec::new();
+    for &v in quantify {
+        let last = clusters.iter().rposition(|c| c.support.contains(&v));
+        match last {
+            Some(k) => step_vars[k].push(v),
+            None => from_only.push(v),
+        }
+    }
+    if let Some(first) = step_vars.first_mut() {
+        first.extend(from_only.iter().copied());
+    }
+    let step_cubes = step_vars.iter().map(|vs| mgr.positive_cube(vs)).collect();
+    Schedule {
+        clusters,
+        step_cubes,
+        #[cfg(feature = "sanitize")]
+        step_vars,
+    }
+}
+
+/// A chunk's transfer package: snapshot bytes of `[H_0, …, H_k, cube]`
+/// where `cube` is the positive cube of the chunk-internal quantified
+/// variables (constant one when there are none).
+struct ChunkTask {
+    bytes: Vec<u8>,
+    first: usize,
+    len: usize,
+}
+
+/// Computes one chunk's product on a fresh, thread-confined sub-manager:
+/// decode the operands, conjoin, quantify the chunk-internal cube, encode
+/// the result. Returns `None` — "pass through unfused" — when the product
+/// crosses `cap` (or on a decode error). Fully deterministic in the input
+/// bytes, so every worker assignment computes identical outcomes.
+fn fuse_chunk(bytes: &[u8], cap: usize) -> Option<Vec<u8>> {
+    let m = BddManager::new();
+    let roots = snapshot::load(&m, bytes).ok()?;
+    let (cube, hs) = roots.split_last()?;
+    // A cancelled coordinating manager collapses every operation — the
+    // shipped cube included — to constant zero, which is not a positive
+    // cube. Pass the chunk through unfused; the surrounding solve is
+    // being torn down and its result is discarded anyway.
+    if cube.is_zero() {
+        return None;
+    }
+    let mut acc = hs.first()?.clone();
+    for h in &hs[1..] {
+        acc = acc.and(h);
+        if acc.node_count() > cap {
+            return None;
+        }
+    }
+    if !cube.is_one() {
+        acc = m.exists_cube(&acc, cube);
+        if acc.node_count() > cap {
+            return None;
+        }
+    }
+    Some(snapshot::save(&m, &[acc]))
+}
+
+/// Runs every chunk task and returns the outcomes **indexed by chunk**,
+/// regardless of which worker computed what. `jobs <= 1` executes the
+/// identical tasks inline (same sub-manager round trips — the decomposition
+/// never forks on the job count); more jobs steal chunks off a shared
+/// counter on scoped threads, each re-entering the caller's trace context.
+fn run_tasks(tasks: &[ChunkTask], cap: usize, jobs: usize) -> Vec<Option<Vec<u8>>> {
+    let jobs = jobs.max(1).min(tasks.len().max(1));
+    if jobs <= 1 {
+        return tasks
+            .iter()
+            .map(|t| {
+                let mut sp = langeq_obs::span!("image.fuse_chunk", first = t.first, len = t.len);
+                let r = fuse_chunk(&t.bytes, cap);
+                sp.field("fused", r.is_some());
+                r
+            })
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let ctx = langeq_obs::trace::current();
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, Option<Vec<u8>>)>();
+    let mut results: Vec<Option<Vec<u8>>> = Vec::new();
+    results.resize_with(tasks.len(), || None);
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let next = &next;
+            s.spawn(move || {
+                let _guard = ctx.map(|(trace, parent)| langeq_obs::trace::install(trace, parent));
+                loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    let Some(t) = tasks.get(i) else { break };
+                    let mut sp =
+                        langeq_obs::span!("image.fuse_chunk", first = t.first, len = t.len);
+                    let r = fuse_chunk(&t.bytes, cap);
+                    sp.field("fused", r.is_some());
+                    if tx.send((i, r)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        for (i, r) in rx {
+            results[i] = r;
+        }
+    });
+    results
+}
+
+/// Compiles the fused schedule from the classic cluster chain, or `None`
+/// when fusion is structurally pointless (fewer than two clusters, nothing
+/// eliminated, nothing merged) or the manager aborted mid-compile.
+fn build_fused(
+    mgr: &BddManager,
+    classic: &[Cluster],
+    quantify: &[VarId],
+    protected: &BTreeSet<VarId>,
+    opts: &ImageOptions,
+) -> Option<Fused> {
+    if classic.len() < 2 {
+        return None;
+    }
+
+    // ---- L1: pre-quantify single-cluster variables -----------------------
+    // Protected variables (state variables a future `from` may mention) are
+    // never eliminated at compile time: quantifying them out of a cluster
+    // before the from-set is conjoined in would be unsound, and the per-call
+    // hazard fallback would otherwise disable the fused schedule on every
+    // image call of a reachability fixpoint.
+    let mut private: Vec<Vec<VarId>> = vec![Vec::new(); classic.len()];
+    let mut eliminated: BTreeSet<VarId> = BTreeSet::new();
+    for &v in quantify {
+        if protected.contains(&v) {
+            continue;
+        }
+        let mut holders = classic
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.support.contains(&v));
+        if let Some((k, _)) = holders.next() {
+            if holders.next().is_none() {
+                private[k].push(v);
+                eliminated.insert(v);
+            }
+        }
+    }
+    let mut pre: Vec<Cluster> = Vec::with_capacity(classic.len());
+    for (c, vs) in classic.iter().zip(&private) {
+        let func = if vs.is_empty() {
+            c.func.clone()
+        } else {
+            mgr.exists(&c.func, vs)
+        };
+        if !func.is_one() {
+            pre.push(Cluster::of(func));
+        }
+    }
+    if mgr.abort_reason().is_some() {
+        return None;
+    }
+
+    // ---- L2: chunk, ship to sub-managers, fuse ---------------------------
+    let budget = opts.cluster_threshold.saturating_mul(CHUNK_SPAN).max(64);
+    let cap = budget.saturating_mul(BLOWUP);
+    let mut chunks: Vec<(usize, usize)> = Vec::new(); // (first, len)
+    let mut at = 0usize;
+    while at < pre.len() {
+        let mut len = 1usize;
+        let mut total = pre[at].func.node_count();
+        while at + len < pre.len() {
+            let nc = pre[at + len].func.node_count();
+            if total + nc > budget {
+                break;
+            }
+            total += nc;
+            len += 1;
+        }
+        chunks.push((at, len));
+        at += len;
+    }
+
+    // Chunk-internal quantified variables: every holder inside one
+    // multi-cluster chunk. Sound to eliminate *iff* the chunk fuses (the
+    // worker quantifies them out of the product); an unfused chunk leaves
+    // them to the residual run-time schedule.
+    let mut chunk_vars: Vec<Vec<VarId>> = vec![Vec::new(); chunks.len()];
+    for &v in quantify {
+        if eliminated.contains(&v) || protected.contains(&v) {
+            continue;
+        }
+        let holders: Vec<usize> = pre
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.support.contains(&v))
+            .map(|(i, _)| i)
+            .collect();
+        if holders.is_empty() {
+            continue; // from-only: quantified at step 0 of the residual chain
+        }
+        let home = chunks
+            .iter()
+            .position(|&(first, len)| holders.iter().all(|&h| h >= first && h < first + len));
+        if let Some(j) = home {
+            if chunks[j].1 >= 2 {
+                chunk_vars[j].push(v);
+            }
+        }
+    }
+
+    let tasks: Vec<ChunkTask> = chunks
+        .iter()
+        .zip(&chunk_vars)
+        .filter(|(&(_, len), _)| len >= 2)
+        .map(|(&(first, len), vars)| {
+            let mut roots: Vec<Bdd> = pre[first..first + len]
+                .iter()
+                .map(|c| c.func.clone())
+                .collect();
+            roots.push(mgr.positive_cube(vars));
+            ChunkTask {
+                bytes: snapshot::save(mgr, &roots),
+                first,
+                len,
+            }
+        })
+        .collect();
+    let outcomes = run_tasks(&tasks, cap, opts.jobs);
+
+    // ---- merge, in chunk order, on the coordinator -----------------------
+    let mut fused_conjuncts: Vec<Cluster> = Vec::new();
+    let mut merged_any = false;
+    let mut task_at = 0usize;
+    for (j, &(first, len)) in chunks.iter().enumerate() {
+        if len < 2 {
+            fused_conjuncts.push(pre[first].clone());
+            continue;
+        }
+        let outcome = &outcomes[task_at];
+        task_at += 1;
+        let decoded = outcome
+            .as_deref()
+            .and_then(|bytes| snapshot::load(mgr, bytes).ok())
+            .and_then(|mut roots| (roots.len() == 1).then(|| roots.remove(0)));
+        match decoded {
+            Some(product) => {
+                fused_conjuncts.push(Cluster::of(product));
+                eliminated.extend(chunk_vars[j].iter().copied());
+                merged_any = true;
+            }
+            None => fused_conjuncts.extend(pre[first..first + len].iter().cloned()),
+        }
+    }
+    if mgr.abort_reason().is_some() {
+        return None;
+    }
+    if eliminated.is_empty() && !merged_any && fused_conjuncts.len() == classic.len() {
+        return None;
+    }
+
+    // ---- L3: order + cluster + cube the fused chain ----------------------
+    let residual: Vec<VarId> = quantify
+        .iter()
+        .copied()
+        .filter(|v| !eliminated.contains(v))
+        .collect();
+    let rset: BTreeSet<VarId> = residual.iter().copied().collect();
+    let clusters = order_and_cluster(fused_conjuncts, &rset, opts.cluster_threshold);
+    let sched = finish_schedule(mgr, clusters, &residual);
+    Some(Fused {
+        sched,
+        hazard: eliminated,
+        residual,
+    })
+}
+
 impl ImageComputer {
-    /// Compiles a partitioned relation into an ordered, clustered schedule.
+    /// Compiles a partitioned relation into an ordered, clustered schedule
+    /// (and, with [`ImageOptions::fusion`], the fused variant).
     ///
     /// * `parts` — the conjuncts of the transition relation,
     /// * `quantify` — variables to existentially quantify (inputs and
     ///   current-state variables); they may also appear in the `from`
     ///   argument of [`image`](Self::image).
+    ///
+    /// Without a protect-set, any quantified variable may be eliminated at
+    /// compile time by the fused schedule, and an image call whose `from`
+    /// mentions one falls back (correctly) to the classic chain. Callers
+    /// that will pass state-dependent from-sets should use
+    /// [`with_protected`](Self::with_protected) instead.
     pub fn new(mgr: &BddManager, parts: &[Bdd], quantify: &[VarId], opts: ImageOptions) -> Self {
+        Self::with_protected(mgr, parts, quantify, &[], opts)
+    }
+
+    /// [`new`](Self::new) with a **protect-set**: quantified variables that
+    /// future `from` arguments may mention (typically the current-state
+    /// variables of a reachability fixpoint). Protected variables are never
+    /// eliminated by the fused schedule's compile-time pre-quantification —
+    /// they stay in the residual run-time schedule — so the fused chain
+    /// stays applicable to every image call instead of tripping the hazard
+    /// fallback. The protect-set changes evaluation strategy only, never
+    /// the computed image.
+    pub fn with_protected(
+        mgr: &BddManager,
+        parts: &[Bdd],
+        quantify: &[VarId],
+        protected: &[VarId],
+        opts: ImageOptions,
+    ) -> Self {
         let quantify: Vec<VarId> = {
             let mut q: Vec<VarId> = quantify.to_vec();
             q.sort_unstable();
@@ -145,94 +618,22 @@ impl ImageComputer {
             q
         };
         let qset: BTreeSet<VarId> = quantify.iter().copied().collect();
-
-        // Drop constant-true parts; keep zero (it annihilates images).
-        let mut conjuncts: Vec<Cluster> = parts
-            .iter()
-            .filter(|p| !p.is_one())
-            .map(|p| Cluster {
-                func: p.clone(),
-                support: p.support().into_iter().collect(),
-            })
-            .collect();
-
-        // ---- ordering: greedy benefit heuristic -------------------------
-        // Pick next the cluster that (a) lets the most quantified variables
-        // die (no remaining cluster mentions them), (b) introduces the
-        // fewest new variables.
-        let mut ordered: Vec<Cluster> = Vec::with_capacity(conjuncts.len());
-        let mut seen_vars: BTreeSet<VarId> = BTreeSet::new();
-        while !conjuncts.is_empty() {
-            let mut best = 0usize;
-            let mut best_score = i64::MIN;
-            for (k, c) in conjuncts.iter().enumerate() {
-                let mut dying = 0i64;
-                let mut fresh = 0i64;
-                for v in &c.support {
-                    let in_others = conjuncts
-                        .iter()
-                        .enumerate()
-                        .any(|(j, o)| j != k && o.support.contains(v));
-                    if qset.contains(v) && !in_others {
-                        dying += 1;
-                    }
-                    if !seen_vars.contains(v) {
-                        fresh += 1;
-                    }
-                }
-                let score = dying * 4 - fresh;
-                if score > best_score {
-                    best_score = score;
-                    best = k;
-                }
-            }
-            let c = conjuncts.swap_remove(best);
-            seen_vars.extend(c.support.iter().copied());
-            ordered.push(c);
-        }
-
-        // ---- clustering: merge adjacent conjuncts up to the threshold ----
-        let mut clusters: Vec<Cluster> = Vec::new();
-        for c in ordered {
-            if let Some(last) = clusters.last_mut().filter(|last| {
-                last.func.node_count() + c.func.node_count() <= opts.cluster_threshold
-            }) {
-                let merged = last.func.and(&c.func);
-                if merged.node_count() <= opts.cluster_threshold {
-                    last.support = merged.support().into_iter().collect();
-                    last.func = merged;
-                    continue;
-                }
-            }
-            clusters.push(c);
-        }
-
-        // ---- per-step quantification cubes -------------------------------
-        // Variable v dies after the last cluster that mentions it. Variables
-        // mentioned by no cluster can only occur in the from-set and are
-        // quantified at step 0.
-        let mut step_vars: Vec<Vec<VarId>> = vec![Vec::new(); clusters.len()];
-        let mut from_only: Vec<VarId> = Vec::new();
-        for &v in &quantify {
-            let last = clusters.iter().rposition(|c| c.support.contains(&v));
-            match last {
-                Some(k) => step_vars[k].push(v),
-                None => from_only.push(v),
-            }
-        }
-        if let Some(first) = step_vars.first_mut() {
-            first.extend(from_only.iter().copied());
-        }
-        let step_cubes = step_vars.iter().map(|vs| mgr.positive_cube(vs)).collect();
-
+        let pset: BTreeSet<VarId> = protected.iter().copied().collect();
+        let conjuncts: Vec<Cluster> = parts.iter().map(|p| Cluster::of(p.clone())).collect();
+        let clusters = order_and_cluster(conjuncts, &qset, opts.cluster_threshold);
+        let fused = if opts.schedule == QuantSchedule::Early && opts.fusion {
+            build_fused(mgr, &clusters, &quantify, &pset, &opts)
+        } else {
+            None
+        };
+        let classic = finish_schedule(mgr, clusters, &quantify);
         ImageComputer {
             mgr: mgr.clone(),
-            clusters,
-            step_cubes,
-            #[cfg(feature = "sanitize")]
-            step_vars,
+            classic,
+            fused,
             quantify,
             schedule: opts.schedule,
+            use_restrict: opts.use_restrict,
         }
     }
 
@@ -246,26 +647,35 @@ impl ImageComputer {
         if !langeq_bdd::sanitize::enabled() || self.mgr.abort_reason().is_some() {
             return;
         }
-        for (k, (cube, vars)) in self.step_cubes.iter().zip(&self.step_vars).enumerate() {
-            let want = self.mgr.positive_cube(vars);
-            if self.mgr.abort_reason().is_some() {
-                return;
-            }
-            if *cube != want {
-                sanitize_fail(
-                    "image-step-cube",
-                    format_args!(
-                        "step {k}: compiled cube diverged from positive_cube of its {} variables",
-                        vars.len()
-                    ),
-                );
+        let schedules: [Option<&Schedule>; 2] =
+            [Some(&self.classic), self.fused.as_ref().map(|f| &f.sched)];
+        for sched in schedules.into_iter().flatten() {
+            for (k, (cube, vars)) in sched.step_cubes.iter().zip(&sched.step_vars).enumerate() {
+                let want = self.mgr.positive_cube(vars);
+                if self.mgr.abort_reason().is_some() {
+                    return;
+                }
+                if *cube != want {
+                    sanitize_fail(
+                        "image-step-cube",
+                        format_args!(
+                            "step {k}: compiled cube diverged from positive_cube of its {} variables",
+                            vars.len()
+                        ),
+                    );
+                }
             }
         }
     }
 
-    /// The number of clusters after merging.
+    /// The number of clusters after merging (classic schedule).
     pub fn num_clusters(&self) -> usize {
-        self.clusters.len()
+        self.classic.clusters.len()
+    }
+
+    /// The number of clusters in the fused schedule, when one was compiled.
+    pub fn num_fused_clusters(&self) -> Option<usize> {
+        self.fused.as_ref().map(|f| f.sched.clusters.len())
     }
 
     /// The variables this computation quantifies.
@@ -273,10 +683,37 @@ impl ImageComputer {
         &self.quantify
     }
 
+    /// The ordinary early-quantification chain over `sched`, with the
+    /// per-cluster spans and the `langeq_image_cluster_seconds` samples.
+    fn run_early(&self, sched: &Schedule, from: &Bdd, quantify: &[VarId]) -> Bdd {
+        if sched.clusters.is_empty() {
+            return self.mgr.exists(from, quantify);
+        }
+        let mut acc = from.clone();
+        for (k, (cluster, cube)) in sched.clusters.iter().zip(&sched.step_cubes).enumerate() {
+            let sp = langeq_obs::span!("image.cluster", idx = k);
+            let t0 = Instant::now();
+            let func = if self.use_restrict {
+                cluster.func.restrict(&acc)
+            } else {
+                cluster.func.clone()
+            };
+            acc = self.mgr.and_exists(&acc, &func, cube);
+            cluster_seconds().observe_ns(t0.elapsed().as_nanos() as u64);
+            drop(sp);
+            if acc.is_zero() || self.mgr.abort_reason().is_some() {
+                return acc;
+            }
+        }
+        acc
+    }
+
     /// Computes `∃ quantify . from ∧ P_1 ∧ … ∧ P_n`.
     ///
     /// With [`QuantSchedule::Early`] the quantifications are interleaved with
-    /// the conjunctions according to the compiled schedule; with
+    /// the conjunctions according to the compiled schedule — the fused
+    /// schedule when one exists and `from` avoids the compile-time-eliminated
+    /// variables, the classic chain otherwise; with
     /// [`QuantSchedule::Late`] the full product is built first (ablation
     /// baseline).
     /// Cooperative abort: when the manager records an abort (node limit,
@@ -289,21 +726,18 @@ impl ImageComputer {
         self.sanitize_step_cubes();
         match self.schedule {
             QuantSchedule::Early => {
-                if self.clusters.is_empty() {
-                    return self.mgr.exists(from, &self.quantify);
-                }
-                let mut acc = from.clone();
-                for (cluster, cube) in self.clusters.iter().zip(&self.step_cubes) {
-                    acc = self.mgr.and_exists(&acc, &cluster.func, cube);
-                    if acc.is_zero() || self.mgr.abort_reason().is_some() {
-                        return acc;
+                if let Some(fused) = &self.fused {
+                    let hazard = !fused.hazard.is_empty()
+                        && from.support().iter().any(|v| fused.hazard.contains(v));
+                    if !hazard {
+                        return self.run_early(&fused.sched, from, &fused.residual);
                     }
                 }
-                acc
+                self.run_early(&self.classic, from, &self.quantify)
             }
             QuantSchedule::Late => {
                 let mut acc = from.clone();
-                for cluster in &self.clusters {
+                for cluster in &self.classic.clusters {
                     acc = acc.and(&cluster.func);
                     if self.mgr.abort_reason().is_some() {
                         return acc;
@@ -432,6 +866,32 @@ mod tests {
         (parts, quantify, map, init)
     }
 
+    /// A banked toggler: `banks` groups of `width` latches, each latch
+    /// driven through its own **private** input (`ns = cs ^ i`), plus one
+    /// shared enable gating every bank. Private inputs make the fused
+    /// schedule's pre-quantification and chunk products non-trivial.
+    fn banked(mgr: &BddManager, banks: usize, width: usize) -> CounterParts {
+        let en = mgr.new_var();
+        let mut parts = Vec::new();
+        let mut quantify = vec![en.support()[0]];
+        let mut map = Vec::new();
+        let mut init = mgr.one();
+        for _ in 0..banks {
+            for _ in 0..width {
+                let i = mgr.new_var();
+                let cs = mgr.new_var();
+                let ns = mgr.new_var();
+                let t = cs.xor(&i.and(&en));
+                parts.push(ns.xnor(&t));
+                quantify.push(i.support()[0]);
+                quantify.push(cs.support()[0]);
+                map.push((ns.support()[0], cs.support()[0]));
+                init = init.and(&cs.not());
+            }
+        }
+        (parts, quantify, map, init)
+    }
+
     #[test]
     fn image_matches_naive_on_counter() {
         let mgr = BddManager::new();
@@ -443,8 +903,16 @@ mod tests {
                 ..Default::default()
             },
             ImageOptions {
-                schedule: QuantSchedule::Early,
                 cluster_threshold: 1,
+                ..Default::default()
+            },
+            ImageOptions {
+                fusion: false,
+                ..Default::default()
+            },
+            ImageOptions {
+                use_restrict: true,
+                ..Default::default()
             },
         ] {
             let img = ImageComputer::new(&mgr, &parts, &quantify, opts);
@@ -452,6 +920,119 @@ mod tests {
             let want = naive_image(&mgr, &parts, &quantify, &init);
             assert_eq!(got, want, "options {opts:?}");
         }
+    }
+
+    #[test]
+    fn fused_schedule_matches_naive_on_banked_network() {
+        let mgr = BddManager::new();
+        let (parts, quantify, _, init) = banked(&mgr, 3, 2);
+        let opts = ImageOptions {
+            cluster_threshold: 8,
+            ..Default::default()
+        };
+        let img = ImageComputer::new(&mgr, &parts, &quantify, opts);
+        assert!(
+            img.fused.is_some(),
+            "private inputs must produce a fused schedule"
+        );
+        let got = img.image(&init);
+        let want = naive_image(&mgr, &parts, &quantify, &init);
+        assert_eq!(got, want);
+        // The fused chain must actually be shorter than the classic one.
+        assert!(img.num_fused_clusters().unwrap() < img.num_clusters());
+    }
+
+    #[test]
+    fn job_count_never_changes_results() {
+        let mgr = BddManager::new();
+        let (parts, quantify, map, init) = banked(&mgr, 4, 2);
+        let mut images = Vec::new();
+        let mut reaches = Vec::new();
+        for jobs in [1, 2, 4] {
+            let opts = ImageOptions {
+                cluster_threshold: 8,
+                jobs,
+                ..Default::default()
+            };
+            let img = ImageComputer::new(&mgr, &parts, &quantify, opts);
+            images.push(img.image(&init));
+            reaches.push(reachable(&img, &init, &map));
+        }
+        // Hash consing makes handle equality functional equality: the
+        // results must be the *identical* nodes for every job count.
+        assert!(images.windows(2).all(|w| w[0] == w[1]));
+        assert!(reaches.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn hazard_from_set_falls_back_to_classic_chain() {
+        let mgr = BddManager::new();
+        let (parts, quantify, _, _) = banked(&mgr, 2, 2);
+        let opts = ImageOptions {
+            cluster_threshold: 8,
+            ..Default::default()
+        };
+        let img = ImageComputer::new(&mgr, &parts, &quantify, opts);
+        let fused = img.fused.as_ref().expect("fused schedule");
+        // A from-set constraining a compile-time-eliminated variable: the
+        // pre-quantified form would be unsound, so the call must detect the
+        // hazard and still agree with the naive reference.
+        let &v = fused.hazard.iter().next().expect("eliminated vars");
+        let from = mgr.var(v);
+        let got = img.image(&from);
+        let want = naive_image(&mgr, &parts, &quantify, &from);
+        assert_eq!(got, want);
+    }
+
+    /// The protect-set contract: with the current-state variables
+    /// protected, the fused schedule never eliminates a variable a
+    /// reachability from-set mentions — so the hazard fallback never
+    /// fires and the fused chain serves every call of the fixpoint.
+    #[test]
+    fn protected_state_vars_keep_the_fused_chain_applicable() {
+        let mgr = BddManager::new();
+        let (parts, quantify, map, init) = banked(&mgr, 3, 2);
+        let cs: Vec<VarId> = map.iter().map(|&(_, c)| c).collect();
+        let opts = ImageOptions {
+            cluster_threshold: 8,
+            ..Default::default()
+        };
+        let img = ImageComputer::with_protected(&mgr, &parts, &quantify, &cs, opts);
+        let fused = img.fused.as_ref().expect("fused schedule");
+        assert!(
+            cs.iter().all(|v| !fused.hazard.contains(v)),
+            "protected vars must never enter the hazard set"
+        );
+        // Still correct, and still correct across the whole fixpoint.
+        let got = img.image(&init);
+        let want = naive_image(&mgr, &parts, &quantify, &init);
+        assert_eq!(got, want);
+        let unprotected = ImageComputer::new(&mgr, &parts, &quantify, opts);
+        assert_eq!(
+            reachable(&img, &init, &map),
+            reachable(&unprotected, &init, &map),
+            "protection changes strategy, never results"
+        );
+    }
+
+    #[test]
+    fn restrict_mode_matches_on_banked_reachability() {
+        let mgr = BddManager::new();
+        let (parts, quantify, map, init) = banked(&mgr, 2, 2);
+        let plain = ImageComputer::new(&mgr, &parts, &quantify, ImageOptions::default());
+        let restricting = ImageComputer::new(
+            &mgr,
+            &parts,
+            &quantify,
+            ImageOptions {
+                use_restrict: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            reachable(&plain, &init, &map),
+            reachable(&restricting, &init, &map)
+        );
     }
 
     #[test]
@@ -592,6 +1173,52 @@ mod tests {
         assert!(img.image(&mgr.one()).is_zero());
     }
 
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+
+        /// Random small partitioned relations: the fused schedule at
+        /// several job counts, the classic chain, and the restrict mode
+        /// must all agree with the naive conjoin-then-quantify reference
+        /// on a random from-cube.
+        #[test]
+        fn random_networks_agree_across_modes(
+            seed in 0u64..1u64 << 48,
+            banks in 1usize..4,
+            width in 1usize..3,
+        ) {
+            let mgr = BddManager::new();
+            let (parts, quantify, _, _) = banked(&mgr, banks, width);
+            // Pseudo-random from-cube over the cs variables (never the
+            // private inputs, so the fused path actually runs).
+            let mut x = seed | 1;
+            let mut from = mgr.one();
+            for &(_, cs) in banked_map(&mgr, banks, width).iter() {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let lit = mgr.var(cs);
+                from = from.and(&if x >> 62 & 1 == 1 { lit.not() } else { lit });
+            }
+            let want = naive_image(&mgr, &parts, &quantify, &from);
+            for opts in [
+                ImageOptions { cluster_threshold: 6, jobs: 1, ..Default::default() },
+                ImageOptions { cluster_threshold: 6, jobs: 4, ..Default::default() },
+                ImageOptions { cluster_threshold: 6, fusion: false, ..Default::default() },
+                ImageOptions { cluster_threshold: 6, use_restrict: true, ..Default::default() },
+            ] {
+                let img = ImageComputer::new(&mgr, &parts, &quantify, opts);
+                proptest::prop_assert_eq!(&img.image(&from), &want);
+            }
+        }
+    }
+
+    /// The ns→cs map of [`banked`] *without* re-creating variables: banked
+    /// lays vars out as `en, (i, cs, ns)*`.
+    fn banked_map(mgr: &BddManager, banks: usize, width: usize) -> Vec<(VarId, VarId)> {
+        let _ = mgr;
+        (0..banks * width)
+            .map(|k| (VarId(3 + 3 * k as u32), VarId(2 + 3 * k as u32)))
+            .collect()
+    }
+
     /// A step cube that drifted from its variable set (the corruption the
     /// currency audit guards against) must abort the next image call.
     #[cfg(feature = "sanitize")]
@@ -601,9 +1228,9 @@ mod tests {
         let mgr = BddManager::new();
         let (parts, quantify, _, init) = counter(&mgr);
         let mut img = ImageComputer::new(&mgr, &parts, &quantify, ImageOptions::default());
-        assert!(!img.step_cubes.is_empty());
+        assert!(!img.classic.step_cubes.is_empty());
         // A positive cube is never the zero function.
-        img.step_cubes[0] = mgr.zero();
+        img.classic.step_cubes[0] = mgr.zero();
         let err = catch_unwind(AssertUnwindSafe(|| img.image(&init)))
             .expect_err("step-cube audit must abort");
         let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();

@@ -110,6 +110,17 @@ pub struct Registry {
     families: Mutex<Vec<Family>>,
 }
 
+/// The process-wide registry, for metrics owned by library crates that
+/// have no access to a server's [`Registry`] (e.g. the image layer's
+/// per-cluster timings). Scrape endpoints render this *in addition to*
+/// their own registry; libraries register lazily on first use, so a
+/// process that never touches the instrumented path pays nothing and
+/// renders nothing.
+pub fn global() -> &'static Registry {
+    static GLOBAL: std::sync::OnceLock<Registry> = std::sync::OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
 impl Registry {
     /// An empty registry.
     pub fn new() -> Registry {

@@ -425,6 +425,9 @@ struct Metrics {
     jobs_cancelled: Counter,
     kernel_cache_lookups: Counter,
     kernel_cache_hits: Counter,
+    /// Computed-cache entries overwritten on collision (the leaky-cache
+    /// eviction rate across fresh solves; see `BddStats::cache_evictions`).
+    task_cache_evictions: Counter,
     /// Solves this daemon routed to their ring owner.
     forwards: Counter,
     /// Local misses answered by the fleet: a store refresh or a peer
@@ -467,6 +470,10 @@ struct Metrics {
 impl Metrics {
     /// Registers the whole surface; registration order is exposition order.
     fn new() -> Metrics {
+        // Library layers (the image engine) register in the process-wide
+        // registry that `/metrics` appends; force those families to exist
+        // from boot so the first scrape sees them with zero observations.
+        langeq_image::register_metrics();
         let r = Registry::new();
         Metrics {
             gauge_workers: r.gauge("langeq_workers", "Configured worker threads."),
@@ -505,6 +512,10 @@ impl Metrics {
             kernel_cache_hits: r.counter(
                 "langeq_kernel_cache_hits_total",
                 "BDD kernel computed-cache hits across fresh solves.",
+            ),
+            task_cache_evictions: r.counter(
+                "langeq_task_cache_evictions_total",
+                "BDD kernel computed-cache entries overwritten on collision.",
             ),
             forwards: r.counter(
                 "langeq_forwards_total",
@@ -1854,7 +1865,19 @@ fn metrics_text(shared: &Arc<Shared>) -> String {
     m.gauge_fleet_peers
         .set(shared.ring.as_ref().map(Ring::len).unwrap_or_default() as u64);
     m.gauge_fleet_peers_up.set(fleet_peers_up(shared) as u64);
-    m.registry.render()
+    // The service registry first, then the process-wide one: library-layer
+    // metrics (e.g. `langeq_image_cluster_seconds` from the image engine)
+    // register globally because those layers never see this daemon's
+    // registry. Families are disjoint by convention, so concatenation is a
+    // valid exposition.
+    let mut text = m.registry.render();
+    let global = langeq_obs::registry::global().render();
+    debug_assert!(
+        global.contains("langeq_image_cluster_seconds"),
+        "image-layer metric family missing; did boot-time registration move?"
+    );
+    text.push_str(&global);
+    text
 }
 
 /// Parses a `POST /v1/solve` body into the instance and configuration it
@@ -1945,6 +1968,15 @@ fn parse_solve_request(body: &str) -> Result<(InstanceSpec, ConfigSpec), String>
     }
     if let Some(policy) = json.get("reorder").and_then(Json::as_str) {
         config = config.reorder(policy.parse().map_err(|e| format!("reorder: {e}"))?);
+    }
+    // Throughput-only knobs: deliberately OUTSIDE the cell signature, so a
+    // cached result answers a request no matter what worker count the
+    // client asked for.
+    if let Some(jobs) = json.get("image_jobs").and_then(Json::as_u64) {
+        config = config.image_jobs(jobs as usize);
+    }
+    if let Some(on) = json.get("image_restrict").and_then(Json::as_bool) {
+        config = config.image_restrict(on);
     }
     let mut limits = SolverLimits::default();
     if let Some(secs) = json.get("timeout").and_then(Json::as_u64) {
@@ -2317,6 +2349,7 @@ fn run_cell_cached(
     if let Some(k) = &report.kernel {
         shared.metrics.kernel_cache_lookups.add(k.cache_lookups);
         shared.metrics.kernel_cache_hits.add(k.cache_hits);
+        shared.metrics.task_cache_evictions.add(k.cache_evictions);
     }
     let snapshot = lock_ok(&snap_slot).take().map(Arc::new);
     if !report.retryable {

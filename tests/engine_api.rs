@@ -133,6 +133,8 @@ fn progress_events_are_monotone_and_complete() {
             SolveEvent::CacheSample {
                 cache_lookups,
                 cache_hits,
+                cache_puts,
+                cache_evictions,
                 cache_survived,
                 cache_swept,
                 unique_probes,
@@ -140,6 +142,7 @@ fn progress_events_are_monotone_and_complete() {
             } => {
                 assert!(*cache_lookups >= last_lookups, "lookups went backwards");
                 assert!(cache_hits <= cache_lookups, "hits exceed lookups");
+                assert!(cache_evictions <= cache_puts, "evictions exceed puts");
                 assert!(cache_survived <= cache_swept, "survivors exceed swept");
                 assert!(unique_probes >= unique_lookups, "probe count below lookups");
                 last_lookups = *cache_lookups;
